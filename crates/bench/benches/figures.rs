@@ -1,0 +1,195 @@
+//! Criterion benchmarks covering every figure of the paper's evaluation.
+//!
+//! Each benchmark executes the exact code path the corresponding
+//! figure-regeneration binary uses, at the deliberately tiny `Scale::bench()`
+//! so `cargo bench` completes quickly. The goal is twofold: keep the harness
+//! honest (any regression in simulator throughput shows up here) and provide
+//! per-figure cost numbers so users can extrapolate the run time of the
+//! `small` / `medium` / `paper` scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use df_bench::Scale;
+use df_model::{BufferConfig, NetworkConfig};
+use df_routing::{RoutingConfig, RoutingKind};
+use df_sim::{SimulationConfig, SteadyStateExperiment};
+use df_traffic::PatternKind;
+use std::time::Duration;
+
+fn bench_scale() -> Scale {
+    Scale::bench()
+}
+
+fn steady_config(routing: RoutingKind, pattern: PatternKind, load: f64) -> SimulationConfig {
+    let scale = bench_scale();
+    SimulationConfig::builder()
+        .topology(scale.topology)
+        .network(scale.network)
+        .routing(routing)
+        .routing_config(RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs))
+        .pattern(pattern)
+        .offered_load(load)
+        .warmup_cycles(scale.warmup)
+        .measurement_cycles(scale.measure)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_millis(1_500));
+}
+
+/// Figure 5a/5b/5c: one steady-state point per routing mechanism under UN and
+/// ADV+1 (ADV+h exercises the same path with a different offset).
+fn fig5_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_steady_state");
+    configure(&mut group);
+    for pattern in [PatternKind::Uniform, PatternKind::Adversarial { offset: 1 }] {
+        for routing in df_bench::figure5_routings(pattern) {
+            let config = steady_config(routing, pattern, 0.2);
+            group.bench_with_input(
+                BenchmarkId::new(pattern.label(), routing.label()),
+                &config,
+                |b, cfg| b.iter(|| SteadyStateExperiment::new(cfg.clone()).run()),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Figure 5c specifically: the ADV+h pattern (local-link stress).
+fn fig5c_advh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5c_advh");
+    configure(&mut group);
+    let h = bench_scale().topology.h;
+    for routing in [RoutingKind::Valiant, RoutingKind::Olm, RoutingKind::Base] {
+        let config = steady_config(routing, PatternKind::Adversarial { offset: h }, 0.2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(routing.label()),
+            &config,
+            |b, cfg| b.iter(|| SteadyStateExperiment::new(cfg.clone()).run()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 6: the mixed ADV+1/UN pattern.
+fn fig6_mixed_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_mixed_traffic");
+    configure(&mut group);
+    for frac in [0.0, 0.5, 1.0] {
+        let config = steady_config(
+            RoutingKind::Base,
+            PatternKind::Mixed {
+                offset: 1,
+                uniform_fraction: frac,
+            },
+            0.35,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct_un", (frac * 100.0) as u32)),
+            &config,
+            |b, cfg| b.iter(|| SteadyStateExperiment::new(cfg.clone()).run()),
+        );
+    }
+    group.finish();
+}
+
+/// Figures 7a/7b: the UN→ADV+1 transient with Table I buffers.
+fn fig7_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_transient");
+    configure(&mut group);
+    let scale = bench_scale();
+    for routing in [RoutingKind::Olm, RoutingKind::Base, RoutingKind::Ectn] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(routing.label()),
+            &routing,
+            |b, &r| b.iter(|| df_bench::transient_run(&scale, r, scale.network, 0.2, 300)),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 8: the same transient with the large-buffer configuration.
+fn fig8_large_buffers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_large_buffers");
+    configure(&mut group);
+    let scale = bench_scale();
+    let large = NetworkConfig {
+        buffers: BufferConfig::large(),
+        ..scale.network
+    };
+    for routing in [RoutingKind::Olm, RoutingKind::Base] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(routing.label()),
+            &routing,
+            |b, &r| b.iter(|| df_bench::transient_run(&scale, r, large, 0.2, 300)),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 9: the PB-vs-ECtN oscillation comparison (longer follow window).
+fn fig9_oscillation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_oscillation");
+    configure(&mut group);
+    let scale = bench_scale();
+    for routing in [RoutingKind::PiggyBacking, RoutingKind::Ectn] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(routing.label()),
+            &routing,
+            |b, &r| b.iter(|| df_bench::transient_run(&scale, r, scale.network, 0.2, 600)),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 10: Base with different misrouting thresholds.
+fn fig10_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_threshold");
+    configure(&mut group);
+    for th in [2u32, 4, 6] {
+        let mut config = steady_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.2);
+        config.routing_config = config.routing_config.with_contention_threshold(th);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("th{th}")), &config, |b, cfg| {
+            b.iter(|| SteadyStateExperiment::new(cfg.clone()).run())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the design choices called out in DESIGN.md — local misrouting
+/// on/off and global-misroute-after-hop on/off.
+fn ablation_policy_switches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policy_switches");
+    configure(&mut group);
+    let variants: [(&str, bool, bool); 3] = [
+        ("full_policy", true, true),
+        ("no_local_misroute", false, true),
+        ("injection_only", true, false),
+    ];
+    for (name, local, after_hop) in variants {
+        let mut config = steady_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.3);
+        config.routing_config.allow_local_misroute = local;
+        config.routing_config.allow_global_misroute_after_hop = after_hop;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| SteadyStateExperiment::new(cfg.clone()).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig5_steady_state,
+    fig5c_advh,
+    fig6_mixed_traffic,
+    fig7_transient,
+    fig8_large_buffers,
+    fig9_oscillation,
+    fig10_threshold,
+    ablation_policy_switches
+);
+criterion_main!(figures);

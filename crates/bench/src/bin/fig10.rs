@@ -1,0 +1,27 @@
+//! Regenerate Figure 10: sensitivity of Base to the misrouting threshold
+//! under UN and ADV+1 traffic.
+//! Usage: `cargo run --release -p df-bench --bin fig10 -- [small|medium|paper] [un|adv1]`
+
+use df_traffic::PatternKind;
+
+fn main() {
+    let scale = df_bench::Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let rc = df_routing::RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs);
+    let th = rc.contention_threshold;
+    // the paper sweeps th-3..th+1 for UN and th..th+6 for ADV; scale the same
+    // way around the calibrated threshold
+    let un_ths: Vec<u32> = (th.saturating_sub(3).max(1)..=th + 1).collect();
+    let adv_ths: Vec<u32> = (th..=th + 6).step_by(2).collect();
+    let both = !(args.iter().any(|a| a == "un") || args.iter().any(|a| a == "adv1"));
+    if both || args.iter().any(|a| a == "un") {
+        let (lat, thr) = df_bench::figure10(&scale, PatternKind::Uniform, &un_ths);
+        println!("{}", lat.to_text());
+        println!("{}", thr.to_text());
+    }
+    if both || args.iter().any(|a| a == "adv1") {
+        let (lat, thr) = df_bench::figure10(&scale, PatternKind::Adversarial { offset: 1 }, &adv_ths);
+        println!("{}", lat.to_text());
+        println!("{}", thr.to_text());
+    }
+}

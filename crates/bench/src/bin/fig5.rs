@@ -1,0 +1,28 @@
+//! Regenerate Figure 5: latency and throughput vs offered load under UN,
+//! ADV+1 and ADV+h.
+//! Usage: `cargo run --release -p df-bench --bin fig5 -- [small|medium|paper] [un|adv1|advh]`
+
+use df_traffic::PatternKind;
+
+fn main() {
+    let scale = df_bench::Scale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let which: Vec<PatternKind> = if args.iter().any(|a| a == "un") {
+        vec![PatternKind::Uniform]
+    } else if args.iter().any(|a| a == "adv1") {
+        vec![PatternKind::Adversarial { offset: 1 }]
+    } else if args.iter().any(|a| a == "advh") {
+        vec![PatternKind::Adversarial { offset: scale.topology.h }]
+    } else {
+        vec![
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            PatternKind::Adversarial { offset: scale.topology.h },
+        ]
+    };
+    for pattern in which {
+        let (latency, throughput) = df_bench::figure5(&scale, pattern);
+        println!("{}", latency.to_text());
+        println!("{}", throughput.to_text());
+    }
+}

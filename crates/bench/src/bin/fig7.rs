@@ -1,0 +1,11 @@
+//! Regenerate Figure 7: transient latency and misrouted-packet percentage
+//! after a UN→ADV+1 traffic change at 20% load with Table I (small) buffers.
+//! Usage: `cargo run --release -p df-bench --bin fig7 -- [small|medium|paper]`
+
+fn main() {
+    let scale = df_bench::Scale::from_args();
+    let (latency, misroute) =
+        df_bench::figure7(&scale, scale.network, 0.20, 1_500, 50, "Figure 7 — UN->ADV+1, Table I buffers");
+    println!("{}", latency.to_text());
+    println!("{}", misroute.to_text());
+}

@@ -1,0 +1,18 @@
+//! Regenerate Figure 8: the same transient as Figure 7 but with large input
+//! buffers (256 phits/VC local, 2048 phits/VC global), which slows the
+//! credit-based mechanisms but not the contention-based ones.
+//! Usage: `cargo run --release -p df-bench --bin fig8 -- [small|medium|paper]`
+
+use df_model::NetworkConfig;
+
+fn main() {
+    let scale = df_bench::Scale::from_args();
+    let large = NetworkConfig {
+        buffers: df_model::BufferConfig::large(),
+        ..scale.network
+    };
+    let (latency, misroute) =
+        df_bench::figure7(&scale, large, 0.20, 3_000, 100, "Figure 8 — UN->ADV+1, large buffers");
+    println!("{}", latency.to_text());
+    println!("{}", misroute.to_text());
+}

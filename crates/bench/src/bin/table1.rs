@@ -1,0 +1,7 @@
+//! Print Table I (simulation parameters) for the selected scale.
+//! Usage: `cargo run --release -p df-bench --bin table1 -- [small|medium|paper]`
+
+fn main() {
+    let scale = df_bench::Scale::from_args();
+    println!("{}", df_bench::table1(&scale).to_text());
+}

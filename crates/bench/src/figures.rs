@@ -1,0 +1,440 @@
+//! Figure-regeneration functions: one per table/figure of the paper's
+//! evaluation section (§V and §VI-A).
+//!
+//! Every function returns [`Table`]s whose rows/series mirror what the paper
+//! plots; the binaries in `src/bin/` print them, and `EXPERIMENTS.md` records
+//! the paper-versus-measured comparison.
+
+use df_engine::Table;
+use df_model::NetworkConfig;
+use df_routing::{RoutingConfig, RoutingKind};
+use df_sim::{run_sweep, SimulationConfig, SteadyStateReport, TransientExperiment, TransientReport};
+use df_traffic::{PatternKind, TrafficSchedule};
+
+use crate::scale::Scale;
+
+/// The mechanisms plotted in Figures 5–8: the oblivious reference (MIN for
+/// UN, VAL for ADV) plus the two credit-based and the three contention-based
+/// adaptive mechanisms.
+pub fn figure5_routings(pattern: PatternKind) -> Vec<RoutingKind> {
+    let reference = match pattern {
+        PatternKind::Uniform => RoutingKind::Minimal,
+        _ => RoutingKind::Valiant,
+    };
+    vec![
+        reference,
+        RoutingKind::PiggyBacking,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Hybrid,
+        RoutingKind::Ectn,
+    ]
+}
+
+fn base_config(scale: &Scale, routing: RoutingKind, pattern: PatternKind, load: f64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .topology(scale.topology)
+        .network(scale.network)
+        .routing(routing)
+        .routing_config(RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs))
+        .pattern(pattern)
+        .offered_load(load)
+        .warmup_cycles(scale.warmup)
+        .measurement_cycles(scale.measure)
+        .seed(1)
+        .build()
+        .expect("scale configurations are valid")
+}
+
+fn sweep_reports(
+    scale: &Scale,
+    routings: &[RoutingKind],
+    pattern: PatternKind,
+    loads: &[f64],
+) -> Vec<Vec<SteadyStateReport>> {
+    routings
+        .iter()
+        .map(|&routing| {
+            let configs: Vec<SimulationConfig> = loads
+                .iter()
+                .map(|&load| base_config(scale, routing, pattern, load))
+                .collect();
+            run_sweep(&configs, scale.seeds, df_sim::num_threads())
+        })
+        .collect()
+}
+
+/// Table I: the simulation parameters of the given scale (the paper's table
+/// is reproduced exactly by `Scale::paper()`).
+pub fn table1(scale: &Scale) -> Table {
+    let t = &scale.topology;
+    let n = &scale.network;
+    let rc = RoutingConfig::calibrated_for(t, &n.vcs);
+    let mut table = Table::new(
+        format!("Table I — simulation parameters ({} scale)", scale.name),
+        &["parameter", "value"],
+    );
+    let rows: Vec<(String, String)> = vec![
+        (
+            "Router size".into(),
+            format!(
+                "{} ports (h={} global, p={} injection, {} local)",
+                t.radix(),
+                t.h,
+                t.p,
+                t.a - 1
+            ),
+        ),
+        ("Router latency".into(), format!("{} cycles", n.latencies.router_pipeline)),
+        ("Frequency speedup".into(), format!("{}x", n.allocator_speedup)),
+        (
+            "Group size".into(),
+            format!("{} routers, {} computing nodes", t.a, t.a * t.p),
+        ),
+        (
+            "System size".into(),
+            format!("{} groups, {} computing nodes", t.num_groups(), t.num_nodes()),
+        ),
+        ("Global link arrangement".into(), "Palmtree".into()),
+        (
+            "Link latency".into(),
+            format!("{} (local), {} (global) cycles", n.latencies.local_link, n.latencies.global_link),
+        ),
+        (
+            "Virtual channels".into(),
+            format!(
+                "{} (global ports), {} (injection ports), {} (local ports)",
+                n.vcs.global, n.vcs.injection, n.vcs.local
+            ),
+        ),
+        ("Switching".into(), "Virtual Cut-Through".into()),
+        (
+            "Buffer size (phits)".into(),
+            format!(
+                "{} (output), {} (local input/VC), {} (global input/VC)",
+                n.buffers.output_buffer, n.buffers.local_input_per_vc, n.buffers.global_input_per_vc
+            ),
+        ),
+        ("Packet size".into(), format!("{} phits", n.packet_size_phits)),
+        (
+            "Congestion thresholds".into(),
+            format!(
+                "{:.0}% (OLM), {:.0}% (Hybrid), T = {} (PB)",
+                100.0 * rc.olm_congestion_fraction,
+                100.0 * rc.hybrid_congestion_fraction,
+                rc.pb_ugal_threshold_packets
+            ),
+        ),
+        (
+            "Contention thresholds".into(),
+            format!(
+                "{} (Base, ECtN), {} (Hybrid), {} (ECtN combined)",
+                rc.contention_threshold, rc.hybrid_contention_threshold, rc.ectn_combined_threshold
+            ),
+        ),
+        ("ECtN partial update".into(), format!("{} cycles", rc.ectn_update_period)),
+    ];
+    for (k, v) in rows {
+        table.push_row(vec![k, v]);
+    }
+    table
+}
+
+/// Figure 5 (a: UN, b: ADV+1, c: ADV+h): average packet latency and accepted
+/// load versus offered load, one series per routing mechanism. Returns
+/// `(latency_table, throughput_table)`.
+pub fn figure5(scale: &Scale, pattern: PatternKind) -> (Table, Table) {
+    let routings = figure5_routings(pattern);
+    let loads = match pattern {
+        PatternKind::Uniform => &scale.uniform_loads,
+        _ => &scale.adversarial_loads,
+    };
+    let all = sweep_reports(scale, &routings, pattern, loads);
+
+    let mut headers: Vec<String> = vec!["offered_load".into()];
+    headers.extend(routings.iter().map(|r| r.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+
+    let mut latency = Table::new(
+        format!("Figure 5 ({}) — average packet latency (cycles)", pattern.label()),
+        &header_refs,
+    );
+    let mut throughput = Table::new(
+        format!("Figure 5 ({}) — accepted load (phits/node/cycle)", pattern.label()),
+        &header_refs,
+    );
+    for (i, &load) in loads.iter().enumerate() {
+        let mut lat_row = vec![load];
+        let mut thr_row = vec![load];
+        for series in &all {
+            lat_row.push(series[i].avg_packet_latency);
+            thr_row.push(series[i].accepted_load);
+        }
+        latency.push_numeric_row(&lat_row, 2);
+        throughput.push_numeric_row(&thr_row, 4);
+    }
+    (latency, throughput)
+}
+
+/// Figure 6: average latency under an ADV+1/UN mix at a fixed total load,
+/// versus the percentage of uniform traffic.
+pub fn figure6(scale: &Scale, total_load: f64) -> Table {
+    let routings = [
+        RoutingKind::PiggyBacking,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Hybrid,
+        RoutingKind::Ectn,
+    ];
+    let fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut headers: Vec<String> = vec!["pct_uniform".into()];
+    headers.extend(routings.iter().map(|r| r.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(
+        format!("Figure 6 — latency with mixed ADV+1/UN traffic at load {total_load:.2}"),
+        &header_refs,
+    );
+    for &frac in &fractions {
+        let pattern = PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: frac,
+        };
+        let configs: Vec<SimulationConfig> = routings
+            .iter()
+            .map(|&r| base_config(scale, r, pattern, total_load))
+            .collect();
+        let reports = run_sweep(&configs, scale.seeds, df_sim::num_threads());
+        let mut row = vec![frac * 100.0];
+        row.extend(reports.iter().map(|r| r.avg_packet_latency));
+        table.push_numeric_row(&row, 2);
+    }
+    table
+}
+
+/// One transient run (UN → ADV+1 at the end of warm-up) for one mechanism.
+pub fn transient_run(
+    scale: &Scale,
+    routing: RoutingKind,
+    network: NetworkConfig,
+    load: f64,
+    follow: u64,
+) -> TransientReport {
+    let schedule = TrafficSchedule::switch_at(
+        PatternKind::Uniform,
+        PatternKind::Adversarial { offset: 1 },
+        scale.warmup,
+    );
+    let config = SimulationConfig::builder()
+        .topology(scale.topology)
+        .network(network)
+        .routing(routing)
+        .routing_config(RoutingConfig::calibrated_for(&scale.topology, &network.vcs))
+        .schedule(schedule)
+        .offered_load(load)
+        .warmup_cycles(scale.warmup)
+        .measurement_cycles(follow)
+        .seed(1)
+        .build()
+        .expect("valid configuration");
+    TransientExperiment::new(config, follow).run()
+}
+
+/// Figures 7a/7b (and 8, 9 via the `network`/`follow`/`window` arguments):
+/// latency and misrouted-percentage evolution after a UN→ADV+1 change.
+/// Returns `(latency_table, misroute_table)`.
+pub fn figure7(
+    scale: &Scale,
+    network: NetworkConfig,
+    load: f64,
+    follow: u64,
+    window: i64,
+    title: &str,
+) -> (Table, Table) {
+    let routings = [
+        RoutingKind::PiggyBacking,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Hybrid,
+        RoutingKind::Ectn,
+    ];
+    let reports: Vec<TransientReport> = routings
+        .iter()
+        .map(|&r| transient_run(scale, r, network, load, follow))
+        .collect();
+
+    let mut headers: Vec<String> = vec!["cycle".into()];
+    headers.extend(routings.iter().map(|r| r.label().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut latency = Table::new(format!("{title} — average latency (cycles)"), &header_refs);
+    let mut misroute = Table::new(format!("{title} — misrouted packets (%)"), &header_refs);
+
+    let start = -(window / 4);
+    let mut t = start;
+    while t < follow as i64 {
+        let mut lat_row = vec![t as f64];
+        let mut mis_row = vec![t as f64];
+        for report in &reports {
+            lat_row.push(report.mean_latency_between(t, t + window));
+            mis_row.push(report.mean_misroute_between(t, t + window));
+        }
+        latency.push_numeric_row(&lat_row, 1);
+        misroute.push_numeric_row(&mis_row, 1);
+        t += window;
+    }
+    (latency, misroute)
+}
+
+/// Figure 9: long-timescale latency evolution for PB versus ECtN, exposing
+/// PB's oscillations. Returns the latency table plus a summary table with the
+/// post-convergence oscillation amplitude (std-dev of window means).
+pub fn figure9(scale: &Scale, load: f64, follow: u64, window: i64) -> (Table, Table) {
+    let routings = [RoutingKind::PiggyBacking, RoutingKind::Ectn];
+    let reports: Vec<TransientReport> = routings
+        .iter()
+        .map(|&r| transient_run(scale, r, scale.network, load, follow))
+        .collect();
+    let mut latency = Table::new(
+        "Figure 9 — latency evolution, PB vs ECtN".to_string(),
+        &["cycle", "PB", "ECtN"],
+    );
+    let mut t = 0i64;
+    while t < follow as i64 {
+        latency.push_numeric_row(
+            &[
+                t as f64,
+                reports[0].mean_latency_between(t, t + window),
+                reports[1].mean_latency_between(t, t + window),
+            ],
+            1,
+        );
+        t += window;
+    }
+    let mut summary = Table::new(
+        "Figure 9 — post-convergence oscillation (std-dev of window-mean latency)",
+        &["routing", "mean latency", "std dev"],
+    );
+    for report in &reports {
+        let mut stats = df_engine::RunningStats::new();
+        let mut w = (follow as i64) / 3;
+        while w < follow as i64 {
+            let m = report.mean_latency_between(w, w + window);
+            if m.is_finite() {
+                stats.push(m);
+            }
+            w += window;
+        }
+        summary.push_row(vec![
+            report.routing.label().to_string(),
+            format!("{:.1}", stats.mean()),
+            format!("{:.2}", stats.std_dev()),
+        ]);
+    }
+    (latency, summary)
+}
+
+/// Figure 10 (a: UN, b: ADV+1): sensitivity of Base to the misrouting
+/// threshold. Returns `(latency_table, throughput_table)`.
+pub fn figure10(scale: &Scale, pattern: PatternKind, thresholds: &[u32]) -> (Table, Table) {
+    let loads = match pattern {
+        PatternKind::Uniform => &scale.uniform_loads,
+        _ => &scale.adversarial_loads,
+    };
+    let mut headers: Vec<String> = vec!["offered_load".into()];
+    headers.extend(thresholds.iter().map(|t| format!("th={t}")));
+    let reference = match pattern {
+        PatternKind::Uniform => RoutingKind::Minimal,
+        _ => RoutingKind::Valiant,
+    };
+    headers.push(reference.label().to_string());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut latency = Table::new(
+        format!("Figure 10 ({}) — Base threshold sensitivity, latency (cycles)", pattern.label()),
+        &header_refs,
+    );
+    let mut throughput = Table::new(
+        format!(
+            "Figure 10 ({}) — Base threshold sensitivity, accepted load (phits/node/cycle)",
+            pattern.label()
+        ),
+        &header_refs,
+    );
+
+    // one load sweep per threshold plus the oblivious reference
+    let mut series: Vec<Vec<SteadyStateReport>> = thresholds
+        .iter()
+        .map(|&th| {
+            let configs: Vec<SimulationConfig> = loads
+                .iter()
+                .map(|&load| {
+                    let mut c = base_config(scale, RoutingKind::Base, pattern, load);
+                    c.routing_config = c.routing_config.with_contention_threshold(th);
+                    c
+                })
+                .collect();
+            run_sweep(&configs, scale.seeds, df_sim::num_threads())
+        })
+        .collect();
+    let reference_series = {
+        let configs: Vec<SimulationConfig> = loads
+            .iter()
+            .map(|&load| base_config(scale, reference, pattern, load))
+            .collect();
+        run_sweep(&configs, scale.seeds, df_sim::num_threads())
+    };
+    series.push(reference_series);
+
+    for (i, &load) in loads.iter().enumerate() {
+        let mut lat_row = vec![load];
+        let mut thr_row = vec![load];
+        for s in &series {
+            lat_row.push(s[i].avg_packet_latency);
+            thr_row.push(s[i].accepted_load);
+        }
+        latency.push_numeric_row(&lat_row, 2);
+        throughput.push_numeric_row(&thr_row, 4);
+    }
+    (latency, throughput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_sets_match_the_paper_figures() {
+        let un = figure5_routings(PatternKind::Uniform);
+        assert_eq!(un[0], RoutingKind::Minimal);
+        assert_eq!(un.len(), 6);
+        let adv = figure5_routings(PatternKind::Adversarial { offset: 1 });
+        assert_eq!(adv[0], RoutingKind::Valiant);
+    }
+
+    #[test]
+    fn table1_lists_every_parameter_row() {
+        let t = table1(&Scale::paper());
+        assert_eq!(t.num_rows(), 14);
+        assert_eq!(t.cell(0, 1).unwrap(), "31 ports (h=8 global, p=8 injection, 15 local)");
+        assert!(t.cell(4, 1).unwrap().contains("129 groups, 16512"));
+    }
+
+    #[test]
+    fn figure5_bench_scale_produces_full_tables() {
+        let scale = Scale::bench();
+        let (lat, thr) = figure5(&scale, PatternKind::Uniform);
+        assert_eq!(lat.num_rows(), scale.uniform_loads.len());
+        assert_eq!(thr.num_rows(), scale.uniform_loads.len());
+        assert_eq!(lat.headers().len(), 7);
+        // latency numbers are positive and finite at the lowest load
+        let first = lat.cell(0, 1).unwrap().parse::<f64>().unwrap();
+        assert!(first > 0.0);
+    }
+
+    #[test]
+    fn figure7_bench_scale_produces_series() {
+        let scale = Scale::bench();
+        let (lat, mis) = figure7(&scale, scale.network, 0.2, 300, 50, "Figure 7 (bench)");
+        assert!(lat.num_rows() > 3);
+        assert_eq!(lat.num_rows(), mis.num_rows());
+        assert_eq!(lat.headers().len(), 6);
+    }
+}

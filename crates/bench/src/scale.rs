@@ -1,0 +1,148 @@
+//! Experiment scales: how large a network and how long a run.
+//!
+//! The paper simulates a 16,512-node Dragonfly for 15,000 measured cycles,
+//! averaging 10 seeds per point. That is reproducible here
+//! (`Scale::paper()`), but the default scales keep the balanced `a = 2p = 2h`
+//! proportion at laptop-friendly sizes so every figure regenerates in
+//! minutes. `EXPERIMENTS.md` records which scale each reported run used.
+
+use df_model::NetworkConfig;
+use df_topology::DragonflyParams;
+
+/// A named experiment scale.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Human-readable name ("small", "medium", "paper").
+    pub name: &'static str,
+    /// Dragonfly sizing.
+    pub topology: DragonflyParams,
+    /// Router/link configuration.
+    pub network: NetworkConfig,
+    /// Warm-up cycles before measurement.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Seeds averaged per point.
+    pub seeds: u64,
+    /// Offered-load points for uniform-traffic sweeps.
+    pub uniform_loads: Vec<f64>,
+    /// Offered-load points for adversarial-traffic sweeps.
+    pub adversarial_loads: Vec<f64>,
+}
+
+impl Scale {
+    /// 72-node network, single seed: regenerates every figure in a couple of
+    /// minutes. This is the scale used for the committed `EXPERIMENTS.md`
+    /// numbers.
+    pub fn small() -> Self {
+        Scale {
+            name: "small",
+            topology: DragonflyParams::small(),
+            network: NetworkConfig::paper_table1(),
+            warmup: 3_000,
+            measure: 6_000,
+            seeds: 2,
+            uniform_loads: vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            adversarial_loads: vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5],
+        }
+    }
+
+    /// 1,056-node network (p=4, a=8, h=4), closer to the paper's threshold
+    /// calibration; minutes to hours depending on the figure.
+    pub fn medium() -> Self {
+        Scale {
+            name: "medium",
+            topology: DragonflyParams::medium(),
+            network: NetworkConfig::paper_table1(),
+            warmup: 5_000,
+            measure: 10_000,
+            seeds: 3,
+            uniform_loads: vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            adversarial_loads: vec![0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5],
+        }
+    }
+
+    /// The paper's full Table I configuration: 16,512 nodes, 10 seeds,
+    /// 15,000 measured cycles. Expect long runs.
+    pub fn paper() -> Self {
+        Scale {
+            name: "paper",
+            topology: DragonflyParams::paper_table1(),
+            network: NetworkConfig::paper_table1(),
+            warmup: 10_000,
+            measure: 15_000,
+            seeds: 10,
+            uniform_loads: vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+            adversarial_loads: vec![0.01, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5],
+        }
+    }
+
+    /// A deliberately tiny scale used by the Criterion benches so `cargo
+    /// bench` finishes quickly while still executing the full code path.
+    pub fn bench() -> Self {
+        Scale {
+            name: "bench",
+            topology: DragonflyParams::small(),
+            network: NetworkConfig::fast_test(),
+            warmup: 200,
+            measure: 400,
+            seeds: 1,
+            uniform_loads: vec![0.1, 0.3],
+            adversarial_loads: vec![0.1, 0.3],
+        }
+    }
+
+    /// Parse a scale name from a CLI argument.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "small" => Some(Self::small()),
+            "medium" => Some(Self::medium()),
+            "paper" => Some(Self::paper()),
+            "bench" => Some(Self::bench()),
+            _ => None,
+        }
+    }
+
+    /// Scale named on the command line (first free argument), defaulting to
+    /// small.
+    pub fn from_args() -> Self {
+        for arg in std::env::args().skip(1) {
+            if let Some(scale) = Self::from_name(&arg) {
+                return scale;
+            }
+        }
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_scales_resolve() {
+        assert_eq!(Scale::from_name("small").unwrap().name, "small");
+        assert_eq!(Scale::from_name("medium").unwrap().name, "medium");
+        assert_eq!(Scale::from_name("paper").unwrap().name, "paper");
+        assert!(Scale::from_name("galactic").is_none());
+    }
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        let s = Scale::paper();
+        assert_eq!(s.topology.num_nodes(), 16_512);
+        assert_eq!(s.measure, 15_000);
+        assert_eq!(s.seeds, 10);
+    }
+
+    #[test]
+    fn load_points_are_sorted_and_in_range() {
+        for scale in [Scale::small(), Scale::medium(), Scale::paper(), Scale::bench()] {
+            for loads in [&scale.uniform_loads, &scale.adversarial_loads] {
+                assert!(!loads.is_empty());
+                assert!(loads.windows(2).all(|w| w[0] < w[1]));
+                assert!(loads.iter().all(|&l| l > 0.0 && l <= 1.0));
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Helpers shared by every routing mechanism.
+
+use df_engine::DeterministicRng;
+use df_model::Packet;
+use df_router::Router;
+use df_topology::{GroupId, Port, RouterId};
+
+use crate::decision::{Commitment, Decision, DecisionKind};
+use crate::minimal::{minimal_output, minimal_output_to_router};
+use crate::vcmap::vc_for_next_hop;
+
+/// A continuation decision: follow the hierarchical minimal path towards
+/// `target` (a router the packet is already committed to reach).
+pub fn continuation_to_router(router: &Router, packet: &Packet, target: RouterId) -> Decision {
+    let topo = router.topology();
+    let port = minimal_output_to_router(topo, router.id(), target);
+    Decision {
+        output_port: port,
+        output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+        kind: DecisionKind::Continuation,
+        commitment: Commitment::None,
+    }
+}
+
+/// A plain minimal decision towards the packet's destination.
+pub fn minimal_decision(router: &Router, packet: &Packet) -> Decision {
+    let topo = router.topology();
+    let port = minimal_output(topo, router.id(), packet.dst);
+    Decision::minimal(
+        port,
+        vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+    )
+}
+
+/// Occupancy (in phits) of the path behind an output port, as seen through
+/// credits: staged output-buffer phits plus estimated downstream occupancy.
+/// This is the congestion signal used by the credit-based triggers.
+pub fn output_occupancy(router: &Router, port: Port) -> u32 {
+    let o = router.output(port);
+    o.buffer_occupancy_phits() + o.downstream_occupancy_phits()
+}
+
+/// Pick a uniformly random element of a non-empty slice.
+pub fn pick_random<'a, T>(items: &'a [T], rng: &mut DeterministicRng) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.index(items.len())])
+    }
+}
+
+/// Pick a uniformly random intermediate router outside both `src_group` and
+/// `dst_group` (the Valiant intermediate of VAL and of PB's nonminimal source
+/// routes). Returns `None` when no third group exists.
+pub fn pick_intermediate_router(
+    router: &Router,
+    src_group: GroupId,
+    dst_group: GroupId,
+    rng: &mut DeterministicRng,
+) -> Option<RouterId> {
+    let topo = router.topology();
+    let groups = topo.num_groups();
+    let excluded = if src_group == dst_group { 1 } else { 2 };
+    if groups <= excluded {
+        return None;
+    }
+    // draw a group uniformly among the eligible ones, then a router in it
+    let eligible = groups - excluded;
+    let mut pick = rng.below(eligible as u64) as u32;
+    let mut chosen = None;
+    for g in 0..groups {
+        if g == src_group.0 || g == dst_group.0 {
+            continue;
+        }
+        if pick == 0 {
+            chosen = Some(GroupId(g));
+            break;
+        }
+        pick -= 1;
+    }
+    let group = chosen?;
+    let local_index = rng.below(topo.params().a as u64) as u32;
+    Some(topo.router_at(group, local_index))
+}
+
+/// First-hop decision towards an intermediate router, carrying the Valiant
+/// commitment. `misroute` marks whether the statistics should count the
+/// packet as globally misrouted.
+pub fn valiant_first_hop(
+    router: &Router,
+    packet: &Packet,
+    intermediate: RouterId,
+    misroute: bool,
+) -> Decision {
+    let topo = router.topology();
+    debug_assert_ne!(intermediate, router.id());
+    let port = minimal_output_to_router(topo, router.id(), intermediate);
+    Decision {
+        output_port: port,
+        output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+        kind: DecisionKind::NonminimalGlobal,
+        commitment: Commitment::Intermediate {
+            router: intermediate,
+            misroute,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::{NetworkConfig, PacketId, VcId};
+    use df_topology::{Dragonfly, DragonflyParams, NodeId, PortClass};
+
+    fn router(id: u32) -> Router {
+        let topo = Dragonfly::new(DragonflyParams::small());
+        Router::new(RouterId(id), topo, NetworkConfig::fast_test())
+    }
+
+    fn packet(src: u32, dst: u32) -> Packet {
+        Packet::new(PacketId(0), NodeId(src), NodeId(dst), 8, 0)
+    }
+
+    #[test]
+    fn continuation_routes_minimally_towards_the_target() {
+        let r = router(0);
+        let p = packet(0, 70);
+        let d = continuation_to_router(&r, &p, RouterId(3));
+        assert_eq!(d.kind, DecisionKind::Continuation);
+        assert_eq!(d.output_port.class(r.topology().params()), PortClass::Local);
+        assert_eq!(d.output_vc, VcId(0));
+    }
+
+    #[test]
+    fn minimal_decision_matches_minimal_output() {
+        let r = router(0);
+        let p = packet(0, 70);
+        let d = minimal_decision(&r, &p);
+        assert_eq!(
+            d.output_port,
+            crate::minimal::minimal_output(r.topology(), r.id(), p.dst)
+        );
+        assert_eq!(d.kind, DecisionKind::Minimal);
+    }
+
+    #[test]
+    fn intermediate_router_avoids_src_and_dst_groups() {
+        let r = router(0);
+        let mut rng = DeterministicRng::new(1);
+        let topo = *r.topology();
+        for _ in 0..200 {
+            let inter =
+                pick_intermediate_router(&r, GroupId(0), GroupId(1), &mut rng).expect("exists");
+            let g = topo.router_group(inter);
+            assert_ne!(g, GroupId(0));
+            assert_ne!(g, GroupId(1));
+        }
+    }
+
+    #[test]
+    fn intermediate_router_covers_many_groups() {
+        let r = router(0);
+        let mut rng = DeterministicRng::new(2);
+        let topo = *r.topology();
+        let mut groups = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let inter = pick_intermediate_router(&r, GroupId(0), GroupId(1), &mut rng).unwrap();
+            groups.insert(topo.router_group(inter));
+        }
+        assert_eq!(groups.len(), (topo.num_groups() - 2) as usize);
+    }
+
+    #[test]
+    fn no_intermediate_in_a_two_group_network() {
+        let topo = Dragonfly::new(DragonflyParams::new(2, 4, 2, 2).unwrap());
+        let r = Router::new(RouterId(0), topo, NetworkConfig::fast_test());
+        let mut rng = DeterministicRng::new(3);
+        assert!(pick_intermediate_router(&r, GroupId(0), GroupId(1), &mut rng).is_none());
+    }
+
+    #[test]
+    fn valiant_first_hop_commits_the_intermediate() {
+        let r = router(0);
+        let p = packet(0, 70);
+        let d = valiant_first_hop(&r, &p, RouterId(10), true);
+        assert_eq!(d.kind, DecisionKind::NonminimalGlobal);
+        match d.commitment {
+            Commitment::Intermediate { router, misroute } => {
+                assert_eq!(router, RouterId(10));
+                assert!(misroute);
+            }
+            other => panic!("expected intermediate commitment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pick_random_is_none_on_empty() {
+        let mut rng = DeterministicRng::new(0);
+        let empty: [u32; 0] = [];
+        assert!(pick_random(&empty, &mut rng).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(pick_random(&items, &mut rng).unwrap()));
+    }
+
+    #[test]
+    fn output_occupancy_starts_at_zero() {
+        let r = router(0);
+        for port in df_topology::Port::all(r.topology().params()) {
+            assert_eq!(output_occupancy(&r, port), 0);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The routing algorithms: dispatch and the shared decision skeleton.
+//!
+//! [`RoutingAlgorithm::decide`] first honours any commitment the packet
+//! already carries (a Valiant waypoint, a pending nonminimal global link, a
+//! local detour): those produce *continuation* decisions that simply follow
+//! the committed path minimally. Only packets with no pending commitment
+//! reach the per-mechanism adaptive logic, which may produce a minimal
+//! decision or a new commitment.
+
+pub mod adaptive;
+pub mod common;
+pub mod oblivious;
+pub mod piggyback;
+
+use df_engine::DeterministicRng;
+use df_model::Packet;
+use df_model::RouteObjective;
+use df_router::Router;
+use df_topology::{Port, PortClass, RouterId};
+
+use crate::config::RoutingConfig;
+use crate::decision::{Decision, DecisionKind};
+use crate::kind::RoutingKind;
+use crate::vcmap::vc_for_next_hop;
+
+/// A routing mechanism bound to its configuration.
+///
+/// The object is stateless apart from configuration: all dynamic state
+/// (credits, counters, saturation bits) lives in the [`Router`] it inspects,
+/// which is what lets one instance be shared by every router of the network.
+#[derive(Debug, Clone)]
+pub struct RoutingAlgorithm {
+    kind: RoutingKind,
+    config: RoutingConfig,
+}
+
+impl RoutingAlgorithm {
+    /// Create a routing algorithm of the given kind with the given
+    /// thresholds.
+    pub fn new(kind: RoutingKind, config: RoutingConfig) -> Self {
+        RoutingAlgorithm { kind, config }
+    }
+
+    /// The mechanism kind.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RoutingConfig {
+        &self.config
+    }
+
+    /// Decide the output request for the head packet of `input_port` at
+    /// `router`.
+    ///
+    /// The decision is re-evaluated every cycle until the packet wins the
+    /// switch, so this function never mutates the packet; any commitment is
+    /// carried inside the returned [`Decision`] and applied by the simulator
+    /// at grant time.
+    pub fn decide(
+        &self,
+        router: &Router,
+        input_port: Port,
+        packet: &Packet,
+        rng: &mut DeterministicRng,
+    ) -> Decision {
+        let topo = router.topology();
+        let current = router.id();
+        match packet.routing.objective(topo, current, packet.dst) {
+            RouteObjective::Eject(port) => Decision::ejection(port),
+            RouteObjective::LocalDetour(r) => common::continuation_to_router(router, packet, r),
+            RouteObjective::NonminimalGateway(gateway, gport) => {
+                self.continue_to_gateway(router, packet, gateway, gport)
+            }
+            RouteObjective::Intermediate(r) => common::continuation_to_router(router, packet, r),
+            RouteObjective::Destination(dst_router) => {
+                self.route_to_destination(router, input_port, packet, dst_router, rng)
+            }
+        }
+    }
+
+    fn continue_to_gateway(
+        &self,
+        router: &Router,
+        packet: &Packet,
+        gateway: RouterId,
+        gateway_port: Port,
+    ) -> Decision {
+        if gateway == router.id() {
+            Decision {
+                output_port: gateway_port,
+                output_vc: vc_for_next_hop(packet, PortClass::Global, router.config()),
+                kind: DecisionKind::Continuation,
+                commitment: crate::decision::Commitment::None,
+            }
+        } else {
+            common::continuation_to_router(router, packet, gateway)
+        }
+    }
+
+    fn route_to_destination(
+        &self,
+        router: &Router,
+        input_port: Port,
+        packet: &Packet,
+        dst_router: RouterId,
+        rng: &mut DeterministicRng,
+    ) -> Decision {
+        debug_assert_ne!(dst_router, router.id(), "ejection is handled by the objective");
+        match self.kind {
+            RoutingKind::Minimal => oblivious::minimal_decision(router, packet),
+            RoutingKind::Valiant => {
+                oblivious::valiant_decision(&self.config, router, input_port, packet, rng)
+            }
+            RoutingKind::PiggyBacking => {
+                piggyback::decide(&self.config, router, input_port, packet, rng)
+            }
+            RoutingKind::Olm | RoutingKind::Base | RoutingKind::Hybrid | RoutingKind::Ectn => {
+                adaptive::decide(self.kind, &self.config, router, input_port, packet, rng)
+            }
+        }
+    }
+}

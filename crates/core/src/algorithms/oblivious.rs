@@ -1,0 +1,113 @@
+//! Oblivious mechanisms: MIN and VAL.
+
+use df_engine::DeterministicRng;
+use df_model::Packet;
+use df_router::Router;
+use df_topology::{Port, PortClass};
+
+use crate::algorithms::common;
+use crate::config::RoutingConfig;
+use crate::decision::Decision;
+
+/// MIN: always follow the hierarchical minimal path.
+pub fn minimal_decision(router: &Router, packet: &Packet) -> Decision {
+    common::minimal_decision(router, packet)
+}
+
+/// VAL: at the source router, commit to a uniformly random intermediate
+/// router in a third group and route minimally to it, then minimally to the
+/// destination (the continuation is handled by the packet's objective once
+/// the commitment is applied). Falls back to minimal routing when no third
+/// group exists.
+pub fn valiant_decision(
+    _config: &RoutingConfig,
+    router: &Router,
+    input_port: Port,
+    packet: &Packet,
+    rng: &mut DeterministicRng,
+) -> Decision {
+    let topo = router.topology();
+    let at_source = packet.hops() == 0
+        && input_port.class(topo.params()) == PortClass::Terminal
+        && packet.routing.intermediate_router.is_none()
+        && !packet.routing.globally_misrouted();
+    if !at_source {
+        return common::minimal_decision(router, packet);
+    }
+    let src_group = topo.node_group(packet.src);
+    let dst_group = topo.node_group(packet.dst);
+    match common::pick_intermediate_router(router, src_group, dst_group, rng) {
+        Some(intermediate) if intermediate != router.id() => {
+            common::valiant_first_hop(router, packet, intermediate, true)
+        }
+        _ => common::minimal_decision(router, packet),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::{Commitment, DecisionKind};
+    use crate::minimal::minimal_output;
+    use df_model::{NetworkConfig, Packet, PacketId};
+    use df_topology::{Dragonfly, DragonflyParams, NodeId, RouterId};
+
+    fn router(id: u32) -> Router {
+        let topo = Dragonfly::new(DragonflyParams::small());
+        Router::new(RouterId(id), topo, NetworkConfig::fast_test())
+    }
+
+    fn packet(src: u32, dst: u32) -> Packet {
+        Packet::new(PacketId(0), NodeId(src), NodeId(dst), 8, 0)
+    }
+
+    #[test]
+    fn min_always_selects_the_minimal_output() {
+        let r = router(0);
+        for dst in [5u32, 20, 71] {
+            let p = packet(0, dst);
+            let d = minimal_decision(&r, &p);
+            assert_eq!(d.output_port, minimal_output(r.topology(), r.id(), NodeId(dst)));
+            assert_eq!(d.kind, DecisionKind::Minimal);
+            assert_eq!(d.commitment, Commitment::None);
+        }
+    }
+
+    #[test]
+    fn val_commits_an_intermediate_at_the_source() {
+        let r = router(0);
+        let p = packet(0, 40); // source node 0 attaches to router 0
+        let mut rng = DeterministicRng::new(5);
+        let d = valiant_decision(&RoutingConfig::default(), &r, Port(0), &p, &mut rng);
+        assert_eq!(d.kind, DecisionKind::NonminimalGlobal);
+        match d.commitment {
+            Commitment::Intermediate { router: inter, misroute } => {
+                assert!(misroute);
+                let g = r.topology().router_group(inter);
+                assert_ne!(g, r.topology().node_group(NodeId(0)));
+                assert_ne!(g, r.topology().node_group(NodeId(40)));
+            }
+            other => panic!("expected intermediate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn val_in_transit_is_minimal() {
+        let r = router(10);
+        let mut p = packet(0, 40);
+        p.routing.local_hops = 1; // not at the source any more
+        let mut rng = DeterministicRng::new(5);
+        let d = valiant_decision(&RoutingConfig::default(), &r, Port(3), &p, &mut rng);
+        assert_eq!(d.kind, DecisionKind::Minimal);
+    }
+
+    #[test]
+    fn val_falls_back_to_minimal_without_a_third_group() {
+        let topo = Dragonfly::new(DragonflyParams::new(2, 4, 2, 2).unwrap());
+        let r = Router::new(RouterId(0), topo, NetworkConfig::fast_test());
+        let p = packet(0, 10); // group 1 destination
+        let mut rng = DeterministicRng::new(5);
+        let d = valiant_decision(&RoutingConfig::default(), &r, Port(0), &p, &mut rng);
+        assert_eq!(d.kind, DecisionKind::Minimal);
+    }
+}

@@ -1,0 +1,226 @@
+//! Routing-mechanism configuration: the misrouting thresholds of Table I and
+//! the calibration rule of §VI-A.
+
+use df_model::VcConfig;
+use df_topology::DragonflyParams;
+use serde::{Deserialize, Serialize};
+
+/// Thresholds and policy knobs for every routing mechanism.
+///
+/// Defaults are the paper's Table I values, which are calibrated for the
+/// 31-port, `p=8` router. For scaled-down networks use
+/// [`RoutingConfig::calibrated_for`], which applies the paper's §VI-A rule to
+/// the actual router geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Base/ECtN contention threshold `th`: misroute when the contention
+    /// counter of the minimal output exceeds this value (Table I: 6).
+    pub contention_threshold: u32,
+    /// Hybrid's contention threshold (Table I: 7 — higher than Base because
+    /// the credit trigger provides a second chance to misroute).
+    pub hybrid_contention_threshold: u32,
+    /// ECtN combined-counter threshold for misrouting at injection
+    /// (Table I: 10).
+    pub ectn_combined_threshold: u32,
+    /// ECtN partial-array broadcast period in cycles (Table I: 100).
+    pub ectn_update_period: u64,
+    /// OLM relative congestion threshold: misroute when the nonminimal
+    /// output's occupancy is below this fraction of the minimal output's
+    /// occupancy (Table I: 50 %).
+    pub olm_congestion_fraction: f64,
+    /// Hybrid's credit-trigger fraction (Table I: 35 %).
+    pub hybrid_congestion_fraction: f64,
+    /// Minimum occupancy (in packets) of the minimal output before a
+    /// credit-based trigger is considered at all; avoids misrouting between
+    /// two empty ports.
+    pub credit_trigger_min_packets: u32,
+    /// PB UGAL-style threshold `T`, in packets (Table I: 3).
+    pub pb_ugal_threshold_packets: u32,
+    /// Occupancy fraction above which PB marks one of its global links
+    /// saturated (not listed in Table I; FOGSim uses a comparable
+    /// fraction-of-buffer rule).
+    pub pb_saturation_fraction: f64,
+    /// Whether in-transit mechanisms may misroute locally in the intermediate
+    /// and destination groups (the paper's OLM-style policy; disabling it is
+    /// used by the ablation benches).
+    pub allow_local_misroute: bool,
+    /// Whether global misrouting may also be selected after the first local
+    /// hop, not only at injection (PAR-style, used by OLM and the contention
+    /// mechanisms).
+    pub allow_global_misroute_after_hop: bool,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig {
+            contention_threshold: 6,
+            hybrid_contention_threshold: 7,
+            ectn_combined_threshold: 10,
+            ectn_update_period: 100,
+            olm_congestion_fraction: 0.50,
+            hybrid_congestion_fraction: 0.35,
+            credit_trigger_min_packets: 1,
+            pb_ugal_threshold_packets: 3,
+            pb_saturation_fraction: 0.50,
+            allow_local_misroute: true,
+            allow_global_misroute_after_hop: true,
+        }
+    }
+}
+
+impl RoutingConfig {
+    /// The paper's Table I thresholds.
+    pub fn paper_table1() -> Self {
+        Self::default()
+    }
+
+    /// Apply the paper's §VI-A calibration rule to an arbitrary router
+    /// geometry:
+    ///
+    /// * under saturation the average contention-counter value approaches the
+    ///   mean number of input VCs per port, so the threshold is set to twice
+    ///   that value (rounded up) to avoid false triggers under uniform
+    ///   traffic;
+    /// * the threshold must stay low enough that the `p` injection ports
+    ///   (with their VCs) can trigger misrouting under adversarial traffic,
+    ///   so it is capped just below `p × injection_vcs`;
+    /// * Hybrid gets one extra unit of contention threshold; the ECtN
+    ///   combined threshold is twice the per-link average of remote-bound
+    ///   head packets in a group.
+    pub fn calibrated_for(params: &DragonflyParams, vcs: &VcConfig) -> Self {
+        let injection_ports = params.p;
+        let local_ports = params.a - 1;
+        let global_ports = params.h;
+        let mean_vcs = vcs.mean_vcs_per_port(injection_ports, local_ports, global_ports);
+        // Uniform-traffic constraint: stay above the saturation average.
+        let uniform_floor = (2.0 * mean_vcs).ceil() as u32;
+        // Adversarial constraint: the injection ports alone must be able to
+        // push a counter over the threshold well before their VCs are all
+        // backed up, so cap at half of the registrable injection demand.
+        let adv_cap = ((params.p * vcs.injection as u32) / 2).max(2);
+        // §VI-A: within the valid range pick the lowest value (favours
+        // adversarial latency); when the two constraints conflict (very small
+        // routers) the adversarial one wins, trading a little uniform-traffic
+        // latency.
+        let th = uniform_floor.min(adv_cap).max(2);
+        // The ECtN combined threshold keeps the paper's ratio to the local
+        // threshold (10 vs 6).
+        let combined = ((th as f64 * 10.0 / 6.0).round() as u32).max(th + 1);
+        RoutingConfig {
+            contention_threshold: th,
+            hybrid_contention_threshold: th + 1,
+            ectn_combined_threshold: combined,
+            ..Self::default()
+        }
+    }
+
+    /// Same calibration but overriding the Base/ECtN contention threshold
+    /// (used by the Figure 10 threshold-sensitivity sweep).
+    pub fn with_contention_threshold(mut self, th: u32) -> Self {
+        self.contention_threshold = th;
+        self
+    }
+
+    /// Override the ECtN combined threshold.
+    pub fn with_ectn_combined_threshold(mut self, th: u32) -> Self {
+        self.ectn_combined_threshold = th;
+        self
+    }
+
+    /// Basic sanity checks.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.olm_congestion_fraction) {
+            return Err("OLM congestion fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.hybrid_congestion_fraction) {
+            return Err("Hybrid congestion fraction must be in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.pb_saturation_fraction) {
+            return Err("PB saturation fraction must be in [0,1]".into());
+        }
+        if self.ectn_update_period == 0 {
+            return Err("ECtN update period must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let c = RoutingConfig::paper_table1();
+        assert_eq!(c.contention_threshold, 6);
+        assert_eq!(c.hybrid_contention_threshold, 7);
+        assert_eq!(c.ectn_combined_threshold, 10);
+        assert_eq!(c.ectn_update_period, 100);
+        assert!((c.olm_congestion_fraction - 0.50).abs() < 1e-9);
+        assert!((c.hybrid_congestion_fraction - 0.35).abs() < 1e-9);
+        assert_eq!(c.pb_ugal_threshold_packets, 3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn calibration_reproduces_paper_scale_thresholds() {
+        // With the *paper's* VC counts (3/3/2) and geometry (8/16/8), the
+        // §VI-A analysis gives mean 2.74 VCs/port and th = 6.
+        let params = DragonflyParams::paper_table1();
+        let paper_vcs = VcConfig {
+            injection: 3,
+            local: 3,
+            global: 2,
+        };
+        let c = RoutingConfig::calibrated_for(&params, &paper_vcs);
+        assert_eq!(c.contention_threshold, 6);
+        assert_eq!(c.hybrid_contention_threshold, 7);
+        assert_eq!(c.ectn_combined_threshold, 10);
+    }
+
+    #[test]
+    fn calibration_scales_down_for_small_networks() {
+        let params = DragonflyParams::small(); // p=2,a=4,h=2
+        let vcs = VcConfig::default();
+        let c = RoutingConfig::calibrated_for(&params, &vcs);
+        // must stay strictly below p * injection_vcs = 6 so adversarial
+        // traffic can trigger misrouting at the source router
+        assert!(c.contention_threshold < 6);
+        assert!(c.contention_threshold >= 2);
+        assert!(c.ectn_combined_threshold > c.contention_threshold);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn calibration_for_medium_network_matches_paper_values() {
+        let params = DragonflyParams::medium(); // p=4,a=8,h=4
+        let vcs = VcConfig::default(); // 3/4/2
+        let c = RoutingConfig::calibrated_for(&params, &vcs);
+        // uniform floor = ceil(2*3.2) = 7, adversarial cap = 4*3/2 = 6 → 6,
+        // i.e. the same threshold the paper uses for its (larger) router
+        assert_eq!(c.contention_threshold, 6);
+        assert_eq!(c.ectn_combined_threshold, 10);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = RoutingConfig::paper_table1()
+            .with_contention_threshold(4)
+            .with_ectn_combined_threshold(8);
+        assert_eq!(c.contention_threshold, 4);
+        assert_eq!(c.ectn_combined_threshold, 8);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fractions() {
+        let mut c = RoutingConfig::default();
+        c.olm_congestion_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = RoutingConfig::default();
+        c.pb_saturation_fraction = -0.1;
+        assert!(c.validate().is_err());
+        let mut c = RoutingConfig::default();
+        c.ectn_update_period = 0;
+        assert!(c.validate().is_err());
+    }
+}

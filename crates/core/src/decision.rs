@@ -1,0 +1,136 @@
+//! Routing decisions handed from the routing algorithm to the simulator.
+
+use df_model::VcId;
+use df_topology::{Port, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// Why the chosen output was selected — used by the statistics and by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionKind {
+    /// Eject to the destination node.
+    Ejection,
+    /// Follow the minimal path.
+    Minimal,
+    /// Take (or head towards) a nonminimal global link.
+    NonminimalGlobal,
+    /// Take a nonminimal local detour.
+    NonminimalLocal,
+    /// Continue a previously committed nonminimal path (Valiant waypoint,
+    /// pending global misroute or local detour).
+    Continuation,
+}
+
+/// A commitment the simulator must record on the packet **when the grant is
+/// applied** (not at decision time: adaptive mechanisms re-evaluate their
+/// decision every cycle until the packet actually wins the switch, so a
+/// decision must not mutate the packet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Commitment {
+    /// Nothing to record.
+    None,
+    /// Route through a Valiant-style intermediate router; `misroute` tells
+    /// whether this counts as global misrouting for the statistics (true for
+    /// VAL/PB nonminimal source routing).
+    Intermediate {
+        /// The intermediate router to visit before heading to the
+        /// destination.
+        router: RouterId,
+        /// Whether the statistics should count the packet as globally
+        /// misrouted.
+        misroute: bool,
+    },
+    /// Commit to a nonminimal global link: `gateway` is the router of the
+    /// current group owning it, `port` its global port.
+    NonminimalGlobal {
+        /// Router owning the nonminimal global link.
+        gateway: RouterId,
+        /// Global port of that router.
+        port: Port,
+    },
+    /// Commit to a local detour through `router` in the current group.
+    LocalDetour {
+        /// The detour router.
+        router: RouterId,
+    },
+}
+
+/// The output of a routing decision for one head packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Output port to request.
+    pub output_port: Port,
+    /// Downstream virtual channel to request on that output.
+    pub output_vc: VcId,
+    /// Classification of the decision.
+    pub kind: DecisionKind,
+    /// Commitment to apply to the packet when the request is granted.
+    pub commitment: Commitment,
+}
+
+impl Decision {
+    /// A plain minimal-path decision with no commitment.
+    pub fn minimal(output_port: Port, output_vc: VcId) -> Self {
+        Decision {
+            output_port,
+            output_vc,
+            kind: DecisionKind::Minimal,
+            commitment: Commitment::None,
+        }
+    }
+
+    /// An ejection decision.
+    pub fn ejection(output_port: Port) -> Self {
+        Decision {
+            output_port,
+            output_vc: VcId(0),
+            kind: DecisionKind::Ejection,
+            commitment: Commitment::None,
+        }
+    }
+
+    /// Whether this decision commits or continues a nonminimal path.
+    pub fn is_nonminimal(&self) -> bool {
+        matches!(
+            self.kind,
+            DecisionKind::NonminimalGlobal | DecisionKind::NonminimalLocal
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let d = Decision::minimal(Port(3), VcId(1));
+        assert_eq!(d.output_port, Port(3));
+        assert_eq!(d.output_vc, VcId(1));
+        assert_eq!(d.kind, DecisionKind::Minimal);
+        assert_eq!(d.commitment, Commitment::None);
+        assert!(!d.is_nonminimal());
+
+        let e = Decision::ejection(Port(0));
+        assert_eq!(e.kind, DecisionKind::Ejection);
+        assert_eq!(e.output_vc, VcId(0));
+    }
+
+    #[test]
+    fn nonminimal_classification() {
+        let d = Decision {
+            output_port: Port(5),
+            output_vc: VcId(0),
+            kind: DecisionKind::NonminimalGlobal,
+            commitment: Commitment::NonminimalGlobal {
+                gateway: RouterId(2),
+                port: Port(5),
+            },
+        };
+        assert!(d.is_nonminimal());
+        let c = Decision {
+            kind: DecisionKind::Continuation,
+            ..d
+        };
+        assert!(!c.is_nonminimal());
+    }
+}

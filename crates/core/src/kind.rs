@@ -1,0 +1,170 @@
+//! The routing mechanisms evaluated in the paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which routing mechanism a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Oblivious hierarchical minimal routing.
+    Minimal,
+    /// Oblivious Valiant routing through a random intermediate router.
+    Valiant,
+    /// PiggyBacking: source-adaptive MIN/VAL selection driven by credit
+    /// occupancy and piggybacked global-link saturation bits (ECN-style).
+    PiggyBacking,
+    /// Opportunistic Local Misrouting: in-transit adaptive, credit-based
+    /// global and local misrouting (the best previous in-transit mechanism).
+    Olm,
+    /// Contention-counter misrouting trigger (the paper's Base mechanism).
+    Base,
+    /// Contention counters combined with a credit-based trigger (the paper's
+    /// Hybrid mechanism).
+    Hybrid,
+    /// Explicit Contention Notification: group-distributed contention
+    /// counters driving misrouting at injection (the paper's ECtN
+    /// mechanism).
+    Ectn,
+}
+
+impl RoutingKind {
+    /// All mechanisms, in the order the paper's figures list them.
+    pub const ALL: [RoutingKind; 7] = [
+        RoutingKind::Minimal,
+        RoutingKind::Valiant,
+        RoutingKind::PiggyBacking,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Hybrid,
+        RoutingKind::Ectn,
+    ];
+
+    /// The adaptive mechanisms compared in most figures (everything except
+    /// the oblivious references).
+    pub const ADAPTIVE: [RoutingKind; 5] = [
+        RoutingKind::PiggyBacking,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Hybrid,
+        RoutingKind::Ectn,
+    ];
+
+    /// The contention-based mechanisms introduced by the paper.
+    pub const CONTENTION_BASED: [RoutingKind; 3] =
+        [RoutingKind::Base, RoutingKind::Hybrid, RoutingKind::Ectn];
+
+    /// Label used in tables and figures ("MIN", "VAL", "PB", "OLM", "Base",
+    /// "Hybrid", "ECtN").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingKind::Minimal => "MIN",
+            RoutingKind::Valiant => "VAL",
+            RoutingKind::PiggyBacking => "PB",
+            RoutingKind::Olm => "OLM",
+            RoutingKind::Base => "Base",
+            RoutingKind::Hybrid => "Hybrid",
+            RoutingKind::Ectn => "ECtN",
+        }
+    }
+
+    /// Whether the mechanism adapts to network state (MIN and VAL are
+    /// oblivious).
+    pub fn is_adaptive(&self) -> bool {
+        !matches!(self, RoutingKind::Minimal | RoutingKind::Valiant)
+    }
+
+    /// Whether the mechanism uses contention counters (the paper's
+    /// contribution).
+    pub fn uses_contention_counters(&self) -> bool {
+        matches!(self, RoutingKind::Base | RoutingKind::Hybrid | RoutingKind::Ectn)
+    }
+
+    /// Whether the mechanism uses credit/occupancy information to trigger
+    /// misrouting.
+    pub fn uses_credit_trigger(&self) -> bool {
+        matches!(
+            self,
+            RoutingKind::PiggyBacking | RoutingKind::Olm | RoutingKind::Hybrid
+        )
+    }
+
+    /// Whether routing decisions are taken only at the source router
+    /// (source routing) rather than at every hop.
+    pub fn is_source_routed(&self) -> bool {
+        matches!(
+            self,
+            RoutingKind::Minimal | RoutingKind::Valiant | RoutingKind::PiggyBacking
+        )
+    }
+
+    /// Whether the mechanism requires the periodic ECtN partial-array
+    /// broadcast.
+    pub fn needs_ectn_broadcast(&self) -> bool {
+        matches!(self, RoutingKind::Ectn)
+    }
+
+    /// Whether the mechanism requires the PB saturation dissemination.
+    pub fn needs_pb_dissemination(&self) -> bool {
+        matches!(self, RoutingKind::PiggyBacking)
+    }
+}
+
+impl fmt::Display for RoutingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(RoutingKind::Minimal.label(), "MIN");
+        assert_eq!(RoutingKind::Valiant.label(), "VAL");
+        assert_eq!(RoutingKind::PiggyBacking.label(), "PB");
+        assert_eq!(RoutingKind::Olm.label(), "OLM");
+        assert_eq!(RoutingKind::Base.label(), "Base");
+        assert_eq!(RoutingKind::Hybrid.label(), "Hybrid");
+        assert_eq!(RoutingKind::Ectn.label(), "ECtN");
+        assert_eq!(RoutingKind::Ectn.to_string(), "ECtN");
+    }
+
+    #[test]
+    fn classification_flags_are_consistent() {
+        for k in RoutingKind::ALL {
+            if k.uses_contention_counters() {
+                assert!(k.is_adaptive());
+            }
+            if k.uses_credit_trigger() {
+                assert!(k.is_adaptive());
+            }
+        }
+        assert!(!RoutingKind::Minimal.is_adaptive());
+        assert!(!RoutingKind::Valiant.is_adaptive());
+        assert!(RoutingKind::Base.uses_contention_counters());
+        assert!(!RoutingKind::Base.uses_credit_trigger());
+        assert!(RoutingKind::Hybrid.uses_credit_trigger());
+        assert!(RoutingKind::Hybrid.uses_contention_counters());
+        assert!(RoutingKind::Olm.uses_credit_trigger());
+        assert!(!RoutingKind::Olm.uses_contention_counters());
+        assert!(RoutingKind::PiggyBacking.is_source_routed());
+        assert!(!RoutingKind::Base.is_source_routed());
+        assert!(RoutingKind::Ectn.needs_ectn_broadcast());
+        assert!(!RoutingKind::Base.needs_ectn_broadcast());
+        assert!(RoutingKind::PiggyBacking.needs_pb_dissemination());
+    }
+
+    #[test]
+    fn constant_lists_are_disjoint_where_expected() {
+        assert_eq!(RoutingKind::ALL.len(), 7);
+        assert_eq!(RoutingKind::ADAPTIVE.len(), 5);
+        for k in RoutingKind::ADAPTIVE {
+            assert!(k.is_adaptive());
+        }
+        for k in RoutingKind::CONTENTION_BASED {
+            assert!(k.uses_contention_counters());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # df-engine — simulation engine utilities
+//!
+//! Infrastructure shared by the simulator, the traffic generators and the
+//! experiment harness:
+//!
+//! * [`rng`] — deterministic, splittable random-number generation so every
+//!   experiment is exactly reproducible from a single `u64` seed,
+//! * [`stats`] — streaming statistics (mean, variance, confidence intervals)
+//!   and sample-based percentiles,
+//! * [`histogram`] — fixed-width binned histograms (latency distributions),
+//! * [`timeseries`] — binned time series used by the transient experiments
+//!   (Figures 7, 8 and 9 of the paper),
+//! * [`table`] — plain-text / CSV rendering of experiment results, used by
+//!   the figure-regeneration binaries.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::Histogram;
+pub use rng::DeterministicRng;
+pub use stats::{RunningStats, SampleStats};
+pub use table::Table;
+pub use timeseries::{BinnedSeries, TimeSeries};

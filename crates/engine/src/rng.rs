@@ -1,0 +1,195 @@
+//! Deterministic, splittable random number generation.
+//!
+//! Every stochastic component of the simulator (traffic generators, random
+//! tie-breaking in allocators, random nonminimal candidate selection) draws
+//! from a [`DeterministicRng`] derived from the experiment seed. Streams are
+//! *split* per entity (per node, per router) using a mixing function so that
+//! adding a router or reordering the per-cycle iteration does not perturb the
+//! random sequence seen by other entities. This is what makes the paper's
+//! "10 simulations averaged per point" reproducible as `seed in 0..10`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// SplitMix64 finaliser — used to derive statistically independent seeds from
+/// `(seed, stream)` pairs. This is the standard constant set from Vigna's
+/// SplitMix64, which is also what `rand` uses internally to seed from `u64`.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic random number generator with named sub-streams.
+///
+/// Internally wraps [`rand::rngs::SmallRng`] (xoshiro256++ on 64-bit
+/// platforms): fast, not cryptographic, statistically solid — exactly the
+/// trade-off a network simulator wants.
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DeterministicRng {
+    /// Create the root generator for an experiment.
+    pub fn new(seed: u64) -> Self {
+        DeterministicRng {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// The seed this generator (or its ancestor) was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent sub-stream for entity `stream` (e.g. a node or
+    /// router index). Deterministic: the same `(seed, stream)` always produces
+    /// the same sequence, independent of any draws made on `self`.
+    pub fn split(&self, stream: u64) -> DeterministicRng {
+        let mixed = splitmix64(self.seed ^ splitmix64(stream.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)));
+        DeterministicRng {
+            seed: mixed,
+            inner: SmallRng::seed_from_u64(mixed),
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[0, bound)` as `usize`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    #[inline]
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.index(items.len())]
+    }
+
+    /// Raw 64-bit draw.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = DeterministicRng::new(42);
+        let mut b = DeterministicRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_draws() {
+        let root1 = DeterministicRng::new(7);
+        let mut root2 = DeterministicRng::new(7);
+        // consume some draws on root2 before splitting
+        for _ in 0..10 {
+            root2.next_u64();
+        }
+        let mut s1 = root1.split(3);
+        let mut s2 = root2.split(3);
+        for _ in 0..32 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_differ_between_ids() {
+        let root = DeterministicRng::new(7);
+        let mut a = root.split(1);
+        let mut b = root.split(2);
+        let equal = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal < 4);
+    }
+
+    #[test]
+    fn bernoulli_edge_cases() {
+        let mut r = DeterministicRng::new(0);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        assert!(!r.bernoulli(-0.5));
+        assert!(r.bernoulli(2.0));
+    }
+
+    #[test]
+    fn bernoulli_rate_is_close_to_p() {
+        let mut r = DeterministicRng::new(123);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} too far from 0.3");
+    }
+
+    #[test]
+    fn below_and_index_stay_in_range() {
+        let mut r = DeterministicRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+            assert!(r.index(9) < 9);
+        }
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.choose(&items)));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_unit_interval() {
+        let mut r = DeterministicRng::new(99);
+        let mut min: f64 = 1.0;
+        let mut max: f64 = 0.0;
+        for _ in 0..10_000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < 0.01 && max > 0.99);
+    }
+}

@@ -1,0 +1,205 @@
+//! Explicit Contention Notification (ECtN) state — the paper's §III-D.
+//!
+//! Every router keeps two arrays with one counter per *global link of its
+//! group* (`a*h` counters):
+//!
+//! * the **partial** array counts, among the packets at the head of this
+//!   router's injection queues and global input queues, those whose
+//!   destination lies in a remote group — indexed by the group-level global
+//!   link their minimal path would use;
+//! * the **combined** array is the sum of the partial arrays of all routers
+//!   of the group, refreshed every `update_period` cycles when the partial
+//!   arrays are broadcast inside the group.
+//!
+//! Misrouting at injection is triggered when the combined counter of the
+//! minimal global link exceeds the (separate, higher) combined threshold.
+
+use serde::{Deserialize, Serialize};
+
+/// ECtN per-router state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EctnState {
+    partial: Vec<u32>,
+    combined: Vec<u32>,
+}
+
+impl EctnState {
+    /// Create the state for a group with `global_links` global links
+    /// (`a*h`).
+    pub fn new(global_links: usize) -> Self {
+        EctnState {
+            partial: vec![0; global_links],
+            combined: vec![0; global_links],
+        }
+    }
+
+    /// Number of tracked global links.
+    pub fn num_links(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Current partial counter for group-level global link `link`.
+    #[inline]
+    pub fn partial(&self, link: u32) -> u32 {
+        self.partial[link as usize]
+    }
+
+    /// Current combined counter for group-level global link `link` (as of the
+    /// last broadcast).
+    #[inline]
+    pub fn combined(&self, link: u32) -> u32 {
+        self.combined[link as usize]
+    }
+
+    /// Increment the partial counter for `link` (a packet bound to a remote
+    /// group reached the head of an injection or global input queue).
+    #[inline]
+    pub fn increment_partial(&mut self, link: u32) {
+        self.partial[link as usize] += 1;
+    }
+
+    /// Decrement the partial counter for `link` (that packet left its input
+    /// queue).
+    ///
+    /// # Panics
+    /// Panics on underflow (bookkeeping bug in the caller).
+    #[inline]
+    pub fn decrement_partial(&mut self, link: u32) {
+        let c = &mut self.partial[link as usize];
+        assert!(*c > 0, "ECtN partial counter underflow on link {link}");
+        *c -= 1;
+    }
+
+    /// Snapshot of the partial array, as broadcast to the rest of the group.
+    pub fn partial_snapshot(&self) -> Vec<u32> {
+        self.partial.clone()
+    }
+
+    /// Install a freshly combined array (the sum of all partial snapshots of
+    /// the group, computed at broadcast time).
+    ///
+    /// # Panics
+    /// Panics if the length does not match the number of global links.
+    pub fn install_combined(&mut self, combined: Vec<u32>) {
+        assert_eq!(
+            combined.len(),
+            self.combined.len(),
+            "combined array size mismatch"
+        );
+        self.combined = combined;
+    }
+
+    /// Sum of the partial counters (total remote-bound head packets seen by
+    /// this router).
+    pub fn partial_total(&self) -> u32 {
+        self.partial.iter().sum()
+    }
+
+    /// True when every partial counter is zero.
+    pub fn partial_all_zero(&self) -> bool {
+        self.partial.iter().all(|&c| c == 0)
+    }
+
+    /// Borrow the combined array.
+    pub fn combined_array(&self) -> &[u32] {
+        &self.combined
+    }
+}
+
+/// Sum a set of partial snapshots into a combined array, as the broadcast
+/// logic of the simulator does once per update period for every group.
+pub fn combine_partials<'a>(partials: impl IntoIterator<Item = &'a [u32]>) -> Vec<u32> {
+    let mut iter = partials.into_iter();
+    let first = match iter.next() {
+        Some(f) => f.to_vec(),
+        None => return Vec::new(),
+    };
+    iter.fold(first, |mut acc, p| {
+        assert_eq!(acc.len(), p.len(), "partial arrays must have equal length");
+        for (a, b) in acc.iter_mut().zip(p.iter()) {
+            *a += b;
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_counters_track_increments() {
+        let mut e = EctnState::new(8);
+        e.increment_partial(3);
+        e.increment_partial(3);
+        e.increment_partial(7);
+        assert_eq!(e.partial(3), 2);
+        assert_eq!(e.partial(7), 1);
+        assert_eq!(e.partial(0), 0);
+        assert_eq!(e.partial_total(), 3);
+        e.decrement_partial(3);
+        assert_eq!(e.partial(3), 1);
+        assert!(!e.partial_all_zero());
+        e.decrement_partial(3);
+        e.decrement_partial(7);
+        assert!(e.partial_all_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn partial_underflow_panics() {
+        let mut e = EctnState::new(4);
+        e.decrement_partial(0);
+    }
+
+    #[test]
+    fn combined_is_installed_not_computed_live() {
+        let mut e = EctnState::new(4);
+        e.increment_partial(1);
+        // combined still reflects the last broadcast (zero)
+        assert_eq!(e.combined(1), 0);
+        e.install_combined(vec![5, 7, 0, 1]);
+        assert_eq!(e.combined(1), 7);
+        assert_eq!(e.combined_array(), &[5, 7, 0, 1]);
+        // partial increments do not leak into combined until next install
+        e.increment_partial(1);
+        assert_eq!(e.combined(1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn combined_size_mismatch_panics() {
+        let mut e = EctnState::new(4);
+        e.install_combined(vec![1, 2]);
+    }
+
+    #[test]
+    fn combine_partials_sums_elementwise() {
+        let a = vec![1, 0, 2];
+        let b = vec![0, 3, 1];
+        let c = vec![1, 1, 1];
+        let combined = combine_partials([a.as_slice(), b.as_slice(), c.as_slice()]);
+        assert_eq!(combined, vec![2, 4, 4]);
+        assert!(combine_partials(std::iter::empty::<&[u32]>()).is_empty());
+    }
+
+    #[test]
+    fn figure4_style_combination() {
+        // Figure 4: router A combines the partial arrays received from the
+        // other routers of its group with its own.
+        let mut routers: Vec<EctnState> = (0..4).map(|_| EctnState::new(6)).collect();
+        routers[0].increment_partial(0);
+        routers[1].increment_partial(0);
+        routers[1].increment_partial(2);
+        routers[3].increment_partial(5);
+        let snapshots: Vec<Vec<u32>> = routers.iter().map(|r| r.partial_snapshot()).collect();
+        let combined = combine_partials(snapshots.iter().map(|s| s.as_slice()));
+        for r in routers.iter_mut() {
+            r.install_combined(combined.clone());
+        }
+        assert_eq!(routers[2].combined(0), 2);
+        assert_eq!(routers[2].combined(2), 1);
+        assert_eq!(routers[2].combined(5), 1);
+        assert_eq!(routers[2].combined(1), 0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Input ports and per-VC input buffers.
+//!
+//! Virtual Cut-Through switching: packets are stored whole, occupancy is
+//! accounted in phits, and a packet is removed in one piece when it wins
+//! switch allocation. Each VC additionally tracks which output port the head
+//! packet's *minimal* route uses, so the contention counters can be
+//! incremented exactly once per head packet and decremented when it leaves
+//! (§III-B of the paper).
+
+use df_model::Packet;
+use df_topology::{Port, PortClass};
+use std::collections::VecDeque;
+
+/// A packet removed from an input VC, together with the counter
+/// registrations that must now be released by the caller.
+#[derive(Debug, Clone)]
+pub struct PoppedPacket {
+    /// The packet itself.
+    pub packet: Packet,
+    /// Output port whose contention counter was incremented for this packet
+    /// (to be decremented now).
+    pub registered_min_output: Option<Port>,
+    /// Group-level global link whose ECtN partial counter was incremented for
+    /// this packet (to be decremented now).
+    pub registered_ectn_link: Option<u32>,
+}
+
+/// One virtual channel of an input port.
+#[derive(Debug, Clone)]
+pub struct InputVc {
+    queue: VecDeque<Packet>,
+    capacity_phits: u32,
+    occupancy_phits: u32,
+    /// Output port registered in the contention counters for the current
+    /// head packet (None if the head has not been registered yet).
+    registered_min_output: Option<Port>,
+    /// Group-level global link registered in the ECtN partial array for the
+    /// current head packet.
+    registered_ectn_link: Option<u32>,
+}
+
+impl InputVc {
+    /// Create an empty VC with the given capacity in phits.
+    pub fn new(capacity_phits: u32) -> Self {
+        InputVc {
+            queue: VecDeque::new(),
+            capacity_phits,
+            occupancy_phits: 0,
+            registered_min_output: None,
+            registered_ectn_link: None,
+        }
+    }
+
+    /// Buffer capacity in phits.
+    pub fn capacity_phits(&self) -> u32 {
+        self.capacity_phits
+    }
+
+    /// Occupied phits.
+    pub fn occupancy_phits(&self) -> u32 {
+        self.occupancy_phits
+    }
+
+    /// Free space in phits.
+    pub fn free_phits(&self) -> u32 {
+        self.capacity_phits - self.occupancy_phits
+    }
+
+    /// Number of whole packets queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the VC holds no packet.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a packet of `size_phits` fits.
+    pub fn can_accept(&self, size_phits: u32) -> bool {
+        self.free_phits() >= size_phits
+    }
+
+    /// Enqueue an arriving packet.
+    ///
+    /// # Panics
+    /// Panics if the packet does not fit — credit-based flow control must
+    /// have prevented the upstream router from sending it, so this is a flow
+    /// control bug, not a recoverable condition.
+    pub fn push(&mut self, packet: Packet) {
+        assert!(
+            self.can_accept(packet.size_phits),
+            "input VC overflow: occupancy {}/{} cannot take {} phits (flow-control bug)",
+            self.occupancy_phits,
+            self.capacity_phits,
+            packet.size_phits
+        );
+        self.occupancy_phits += packet.size_phits;
+        self.queue.push_back(packet);
+    }
+
+    /// Peek at the head packet.
+    pub fn head(&self) -> Option<&Packet> {
+        self.queue.front()
+    }
+
+    /// Mutable access to the head packet (routing algorithms update the
+    /// packet's routing state when they commit decisions).
+    pub fn head_mut(&mut self) -> Option<&mut Packet> {
+        self.queue.front_mut()
+    }
+
+    /// Remove and return the head packet, clearing and returning the counter
+    /// registrations so the caller can release them.
+    pub fn pop(&mut self) -> Option<PoppedPacket> {
+        let packet = self.queue.pop_front()?;
+        self.occupancy_phits -= packet.size_phits;
+        Some(PoppedPacket {
+            packet,
+            registered_min_output: self.registered_min_output.take(),
+            registered_ectn_link: self.registered_ectn_link.take(),
+        })
+    }
+
+    /// The output port registered in the contention counters for the current
+    /// head (if any).
+    pub fn registered_min_output(&self) -> Option<Port> {
+        self.registered_min_output
+    }
+
+    /// The ECtN partial-array link registered for the current head (if any).
+    pub fn registered_ectn_link(&self) -> Option<u32> {
+        self.registered_ectn_link
+    }
+
+    /// Record that the current head packet has been registered against
+    /// `port` in the contention counters.
+    pub fn set_registered_min_output(&mut self, port: Port) {
+        debug_assert!(
+            !self.queue.is_empty(),
+            "cannot register contention for an empty VC"
+        );
+        self.registered_min_output = Some(port);
+    }
+
+    /// Record that the current head packet has been registered against
+    /// group-level global link `link` in the ECtN partial array.
+    pub fn set_registered_ectn_link(&mut self, link: u32) {
+        debug_assert!(
+            !self.queue.is_empty(),
+            "cannot register ECtN contention for an empty VC"
+        );
+        self.registered_ectn_link = Some(link);
+    }
+
+    /// Whether the current head still needs to be registered in the
+    /// contention counters.
+    pub fn head_needs_registration(&self) -> bool {
+        !self.queue.is_empty() && self.registered_min_output.is_none()
+    }
+
+    /// Iterate over the queued packets, head first.
+    pub fn iter(&self) -> impl Iterator<Item = &Packet> {
+        self.queue.iter()
+    }
+}
+
+/// An input port: a set of virtual channels plus round-robin state used by
+/// the allocator's input stage.
+#[derive(Debug, Clone)]
+pub struct InputPort {
+    class: PortClass,
+    vcs: Vec<InputVc>,
+    /// Round-robin pointer over VCs for the allocator input stage.
+    next_vc: usize,
+}
+
+impl InputPort {
+    /// Create an input port with `num_vcs` VCs of `capacity_phits` each.
+    pub fn new(class: PortClass, num_vcs: u8, capacity_phits: u32) -> Self {
+        InputPort {
+            class,
+            vcs: (0..num_vcs).map(|_| InputVc::new(capacity_phits)).collect(),
+            next_vc: 0,
+        }
+    }
+
+    /// Port class (terminal / local / global).
+    pub fn class(&self) -> PortClass {
+        self.class
+    }
+
+    /// Number of virtual channels.
+    pub fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Borrow a VC.
+    pub fn vc(&self, vc: usize) -> &InputVc {
+        &self.vcs[vc]
+    }
+
+    /// Mutably borrow a VC.
+    pub fn vc_mut(&mut self, vc: usize) -> &mut InputVc {
+        &mut self.vcs[vc]
+    }
+
+    /// Iterate over the VCs.
+    pub fn vcs(&self) -> impl Iterator<Item = &InputVc> {
+        self.vcs.iter()
+    }
+
+    /// Total queued phits across VCs.
+    pub fn occupancy_phits(&self) -> u32 {
+        self.vcs.iter().map(|v| v.occupancy_phits()).sum()
+    }
+
+    /// Total queued packets across VCs.
+    pub fn queued_packets(&self) -> usize {
+        self.vcs.iter().map(|v| v.len()).sum()
+    }
+
+    /// Round-robin pointer for the allocator's input stage; calling this
+    /// advances the pointer.
+    pub fn take_rr_start(&mut self) -> usize {
+        let s = self.next_vc;
+        self.next_vc = (self.next_vc + 1) % self.vcs.len().max(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::{Packet, PacketId};
+    use df_topology::NodeId;
+
+    fn packet(id: u64, size: u32) -> Packet {
+        Packet::new(PacketId(id), NodeId(0), NodeId(9), size, 0)
+    }
+
+    #[test]
+    fn push_pop_tracks_occupancy() {
+        let mut vc = InputVc::new(32);
+        assert!(vc.is_empty());
+        assert_eq!(vc.free_phits(), 32);
+        vc.push(packet(1, 8));
+        vc.push(packet(2, 8));
+        assert_eq!(vc.len(), 2);
+        assert_eq!(vc.occupancy_phits(), 16);
+        assert_eq!(vc.free_phits(), 16);
+        let popped = vc.pop().unwrap();
+        assert_eq!(popped.packet.id, PacketId(1));
+        assert_eq!(popped.registered_min_output, None);
+        assert_eq!(popped.registered_ectn_link, None);
+        assert_eq!(vc.occupancy_phits(), 8);
+    }
+
+    #[test]
+    fn can_accept_respects_capacity() {
+        let mut vc = InputVc::new(16);
+        assert!(vc.can_accept(8));
+        vc.push(packet(1, 8));
+        assert!(vc.can_accept(8));
+        vc.push(packet(2, 8));
+        assert!(!vc.can_accept(8));
+        assert!(vc.can_accept(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input VC overflow")]
+    fn overflow_is_a_flow_control_bug() {
+        let mut vc = InputVc::new(8);
+        vc.push(packet(1, 8));
+        vc.push(packet(2, 8));
+    }
+
+    #[test]
+    fn registration_lifecycle() {
+        let mut vc = InputVc::new(32);
+        assert!(!vc.head_needs_registration(), "empty VC needs nothing");
+        vc.push(packet(1, 8));
+        assert!(vc.head_needs_registration());
+        vc.set_registered_min_output(Port(4));
+        assert!(!vc.head_needs_registration());
+        assert_eq!(vc.registered_min_output(), Some(Port(4)));
+        vc.set_registered_ectn_link(3);
+        assert_eq!(vc.registered_ectn_link(), Some(3));
+        vc.push(packet(2, 8));
+        // still the same head; no new registration needed
+        assert!(!vc.head_needs_registration());
+        let popped = vc.pop().unwrap();
+        assert_eq!(popped.registered_min_output, Some(Port(4)));
+        assert_eq!(popped.registered_ectn_link, Some(3));
+        // new head needs registration again
+        assert!(vc.head_needs_registration());
+        assert_eq!(vc.registered_ectn_link(), None);
+    }
+
+    #[test]
+    fn head_accessors() {
+        let mut vc = InputVc::new(32);
+        assert!(vc.head().is_none());
+        vc.push(packet(7, 8));
+        assert_eq!(vc.head().unwrap().id, PacketId(7));
+        vc.head_mut().unwrap().routing.local_hops = 2;
+        assert_eq!(vc.head().unwrap().routing.local_hops, 2);
+    }
+
+    #[test]
+    fn input_port_aggregates_vcs() {
+        let mut port = InputPort::new(PortClass::Local, 3, 32);
+        assert_eq!(port.num_vcs(), 3);
+        port.vc_mut(0).push(packet(1, 8));
+        port.vc_mut(2).push(packet(2, 8));
+        assert_eq!(port.occupancy_phits(), 16);
+        assert_eq!(port.queued_packets(), 2);
+        assert_eq!(port.class(), PortClass::Local);
+    }
+
+    #[test]
+    fn round_robin_pointer_cycles() {
+        let mut port = InputPort::new(PortClass::Global, 2, 256);
+        assert_eq!(port.take_rr_start(), 0);
+        assert_eq!(port.take_rr_start(), 1);
+        assert_eq!(port.take_rr_start(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # df-router — router microarchitecture
+//!
+//! An input-output-buffered, virtual-channel, Virtual Cut-Through router
+//! model following the simulation infrastructure of the paper (§IV-B):
+//!
+//! * per-VC input buffers with phit-granularity occupancy accounting
+//!   ([`input`]),
+//! * per-port output buffers, credit-based flow control towards the
+//!   downstream router, and link serialisation state ([`output`]),
+//! * a separable input-first allocator iterated `speedup` times per cycle
+//!   ([`allocator`]),
+//! * the **contention counters** of the paper's §III-B ([`contention`]),
+//! * the ECtN partial/combined counter arrays of §III-D ([`ectn`]),
+//! * the PiggyBacking saturation state used by the PB baseline ([`pb`]),
+//! * the [`Router`] object tying all of the above together ([`router`]).
+//!
+//! The crate deliberately knows nothing about routing *policy*: routing
+//! algorithms live in `df-routing` and read the router state through the
+//! accessors exposed here, and the simulator (`df-sim`) orchestrates the
+//! per-cycle dance between the two.
+
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod contention;
+pub mod ectn;
+pub mod input;
+pub mod output;
+pub mod pb;
+pub mod router;
+
+pub use allocator::{AllocationRequest, Allocator, Grant};
+pub use contention::ContentionCounters;
+pub use ectn::EctnState;
+pub use input::{InputPort, InputVc, PoppedPacket};
+pub use output::OutputPort;
+pub use pb::PbState;
+pub use router::Router;

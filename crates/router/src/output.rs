@@ -1,0 +1,349 @@
+//! Output ports: output buffers, credit-based flow control and link
+//! serialisation.
+//!
+//! Credits model the free space of the *downstream* input buffer, per
+//! downstream VC. They are consumed when a packet is granted the output
+//! (guaranteeing it will fit) and returned by the simulator when the
+//! downstream router removes the packet from its input buffer, delayed by the
+//! link latency — which reproduces the in-flight-credit uncertainty the paper
+//! discusses in §II-B.
+
+use df_model::{Cycle, Packet, VcId};
+use df_topology::PortClass;
+use std::collections::VecDeque;
+
+/// A packet staged in the output buffer, waiting for the link.
+#[derive(Debug, Clone)]
+struct StagedPacket {
+    packet: Packet,
+    /// Downstream VC the packet will occupy.
+    dst_vc: VcId,
+    /// Cycle at which the packet has traversed the router pipeline and may
+    /// start link transmission.
+    ready_at: Cycle,
+}
+
+/// An output port.
+#[derive(Debug, Clone)]
+pub struct OutputPort {
+    class: PortClass,
+    /// Credits (free phits) per downstream VC. Empty for terminal ports,
+    /// which model an always-ready ejection channel.
+    credits: Vec<u32>,
+    /// Capacity of the downstream buffer per VC (maximum credits).
+    credit_capacity: Vec<u32>,
+    /// Output buffer (staging between crossbar and link).
+    buffer: VecDeque<StagedPacket>,
+    buffer_capacity_phits: u32,
+    buffer_occupancy_phits: u32,
+    /// Cycle at which the link becomes free for the next packet.
+    link_free_at: Cycle,
+    /// Round-robin pointer over input ports for the allocator output stage.
+    rr_input: usize,
+}
+
+impl OutputPort {
+    /// Create an output port.
+    ///
+    /// * `downstream_vcs` / `downstream_capacity_per_vc` describe the input
+    ///   buffer at the far end of the link (ignored for terminal ports, pass
+    ///   0 VCs).
+    /// * `buffer_capacity_phits` is the size of the local output buffer.
+    pub fn new(
+        class: PortClass,
+        downstream_vcs: u8,
+        downstream_capacity_per_vc: u32,
+        buffer_capacity_phits: u32,
+    ) -> Self {
+        OutputPort {
+            class,
+            credits: vec![downstream_capacity_per_vc; downstream_vcs as usize],
+            credit_capacity: vec![downstream_capacity_per_vc; downstream_vcs as usize],
+            buffer: VecDeque::new(),
+            buffer_capacity_phits,
+            buffer_occupancy_phits: 0,
+            link_free_at: 0,
+            rr_input: 0,
+        }
+    }
+
+    /// Port class.
+    pub fn class(&self) -> PortClass {
+        self.class
+    }
+
+    /// Number of downstream VCs tracked by credits (0 for terminal ports).
+    pub fn num_downstream_vcs(&self) -> usize {
+        self.credits.len()
+    }
+
+    /// Free credits (phits) for a downstream VC.
+    pub fn credits(&self, vc: VcId) -> u32 {
+        self.credits[vc.index()]
+    }
+
+    /// Maximum credits (downstream buffer capacity) for a VC.
+    pub fn credit_capacity(&self, vc: VcId) -> u32 {
+        self.credit_capacity[vc.index()]
+    }
+
+    /// Total free credits across downstream VCs.
+    pub fn total_credits(&self) -> u32 {
+        self.credits.iter().sum()
+    }
+
+    /// Total downstream capacity across VCs.
+    pub fn total_credit_capacity(&self) -> u32 {
+        self.credit_capacity.iter().sum()
+    }
+
+    /// Occupancy of the output buffer in phits.
+    pub fn buffer_occupancy_phits(&self) -> u32 {
+        self.buffer_occupancy_phits
+    }
+
+    /// Capacity of the output buffer in phits.
+    pub fn buffer_capacity_phits(&self) -> u32 {
+        self.buffer_capacity_phits
+    }
+
+    /// Free space in the output buffer.
+    pub fn buffer_free_phits(&self) -> u32 {
+        self.buffer_capacity_phits - self.buffer_occupancy_phits
+    }
+
+    /// Number of packets staged in the output buffer.
+    pub fn staged_packets(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Downstream occupancy estimate in phits: the phits we know are either
+    /// in flight or sitting in the downstream buffer (capacity minus
+    /// credits). This is the "credit count" view a real router has, including
+    /// its in-flight uncertainty.
+    pub fn downstream_occupancy_phits(&self) -> u32 {
+        self.total_credit_capacity() - self.total_credits()
+    }
+
+    /// The occupancy metric used by credit-based misrouting triggers (OLM,
+    /// Hybrid, PB): staged output phits plus estimated downstream occupancy.
+    pub fn congestion_phits(&self) -> u32 {
+        self.buffer_occupancy_phits + self.downstream_occupancy_phits()
+    }
+
+    /// The corresponding capacity, for relative (percentage) thresholds.
+    pub fn congestion_capacity_phits(&self) -> u32 {
+        self.buffer_capacity_phits + self.total_credit_capacity()
+    }
+
+    /// Whether a packet of `size_phits` destined to downstream VC `vc` can be
+    /// granted this output right now: the output buffer has room and (for
+    /// non-terminal ports) enough credits exist for that VC.
+    pub fn can_accept(&self, vc: VcId, size_phits: u32) -> bool {
+        if self.buffer_free_phits() < size_phits {
+            return false;
+        }
+        if self.class == PortClass::Terminal {
+            return true;
+        }
+        self.credits.get(vc.index()).is_some_and(|&c| c >= size_phits)
+    }
+
+    /// Accept a granted packet into the output buffer. Consumes credits for
+    /// non-terminal ports. `ready_at` is when the router pipeline finishes.
+    ///
+    /// # Panics
+    /// Panics if [`can_accept`](Self::can_accept) would have returned false —
+    /// the allocator must check before granting.
+    pub fn accept(&mut self, packet: Packet, dst_vc: VcId, ready_at: Cycle) {
+        assert!(
+            self.can_accept(dst_vc, packet.size_phits),
+            "output port cannot accept packet (allocator bug)"
+        );
+        self.buffer_occupancy_phits += packet.size_phits;
+        if self.class != PortClass::Terminal {
+            self.credits[dst_vc.index()] -= packet.size_phits;
+        }
+        self.buffer.push_back(StagedPacket {
+            packet,
+            dst_vc,
+            ready_at,
+        });
+    }
+
+    /// Return credits for `phits` on downstream VC `vc` (called when the
+    /// downstream router drains the packet, after the credit propagation
+    /// delay).
+    ///
+    /// # Panics
+    /// Panics if credits would exceed the downstream capacity (double
+    /// return).
+    pub fn return_credits(&mut self, vc: VcId, phits: u32) {
+        let c = &mut self.credits[vc.index()];
+        *c += phits;
+        assert!(
+            *c <= self.credit_capacity[vc.index()],
+            "credit overflow on vc {vc}: {} > {} (double credit return)",
+            *c,
+            self.credit_capacity[vc.index()]
+        );
+    }
+
+    /// If the head-of-buffer packet has cleared the pipeline and the link is
+    /// free, start its transmission: the packet leaves the output buffer, the
+    /// link is busy for `size_phits` cycles (1 phit/cycle serialisation) and
+    /// the packet (with its downstream VC) is returned so the caller can
+    /// schedule its arrival `link_latency` cycles after serialisation
+    /// completes.
+    pub fn try_transmit(&mut self, now: Cycle) -> Option<(Packet, VcId, Cycle)> {
+        if self.link_free_at > now {
+            return None;
+        }
+        let head_ready = self.buffer.front().map(|s| s.ready_at <= now)?;
+        if !head_ready {
+            return None;
+        }
+        let staged = self.buffer.pop_front().expect("checked non-empty");
+        self.buffer_occupancy_phits -= staged.packet.size_phits;
+        let serialisation = staged.packet.size_phits as Cycle;
+        self.link_free_at = now + serialisation;
+        Some((staged.packet, staged.dst_vc, self.link_free_at))
+    }
+
+    /// Cycle at which the link next becomes idle.
+    pub fn link_free_at(&self) -> Cycle {
+        self.link_free_at
+    }
+
+    /// Round-robin pointer for the allocator's output stage; calling this
+    /// advances the pointer (modulo `num_inputs`).
+    pub fn take_rr_start(&mut self, num_inputs: usize) -> usize {
+        let s = self.rr_input % num_inputs.max(1);
+        self.rr_input = (s + 1) % num_inputs.max(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::PacketId;
+    use df_topology::NodeId;
+
+    fn packet(id: u64, size: u32) -> Packet {
+        Packet::new(PacketId(id), NodeId(0), NodeId(5), size, 0)
+    }
+
+    fn port() -> OutputPort {
+        // local-like: 4 downstream VCs of 32 phits, 32-phit output buffer
+        OutputPort::new(PortClass::Local, 4, 32, 32)
+    }
+
+    #[test]
+    fn fresh_port_has_full_credits() {
+        let p = port();
+        assert_eq!(p.total_credits(), 128);
+        assert_eq!(p.credits(VcId(0)), 32);
+        assert_eq!(p.buffer_free_phits(), 32);
+        assert_eq!(p.downstream_occupancy_phits(), 0);
+        assert_eq!(p.congestion_phits(), 0);
+        assert_eq!(p.congestion_capacity_phits(), 32 + 128);
+    }
+
+    #[test]
+    fn accept_consumes_credits_and_buffer_space() {
+        let mut p = port();
+        assert!(p.can_accept(VcId(1), 8));
+        p.accept(packet(1, 8), VcId(1), 5);
+        assert_eq!(p.credits(VcId(1)), 24);
+        assert_eq!(p.buffer_occupancy_phits(), 8);
+        assert_eq!(p.downstream_occupancy_phits(), 8);
+        assert_eq!(p.congestion_phits(), 16);
+        assert_eq!(p.staged_packets(), 1);
+    }
+
+    #[test]
+    fn can_accept_fails_without_credits_or_buffer() {
+        let mut p = OutputPort::new(PortClass::Local, 1, 8, 16);
+        assert!(p.can_accept(VcId(0), 8));
+        p.accept(packet(1, 8), VcId(0), 0);
+        // credits for vc0 exhausted even though buffer has room
+        assert!(!p.can_accept(VcId(0), 8));
+        // fill the buffer through a second VC? only one VC, so grow buffer use
+        p.return_credits(VcId(0), 8);
+        assert!(p.can_accept(VcId(0), 8));
+        p.accept(packet(2, 8), VcId(0), 0);
+        // buffer now 16/16
+        p.return_credits(VcId(0), 8);
+        assert!(!p.can_accept(VcId(0), 8), "output buffer full");
+    }
+
+    #[test]
+    fn terminal_ports_do_not_use_credits() {
+        let mut p = OutputPort::new(PortClass::Terminal, 0, 0, 32);
+        assert!(p.can_accept(VcId(0), 8));
+        p.accept(packet(1, 8), VcId(0), 0);
+        assert_eq!(p.num_downstream_vcs(), 0);
+        assert_eq!(p.total_credits(), 0);
+        assert!(p.can_accept(VcId(0), 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocator bug")]
+    fn accept_without_resources_panics() {
+        let mut p = OutputPort::new(PortClass::Local, 1, 8, 32);
+        p.accept(packet(1, 8), VcId(0), 0);
+        p.accept(packet(2, 8), VcId(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double credit return")]
+    fn credit_overflow_panics() {
+        let mut p = port();
+        p.return_credits(VcId(0), 8);
+    }
+
+    #[test]
+    fn transmit_respects_pipeline_and_serialisation() {
+        let mut p = port();
+        p.accept(packet(1, 8), VcId(0), 5); // ready at cycle 5
+        p.accept(packet(2, 8), VcId(1), 5);
+        // not ready yet
+        assert!(p.try_transmit(4).is_none());
+        // ready: transmission starts, link busy 8 cycles
+        let (sent, vc, done) = p.try_transmit(5).unwrap();
+        assert_eq!(sent.id, PacketId(1));
+        assert_eq!(vc, VcId(0));
+        assert_eq!(done, 13);
+        assert_eq!(p.buffer_occupancy_phits(), 8);
+        // link busy until cycle 13
+        assert!(p.try_transmit(12).is_none());
+        let (sent2, _, done2) = p.try_transmit(13).unwrap();
+        assert_eq!(sent2.id, PacketId(2));
+        assert_eq!(done2, 21);
+        assert_eq!(p.buffer_occupancy_phits(), 0);
+        assert!(p.try_transmit(30).is_none(), "buffer drained");
+    }
+
+    #[test]
+    fn congestion_metric_combines_buffer_and_downstream() {
+        let mut p = OutputPort::new(PortClass::Global, 2, 256, 32);
+        p.accept(packet(1, 8), VcId(0), 0);
+        // packet staged: buffer 8, downstream estimate 8
+        assert_eq!(p.congestion_phits(), 16);
+        let _ = p.try_transmit(0);
+        // left the buffer, still counted downstream until credits return
+        assert_eq!(p.congestion_phits(), 8);
+        p.return_credits(VcId(0), 8);
+        assert_eq!(p.congestion_phits(), 0);
+    }
+
+    #[test]
+    fn rr_pointer_wraps() {
+        let mut p = port();
+        assert_eq!(p.take_rr_start(3), 0);
+        assert_eq!(p.take_rr_start(3), 1);
+        assert_eq!(p.take_rr_start(3), 2);
+        assert_eq!(p.take_rr_start(3), 0);
+    }
+}

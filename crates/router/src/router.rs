@@ -1,0 +1,515 @@
+//! The [`Router`] object: ports, buffers, counters and allocation for one
+//! Dragonfly router.
+
+use df_model::{Cycle, NetworkConfig, Packet, VcId};
+use df_topology::{Dragonfly, GroupId, Port, PortClass, PortPeer, RouterId};
+
+use crate::allocator::{AllocationRequest, Allocator, Grant};
+use crate::contention::ContentionCounters;
+use crate::ectn::EctnState;
+use crate::input::{InputPort, PoppedPacket};
+use crate::output::OutputPort;
+use crate::pb::PbState;
+
+/// Everything the simulator must do after a grant is applied: return credits
+/// upstream and (for non-terminal outputs) know where the packet is heading.
+#[derive(Debug, Clone)]
+pub struct AppliedGrant {
+    /// The grant that was applied.
+    pub grant: Grant,
+    /// Size of the forwarded packet in phits (credits to return upstream).
+    pub freed_phits: u32,
+    /// Class of the input port the packet came from; terminal inputs have no
+    /// upstream router, so no credit message is generated for them.
+    pub input_class: PortClass,
+}
+
+/// An input-output-buffered virtual-channel router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    id: RouterId,
+    topo: Dragonfly,
+    config: NetworkConfig,
+    inputs: Vec<InputPort>,
+    outputs: Vec<OutputPort>,
+    contention: ContentionCounters,
+    ectn: EctnState,
+    pb: PbState,
+    allocator: Allocator,
+}
+
+impl Router {
+    /// Build a router for position `id` of `topo` with the given
+    /// configuration. Input buffers are sized by the class of the *local*
+    /// port; output credits are sized by the class/VC-count of the peer's
+    /// input port at the far end of each link.
+    pub fn new(id: RouterId, topo: Dragonfly, config: NetworkConfig) -> Self {
+        let params = *topo.params();
+        let radix = params.radix();
+        let mut inputs = Vec::with_capacity(radix as usize);
+        let mut outputs = Vec::with_capacity(radix as usize);
+        for port in Port::all(&params) {
+            let class = port.class(&params);
+            inputs.push(InputPort::new(
+                class,
+                config.vcs_for(class),
+                config.input_buffer_for(class),
+            ));
+            // The downstream buffer of an output link is the input buffer of
+            // the same-class port on the peer router (links are symmetric in
+            // class), except terminal ports which eject to the node.
+            let output = match class {
+                PortClass::Terminal => OutputPort::new(class, 0, 0, config.buffers.output_buffer),
+                PortClass::Local | PortClass::Global => OutputPort::new(
+                    class,
+                    config.vcs_for(class),
+                    config.input_buffer_for(class),
+                    config.buffers.output_buffer,
+                ),
+            };
+            outputs.push(output);
+        }
+        let global_links = params.global_links_per_group() as usize;
+        Router {
+            id,
+            topo,
+            config,
+            inputs,
+            outputs,
+            contention: ContentionCounters::new(radix as usize),
+            ectn: EctnState::new(global_links),
+            pb: PbState::new(params.h as usize, global_links),
+            allocator: Allocator::new(radix as usize),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity and configuration
+    // ------------------------------------------------------------------
+
+    /// This router's identifier.
+    pub fn id(&self) -> RouterId {
+        self.id
+    }
+
+    /// The group this router belongs to.
+    pub fn group(&self) -> GroupId {
+        self.topo.router_group(self.id)
+    }
+
+    /// The topology the router is embedded in.
+    pub fn topology(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Number of ports (radix).
+    pub fn num_ports(&self) -> usize {
+        self.inputs.len()
+    }
+
+    // ------------------------------------------------------------------
+    // State access
+    // ------------------------------------------------------------------
+
+    /// Contention counters (paper §III-B).
+    pub fn contention(&self) -> &ContentionCounters {
+        &self.contention
+    }
+
+    /// Mutable contention counters. The simulator normally updates them
+    /// through [`Router::register_head`] / [`Router::apply_grant`]; direct
+    /// access exists for tests and for the ablation studies that inject
+    /// synthetic counter states.
+    pub fn contention_mut(&mut self) -> &mut ContentionCounters {
+        &mut self.contention
+    }
+
+    /// ECtN partial/combined counters (paper §III-D).
+    pub fn ectn(&self) -> &EctnState {
+        &self.ectn
+    }
+
+    /// Mutable ECtN state (used by the group broadcast step).
+    pub fn ectn_mut(&mut self) -> &mut EctnState {
+        &mut self.ectn
+    }
+
+    /// PiggyBacking saturation state.
+    pub fn pb(&self) -> &PbState {
+        &self.pb
+    }
+
+    /// Mutable PiggyBacking state (updated by the PB policy and the group
+    /// dissemination step).
+    pub fn pb_mut(&mut self) -> &mut PbState {
+        &mut self.pb
+    }
+
+    /// Borrow an input port.
+    pub fn input(&self, port: Port) -> &InputPort {
+        &self.inputs[port.index()]
+    }
+
+    /// Mutably borrow an input port.
+    pub fn input_mut(&mut self, port: Port) -> &mut InputPort {
+        &mut self.inputs[port.index()]
+    }
+
+    /// Borrow an output port.
+    pub fn output(&self, port: Port) -> &OutputPort {
+        &self.outputs[port.index()]
+    }
+
+    /// Mutably borrow an output port.
+    pub fn output_mut(&mut self, port: Port) -> &mut OutputPort {
+        &mut self.outputs[port.index()]
+    }
+
+    /// Total packets buffered in all input VCs.
+    pub fn queued_packets(&self) -> usize {
+        self.inputs.iter().map(|p| p.queued_packets()).sum::<usize>()
+            + self.outputs.iter().map(|o| o.staged_packets()).sum::<usize>()
+    }
+
+    // ------------------------------------------------------------------
+    // Flow control entry points (called by the simulator)
+    // ------------------------------------------------------------------
+
+    /// Whether a packet of `size_phits` can be accepted into input VC
+    /// `(port, vc)`. Used for injection (nodes have no credits) and for
+    /// assertions; router-to-router transfers are guaranteed by credits.
+    pub fn can_accept_input(&self, port: Port, vc: VcId, size_phits: u32) -> bool {
+        self.inputs[port.index()].vc(vc.index()).can_accept(size_phits)
+    }
+
+    /// Deliver a packet into input VC `(port, vc)` (link arrival or
+    /// injection).
+    pub fn receive_packet(&mut self, port: Port, vc: VcId, packet: Packet) {
+        self.inputs[port.index()].vc_mut(vc.index()).push(packet);
+    }
+
+    /// Return `phits` credits for downstream VC `vc` of output `port` (the
+    /// downstream router drained a packet; arrives after the link latency).
+    pub fn receive_credits(&mut self, port: Port, vc: VcId, phits: u32) {
+        self.outputs[port.index()].return_credits(vc, phits);
+    }
+
+    // ------------------------------------------------------------------
+    // Contention / ECtN registration
+    // ------------------------------------------------------------------
+
+    /// Register the head packet of `(port, vc)`: increment the contention
+    /// counter of its minimal output `min_output`, and if `ectn_link` is
+    /// given (remote-destination packet at an injection or global input
+    /// port), increment that ECtN partial counter as well.
+    pub fn register_head(&mut self, port: Port, vc: VcId, min_output: Port, ectn_link: Option<u32>) {
+        let input_vc = self.inputs[port.index()].vc_mut(vc.index());
+        debug_assert!(input_vc.head_needs_registration());
+        input_vc.set_registered_min_output(min_output);
+        if let Some(link) = ectn_link {
+            input_vc.set_registered_ectn_link(link);
+        }
+        self.contention.increment(min_output);
+        if let Some(link) = ectn_link {
+            self.ectn.increment_partial(link);
+        }
+    }
+
+    /// `(port, vc)` pairs whose head packet has not yet been registered in
+    /// the contention counters.
+    pub fn unregistered_heads(&self) -> Vec<(Port, VcId)> {
+        let mut out = Vec::new();
+        for (p, input) in self.inputs.iter().enumerate() {
+            for v in 0..input.num_vcs() {
+                if input.vc(v).head_needs_registration() {
+                    out.push((Port(p as u32), VcId(v as u8)));
+                }
+            }
+        }
+        out
+    }
+
+    /// `(port, vc)` pairs that currently hold at least one packet.
+    pub fn occupied_vcs(&self) -> Vec<(Port, VcId)> {
+        let mut out = Vec::new();
+        for (p, input) in self.inputs.iter().enumerate() {
+            for v in 0..input.num_vcs() {
+                if !input.vc(v).is_empty() {
+                    out.push((Port(p as u32), VcId(v as u8)));
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Run one iteration of the separable allocator over `requests`,
+    /// checking output-buffer space and downstream credits.
+    pub fn allocate(&mut self, requests: &[AllocationRequest]) -> Vec<Grant> {
+        let outputs = &self.outputs;
+        self.allocator
+            .allocate(requests, |port, vc, size| outputs[port.index()].can_accept(vc, size))
+    }
+
+    /// Apply a grant: pop the packet from its input VC, release its counter
+    /// registrations, update its routing state for the hop it is about to
+    /// take, and stage it in the output buffer (consuming credits). Returns
+    /// the bookkeeping the simulator needs (upstream credit return).
+    ///
+    /// # Panics
+    /// Panics if the granted input VC is empty (allocator/sim bug).
+    pub fn apply_grant(&mut self, grant: &Grant, now: Cycle) -> AppliedGrant {
+        let input_class = self.inputs[grant.input_port.index()].class();
+        let PoppedPacket {
+            mut packet,
+            registered_min_output,
+            registered_ectn_link,
+        } = self.inputs[grant.input_port.index()]
+            .vc_mut(grant.input_vc.index())
+            .pop()
+            .expect("granted input VC must hold a packet");
+        if let Some(port) = registered_min_output {
+            self.contention.decrement(port);
+        }
+        if let Some(link) = registered_ectn_link {
+            self.ectn.decrement_partial(link);
+        }
+        // update routing state for the hop the packet is about to take
+        let arrived_at = match self.topo.peer(self.id, grant.output_port) {
+            PortPeer::Router(peer, _) => peer,
+            PortPeer::Node(_) | PortPeer::Unconnected => self.id,
+        };
+        packet
+            .routing
+            .note_hop(&self.topo, grant.output_port, arrived_at);
+        let freed_phits = packet.size_phits;
+        let ready_at = now + self.config.latencies.router_pipeline as Cycle;
+        self.outputs[grant.output_port.index()].accept(packet, grant.output_vc, ready_at);
+        AppliedGrant {
+            grant: *grant,
+            freed_phits,
+            input_class,
+        }
+    }
+
+    /// Try to start transmission on every output port; returns, per port, the
+    /// packet now occupying the link together with its downstream VC and the
+    /// cycle at which its tail leaves this router (the simulator adds the
+    /// link latency to schedule the remote arrival).
+    pub fn transmit_outputs(&mut self, now: Cycle) -> Vec<(Port, Packet, VcId, Cycle)> {
+        let mut sent = Vec::new();
+        for (p, output) in self.outputs.iter_mut().enumerate() {
+            if let Some((packet, vc, tail_at)) = output.try_transmit(now) {
+                sent.push((Port(p as u32), packet, vc, tail_at));
+            }
+        }
+        sent
+    }
+
+    // ------------------------------------------------------------------
+    // Derived views used by routing policies
+    // ------------------------------------------------------------------
+
+    /// Occupancy fraction (0..1) of the path behind output `port`: staged
+    /// output phits plus estimated downstream occupancy, over the combined
+    /// capacity. This is the credit-based congestion signal used by OLM,
+    /// Hybrid and PB.
+    pub fn output_congestion_fraction(&self, port: Port) -> f64 {
+        let o = &self.outputs[port.index()];
+        let cap = o.congestion_capacity_phits();
+        if cap == 0 {
+            return 0.0;
+        }
+        o.congestion_phits() as f64 / cap as f64
+    }
+
+    /// Free credits for `(port, vc)`.
+    pub fn credits_free(&self, port: Port, vc: VcId) -> u32 {
+        self.outputs[port.index()].credits(vc)
+    }
+
+    /// Whether output `port` can accept a packet for downstream VC `vc`.
+    pub fn output_can_accept(&self, port: Port, vc: VcId, size_phits: u32) -> bool {
+        self.outputs[port.index()].can_accept(vc, size_phits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::{Packet, PacketId};
+    use df_topology::{DragonflyParams, NodeId};
+
+    fn router() -> Router {
+        let topo = Dragonfly::new(DragonflyParams::small());
+        Router::new(RouterId(0), topo, NetworkConfig::fast_test())
+    }
+
+    fn packet(id: u64, dst: u32) -> Packet {
+        Packet::new(PacketId(id), NodeId(0), NodeId(dst), 8, 0)
+    }
+
+    #[test]
+    fn construction_matches_topology_radix() {
+        let r = router();
+        assert_eq!(r.num_ports(), 7); // p=2 + (a-1)=3 + h=2
+        assert_eq!(r.id(), RouterId(0));
+        assert_eq!(r.group(), GroupId(0));
+        assert_eq!(r.queued_packets(), 0);
+        // port classes
+        assert_eq!(r.input(Port(0)).class(), PortClass::Terminal);
+        assert_eq!(r.input(Port(2)).class(), PortClass::Local);
+        assert_eq!(r.input(Port(5)).class(), PortClass::Global);
+        // VC counts per class (defaults: 3 injection, 4 local, 2 global)
+        assert_eq!(r.input(Port(0)).num_vcs(), 3);
+        assert_eq!(r.input(Port(2)).num_vcs(), 4);
+        assert_eq!(r.input(Port(5)).num_vcs(), 2);
+        // global input buffers are deeper
+        assert_eq!(r.input(Port(5)).vc(0).capacity_phits(), 256);
+        assert_eq!(r.input(Port(2)).vc(0).capacity_phits(), 32);
+        // output credits match the peer input buffers
+        assert_eq!(r.output(Port(5)).credit_capacity(VcId(0)), 256);
+        assert_eq!(r.output(Port(2)).credit_capacity(VcId(0)), 32);
+        assert_eq!(r.output(Port(0)).num_downstream_vcs(), 0, "ejection has no credits");
+    }
+
+    #[test]
+    fn receive_and_register_and_grant_lifecycle() {
+        let mut r = router();
+        let now = 0;
+        // a packet arrives on local input port 2, vc 0
+        r.receive_packet(Port(2), VcId(0), packet(1, 40));
+        assert_eq!(r.queued_packets(), 1);
+        assert_eq!(r.unregistered_heads(), vec![(Port(2), VcId(0))]);
+        // register its minimal output (say global port 5) and an ECtN link
+        r.register_head(Port(2), VcId(0), Port(5), Some(3));
+        assert_eq!(r.contention().get(Port(5)), 1);
+        assert_eq!(r.ectn().partial(3), 1);
+        assert!(r.unregistered_heads().is_empty());
+        // allocate it to output 5, downstream vc 0
+        let req = AllocationRequest {
+            input_port: Port(2),
+            input_vc: VcId(0),
+            output_port: Port(5),
+            output_vc: VcId(0),
+            size_phits: 8,
+        };
+        let grants = r.allocate(&[req]);
+        assert_eq!(grants.len(), 1);
+        let applied = r.apply_grant(&grants[0], now);
+        assert_eq!(applied.freed_phits, 8);
+        assert_eq!(applied.input_class, PortClass::Local);
+        // counters released
+        assert_eq!(r.contention().get(Port(5)), 0);
+        assert_eq!(r.ectn().partial(3), 0);
+        // credits consumed on the output
+        assert_eq!(
+            r.output(Port(5)).credits(VcId(0)),
+            r.output(Port(5)).credit_capacity(VcId(0)) - 8
+        );
+        // the packet is staged; after the pipeline it transmits
+        assert!(r.transmit_outputs(now).is_empty(), "pipeline not finished");
+        let pipeline = r.config().latencies.router_pipeline as Cycle;
+        let sent = r.transmit_outputs(now + pipeline);
+        assert_eq!(sent.len(), 1);
+        let (port, pkt, vc, tail_at) = &sent[0];
+        assert_eq!(*port, Port(5));
+        assert_eq!(pkt.id, PacketId(1));
+        assert_eq!(*vc, VcId(0));
+        assert_eq!(*tail_at, now + pipeline + 8);
+        // the hop was recorded as a global hop
+        assert_eq!(pkt.routing.global_hops, 1);
+        assert_eq!(pkt.routing.local_hops, 0);
+    }
+
+    #[test]
+    fn credits_flow_back() {
+        let mut r = router();
+        let cap = r.output(Port(2)).credit_capacity(VcId(1));
+        r.receive_packet(Port(5), VcId(0), packet(1, 2));
+        r.register_head(Port(5), VcId(0), Port(2), None);
+        let req = AllocationRequest {
+            input_port: Port(5),
+            input_vc: VcId(0),
+            output_port: Port(2),
+            output_vc: VcId(1),
+            size_phits: 8,
+        };
+        let grants = r.allocate(&[req]);
+        r.apply_grant(&grants[0], 0);
+        assert_eq!(r.credits_free(Port(2), VcId(1)), cap - 8);
+        r.receive_credits(Port(2), VcId(1), 8);
+        assert_eq!(r.credits_free(Port(2), VcId(1)), cap);
+    }
+
+    #[test]
+    fn congestion_fraction_reflects_load() {
+        let mut r = router();
+        assert_eq!(r.output_congestion_fraction(Port(6)), 0.0);
+        r.receive_packet(Port(2), VcId(0), packet(1, 60));
+        r.register_head(Port(2), VcId(0), Port(6), None);
+        let req = AllocationRequest {
+            input_port: Port(2),
+            input_vc: VcId(0),
+            output_port: Port(6),
+            output_vc: VcId(0),
+            size_phits: 8,
+        };
+        let grants = r.allocate(&[req]);
+        r.apply_grant(&grants[0], 0);
+        assert!(r.output_congestion_fraction(Port(6)) > 0.0);
+        assert!(r.output_can_accept(Port(6), VcId(0), 8));
+    }
+
+    #[test]
+    fn allocation_respects_credit_exhaustion() {
+        let mut r = router();
+        // exhaust vc0 credits of local output 2 (capacity 32 = 4 packets)
+        for i in 0..4 {
+            r.receive_packet(Port(3), VcId(0), packet(i, 2));
+            r.register_head(Port(3), VcId(0), Port(2), None);
+            let req = AllocationRequest {
+                input_port: Port(3),
+                input_vc: VcId(0),
+                output_port: Port(2),
+                output_vc: VcId(0),
+                size_phits: 8,
+            };
+            let grants = r.allocate(&[req]);
+            assert_eq!(grants.len(), 1, "grant {i} should succeed");
+            r.apply_grant(&grants[0], 0);
+            // drain the output buffer so the output buffer is not the limit
+            let _ = r.transmit_outputs(100 + i as Cycle * 20);
+        }
+        // the 5th packet cannot be granted: no credits left on vc0
+        r.receive_packet(Port(3), VcId(0), packet(99, 2));
+        r.register_head(Port(3), VcId(0), Port(2), None);
+        let req = AllocationRequest {
+            input_port: Port(3),
+            input_vc: VcId(0),
+            output_port: Port(2),
+            output_vc: VcId(0),
+            size_phits: 8,
+        };
+        assert!(r.allocate(&[req]).is_empty());
+        // returning credits unblocks it
+        r.receive_credits(Port(2), VcId(0), 8);
+        assert_eq!(r.allocate(&[req]).len(), 1);
+    }
+
+    #[test]
+    fn occupied_vcs_lists_queued_only() {
+        let mut r = router();
+        assert!(r.occupied_vcs().is_empty());
+        r.receive_packet(Port(0), VcId(1), packet(1, 9));
+        assert_eq!(r.occupied_vcs(), vec![(Port(0), VcId(1))]);
+    }
+}

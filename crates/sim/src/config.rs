@@ -1,0 +1,234 @@
+//! Simulation configuration: everything a single run needs.
+
+use df_model::NetworkConfig;
+use df_routing::{RoutingConfig, RoutingKind};
+use df_topology::DragonflyParams;
+use df_traffic::{PatternKind, TrafficSchedule};
+use serde::{Deserialize, Serialize};
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Dragonfly sizing parameters.
+    pub topology: DragonflyParams,
+    /// Router/link microarchitecture (Table I).
+    pub network: NetworkConfig,
+    /// Routing mechanism.
+    pub routing: RoutingKind,
+    /// Routing thresholds.
+    pub routing_config: RoutingConfig,
+    /// Traffic pattern schedule (constant for steady-state experiments,
+    /// pattern switch for transients).
+    pub schedule: TrafficSchedule,
+    /// Offered load in phits/(node·cycle).
+    pub offered_load: f64,
+    /// Seed for all stochastic components.
+    pub seed: u64,
+    /// Warm-up cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Measurement window length in cycles.
+    pub measurement_cycles: u64,
+}
+
+impl SimulationConfig {
+    /// Start building a configuration.
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder::default()
+    }
+
+    /// Total simulated cycles (warm-up plus measurement).
+    pub fn total_cycles(&self) -> u64 {
+        self.warmup_cycles + self.measurement_cycles
+    }
+
+    /// Validate the combination of parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        self.network.validate()?;
+        self.routing_config.validate()?;
+        if !(0.0..=1.0).contains(&self.offered_load) {
+            return Err(format!(
+                "offered load must be in [0,1] phits/(node*cycle), got {}",
+                self.offered_load
+            ));
+        }
+        if self.measurement_cycles == 0 {
+            return Err("measurement window must be at least one cycle".into());
+        }
+        if self.topology.num_groups() < 2 {
+            return Err("the network needs at least two groups".into());
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SimulationConfig`].
+///
+/// Defaults: the small (9-group, 72-node) topology with Table I router
+/// parameters, Base routing with thresholds calibrated for that topology,
+/// uniform traffic at 10 % load, seed 0, and a short warm-up/measurement
+/// suitable for tests. The figure-regeneration harness overrides these with
+/// larger values.
+#[derive(Debug, Clone)]
+pub struct SimulationConfigBuilder {
+    topology: DragonflyParams,
+    network: NetworkConfig,
+    routing: RoutingKind,
+    routing_config: Option<RoutingConfig>,
+    schedule: TrafficSchedule,
+    offered_load: f64,
+    seed: u64,
+    warmup_cycles: u64,
+    measurement_cycles: u64,
+}
+
+impl Default for SimulationConfigBuilder {
+    fn default() -> Self {
+        SimulationConfigBuilder {
+            topology: DragonflyParams::small(),
+            network: NetworkConfig::paper_table1(),
+            routing: RoutingKind::Base,
+            routing_config: None,
+            schedule: TrafficSchedule::constant(PatternKind::Uniform),
+            offered_load: 0.1,
+            seed: 0,
+            warmup_cycles: 1_000,
+            measurement_cycles: 2_000,
+        }
+    }
+}
+
+impl SimulationConfigBuilder {
+    /// Set the Dragonfly sizing parameters.
+    pub fn topology(mut self, topology: DragonflyParams) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Set the router/link configuration.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Set the routing mechanism.
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Override the routing thresholds (otherwise calibrated automatically
+    /// for the chosen topology per the paper's §VI-A rule).
+    pub fn routing_config(mut self, config: RoutingConfig) -> Self {
+        self.routing_config = Some(config);
+        self
+    }
+
+    /// Use a constant traffic pattern.
+    pub fn pattern(mut self, pattern: PatternKind) -> Self {
+        self.schedule = TrafficSchedule::constant(pattern);
+        self
+    }
+
+    /// Use an arbitrary traffic schedule (transient experiments).
+    pub fn schedule(mut self, schedule: TrafficSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Set the offered load in phits/(node·cycle).
+    pub fn offered_load(mut self, load: f64) -> Self {
+        self.offered_load = load;
+        self
+    }
+
+    /// Set the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the warm-up length in cycles.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = cycles;
+        self
+    }
+
+    /// Set the measurement window length in cycles.
+    pub fn measurement_cycles(mut self, cycles: u64) -> Self {
+        self.measurement_cycles = cycles;
+        self
+    }
+
+    /// Finalise and validate the configuration.
+    pub fn build(self) -> Result<SimulationConfig, String> {
+        let routing_config = self
+            .routing_config
+            .unwrap_or_else(|| RoutingConfig::calibrated_for(&self.topology, &self.network.vcs));
+        let config = SimulationConfig {
+            topology: self.topology,
+            network: self.network,
+            routing: self.routing,
+            routing_config,
+            schedule: self.schedule,
+            offered_load: self.offered_load,
+            seed: self.seed,
+            warmup_cycles: self.warmup_cycles,
+            measurement_cycles: self.measurement_cycles,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let c = SimulationConfig::builder().build().unwrap();
+        assert_eq!(c.routing, RoutingKind::Base);
+        assert_eq!(c.topology, DragonflyParams::small());
+        assert!(c.validate().is_ok());
+        assert_eq!(c.total_cycles(), 3_000);
+        // thresholds were auto-calibrated for the small topology
+        assert!(c.routing_config.contention_threshold < 6);
+    }
+
+    #[test]
+    fn builder_overrides_apply() {
+        let c = SimulationConfig::builder()
+            .topology(DragonflyParams::medium())
+            .routing(RoutingKind::Ectn)
+            .pattern(PatternKind::Adversarial { offset: 1 })
+            .offered_load(0.35)
+            .seed(7)
+            .warmup_cycles(100)
+            .measurement_cycles(200)
+            .build()
+            .unwrap();
+        assert_eq!(c.routing, RoutingKind::Ectn);
+        assert_eq!(c.offered_load, 0.35);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.total_cycles(), 300);
+    }
+
+    #[test]
+    fn explicit_routing_config_is_not_recalibrated() {
+        let rc = RoutingConfig::paper_table1().with_contention_threshold(4);
+        let c = SimulationConfig::builder()
+            .routing_config(rc)
+            .build()
+            .unwrap();
+        assert_eq!(c.routing_config.contention_threshold, 4);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimulationConfig::builder().offered_load(1.5).build().is_err());
+        assert!(SimulationConfig::builder()
+            .measurement_cycles(0)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! The in-flight event queue: packets and credits travelling on links.
+//!
+//! Links are not modelled as objects; instead, every transfer schedules an
+//! event for the cycle at which it completes (tail arrival for packets,
+//! credit arrival for flow control). The queue is a binary heap ordered by
+//! time with a monotonically increasing sequence number as tie-breaker, which
+//! keeps event processing deterministic.
+
+use df_model::{Cycle, Packet, VcId};
+use df_topology::{NodeId, Port, RouterId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Something that completes at a future cycle.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A packet's tail arrives at an input VC of a router.
+    PacketArrival {
+        /// Destination router.
+        router: RouterId,
+        /// Input port on that router.
+        port: Port,
+        /// Input VC on that port.
+        vc: VcId,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Credits return to an output port of a router (the downstream router
+    /// drained a packet).
+    CreditReturn {
+        /// Router owning the output port.
+        router: RouterId,
+        /// The output port.
+        port: Port,
+        /// Downstream VC the credits belong to.
+        vc: VcId,
+        /// Number of phits freed.
+        phits: u32,
+    },
+    /// A packet is delivered to its destination node.
+    Delivery {
+        /// The destination node.
+        node: NodeId,
+        /// The packet.
+        packet: Packet,
+    },
+}
+
+struct Scheduled {
+    at: Cycle,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Time-ordered event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedule `event` to complete at cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, event: Event) {
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Pop every event scheduled at or before `now`, in (time, insertion)
+    /// order.
+    pub fn pop_due(&mut self, now: Cycle) -> Vec<Event> {
+        let mut due = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.at > now {
+                break;
+            }
+            due.push(self.heap.pop().expect("peeked").event);
+        }
+        due
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Earliest pending completion time.
+    pub fn next_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::PacketId;
+
+    fn credit(router: u32, at_seq: u32) -> Event {
+        Event::CreditReturn {
+            router: RouterId(router),
+            port: Port(at_seq),
+            vc: VcId(0),
+            phits: 8,
+        }
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, credit(3, 0));
+        q.schedule(10, credit(1, 1));
+        q.schedule(20, credit(2, 2));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_time(), Some(10));
+        let due = q.pop_due(25);
+        assert_eq!(due.len(), 2);
+        match (&due[0], &due[1]) {
+            (Event::CreditReturn { router: a, .. }, Event::CreditReturn { router: b, .. }) => {
+                assert_eq!(*a, RouterId(1));
+                assert_eq!(*b, RouterId(2));
+            }
+            _ => panic!("unexpected event kinds"),
+        }
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(29).is_empty());
+        assert_eq!(q.pop_due(30).len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_events_keep_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(42, credit(i, i));
+        }
+        let due = q.pop_due(42);
+        let order: Vec<u32> = due
+            .iter()
+            .map(|e| match e {
+                Event::CreditReturn { router, .. } => router.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn packet_and_delivery_events_round_trip() {
+        let mut q = EventQueue::new();
+        let p = Packet::new(PacketId(9), NodeId(0), NodeId(5), 8, 0);
+        q.schedule(
+            7,
+            Event::PacketArrival {
+                router: RouterId(1),
+                port: Port(2),
+                vc: VcId(1),
+                packet: p.clone(),
+            },
+        );
+        q.schedule(5, Event::Delivery { node: NodeId(5), packet: p });
+        let due = q.pop_due(10);
+        assert!(matches!(due[0], Event::Delivery { .. }));
+        assert!(matches!(due[1], Event::PacketArrival { .. }));
+    }
+}

@@ -1,0 +1,53 @@
+//! # df-sim — the Dragonfly network simulator and experiment harness
+//!
+//! A cycle-driven simulator of input-output-buffered Dragonfly routers with
+//! credit-based flow control, reproducing the evaluation methodology of
+//! *"Contention-based Nonminimal Adaptive Routing in High-radix Networks"*
+//! (Fuentes et al., IPDPS 2015):
+//!
+//! * [`config`] — the [`SimulationConfig`] builder combining topology,
+//!   router microarchitecture, routing mechanism and traffic,
+//! * [`network`] — the [`Network`] object and its per-cycle step loop,
+//! * [`experiment`] — steady-state and transient experiment runners,
+//! * [`sweep`] — parallel parameter sweeps (offered load, thresholds),
+//! * [`metrics`], [`events`], [`node`] — supporting machinery.
+//!
+//! ```
+//! use df_sim::{SimulationConfig, SteadyStateExperiment};
+//! use df_model::NetworkConfig;
+//! use df_routing::RoutingKind;
+//! use df_topology::DragonflyParams;
+//! use df_traffic::PatternKind;
+//!
+//! let config = SimulationConfig::builder()
+//!     .topology(DragonflyParams::small())
+//!     .network(NetworkConfig::fast_test())
+//!     .routing(RoutingKind::Base)
+//!     .pattern(PatternKind::Adversarial { offset: 1 })
+//!     .offered_load(0.2)
+//!     .warmup_cycles(200)
+//!     .measurement_cycles(300)
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid configuration");
+//! let report = SteadyStateExperiment::new(config).run();
+//! assert!(report.delivered_packets > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod events;
+pub mod experiment;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod sweep;
+
+pub use config::{SimulationConfig, SimulationConfigBuilder};
+pub use experiment::{
+    SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
+};
+pub use metrics::{Metrics, WindowSummary};
+pub use network::Network;
+pub use sweep::{load_sweep, num_threads, run_sweep};

@@ -1,0 +1,261 @@
+//! Measurement: latency, throughput, misrouting and transient time series.
+
+use df_engine::{BinnedSeries, Histogram, RunningStats};
+use df_model::{Cycle, Packet};
+use serde::{Deserialize, Serialize};
+
+/// Collects everything the experiments report.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Cycle at which the measurement window opened (`None` while warming
+    /// up).
+    window_start: Option<Cycle>,
+    /// Origin of the transient time series (x = 0, the traffic-change
+    /// instant); exported series times are relative to it.
+    series_origin: i64,
+    /// Offered traffic since the beginning of time (phits), for debugging and
+    /// the offered-vs-accepted sanity checks.
+    pub generated_phits_total: u64,
+    // ---- measurement window ----
+    delivered_packets: u64,
+    delivered_phits: u64,
+    latency: RunningStats,
+    hops: RunningStats,
+    misrouted_global: u64,
+    misrouted_local: u64,
+    // ---- whole-run counters (used by the progress watchdog) ----
+    delivered_packets_total: u64,
+    // ---- transient series ----
+    latency_series: BinnedSeries,
+    misroute_series: BinnedSeries,
+    // ---- distribution ----
+    latency_histogram: Histogram,
+}
+
+/// Final figures of a measurement window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Packets delivered inside the window.
+    pub delivered_packets: u64,
+    /// Phits delivered inside the window.
+    pub delivered_phits: u64,
+    /// Mean packet latency (generation to delivery), cycles.
+    pub avg_packet_latency: f64,
+    /// 95 % confidence half-width of the latency mean.
+    pub latency_ci95: f64,
+    /// 99th-percentile latency approximated from the histogram.
+    pub p99_latency: f64,
+    /// Mean hop count of delivered packets.
+    pub avg_hops: f64,
+    /// Fraction of delivered packets that were globally misrouted.
+    pub global_misroute_fraction: f64,
+    /// Fraction of delivered packets that took a local detour.
+    pub local_misroute_fraction: f64,
+}
+
+impl Metrics {
+    /// Create a collector. `series_origin` is the cycle that becomes x = 0 in
+    /// the transient time series (the traffic-change instant), and
+    /// `series_bin` the bin width in cycles.
+    pub fn new(series_origin: i64, series_bin: u64) -> Self {
+        Metrics {
+            window_start: None,
+            series_origin,
+            generated_phits_total: 0,
+            delivered_packets: 0,
+            delivered_phits: 0,
+            latency: RunningStats::new(),
+            hops: RunningStats::new(),
+            misrouted_global: 0,
+            misrouted_local: 0,
+            delivered_packets_total: 0,
+            latency_series: BinnedSeries::new(series_origin, series_bin),
+            misroute_series: BinnedSeries::new(series_origin, series_bin),
+            latency_histogram: Histogram::new(0.0, 5_000.0, 500),
+        }
+    }
+
+    /// Open the measurement window at `cycle` (typically after warm-up).
+    pub fn start_measurement(&mut self, cycle: Cycle) {
+        self.window_start = Some(cycle);
+        self.delivered_packets = 0;
+        self.delivered_phits = 0;
+        self.latency = RunningStats::new();
+        self.hops = RunningStats::new();
+        self.misrouted_global = 0;
+        self.misrouted_local = 0;
+        self.latency_histogram = Histogram::new(0.0, 5_000.0, 500);
+    }
+
+    /// Whether the measurement window is open.
+    pub fn measuring(&self) -> bool {
+        self.window_start.is_some()
+    }
+
+    /// Record traffic generation (phits).
+    pub fn record_generated(&mut self, phits: u64) {
+        self.generated_phits_total += phits;
+    }
+
+    /// Record a packet delivered to its destination node at `now`.
+    pub fn record_delivery(&mut self, packet: &Packet, now: Cycle) {
+        self.delivered_packets_total += 1;
+        let latency = (now - packet.generated_at) as f64;
+        self.latency_series.record(now as i64, latency);
+        if self.measuring() {
+            self.delivered_packets += 1;
+            self.delivered_phits += packet.size_phits as u64;
+            self.latency.push(latency);
+            self.hops.push(packet.hops() as f64);
+            self.latency_histogram.record(latency);
+            if packet.routing.flags.global {
+                self.misrouted_global += 1;
+            }
+            if packet.routing.flags.local {
+                self.misrouted_local += 1;
+            }
+        }
+    }
+
+    /// Record a min-vs-nonmin commitment (a packet crossed a global link):
+    /// feeds the transient misrouting-percentage series.
+    pub fn record_commit(&mut self, now: Cycle, misrouted: bool) {
+        self.misroute_series
+            .record(now as i64, if misrouted { 100.0 } else { 0.0 });
+    }
+
+    /// Total packets delivered since the beginning of the run (not just the
+    /// window); used by the progress watchdog.
+    pub fn delivered_packets_total(&self) -> u64 {
+        self.delivered_packets_total
+    }
+
+    /// Summarise the measurement window. `num_nodes` and `window_cycles`
+    /// convert the phit count into accepted load.
+    pub fn window_summary(&self) -> WindowSummary {
+        WindowSummary {
+            delivered_packets: self.delivered_packets,
+            delivered_phits: self.delivered_phits,
+            avg_packet_latency: self.latency.mean(),
+            latency_ci95: self.latency.ci95_half_width(),
+            p99_latency: self.latency_histogram.percentile(99.0),
+            avg_hops: self.hops.mean(),
+            global_misroute_fraction: if self.delivered_packets == 0 {
+                0.0
+            } else {
+                self.misrouted_global as f64 / self.delivered_packets as f64
+            },
+            local_misroute_fraction: if self.delivered_packets == 0 {
+                0.0
+            } else {
+                self.misrouted_local as f64 / self.delivered_packets as f64
+            },
+        }
+    }
+
+    /// Accepted load in phits/(node·cycle) over the measurement window.
+    pub fn accepted_load(&self, num_nodes: u32, window_cycles: u64) -> f64 {
+        if window_cycles == 0 {
+            return 0.0;
+        }
+        self.delivered_phits as f64 / (num_nodes as f64 * window_cycles as f64)
+    }
+
+    /// Per-bin mean latency around the series origin (transient figures).
+    /// Times are relative to the origin (the traffic-change cycle is 0).
+    pub fn latency_series(&self) -> Vec<(i64, f64)> {
+        let origin = self.series_origin;
+        self.latency_series
+            .iter_means()
+            .map(|(t, m, _)| (t - origin, m))
+            .collect()
+    }
+
+    /// Per-bin percentage of globally misrouted commitments (transient
+    /// figures). Times are relative to the origin.
+    pub fn misroute_series(&self) -> Vec<(i64, f64)> {
+        let origin = self.series_origin;
+        self.misroute_series
+            .iter_means()
+            .map(|(t, m, _)| (t - origin, m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::PacketId;
+    use df_topology::NodeId;
+
+    fn packet(id: u64, generated_at: Cycle) -> Packet {
+        Packet::new(PacketId(id), NodeId(0), NodeId(9), 8, generated_at)
+    }
+
+    #[test]
+    fn deliveries_before_measurement_do_not_count_in_the_window() {
+        let mut m = Metrics::new(0, 10);
+        m.record_delivery(&packet(1, 0), 100);
+        assert_eq!(m.delivered_packets_total(), 1);
+        assert_eq!(m.window_summary().delivered_packets, 0);
+        m.start_measurement(200);
+        m.record_delivery(&packet(2, 150), 250);
+        let s = m.window_summary();
+        assert_eq!(s.delivered_packets, 1);
+        assert_eq!(s.avg_packet_latency, 100.0);
+        assert_eq!(s.delivered_phits, 8);
+    }
+
+    #[test]
+    fn misroute_fractions() {
+        let mut m = Metrics::new(0, 10);
+        m.start_measurement(0);
+        let mut a = packet(1, 0);
+        a.routing.flags.global = true;
+        let mut b = packet(2, 0);
+        b.routing.flags.local = true;
+        let c = packet(3, 0);
+        m.record_delivery(&a, 50);
+        m.record_delivery(&b, 60);
+        m.record_delivery(&c, 70);
+        let s = m.window_summary();
+        assert!((s.global_misroute_fraction - 1.0 / 3.0).abs() < 1e-9);
+        assert!((s.local_misroute_fraction - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accepted_load_normalises_by_nodes_and_cycles() {
+        let mut m = Metrics::new(0, 10);
+        m.start_measurement(0);
+        for i in 0..10 {
+            m.record_delivery(&packet(i, 0), 10);
+        }
+        // 80 phits over 4 nodes × 20 cycles = 1.0
+        assert!((m.accepted_load(4, 20) - 1.0).abs() < 1e-9);
+        assert_eq!(m.accepted_load(4, 0), 0.0);
+    }
+
+    #[test]
+    fn series_are_binned_around_the_origin() {
+        let mut m = Metrics::new(1_000, 50);
+        m.record_delivery(&packet(1, 900), 990); // bin -100..-50? latency 90 at t=990 → bin -50..0
+        m.record_delivery(&packet(2, 1_000), 1_020);
+        m.record_commit(1_010, true);
+        m.record_commit(1_010, false);
+        let lat = m.latency_series();
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat[0].0, -50);
+        assert_eq!(lat[1].0, 0);
+        let mis = m.misroute_series();
+        assert_eq!(mis.len(), 1);
+        assert!((mis[0].1 - 50.0).abs() < 1e-9, "50% of commits were misroutes");
+    }
+
+    #[test]
+    fn generated_counter_accumulates() {
+        let mut m = Metrics::new(0, 10);
+        m.record_generated(8);
+        m.record_generated(16);
+        assert_eq!(m.generated_phits_total, 24);
+    }
+}

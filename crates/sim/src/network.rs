@@ -1,0 +1,613 @@
+//! The cycle-driven network simulator.
+//!
+//! [`Network`] owns every router, every node, the in-flight event queue and
+//! the metrics collector, and advances them together one cycle at a time.
+//! The per-cycle sequence is:
+//!
+//! 1. deliver due link events (packet arrivals, credit returns, node
+//!    deliveries),
+//! 2. traffic generation and injection from the node source queues into the
+//!    routers' injection buffers,
+//! 3. control-plane dissemination: PB saturation flags every cycle, ECtN
+//!    partial-array broadcast every `ectn_update_period` cycles,
+//! 4. routing decisions + separable allocation, iterated
+//!    `allocator_speedup` times,
+//! 5. output-buffer link transmission, scheduling remote arrivals after the
+//!    link latency.
+
+use df_engine::DeterministicRng;
+use df_model::{Cycle, VcId};
+use df_router::{AllocationRequest, Router};
+use df_routing::algorithms::piggyback;
+use df_routing::{minimal, Commitment, Decision, RoutingAlgorithm};
+use df_topology::{Dragonfly, GroupId, NodeId, Port, PortClass, PortPeer, RouterId};
+use df_traffic::TrafficPattern;
+
+use crate::config::SimulationConfig;
+use crate::events::{Event, EventQueue};
+use crate::metrics::Metrics;
+use crate::node::Node;
+
+/// The whole simulated network.
+pub struct Network {
+    config: SimulationConfig,
+    topo: Dragonfly,
+    algorithm: RoutingAlgorithm,
+    routers: Vec<Router>,
+    nodes: Vec<Node>,
+    patterns: Vec<TrafficPattern>,
+    current_phase: usize,
+    events: EventQueue,
+    router_rngs: Vec<DeterministicRng>,
+    cycle: Cycle,
+    next_packet_id: u64,
+    metrics: Metrics,
+    in_flight: u64,
+    last_delivery_cycle: Cycle,
+    // reusable scratch buffers for the hot loop
+    scratch_requests: Vec<AllocationRequest>,
+    scratch_decisions: Vec<((Port, VcId), Decision)>,
+}
+
+impl Network {
+    /// Build a network from a validated configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        config.validate().expect("invalid simulation configuration");
+        let topo = Dragonfly::new(config.topology);
+        let root_rng = DeterministicRng::new(config.seed);
+        let routers: Vec<Router> = topo
+            .routers()
+            .map(|r| Router::new(r, topo, config.network))
+            .collect();
+        let router_rngs: Vec<DeterministicRng> = topo
+            .routers()
+            .map(|r| root_rng.split(0x1000_0000 + r.0 as u64))
+            .collect();
+        let base_load = config
+            .schedule
+            .phases()
+            .first()
+            .and_then(|p| p.load)
+            .unwrap_or(config.offered_load);
+        let nodes: Vec<Node> = topo
+            .nodes()
+            .map(|n| {
+                Node::new(
+                    n,
+                    base_load,
+                    config.network.packet_size_phits,
+                    root_rng.split(0x2000_0000 + n.0 as u64),
+                )
+            })
+            .collect();
+        let patterns = config.schedule.build_patterns(topo);
+        let algorithm = RoutingAlgorithm::new(config.routing, config.routing_config);
+        // transient series are centred on the first traffic change (or the
+        // end of warm-up when the schedule is constant)
+        let origin = config
+            .schedule
+            .change_points()
+            .first()
+            .copied()
+            .unwrap_or(config.warmup_cycles) as i64;
+        let metrics = Metrics::new(origin, 20);
+        Network {
+            config,
+            topo,
+            algorithm,
+            routers,
+            nodes,
+            patterns,
+            current_phase: 0,
+            events: EventQueue::new(),
+            router_rngs,
+            cycle: 0,
+            next_packet_id: 0,
+            metrics,
+            in_flight: 0,
+            last_delivery_cycle: 0,
+            scratch_requests: Vec::new(),
+            scratch_decisions: Vec::new(),
+        }
+    }
+
+    /// The current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The metrics collector.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics collector (to open the measurement window).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Borrow a router (tests and inspection).
+    pub fn router(&self, id: RouterId) -> &Router {
+        &self.routers[id.index()]
+    }
+
+    /// Borrow a node (tests and inspection).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Packets currently inside the network (injected but not delivered).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Whether the network appears stalled: packets are in flight but nothing
+    /// has been delivered for `threshold` cycles. Used as a deadlock
+    /// watchdog by the tests.
+    pub fn stalled(&self, threshold: Cycle) -> bool {
+        self.in_flight > 0 && self.cycle.saturating_sub(self.last_delivery_cycle) > threshold
+    }
+
+    /// Advance `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Stop traffic generation and keep stepping until every in-flight packet
+    /// is delivered (or `max_cycles` elapse). Returns true if the network
+    /// drained completely.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        for node in &mut self.nodes {
+            node.set_offered_load(0.0);
+        }
+        for _ in 0..max_cycles {
+            if self.in_flight == 0 && self.all_source_queues_empty() {
+                return true;
+            }
+            self.step();
+        }
+        self.in_flight == 0 && self.all_source_queues_empty()
+    }
+
+    fn all_source_queues_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.queue_len() == 0)
+    }
+
+    /// Sum of contention counters across all routers (used by invariant
+    /// tests: must be zero once the network drains).
+    pub fn total_contention(&self) -> u64 {
+        self.routers
+            .iter()
+            .map(|r| r.contention().total() as u64)
+            .sum()
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // ---- 0. traffic-phase change ----
+        let phase = self.config.schedule.phase_index_at(now);
+        if phase != self.current_phase {
+            self.current_phase = phase;
+            let load = self.config.schedule.phases()[phase]
+                .load
+                .unwrap_or(self.config.offered_load);
+            for node in &mut self.nodes {
+                node.set_offered_load(load);
+            }
+        }
+
+        // ---- 1. deliver due events ----
+        for event in self.events.pop_due(now) {
+            match event {
+                Event::PacketArrival {
+                    router,
+                    port,
+                    vc,
+                    packet,
+                } => self.routers[router.index()].receive_packet(port, vc, packet),
+                Event::CreditReturn {
+                    router,
+                    port,
+                    vc,
+                    phits,
+                } => self.routers[router.index()].receive_credits(port, vc, phits),
+                Event::Delivery { node: _, packet } => {
+                    self.in_flight -= 1;
+                    self.last_delivery_cycle = now;
+                    self.metrics.record_delivery(&packet, now);
+                }
+            }
+        }
+
+        // ---- 2. generation + injection ----
+        {
+            let pattern = &self.patterns[self.current_phase];
+            for node in self.nodes.iter_mut() {
+                let phits = node.generate(now, pattern, &mut self.next_packet_id);
+                if phits > 0 {
+                    self.metrics.record_generated(phits as u64);
+                }
+            }
+        }
+        for node_idx in 0..self.nodes.len() {
+            let node_id = NodeId(node_idx as u32);
+            let Some(head_size) = self.nodes[node_idx].head().map(|p| p.size_phits) else {
+                continue;
+            };
+            let router_id = self.topo.node_router(node_id);
+            let port = self.topo.node_port(node_id);
+            let num_vcs = self.routers[router_id.index()].input(port).num_vcs();
+            let start = self.nodes[node_idx].take_vc_rr(num_vcs);
+            let mut chosen = None;
+            for k in 0..num_vcs {
+                let vc = (start + k) % num_vcs;
+                if self.routers[router_id.index()].can_accept_input(port, VcId(vc as u8), head_size)
+                {
+                    chosen = Some(vc);
+                    break;
+                }
+            }
+            if let Some(vc) = chosen {
+                let mut packet = self.nodes[node_idx].pop_head().expect("head checked");
+                packet.injected_at = Some(now);
+                self.in_flight += 1;
+                self.routers[router_id.index()].receive_packet(port, VcId(vc as u8), packet);
+            }
+        }
+
+        // ---- 3. control-plane dissemination ----
+        if self.config.routing.needs_pb_dissemination() {
+            self.disseminate_pb();
+        }
+        if self.config.routing.needs_ectn_broadcast()
+            && now % self.config.routing_config.ectn_update_period == 0
+        {
+            self.broadcast_ectn();
+        }
+
+        // ---- 4. routing + allocation ----
+        for _ in 0..self.config.network.allocator_speedup {
+            for r_idx in 0..self.routers.len() {
+                self.route_and_allocate(r_idx, now);
+            }
+        }
+
+        // ---- 5. link transmission ----
+        for r_idx in 0..self.routers.len() {
+            let router_id = RouterId(r_idx as u32);
+            let sent = self.routers[r_idx].transmit_outputs(now);
+            for (port, packet, vc, tail_at) in sent {
+                match self.topo.peer(router_id, port) {
+                    PortPeer::Node(node) => {
+                        let latency = self.config.network.latencies.terminal_link as Cycle;
+                        self.events
+                            .schedule(tail_at + latency, Event::Delivery { node, packet });
+                    }
+                    PortPeer::Router(peer, peer_port) => {
+                        let class = port.class(self.topo.params());
+                        let latency = self.config.network.link_latency_for(class) as Cycle;
+                        self.events.schedule(
+                            tail_at + latency,
+                            Event::PacketArrival {
+                                router: peer,
+                                port: peer_port,
+                                vc,
+                                packet,
+                            },
+                        );
+                    }
+                    PortPeer::Unconnected => {
+                        unreachable!("routing never selects an unconnected port")
+                    }
+                }
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Share every router's own-link saturation flags inside its group (one
+    /// cycle of staleness), then recompute the own flags for this cycle.
+    fn disseminate_pb(&mut self) {
+        let params = *self.topo.params();
+        for g in 0..self.topo.num_groups() {
+            let group = GroupId(g);
+            let mut group_flags = Vec::with_capacity((params.a * params.h) as usize);
+            for r in self.topo.routers_in_group(group) {
+                group_flags.extend(self.routers[r.index()].pb().own_snapshot());
+            }
+            for r in self.topo.routers_in_group(group) {
+                self.routers[r.index()].pb_mut().install_group(group_flags.clone());
+            }
+        }
+        for router in self.routers.iter_mut() {
+            piggyback::update_own_saturation(&self.config.routing_config, router);
+        }
+    }
+
+    /// Sum the partial arrays of every router of each group into that group's
+    /// combined array (the periodic ECtN broadcast).
+    fn broadcast_ectn(&mut self) {
+        for g in 0..self.topo.num_groups() {
+            let group = GroupId(g);
+            let snapshots: Vec<Vec<u32>> = self
+                .topo
+                .routers_in_group(group)
+                .map(|r| self.routers[r.index()].ectn().partial_snapshot())
+                .collect();
+            let combined =
+                df_router::ectn::combine_partials(snapshots.iter().map(|s| s.as_slice()));
+            for r in self.topo.routers_in_group(group) {
+                self.routers[r.index()]
+                    .ectn_mut()
+                    .install_combined(combined.clone());
+            }
+        }
+    }
+
+    /// One allocation iteration for one router: register new heads, compute
+    /// routing decisions, allocate, apply grants.
+    fn route_and_allocate(&mut self, r_idx: usize, now: Cycle) {
+        let router_id = RouterId(r_idx as u32);
+        let track_ectn = self.config.routing.needs_ectn_broadcast();
+
+        // a. contention / ECtN registration of new head packets
+        let unregistered = self.routers[r_idx].unregistered_heads();
+        for (port, vc) in unregistered {
+            let (min_out, ectn_link) = {
+                let router = &self.routers[r_idx];
+                let head = router
+                    .input(port)
+                    .vc(vc.index())
+                    .head()
+                    .expect("unregistered head exists");
+                let min_out = minimal::minimal_output(&self.topo, router_id, head.dst);
+                let ectn_link = if track_ectn {
+                    minimal::ectn_link_for(&self.topo, router_id, router.input(port).class(), head)
+                } else {
+                    None
+                };
+                (min_out, ectn_link)
+            };
+            self.routers[r_idx].register_head(port, vc, min_out, ectn_link);
+        }
+
+        // b. routing decisions for every occupied VC head
+        let occupied = self.routers[r_idx].occupied_vcs();
+        self.scratch_requests.clear();
+        self.scratch_decisions.clear();
+        {
+            let router = &self.routers[r_idx];
+            let rng = &mut self.router_rngs[r_idx];
+            for (port, vc) in occupied {
+                let head = router.input(port).vc(vc.index()).head().expect("occupied");
+                let decision = self.algorithm.decide(router, port, head, rng);
+                self.scratch_requests.push(AllocationRequest {
+                    input_port: port,
+                    input_vc: vc,
+                    output_port: decision.output_port,
+                    output_vc: decision.output_vc,
+                    size_phits: head.size_phits,
+                });
+                self.scratch_decisions.push(((port, vc), decision));
+            }
+        }
+
+        // c. separable allocation
+        let grants = self.routers[r_idx].allocate(&self.scratch_requests);
+
+        // d. apply grants
+        for grant in grants {
+            let decision = self
+                .scratch_decisions
+                .iter()
+                .find(|(k, _)| *k == (grant.input_port, grant.input_vc))
+                .map(|(_, d)| *d)
+                .expect("grant matches a request");
+            // apply the commitment to the head packet before it moves
+            {
+                let group = self.routers[r_idx].group();
+                let router = &mut self.routers[r_idx];
+                if let Some(head) = router
+                    .input_mut(grant.input_port)
+                    .vc_mut(grant.input_vc.index())
+                    .head_mut()
+                {
+                    match decision.commitment {
+                        Commitment::None => {}
+                        Commitment::Intermediate { router: inter, misroute } => {
+                            head.routing.commit_intermediate(inter, misroute)
+                        }
+                        Commitment::NonminimalGlobal { gateway, port } => {
+                            head.routing.commit_nonminimal_global(gateway, port)
+                        }
+                        Commitment::LocalDetour { router: detour } => {
+                            head.routing.commit_local_detour(detour, group)
+                        }
+                    }
+                }
+            }
+            // misrouted-percentage statistics: count each packet once, when it
+            // takes its first global hop
+            if grant.output_port.class(self.topo.params()) == PortClass::Global {
+                let head = self.routers[r_idx]
+                    .input(grant.input_port)
+                    .vc(grant.input_vc.index())
+                    .head()
+                    .expect("granted head exists");
+                if head.routing.global_hops == 0 {
+                    self.metrics.record_commit(now, head.routing.flags.global);
+                }
+            }
+            let applied = self.routers[r_idx].apply_grant(&grant, now);
+            // return credits to the upstream router
+            if applied.input_class != PortClass::Terminal {
+                if let PortPeer::Router(upstream, upstream_port) =
+                    self.topo.peer(router_id, grant.input_port)
+                {
+                    let latency =
+                        self.config.network.link_latency_for(applied.input_class) as Cycle;
+                    self.events.schedule(
+                        now + latency,
+                        Event::CreditReturn {
+                            router: upstream,
+                            port: upstream_port,
+                            vc: grant.input_vc,
+                            phits: applied.freed_phits,
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::NetworkConfig;
+    use df_routing::RoutingKind;
+    use df_topology::DragonflyParams;
+    use df_traffic::PatternKind;
+
+    fn small_config(routing: RoutingKind, pattern: PatternKind, load: f64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(routing)
+            .pattern(pattern)
+            .offered_load(load)
+            .warmup_cycles(200)
+            .measurement_cycles(400)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn packets_are_delivered_under_light_uniform_traffic() {
+        let mut net = Network::new(small_config(RoutingKind::Minimal, PatternKind::Uniform, 0.1));
+        net.run_cycles(600);
+        assert!(
+            net.metrics().delivered_packets_total() > 20,
+            "expected deliveries, got {}",
+            net.metrics().delivered_packets_total()
+        );
+        assert!(!net.stalled(300));
+    }
+
+    #[test]
+    fn every_routing_mechanism_delivers_traffic() {
+        for kind in RoutingKind::ALL {
+            let mut net = Network::new(small_config(kind, PatternKind::Uniform, 0.1));
+            net.run_cycles(600);
+            assert!(
+                net.metrics().delivered_packets_total() > 10,
+                "{kind} delivered only {}",
+                net.metrics().delivered_packets_total()
+            );
+        }
+    }
+
+    #[test]
+    fn network_drains_and_counters_return_to_zero() {
+        let mut net = Network::new(small_config(RoutingKind::Base, PatternKind::Uniform, 0.2));
+        net.run_cycles(400);
+        assert!(net.drain(5_000), "network must drain after traffic stops");
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(
+            net.total_contention(),
+            0,
+            "contention counters must return to zero when the network is empty"
+        );
+    }
+
+    #[test]
+    fn adversarial_traffic_is_delivered_by_adaptive_routing() {
+        let mut net = Network::new(small_config(
+            RoutingKind::Base,
+            PatternKind::Adversarial { offset: 1 },
+            0.2,
+        ));
+        net.run_cycles(800);
+        assert!(net.metrics().delivered_packets_total() > 20);
+        assert!(!net.stalled(400), "no deadlock under adversarial traffic");
+    }
+
+    #[test]
+    fn valiant_marks_packets_as_misrouted() {
+        let cfg = small_config(RoutingKind::Valiant, PatternKind::Uniform, 0.1);
+        let mut net = Network::new(cfg);
+        net.metrics_mut().start_measurement(0);
+        net.run_cycles(800);
+        let summary = net.metrics().window_summary();
+        assert!(summary.delivered_packets > 0);
+        assert!(
+            summary.global_misroute_fraction > 0.9,
+            "VAL misroutes (nearly) all inter-group packets, got {}",
+            summary.global_misroute_fraction
+        );
+    }
+
+    #[test]
+    fn minimal_routing_never_misroutes() {
+        let cfg = small_config(RoutingKind::Minimal, PatternKind::Uniform, 0.15);
+        let mut net = Network::new(cfg);
+        net.metrics_mut().start_measurement(0);
+        net.run_cycles(800);
+        let summary = net.metrics().window_summary();
+        assert!(summary.delivered_packets > 0);
+        assert_eq!(summary.global_misroute_fraction, 0.0);
+        assert_eq!(summary.local_misroute_fraction, 0.0);
+        // minimal paths never exceed 3 hops
+        assert!(summary.avg_hops <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_the_same_seed() {
+        let run = |seed: u64| {
+            let cfg = SimulationConfig::builder()
+                .topology(DragonflyParams::small())
+                .network(NetworkConfig::fast_test())
+                .routing(RoutingKind::Base)
+                .pattern(PatternKind::Uniform)
+                .offered_load(0.2)
+                .warmup_cycles(0)
+                .measurement_cycles(300)
+                .seed(seed)
+                .build()
+                .unwrap();
+            let mut net = Network::new(cfg);
+            net.metrics_mut().start_measurement(0);
+            net.run_cycles(300);
+            let s = net.metrics().window_summary();
+            (s.delivered_packets, s.avg_packet_latency)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn in_flight_accounting_is_consistent() {
+        let mut net = Network::new(small_config(RoutingKind::Olm, PatternKind::Uniform, 0.2));
+        net.run_cycles(300);
+        // in_flight counts packets injected but not delivered; it can never
+        // exceed total generated packets
+        let generated = net.metrics().generated_phits_total / 8;
+        assert!(net.in_flight() <= generated);
+    }
+}

@@ -1,0 +1,165 @@
+//! Compute nodes: traffic generation and source queues.
+//!
+//! Each node runs a Bernoulli injector and keeps an unbounded source queue in
+//! front of its router's injection port (as in FOGSim: the network interface
+//! never drops traffic, so offered load is exactly the generated load and
+//! saturation shows up as source-queue growth and latency blow-up rather than
+//! packet loss).
+
+use df_engine::DeterministicRng;
+use df_model::{Cycle, Packet};
+use df_topology::NodeId;
+use df_traffic::{BernoulliInjector, TrafficPattern};
+use std::collections::VecDeque;
+
+/// A compute node: injector plus source queue.
+#[derive(Debug, Clone)]
+pub struct Node {
+    injector: BernoulliInjector,
+    source_queue: VecDeque<Packet>,
+    /// Round-robin pointer over the injection VCs of the attached router
+    /// port.
+    next_vc: usize,
+    /// Statistics: packets generated / handed to the router.
+    generated_phits: u64,
+    injected_packets: u64,
+}
+
+impl Node {
+    /// Create a node with its own RNG stream.
+    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+        Node {
+            injector: BernoulliInjector::new(node, offered_load, packet_size_phits, rng),
+            source_queue: VecDeque::new(),
+            next_vc: 0,
+            generated_phits: 0,
+            injected_packets: 0,
+        }
+    }
+
+    /// The node identifier.
+    pub fn id(&self) -> NodeId {
+        self.injector.node()
+    }
+
+    /// Generate this cycle's traffic (if any) into the source queue. Returns
+    /// the number of phits generated (0 or the packet size).
+    pub fn generate(&mut self, now: Cycle, pattern: &TrafficPattern, next_packet_id: &mut u64) -> u32 {
+        if let Some(packet) = self.injector.tick(now, pattern, next_packet_id) {
+            let phits = packet.size_phits;
+            self.generated_phits += phits as u64;
+            self.source_queue.push_back(packet);
+            phits
+        } else {
+            0
+        }
+    }
+
+    /// Change the offered load (phase changes with a load override).
+    pub fn set_offered_load(&mut self, load: f64) {
+        self.injector.set_offered_load(load);
+    }
+
+    /// Peek the packet waiting to enter the network.
+    pub fn head(&self) -> Option<&Packet> {
+        self.source_queue.front()
+    }
+
+    /// Remove the head packet (it was accepted by the router's injection
+    /// buffer).
+    pub fn pop_head(&mut self) -> Option<Packet> {
+        let p = self.source_queue.pop_front();
+        if p.is_some() {
+            self.injected_packets += 1;
+        }
+        p
+    }
+
+    /// Packets currently waiting in the source queue.
+    pub fn queue_len(&self) -> usize {
+        self.source_queue.len()
+    }
+
+    /// Total phits generated so far.
+    pub fn generated_phits(&self) -> u64 {
+        self.generated_phits
+    }
+
+    /// Total packets handed to the router so far.
+    pub fn injected_packets(&self) -> u64 {
+        self.injected_packets
+    }
+
+    /// Round-robin pointer over injection VCs; advances on every call.
+    pub fn take_vc_rr(&mut self, num_vcs: usize) -> usize {
+        let s = self.next_vc % num_vcs.max(1);
+        self.next_vc = (s + 1) % num_vcs.max(1);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_topology::{Dragonfly, DragonflyParams};
+    use df_traffic::PatternKind;
+
+    fn pattern() -> TrafficPattern {
+        PatternKind::Uniform.build(Dragonfly::new(DragonflyParams::small()))
+    }
+
+    #[test]
+    fn generation_fills_the_source_queue() {
+        let pat = pattern();
+        let mut node = Node::new(NodeId(3), 1.0, 1, DeterministicRng::new(1));
+        let mut id = 0;
+        for now in 0..100 {
+            node.generate(now, &pat, &mut id);
+        }
+        assert_eq!(node.queue_len(), 100);
+        assert_eq!(node.generated_phits(), 100);
+        assert_eq!(node.injected_packets(), 0);
+        let p = node.pop_head().unwrap();
+        assert_eq!(p.src, NodeId(3));
+        assert_eq!(node.injected_packets(), 1);
+        assert_eq!(node.queue_len(), 99);
+    }
+
+    #[test]
+    fn head_is_fifo() {
+        let pat = pattern();
+        let mut node = Node::new(NodeId(0), 1.0, 1, DeterministicRng::new(2));
+        let mut id = 0;
+        node.generate(0, &pat, &mut id);
+        node.generate(1, &pat, &mut id);
+        let first = node.head().unwrap().id;
+        let popped = node.pop_head().unwrap();
+        assert_eq!(popped.id, first);
+        assert_ne!(node.head().unwrap().id, first);
+    }
+
+    #[test]
+    fn vc_round_robin_cycles() {
+        let mut node = Node::new(NodeId(0), 0.5, 8, DeterministicRng::new(3));
+        assert_eq!(node.take_vc_rr(3), 0);
+        assert_eq!(node.take_vc_rr(3), 1);
+        assert_eq!(node.take_vc_rr(3), 2);
+        assert_eq!(node.take_vc_rr(3), 0);
+    }
+
+    #[test]
+    fn load_override_changes_generation_rate() {
+        let pat = pattern();
+        let mut node = Node::new(NodeId(0), 0.0, 8, DeterministicRng::new(4));
+        let mut id = 0;
+        for now in 0..1_000 {
+            node.generate(now, &pat, &mut id);
+        }
+        assert_eq!(node.queue_len(), 0);
+        node.set_offered_load(1.0);
+        for now in 1_000..9_000 {
+            node.generate(now, &pat, &mut id);
+        }
+        assert!(node.queue_len() > 800);
+    }
+}

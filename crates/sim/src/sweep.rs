@@ -1,0 +1,135 @@
+//! Parameter sweeps: run many steady-state experiments in parallel.
+//!
+//! The paper's latency/throughput figures are sweeps over offered load (and,
+//! for Figure 10, over the misrouting threshold), with every point averaged
+//! over 10 seeds. Each point is an independent simulation, so the sweep
+//! parallelises trivially over OS threads: a `crossbeam` scope fans the
+//! configurations out to a bounded worker pool and a `parking_lot` mutex
+//! collects the reports in input order.
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+
+use crate::config::SimulationConfig;
+use crate::experiment::{SteadyStateExperiment, SteadyStateReport};
+
+/// Run every configuration and return the reports in the same order.
+/// `seeds_per_point` > 1 averages each point over consecutive seeds.
+/// `threads` bounds the worker count (use `num_threads()` for a default).
+pub fn run_sweep(
+    configs: &[SimulationConfig],
+    seeds_per_point: u64,
+    threads: usize,
+) -> Vec<SteadyStateReport> {
+    assert!(seeds_per_point > 0);
+    let threads = threads.max(1);
+    let results: Mutex<Vec<Option<SteadyStateReport>>> = Mutex::new(vec![None; configs.len()]);
+    let (tx, rx) = channel::unbounded::<usize>();
+    for i in 0..configs.len() {
+        tx.send(i).expect("queueing work cannot fail");
+    }
+    drop(tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(configs.len().max(1)) {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move |_| {
+                while let Ok(idx) = rx.recv() {
+                    let experiment = SteadyStateExperiment::new(configs[idx].clone());
+                    let report = if seeds_per_point == 1 {
+                        experiment.run()
+                    } else {
+                        experiment.run_averaged(seeds_per_point)
+                    };
+                    results.lock()[idx] = Some(report);
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every configuration was run"))
+        .collect()
+}
+
+/// A reasonable default worker count: the available parallelism, capped so
+/// laptop runs stay responsive.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Build one configuration per offered-load point from a template.
+pub fn load_sweep(template: &SimulationConfig, loads: &[f64]) -> Vec<SimulationConfig> {
+    loads
+        .iter()
+        .map(|&load| {
+            let mut c = template.clone();
+            c.offered_load = load;
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::NetworkConfig;
+    use df_routing::RoutingKind;
+    use df_topology::DragonflyParams;
+    use df_traffic::PatternKind;
+
+    fn template() -> SimulationConfig {
+        SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(RoutingKind::Minimal)
+            .pattern(PatternKind::Uniform)
+            .warmup_cycles(100)
+            .measurement_cycles(200)
+            .seed(0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn load_sweep_builds_one_config_per_point() {
+        let configs = load_sweep(&template(), &[0.05, 0.1, 0.2]);
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0].offered_load, 0.05);
+        assert_eq!(configs[2].offered_load, 0.2);
+    }
+
+    #[test]
+    fn parallel_sweep_returns_reports_in_order() {
+        let configs = load_sweep(&template(), &[0.05, 0.15]);
+        let reports = run_sweep(&configs, 1, 2);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].offered_load, 0.05);
+        assert_eq!(reports[1].offered_load, 0.15);
+        assert!(reports.iter().all(|r| r.delivered_packets > 0));
+        // higher offered load must accept at least as much traffic at these
+        // uncongested points
+        assert!(reports[1].accepted_load > reports[0].accepted_load);
+    }
+
+    #[test]
+    fn sweep_matches_sequential_execution() {
+        let configs = load_sweep(&template(), &[0.1]);
+        let parallel = run_sweep(&configs, 1, 4);
+        let sequential = SteadyStateExperiment::new(configs[0].clone()).run();
+        assert_eq!(parallel[0].delivered_packets, sequential.delivered_packets);
+        assert_eq!(parallel[0].avg_packet_latency, sequential.avg_packet_latency);
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,479 @@
+//! The [`Dragonfly`] topology object: coordinates, wiring and neighbour
+//! queries.
+//!
+//! # Wiring convention (palmtree arrangement)
+//!
+//! Within a group the `a` routers form a complete graph over their local
+//! ports. Between groups, the *palmtree* arrangement of Camarero et al.
+//! (TACO'14) is used, the same arrangement as the paper's Table I:
+//!
+//! * the global link with **group-level index** `j = r*h + k` (router local
+//!   index `r`, global-port offset `k`) of group `G` connects to group
+//!   `(G + j + 1) mod (a*h + 1)`;
+//! * the peer end of that link is the global link with group-level index
+//!   `a*h - 1 - j` of the destination group.
+//!
+//! This wiring is symmetric (following a link forth and back returns to the
+//! same router/port) and, for any pair of distinct groups, provides exactly
+//! one connecting global link, which keeps minimal routes unique — the
+//! property the paper relies on to associate one contention counter with the
+//! minimal path of each packet.
+//!
+//! Partially-populated networks (`groups < a*h + 1`) are supported: the same
+//! formula is used and ports whose peer group does not exist are reported as
+//! unconnected.
+
+use crate::ids::{GroupId, NodeId, RouterId};
+use crate::params::{DragonflyParams, ParamsError};
+use crate::port::{Port, PortClass};
+use serde::{Deserialize, Serialize};
+
+/// What is attached at the far end of a router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortPeer {
+    /// A compute node (terminal ports).
+    Node(NodeId),
+    /// Another router, reached through the given port *of that router*.
+    Router(RouterId, Port),
+    /// The port is not wired (only possible for global ports of
+    /// partially-populated networks).
+    Unconnected,
+}
+
+/// A canonical Dragonfly topology.
+///
+/// The object is cheap (it stores only the parameters); all queries are
+/// computed arithmetically, so it can be freely cloned and shared between
+/// routers, traffic generators and routing algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dragonfly {
+    params: DragonflyParams,
+}
+
+impl Dragonfly {
+    /// Build a topology from validated parameters.
+    pub fn new(params: DragonflyParams) -> Self {
+        Dragonfly { params }
+    }
+
+    /// Build a fully-populated canonical Dragonfly from `(p, a, h)`.
+    pub fn canonical(p: u32, a: u32, h: u32) -> Result<Self, ParamsError> {
+        Ok(Dragonfly::new(DragonflyParams::canonical(p, a, h)?))
+    }
+
+    /// Access the sizing parameters.
+    #[inline]
+    pub fn params(&self) -> &DragonflyParams {
+        &self.params
+    }
+
+    /// Total number of compute nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> u32 {
+        self.params.num_nodes()
+    }
+
+    /// Total number of routers.
+    #[inline]
+    pub fn num_routers(&self) -> u32 {
+        self.params.num_routers()
+    }
+
+    /// Total number of groups.
+    #[inline]
+    pub fn num_groups(&self) -> u32 {
+        self.params.num_groups()
+    }
+
+    // ---------------------------------------------------------------------
+    // Coordinates
+    // ---------------------------------------------------------------------
+
+    /// Router to which a node is attached.
+    #[inline]
+    pub fn node_router(&self, node: NodeId) -> RouterId {
+        RouterId(node.0 / self.params.p)
+    }
+
+    /// Terminal port (on its router) through which a node injects/ejects.
+    #[inline]
+    pub fn node_port(&self, node: NodeId) -> Port {
+        Port(node.0 % self.params.p)
+    }
+
+    /// Group of a node.
+    #[inline]
+    pub fn node_group(&self, node: NodeId) -> GroupId {
+        self.router_group(self.node_router(node))
+    }
+
+    /// Group of a router.
+    #[inline]
+    pub fn router_group(&self, router: RouterId) -> GroupId {
+        GroupId(router.0 / self.params.a)
+    }
+
+    /// Local index of a router inside its group (`0 .. a`).
+    #[inline]
+    pub fn router_local_index(&self, router: RouterId) -> u32 {
+        router.0 % self.params.a
+    }
+
+    /// Router with the given local index inside the given group.
+    #[inline]
+    pub fn router_at(&self, group: GroupId, local_index: u32) -> RouterId {
+        debug_assert!(local_index < self.params.a);
+        RouterId(group.0 * self.params.a + local_index)
+    }
+
+    /// Node attached at terminal-port offset `k` of a router.
+    #[inline]
+    pub fn node_at(&self, router: RouterId, k: u32) -> NodeId {
+        debug_assert!(k < self.params.p);
+        NodeId(router.0 * self.params.p + k)
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// Iterator over all router identifiers.
+    pub fn routers(&self) -> impl Iterator<Item = RouterId> {
+        (0..self.num_routers()).map(RouterId)
+    }
+
+    /// Iterator over all group identifiers.
+    pub fn groups(&self) -> impl Iterator<Item = GroupId> {
+        (0..self.num_groups()).map(GroupId)
+    }
+
+    /// Iterator over the routers of one group.
+    pub fn routers_in_group(&self, group: GroupId) -> impl Iterator<Item = RouterId> {
+        let a = self.params.a;
+        (0..a).map(move |i| RouterId(group.0 * a + i))
+    }
+
+    /// Iterator over the nodes attached to one router.
+    pub fn nodes_of_router(&self, router: RouterId) -> impl Iterator<Item = NodeId> {
+        let p = self.params.p;
+        (0..p).map(move |k| NodeId(router.0 * p + k))
+    }
+
+    // ---------------------------------------------------------------------
+    // Local (intra-group) wiring
+    // ---------------------------------------------------------------------
+
+    /// The router reached through local port offset `k` (`0 <= k < a-1`) of
+    /// `router`. The complete-graph wiring skips the router itself: offsets
+    /// `0..a-1` map to the other routers in increasing local index.
+    pub fn local_neighbor(&self, router: RouterId, k: u32) -> RouterId {
+        let a = self.params.a;
+        debug_assert!(k < a - 1);
+        let me = self.router_local_index(router);
+        let neighbor_index = if k < me { k } else { k + 1 };
+        self.router_at(self.router_group(router), neighbor_index)
+    }
+
+    /// The local port of `router` that connects to `neighbor`, which must be a
+    /// different router of the same group.
+    pub fn local_port_to(&self, router: RouterId, neighbor: RouterId) -> Port {
+        debug_assert_eq!(self.router_group(router), self.router_group(neighbor));
+        debug_assert_ne!(router, neighbor);
+        let me = self.router_local_index(router);
+        let other = self.router_local_index(neighbor);
+        let k = if other < me { other } else { other - 1 };
+        Port::local(&self.params, k)
+    }
+
+    // ---------------------------------------------------------------------
+    // Global (inter-group) wiring — palmtree arrangement
+    // ---------------------------------------------------------------------
+
+    /// Group-level index (`0 .. a*h`) of the global link at global-port offset
+    /// `k` of `router`. ECtN partial/combined arrays are indexed by this
+    /// value.
+    #[inline]
+    pub fn global_link_index(&self, router: RouterId, k: u32) -> u32 {
+        debug_assert!(k < self.params.h);
+        self.router_local_index(router) * self.params.h + k
+    }
+
+    /// Inverse of [`global_link_index`](Self::global_link_index): the router
+    /// (within `group`) and global-port offset owning group-level link `j`.
+    #[inline]
+    pub fn global_link_owner(&self, group: GroupId, j: u32) -> (RouterId, Port) {
+        debug_assert!(j < self.params.global_links_per_group());
+        let r = j / self.params.h;
+        let k = j % self.params.h;
+        (self.router_at(group, r), Port::global(&self.params, k))
+    }
+
+    /// Destination group of group-level global link `j` of `group`, following
+    /// the palmtree arrangement. Returns `None` if the peer group is not
+    /// populated.
+    pub fn global_link_target_group(&self, group: GroupId, j: u32) -> Option<GroupId> {
+        debug_assert!(j < self.params.global_links_per_group());
+        let virt_groups = self.params.a * self.params.h + 1;
+        let dst = (group.0 + j + 1) % virt_groups;
+        (dst < self.params.groups).then_some(GroupId(dst))
+    }
+
+    /// The router and port at the far end of global-port offset `k` of
+    /// `router`, or `None` if the link is unconnected (partially-populated
+    /// network).
+    pub fn global_neighbor(&self, router: RouterId, k: u32) -> Option<(RouterId, Port)> {
+        let group = self.router_group(router);
+        let j = self.global_link_index(router, k);
+        let dst_group = self.global_link_target_group(group, j)?;
+        let j_rev = self.params.global_links_per_group() - 1 - j;
+        Some(self.global_link_owner(dst_group, j_rev))
+    }
+
+    /// The group-level global link index (`0 .. a*h`) inside `src_group` that
+    /// connects directly to `dst_group`.
+    ///
+    /// Canonical Dragonflies have exactly one such link, which is what lets
+    /// the paper associate a single contention counter with the minimal route
+    /// towards each remote group.
+    pub fn group_link_to(&self, src_group: GroupId, dst_group: GroupId) -> u32 {
+        debug_assert_ne!(src_group, dst_group);
+        debug_assert!(src_group.0 < self.params.groups && dst_group.0 < self.params.groups);
+        let virt_groups = self.params.a * self.params.h + 1;
+        (dst_group.0 + virt_groups - src_group.0 - 1) % virt_groups
+    }
+
+    /// The router of `src_group` that owns the (unique) global link towards
+    /// `dst_group`, together with the global port used.
+    pub fn gateway_to(&self, src_group: GroupId, dst_group: GroupId) -> (RouterId, Port) {
+        let j = self.group_link_to(src_group, dst_group);
+        self.global_link_owner(src_group, j)
+    }
+
+    // ---------------------------------------------------------------------
+    // Generic neighbour query
+    // ---------------------------------------------------------------------
+
+    /// What is attached at the far end of `port` of `router`.
+    pub fn peer(&self, router: RouterId, port: Port) -> PortPeer {
+        match port.class(&self.params) {
+            PortClass::Terminal => PortPeer::Node(self.node_at(router, port.class_offset(&self.params))),
+            PortClass::Local => {
+                let k = port.class_offset(&self.params);
+                let neighbor = self.local_neighbor(router, k);
+                let back = self.local_port_to(neighbor, router);
+                PortPeer::Router(neighbor, back)
+            }
+            PortClass::Global => {
+                let k = port.class_offset(&self.params);
+                match self.global_neighbor(router, k) {
+                    Some((neighbor, back)) => PortPeer::Router(neighbor, back),
+                    None => PortPeer::Unconnected,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn df() -> Dragonfly {
+        Dragonfly::new(DragonflyParams::small()) // p=2, a=4, h=2, 9 groups
+    }
+
+    #[test]
+    fn coordinates_round_trip() {
+        let t = df();
+        for node in t.nodes() {
+            let r = t.node_router(node);
+            let port = t.node_port(node);
+            assert_eq!(t.node_at(r, port.class_offset(t.params())), node);
+        }
+        for router in t.routers() {
+            let g = t.router_group(router);
+            let i = t.router_local_index(router);
+            assert_eq!(t.router_at(g, i), router);
+        }
+    }
+
+    #[test]
+    fn local_wiring_is_a_complete_graph() {
+        let t = df();
+        let a = t.params().a;
+        for router in t.routers() {
+            let mut seen = std::collections::HashSet::new();
+            for k in 0..a - 1 {
+                let n = t.local_neighbor(router, k);
+                assert_ne!(n, router, "no self-links");
+                assert_eq!(t.router_group(n), t.router_group(router));
+                seen.insert(n);
+            }
+            assert_eq!(seen.len(), (a - 1) as usize, "all distinct neighbours");
+        }
+    }
+
+    #[test]
+    fn local_wiring_is_symmetric() {
+        let t = df();
+        for router in t.routers() {
+            for k in 0..t.params().a - 1 {
+                let n = t.local_neighbor(router, k);
+                let back = t.local_port_to(n, router);
+                assert_eq!(t.local_neighbor(n, back.class_offset(t.params())), router);
+            }
+        }
+    }
+
+    #[test]
+    fn global_wiring_is_symmetric() {
+        let t = df();
+        for router in t.routers() {
+            for k in 0..t.params().h {
+                let (peer, peer_port) = t.global_neighbor(router, k).expect("fully populated");
+                let k_back = peer_port.class_offset(t.params());
+                let (back, back_port) = t.global_neighbor(peer, k_back).expect("fully populated");
+                assert_eq!(back, router, "global link is bidirectional");
+                assert_eq!(back_port.class_offset(t.params()), k);
+            }
+        }
+    }
+
+    #[test]
+    fn every_pair_of_groups_has_exactly_one_link() {
+        let t = df();
+        let groups = t.num_groups();
+        let mut count = vec![vec![0u32; groups as usize]; groups as usize];
+        for router in t.routers() {
+            let g = t.router_group(router);
+            for k in 0..t.params().h {
+                let (peer, _) = t.global_neighbor(router, k).unwrap();
+                let pg = t.router_group(peer);
+                assert_ne!(pg, g, "global links leave the group");
+                count[g.index()][pg.index()] += 1;
+            }
+        }
+        for g1 in 0..groups as usize {
+            for g2 in 0..groups as usize {
+                if g1 == g2 {
+                    assert_eq!(count[g1][g2], 0);
+                } else {
+                    assert_eq!(count[g1][g2], 1, "groups {g1}->{g2} must have one link");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_matches_global_wiring() {
+        let t = df();
+        for g1 in t.groups() {
+            for g2 in t.groups() {
+                if g1 == g2 {
+                    continue;
+                }
+                let (gw, port) = t.gateway_to(g1, g2);
+                assert_eq!(t.router_group(gw), g1);
+                let (peer, _) = t
+                    .global_neighbor(gw, port.class_offset(t.params()))
+                    .unwrap();
+                assert_eq!(t.router_group(peer), g2, "gateway {g1}->{g2} lands in {g2}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_link_index_round_trips_with_owner() {
+        let t = df();
+        for g in t.groups() {
+            for j in 0..t.params().global_links_per_group() {
+                let (r, port) = t.global_link_owner(g, j);
+                assert_eq!(t.router_group(r), g);
+                assert_eq!(
+                    t.global_link_index(r, port.class_offset(t.params())),
+                    j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peer_covers_all_port_classes() {
+        let t = df();
+        let r = RouterId(5);
+        let params = *t.params();
+        let mut nodes = 0;
+        let mut routers = 0;
+        for port in Port::all(&params) {
+            match t.peer(r, port) {
+                PortPeer::Node(n) => {
+                    assert_eq!(t.node_router(n), r);
+                    nodes += 1;
+                }
+                PortPeer::Router(peer, back) => {
+                    // following the back port must return here
+                    match t.peer(peer, back) {
+                        PortPeer::Router(me, my_port) => {
+                            assert_eq!(me, r);
+                            assert_eq!(my_port, port);
+                        }
+                        other => panic!("expected router peer, got {other:?}"),
+                    }
+                    routers += 1;
+                }
+                PortPeer::Unconnected => panic!("fully populated network has no dangling ports"),
+            }
+        }
+        assert_eq!(nodes, params.p);
+        assert_eq!(routers, params.a - 1 + params.h);
+    }
+
+    #[test]
+    fn partially_populated_network_has_unconnected_ports() {
+        let t = Dragonfly::new(DragonflyParams::new(2, 4, 2, 5).unwrap());
+        let mut unconnected = 0;
+        for router in t.routers() {
+            for k in 0..t.params().h {
+                if t.global_neighbor(router, k).is_none() {
+                    unconnected += 1;
+                }
+            }
+        }
+        assert!(unconnected > 0, "5 of 9 groups populated leaves dangling links");
+        // but all populated group pairs remain connected
+        for g1 in t.groups() {
+            for g2 in t.groups() {
+                if g1 != g2 {
+                    let (gw, port) = t.gateway_to(g1, g2);
+                    let (peer, _) = t
+                        .global_neighbor(gw, port.class_offset(t.params()))
+                        .expect("populated pairs stay wired");
+                    assert_eq!(t.router_group(peer), g2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_scale_spot_checks() {
+        let t = Dragonfly::new(DragonflyParams::paper_table1());
+        assert_eq!(t.num_nodes(), 16_512);
+        assert_eq!(t.num_routers(), 2_064);
+        assert_eq!(t.num_groups(), 129);
+        // last node belongs to the last router of the last group
+        let last = NodeId(t.num_nodes() - 1);
+        assert_eq!(t.node_router(last), RouterId(t.num_routers() - 1));
+        assert_eq!(t.node_group(last), GroupId(128));
+        // global wiring symmetric for a few routers
+        for r in [0u32, 1, 17, 1000, 2063] {
+            for k in 0..8 {
+                let (peer, pport) = t.global_neighbor(RouterId(r), k).unwrap();
+                let (back, _) = t
+                    .global_neighbor(peer, pport.class_offset(t.params()))
+                    .unwrap();
+                assert_eq!(back, RouterId(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Router ports: numbering convention and classification.
+//!
+//! Every router has `p + (a-1) + h` ports, numbered consecutively:
+//!
+//! | index range                 | class      | connects to                      |
+//! |-----------------------------|------------|----------------------------------|
+//! | `0 .. p`                    | terminal   | the `p` compute nodes (injection *and* ejection) |
+//! | `p .. p + (a-1)`            | local      | the other `a-1` routers of the group |
+//! | `p + (a-1) .. p + (a-1) + h`| global     | routers in other groups          |
+//!
+//! The *local* port with offset `k` connects to the group-local router whose
+//! local index is obtained by skipping the router itself (see
+//! [`crate::Dragonfly::local_neighbor`]). The *global* port with offset `k` is
+//! the router's `k`-th global link, wired according to the palmtree
+//! arrangement.
+
+use crate::params::DragonflyParams;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Classification of a router port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortClass {
+    /// Port attached to a compute node; used for injection and ejection.
+    Terminal,
+    /// Intra-group link to another router of the same group.
+    Local,
+    /// Inter-group (global) link.
+    Global,
+}
+
+impl fmt::Display for PortClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortClass::Terminal => write!(f, "terminal"),
+            PortClass::Local => write!(f, "local"),
+            PortClass::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// A port index within a router (0-based, covering all classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Port(pub u32);
+
+impl Port {
+    /// Raw index as `usize` for vector indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Build the terminal port for local node offset `k` (`0 <= k < p`).
+    #[inline]
+    pub fn terminal(k: u32) -> Port {
+        Port(k)
+    }
+
+    /// Build the local port with offset `k` (`0 <= k < a-1`).
+    #[inline]
+    pub fn local(params: &DragonflyParams, k: u32) -> Port {
+        debug_assert!(k < params.a - 1);
+        Port(params.p + k)
+    }
+
+    /// Build the global port with offset `k` (`0 <= k < h`).
+    #[inline]
+    pub fn global(params: &DragonflyParams, k: u32) -> Port {
+        debug_assert!(k < params.h);
+        Port(params.p + (params.a - 1) + k)
+    }
+
+    /// Classify this port under the given topology parameters.
+    #[inline]
+    pub fn class(self, params: &DragonflyParams) -> PortClass {
+        let p = params.p;
+        let a = params.a;
+        if self.0 < p {
+            PortClass::Terminal
+        } else if self.0 < p + (a - 1) {
+            PortClass::Local
+        } else {
+            debug_assert!(self.0 < params.radix(), "port {} out of radix", self.0);
+            PortClass::Global
+        }
+    }
+
+    /// Offset of this port within its class (e.g. the 3rd global port has
+    /// offset 2).
+    #[inline]
+    pub fn class_offset(self, params: &DragonflyParams) -> u32 {
+        match self.class(params) {
+            PortClass::Terminal => self.0,
+            PortClass::Local => self.0 - params.p,
+            PortClass::Global => self.0 - params.p - (params.a - 1),
+        }
+    }
+
+    /// Iterator over all ports of a router with the given parameters.
+    pub fn all(params: &DragonflyParams) -> impl Iterator<Item = Port> {
+        (0..params.radix()).map(Port)
+    }
+
+    /// Iterator over the terminal ports.
+    pub fn terminals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
+        (0..params.p).map(Port)
+    }
+
+    /// Iterator over the local ports.
+    pub fn locals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
+        let p = params.p;
+        (0..params.a - 1).map(move |k| Port(p + k))
+    }
+
+    /// Iterator over the global ports.
+    pub fn globals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
+        let base = params.p + params.a - 1;
+        (0..params.h).map(move |k| Port(base + k))
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DragonflyParams {
+        DragonflyParams::small() // p=2, a=4, h=2 -> radix 7
+    }
+
+    #[test]
+    fn classification_covers_all_ranges() {
+        let p = params();
+        assert_eq!(Port(0).class(&p), PortClass::Terminal);
+        assert_eq!(Port(1).class(&p), PortClass::Terminal);
+        assert_eq!(Port(2).class(&p), PortClass::Local);
+        assert_eq!(Port(4).class(&p), PortClass::Local);
+        assert_eq!(Port(5).class(&p), PortClass::Global);
+        assert_eq!(Port(6).class(&p), PortClass::Global);
+    }
+
+    #[test]
+    fn constructors_and_offsets_agree() {
+        let p = params();
+        for k in 0..p.p {
+            let port = Port::terminal(k);
+            assert_eq!(port.class(&p), PortClass::Terminal);
+            assert_eq!(port.class_offset(&p), k);
+        }
+        for k in 0..p.a - 1 {
+            let port = Port::local(&p, k);
+            assert_eq!(port.class(&p), PortClass::Local);
+            assert_eq!(port.class_offset(&p), k);
+        }
+        for k in 0..p.h {
+            let port = Port::global(&p, k);
+            assert_eq!(port.class(&p), PortClass::Global);
+            assert_eq!(port.class_offset(&p), k);
+        }
+    }
+
+    #[test]
+    fn iterators_partition_the_radix() {
+        let p = params();
+        let all: Vec<_> = Port::all(&p).collect();
+        assert_eq!(all.len(), p.radix() as usize);
+        let terminals: Vec<_> = Port::terminals(&p).collect();
+        let locals: Vec<_> = Port::locals(&p).collect();
+        let globals: Vec<_> = Port::globals(&p).collect();
+        assert_eq!(
+            terminals.len() + locals.len() + globals.len(),
+            all.len(),
+            "classes partition the radix"
+        );
+        assert!(terminals.iter().all(|q| q.class(&p) == PortClass::Terminal));
+        assert!(locals.iter().all(|q| q.class(&p) == PortClass::Local));
+        assert!(globals.iter().all(|q| q.class(&p) == PortClass::Global));
+    }
+
+    #[test]
+    fn paper_radix_port_layout() {
+        let p = DragonflyParams::paper_table1();
+        // Table I: 31 ports = 8 injection + 15 local + 8 global.
+        assert_eq!(Port::terminals(&p).count(), 8);
+        assert_eq!(Port::locals(&p).count(), 15);
+        assert_eq!(Port::globals(&p).count(), 8);
+        assert_eq!(Port::all(&p).count(), 31);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Port(3).to_string(), "p3");
+        assert_eq!(PortClass::Global.to_string(), "global");
+    }
+}

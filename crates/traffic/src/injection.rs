@@ -1,0 +1,190 @@
+//! Packet generation: the per-node Bernoulli injection process.
+
+use df_engine::DeterministicRng;
+use df_model::{Cycle, Packet, PacketId};
+use df_topology::NodeId;
+
+use crate::pattern::TrafficPattern;
+
+/// Bernoulli packet generator for one node.
+///
+/// Each cycle the node generates a packet with probability
+/// `offered_load / packet_size` (the paper expresses load in
+/// phits/(node·cycle), and a packet carries `packet_size` phits), so the
+/// long-run offered load in phits per cycle equals `offered_load`.
+#[derive(Debug, Clone)]
+pub struct BernoulliInjector {
+    node: NodeId,
+    packet_size_phits: u32,
+    injection_probability: f64,
+    rng: DeterministicRng,
+    generated: u64,
+}
+
+impl BernoulliInjector {
+    /// Create a generator for `node` with the given offered load in
+    /// phits/(node·cycle) and packet size in phits. `rng` must be a stream
+    /// dedicated to this node (see [`DeterministicRng::split`]).
+    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+        assert!(packet_size_phits > 0, "packets must have at least one phit");
+        assert!(
+            (0.0..=1.0).contains(&offered_load),
+            "offered load must be in [0, 1] phits/(node*cycle), got {offered_load}"
+        );
+        BernoulliInjector {
+            node,
+            packet_size_phits,
+            injection_probability: offered_load / packet_size_phits as f64,
+            rng,
+            generated: 0,
+        }
+    }
+
+    /// The node this injector generates traffic for.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Change the offered load (phits/(node·cycle)) on the fly; used by
+    /// experiments that ramp load.
+    pub fn set_offered_load(&mut self, offered_load: f64) {
+        assert!((0.0..=1.0).contains(&offered_load));
+        self.injection_probability = offered_load / self.packet_size_phits as f64;
+    }
+
+    /// Advance one cycle: possibly generate a packet destined according to
+    /// `pattern`. `next_id` provides the globally unique packet identifier.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        pattern: &TrafficPattern,
+        next_id: &mut u64,
+    ) -> Option<Packet> {
+        if !self.rng.bernoulli(self.injection_probability) {
+            return None;
+        }
+        let dst = pattern.destination(self.node, &mut self.rng);
+        let id = PacketId(*next_id);
+        *next_id += 1;
+        self.generated += 1;
+        Some(Packet::new(id, self.node, dst, self.packet_size_phits, now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternKind;
+    use df_topology::{Dragonfly, DragonflyParams};
+
+    fn pattern() -> TrafficPattern {
+        PatternKind::Uniform.build(Dragonfly::new(DragonflyParams::small()))
+    }
+
+    #[test]
+    fn generation_rate_matches_offered_load() {
+        let pat = pattern();
+        let load = 0.4; // phits per node per cycle
+        let mut inj = BernoulliInjector::new(NodeId(0), load, 8, DeterministicRng::new(11));
+        let mut next_id = 0;
+        let cycles = 200_000u64;
+        let mut phits = 0u64;
+        for now in 0..cycles {
+            if let Some(p) = inj.tick(now, &pat, &mut next_id) {
+                phits += p.size_phits as u64;
+            }
+        }
+        let rate = phits as f64 / cycles as f64;
+        assert!(
+            (rate - load).abs() < 0.02,
+            "measured rate {rate} too far from offered {load}"
+        );
+        assert_eq!(inj.generated(), next_id);
+    }
+
+    #[test]
+    fn zero_load_generates_nothing() {
+        let pat = pattern();
+        let mut inj = BernoulliInjector::new(NodeId(0), 0.0, 8, DeterministicRng::new(1));
+        let mut next_id = 0;
+        for now in 0..10_000 {
+            assert!(inj.tick(now, &pat, &mut next_id).is_none());
+        }
+    }
+
+    #[test]
+    fn full_load_generates_every_packet_interval() {
+        let pat = pattern();
+        // load 1.0 phit/cycle with 1-phit packets = one packet per cycle
+        let mut inj = BernoulliInjector::new(NodeId(0), 1.0, 1, DeterministicRng::new(1));
+        let mut next_id = 0;
+        let packets = (0..1000).filter(|&now| inj.tick(now, &pat, &mut next_id).is_some()).count();
+        assert_eq!(packets, 1000);
+    }
+
+    #[test]
+    fn packets_carry_generation_metadata() {
+        let pat = pattern();
+        let mut inj = BernoulliInjector::new(NodeId(5), 1.0, 8, DeterministicRng::new(3));
+        let mut next_id = 100;
+        // probability 1/8 per cycle: run until one is generated
+        let mut produced = None;
+        for now in 0..1000 {
+            if let Some(p) = inj.tick(now, &pat, &mut next_id) {
+                produced = Some((now, p));
+                break;
+            }
+        }
+        let (now, p) = produced.expect("a packet should eventually be generated");
+        assert_eq!(p.src, NodeId(5));
+        assert_ne!(p.dst, NodeId(5));
+        assert_eq!(p.generated_at, now);
+        assert_eq!(p.id, PacketId(100));
+        assert_eq!(next_id, 101);
+    }
+
+    #[test]
+    fn ids_are_unique_across_injectors_sharing_counter() {
+        let pat = pattern();
+        let mut a = BernoulliInjector::new(NodeId(0), 1.0, 1, DeterministicRng::new(1).split(0));
+        let mut b = BernoulliInjector::new(NodeId(1), 1.0, 1, DeterministicRng::new(1).split(1));
+        let mut next_id = 0;
+        let mut ids = std::collections::HashSet::new();
+        for now in 0..100 {
+            if let Some(p) = a.tick(now, &pat, &mut next_id) {
+                assert!(ids.insert(p.id));
+            }
+            if let Some(p) = b.tick(now, &pat, &mut next_id) {
+                assert!(ids.insert(p.id));
+            }
+        }
+        assert_eq!(ids.len(), 200);
+    }
+
+    #[test]
+    fn set_offered_load_takes_effect() {
+        let pat = pattern();
+        let mut inj = BernoulliInjector::new(NodeId(0), 0.0, 8, DeterministicRng::new(2));
+        let mut next_id = 0;
+        for now in 0..1000 {
+            assert!(inj.tick(now, &pat, &mut next_id).is_none());
+        }
+        inj.set_offered_load(1.0);
+        let generated = (1000..9000)
+            .filter(|&now| inj.tick(now, &pat, &mut next_id).is_some())
+            .count();
+        // probability 1/8 per cycle over 8000 cycles ≈ 1000 packets
+        assert!(generated > 800 && generated < 1200, "generated {generated}");
+    }
+
+    #[test]
+    #[should_panic(expected = "offered load")]
+    fn overload_is_rejected() {
+        let _ = BernoulliInjector::new(NodeId(0), 1.5, 8, DeterministicRng::new(0));
+    }
+}

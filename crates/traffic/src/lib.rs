@@ -1,0 +1,30 @@
+//! # df-traffic — synthetic traffic generation
+//!
+//! The paper evaluates with synthetic traffic: every node generates packets
+//! according to a Bernoulli process with a configurable injection probability
+//! (in phits/(node·cycle)), and the destination of each packet follows a
+//! *traffic pattern*:
+//!
+//! * **UN** — uniform random: destination chosen uniformly among all other
+//!   nodes,
+//! * **ADV+i** — adversarial: every node of group `G` sends to a random node
+//!   of group `G + i`, which saturates the single global link between the two
+//!   groups under minimal routing (`ADV+1`), and additionally the local links
+//!   towards the gateway router when `i = h` (`ADV+h`),
+//! * **mixed** — each packet is adversarial with probability `1-f` and
+//!   uniform with probability `f` (Figure 6),
+//! * **transient** — the pattern changes at a given cycle (Figures 7–9).
+//!
+//! The module separates *what* destination a packet gets ([`pattern`]) from
+//! *when* packets are generated ([`injection`]) and from *how the pattern
+//! changes over time* ([`schedule`]).
+
+#![warn(missing_docs)]
+
+pub mod injection;
+pub mod pattern;
+pub mod schedule;
+
+pub use injection::BernoulliInjector;
+pub use pattern::{PatternKind, TrafficPattern};
+pub use schedule::{PatternPhase, TrafficSchedule};

@@ -1,0 +1,307 @@
+//! Traffic patterns: who sends to whom.
+
+use df_engine::DeterministicRng;
+use df_topology::{Dragonfly, GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a traffic pattern, used in configuration files
+/// and experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Uniform random traffic (UN).
+    Uniform,
+    /// Adversarial traffic ADV+`offset`: nodes of group `G` send to random
+    /// nodes of group `(G + offset) mod groups`. `offset = 1` is the paper's
+    /// ADV+1; `offset = h` is ADV+h, which additionally stresses local links.
+    Adversarial {
+        /// Group offset `i` of ADV+i.
+        offset: u32,
+    },
+    /// Mix of adversarial and uniform traffic: each packet is uniform with
+    /// probability `uniform_fraction`, adversarial (ADV+`offset`) otherwise
+    /// (Figure 6).
+    Mixed {
+        /// Group offset of the adversarial component.
+        offset: u32,
+        /// Probability that a packet follows the uniform component.
+        uniform_fraction: f64,
+    },
+}
+
+impl PatternKind {
+    /// Short name used in result tables ("UN", "ADV+1", ...).
+    pub fn label(&self) -> String {
+        match self {
+            PatternKind::Uniform => "UN".to_string(),
+            PatternKind::Adversarial { offset } => format!("ADV+{offset}"),
+            PatternKind::Mixed {
+                offset,
+                uniform_fraction,
+            } => format!("MIX(ADV+{offset},{:.0}%UN)", uniform_fraction * 100.0),
+        }
+    }
+
+    /// Materialise the pattern for a topology.
+    pub fn build(&self, topo: Dragonfly) -> TrafficPattern {
+        TrafficPattern { kind: *self, topo }
+    }
+}
+
+/// A traffic pattern bound to a topology: maps a source node (plus
+/// randomness) to a destination node.
+#[derive(Debug, Clone)]
+pub struct TrafficPattern {
+    kind: PatternKind,
+    topo: Dragonfly,
+}
+
+impl TrafficPattern {
+    /// The declarative kind of this pattern.
+    pub fn kind(&self) -> PatternKind {
+        self.kind
+    }
+
+    /// The topology the pattern is bound to.
+    pub fn topology(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// Draw a destination for a packet generated at `src`.
+    ///
+    /// The destination is always different from `src` (self-traffic is never
+    /// generated, matching FOGSim).
+    pub fn destination(&self, src: NodeId, rng: &mut DeterministicRng) -> NodeId {
+        match self.kind {
+            PatternKind::Uniform => self.uniform_destination(src, rng),
+            PatternKind::Adversarial { offset } => self.adversarial_destination(src, offset, rng),
+            PatternKind::Mixed {
+                offset,
+                uniform_fraction,
+            } => {
+                if rng.bernoulli(uniform_fraction) {
+                    self.uniform_destination(src, rng)
+                } else {
+                    self.adversarial_destination(src, offset, rng)
+                }
+            }
+        }
+    }
+
+    fn uniform_destination(&self, src: NodeId, rng: &mut DeterministicRng) -> NodeId {
+        let n = self.topo.num_nodes() as u64;
+        debug_assert!(n > 1, "uniform traffic needs at least two nodes");
+        // draw uniformly among the n-1 other nodes
+        let raw = rng.below(n - 1) as u32;
+        let dst = if raw >= src.0 { raw + 1 } else { raw };
+        NodeId(dst)
+    }
+
+    fn adversarial_destination(&self, src: NodeId, offset: u32, rng: &mut DeterministicRng) -> NodeId {
+        let groups = self.topo.num_groups();
+        debug_assert!(groups > 1, "adversarial traffic needs at least two groups");
+        let offset = {
+            // an offset that is a multiple of the group count would be
+            // self-group traffic; fold it into the valid range 1..groups
+            let m = offset % groups;
+            if m == 0 {
+                1
+            } else {
+                m
+            }
+        };
+        let src_group = self.topo.node_group(src);
+        let dst_group = GroupId((src_group.0 + offset) % groups);
+        // uniform node within the destination group
+        let nodes_per_group = (self.topo.params().a * self.topo.params().p) as u64;
+        let k = rng.below(nodes_per_group) as u32;
+        let first_router = self.topo.router_at(dst_group, 0);
+        NodeId(first_router.0 * self.topo.params().p + k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_topology::DragonflyParams;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyParams::small()) // p=2,a=4,h=2, 9 groups, 72 nodes
+    }
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(7)
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PatternKind::Uniform.label(), "UN");
+        assert_eq!(PatternKind::Adversarial { offset: 1 }.label(), "ADV+1");
+        assert_eq!(PatternKind::Adversarial { offset: 8 }.label(), "ADV+8");
+        assert_eq!(
+            PatternKind::Mixed {
+                offset: 1,
+                uniform_fraction: 0.4
+            }
+            .label(),
+            "MIX(ADV+1,40%UN)"
+        );
+    }
+
+    #[test]
+    fn uniform_never_targets_self_and_covers_nodes() {
+        let p = PatternKind::Uniform.build(topo());
+        let mut r = rng();
+        let src = NodeId(10);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..5_000 {
+            let d = p.destination(src, &mut r);
+            assert_ne!(d, src);
+            assert!(d.0 < p.topology().num_nodes());
+            seen.insert(d);
+        }
+        // 71 possible destinations; 5000 draws should see almost all of them
+        assert!(seen.len() > 65, "saw only {} destinations", seen.len());
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let p = PatternKind::Uniform.build(topo());
+        let mut r = rng();
+        let n = p.topology().num_nodes() as usize;
+        let mut counts = vec![0u32; n];
+        let draws = 71_000;
+        for _ in 0..draws {
+            counts[p.destination(NodeId(0), &mut r).index()] += 1;
+        }
+        assert_eq!(counts[0], 0, "no self traffic");
+        let expected = draws as f64 / (n as f64 - 1.0);
+        for (i, &c) in counts.iter().enumerate().skip(1) {
+            assert!(
+                (c as f64) > expected * 0.7 && (c as f64) < expected * 1.3,
+                "node {i} count {c} too far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_targets_the_offset_group() {
+        let t = topo();
+        let p = PatternKind::Adversarial { offset: 1 }.build(t);
+        let mut r = rng();
+        for src in t.nodes() {
+            let d = p.destination(src, &mut r);
+            let src_group = t.node_group(src);
+            let dst_group = t.node_group(d);
+            assert_eq!(
+                dst_group.0,
+                (src_group.0 + 1) % t.num_groups(),
+                "ADV+1 must target the next group"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_offset_h_matches_paper_advh() {
+        let t = topo();
+        let h = t.params().h;
+        let p = PatternKind::Adversarial { offset: h }.build(t);
+        let mut r = rng();
+        let src = NodeId(3);
+        let d = p.destination(src, &mut r);
+        assert_eq!(
+            t.node_group(d).0,
+            (t.node_group(src).0 + h) % t.num_groups()
+        );
+    }
+
+    #[test]
+    fn adversarial_offset_multiple_of_groups_does_not_self_target() {
+        let t = topo();
+        let groups = t.num_groups();
+        let p = PatternKind::Adversarial { offset: groups * 2 }.build(t);
+        let mut r = rng();
+        for src in [NodeId(0), NodeId(33), NodeId(71)] {
+            let d = p.destination(src, &mut r);
+            assert_ne!(t.node_group(d), t.node_group(src));
+        }
+    }
+
+    #[test]
+    fn adversarial_spreads_within_destination_group() {
+        let t = topo();
+        let p = PatternKind::Adversarial { offset: 1 }.build(t);
+        let mut r = rng();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1_000 {
+            seen.insert(p.destination(NodeId(0), &mut r));
+        }
+        // 8 nodes per group; all should appear
+        assert_eq!(seen.len(), (t.params().a * t.params().p) as usize);
+    }
+
+    #[test]
+    fn mixed_fraction_controls_the_blend() {
+        let t = topo();
+        let p = PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 0.25,
+        }
+        .build(t);
+        let mut r = rng();
+        let src = NodeId(0);
+        let adv_group = GroupId((t.node_group(src).0 + 1) % t.num_groups());
+        let draws = 20_000;
+        let adversarial = (0..draws)
+            .filter(|_| t.node_group(p.destination(src, &mut r)) == adv_group)
+            .count();
+        let frac = adversarial as f64 / draws as f64;
+        // 75% adversarial plus a small uniform contribution landing in that
+        // group by chance (1/9th of the 25%)
+        let expected = 0.75 + 0.25 / 9.0;
+        assert!(
+            (frac - expected).abs() < 0.03,
+            "adversarial fraction {frac} should be ~{expected}"
+        );
+    }
+
+    #[test]
+    fn mixed_extremes_degenerate_to_pure_patterns() {
+        let t = topo();
+        let mut r = rng();
+        let all_uniform = PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 1.0,
+        }
+        .build(t);
+        let all_adv = PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 0.0,
+        }
+        .build(t);
+        let src = NodeId(20);
+        let adv_group = GroupId((t.node_group(src).0 + 1) % t.num_groups());
+        for _ in 0..200 {
+            let d = all_adv.destination(src, &mut r);
+            assert_eq!(t.node_group(d), adv_group);
+        }
+        let mut all_in_adv_group = true;
+        for _ in 0..200 {
+            let d = all_uniform.destination(src, &mut r);
+            if t.node_group(d) != adv_group {
+                all_in_adv_group = false;
+            }
+        }
+        assert!(!all_in_adv_group, "uniform traffic must leave the ADV group");
+    }
+
+    #[test]
+    fn destinations_are_deterministic_given_seed() {
+        let t = topo();
+        let p = PatternKind::Uniform.build(t);
+        let mut r1 = DeterministicRng::new(3);
+        let mut r2 = DeterministicRng::new(3);
+        for src in t.nodes() {
+            assert_eq!(p.destination(src, &mut r1), p.destination(src, &mut r2));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! One-stop imports for applications, examples and integration tests.
+//!
+//! ```
+//! use contention_dragonfly::prelude::*;
+//! let topo = Dragonfly::new(DragonflyParams::small());
+//! assert_eq!(topo.num_groups(), 9);
+//! ```
+
+pub use df_engine::{DeterministicRng, Histogram, RunningStats, Table, TimeSeries};
+pub use df_model::{
+    BufferConfig, Cycle, LatencyConfig, NetworkConfig, Packet, PacketId, RoutingState, VcConfig,
+    VcId,
+};
+pub use df_router::{ContentionCounters, EctnState, PbState, Router};
+pub use df_routing::{Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind};
+pub use df_sim::{
+    load_sweep, run_sweep, Network, SimulationConfig, SteadyStateExperiment, SteadyStateReport,
+    TransientExperiment, TransientReport,
+};
+pub use df_topology::{Dragonfly, DragonflyParams, GroupId, NodeId, Port, PortClass, RouterId};
+pub use df_traffic::{BernoulliInjector, PatternKind, TrafficPattern, TrafficSchedule};

@@ -1,0 +1,206 @@
+//! Cross-crate invariant tests: conservation laws that must hold for *any*
+//! topology, routing mechanism, traffic pattern and seed.
+//!
+//! The property-based tests draw random small configurations with `proptest`
+//! and check, after the network drains:
+//!
+//! * no packet is lost or duplicated (everything generated is delivered),
+//! * every contention counter and every ECtN partial counter returns to zero,
+//! * every credit counter returns to the downstream buffer capacity,
+//! * delivered packets respect the hop bounds of the misrouting policy.
+
+use contention_dragonfly::prelude::*;
+use proptest::prelude::*;
+
+/// Run a short simulation and drain it, returning the network for
+/// inspection.
+fn run_and_drain(
+    params: DragonflyParams,
+    routing: RoutingKind,
+    pattern: PatternKind,
+    load: f64,
+    cycles: u64,
+    seed: u64,
+) -> Network {
+    let config = SimulationConfig::builder()
+        .topology(params)
+        .network(NetworkConfig::fast_test())
+        .routing(routing)
+        .pattern(pattern)
+        .offered_load(load)
+        .warmup_cycles(0)
+        .measurement_cycles(cycles)
+        .seed(seed)
+        .build()
+        .expect("valid configuration");
+    let mut net = Network::new(config);
+    net.metrics_mut().start_measurement(0);
+    net.run_cycles(cycles);
+    let drained = net.drain(100_000);
+    assert!(drained, "network must drain after traffic stops");
+    net
+}
+
+fn check_conservation(net: &Network) {
+    // nothing in flight, all counters at zero
+    assert_eq!(net.in_flight(), 0);
+    assert_eq!(net.total_contention(), 0, "contention counters must drain to zero");
+    let topo = net.topology();
+    let params = topo.params();
+    for router_id in topo.routers() {
+        let router = net.router(router_id);
+        // ECtN partial counters drained
+        assert!(
+            router.ectn().partial_all_zero(),
+            "router {router_id} has non-zero ECtN partial counters after drain"
+        );
+        // every credit returned
+        for port in Port::all(params) {
+            let output = router.output(port);
+            for vc in 0..output.num_downstream_vcs() {
+                assert_eq!(
+                    output.credits(VcId(vc as u8)),
+                    output.credit_capacity(VcId(vc as u8)),
+                    "router {router_id} port {port} vc {vc}: credits not fully returned"
+                );
+            }
+            assert_eq!(
+                output.buffer_occupancy_phits(),
+                0,
+                "router {router_id} port {port}: output buffer not empty"
+            );
+        }
+        // every input VC empty
+        for port in Port::all(params) {
+            let input = router.input(port);
+            for vc in 0..input.num_vcs() {
+                assert!(input.vc(vc).is_empty(), "router {router_id} {port} vc{vc} not empty");
+            }
+        }
+    }
+}
+
+#[test]
+fn conservation_after_drain_for_every_routing() {
+    for routing in RoutingKind::ALL {
+        let net = run_and_drain(
+            DragonflyParams::small(),
+            routing,
+            PatternKind::Adversarial { offset: 1 },
+            0.3,
+            1_500,
+            11,
+        );
+        check_conservation(&net);
+        let generated = net.metrics().generated_phits_total / 8;
+        assert_eq!(
+            net.metrics().delivered_packets_total(),
+            generated,
+            "{routing:?}: every generated packet must eventually be delivered"
+        );
+    }
+}
+
+#[test]
+fn hop_counts_stay_within_the_policy_bounds() {
+    // the worst allowed path is l g l l g l = 6 hops
+    for routing in [RoutingKind::Valiant, RoutingKind::Base, RoutingKind::Ectn] {
+        let config = SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(routing)
+            .pattern(PatternKind::Adversarial { offset: 1 })
+            .offered_load(0.3)
+            .warmup_cycles(500)
+            .measurement_cycles(1_500)
+            .seed(13)
+            .build()
+            .unwrap();
+        let report = SteadyStateExperiment::new(config).run();
+        assert!(report.delivered_packets > 50);
+        assert!(
+            report.avg_hops <= 6.0,
+            "{routing:?}: average hops {:.2} exceeds the 6-hop worst case",
+            report.avg_hops
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8,
+        max_shrink_iters: 16,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_small_simulations_conserve_packets(
+        routing_idx in 0usize..7,
+        pattern_sel in 0u32..3,
+        load in 0.05f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let routing = RoutingKind::ALL[routing_idx];
+        let params = DragonflyParams::small();
+        let pattern = match pattern_sel {
+            0 => PatternKind::Uniform,
+            1 => PatternKind::Adversarial { offset: 1 },
+            _ => PatternKind::Mixed { offset: 1, uniform_fraction: 0.5 },
+        };
+        let net = run_and_drain(params, routing, pattern, load, 600, seed);
+        check_conservation(&net);
+        let generated = net.metrics().generated_phits_total / 8;
+        prop_assert_eq!(net.metrics().delivered_packets_total(), generated);
+    }
+
+    #[test]
+    fn random_topologies_have_consistent_wiring(
+        p in 1u32..4,
+        a in 2u32..7,
+        h in 1u32..4,
+    ) {
+        let params = DragonflyParams::canonical(p, a, h).unwrap();
+        let topo = Dragonfly::new(params);
+        // global wiring symmetry for every router
+        for r in topo.routers() {
+            for k in 0..h {
+                let (peer, pport) = topo.global_neighbor(r, k).unwrap();
+                let (back, bport) = topo
+                    .global_neighbor(peer, pport.class_offset(topo.params()))
+                    .unwrap();
+                prop_assert_eq!(back, r);
+                prop_assert_eq!(bport.class_offset(topo.params()), k);
+            }
+        }
+        // every pair of groups connected by exactly one link
+        for g1 in topo.groups() {
+            for g2 in topo.groups() {
+                if g1 != g2 {
+                    let (gw, port) = topo.gateway_to(g1, g2);
+                    prop_assert_eq!(topo.router_group(gw), g1);
+                    let (peer, _) = topo
+                        .global_neighbor(gw, port.class_offset(topo.params()))
+                        .unwrap();
+                    prop_assert_eq!(topo.router_group(peer), g2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_paths_are_valid_and_short_on_random_topologies(
+        p in 1u32..3,
+        a in 2u32..6,
+        h in 1u32..4,
+        src_sel in any::<u32>(),
+        dst_sel in any::<u32>(),
+    ) {
+        let params = DragonflyParams::canonical(p, a, h).unwrap();
+        let topo = Dragonfly::new(params);
+        let src = RouterId(src_sel % topo.num_routers());
+        let dst = RouterId(dst_sel % topo.num_routers());
+        let path = df_topology::path::minimal_path(&topo, src, dst);
+        prop_assert!(path.len() <= 3);
+        prop_assert!(df_topology::path::validate_path(&topo, src, dst, &path));
+    }
+}
