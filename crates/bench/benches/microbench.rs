@@ -7,7 +7,8 @@ use df_engine::DeterministicRng;
 use df_model::{NetworkConfig, Packet, PacketId, VcId};
 use df_router::{AllocationRequest, Allocator, ContentionCounters, Router};
 use df_routing::{RoutingAlgorithm, RoutingConfig, RoutingKind};
-use df_sim::{Network, SimulationConfig};
+use df_sim::events::{Event, EventQueue, LegacyEventQueue};
+use df_sim::{KernelMode, Network, SimulationConfig};
 use df_topology::{Dragonfly, DragonflyParams, NodeId, Port, RouterId};
 use df_traffic::PatternKind;
 use std::hint::black_box;
@@ -102,6 +103,57 @@ fn allocator(c: &mut Criterion) {
     group.finish();
 }
 
+fn event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    configure(&mut group);
+    let make_event = |i: u32| Event::CreditReturn {
+        router: RouterId(i % 64),
+        port: Port(i % 31),
+        vc: VcId(0),
+        phits: 8,
+    };
+    // steady-state schedule/drain churn at a realistic event density
+    group.bench_function("wheel_schedule_drain_1000_cycles", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut q = EventQueue::with_horizon(128);
+            for now in 0..1_000u64 {
+                for k in 0..4u64 {
+                    q.schedule(now + 1 + (now * 7 + k) % 110, make_event((now + k) as u32));
+                }
+                q.pop_due_into(now, &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    group.bench_function("heap_schedule_drain_1000_cycles", |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut q = LegacyEventQueue::new();
+            for now in 0..1_000u64 {
+                for k in 0..4u64 {
+                    q.schedule(now + 1 + (now * 7 + k) % 110, make_event((now + k) as u32));
+                }
+                q.pop_due_into(now, &mut out);
+                black_box(out.len());
+            }
+        })
+    });
+    // the empty-cycle fast path the low-load simulator leans on
+    group.bench_function("wheel_empty_cycles", |b| {
+        let mut q = EventQueue::with_horizon(128);
+        q.schedule(u64::MAX / 2, make_event(0));
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            q.pop_due_into(black_box(now), &mut out);
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
 fn simulator_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator_step");
     configure(&mut group);
@@ -109,25 +161,35 @@ fn simulator_step(c: &mut Criterion) {
         ("small_72_nodes", DragonflyParams::small()),
         ("medium_1056_nodes", DragonflyParams::medium()),
     ] {
-        let config = SimulationConfig::builder()
-            .topology(params)
-            .network(NetworkConfig::paper_table1())
-            .routing(RoutingKind::Base)
-            .pattern(PatternKind::Uniform)
-            .offered_load(0.3)
-            .warmup_cycles(0)
-            .measurement_cycles(1)
-            .seed(1)
-            .build()
-            .unwrap();
-        group.bench_with_input(BenchmarkId::new("100_cycles", name), &config, |b, cfg| {
-            let mut net = Network::new(cfg.clone());
-            net.run_cycles(200); // reach a loaded steady state once
-            b.iter(|| {
-                net.run_cycles(100);
-                black_box(net.in_flight())
-            })
-        });
+        for (kernel, kernel_name) in [
+            (KernelMode::Optimized, "optimized"),
+            (KernelMode::Legacy, "legacy"),
+        ] {
+            let config = SimulationConfig::builder()
+                .topology(params)
+                .network(NetworkConfig::paper_table1())
+                .routing(RoutingKind::Base)
+                .pattern(PatternKind::Uniform)
+                .offered_load(0.3)
+                .warmup_cycles(0)
+                .measurement_cycles(1)
+                .seed(1)
+                .kernel(kernel)
+                .build()
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("100_cycles", format!("{name}_{kernel_name}")),
+                &config,
+                |b, cfg| {
+                    let mut net = Network::new(cfg.clone());
+                    net.run_cycles(200); // reach a loaded steady state once
+                    b.iter(|| {
+                        net.run_cycles(100);
+                        black_box(net.in_flight())
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -138,6 +200,7 @@ criterion_group!(
     topology_queries,
     routing_decisions,
     allocator,
+    event_queue,
     simulator_step
 );
 criterion_main!(micro);

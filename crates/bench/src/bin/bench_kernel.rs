@@ -1,0 +1,139 @@
+//! Kernel throughput benchmark: simulated-cycles/sec and phits/sec for the
+//! optimized (time-wheel, activity-gated) kernel versus the legacy
+//! (binary-heap, full-scan) kernel, at a low, a mid and a saturating offered
+//! load. Writes `BENCH_kernel.json` into the working directory so successive
+//! PRs accumulate a performance trajectory.
+//!
+//! Usage: `cargo run --release -p df-bench --bin bench_kernel [small|medium]
+//! [measured_cycles]`
+
+use df_model::NetworkConfig;
+use df_routing::RoutingKind;
+use df_sim::{KernelMode, Network, SimulationConfig};
+use df_topology::DragonflyParams;
+use df_traffic::PatternKind;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct RunResult {
+    kernel: &'static str,
+    offered_load: f64,
+    wall_seconds: f64,
+    cycles_per_sec: f64,
+    phits_per_sec: f64,
+    delivered_phits: u64,
+}
+
+fn bench_one(
+    topology: DragonflyParams,
+    kernel: KernelMode,
+    kernel_name: &'static str,
+    load: f64,
+    warmup: u64,
+    measured: u64,
+) -> RunResult {
+    let config = SimulationConfig::builder()
+        .topology(topology)
+        .network(NetworkConfig::paper_table1())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(load)
+        .warmup_cycles(warmup)
+        .measurement_cycles(measured)
+        .seed(1)
+        .kernel(kernel)
+        .build()
+        .expect("valid benchmark configuration");
+    let mut net = Network::new(config);
+    net.run_cycles(warmup);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    let t0 = Instant::now();
+    net.run_cycles(measured);
+    let wall = t0.elapsed().as_secs_f64();
+    let delivered_phits = net.metrics().window_summary().delivered_phits;
+    RunResult {
+        kernel: kernel_name,
+        offered_load: load,
+        wall_seconds: wall,
+        cycles_per_sec: measured as f64 / wall,
+        phits_per_sec: delivered_phits as f64 / wall,
+        delivered_phits,
+    }
+}
+
+fn main() {
+    let mut scale_name = "small";
+    let mut measured: u64 = 3_000;
+    for arg in std::env::args().skip(1) {
+        if arg == "small" || arg == "medium" {
+            scale_name = if arg == "small" { "small" } else { "medium" };
+        } else if let Ok(n) = arg.parse::<u64>() {
+            measured = n;
+        }
+    }
+    let topology = match scale_name {
+        "medium" => DragonflyParams::medium(),
+        _ => DragonflyParams::small(),
+    };
+    let warmup = 500;
+    // Low load is where activity gating shines, mid load is the trajectory
+    // anchor, and 0.9 offered is far past saturation for uniform traffic —
+    // every router stays busy, so it measures pure per-event overhead.
+    let loads = [0.1, 0.3, 0.9];
+
+    println!("kernel throughput benchmark: {scale_name} topology, {measured} measured cycles");
+    let mut results: Vec<RunResult> = Vec::new();
+    for &load in &loads {
+        for (kernel, name) in [
+            (KernelMode::Legacy, "legacy"),
+            (KernelMode::Optimized, "optimized"),
+        ] {
+            let r = bench_one(topology, kernel, name, load, warmup, measured);
+            println!(
+                "  load {:.1} {:9}: {:>12.0} cycles/s  {:>12.0} phits/s  ({:.3}s wall)",
+                r.offered_load, r.kernel, r.cycles_per_sec, r.phits_per_sec, r.wall_seconds
+            );
+            results.push(r);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"kernel-throughput\",\n");
+    let _ = writeln!(json, "  \"topology\": \"{scale_name}\",");
+    json.push_str("  \"network\": \"paper_table1\",\n");
+    json.push_str("  \"routing\": \"base\",\n");
+    json.push_str("  \"pattern\": \"uniform\",\n");
+    let _ = writeln!(json, "  \"warmup_cycles\": {warmup},");
+    let _ = writeln!(json, "  \"measured_cycles\": {measured},");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"offered_load\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}, \"phits_per_sec\": {:.1}, \"delivered_phits\": {}}}{comma}",
+            r.kernel, r.offered_load, r.wall_seconds, r.cycles_per_sec, r.phits_per_sec, r.delivered_phits
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_optimized_over_legacy\": {\n");
+    for (i, &load) in loads.iter().enumerate() {
+        let legacy = results
+            .iter()
+            .find(|r| r.offered_load == load && r.kernel == "legacy")
+            .expect("legacy run exists");
+        let optimized = results
+            .iter()
+            .find(|r| r.offered_load == load && r.kernel == "optimized")
+            .expect("optimized run exists");
+        let comma = if i + 1 == loads.len() { "" } else { "," };
+        let speedup = optimized.cycles_per_sec / legacy.cycles_per_sec;
+        println!("  load {load:.1}: optimized/legacy = {speedup:.2}x");
+        let _ = writeln!(json, "    \"{load}\": {speedup:.3}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
+    println!("wrote BENCH_kernel.json");
+}

@@ -212,6 +212,7 @@ fn pick_global_candidate(
 }
 
 /// OLM-style credit comparison over the global candidates.
+#[allow(clippy::too_many_arguments)]
 fn credit_global_candidate(
     fraction: f64,
     config: &RoutingConfig,

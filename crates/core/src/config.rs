@@ -213,14 +213,20 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_fractions() {
-        let mut c = RoutingConfig::default();
-        c.olm_congestion_fraction = 1.5;
+        let c = RoutingConfig {
+            olm_congestion_fraction: 1.5,
+            ..RoutingConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RoutingConfig::default();
-        c.pb_saturation_fraction = -0.1;
+        let c = RoutingConfig {
+            pb_saturation_fraction: -0.1,
+            ..RoutingConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = RoutingConfig::default();
-        c.ectn_update_period = 0;
+        let c = RoutingConfig {
+            ectn_update_period: 0,
+            ..RoutingConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

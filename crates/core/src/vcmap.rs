@@ -105,7 +105,7 @@ pub fn local_detour_fits(packet: &Packet, remaining_minimal_locals: u8, config: 
 pub fn global_misroute_fits(packet: &Packet, config: &NetworkConfig) -> bool {
     packet.routing.global_hops == 0
         && config.vcs.global >= 2
-        && config.vcs.local >= MAX_LOCAL_VC + 1
+        && config.vcs.local > MAX_LOCAL_VC
 }
 
 #[cfg(test)]

@@ -180,7 +180,7 @@ mod tests {
         let p90 = h.percentile(90.0);
         let p99 = h.percentile(99.0);
         assert!(p50 <= p90 && p90 <= p99);
-        assert!(p50 >= 45.0 && p50 <= 55.0);
+        assert!((45.0..=55.0).contains(&p50));
         assert!(p99 >= 95.0);
     }
 

@@ -38,12 +38,28 @@ pub struct AllocationRequest {
 pub type Grant = AllocationRequest;
 
 /// Separable input-first allocator with per-port round-robin priority.
+///
+/// All grouping state lives in persistent per-port scratch buffers, so an
+/// allocation iteration performs **zero heap allocations** in steady state
+/// (capacities grow to the per-router maximum once and are then reused) —
+/// this is on the per-cycle critical path of every active router.
 #[derive(Debug, Clone)]
 pub struct Allocator {
     /// Round-robin pointer per input port (over VC indices).
     input_rr: Vec<usize>,
     /// Round-robin pointer per output port (over input-port indices).
     output_rr: Vec<usize>,
+    // ---- persistent scratch (cleared per iteration, capacity retained) ----
+    /// Per input port: indices into the request slice.
+    by_input: Vec<Vec<u32>>,
+    /// Input ports in first-appearance order.
+    input_order: Vec<u32>,
+    /// Input-stage winners.
+    candidates: Vec<AllocationRequest>,
+    /// Per output port: indices into `candidates`.
+    by_output: Vec<Vec<u32>>,
+    /// Output ports in first-appearance order.
+    output_order: Vec<u32>,
 }
 
 impl Allocator {
@@ -52,45 +68,61 @@ impl Allocator {
         Allocator {
             input_rr: vec![0; num_ports],
             output_rr: vec![0; num_ports],
+            by_input: vec![Vec::new(); num_ports],
+            input_order: Vec::new(),
+            candidates: Vec::new(),
+            by_output: vec![Vec::new(); num_ports],
+            output_order: Vec::new(),
         }
     }
 
-    /// Perform one allocation iteration.
+    /// Perform one allocation iteration, appending grants to `grants`
+    /// (cleared first).
     ///
     /// `can_accept(output_port, output_vc, size_phits)` must report whether
     /// the output currently has both output-buffer space and downstream
     /// credits for the packet; requests failing the check are ignored this
     /// iteration.
     ///
-    /// Returns the granted requests. Each input port and each output port
-    /// appears in at most one grant.
-    pub fn allocate(
+    /// Each input port and each output port appears in at most one grant.
+    pub fn allocate_into(
         &mut self,
         requests: &[AllocationRequest],
+        grants: &mut Vec<Grant>,
         mut can_accept: impl FnMut(Port, VcId, u32) -> bool,
-    ) -> Vec<Grant> {
+    ) {
+        grants.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
 
         // ----- input stage: one candidate per input port -----
-        let mut candidates: Vec<AllocationRequest> = Vec::new();
-        let mut by_input: Vec<(usize, Vec<&AllocationRequest>)> = Vec::new();
-        for req in requests {
-            let idx = req.input_port.index();
-            match by_input.iter_mut().find(|(i, _)| *i == idx) {
-                Some((_, v)) => v.push(req),
-                None => by_input.push((idx, vec![req])),
-            }
+        for port in self.input_order.drain(..) {
+            self.by_input[port as usize].clear();
         }
-        for (input_idx, reqs) in &by_input {
-            let rr = self.input_rr[*input_idx];
+        for (i, req) in requests.iter().enumerate() {
+            let idx = req.input_port.index();
+            if self.by_input[idx].is_empty() {
+                self.input_order.push(idx as u32);
+            }
+            self.by_input[idx].push(i as u32);
+        }
+        self.candidates.clear();
+        for &input_idx in &self.input_order {
+            let reqs = &self.by_input[input_idx as usize];
+            let rr = self.input_rr[input_idx as usize];
             // consider VCs in round-robin order starting at the pointer
             let mut chosen: Option<&AllocationRequest> = None;
-            let max_vc = reqs.iter().map(|r| r.input_vc.index()).max().unwrap_or(0) + 1;
+            let max_vc = reqs
+                .iter()
+                .map(|&r| requests[r as usize].input_vc.index())
+                .max()
+                .unwrap_or(0)
+                + 1;
             'scan: for offset in 0..max_vc {
                 let want = (rr + offset) % max_vc;
-                for r in reqs {
+                for &ri in reqs {
+                    let r = &requests[ri as usize];
                     if r.input_vc.index() == want
                         && can_accept(r.output_port, r.output_vc, r.size_phits)
                     {
@@ -100,27 +132,31 @@ impl Allocator {
                 }
             }
             if let Some(r) = chosen {
-                candidates.push(*r);
+                self.candidates.push(*r);
             }
         }
 
         // ----- output stage: one winner per output port -----
-        let mut grants: Vec<Grant> = Vec::new();
-        let mut by_output: Vec<(usize, Vec<AllocationRequest>)> = Vec::new();
-        for cand in candidates {
-            let idx = cand.output_port.index();
-            match by_output.iter_mut().find(|(i, _)| *i == idx) {
-                Some((_, v)) => v.push(cand),
-                None => by_output.push((idx, vec![cand])),
-            }
+        for port in self.output_order.drain(..) {
+            self.by_output[port as usize].clear();
         }
-        for (output_idx, cands) in by_output {
+        for (i, cand) in self.candidates.iter().enumerate() {
+            let idx = cand.output_port.index();
+            if self.by_output[idx].is_empty() {
+                self.output_order.push(idx as u32);
+            }
+            self.by_output[idx].push(i as u32);
+        }
+        let num_inputs = self.input_rr.len();
+        for oi in 0..self.output_order.len() {
+            let output_idx = self.output_order[oi] as usize;
+            let cands = &self.by_output[output_idx];
             let rr = self.output_rr[output_idx];
-            let num_inputs = self.input_rr.len();
             let mut winner: Option<AllocationRequest> = None;
             'outer: for offset in 0..num_inputs {
                 let want = (rr + offset) % num_inputs;
-                for c in &cands {
+                for &ci in cands {
+                    let c = &self.candidates[ci as usize];
                     if c.input_port.index() == want {
                         winner = Some(*c);
                         break 'outer;
@@ -135,6 +171,17 @@ impl Allocator {
                 grants.push(w);
             }
         }
+    }
+
+    /// Perform one allocation iteration and return the grants (allocating
+    /// convenience wrapper around [`Allocator::allocate_into`]).
+    pub fn allocate(
+        &mut self,
+        requests: &[AllocationRequest],
+        can_accept: impl FnMut(Port, VcId, u32) -> bool,
+    ) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants, can_accept);
         grants
     }
 }

@@ -75,6 +75,18 @@ impl EctnState {
         self.partial.clone()
     }
 
+    /// Add this router's partial counters into `acc` element-wise
+    /// (allocation-free building block for the group broadcast).
+    ///
+    /// # Panics
+    /// Panics if the length does not match the number of global links.
+    pub fn add_partial_to(&self, acc: &mut [u32]) {
+        assert_eq!(acc.len(), self.partial.len(), "partial array size mismatch");
+        for (a, p) in acc.iter_mut().zip(self.partial.iter()) {
+            *a += p;
+        }
+    }
+
     /// Install a freshly combined array (the sum of all partial snapshots of
     /// the group, computed at broadcast time).
     ///
@@ -87,6 +99,21 @@ impl EctnState {
             "combined array size mismatch"
         );
         self.combined = combined;
+    }
+
+    /// Install a freshly combined array by copying from a shared slice
+    /// (allocation-free variant of [`EctnState::install_combined`], used by
+    /// the simulator's periodic broadcast).
+    ///
+    /// # Panics
+    /// Panics if the length does not match the number of global links.
+    pub fn install_combined_from(&mut self, combined: &[u32]) {
+        assert_eq!(
+            combined.len(),
+            self.combined.len(),
+            "combined array size mismatch"
+        );
+        self.combined.copy_from_slice(combined);
     }
 
     /// Sum of the partial counters (total remote-bound head packets seen by

@@ -51,6 +51,12 @@ impl PbState {
         self.own.clone()
     }
 
+    /// Borrow this router's own saturation flags (allocation-free view used
+    /// by the simulator's flat-array dissemination).
+    pub fn own_flags(&self) -> &[bool] {
+        &self.own
+    }
+
     /// Group-wide saturation of group-level global link `link` (`0..a*h`), as
     /// of the last dissemination.
     pub fn group_saturated(&self, link: u32) -> bool {
@@ -65,6 +71,17 @@ impl PbState {
     pub fn install_group(&mut self, group: Vec<bool>) {
         assert_eq!(group.len(), self.group.len(), "PB group view size mismatch");
         self.group = group;
+    }
+
+    /// Install the group-wide view by copying from a shared flat slice
+    /// (allocation-free variant of [`PbState::install_group`], used by the
+    /// simulator's per-cycle dissemination).
+    ///
+    /// # Panics
+    /// Panics if the length does not match.
+    pub fn install_group_from(&mut self, group: &[bool]) {
+        assert_eq!(group.len(), self.group.len(), "PB group view size mismatch");
+        self.group.copy_from_slice(group);
     }
 
     /// Number of global links tracked in the group view.

@@ -36,6 +36,15 @@ pub struct Router {
     ectn: EctnState,
     pb: PbState,
     allocator: Allocator,
+    /// Queued packets per input port — lets the per-cycle loop skip empty
+    /// ports in O(1) instead of scanning every VC.
+    occupied_per_port: Vec<u32>,
+    /// Total queued input packets (sum of `occupied_per_port`).
+    occupied_total: u32,
+    /// Head packets currently awaiting contention-counter registration —
+    /// an O(1) guard that skips the registration scan entirely on the
+    /// (common) cycles where no new head appeared.
+    unregistered_count: u32,
 }
 
 impl Router {
@@ -80,6 +89,9 @@ impl Router {
             ectn: EctnState::new(global_links),
             pb: PbState::new(params.h as usize, global_links),
             allocator: Allocator::new(radix as usize),
+            occupied_per_port: vec![0; radix as usize],
+            occupied_total: 0,
+            unregistered_count: 0,
         }
     }
 
@@ -190,7 +202,14 @@ impl Router {
     /// Deliver a packet into input VC `(port, vc)` (link arrival or
     /// injection).
     pub fn receive_packet(&mut self, port: Port, vc: VcId, packet: Packet) {
-        self.inputs[port.index()].vc_mut(vc.index()).push(packet);
+        let input_vc = self.inputs[port.index()].vc_mut(vc.index());
+        input_vc.push(packet);
+        if input_vc.len() == 1 {
+            // the packet became a head and needs counter registration
+            self.unregistered_count += 1;
+        }
+        self.occupied_per_port[port.index()] += 1;
+        self.occupied_total += 1;
     }
 
     /// Return `phits` credits for downstream VC `vc` of output `port` (the
@@ -210,6 +229,8 @@ impl Router {
     pub fn register_head(&mut self, port: Port, vc: VcId, min_output: Port, ectn_link: Option<u32>) {
         let input_vc = self.inputs[port.index()].vc_mut(vc.index());
         debug_assert!(input_vc.head_needs_registration());
+        debug_assert!(self.unregistered_count > 0);
+        self.unregistered_count -= 1;
         input_vc.set_registered_min_output(min_output);
         if let Some(link) = ectn_link {
             input_vc.set_registered_ectn_link(link);
@@ -252,11 +273,22 @@ impl Router {
     // ------------------------------------------------------------------
 
     /// Run one iteration of the separable allocator over `requests`,
-    /// checking output-buffer space and downstream credits.
-    pub fn allocate(&mut self, requests: &[AllocationRequest]) -> Vec<Grant> {
+    /// checking output-buffer space and downstream credits. Grants are
+    /// appended to the caller's reusable `grants` buffer (cleared first) —
+    /// no allocation in steady state.
+    pub fn allocate_into(&mut self, requests: &[AllocationRequest], grants: &mut Vec<Grant>) {
         let outputs = &self.outputs;
-        self.allocator
-            .allocate(requests, |port, vc, size| outputs[port.index()].can_accept(vc, size))
+        self.allocator.allocate_into(requests, grants, |port, vc, size| {
+            outputs[port.index()].can_accept(vc, size)
+        })
+    }
+
+    /// Run one iteration of the separable allocator over `requests`
+    /// (allocating convenience wrapper around [`Router::allocate_into`]).
+    pub fn allocate(&mut self, requests: &[AllocationRequest]) -> Vec<Grant> {
+        let mut grants = Vec::new();
+        self.allocate_into(requests, &mut grants);
+        grants
     }
 
     /// Apply a grant: pop the packet from its input VC, release its counter
@@ -268,14 +300,23 @@ impl Router {
     /// Panics if the granted input VC is empty (allocator/sim bug).
     pub fn apply_grant(&mut self, grant: &Grant, now: Cycle) -> AppliedGrant {
         let input_class = self.inputs[grant.input_port.index()].class();
+        let input_vc = self.inputs[grant.input_port.index()].vc_mut(grant.input_vc.index());
         let PoppedPacket {
             mut packet,
             registered_min_output,
             registered_ectn_link,
-        } = self.inputs[grant.input_port.index()]
-            .vc_mut(grant.input_vc.index())
-            .pop()
-            .expect("granted input VC must hold a packet");
+        } = input_vc.pop().expect("granted input VC must hold a packet");
+        if registered_min_output.is_none() {
+            // the departing head was never registered (possible in direct
+            // unit-test drives); it no longer needs to be
+            self.unregistered_count -= 1;
+        }
+        if !input_vc.is_empty() {
+            // a new head surfaced and awaits registration
+            self.unregistered_count += 1;
+        }
+        self.occupied_per_port[grant.input_port.index()] -= 1;
+        self.occupied_total -= 1;
         if let Some(port) = registered_min_output {
             self.contention.decrement(port);
         }
@@ -300,18 +341,46 @@ impl Router {
         }
     }
 
-    /// Try to start transmission on every output port; returns, per port, the
+    /// Try to start transmission on every output port; appends, per port, the
     /// packet now occupying the link together with its downstream VC and the
     /// cycle at which its tail leaves this router (the simulator adds the
-    /// link latency to schedule the remote arrival).
-    pub fn transmit_outputs(&mut self, now: Cycle) -> Vec<(Port, Packet, VcId, Cycle)> {
-        let mut sent = Vec::new();
+    /// link latency to schedule the remote arrival). Writes into the caller's
+    /// reusable `sent` buffer — no allocation in steady state.
+    pub fn transmit_outputs_into(&mut self, now: Cycle, sent: &mut Vec<(Port, Packet, VcId, Cycle)>) {
         for (p, output) in self.outputs.iter_mut().enumerate() {
             if let Some((packet, vc, tail_at)) = output.try_transmit(now) {
                 sent.push((Port(p as u32), packet, vc, tail_at));
             }
         }
+    }
+
+    /// Try to start transmission on every output port (allocating
+    /// convenience wrapper around [`Router::transmit_outputs_into`]).
+    pub fn transmit_outputs(&mut self, now: Cycle) -> Vec<(Port, Packet, VcId, Cycle)> {
+        let mut sent = Vec::new();
+        self.transmit_outputs_into(now, &mut sent);
         sent
+    }
+
+    /// Whether the router holds no traffic at all: every input VC empty and
+    /// every output buffer drained. An idle router's allocation and
+    /// transmission steps are provably no-ops (no heads to register, no
+    /// requests, no staged packets), which is what lets the simulator's
+    /// activity gate skip it.
+    pub fn is_idle(&self) -> bool {
+        self.occupied_total == 0 && self.outputs.iter().all(|o| o.staged_packets() == 0)
+    }
+
+    /// Whether any head packet still awaits contention-counter registration
+    /// (O(1) guard for the registration scan).
+    pub fn has_unregistered_heads(&self) -> bool {
+        self.unregistered_count > 0
+    }
+
+    /// Queued input packets on `port` (O(1); lets the per-cycle loop skip
+    /// empty ports without scanning their VCs).
+    pub fn port_occupancy(&self, port: Port) -> u32 {
+        self.occupied_per_port[port.index()]
     }
 
     // ------------------------------------------------------------------

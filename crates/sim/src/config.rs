@@ -6,6 +6,23 @@ use df_topology::DragonflyParams;
 use df_traffic::{PatternKind, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
+/// Which simulation-kernel implementation [`crate::Network`] runs.
+///
+/// Both kernels are bit-for-bit deterministic and produce identical results
+/// for identical configurations and seeds (guarded by
+/// `tests/determinism.rs`); they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum KernelMode {
+    /// Time-wheel event queue, activity-gated router iteration,
+    /// allocation-free per-cycle loop. The default.
+    #[default]
+    Optimized,
+    /// The original kernel: binary-heap event queue and a full scan of every
+    /// router every cycle. Kept as the baseline for `BENCH_kernel.json` and
+    /// the determinism cross-checks.
+    Legacy,
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -28,6 +45,9 @@ pub struct SimulationConfig {
     pub warmup_cycles: u64,
     /// Measurement window length in cycles.
     pub measurement_cycles: u64,
+    /// Simulation-kernel implementation (optimized time-wheel kernel by
+    /// default; the legacy kernel exists for benchmarking and cross-checks).
+    pub kernel: KernelMode,
 }
 
 impl SimulationConfig {
@@ -79,6 +99,7 @@ pub struct SimulationConfigBuilder {
     seed: u64,
     warmup_cycles: u64,
     measurement_cycles: u64,
+    kernel: KernelMode,
 }
 
 impl Default for SimulationConfigBuilder {
@@ -93,6 +114,7 @@ impl Default for SimulationConfigBuilder {
             seed: 0,
             warmup_cycles: 1_000,
             measurement_cycles: 2_000,
+            kernel: KernelMode::Optimized,
         }
     }
 }
@@ -159,6 +181,12 @@ impl SimulationConfigBuilder {
         self
     }
 
+    /// Select the simulation-kernel implementation.
+    pub fn kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Finalise and validate the configuration.
     pub fn build(self) -> Result<SimulationConfig, String> {
         let routing_config = self
@@ -174,6 +202,7 @@ impl SimulationConfigBuilder {
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,
             measurement_cycles: self.measurement_cycles,
+            kernel: self.kernel,
         };
         config.validate()?;
         Ok(config)

@@ -2,14 +2,32 @@
 //!
 //! Links are not modelled as objects; instead, every transfer schedules an
 //! event for the cycle at which it completes (tail arrival for packets,
-//! credit arrival for flow control). The queue is a binary heap ordered by
-//! time with a monotonically increasing sequence number as tie-breaker, which
-//! keeps event processing deterministic.
+//! credit arrival for flow control). Two queue implementations share the same
+//! deterministic ordering contract — events complete in `(time, insertion
+//! sequence)` order:
+//!
+//! * [`EventQueue`] — a **time wheel**: a ring of per-cycle buckets sized to
+//!   the maximum scheduling horizon (packet serialisation + the longest link
+//!   latency), with a small `BTreeMap` overflow for the rare event scheduled
+//!   beyond the horizon. Scheduling is O(1), draining a cycle is O(events in
+//!   that cycle), and in steady state neither allocates: buckets are
+//!   recycled ring slots whose capacity persists, and
+//!   [`EventQueue::pop_due_into`] fills a caller-owned scratch buffer. An
+//!   empty current bucket is a no-op fast path (one length check).
+//! * [`LegacyEventQueue`] — the original `BinaryHeap` queue, kept as the
+//!   reference implementation for the `KernelMode::Legacy` baseline and the
+//!   determinism cross-checks in `tests/determinism.rs`.
+//!
+//! The wheel preserves the heap's ordering bit-for-bit: bucket entries are
+//! appended in sequence order, and an overflow entry for cycle `t` is always
+//! older (smaller sequence) than any bucket entry for `t`, because once `t`
+//! enters the horizon every later schedule lands in the bucket — so draining
+//! overflow-then-bucket yields exactly `(time, seq)` order.
 
 use df_model::{Cycle, Packet, VcId};
 use df_topology::{NodeId, Port, RouterId};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// Something that completes at a future cycle.
 #[derive(Debug, Clone)]
@@ -46,6 +64,148 @@ pub enum Event {
     },
 }
 
+/// Default wheel size when no horizon hint is given (covers the Table I
+/// 100-cycle global link plus an 8-phit serialisation with room to spare).
+const DEFAULT_HORIZON: usize = 256;
+
+/// Time-wheel event queue (the optimized kernel's implementation).
+pub struct EventQueue {
+    /// Ring of per-cycle buckets; slot `t & mask` holds the events for cycle
+    /// `t` whenever `t` lies within the horizon of `now`.
+    buckets: Vec<Vec<(u64, Event)>>,
+    /// `buckets.len() - 1` (bucket count is a power of two).
+    mask: usize,
+    /// First cycle not yet drained; all pending bucket events are at cycles
+    /// in `[now, now + buckets.len())`.
+    now: Cycle,
+    /// Far-future events, beyond the wheel horizon.
+    overflow: BTreeMap<Cycle, Vec<(u64, Event)>>,
+    /// Total pending events (buckets + overflow).
+    len: usize,
+    /// Monotonic insertion sequence (the deterministic tie-breaker).
+    seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Empty queue with the default horizon.
+    pub fn new() -> Self {
+        Self::with_horizon(DEFAULT_HORIZON)
+    }
+
+    /// Empty queue whose ring covers at least `min_horizon` cycles ahead
+    /// (rounded up to a power of two). Events scheduled further out than the
+    /// ring covers fall back to the overflow map — correct, just slower.
+    pub fn with_horizon(min_horizon: usize) -> Self {
+        let size = min_horizon.max(2).next_power_of_two();
+        EventQueue {
+            buckets: (0..size).map(|_| Vec::new()).collect(),
+            mask: size - 1,
+            now: 0,
+            overflow: BTreeMap::new(),
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of ring slots (the scheduling horizon in cycles).
+    pub fn horizon(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Schedule `event` to complete at cycle `at`.
+    ///
+    /// Events must not be scheduled in the past; `at` is clamped to the
+    /// current drain position so a same-cycle schedule still completes.
+    pub fn schedule(&mut self, at: Cycle, event: Event) {
+        let at = at.max(self.now);
+        let entry = (self.seq, event);
+        self.seq += 1;
+        self.len += 1;
+        if (at - self.now) < self.buckets.len() as Cycle {
+            self.buckets[(at as usize) & self.mask].push(entry);
+        } else {
+            self.overflow.entry(at).or_default().push(entry);
+        }
+    }
+
+    /// Drain every event scheduled at or before `now` into `out` (cleared
+    /// first), in `(time, insertion)` order. When nothing is pending this is
+    /// a no-op fast path: one length check, no bucket walk.
+    pub fn pop_due_into(&mut self, now: Cycle, out: &mut Vec<Event>) {
+        out.clear();
+        if now < self.now {
+            return;
+        }
+        if self.len == 0 {
+            // Empty-queue fast path: just advance the drain position.
+            self.now = now + 1;
+            return;
+        }
+        for t in self.now..=now {
+            // Overflow entries for `t` predate every bucket entry for `t`
+            // (see the module docs), so they drain first.
+            if let Some(first) = self.overflow.first_key_value() {
+                if *first.0 == t {
+                    let entries = self.overflow.pop_first().expect("checked non-empty").1;
+                    self.len -= entries.len();
+                    out.extend(entries.into_iter().map(|(_, e)| e));
+                }
+            }
+            let bucket = &mut self.buckets[(t as usize) & self.mask];
+            if !bucket.is_empty() {
+                self.len -= bucket.len();
+                out.extend(bucket.drain(..).map(|(_, e)| e));
+            }
+        }
+        self.now = now + 1;
+    }
+
+    /// Pop every event scheduled at or before `now` (allocating convenience
+    /// wrapper used by tests; the simulator uses
+    /// [`EventQueue::pop_due_into`]).
+    pub fn pop_due(&mut self, now: Cycle) -> Vec<Event> {
+        let mut out = Vec::new();
+        self.pop_due_into(now, &mut out);
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no event is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Earliest pending completion time.
+    pub fn next_time(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            return None;
+        }
+        let horizon = self.buckets.len() as Cycle;
+        let in_ring = (self.now..self.now + horizon)
+            .find(|t| !self.buckets[(*t as usize) & self.mask].is_empty());
+        let in_overflow = self.overflow.keys().next().copied();
+        match (in_ring, in_overflow) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Legacy binary-heap implementation
+// ---------------------------------------------------------------------
+
 struct Scheduled {
     at: Cycle,
     seq: u64,
@@ -73,17 +233,17 @@ impl Ord for Scheduled {
     }
 }
 
-/// Time-ordered event queue.
+/// The original binary-heap event queue (the `KernelMode::Legacy` baseline).
 #[derive(Default)]
-pub struct EventQueue {
+pub struct LegacyEventQueue {
     heap: BinaryHeap<Scheduled>,
     seq: u64,
 }
 
-impl EventQueue {
+impl LegacyEventQueue {
     /// Empty queue.
     pub fn new() -> Self {
-        EventQueue {
+        LegacyEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -110,6 +270,14 @@ impl EventQueue {
             due.push(self.heap.pop().expect("peeked").event);
         }
         due
+    }
+
+    /// Drain into a caller buffer (same contract as
+    /// [`EventQueue::pop_due_into`], but the heap pops still reallocate
+    /// internally — that is the point of the baseline).
+    pub fn pop_due_into(&mut self, now: Cycle, out: &mut Vec<Event>) {
+        out.clear();
+        out.extend(self.pop_due(now));
     }
 
     /// Number of pending events.
@@ -142,6 +310,16 @@ mod tests {
         }
     }
 
+    fn routers_of(events: &[Event]) -> Vec<u32> {
+        events
+            .iter()
+            .map(|e| match e {
+                Event::CreditReturn { router, .. } => router.0,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
     #[test]
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
@@ -152,13 +330,7 @@ mod tests {
         assert_eq!(q.next_time(), Some(10));
         let due = q.pop_due(25);
         assert_eq!(due.len(), 2);
-        match (&due[0], &due[1]) {
-            (Event::CreditReturn { router: a, .. }, Event::CreditReturn { router: b, .. }) => {
-                assert_eq!(*a, RouterId(1));
-                assert_eq!(*b, RouterId(2));
-            }
-            _ => panic!("unexpected event kinds"),
-        }
+        assert_eq!(routers_of(&due), vec![1, 2]);
         assert_eq!(q.len(), 1);
         assert!(q.pop_due(29).is_empty());
         assert_eq!(q.pop_due(30).len(), 1);
@@ -172,14 +344,7 @@ mod tests {
             q.schedule(42, credit(i, i));
         }
         let due = q.pop_due(42);
-        let order: Vec<u32> = due
-            .iter()
-            .map(|e| match e {
-                Event::CreditReturn { router, .. } => router.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(routers_of(&due), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -199,5 +364,99 @@ mod tests {
         let due = q.pop_due(10);
         assert!(matches!(due[0], Event::Delivery { .. }));
         assert!(matches!(due[1], Event::PacketArrival { .. }));
+    }
+
+    #[test]
+    fn empty_cycles_are_a_no_op_fast_path() {
+        let mut q = EventQueue::with_horizon(16);
+        let mut out = Vec::new();
+        // draining an empty queue does nothing and keeps no stale state
+        for t in 0..100 {
+            q.pop_due_into(t, &mut out);
+            assert!(out.is_empty());
+        }
+        assert_eq!(q.next_time(), None);
+        // scheduling after a long quiet period still lands correctly
+        q.schedule(150, credit(7, 0));
+        q.pop_due_into(149, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        q.pop_due_into(150, &mut out);
+        assert_eq!(routers_of(&out), vec![7]);
+        assert!(q.is_empty());
+        // buffer capacity survives for reuse; a later drain reuses it
+        let cap = out.capacity();
+        q.schedule(151, credit(8, 0));
+        q.pop_due_into(151, &mut out);
+        assert_eq!(routers_of(&out), vec![8]);
+        assert!(out.capacity() >= cap.min(1));
+    }
+
+    #[test]
+    fn far_future_events_overflow_and_return_in_order() {
+        let mut q = EventQueue::with_horizon(8);
+        assert_eq!(q.horizon(), 8);
+        // seq 0 lands in overflow (beyond the 8-cycle horizon)
+        q.schedule(100, credit(0, 0));
+        // seq 1 in a near bucket
+        q.schedule(3, credit(1, 1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(3));
+        assert_eq!(routers_of(&q.pop_due(50)), vec![1]);
+        assert_eq!(q.next_time(), Some(100));
+        // now cycle 100 is within the horizon of later schedules: a newer
+        // event for the same cycle must drain *after* the overflow one
+        let mut q2 = EventQueue::with_horizon(8);
+        q2.schedule(100, credit(0, 0)); // overflow, seq 0
+        let mut out = Vec::new();
+        q2.pop_due_into(97, &mut out); // advance near 100
+        q2.schedule(100, credit(1, 1)); // bucket, seq 1
+        q2.pop_due_into(100, &mut out);
+        assert_eq!(routers_of(&out), vec![0, 1]);
+    }
+
+    #[test]
+    fn wheel_matches_legacy_heap_on_mixed_schedules() {
+        // Pseudo-random schedule pattern interleaving near, far and
+        // same-cycle events: both implementations must produce identical
+        // drain sequences.
+        let mut wheel = EventQueue::with_horizon(16);
+        let mut heap = LegacyEventQueue::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut rnd = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut id = 0u32;
+        for now in 0..200u64 {
+            for _ in 0..(rnd() % 4) {
+                let at = now + 1 + rnd() % 40;
+                wheel.schedule(at, credit(id, id));
+                heap.schedule(at, credit(id, id));
+                id += 1;
+            }
+            let a = wheel.pop_due(now);
+            let b = heap.pop_due(now);
+            assert_eq!(routers_of(&a), routers_of(&b), "divergence at cycle {now}");
+        }
+        // drain the tail
+        let a = wheel.pop_due(1_000);
+        let b = heap.pop_due(1_000);
+        assert_eq!(routers_of(&a), routers_of(&b));
+        assert!(wheel.is_empty() && heap.is_empty());
+    }
+
+    #[test]
+    fn next_time_sees_ring_and_overflow() {
+        let mut q = EventQueue::with_horizon(8);
+        q.schedule(500, credit(0, 0));
+        assert_eq!(q.next_time(), Some(500));
+        q.schedule(4, credit(1, 1));
+        assert_eq!(q.next_time(), Some(4));
+        q.pop_due(4);
+        assert_eq!(q.next_time(), Some(500));
+        q.pop_due(500);
+        assert_eq!(q.next_time(), None);
     }
 }

@@ -44,7 +44,7 @@ pub mod network;
 pub mod node;
 pub mod sweep;
 
-pub use config::{SimulationConfig, SimulationConfigBuilder};
+pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
 pub use experiment::{
     SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
 };

@@ -130,6 +130,13 @@ impl Metrics {
         self.delivered_packets_total
     }
 
+    /// The latency histogram of the measurement window (used by the
+    /// determinism regression tests to compare full distributions, not just
+    /// summary statistics).
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency_histogram
+    }
+
     /// Summarise the measurement window. `num_nodes` and `window_cycles`
     /// convert the phit count into accepted load.
     pub fn window_summary(&self) -> WindowSummary {

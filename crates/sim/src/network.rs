@@ -14,19 +14,87 @@
 //!    `allocator_speedup` times,
 //! 5. output-buffer link transmission, scheduling remote arrivals after the
 //!    link latency.
+//!
+//! # The optimized kernel
+//!
+//! Under [`KernelMode::Optimized`] (the default) three coordinated
+//! optimizations apply — none of which changes results (guarded bit-for-bit
+//! against the legacy kernel by `tests/determinism.rs`):
+//!
+//! * **Time-wheel event queue** ([`EventQueue`]): O(1) scheduling into
+//!   per-cycle ring buckets, drained into a reusable scratch buffer. An
+//!   event-free cycle costs one length check.
+//! * **Activity gating**: steps 4–5 iterate only the *active set* of
+//!   routers instead of all `a·g` of them. A router enters the set when it
+//!   receives a packet, credits or an injection, and leaves it when it holds
+//!   no buffered traffic. Invariant: a router with any buffered traffic
+//!   (input VCs or output buffers) is always in the set; an idle router's
+//!   allocation/transmission steps are provably no-ops, so skipping them is
+//!   behaviour-preserving. The set is iterated in ascending router order to
+//!   keep event sequence numbers — and therefore results — identical to the
+//!   legacy full scan. [`Network::drain`] additionally fast-forwards the
+//!   clock to the next pending event when every router is idle.
+//! * **Allocation-free steady state**: the per-cycle loop reuses scratch
+//!   buffers for due events, allocation requests/grants and transmitted
+//!   packets, and PB/ECtN dissemination gathers into flat per-group arrays
+//!   copied slice-to-slice instead of cloning a `Vec` per router per cycle.
+//!
+//! [`KernelMode::Legacy`] preserves the original binary-heap queue and
+//! full-router scan as a benchmarking baseline (see `BENCH_kernel.json`).
 
 use df_engine::DeterministicRng;
 use df_model::{Cycle, VcId};
-use df_router::{AllocationRequest, Router};
+use df_router::{AllocationRequest, Grant, Router};
 use df_routing::algorithms::piggyback;
 use df_routing::{minimal, Commitment, Decision, RoutingAlgorithm};
 use df_topology::{Dragonfly, GroupId, NodeId, Port, PortClass, PortPeer, RouterId};
 use df_traffic::TrafficPattern;
 
-use crate::config::SimulationConfig;
-use crate::events::{Event, EventQueue};
+use crate::config::{KernelMode, SimulationConfig};
+use crate::events::{Event, EventQueue, LegacyEventQueue};
 use crate::metrics::Metrics;
 use crate::node::Node;
+
+/// A packet in transit from an output buffer to a link (scratch entry).
+type SentPacket = (Port, df_model::Packet, VcId, Cycle);
+
+/// Either event-queue implementation, selected by [`KernelMode`].
+enum KernelQueue {
+    Wheel(EventQueue),
+    Legacy(LegacyEventQueue),
+}
+
+impl KernelQueue {
+    #[inline]
+    fn schedule(&mut self, at: Cycle, event: Event) {
+        match self {
+            KernelQueue::Wheel(q) => q.schedule(at, event),
+            KernelQueue::Legacy(q) => q.schedule(at, event),
+        }
+    }
+
+    #[inline]
+    fn pop_due_into(&mut self, now: Cycle, out: &mut Vec<Event>) {
+        match self {
+            KernelQueue::Wheel(q) => q.pop_due_into(now, out),
+            KernelQueue::Legacy(q) => q.pop_due_into(now, out),
+        }
+    }
+
+    fn next_time(&self) -> Option<Cycle> {
+        match self {
+            KernelQueue::Wheel(q) => q.next_time(),
+            KernelQueue::Legacy(q) => q.next_time(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            KernelQueue::Wheel(q) => q.len(),
+            KernelQueue::Legacy(q) => q.len(),
+        }
+    }
+}
 
 /// The whole simulated network.
 pub struct Network {
@@ -37,16 +105,39 @@ pub struct Network {
     nodes: Vec<Node>,
     patterns: Vec<TrafficPattern>,
     current_phase: usize,
-    events: EventQueue,
+    events: KernelQueue,
     router_rngs: Vec<DeterministicRng>,
     cycle: Cycle,
     next_packet_id: u64,
     metrics: Metrics,
     in_flight: u64,
     last_delivery_cycle: Cycle,
-    // reusable scratch buffers for the hot loop
+    // ---- activity gate (optimized kernel only) ----
+    /// Whether steps 4–5 iterate the active set (false for the legacy
+    /// kernel's full scan).
+    gated: bool,
+    /// Whether the routing mechanism disseminates control state every cycle
+    /// (PB) or on a fixed period (ECtN) — if so, idle cycles are not
+    /// no-ops and the drain fast-forward must not skip them.
+    control_plane_every_cycle: bool,
+    /// Schedule change points, precomputed so the drain loop does not
+    /// re-collect them per iteration.
+    change_points: Vec<Cycle>,
+    /// Membership flag per router.
+    active_flags: Vec<bool>,
+    /// Router indices currently in the active set (sorted before use).
+    active_list: Vec<u32>,
+    // ---- reusable scratch buffers for the hot loop ----
+    scratch_events: Vec<Event>,
     scratch_requests: Vec<AllocationRequest>,
     scratch_decisions: Vec<((Port, VcId), Decision)>,
+    scratch_grants: Vec<Grant>,
+    scratch_sent: Vec<SentPacket>,
+    /// PB gather buffer for one group (`a·h` flags), reused across groups
+    /// and cycles.
+    pb_flat: Vec<bool>,
+    /// ECtN combination buffer for one group (`a·h` counters).
+    ectn_scratch: Vec<u32>,
 }
 
 impl Network {
@@ -91,6 +182,29 @@ impl Network {
             .copied()
             .unwrap_or(config.warmup_cycles) as i64;
         let metrics = Metrics::new(origin, 20);
+        // The wheel must cover the farthest schedule distance of any event:
+        // packet serialisation plus the longest link latency plus the router
+        // pipeline, with a little slack. Anything beyond spills to the
+        // overflow map, which stays correct — just slower.
+        let lat = &config.network.latencies;
+        let max_link = lat.terminal_link.max(lat.local_link).max(lat.global_link);
+        let horizon =
+            (config.network.packet_size_phits + max_link + lat.router_pipeline + 2) as usize;
+        let events = match config.kernel {
+            KernelMode::Optimized => KernelQueue::Wheel(EventQueue::with_horizon(horizon)),
+            KernelMode::Legacy => KernelQueue::Legacy(LegacyEventQueue::new()),
+        };
+        let gated = config.kernel == KernelMode::Optimized;
+        // PB/ECtN dissemination runs on a fixed cadence even through idle
+        // cycles (and is *not* a no-op there: it refreshes group views from
+        // post-transmission state), so the drain fast-forward must not skip
+        // cycles for those mechanisms.
+        let control_plane_every_cycle =
+            config.routing.needs_pb_dissemination() || config.routing.needs_ectn_broadcast();
+        let change_points = config.schedule.change_points();
+        let num_routers = routers.len();
+        let params = *topo.params();
+        let group_links = params.global_links_per_group() as usize;
         Network {
             config,
             topo,
@@ -99,15 +213,25 @@ impl Network {
             nodes,
             patterns,
             current_phase: 0,
-            events: EventQueue::new(),
+            events,
             router_rngs,
             cycle: 0,
             next_packet_id: 0,
             metrics,
             in_flight: 0,
             last_delivery_cycle: 0,
+            gated,
+            control_plane_every_cycle,
+            change_points,
+            active_flags: vec![false; num_routers],
+            active_list: Vec::with_capacity(num_routers),
+            scratch_events: Vec::new(),
             scratch_requests: Vec::new(),
             scratch_decisions: Vec::new(),
+            scratch_grants: Vec::new(),
+            scratch_sent: Vec::new(),
+            pb_flat: vec![false; group_links],
+            ectn_scratch: vec![0; group_links],
         }
     }
 
@@ -151,6 +275,21 @@ impl Network {
         self.in_flight
     }
 
+    /// Number of events pending on links.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of routers currently in the active set (equals the router
+    /// count for the legacy kernel, which scans everything).
+    pub fn active_routers(&self) -> usize {
+        if self.gated {
+            self.active_list.len()
+        } else {
+            self.routers.len()
+        }
+    }
+
     /// Whether the network appears stalled: packets are in flight but nothing
     /// has been delivered for `threshold` cycles. Used as a deadlock
     /// watchdog by the tests.
@@ -168,13 +307,42 @@ impl Network {
     /// Stop traffic generation and keep stepping until every in-flight packet
     /// is delivered (or `max_cycles` elapse). Returns true if the network
     /// drained completely.
+    ///
+    /// With the optimized kernel, cycles in which every router is idle and
+    /// all remaining traffic is in flight on links are skipped by
+    /// fast-forwarding the clock to the next pending event — behaviour-
+    /// preserving because traffic generation is off and an idle cycle
+    /// changes no state.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         for node in &mut self.nodes {
             node.set_offered_load(0.0);
         }
-        for _ in 0..max_cycles {
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
             if self.in_flight == 0 && self.all_source_queues_empty() {
                 return true;
+            }
+            if self.gated
+                && !self.control_plane_every_cycle
+                && self.active_list.is_empty()
+                && self.all_source_queues_empty()
+            {
+                if let Some(t) = self.events.next_time() {
+                    if t > self.cycle {
+                        // don't jump past a scheduled traffic change: the
+                        // phase switch must be observed at its exact cycle
+                        let next_change = self
+                            .change_points
+                            .iter()
+                            .copied()
+                            .find(|&c| c > self.cycle);
+                        self.cycle = match next_change {
+                            Some(c) => t.min(c),
+                            None => t,
+                        };
+                        continue;
+                    }
+                }
             }
             self.step();
         }
@@ -194,6 +362,15 @@ impl Network {
             .sum()
     }
 
+    /// Add router `r_idx` to the active set (no-op if already present).
+    #[inline]
+    fn mark_active(&mut self, r_idx: usize) {
+        if self.gated && !self.active_flags[r_idx] {
+            self.active_flags[r_idx] = true;
+            self.active_list.push(r_idx as u32);
+        }
+    }
+
     /// Advance one cycle.
     pub fn step(&mut self) {
         let now = self.cycle;
@@ -211,20 +388,31 @@ impl Network {
         }
 
         // ---- 1. deliver due events ----
-        for event in self.events.pop_due(now) {
+        let mut due = std::mem::take(&mut self.scratch_events);
+        self.events.pop_due_into(now, &mut due);
+        for event in due.drain(..) {
             match event {
                 Event::PacketArrival {
                     router,
                     port,
                     vc,
                     packet,
-                } => self.routers[router.index()].receive_packet(port, vc, packet),
+                } => {
+                    self.mark_active(router.index());
+                    self.routers[router.index()].receive_packet(port, vc, packet);
+                }
                 Event::CreditReturn {
                     router,
                     port,
                     vc,
                     phits,
-                } => self.routers[router.index()].receive_credits(port, vc, phits),
+                } => {
+                    // Fresh credits can only unblock a head packet, and a
+                    // router holding packets is active already; marking here
+                    // keeps the gate conservative at negligible cost.
+                    self.mark_active(router.index());
+                    self.routers[router.index()].receive_credits(port, vc, phits);
+                }
                 Event::Delivery { node: _, packet } => {
                     self.in_flight -= 1;
                     self.last_delivery_cycle = now;
@@ -232,6 +420,7 @@ impl Network {
                 }
             }
         }
+        self.scratch_events = due;
 
         // ---- 2. generation + injection ----
         {
@@ -265,32 +454,73 @@ impl Network {
                 let mut packet = self.nodes[node_idx].pop_head().expect("head checked");
                 packet.injected_at = Some(now);
                 self.in_flight += 1;
+                self.mark_active(router_id.index());
                 self.routers[router_id.index()].receive_packet(port, VcId(vc as u8), packet);
             }
         }
 
         // ---- 3. control-plane dissemination ----
         if self.config.routing.needs_pb_dissemination() {
-            self.disseminate_pb();
+            if self.gated {
+                self.disseminate_pb();
+            } else {
+                self.disseminate_pb_legacy();
+            }
         }
         if self.config.routing.needs_ectn_broadcast()
-            && now % self.config.routing_config.ectn_update_period == 0
+            && now.is_multiple_of(self.config.routing_config.ectn_update_period)
         {
-            self.broadcast_ectn();
+            if self.gated {
+                self.broadcast_ectn();
+            } else {
+                self.broadcast_ectn_legacy();
+            }
+        }
+
+        // Events only arrive in steps 1–2, so the active set is complete
+        // here; sort it so steps 4–5 visit routers in ascending index order —
+        // the same order as the legacy full scan, which keeps event sequence
+        // numbers (and therefore results) bit-for-bit identical.
+        if self.gated {
+            self.active_list.sort_unstable();
         }
 
         // ---- 4. routing + allocation ----
         for _ in 0..self.config.network.allocator_speedup {
-            for r_idx in 0..self.routers.len() {
-                self.route_and_allocate(r_idx, now);
+            if self.gated {
+                for i in 0..self.active_list.len() {
+                    let r_idx = self.active_list[i] as usize;
+                    self.route_and_allocate(r_idx, now);
+                }
+            } else {
+                for r_idx in 0..self.routers.len() {
+                    self.route_and_allocate_legacy(r_idx, now);
+                }
             }
         }
 
         // ---- 5. link transmission ----
-        for r_idx in 0..self.routers.len() {
+        let num_iter = if self.gated {
+            self.active_list.len()
+        } else {
+            self.routers.len()
+        };
+        let mut sent = std::mem::take(&mut self.scratch_sent);
+        for i in 0..num_iter {
+            let r_idx = if self.gated {
+                self.active_list[i] as usize
+            } else {
+                i
+            };
             let router_id = RouterId(r_idx as u32);
-            let sent = self.routers[r_idx].transmit_outputs(now);
-            for (port, packet, vc, tail_at) in sent {
+            if self.gated {
+                sent.clear();
+                self.routers[r_idx].transmit_outputs_into(now, &mut sent);
+            } else {
+                // faithful seed-kernel baseline: allocate the sent list
+                sent = self.routers[r_idx].transmit_outputs(now);
+            }
+            for (port, packet, vc, tail_at) in sent.drain(..) {
                 match self.topo.peer(router_id, port) {
                     PortPeer::Node(node) => {
                         let latency = self.config.network.latencies.terminal_link as Cycle;
@@ -316,13 +546,56 @@ impl Network {
                 }
             }
         }
+        self.scratch_sent = sent;
+
+        // ---- 6. retire idle routers from the active set ----
+        if self.gated {
+            let flags = &mut self.active_flags;
+            let routers = &self.routers;
+            self.active_list.retain(|&r| {
+                if routers[r as usize].is_idle() {
+                    flags[r as usize] = false;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
 
         self.cycle += 1;
     }
 
     /// Share every router's own-link saturation flags inside its group (one
     /// cycle of staleness), then recompute the own flags for this cycle.
+    ///
+    /// Groups are independent, so one reusable `a·h`-flag buffer
+    /// (`pb_flat`) is gathered and installed per group with slice copies —
+    /// no allocation per cycle. Gathering a group completes before any of
+    /// its routers install, and installs never touch own flags, so the
+    /// ordering matches the legacy snapshot-then-install exactly.
     fn disseminate_pb(&mut self) {
+        let params = *self.topo.params();
+        let h = params.h as usize;
+        for g in 0..self.topo.num_groups() {
+            for (i, r) in self.topo.routers_in_group(GroupId(g)).enumerate() {
+                self.pb_flat[i * h..(i + 1) * h]
+                    .copy_from_slice(self.routers[r.index()].pb().own_flags());
+            }
+            for r in self.topo.routers_in_group(GroupId(g)) {
+                self.routers[r.index()]
+                    .pb_mut()
+                    .install_group_from(&self.pb_flat);
+            }
+        }
+        for router in self.routers.iter_mut() {
+            piggyback::update_own_saturation(&self.config.routing_config, router);
+        }
+    }
+
+    /// Seed-kernel PB dissemination: per-group `Vec` gather plus one cloned
+    /// `Vec` per router per cycle (the baseline the flat-array version is
+    /// benchmarked against).
+    fn disseminate_pb_legacy(&mut self) {
         let params = *self.topo.params();
         for g in 0..self.topo.num_groups() {
             let group = GroupId(g);
@@ -340,8 +613,28 @@ impl Network {
     }
 
     /// Sum the partial arrays of every router of each group into that group's
-    /// combined array (the periodic ECtN broadcast).
+    /// combined array (the periodic ECtN broadcast), accumulating into a
+    /// reusable flat buffer instead of cloning a `Vec` per router.
     fn broadcast_ectn(&mut self) {
+        for g in 0..self.topo.num_groups() {
+            let group = GroupId(g);
+            self.ectn_scratch.fill(0);
+            for r in self.topo.routers_in_group(group) {
+                self.routers[r.index()]
+                    .ectn()
+                    .add_partial_to(&mut self.ectn_scratch);
+            }
+            for r in self.topo.routers_in_group(group) {
+                self.routers[r.index()]
+                    .ectn_mut()
+                    .install_combined_from(&self.ectn_scratch);
+            }
+        }
+    }
+
+    /// Seed-kernel ECtN broadcast: snapshot `Vec`s and a cloned combined
+    /// array per router (the baseline for the flat-buffer version).
+    fn broadcast_ectn_legacy(&mut self) {
         for g in 0..self.topo.num_groups() {
             let group = GroupId(g);
             let snapshots: Vec<Vec<u32>> = self
@@ -360,8 +653,105 @@ impl Network {
     }
 
     /// One allocation iteration for one router: register new heads, compute
-    /// routing decisions, allocate, apply grants.
+    /// routing decisions, allocate, apply grants. Allocation-free: iterates
+    /// port/VC state in place and reuses the network-level scratch buffers.
     fn route_and_allocate(&mut self, r_idx: usize, now: Cycle) {
+        let router_id = RouterId(r_idx as u32);
+        let track_ectn = self.config.routing.needs_ectn_broadcast();
+        let num_ports = self.routers[r_idx].num_ports();
+
+        // a. contention / ECtN registration of new head packets; the O(1)
+        // counter guard makes this free on cycles with no new heads
+        if self.routers[r_idx].has_unregistered_heads() {
+            for p in 0..num_ports {
+                let port = Port(p as u32);
+                if self.routers[r_idx].port_occupancy(port) == 0 {
+                    continue;
+                }
+                let num_vcs = self.routers[r_idx].input(port).num_vcs();
+                for v in 0..num_vcs {
+                    if !self.routers[r_idx]
+                        .input(port)
+                        .vc(v)
+                        .head_needs_registration()
+                    {
+                        continue;
+                    }
+                    let vc = VcId(v as u8);
+                    let (min_out, ectn_link) = {
+                        let router = &self.routers[r_idx];
+                        let head = router
+                            .input(port)
+                            .vc(vc.index())
+                            .head()
+                            .expect("unregistered head exists");
+                        let min_out = minimal::minimal_output(&self.topo, router_id, head.dst);
+                        let ectn_link = if track_ectn {
+                            minimal::ectn_link_for(
+                                &self.topo,
+                                router_id,
+                                router.input(port).class(),
+                                head,
+                            )
+                        } else {
+                            None
+                        };
+                        (min_out, ectn_link)
+                    };
+                    self.routers[r_idx].register_head(port, vc, min_out, ectn_link);
+                }
+            }
+        }
+
+        // b. routing decisions for every occupied VC head (ports with no
+        // queued packet are skipped in O(1))
+        self.scratch_requests.clear();
+        self.scratch_decisions.clear();
+        {
+            let router = &self.routers[r_idx];
+            let rng = &mut self.router_rngs[r_idx];
+            for p in 0..num_ports {
+                let port = Port(p as u32);
+                if router.port_occupancy(port) == 0 {
+                    continue;
+                }
+                let input = router.input(port);
+                for v in 0..input.num_vcs() {
+                    let Some(head) = input.vc(v).head() else {
+                        continue;
+                    };
+                    let vc = VcId(v as u8);
+                    let decision = self.algorithm.decide(router, port, head, rng);
+                    self.scratch_requests.push(AllocationRequest {
+                        input_port: port,
+                        input_vc: vc,
+                        output_port: decision.output_port,
+                        output_vc: decision.output_vc,
+                        size_phits: head.size_phits,
+                    });
+                    self.scratch_decisions.push(((port, vc), decision));
+                }
+            }
+        }
+        if self.scratch_requests.is_empty() {
+            return;
+        }
+
+        // c. separable allocation
+        let mut grants = std::mem::take(&mut self.scratch_grants);
+        self.routers[r_idx].allocate_into(&self.scratch_requests, &mut grants);
+
+        // d. apply grants
+        for grant in &grants {
+            self.apply_one_grant(r_idx, now, grant);
+        }
+        self.scratch_grants = grants;
+    }
+
+    /// The seed kernel's allocation iteration, kept verbatim as the
+    /// `KernelMode::Legacy` baseline: `Vec`-returning head/occupancy scans
+    /// and an allocated grant list every call.
+    fn route_and_allocate_legacy(&mut self, r_idx: usize, now: Cycle) {
         let router_id = RouterId(r_idx as u32);
         let track_ectn = self.config.routing.needs_ectn_broadcast();
 
@@ -411,66 +801,75 @@ impl Network {
         let grants = self.routers[r_idx].allocate(&self.scratch_requests);
 
         // d. apply grants
-        for grant in grants {
-            let decision = self
-                .scratch_decisions
-                .iter()
-                .find(|(k, _)| *k == (grant.input_port, grant.input_vc))
-                .map(|(_, d)| *d)
-                .expect("grant matches a request");
-            // apply the commitment to the head packet before it moves
+        for grant in &grants {
+            self.apply_one_grant(r_idx, now, grant);
+        }
+    }
+
+    /// Apply one grant of router `r_idx`: commit the routing decision to the
+    /// head packet, record misroute statistics, move the packet to its
+    /// output buffer and schedule the upstream credit return. Shared by both
+    /// kernels — the decision for the grant is looked up in
+    /// `scratch_decisions`.
+    fn apply_one_grant(&mut self, r_idx: usize, now: Cycle, grant: &Grant) {
+        let router_id = RouterId(r_idx as u32);
+        let decision = self
+            .scratch_decisions
+            .iter()
+            .find(|(k, _)| *k == (grant.input_port, grant.input_vc))
+            .map(|(_, d)| *d)
+            .expect("grant matches a request");
+        // apply the commitment to the head packet before it moves
+        {
+            let group = self.routers[r_idx].group();
+            let router = &mut self.routers[r_idx];
+            if let Some(head) = router
+                .input_mut(grant.input_port)
+                .vc_mut(grant.input_vc.index())
+                .head_mut()
             {
-                let group = self.routers[r_idx].group();
-                let router = &mut self.routers[r_idx];
-                if let Some(head) = router
-                    .input_mut(grant.input_port)
-                    .vc_mut(grant.input_vc.index())
-                    .head_mut()
-                {
-                    match decision.commitment {
-                        Commitment::None => {}
-                        Commitment::Intermediate { router: inter, misroute } => {
-                            head.routing.commit_intermediate(inter, misroute)
-                        }
-                        Commitment::NonminimalGlobal { gateway, port } => {
-                            head.routing.commit_nonminimal_global(gateway, port)
-                        }
-                        Commitment::LocalDetour { router: detour } => {
-                            head.routing.commit_local_detour(detour, group)
-                        }
+                match decision.commitment {
+                    Commitment::None => {}
+                    Commitment::Intermediate { router: inter, misroute } => {
+                        head.routing.commit_intermediate(inter, misroute)
+                    }
+                    Commitment::NonminimalGlobal { gateway, port } => {
+                        head.routing.commit_nonminimal_global(gateway, port)
+                    }
+                    Commitment::LocalDetour { router: detour } => {
+                        head.routing.commit_local_detour(detour, group)
                     }
                 }
             }
-            // misrouted-percentage statistics: count each packet once, when it
-            // takes its first global hop
-            if grant.output_port.class(self.topo.params()) == PortClass::Global {
-                let head = self.routers[r_idx]
-                    .input(grant.input_port)
-                    .vc(grant.input_vc.index())
-                    .head()
-                    .expect("granted head exists");
-                if head.routing.global_hops == 0 {
-                    self.metrics.record_commit(now, head.routing.flags.global);
-                }
+        }
+        // misrouted-percentage statistics: count each packet once, when it
+        // takes its first global hop
+        if grant.output_port.class(self.topo.params()) == PortClass::Global {
+            let head = self.routers[r_idx]
+                .input(grant.input_port)
+                .vc(grant.input_vc.index())
+                .head()
+                .expect("granted head exists");
+            if head.routing.global_hops == 0 {
+                self.metrics.record_commit(now, head.routing.flags.global);
             }
-            let applied = self.routers[r_idx].apply_grant(&grant, now);
-            // return credits to the upstream router
-            if applied.input_class != PortClass::Terminal {
-                if let PortPeer::Router(upstream, upstream_port) =
-                    self.topo.peer(router_id, grant.input_port)
-                {
-                    let latency =
-                        self.config.network.link_latency_for(applied.input_class) as Cycle;
-                    self.events.schedule(
-                        now + latency,
-                        Event::CreditReturn {
-                            router: upstream,
-                            port: upstream_port,
-                            vc: grant.input_vc,
-                            phits: applied.freed_phits,
-                        },
-                    );
-                }
+        }
+        let applied = self.routers[r_idx].apply_grant(grant, now);
+        // return credits to the upstream router
+        if applied.input_class != PortClass::Terminal {
+            if let PortPeer::Router(upstream, upstream_port) =
+                self.topo.peer(router_id, grant.input_port)
+            {
+                let latency = self.config.network.link_latency_for(applied.input_class) as Cycle;
+                self.events.schedule(
+                    now + latency,
+                    Event::CreditReturn {
+                        router: upstream,
+                        port: upstream_port,
+                        vc: grant.input_vc,
+                        phits: applied.freed_phits,
+                    },
+                );
             }
         }
     }
@@ -609,5 +1008,36 @@ mod tests {
         // exceed total generated packets
         let generated = net.metrics().generated_phits_total / 8;
         assert!(net.in_flight() <= generated);
+    }
+
+    #[test]
+    fn active_set_never_misses_a_loaded_router() {
+        // the activity-gate invariant: any router holding buffered traffic
+        // is in the active set
+        let mut net = Network::new(small_config(RoutingKind::Base, PatternKind::Uniform, 0.3));
+        for _ in 0..200 {
+            net.step();
+            for r in net.topology().routers() {
+                let router = net.router(r);
+                if !router.is_idle() {
+                    assert!(
+                        net.active_flags[r.index()],
+                        "router {r} holds traffic but is not in the active set"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn active_set_shrinks_when_traffic_stops() {
+        let mut net = Network::new(small_config(RoutingKind::Base, PatternKind::Uniform, 0.2));
+        net.run_cycles(300);
+        assert!(net.drain(5_000));
+        assert_eq!(
+            net.active_routers(),
+            0,
+            "all routers must retire from the active set once drained"
+        );
     }
 }

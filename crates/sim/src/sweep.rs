@@ -3,12 +3,12 @@
 //! The paper's latency/throughput figures are sweeps over offered load (and,
 //! for Figure 10, over the misrouting threshold), with every point averaged
 //! over 10 seeds. Each point is an independent simulation, so the sweep
-//! parallelises trivially over OS threads: a `crossbeam` scope fans the
-//! configurations out to a bounded worker pool and a `parking_lot` mutex
-//! collects the reports in input order.
+//! parallelises trivially over OS threads: a `std::thread::scope` worker pool
+//! pulls configuration indices from a shared atomic counter and writes the
+//! reports back in input order.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::config::SimulationConfig;
 use crate::experiment::{SteadyStateExperiment, SteadyStateReport};
@@ -24,33 +24,29 @@ pub fn run_sweep(
     assert!(seeds_per_point > 0);
     let threads = threads.max(1);
     let results: Mutex<Vec<Option<SteadyStateReport>>> = Mutex::new(vec![None; configs.len()]);
-    let (tx, rx) = channel::unbounded::<usize>();
-    for i in 0..configs.len() {
-        tx.send(i).expect("queueing work cannot fail");
-    }
-    drop(tx);
+    let next = AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads.min(configs.len().max(1)) {
-            let rx = rx.clone();
-            let results = &results;
-            scope.spawn(move |_| {
-                while let Ok(idx) = rx.recv() {
-                    let experiment = SteadyStateExperiment::new(configs[idx].clone());
-                    let report = if seeds_per_point == 1 {
-                        experiment.run()
-                    } else {
-                        experiment.run_averaged(seeds_per_point)
-                    };
-                    results.lock()[idx] = Some(report);
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= configs.len() {
+                    break;
                 }
+                let experiment = SteadyStateExperiment::new(configs[idx].clone());
+                let report = if seeds_per_point == 1 {
+                    experiment.run()
+                } else {
+                    experiment.run_averaged(seeds_per_point)
+                };
+                results.lock().expect("sweep worker panicked")[idx] = Some(report);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
 
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every configuration was run"))
         .collect()

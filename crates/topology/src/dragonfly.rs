@@ -354,12 +354,12 @@ mod tests {
                 count[g.index()][pg.index()] += 1;
             }
         }
-        for g1 in 0..groups as usize {
-            for g2 in 0..groups as usize {
+        for (g1, row) in count.iter().enumerate() {
+            for (g2, &links) in row.iter().enumerate() {
                 if g1 == g2 {
-                    assert_eq!(count[g1][g2], 0);
+                    assert_eq!(links, 0);
                 } else {
-                    assert_eq!(count[g1][g2], 1, "groups {g1}->{g2} must have one link");
+                    assert_eq!(links, 1, "groups {g1}->{g2} must have one link");
                 }
             }
         }

@@ -14,8 +14,8 @@ pub use df_model::{
 pub use df_router::{ContentionCounters, EctnState, PbState, Router};
 pub use df_routing::{Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind};
 pub use df_sim::{
-    load_sweep, run_sweep, Network, SimulationConfig, SteadyStateExperiment, SteadyStateReport,
-    TransientExperiment, TransientReport,
+    load_sweep, run_sweep, KernelMode, Network, SimulationConfig, SteadyStateExperiment,
+    SteadyStateReport, TransientExperiment, TransientReport,
 };
 pub use df_topology::{Dragonfly, DragonflyParams, GroupId, NodeId, Port, PortClass, RouterId};
 pub use df_traffic::{BernoulliInjector, PatternKind, TrafficPattern, TrafficSchedule};

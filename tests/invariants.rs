@@ -1,8 +1,9 @@
 //! Cross-crate invariant tests: conservation laws that must hold for *any*
 //! topology, routing mechanism, traffic pattern and seed.
 //!
-//! The property-based tests draw random small configurations with `proptest`
-//! and check, after the network drains:
+//! The property-style tests sweep a deterministic grid of small
+//! configurations (routing × pattern × load × seed, and exhaustive `(p, a,
+//! h)` topology ranges) and check, after the network drains:
 //!
 //! * no packet is lost or duplicated (everything generated is delivered),
 //! * every contention counter and every ECtN partial counter returns to zero,
@@ -10,7 +11,6 @@
 //! * delivered packets respect the hop bounds of the misrouting policy.
 
 use contention_dragonfly::prelude::*;
-use proptest::prelude::*;
 
 /// Run a short simulation and drain it, returning the network for
 /// inspection.
@@ -126,81 +126,102 @@ fn hop_counts_stay_within_the_policy_bounds() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 8,
-        max_shrink_iters: 16,
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn random_small_simulations_conserve_packets(
-        routing_idx in 0usize..7,
-        pattern_sel in 0u32..3,
-        load in 0.05f64..0.5,
-        seed in 0u64..1_000,
-    ) {
-        let routing = RoutingKind::ALL[routing_idx];
-        let params = DragonflyParams::small();
-        let pattern = match pattern_sel {
-            0 => PatternKind::Uniform,
-            1 => PatternKind::Adversarial { offset: 1 },
-            _ => PatternKind::Mixed { offset: 1, uniform_fraction: 0.5 },
-        };
-        let net = run_and_drain(params, routing, pattern, load, 600, seed);
-        check_conservation(&net);
-        let generated = net.metrics().generated_phits_total / 8;
-        prop_assert_eq!(net.metrics().delivered_packets_total(), generated);
-    }
-
-    #[test]
-    fn random_topologies_have_consistent_wiring(
-        p in 1u32..4,
-        a in 2u32..7,
-        h in 1u32..4,
-    ) {
-        let params = DragonflyParams::canonical(p, a, h).unwrap();
-        let topo = Dragonfly::new(params);
-        // global wiring symmetry for every router
-        for r in topo.routers() {
-            for k in 0..h {
-                let (peer, pport) = topo.global_neighbor(r, k).unwrap();
-                let (back, bport) = topo
-                    .global_neighbor(peer, pport.class_offset(topo.params()))
-                    .unwrap();
-                prop_assert_eq!(back, r);
-                prop_assert_eq!(bport.class_offset(topo.params()), k);
-            }
+#[test]
+fn sampled_small_simulations_conserve_packets() {
+    // Deterministic grid standing in for the former proptest sampling:
+    // every (routing mechanism × pattern family) pair, with the load and
+    // seed varied across the grid.
+    let loads = [0.08, 0.2, 0.35, 0.45];
+    let patterns = [
+        PatternKind::Uniform,
+        PatternKind::Adversarial { offset: 1 },
+        PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 0.5,
+        },
+    ];
+    let mut case = 0usize;
+    for routing in RoutingKind::ALL {
+        for pattern in patterns {
+            let load = loads[case % loads.len()];
+            let seed = 100 + 37 * case as u64;
+            case += 1;
+            let net = run_and_drain(
+                DragonflyParams::small(),
+                routing,
+                pattern,
+                load,
+                600,
+                seed,
+            );
+            check_conservation(&net);
+            let generated = net.metrics().generated_phits_total / 8;
+            assert_eq!(
+                net.metrics().delivered_packets_total(),
+                generated,
+                "{routing:?} {pattern:?} load {load} seed {seed}: packets lost or duplicated"
+            );
         }
-        // every pair of groups connected by exactly one link
-        for g1 in topo.groups() {
-            for g2 in topo.groups() {
-                if g1 != g2 {
-                    let (gw, port) = topo.gateway_to(g1, g2);
-                    prop_assert_eq!(topo.router_group(gw), g1);
-                    let (peer, _) = topo
-                        .global_neighbor(gw, port.class_offset(topo.params()))
-                        .unwrap();
-                    prop_assert_eq!(topo.router_group(peer), g2);
+    }
+}
+
+#[test]
+fn all_small_topologies_have_consistent_wiring() {
+    // Exhaustive over the ranges the proptest version sampled from.
+    for p in 1u32..4 {
+        for a in 2u32..7 {
+            for h in 1u32..4 {
+                let params = DragonflyParams::canonical(p, a, h).unwrap();
+                let topo = Dragonfly::new(params);
+                // global wiring symmetry for every router
+                for r in topo.routers() {
+                    for k in 0..h {
+                        let (peer, pport) = topo.global_neighbor(r, k).unwrap();
+                        let (back, bport) = topo
+                            .global_neighbor(peer, pport.class_offset(topo.params()))
+                            .unwrap();
+                        assert_eq!(back, r);
+                        assert_eq!(bport.class_offset(topo.params()), k);
+                    }
+                }
+                // every pair of groups connected by exactly one link
+                for g1 in topo.groups() {
+                    for g2 in topo.groups() {
+                        if g1 != g2 {
+                            let (gw, port) = topo.gateway_to(g1, g2);
+                            assert_eq!(topo.router_group(gw), g1);
+                            let (peer, _) = topo
+                                .global_neighbor(gw, port.class_offset(topo.params()))
+                                .unwrap();
+                            assert_eq!(topo.router_group(peer), g2);
+                        }
+                    }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn minimal_paths_are_valid_and_short_on_random_topologies(
-        p in 1u32..3,
-        a in 2u32..6,
-        h in 1u32..4,
-        src_sel in any::<u32>(),
-        dst_sel in any::<u32>(),
-    ) {
-        let params = DragonflyParams::canonical(p, a, h).unwrap();
-        let topo = Dragonfly::new(params);
-        let src = RouterId(src_sel % topo.num_routers());
-        let dst = RouterId(dst_sel % topo.num_routers());
-        let path = df_topology::path::minimal_path(&topo, src, dst);
-        prop_assert!(path.len() <= 3);
-        prop_assert!(df_topology::path::validate_path(&topo, src, dst, &path));
+#[test]
+fn minimal_paths_are_valid_and_short_on_all_small_topologies() {
+    for p in 1u32..3 {
+        for a in 2u32..6 {
+            for h in 1u32..4 {
+                let params = DragonflyParams::canonical(p, a, h).unwrap();
+                let topo = Dragonfly::new(params);
+                for s in 0..topo.num_routers() {
+                    for d in 0..topo.num_routers() {
+                        let src = RouterId(s);
+                        let dst = RouterId(d);
+                        let path = df_topology::path::minimal_path(&topo, src, dst);
+                        assert!(path.len() <= 3, "p={p} a={a} h={h} {src}->{dst}");
+                        assert!(
+                            df_topology::path::validate_path(&topo, src, dst, &path),
+                            "p={p} a={a} h={h} {src}->{dst}: invalid minimal path"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

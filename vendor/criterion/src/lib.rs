@@ -1,0 +1,210 @@
+//! Vendored `criterion` stub: a small wall-clock benchmarking harness that
+//! keeps the subset of the criterion API this workspace uses compiling and
+//! produces honest (median-of-samples) timing output on `cargo bench`.
+//!
+//! Implemented surface: [`Criterion::benchmark_group`], `BenchmarkGroup`
+//! configuration (`sample_size`, `warm_up_time`, `measurement_time`),
+//! `bench_function` / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// Measurement strategies (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement marker.
+    pub struct WallTime;
+}
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style identifier.
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    sample_ns: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, warming up first, then collecting samples until the
+    /// measurement budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Choose an iteration count per sample so one sample is ≥ ~1ms.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample = ((1e-3 / per_iter.max(1e-9)).ceil() as u64).max(1);
+        let measure_start = Instant::now();
+        while self.sample_ns.len() < self.sample_size
+            && (self.sample_ns.is_empty() || measure_start.elapsed() < self.measurement)
+        {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.sample_ns.push(ns);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.sample_ns.is_empty() {
+            return f64::NAN;
+        }
+        self.sample_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.sample_ns[self.sample_ns.len() / 2]
+    }
+}
+
+/// A named group of benchmarks with shared configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sampling budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&self, label: &str, mut f: F) {
+        let mut bencher = Bencher {
+            sample_ns: Vec::new(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let median = bencher.median_ns();
+        let (value, unit) = if median >= 1e9 {
+            (median / 1e9, "s")
+        } else if median >= 1e6 {
+            (median / 1e6, "ms")
+        } else if median >= 1e3 {
+            (median / 1e3, "µs")
+        } else {
+            (median, "ns")
+        };
+        println!("{}/{}: median {value:.3} {unit}/iter", self.name, label);
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.run_one(label, f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (output is emitted as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1_000),
+            _criterion: self,
+            _measurement: PhantomData,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

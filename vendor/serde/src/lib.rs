@@ -1,0 +1,16 @@
+//! Vendored `serde` stub: marker traits plus re-exported no-op derives.
+//!
+//! The workspace decorates its data types with `#[derive(Serialize,
+//! Deserialize)]` but contains no serialisation consumer (no `serde_json`
+//! etc.), so marker traits with blanket implementations are sufficient to
+//! compile the unchanged source. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
