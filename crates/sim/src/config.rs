@@ -2,9 +2,11 @@
 
 use df_model::NetworkConfig;
 use df_routing::{RoutingConfig, RoutingKind};
-use df_topology::DragonflyParams;
-use df_traffic::{PatternKind, TrafficSchedule};
+use df_topology::{Dragonfly, DragonflyParams};
+use df_traffic::{InjectionKind, PatternKind, TrafficSchedule};
 use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
 
 /// Which simulation-kernel implementation [`crate::Network`] runs.
 ///
@@ -23,6 +25,20 @@ pub enum KernelMode {
     Legacy,
 }
 
+impl KernelMode {
+    /// The kernel selected by the `DF_SIM_KERNEL` environment variable
+    /// (`"legacy"`, case-insensitive, picks [`KernelMode::Legacy`]; anything
+    /// else — including unset — picks [`KernelMode::Optimized`]). Used as the
+    /// builder default so CI can run the whole test suite under either
+    /// kernel without touching any test.
+    pub fn from_env() -> Self {
+        match std::env::var("DF_SIM_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => KernelMode::Legacy,
+            _ => KernelMode::Optimized,
+        }
+    }
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -37,6 +53,8 @@ pub struct SimulationConfig {
     /// Traffic pattern schedule (constant for steady-state experiments,
     /// pattern switch for transients).
     pub schedule: TrafficSchedule,
+    /// Injection process every node runs (Bernoulli, bursty or ramp).
+    pub injection: InjectionKind,
     /// Offered load in phits/(node·cycle).
     pub offered_load: f64,
     /// Seed for all stochastic components.
@@ -65,6 +83,7 @@ impl SimulationConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.network.validate()?;
         self.routing_config.validate()?;
+        self.injection.validate()?;
         if !(0.0..=1.0).contains(&self.offered_load) {
             return Err(format!(
                 "offered load must be in [0,1] phits/(node*cycle), got {}",
@@ -76,6 +95,20 @@ impl SimulationConfig {
         }
         if self.topology.num_groups() < 2 {
             return Err("the network needs at least two groups".into());
+        }
+        let topo = Dragonfly::new(self.topology);
+        for (i, phase) in self.schedule.phases().iter().enumerate() {
+            phase
+                .pattern
+                .validate(&topo)
+                .map_err(|e| format!("schedule phase {i}: {e}"))?;
+            if let Some(load) = phase.load {
+                if !(0.0..=1.0).contains(&load) {
+                    return Err(format!(
+                        "schedule phase {i}: load must be in [0,1], got {load}"
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -95,6 +128,7 @@ pub struct SimulationConfigBuilder {
     routing: RoutingKind,
     routing_config: Option<RoutingConfig>,
     schedule: TrafficSchedule,
+    injection: InjectionKind,
     offered_load: f64,
     seed: u64,
     warmup_cycles: u64,
@@ -110,11 +144,12 @@ impl Default for SimulationConfigBuilder {
             routing: RoutingKind::Base,
             routing_config: None,
             schedule: TrafficSchedule::constant(PatternKind::Uniform),
+            injection: InjectionKind::Bernoulli,
             offered_load: 0.1,
             seed: 0,
             warmup_cycles: 1_000,
             measurement_cycles: 2_000,
-            kernel: KernelMode::Optimized,
+            kernel: KernelMode::from_env(),
         }
     }
 }
@@ -154,6 +189,20 @@ impl SimulationConfigBuilder {
     /// Use an arbitrary traffic schedule (transient experiments).
     pub fn schedule(mut self, schedule: TrafficSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Set the injection process (Bernoulli by default).
+    pub fn injection(mut self, injection: InjectionKind) -> Self {
+        self.injection = injection;
+        self
+    }
+
+    /// Apply a declarative [`Scenario`]: its phases become the traffic
+    /// schedule and its injection process replaces the current one.
+    pub fn scenario(mut self, scenario: &Scenario) -> Self {
+        self.schedule = scenario.schedule();
+        self.injection = scenario.injection;
         self
     }
 
@@ -198,6 +247,7 @@ impl SimulationConfigBuilder {
             routing: self.routing,
             routing_config,
             schedule: self.schedule,
+            injection: self.injection,
             offered_load: self.offered_load,
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,
@@ -257,6 +307,70 @@ mod tests {
         assert!(SimulationConfig::builder().offered_load(1.5).build().is_err());
         assert!(SimulationConfig::builder()
             .measurement_cycles(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn scenario_sets_schedule_and_injection() {
+        let scenario = Scenario::transient(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            500,
+        )
+        .injection(InjectionKind::Bursty {
+            mean_on: 20.0,
+            mean_off: 20.0,
+        });
+        let c = SimulationConfig::builder()
+            .scenario(&scenario)
+            .build()
+            .unwrap();
+        assert_eq!(c.schedule.change_points(), vec![500]);
+        assert_eq!(
+            c.injection,
+            InjectionKind::Bursty {
+                mean_on: 20.0,
+                mean_off: 20.0
+            }
+        );
+        // the default remains Bernoulli
+        let d = SimulationConfig::builder().build().unwrap();
+        assert_eq!(d.injection, InjectionKind::Bernoulli);
+    }
+
+    #[test]
+    fn invalid_injection_and_phase_parameters_are_rejected() {
+        assert!(SimulationConfig::builder()
+            .injection(InjectionKind::Bursty {
+                mean_on: 0.1,
+                mean_off: 10.0
+            })
+            .build()
+            .is_err());
+        // pattern parameters are validated against the topology
+        assert!(SimulationConfig::builder()
+            .pattern(PatternKind::Hotspot {
+                hotspots: 0,
+                fraction: 0.5
+            })
+            .build()
+            .is_err());
+        // per-phase load overrides are range-checked
+        let overload = TrafficSchedule::from_phases(vec![
+            df_traffic::PatternPhase {
+                start: 0,
+                pattern: PatternKind::Uniform,
+                load: None,
+            },
+            df_traffic::PatternPhase {
+                start: 100,
+                pattern: PatternKind::Uniform,
+                load: Some(2.0),
+            },
+        ]);
+        assert!(SimulationConfig::builder()
+            .schedule(overload)
             .build()
             .is_err());
     }

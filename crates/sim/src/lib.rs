@@ -9,7 +9,8 @@
 //!   router microarchitecture, routing mechanism and traffic,
 //! * [`network`] — the [`Network`] object and its per-cycle step loop,
 //! * [`experiment`] — steady-state and transient experiment runners,
-//! * [`sweep`] — parallel parameter sweeps (offered load, thresholds),
+//! * [`scenario`] — declarative multi-phase traffic workloads,
+//! * [`sweep`] — parallel parameter sweeps and the scenario-matrix runner,
 //! * [`metrics`], [`events`], [`node`] — supporting machinery.
 //!
 //! ```
@@ -42,6 +43,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod scenario;
 pub mod sweep;
 
 pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
@@ -50,4 +52,8 @@ pub use experiment::{
 };
 pub use metrics::{Metrics, WindowSummary};
 pub use network::Network;
-pub use sweep::{load_sweep, num_threads, run_sweep};
+pub use scenario::{Scenario, ScenarioPhase};
+pub use sweep::{
+    cell_seed, load_sweep, matrix_table, num_threads, run_matrix, run_sweep, MatrixCell,
+    MatrixKey, ScenarioMatrix,
+};

@@ -165,6 +165,7 @@ impl Network {
             .map(|n| {
                 Node::new(
                     n,
+                    config.injection,
                     base_load,
                     config.network.packet_size_phits,
                     root_rng.split(0x2000_0000 + n.0 as u64),
@@ -1013,8 +1014,11 @@ mod tests {
     #[test]
     fn active_set_never_misses_a_loaded_router() {
         // the activity-gate invariant: any router holding buffered traffic
-        // is in the active set
-        let mut net = Network::new(small_config(RoutingKind::Base, PatternKind::Uniform, 0.3));
+        // is in the active set (gate-specific, so pin the optimized kernel
+        // regardless of the DF_SIM_KERNEL env default)
+        let mut cfg = small_config(RoutingKind::Base, PatternKind::Uniform, 0.3);
+        cfg.kernel = KernelMode::Optimized;
+        let mut net = Network::new(cfg);
         for _ in 0..200 {
             net.step();
             for r in net.topology().routers() {
@@ -1031,7 +1035,10 @@ mod tests {
 
     #[test]
     fn active_set_shrinks_when_traffic_stops() {
-        let mut net = Network::new(small_config(RoutingKind::Base, PatternKind::Uniform, 0.2));
+        // gate-specific: pin the optimized kernel
+        let mut cfg = small_config(RoutingKind::Base, PatternKind::Uniform, 0.2);
+        cfg.kernel = KernelMode::Optimized;
+        let mut net = Network::new(cfg);
         net.run_cycles(300);
         assert!(net.drain(5_000));
         assert_eq!(

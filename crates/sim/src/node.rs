@@ -1,21 +1,22 @@
 //! Compute nodes: traffic generation and source queues.
 //!
-//! Each node runs a Bernoulli injector and keeps an unbounded source queue in
-//! front of its router's injection port (as in FOGSim: the network interface
-//! never drops traffic, so offered load is exactly the generated load and
-//! saturation shows up as source-queue growth and latency blow-up rather than
-//! packet loss).
+//! Each node runs an injector (Bernoulli, bursty or ramp — see
+//! [`InjectionKind`]) and keeps an unbounded source queue in front of its
+//! router's injection port (as in FOGSim: the network interface never drops
+//! traffic, so offered load is exactly the generated load and saturation
+//! shows up as source-queue growth and latency blow-up rather than packet
+//! loss).
 
 use df_engine::DeterministicRng;
 use df_model::{Cycle, Packet};
 use df_topology::NodeId;
-use df_traffic::{BernoulliInjector, TrafficPattern};
+use df_traffic::{InjectionKind, Injector, TrafficPattern};
 use std::collections::VecDeque;
 
 /// A compute node: injector plus source queue.
 #[derive(Debug, Clone)]
 pub struct Node {
-    injector: BernoulliInjector,
+    injector: Injector,
     source_queue: VecDeque<Packet>,
     /// Round-robin pointer over the injection VCs of the attached router
     /// port.
@@ -27,9 +28,15 @@ pub struct Node {
 
 impl Node {
     /// Create a node with its own RNG stream.
-    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+    pub fn new(
+        node: NodeId,
+        injection: InjectionKind,
+        offered_load: f64,
+        packet_size_phits: u32,
+        rng: DeterministicRng,
+    ) -> Self {
         Node {
-            injector: BernoulliInjector::new(node, offered_load, packet_size_phits, rng),
+            injector: Injector::new(node, injection, offered_load, packet_size_phits, rng),
             source_queue: VecDeque::new(),
             next_vc: 0,
             generated_phits: 0,
@@ -111,7 +118,7 @@ mod tests {
     #[test]
     fn generation_fills_the_source_queue() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(3), 1.0, 1, DeterministicRng::new(1));
+        let mut node = Node::new(NodeId(3), InjectionKind::Bernoulli, 1.0, 1, DeterministicRng::new(1));
         let mut id = 0;
         for now in 0..100 {
             node.generate(now, &pat, &mut id);
@@ -128,7 +135,7 @@ mod tests {
     #[test]
     fn head_is_fifo() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(0), 1.0, 1, DeterministicRng::new(2));
+        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 1.0, 1, DeterministicRng::new(2));
         let mut id = 0;
         node.generate(0, &pat, &mut id);
         node.generate(1, &pat, &mut id);
@@ -140,7 +147,7 @@ mod tests {
 
     #[test]
     fn vc_round_robin_cycles() {
-        let mut node = Node::new(NodeId(0), 0.5, 8, DeterministicRng::new(3));
+        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 0.5, 8, DeterministicRng::new(3));
         assert_eq!(node.take_vc_rr(3), 0);
         assert_eq!(node.take_vc_rr(3), 1);
         assert_eq!(node.take_vc_rr(3), 2);
@@ -150,7 +157,7 @@ mod tests {
     #[test]
     fn load_override_changes_generation_rate() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(0), 0.0, 8, DeterministicRng::new(4));
+        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 0.0, 8, DeterministicRng::new(4));
         let mut id = 0;
         for now in 0..1_000 {
             node.generate(now, &pat, &mut id);

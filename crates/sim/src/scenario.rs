@@ -1,0 +1,323 @@
+//! Declarative scenarios: composable traffic workloads over time.
+//!
+//! A [`Scenario`] bundles everything that describes *the workload* of a run —
+//! which traffic pattern is active when, at what load, and under which
+//! injection process — separately from the machine under test (topology,
+//! router microarchitecture, routing mechanism) and from the measurement
+//! protocol (warm-up, window). It generalises the hard-coded transient
+//! schedules of the paper's Figures 7–9: any number of phases, each a
+//! `pattern × load × duration` triple, can be chained.
+//!
+//! Phases are expressed by *duration* rather than absolute start cycle, so
+//! scenarios compose: appending a phase never requires renumbering the
+//! existing ones. The last phase may be open-ended (`duration = None`) and
+//! runs until the simulation stops.
+//!
+//! A scenario never *ends* a run — how long to simulate is the experiment's
+//! decision, not the workload's. When the last phase is timed, its pattern
+//! and load simply persist beyond its nominal end (the lowered
+//! [`TrafficSchedule`] is right-open); use
+//! [`timed_cycles`](Scenario::timed_cycles) to size the warm-up/measurement
+//! windows if the run should stop where the scenario does.
+//!
+//! ```
+//! use df_sim::Scenario;
+//! use df_traffic::{InjectionKind, PatternKind};
+//!
+//! // warm up uniform, hit the network with ADV+1, then relax back
+//! let scenario = Scenario::named("un-adv-un")
+//!     .injection(InjectionKind::Bursty { mean_on: 50.0, mean_off: 50.0 })
+//!     .phase(PatternKind::Uniform, 2_000)
+//!     .phase(PatternKind::Adversarial { offset: 1 }, 2_000)
+//!     .hold(PatternKind::Uniform);
+//! assert_eq!(scenario.switch_points(), vec![2_000, 4_000]);
+//! ```
+
+use df_model::Cycle;
+use df_traffic::{InjectionKind, PatternKind, PatternPhase, TrafficSchedule};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a scenario: a pattern at an (optional) load override for a
+/// (possibly open-ended) duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPhase {
+    /// Traffic pattern of the phase.
+    pub pattern: PatternKind,
+    /// Offered-load override in phits/(node·cycle); `None` keeps the
+    /// experiment's base load.
+    pub load: Option<f64>,
+    /// Length of the phase in cycles; `None` means "until the end of the
+    /// run" and is only allowed for the final phase.
+    pub duration: Option<Cycle>,
+}
+
+/// A named, composable traffic workload: an injection process plus an ordered
+/// list of phases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Name used in result tables and golden tests.
+    pub name: String,
+    /// Injection process shared by every phase.
+    pub injection: InjectionKind,
+    /// The phases, in order. Never empty once built.
+    phases: Vec<ScenarioPhase>,
+}
+
+impl Scenario {
+    /// Start an empty scenario; add phases with [`phase`](Self::phase) /
+    /// [`phase_at_load`](Self::phase_at_load) and finish with
+    /// [`hold`](Self::hold) (or leave the last timed phase as the end).
+    pub fn named(name: impl Into<String>) -> Self {
+        Scenario {
+            name: name.into(),
+            injection: InjectionKind::Bernoulli,
+            phases: Vec::new(),
+        }
+    }
+
+    /// A single-phase steady-state scenario, named after the pattern.
+    pub fn steady(pattern: PatternKind) -> Self {
+        Scenario::named(pattern.label()).hold(pattern)
+    }
+
+    /// The paper's transient scenario: `first` for `switch_after` cycles,
+    /// then `second` forever (same load throughout).
+    pub fn transient(first: PatternKind, second: PatternKind, switch_after: Cycle) -> Self {
+        Scenario::named(format!("{}->{}", first.label(), second.label()))
+            .phase(first, switch_after)
+            .hold(second)
+    }
+
+    /// Set the injection process (Bernoulli by default).
+    pub fn injection(mut self, injection: InjectionKind) -> Self {
+        self.injection = injection;
+        self
+    }
+
+    /// Append a timed phase at the experiment's base load.
+    pub fn phase(self, pattern: PatternKind, duration: Cycle) -> Self {
+        self.push(pattern, None, Some(duration))
+    }
+
+    /// Append a timed phase with a load override.
+    pub fn phase_at_load(self, pattern: PatternKind, load: f64, duration: Cycle) -> Self {
+        self.push(pattern, Some(load), Some(duration))
+    }
+
+    /// Append an open-ended final phase at the experiment's base load.
+    pub fn hold(self, pattern: PatternKind) -> Self {
+        self.push(pattern, None, None)
+    }
+
+    /// Append an open-ended final phase with a load override.
+    pub fn hold_at_load(self, pattern: PatternKind, load: f64) -> Self {
+        self.push(pattern, Some(load), None)
+    }
+
+    fn push(mut self, pattern: PatternKind, load: Option<f64>, duration: Option<Cycle>) -> Self {
+        assert!(
+            self.phases.last().is_none_or(|p| p.duration.is_some()),
+            "no phase can follow an open-ended phase"
+        );
+        if let Some(d) = duration {
+            assert!(d > 0, "a timed phase needs a positive duration");
+        }
+        self.phases.push(ScenarioPhase {
+            pattern,
+            load,
+            duration,
+        });
+        self
+    }
+
+    /// The phases, in order.
+    pub fn phases(&self) -> &[ScenarioPhase] {
+        &self.phases
+    }
+
+    /// Absolute cycles at which the pattern changes (start of every phase
+    /// after the first).
+    pub fn switch_points(&self) -> Vec<Cycle> {
+        let mut points = Vec::new();
+        let mut at = 0;
+        for phase in self.phases.iter() {
+            let Some(d) = phase.duration else { break };
+            at += d;
+            points.push(at);
+        }
+        // an open-ended last phase starts at the last accumulated point; a
+        // timed last phase simply ends the scenario there, which is not a
+        // switch
+        if self.phases.last().is_some_and(|p| p.duration.is_some()) {
+            points.pop();
+        }
+        points
+    }
+
+    /// Total length of the timed phases; `None` if the scenario ends with an
+    /// open-ended phase.
+    ///
+    /// This is advisory: simulating past it keeps the last phase's pattern
+    /// and load active (see the module docs). Size the experiment's
+    /// warm-up/measurement windows from this value when the run should end
+    /// with the scenario.
+    pub fn timed_cycles(&self) -> Option<Cycle> {
+        self.phases
+            .iter()
+            .map(|p| p.duration)
+            .sum::<Option<Cycle>>()
+    }
+
+    /// Lower the scenario to the piecewise-constant [`TrafficSchedule`] the
+    /// simulator consumes (durations become absolute start cycles). The
+    /// schedule is right-open: the final phase — timed or not — stays active
+    /// for as long as the simulation runs.
+    ///
+    /// # Panics
+    /// Panics if the scenario has no phases.
+    pub fn schedule(&self) -> TrafficSchedule {
+        assert!(!self.phases.is_empty(), "a scenario needs at least one phase");
+        let mut start = 0;
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for phase in self.phases.iter() {
+            phases.push(PatternPhase {
+                start,
+                pattern: phase.pattern,
+                load: phase.load,
+            });
+            start += phase.duration.unwrap_or(0);
+        }
+        TrafficSchedule::from_phases(phases)
+    }
+
+    /// Validate every phase pattern against a topology, plus the injection
+    /// process.
+    pub fn validate(&self, topo: &df_topology::Dragonfly) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("scenario '{}' has no phases", self.name));
+        }
+        self.injection.validate()?;
+        for (i, phase) in self.phases.iter().enumerate() {
+            phase
+                .pattern
+                .validate(topo)
+                .map_err(|e| format!("scenario '{}' phase {i}: {e}", self.name))?;
+            if let Some(load) = phase.load {
+                if !(0.0..=1.0).contains(&load) {
+                    return Err(format!(
+                        "scenario '{}' phase {i}: load must be in [0,1], got {load}",
+                        self.name
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_scenario_is_one_open_phase() {
+        let s = Scenario::steady(PatternKind::Uniform);
+        assert_eq!(s.name, "UN");
+        assert_eq!(s.phases().len(), 1);
+        assert!(s.switch_points().is_empty());
+        assert!(s.timed_cycles().is_none());
+        let schedule = s.schedule();
+        assert_eq!(schedule.pattern_at(0), PatternKind::Uniform);
+        assert!(schedule.change_points().is_empty());
+    }
+
+    #[test]
+    fn transient_scenario_matches_switch_at() {
+        let s = Scenario::transient(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            2_000,
+        );
+        assert_eq!(s.name, "UN->ADV+1");
+        assert_eq!(s.switch_points(), vec![2_000]);
+        let schedule = s.schedule();
+        assert_eq!(
+            schedule,
+            TrafficSchedule::switch_at(
+                PatternKind::Uniform,
+                PatternKind::Adversarial { offset: 1 },
+                2_000
+            )
+        );
+    }
+
+    #[test]
+    fn durations_accumulate_into_start_cycles() {
+        let s = Scenario::named("three")
+            .phase(PatternKind::Uniform, 1_000)
+            .phase_at_load(PatternKind::Adversarial { offset: 1 }, 0.4, 500)
+            .hold(PatternKind::Uniform);
+        assert_eq!(s.switch_points(), vec![1_000, 1_500]);
+        assert_eq!(s.timed_cycles(), None);
+        let schedule = s.schedule();
+        assert_eq!(schedule.phases().len(), 3);
+        assert_eq!(schedule.phases()[1].start, 1_000);
+        assert_eq!(schedule.phases()[1].load, Some(0.4));
+        assert_eq!(schedule.phases()[2].start, 1_500);
+    }
+
+    #[test]
+    fn timed_final_phase_has_a_total_length() {
+        let s = Scenario::named("finite")
+            .phase(PatternKind::Uniform, 300)
+            .phase(PatternKind::Adversarial { offset: 1 }, 200);
+        assert_eq!(s.timed_cycles(), Some(500));
+        // the end of the last phase is not a pattern switch
+        assert_eq!(s.switch_points(), vec![300]);
+        // the lowered schedule is right-open: simulating past timed_cycles
+        // keeps the final pattern active (sizing the run is the
+        // experiment's job, not the workload's)
+        let schedule = s.schedule();
+        assert_eq!(
+            schedule.pattern_at(10_000),
+            PatternKind::Adversarial { offset: 1 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "open-ended")]
+    fn phases_after_an_open_phase_are_rejected() {
+        let _ = Scenario::named("bad")
+            .hold(PatternKind::Uniform)
+            .phase(PatternKind::Adversarial { offset: 1 }, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_duration_phases_are_rejected() {
+        let _ = Scenario::named("bad").phase(PatternKind::Uniform, 0);
+    }
+
+    #[test]
+    fn validation_flags_bad_phase_parameters() {
+        let topo = df_topology::Dragonfly::new(df_topology::DragonflyParams::small());
+        assert!(Scenario::named("empty").validate(&topo).is_err());
+        let bad_load = Scenario::named("overload").hold_at_load(PatternKind::Uniform, 1.5);
+        assert!(bad_load.validate(&topo).is_err());
+        let bad_pattern = Scenario::named("hot").hold(PatternKind::Hotspot {
+            hotspots: 0,
+            fraction: 0.5,
+        });
+        assert!(bad_pattern.validate(&topo).is_err());
+        let good = Scenario::transient(
+            PatternKind::Uniform,
+            PatternKind::BitReversal,
+            100,
+        )
+        .injection(InjectionKind::Bursty {
+            mean_on: 20.0,
+            mean_off: 20.0,
+        });
+        assert!(good.validate(&topo).is_ok());
+    }
+}

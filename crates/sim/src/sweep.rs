@@ -1,22 +1,49 @@
-//! Parameter sweeps: run many steady-state experiments in parallel.
+//! Parallel execution: parameter sweeps and the scenario-matrix runner.
 //!
-//! The paper's latency/throughput figures are sweeps over offered load (and,
-//! for Figure 10, over the misrouting threshold), with every point averaged
-//! over 10 seeds. Each point is an independent simulation, so the sweep
-//! parallelises trivially over OS threads: a `std::thread::scope` worker pool
-//! pulls configuration indices from a shared atomic counter and writes the
-//! reports back in input order.
+//! Two layers share one worker pool (a `std::thread::scope` pool pulling work
+//! indices from a shared atomic counter, writing results back in input
+//! order):
+//!
+//! * [`run_sweep`] — the original flat sweep: a list of ready-made
+//!   [`SimulationConfig`]s, one report each (the paper's load sweeps).
+//! * [`run_matrix`] — the scenario-matrix runner: the cross product of
+//!   `scenarios × loads × routings` described by a [`ScenarioMatrix`] is
+//!   expanded into one cell per combination, every cell gets a
+//!   *deterministic* seed derived from `(base seed, scenario index, load
+//!   index, routing index)` via [`cell_seed`], and the cells are executed in
+//!   parallel. Because each cell's configuration (including its seed) is
+//!   fully determined before any thread starts, the result table is
+//!   bit-for-bit identical across reruns and across worker counts.
+//!
+//! [`matrix_table`] renders the cells as a [`Table`] (text or CSV) for the
+//! scenario-runner binary and the golden regression suite.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use df_engine::Table;
+use df_routing::RoutingKind;
+use df_traffic::InjectionKind;
+
 use crate::config::SimulationConfig;
 use crate::experiment::{SteadyStateExperiment, SteadyStateReport};
+use crate::scenario::Scenario;
 
 /// Run every configuration and return the reports in the same order.
 /// `seeds_per_point` > 1 averages each point over consecutive seeds.
 /// `threads` bounds the worker count (use `num_threads()` for a default).
 pub fn run_sweep(
+    configs: &[SimulationConfig],
+    seeds_per_point: u64,
+    threads: usize,
+) -> Vec<SteadyStateReport> {
+    run_jobs(configs, seeds_per_point, threads)
+}
+
+/// Execute one experiment per configuration (each averaged over
+/// `seeds_per_point` seeds) on a scoped worker pool, returning reports in
+/// input order.
+fn run_jobs(
     configs: &[SimulationConfig],
     seeds_per_point: u64,
     threads: usize,
@@ -73,11 +100,178 @@ pub fn load_sweep(template: &SimulationConfig, loads: &[f64]) -> Vec<SimulationC
         .collect()
 }
 
+/// The deterministic seed of matrix cell `(scenario s, load l, routing r)`
+/// for a given base seed: three chained [`DeterministicRng::split`]s, so
+/// every cell draws from a statistically independent stream and the mapping
+/// is stable across releases (pinned by the golden scenario-matrix suite).
+///
+/// [`DeterministicRng::split`]: df_engine::DeterministicRng::split
+pub fn cell_seed(base_seed: u64, scenario_idx: usize, load_idx: usize, routing_idx: usize) -> u64 {
+    df_engine::DeterministicRng::new(base_seed)
+        .split(scenario_idx as u64)
+        .split(load_idx as u64)
+        .split(routing_idx as u64)
+        .seed()
+}
+
+/// The cross product a scenario-matrix run expands: every scenario at every
+/// offered load under every routing mechanism, over a common machine
+/// template.
+#[derive(Debug, Clone)]
+pub struct ScenarioMatrix {
+    /// Machine-under-test and measurement template: topology, router
+    /// microarchitecture, warm-up/measurement windows, kernel, and the base
+    /// seed cells derive theirs from. Its schedule/injection/load/routing
+    /// are overridden per cell.
+    pub base: SimulationConfig,
+    /// Workloads (rows of the result table).
+    pub scenarios: Vec<Scenario>,
+    /// Offered loads in phits/(node·cycle).
+    pub loads: Vec<f64>,
+    /// Routing mechanisms.
+    pub routings: Vec<RoutingKind>,
+    /// Seeds averaged per cell (1 = single run).
+    pub seeds_per_cell: u64,
+}
+
+impl ScenarioMatrix {
+    /// A matrix over `base` with empty axes; fill them field-by-field or via
+    /// struct update syntax.
+    pub fn new(base: SimulationConfig) -> Self {
+        ScenarioMatrix {
+            base,
+            scenarios: Vec::new(),
+            loads: Vec::new(),
+            routings: Vec::new(),
+            seeds_per_cell: 1,
+        }
+    }
+
+    /// Number of cells the matrix expands to.
+    pub fn num_cells(&self) -> usize {
+        self.scenarios.len() * self.loads.len() * self.routings.len()
+    }
+
+    /// Expand the cross product into per-cell configurations, in
+    /// deterministic scenario-major / load / routing order, each with its
+    /// [`cell_seed`]. This happens before any parallelism, so cell seeding
+    /// is independent of thread scheduling.
+    pub fn cells(&self) -> Vec<(MatrixKey, SimulationConfig)> {
+        let mut out = Vec::with_capacity(self.num_cells());
+        for (s_idx, scenario) in self.scenarios.iter().enumerate() {
+            for (l_idx, &load) in self.loads.iter().enumerate() {
+                for (r_idx, &routing) in self.routings.iter().enumerate() {
+                    let mut config = self.base.clone();
+                    config.schedule = scenario.schedule();
+                    config.injection = scenario.injection;
+                    config.offered_load = load;
+                    config.routing = routing;
+                    config.seed = cell_seed(self.base.seed, s_idx, l_idx, r_idx);
+                    out.push((
+                        MatrixKey {
+                            scenario: scenario.name.clone(),
+                            injection: scenario.injection,
+                            load,
+                            routing,
+                            seed: config.seed,
+                        },
+                        config,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Identifies one cell of a scenario matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixKey {
+    /// Scenario name.
+    pub scenario: String,
+    /// Injection process of the scenario.
+    pub injection: InjectionKind,
+    /// Offered load of the cell.
+    pub load: f64,
+    /// Routing mechanism of the cell.
+    pub routing: RoutingKind,
+    /// The deterministic seed the cell ran with (see [`cell_seed`]).
+    pub seed: u64,
+}
+
+/// One executed cell: its key plus the steady-state report.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Which cell this is.
+    pub key: MatrixKey,
+    /// The measured report (averaged over `seeds_per_cell` seeds).
+    pub report: SteadyStateReport,
+}
+
+/// Execute a scenario matrix in parallel and return the cells in
+/// deterministic scenario-major / load / routing order. The output is
+/// bit-for-bit identical across reruns and worker counts.
+///
+/// # Panics
+/// Panics if any axis of the matrix is empty or a cell configuration fails
+/// validation.
+pub fn run_matrix(matrix: &ScenarioMatrix, threads: usize) -> Vec<MatrixCell> {
+    assert!(
+        !matrix.scenarios.is_empty() && !matrix.loads.is_empty() && !matrix.routings.is_empty(),
+        "a scenario matrix needs at least one scenario, load and routing"
+    );
+    assert!(matrix.seeds_per_cell > 0);
+    let (keys, configs): (Vec<MatrixKey>, Vec<SimulationConfig>) =
+        matrix.cells().into_iter().unzip();
+    for (key, config) in keys.iter().zip(&configs) {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid matrix cell {key:?}: {e}"));
+    }
+    let reports = run_jobs(&configs, matrix.seeds_per_cell, threads);
+    keys.into_iter()
+        .zip(reports)
+        .map(|(key, report)| MatrixCell { key, report })
+        .collect()
+}
+
+/// Render matrix cells as a structured results table (one row per cell, in
+/// the order [`run_matrix`] returned them).
+pub fn matrix_table(title: impl Into<String>, cells: &[MatrixCell]) -> Table {
+    let mut table = Table::new(
+        title,
+        &[
+            "scenario",
+            "injection",
+            "load",
+            "routing",
+            "latency",
+            "p99",
+            "accepted",
+            "%misrouted",
+            "delivered",
+        ],
+    );
+    for cell in cells {
+        table.push_row(vec![
+            cell.key.scenario.clone(),
+            cell.key.injection.label(),
+            format!("{:.2}", cell.key.load),
+            cell.key.routing.label().to_string(),
+            format!("{:.2}", cell.report.avg_packet_latency),
+            format!("{:.1}", cell.report.p99_latency),
+            format!("{:.4}", cell.report.accepted_load),
+            format!("{:.1}", cell.report.global_misroute_fraction * 100.0),
+            cell.report.delivered_packets.to_string(),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use df_model::NetworkConfig;
-    use df_routing::RoutingKind;
     use df_topology::DragonflyParams;
     use df_traffic::PatternKind;
 
@@ -127,5 +321,96 @@ mod tests {
     #[test]
     fn default_thread_count_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    // ---- scenario matrix ----
+
+    fn small_matrix() -> ScenarioMatrix {
+        ScenarioMatrix {
+            scenarios: vec![
+                Scenario::steady(PatternKind::Uniform),
+                Scenario::steady(PatternKind::Adversarial { offset: 1 }),
+            ],
+            loads: vec![0.1, 0.2],
+            routings: vec![RoutingKind::Minimal, RoutingKind::Base],
+            seeds_per_cell: 1,
+            ..ScenarioMatrix::new(template())
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_deterministic_and_distinct() {
+        let a = cell_seed(7, 0, 1, 2);
+        assert_eq!(a, cell_seed(7, 0, 1, 2));
+        // every axis perturbs the seed, and so does the base seed
+        assert_ne!(a, cell_seed(7, 1, 1, 2));
+        assert_ne!(a, cell_seed(7, 0, 0, 2));
+        assert_ne!(a, cell_seed(7, 0, 1, 1));
+        assert_ne!(a, cell_seed(8, 0, 1, 2));
+        // axis indices must not be interchangeable
+        assert_ne!(cell_seed(7, 1, 2, 0), cell_seed(7, 2, 0, 1));
+    }
+
+    #[test]
+    fn matrix_expands_the_full_cross_product_in_order() {
+        let m = small_matrix();
+        assert_eq!(m.num_cells(), 8);
+        let cells = m.cells();
+        assert_eq!(cells.len(), 8);
+        // scenario-major, then load, then routing
+        assert_eq!(cells[0].0.scenario, "UN");
+        assert_eq!(cells[0].0.load, 0.1);
+        assert_eq!(cells[0].0.routing, RoutingKind::Minimal);
+        assert_eq!(cells[1].0.routing, RoutingKind::Base);
+        assert_eq!(cells[2].0.load, 0.2);
+        assert_eq!(cells[4].0.scenario, "ADV+1");
+        // each cell carries its derived seed in both key and config
+        for (s, l, r) in [(0usize, 0usize, 0usize), (1, 1, 1)] {
+            let idx = s * 4 + l * 2 + r;
+            assert_eq!(cells[idx].1.seed, cell_seed(0, s, l, r));
+            assert_eq!(cells[idx].0.seed, cells[idx].1.seed);
+        }
+        // all seeds distinct
+        let mut seeds: Vec<u64> = cells.iter().map(|(k, _)| k.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn matrix_run_is_identical_across_reruns_and_thread_counts() {
+        let m = small_matrix();
+        let a = run_matrix(&m, 1);
+        let b = run_matrix(&m, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(x.report.delivered_packets, y.report.delivered_packets);
+            assert_eq!(
+                x.report.avg_packet_latency.to_bits(),
+                y.report.avg_packet_latency.to_bits()
+            );
+        }
+        let ta = matrix_table("m", &a).to_csv();
+        let tb = matrix_table("m", &b).to_csv();
+        assert_eq!(ta, tb, "rendered tables must be bit-identical");
+    }
+
+    #[test]
+    fn matrix_table_has_one_row_per_cell() {
+        let m = small_matrix();
+        let cells = run_matrix(&m, 2);
+        let table = matrix_table("scenario matrix", &cells);
+        assert_eq!(table.num_rows(), 8);
+        assert_eq!(table.cell(0, 0), Some("UN"));
+        assert_eq!(table.cell(0, 1), Some("bernoulli"));
+        assert_eq!(table.cell(4, 0), Some("ADV+1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn empty_matrix_axes_are_rejected() {
+        let m = ScenarioMatrix::new(template());
+        let _ = run_matrix(&m, 1);
     }
 }

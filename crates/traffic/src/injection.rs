@@ -1,42 +1,156 @@
-//! Packet generation: the per-node Bernoulli injection process.
+//! Packet generation: per-node injection processes.
+//!
+//! Three processes are available, selected by [`InjectionKind`]:
+//!
+//! * **Bernoulli** — the paper's memoryless injector: each cycle a packet is
+//!   generated with probability `offered_load / packet_size`.
+//! * **Bursty** — a two-state Markov (on/off) process: while ON the node
+//!   injects at an elevated rate, while OFF it is silent. The per-cycle
+//!   transition probabilities are `1/mean_on` (ON→OFF) and `1/mean_off`
+//!   (OFF→ON), and the ON-state injection probability is scaled by the
+//!   inverse duty cycle so the *long-run* offered load still equals the
+//!   configured one (clamped to one packet per cycle, so very high loads
+//!   with a short duty cycle saturate below the nominal load).
+//! * **Ramp** — a Bernoulli process whose load ramps linearly from
+//!   `start_fraction · offered_load` at cycle 0 to the full offered load at
+//!   `ramp_cycles`, then stays constant.
+//!
+//! [`Injector`] implements all three behind one `tick` interface;
+//! [`BernoulliInjector`] is a thin wrapper fixing
+//! [`InjectionKind::Bernoulli`], kept for its narrower API. The Bernoulli
+//! mode draws the exact random sequence of the original standalone
+//! implementation (one trial per tick, a destination draw only on success),
+//! so the refactor moved no golden fingerprint.
 
 use df_engine::DeterministicRng;
 use df_model::{Cycle, Packet, PacketId};
 use df_topology::NodeId;
+use serde::{Deserialize, Serialize};
 
 use crate::pattern::TrafficPattern;
 
-/// Bernoulli packet generator for one node.
-///
-/// Each cycle the node generates a packet with probability
-/// `offered_load / packet_size` (the paper expresses load in
-/// phits/(node·cycle), and a packet carries `packet_size` phits), so the
-/// long-run offered load in phits per cycle equals `offered_load`.
-#[derive(Debug, Clone)]
-pub struct BernoulliInjector {
-    node: NodeId,
-    packet_size_phits: u32,
-    injection_probability: f64,
-    rng: DeterministicRng,
-    generated: u64,
+/// Declarative description of an injection process, used in configuration
+/// files and experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum InjectionKind {
+    /// Memoryless Bernoulli injection (the paper's process). The default.
+    #[default]
+    Bernoulli,
+    /// Markov on/off bursty injection.
+    Bursty {
+        /// Mean ON-phase length in cycles (must be ≥ 1).
+        mean_on: f64,
+        /// Mean OFF-phase length in cycles (must be ≥ 1).
+        mean_off: f64,
+    },
+    /// Linear load ramp.
+    Ramp {
+        /// Fraction of the offered load applied at cycle 0 (in `[0, 1]`).
+        start_fraction: f64,
+        /// Cycle at which the full offered load is reached (must be ≥ 1).
+        ramp_cycles: u64,
+    },
 }
 
-impl BernoulliInjector {
-    /// Create a generator for `node` with the given offered load in
+impl InjectionKind {
+    /// Short name used in result tables ("bernoulli", "bursty(...)", ...).
+    pub fn label(&self) -> String {
+        match self {
+            InjectionKind::Bernoulli => "bernoulli".to_string(),
+            InjectionKind::Bursty { mean_on, mean_off } => {
+                format!("bursty({mean_on:.0}on/{mean_off:.0}off)")
+            }
+            InjectionKind::Ramp {
+                start_fraction,
+                ramp_cycles,
+            } => format!("ramp({:.0}%->{ramp_cycles})", start_fraction * 100.0),
+        }
+    }
+
+    /// Check the process parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            InjectionKind::Bernoulli => Ok(()),
+            InjectionKind::Bursty { mean_on, mean_off } => {
+                if mean_on < 1.0 || !mean_on.is_finite() {
+                    return Err(format!("bursty mean_on must be ≥ 1 cycle, got {mean_on}"));
+                }
+                if mean_off < 1.0 || !mean_off.is_finite() {
+                    return Err(format!("bursty mean_off must be ≥ 1 cycle, got {mean_off}"));
+                }
+                Ok(())
+            }
+            InjectionKind::Ramp {
+                start_fraction,
+                ramp_cycles,
+            } => {
+                if !(0.0..=1.0).contains(&start_fraction) {
+                    return Err(format!(
+                        "ramp start fraction must be in [0,1], got {start_fraction}"
+                    ));
+                }
+                if ramp_cycles == 0 {
+                    return Err("ramp must take at least one cycle".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The ON-state duty cycle of the process (1 for non-bursty kinds).
+    pub fn duty_cycle(&self) -> f64 {
+        match *self {
+            InjectionKind::Bursty { mean_on, mean_off } => mean_on / (mean_on + mean_off),
+            _ => 1.0,
+        }
+    }
+}
+
+/// Packet generator for one node, implementing every [`InjectionKind`].
+#[derive(Debug, Clone)]
+pub struct Injector {
+    node: NodeId,
+    kind: InjectionKind,
+    packet_size_phits: u32,
+    offered_load: f64,
+    rng: DeterministicRng,
+    generated: u64,
+    /// Current Markov state for [`InjectionKind::Bursty`] (always `true`
+    /// otherwise).
+    on: bool,
+}
+
+impl Injector {
+    /// Create a generator for `node` with the given process, offered load in
     /// phits/(node·cycle) and packet size in phits. `rng` must be a stream
     /// dedicated to this node (see [`DeterministicRng::split`]).
-    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+    pub fn new(
+        node: NodeId,
+        kind: InjectionKind,
+        offered_load: f64,
+        packet_size_phits: u32,
+        mut rng: DeterministicRng,
+    ) -> Self {
         assert!(packet_size_phits > 0, "packets must have at least one phit");
         assert!(
             (0.0..=1.0).contains(&offered_load),
             "offered load must be in [0, 1] phits/(node*cycle), got {offered_load}"
         );
-        BernoulliInjector {
+        kind.validate().expect("invalid injection process");
+        // start bursty injectors in their stationary distribution so the
+        // measured load is unbiased from cycle 0
+        let on = match kind {
+            InjectionKind::Bursty { .. } => rng.bernoulli(kind.duty_cycle()),
+            _ => true,
+        };
+        Injector {
             node,
+            kind,
             packet_size_phits,
-            injection_probability: offered_load / packet_size_phits as f64,
+            offered_load,
             rng,
             generated: 0,
+            on,
         }
     }
 
@@ -45,16 +159,38 @@ impl BernoulliInjector {
         self.node
     }
 
+    /// The injection process.
+    pub fn kind(&self) -> InjectionKind {
+        self.kind
+    }
+
     /// Number of packets generated so far.
     pub fn generated(&self) -> u64 {
         self.generated
     }
 
     /// Change the offered load (phits/(node·cycle)) on the fly; used by
-    /// experiments that ramp load.
+    /// phased scenarios and by [`drain`](../df_sim/struct.Network.html).
     pub fn set_offered_load(&mut self, offered_load: f64) {
         assert!((0.0..=1.0).contains(&offered_load));
-        self.injection_probability = offered_load / self.packet_size_phits as f64;
+        self.offered_load = offered_load;
+    }
+
+    /// The probability of generating a packet this cycle, given the process
+    /// state (after any Markov transition).
+    fn injection_probability(&self, now: Cycle) -> f64 {
+        let base = self.offered_load / self.packet_size_phits as f64;
+        match self.kind {
+            InjectionKind::Bernoulli => base,
+            InjectionKind::Bursty { .. } => (base / self.kind.duty_cycle()).min(1.0),
+            InjectionKind::Ramp {
+                start_fraction,
+                ramp_cycles,
+            } => {
+                let progress = (now as f64 / ramp_cycles as f64).min(1.0);
+                base * (start_fraction + (1.0 - start_fraction) * progress)
+            }
+        }
     }
 
     /// Advance one cycle: possibly generate a packet destined according to
@@ -65,7 +201,22 @@ impl BernoulliInjector {
         pattern: &TrafficPattern,
         next_id: &mut u64,
     ) -> Option<Packet> {
-        if !self.rng.bernoulli(self.injection_probability) {
+        if let InjectionKind::Bursty { mean_on, mean_off } = self.kind {
+            // one transition draw per cycle keeps the stream deterministic
+            // regardless of the injection outcome
+            let flip = if self.on {
+                self.rng.bernoulli(1.0 / mean_on)
+            } else {
+                self.rng.bernoulli(1.0 / mean_off)
+            };
+            if flip {
+                self.on = !self.on;
+            }
+            if !self.on {
+                return None;
+            }
+        }
+        if !self.rng.bernoulli(self.injection_probability(now)) {
             return None;
         }
         let dst = pattern.destination(self.node, &mut self.rng);
@@ -73,6 +224,58 @@ impl BernoulliInjector {
         *next_id += 1;
         self.generated += 1;
         Some(Packet::new(id, self.node, dst, self.packet_size_phits, now))
+    }
+}
+
+/// Bernoulli packet generator for one node: [`Injector`] fixed to
+/// [`InjectionKind::Bernoulli`], kept for its narrower API.
+///
+/// Each cycle the node generates a packet with probability
+/// `offered_load / packet_size` (the paper expresses load in
+/// phits/(node·cycle), and a packet carries `packet_size` phits), so the
+/// long-run offered load in phits per cycle equals `offered_load`.
+#[derive(Debug, Clone)]
+pub struct BernoulliInjector(Injector);
+
+impl BernoulliInjector {
+    /// Create a generator for `node` with the given offered load in
+    /// phits/(node·cycle) and packet size in phits. `rng` must be a stream
+    /// dedicated to this node (see [`DeterministicRng::split`]).
+    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+        BernoulliInjector(Injector::new(
+            node,
+            InjectionKind::Bernoulli,
+            offered_load,
+            packet_size_phits,
+            rng,
+        ))
+    }
+
+    /// The node this injector generates traffic for.
+    pub fn node(&self) -> NodeId {
+        self.0.node()
+    }
+
+    /// Number of packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.0.generated()
+    }
+
+    /// Change the offered load (phits/(node·cycle)) on the fly; used by
+    /// experiments that ramp load.
+    pub fn set_offered_load(&mut self, offered_load: f64) {
+        self.0.set_offered_load(offered_load);
+    }
+
+    /// Advance one cycle: possibly generate a packet destined according to
+    /// `pattern`. `next_id` provides the globally unique packet identifier.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        pattern: &TrafficPattern,
+        next_id: &mut u64,
+    ) -> Option<Packet> {
+        self.0.tick(now, pattern, next_id)
     }
 }
 
@@ -186,5 +389,202 @@ mod tests {
     #[should_panic(expected = "offered load")]
     fn overload_is_rejected() {
         let _ = BernoulliInjector::new(NodeId(0), 1.5, 8, DeterministicRng::new(0));
+    }
+
+    // ---- unified Injector ----
+
+    #[test]
+    fn bursty_long_run_load_matches_offered_load() {
+        let pat = pattern();
+        let load = 0.3;
+        let mut inj = Injector::new(
+            NodeId(0),
+            InjectionKind::Bursty {
+                mean_on: 50.0,
+                mean_off: 150.0,
+            },
+            load,
+            8,
+            DeterministicRng::new(4),
+        );
+        let mut next_id = 0;
+        let cycles = 400_000u64;
+        let mut phits = 0u64;
+        for now in 0..cycles {
+            if let Some(p) = inj.tick(now, &pat, &mut next_id) {
+                phits += p.size_phits as u64;
+            }
+        }
+        let rate = phits as f64 / cycles as f64;
+        assert!(
+            (rate - load).abs() < 0.02,
+            "bursty long-run rate {rate} too far from offered {load}"
+        );
+    }
+
+    #[test]
+    fn bursty_traffic_is_actually_bursty() {
+        // compare the variance of per-window packet counts against Bernoulli:
+        // the on/off process must cluster its packets
+        let pat = pattern();
+        let window = 100u64;
+        let windows = 2_000u64;
+        let counts = |kind: InjectionKind| -> Vec<u64> {
+            let mut inj = Injector::new(NodeId(0), kind, 0.2, 8, DeterministicRng::new(5));
+            let mut next_id = 0;
+            let mut out = vec![0u64; windows as usize];
+            for now in 0..window * windows {
+                if inj.tick(now, &pat, &mut next_id).is_some() {
+                    out[(now / window) as usize] += 1;
+                }
+            }
+            out
+        };
+        let variance = |c: &[u64]| -> f64 {
+            let mean = c.iter().sum::<u64>() as f64 / c.len() as f64;
+            c.iter()
+                .map(|&x| (x as f64 - mean).powi(2))
+                .sum::<f64>()
+                / c.len() as f64
+        };
+        let bernoulli = counts(InjectionKind::Bernoulli);
+        let bursty = counts(InjectionKind::Bursty {
+            mean_on: 60.0,
+            mean_off: 60.0,
+        });
+        assert!(
+            variance(&bursty) > variance(&bernoulli) * 2.0,
+            "bursty window variance {} must exceed Bernoulli's {}",
+            variance(&bursty),
+            variance(&bernoulli)
+        );
+    }
+
+    #[test]
+    fn ramp_load_grows_then_plateaus() {
+        let pat = pattern();
+        let mut inj = Injector::new(
+            NodeId(0),
+            InjectionKind::Ramp {
+                start_fraction: 0.0,
+                ramp_cycles: 50_000,
+            },
+            0.8,
+            8,
+            DeterministicRng::new(6),
+        );
+        let mut next_id = 0;
+        let mut early = 0u64;
+        let mut late = 0u64;
+        let mut plateau = 0u64;
+        for now in 0..150_000u64 {
+            if inj.tick(now, &pat, &mut next_id).is_some() {
+                match now {
+                    0..=24_999 => early += 1,
+                    25_000..=49_999 => late += 1,
+                    _ => plateau += 1,
+                }
+            }
+        }
+        assert!(
+            late > early * 2,
+            "the second ramp half ({late}) must generate far more than the first ({early})"
+        );
+        // plateau covers 100k cycles at the full 0.8 load: 0.1 packets/cycle
+        let plateau_rate = plateau as f64 / 100_000.0;
+        assert!(
+            (plateau_rate - 0.1).abs() < 0.01,
+            "plateau rate {plateau_rate} should be ~0.1 packets/cycle"
+        );
+    }
+
+    #[test]
+    fn injector_is_deterministic_per_seed() {
+        let pat = pattern();
+        let kinds = [
+            InjectionKind::Bernoulli,
+            InjectionKind::Bursty {
+                mean_on: 20.0,
+                mean_off: 30.0,
+            },
+            InjectionKind::Ramp {
+                start_fraction: 0.5,
+                ramp_cycles: 500,
+            },
+        ];
+        for kind in kinds {
+            let run = |seed: u64| -> Vec<(u64, u32)> {
+                let mut inj = Injector::new(NodeId(1), kind, 0.4, 8, DeterministicRng::new(seed));
+                let mut next_id = 0;
+                let mut out = Vec::new();
+                for now in 0..5_000 {
+                    if let Some(p) = inj.tick(now, &pat, &mut next_id) {
+                        out.push((now, p.dst.0));
+                    }
+                }
+                out
+            };
+            assert_eq!(run(3), run(3), "{} must be reproducible", kind.label());
+            assert_ne!(run(3), run(4), "{} must vary with the seed", kind.label());
+        }
+    }
+
+    #[test]
+    fn injection_kind_labels_and_validation() {
+        assert_eq!(InjectionKind::Bernoulli.label(), "bernoulli");
+        assert_eq!(
+            InjectionKind::Bursty {
+                mean_on: 20.0,
+                mean_off: 60.0
+            }
+            .label(),
+            "bursty(20on/60off)"
+        );
+        assert_eq!(
+            InjectionKind::Ramp {
+                start_fraction: 0.25,
+                ramp_cycles: 1000
+            }
+            .label(),
+            "ramp(25%->1000)"
+        );
+        assert!(InjectionKind::Bursty {
+            mean_on: 0.5,
+            mean_off: 10.0
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionKind::Ramp {
+            start_fraction: 1.5,
+            ramp_cycles: 10
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionKind::Ramp {
+            start_fraction: 0.5,
+            ramp_cycles: 0
+        }
+        .validate()
+        .is_err());
+        assert!(InjectionKind::Bernoulli.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_load_bursty_generates_nothing() {
+        let pat = pattern();
+        let mut inj = Injector::new(
+            NodeId(0),
+            InjectionKind::Bursty {
+                mean_on: 10.0,
+                mean_off: 10.0,
+            },
+            0.0,
+            8,
+            DeterministicRng::new(1),
+        );
+        let mut next_id = 0;
+        for now in 0..5_000 {
+            assert!(inj.tick(now, &pat, &mut next_id).is_none());
+        }
     }
 }

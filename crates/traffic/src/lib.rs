@@ -13,7 +13,17 @@
 //!   towards the gateway router when `i = h` (`ADV+h`),
 //! * **mixed** — each packet is adversarial with probability `1-f` and
 //!   uniform with probability `f` (Figure 6),
+//! * **permutation / bit-complement / bit-reversal** — fixed-point-free
+//!   bijective destination maps that concentrate load on static paths,
+//! * **hotspot** — a weighted split between a small set of hot destinations
+//!   and background uniform traffic,
+//! * **group-local** — a locality mix between intra-group and inter-group
+//!   destinations,
 //! * **transient** — the pattern changes at a given cycle (Figures 7–9).
+//!
+//! Packet timing is equally configurable: the paper's memoryless Bernoulli
+//! process, a Markov on/off bursty process, or a linear load ramp
+//! ([`InjectionKind`]).
 //!
 //! The module separates *what* destination a packet gets ([`pattern`]) from
 //! *when* packets are generated ([`injection`]) and from *how the pattern
@@ -25,6 +35,6 @@ pub mod injection;
 pub mod pattern;
 pub mod schedule;
 
-pub use injection::BernoulliInjector;
+pub use injection::{BernoulliInjector, InjectionKind, Injector};
 pub use pattern::{PatternKind, TrafficPattern};
 pub use schedule::{PatternPhase, TrafficSchedule};

@@ -26,6 +26,41 @@ pub enum PatternKind {
         /// Probability that a packet follows the uniform component.
         uniform_fraction: f64,
     },
+    /// Random permutation traffic: a fixed-point-free permutation of the
+    /// nodes, drawn once from `seed` (independent of the run seed, so the
+    /// permutation is part of the workload specification). Every node always
+    /// sends to the same peer, which concentrates load on a static set of
+    /// paths.
+    Permutation {
+        /// Seed the permutation is derived from.
+        seed: u64,
+    },
+    /// Hotspot traffic: with probability `fraction` the destination is one of
+    /// `hotspots` evenly spaced hot nodes (uniform among them), otherwise
+    /// uniform among all other nodes.
+    Hotspot {
+        /// Number of hot destination nodes (evenly spaced over the node
+        /// index range, so they land in different groups).
+        hotspots: u32,
+        /// Probability that a packet targets the hotspot set.
+        fraction: f64,
+    },
+    /// Bit-complement traffic: node `i` always sends to node `n-1-i`, which
+    /// is the bitwise complement of `i` when the node count `n` is a power
+    /// of two (and the mirrored index otherwise). Requires an even `n`.
+    BitComplement,
+    /// Bit-reversal traffic: node `i < m` (with `m` the largest power of two
+    /// `≤ n`) sends to the node whose index reverses `i`'s `log2(m)` bits;
+    /// the tail `m..n` and the palindromic indices are rotated among
+    /// themselves so the map stays a fixed-point-free bijection for any `n`.
+    BitReversal,
+    /// Group-local versus global mix: with probability `local_fraction` the
+    /// destination is uniform within the source's own group, otherwise
+    /// uniform among the nodes of all other groups.
+    GroupLocal {
+        /// Probability that a packet stays inside its source group.
+        local_fraction: f64,
+    },
 }
 
 impl PatternKind {
@@ -38,13 +73,163 @@ impl PatternKind {
                 offset,
                 uniform_fraction,
             } => format!("MIX(ADV+{offset},{:.0}%UN)", uniform_fraction * 100.0),
+            PatternKind::Permutation { seed } => format!("PERM({seed})"),
+            PatternKind::Hotspot { hotspots, fraction } => {
+                format!("HOT({hotspots}x{:.0}%)", fraction * 100.0)
+            }
+            PatternKind::BitComplement => "BITCOMP".to_string(),
+            PatternKind::BitReversal => "BITREV".to_string(),
+            PatternKind::GroupLocal { local_fraction } => {
+                format!("LOC({:.0}%)", local_fraction * 100.0)
+            }
         }
     }
 
-    /// Materialise the pattern for a topology.
-    pub fn build(&self, topo: Dragonfly) -> TrafficPattern {
-        TrafficPattern { kind: *self, topo }
+    /// Whether the pattern is a fixed destination map (permutation-style):
+    /// every source always sends to the same destination and no randomness is
+    /// consumed per packet.
+    pub fn is_deterministic_map(&self) -> bool {
+        matches!(
+            self,
+            PatternKind::Permutation { .. } | PatternKind::BitComplement | PatternKind::BitReversal
+        )
     }
+
+    /// Check the pattern parameters against a topology without building it.
+    pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
+        let n = topo.num_nodes();
+        match *self {
+            PatternKind::Uniform | PatternKind::Permutation { .. } | PatternKind::BitReversal => {}
+            PatternKind::Adversarial { .. } | PatternKind::Mixed { .. } => {
+                if topo.num_groups() < 2 {
+                    return Err("adversarial traffic needs at least two groups".into());
+                }
+            }
+            PatternKind::Hotspot { hotspots, fraction } => {
+                if hotspots == 0 || hotspots > n {
+                    return Err(format!(
+                        "hotspot count must be in 1..={n}, got {hotspots}"
+                    ));
+                }
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(format!("hotspot fraction must be in [0,1], got {fraction}"));
+                }
+            }
+            PatternKind::BitComplement => {
+                if !n.is_multiple_of(2) {
+                    return Err(format!(
+                        "bit-complement needs an even node count, got {n}"
+                    ));
+                }
+            }
+            PatternKind::GroupLocal { local_fraction } => {
+                if !(0.0..=1.0).contains(&local_fraction) {
+                    return Err(format!(
+                        "group-local fraction must be in [0,1], got {local_fraction}"
+                    ));
+                }
+                if topo.num_groups() < 2 {
+                    return Err("group-local traffic needs at least two groups".into());
+                }
+                let group_size = topo.params().a * topo.params().p;
+                if local_fraction > 0.0 && group_size < 2 {
+                    return Err(format!(
+                        "group-local traffic needs at least two nodes per group \
+                         for a non-zero local fraction, got {group_size}"
+                    ));
+                }
+            }
+        }
+        if let PatternKind::Mixed { uniform_fraction, .. } = *self {
+            if !(0.0..=1.0).contains(&uniform_fraction) {
+                return Err(format!(
+                    "uniform fraction must be in [0,1], got {uniform_fraction}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialise the pattern for a topology.
+    ///
+    /// # Panics
+    /// Panics if [`validate`](Self::validate) rejects the pattern for this
+    /// topology.
+    pub fn build(&self, topo: Dragonfly) -> TrafficPattern {
+        self.validate(&topo)
+            .unwrap_or_else(|e| panic!("invalid pattern {self:?}: {e}"));
+        let n = topo.num_nodes() as usize;
+        let map = match *self {
+            PatternKind::Permutation { seed } => Some(sattolo_permutation(n, seed)),
+            PatternKind::BitComplement => Some(complement_map(n)),
+            PatternKind::BitReversal => Some(bit_reversal_map(n)),
+            _ => None,
+        };
+        let hotspot_nodes = match *self {
+            PatternKind::Hotspot { hotspots, .. } => {
+                let stride = (n as u32 / hotspots).max(1);
+                Some((0..hotspots).map(|k| k * stride).collect())
+            }
+            _ => None,
+        };
+        TrafficPattern {
+            kind: *self,
+            topo,
+            map,
+            hotspot_nodes,
+        }
+    }
+}
+
+/// A uniformly random *cyclic* permutation of `0..n` (Sattolo's algorithm):
+/// a single n-cycle, hence fixed-point-free for `n ≥ 2`.
+fn sattolo_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = DeterministicRng::new(seed).split(0x5EED_9E24);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut i = n.saturating_sub(1);
+    while i > 0 {
+        let j = rng.index(i); // j in [0, i): never a self-swap
+        perm.swap(i, j);
+        i -= 1;
+    }
+    perm
+}
+
+/// The mirror map `i → n-1-i`: the bitwise complement of `i` in `log2(n)`
+/// bits when `n` is a power of two. An involution; fixed-point-free for even
+/// `n` (enforced by [`PatternKind::validate`]).
+fn complement_map(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| (n as u32 - 1) - i).collect()
+}
+
+/// Bit reversal over the largest power-of-two prefix `[0, m)`, identity on
+/// the tail `[m, n)`, with every fixed point (bit palindromes plus the tail)
+/// rotated one position among themselves. The rotation keeps the map a
+/// bijection and removes all self-destinations; `0` and `m-1` are always
+/// palindromes, so the rotation set has at least two members.
+fn bit_reversal_map(n: usize) -> Vec<u32> {
+    let m = if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() / 2
+    };
+    let bits = m.trailing_zeros();
+    let mut map: Vec<u32> = (0..n as u32)
+        .map(|i| {
+            if (i as usize) < m {
+                i.reverse_bits() >> (32 - bits)
+            } else {
+                i
+            }
+        })
+        .collect();
+    let fixed: Vec<u32> = (0..n as u32).filter(|&i| map[i as usize] == i).collect();
+    if fixed.len() >= 2 {
+        for (k, &i) in fixed.iter().enumerate() {
+            map[i as usize] = fixed[(k + 1) % fixed.len()];
+        }
+    }
+    map
 }
 
 /// A traffic pattern bound to a topology: maps a source node (plus
@@ -53,6 +238,10 @@ impl PatternKind {
 pub struct TrafficPattern {
     kind: PatternKind,
     topo: Dragonfly,
+    /// Precomputed destination map for permutation-style patterns.
+    map: Option<Vec<u32>>,
+    /// Precomputed hot destination list for [`PatternKind::Hotspot`].
+    hotspot_nodes: Option<Vec<u32>>,
 }
 
 impl TrafficPattern {
@@ -84,7 +273,30 @@ impl TrafficPattern {
                     self.adversarial_destination(src, offset, rng)
                 }
             }
+            PatternKind::Permutation { .. }
+            | PatternKind::BitComplement
+            | PatternKind::BitReversal => {
+                let map = self.map.as_ref().expect("map built for deterministic pattern");
+                NodeId(map[src.index()])
+            }
+            PatternKind::Hotspot { fraction, .. } => {
+                self.hotspot_destination(src, fraction, rng)
+            }
+            PatternKind::GroupLocal { local_fraction } => {
+                self.group_local_destination(src, local_fraction, rng)
+            }
         }
+    }
+
+    /// The fixed destination map of a permutation-style pattern, if any
+    /// (indexable by source node index; used by property tests and tooling).
+    pub fn destination_map(&self) -> Option<&[u32]> {
+        self.map.as_deref()
+    }
+
+    /// The hot destination nodes of a [`PatternKind::Hotspot`] pattern.
+    pub fn hotspot_nodes(&self) -> Option<&[u32]> {
+        self.hotspot_nodes.as_deref()
     }
 
     fn uniform_destination(&self, src: NodeId, rng: &mut DeterministicRng) -> NodeId {
@@ -116,6 +328,56 @@ impl TrafficPattern {
         let k = rng.below(nodes_per_group) as u32;
         let first_router = self.topo.router_at(dst_group, 0);
         NodeId(first_router.0 * self.topo.params().p + k)
+    }
+
+    fn hotspot_destination(&self, src: NodeId, fraction: f64, rng: &mut DeterministicRng) -> NodeId {
+        if rng.bernoulli(fraction) {
+            let hot = self
+                .hotspot_nodes
+                .as_ref()
+                .expect("hotspot list built for hotspot pattern");
+            // pick among the hot nodes that are not the source; fall back to
+            // uniform traffic when the source is the only hot node
+            let others = hot.iter().filter(|&&h| h != src.0).count();
+            if others > 0 {
+                let mut k = rng.index(others);
+                for &h in hot.iter() {
+                    if h == src.0 {
+                        continue;
+                    }
+                    if k == 0 {
+                        return NodeId(h);
+                    }
+                    k -= 1;
+                }
+                unreachable!("index was drawn below the candidate count");
+            }
+        }
+        self.uniform_destination(src, rng)
+    }
+
+    fn group_local_destination(
+        &self,
+        src: NodeId,
+        local_fraction: f64,
+        rng: &mut DeterministicRng,
+    ) -> NodeId {
+        let params = self.topo.params();
+        let group_size = params.a * params.p;
+        let group = self.topo.node_group(src);
+        let first = group.0 * group_size;
+        // group_size >= 2 whenever local_fraction > 0 (enforced by validate)
+        if rng.bernoulli(local_fraction) {
+            // uniform among the group_size-1 other nodes of the own group
+            let raw = first + rng.below((group_size - 1) as u64) as u32;
+            let dst = if raw >= src.0 { raw + 1 } else { raw };
+            return NodeId(dst);
+        }
+        // uniform among the nodes of every other group
+        let n = self.topo.num_nodes();
+        let raw = rng.below((n - group_size) as u64) as u32;
+        let dst = if raw >= first { raw + group_size } else { raw };
+        NodeId(dst)
     }
 }
 
@@ -303,5 +565,222 @@ mod tests {
         for src in t.nodes() {
             assert_eq!(p.destination(src, &mut r1), p.destination(src, &mut r2));
         }
+    }
+
+    /// Exhaustively check that a map-style pattern is a fixed-point-free
+    /// bijection on every node of `t`.
+    fn assert_bijection(t: Dragonfly, kind: PatternKind) {
+        let p = kind.build(t);
+        let mut r = rng();
+        let mut seen = vec![false; t.num_nodes() as usize];
+        for src in t.nodes() {
+            let d = p.destination(src, &mut r);
+            assert_ne!(d, src, "{} maps {src} to itself", kind.label());
+            assert!(d.0 < t.num_nodes());
+            assert!(
+                !seen[d.index()],
+                "{} maps two sources to {d}",
+                kind.label()
+            );
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{} is not surjective", kind.label());
+    }
+
+    #[test]
+    fn permutation_is_a_fixed_point_free_bijection() {
+        for seed in 0..20 {
+            assert_bijection(topo(), PatternKind::Permutation { seed });
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_a_fixed_point_free_bijection() {
+        // 72 nodes (not a power of two) and a 64-node power-of-two network
+        assert_bijection(topo(), PatternKind::BitComplement);
+        let pow2 = Dragonfly::new(DragonflyParams::new(2, 4, 2, 8).unwrap());
+        assert_eq!(pow2.num_nodes(), 64);
+        assert_bijection(pow2, PatternKind::BitComplement);
+    }
+
+    #[test]
+    fn bit_reversal_is_a_fixed_point_free_bijection() {
+        assert_bijection(topo(), PatternKind::BitReversal);
+        let pow2 = Dragonfly::new(DragonflyParams::new(2, 4, 2, 8).unwrap());
+        assert_bijection(pow2, PatternKind::BitReversal);
+    }
+
+    #[test]
+    fn bit_reversal_reverses_bits_on_a_power_of_two_network() {
+        let pow2 = Dragonfly::new(DragonflyParams::new(2, 4, 2, 8).unwrap());
+        let p = PatternKind::BitReversal.build(pow2);
+        let map = p.destination_map().unwrap();
+        // 0b000110 reversed in 6 bits is 0b011000; neither is a palindrome
+        assert_eq!(map[0b000110], 0b011000);
+        assert_eq!(map[0b011000], 0b000110);
+    }
+
+    #[test]
+    fn bit_complement_mirrors_the_index_range() {
+        let t = topo();
+        let p = PatternKind::BitComplement.build(t);
+        let map = p.destination_map().unwrap();
+        let n = t.num_nodes();
+        for i in 0..n {
+            assert_eq!(map[i as usize], n - 1 - i);
+        }
+    }
+
+    #[test]
+    fn permutation_is_stable_across_builds_and_varies_with_seed() {
+        let a = PatternKind::Permutation { seed: 5 }.build(topo());
+        let b = PatternKind::Permutation { seed: 5 }.build(topo());
+        let c = PatternKind::Permutation { seed: 6 }.build(topo());
+        assert_eq!(a.destination_map(), b.destination_map());
+        assert_ne!(a.destination_map(), c.destination_map());
+    }
+
+    #[test]
+    fn hotspot_respects_its_weight_split() {
+        let t = topo();
+        let kind = PatternKind::Hotspot {
+            hotspots: 4,
+            fraction: 0.6,
+        };
+        let p = kind.build(t);
+        let hot: std::collections::HashSet<u32> =
+            p.hotspot_nodes().unwrap().iter().copied().collect();
+        assert_eq!(hot.len(), 4, "hot nodes must be distinct");
+        let mut r = rng();
+        let src = NodeId(7); // not a hot node (hot nodes are 0,18,36,54)
+        assert!(!hot.contains(&src.0));
+        let draws = 40_000;
+        let hits = (0..draws)
+            .filter(|_| hot.contains(&p.destination(src, &mut r).0))
+            .count();
+        let frac = hits as f64 / draws as f64;
+        // 60% targeted plus the uniform branch landing on a hot node by
+        // chance (40% * 4/71)
+        let expected = 0.6 + 0.4 * 4.0 / 71.0;
+        assert!(
+            (frac - expected).abs() < 0.02,
+            "hotspot fraction {frac:.3} should be ~{expected:.3}"
+        );
+    }
+
+    #[test]
+    fn hotspot_nodes_span_multiple_groups() {
+        let t = topo();
+        let p = PatternKind::Hotspot {
+            hotspots: 4,
+            fraction: 1.0,
+        }
+        .build(t);
+        let groups: std::collections::HashSet<u32> = p
+            .hotspot_nodes()
+            .unwrap()
+            .iter()
+            .map(|&h| t.node_group(NodeId(h)).0)
+            .collect();
+        assert!(groups.len() > 1, "evenly spaced hot nodes must spread out");
+    }
+
+    #[test]
+    fn hotspot_never_targets_self_even_when_source_is_hot() {
+        let t = topo();
+        let p = PatternKind::Hotspot {
+            hotspots: 1,
+            fraction: 1.0,
+        }
+        .build(t);
+        let hot = p.hotspot_nodes().unwrap()[0];
+        let mut r = rng();
+        for _ in 0..2_000 {
+            let d = p.destination(NodeId(hot), &mut r);
+            assert_ne!(d.0, hot, "the only hot node must fall back to uniform");
+        }
+    }
+
+    #[test]
+    fn group_local_fraction_controls_locality() {
+        let t = topo();
+        let p = PatternKind::GroupLocal { local_fraction: 0.7 }.build(t);
+        let mut r = rng();
+        let src = NodeId(20);
+        let own = t.node_group(src);
+        let draws = 40_000;
+        let mut local = 0usize;
+        for _ in 0..draws {
+            let d = p.destination(src, &mut r);
+            assert_ne!(d, src);
+            if t.node_group(d) == own {
+                local += 1;
+            }
+        }
+        let frac = local as f64 / draws as f64;
+        assert!(
+            (frac - 0.7).abs() < 0.02,
+            "local fraction {frac:.3} should be ~0.7"
+        );
+    }
+
+    #[test]
+    fn group_local_extremes_are_pure() {
+        let t = topo();
+        let all_local = PatternKind::GroupLocal { local_fraction: 1.0 }.build(t);
+        let all_global = PatternKind::GroupLocal { local_fraction: 0.0 }.build(t);
+        let mut r = rng();
+        for src in t.nodes() {
+            let d = all_local.destination(src, &mut r);
+            assert_eq!(t.node_group(d), t.node_group(src));
+            assert_ne!(d, src);
+            let d = all_global.destination(src, &mut r);
+            assert_ne!(t.node_group(d), t.node_group(src));
+        }
+    }
+
+    #[test]
+    fn new_pattern_labels_are_stable() {
+        assert_eq!(PatternKind::Permutation { seed: 3 }.label(), "PERM(3)");
+        assert_eq!(
+            PatternKind::Hotspot {
+                hotspots: 4,
+                fraction: 0.6
+            }
+            .label(),
+            "HOT(4x60%)"
+        );
+        assert_eq!(PatternKind::BitComplement.label(), "BITCOMP");
+        assert_eq!(PatternKind::BitReversal.label(), "BITREV");
+        assert_eq!(
+            PatternKind::GroupLocal { local_fraction: 0.5 }.label(),
+            "LOC(50%)"
+        );
+    }
+
+    #[test]
+    fn invalid_patterns_are_rejected() {
+        let t = topo();
+        assert!(PatternKind::Hotspot { hotspots: 0, fraction: 0.5 }
+            .validate(&t)
+            .is_err());
+        assert!(PatternKind::Hotspot { hotspots: 1, fraction: 1.5 }
+            .validate(&t)
+            .is_err());
+        assert!(PatternKind::GroupLocal { local_fraction: -0.1 }
+            .validate(&t)
+            .is_err());
+        assert!(PatternKind::Uniform.validate(&t).is_ok());
+        assert!(PatternKind::BitReversal.validate(&t).is_ok());
+        // one node per group: a non-zero local fraction has no valid
+        // destination, so it must be rejected rather than silently ignored
+        let single = Dragonfly::new(DragonflyParams::new(1, 1, 2, 3).unwrap());
+        assert_eq!(single.params().a * single.params().p, 1);
+        assert!(PatternKind::GroupLocal { local_fraction: 0.5 }
+            .validate(&single)
+            .is_err());
+        assert!(PatternKind::GroupLocal { local_fraction: 0.0 }
+            .validate(&single)
+            .is_ok());
     }
 }

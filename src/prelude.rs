@@ -14,8 +14,11 @@ pub use df_model::{
 pub use df_router::{ContentionCounters, EctnState, PbState, Router};
 pub use df_routing::{Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind};
 pub use df_sim::{
-    load_sweep, run_sweep, KernelMode, Network, SimulationConfig, SteadyStateExperiment,
+    cell_seed, load_sweep, matrix_table, run_matrix, run_sweep, KernelMode, MatrixCell, MatrixKey,
+    Network, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig, SteadyStateExperiment,
     SteadyStateReport, TransientExperiment, TransientReport,
 };
 pub use df_topology::{Dragonfly, DragonflyParams, GroupId, NodeId, Port, PortClass, RouterId};
-pub use df_traffic::{BernoulliInjector, PatternKind, TrafficPattern, TrafficSchedule};
+pub use df_traffic::{
+    BernoulliInjector, InjectionKind, Injector, PatternKind, TrafficPattern, TrafficSchedule,
+};

@@ -164,6 +164,108 @@ fn kernels_match_on_transient_schedules() {
 }
 
 #[test]
+fn kernels_match_on_new_patterns() {
+    // The scenario subsystem's destination maps (permutation-style), the
+    // hotspot weight split and the group-local mix must not perturb event
+    // ordering between kernels.
+    for routing in [RoutingKind::Olm, RoutingKind::Base, RoutingKind::Ectn] {
+        for pattern in [
+            PatternKind::Permutation { seed: 17 },
+            PatternKind::Hotspot {
+                hotspots: 4,
+                fraction: 0.5,
+            },
+            PatternKind::BitComplement,
+            PatternKind::BitReversal,
+            PatternKind::GroupLocal { local_fraction: 0.6 },
+        ] {
+            let fast = run_fingerprint(config(KernelMode::Optimized, routing, pattern, 0.25, 13));
+            let slow = run_fingerprint(config(KernelMode::Legacy, routing, pattern, 0.25, 13));
+            assert_eq!(
+                fast, slow,
+                "{routing:?} under {pattern:?}: kernels diverge"
+            );
+        }
+    }
+}
+
+fn injector_config(kernel: KernelMode, injection: InjectionKind, seed: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Ectn)
+        .schedule(TrafficSchedule::switch_at(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            400,
+        ))
+        .injection(injection)
+        .offered_load(0.25)
+        .warmup_cycles(400)
+        .measurement_cycles(400)
+        .seed(seed)
+        .kernel(kernel)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn bursty_and_ramp_injection_rerun_identically_and_match_across_kernels() {
+    // Rerun identity plus optimized-vs-legacy equality for the new injection
+    // processes under a UN→ADV+1 phase change — the combination that
+    // exercises the drain fast-forward guard, mid-run load changes and the
+    // injectors' internal Markov/ramp state at once.
+    for injection in [
+        InjectionKind::Bursty {
+            mean_on: 40.0,
+            mean_off: 60.0,
+        },
+        InjectionKind::Ramp {
+            start_fraction: 0.2,
+            ramp_cycles: 500,
+        },
+    ] {
+        let a = run_fingerprint(injector_config(KernelMode::Optimized, injection, 21));
+        let b = run_fingerprint(injector_config(KernelMode::Optimized, injection, 21));
+        assert_eq!(a, b, "{injection:?}: rerun must reproduce exactly");
+        let legacy = run_fingerprint(injector_config(KernelMode::Legacy, injection, 21));
+        assert_eq!(a, legacy, "{injection:?}: kernels diverge");
+        let other_seed = run_fingerprint(injector_config(KernelMode::Optimized, injection, 22));
+        assert_ne!(a, other_seed, "{injection:?}: seed must matter");
+    }
+}
+
+#[test]
+fn kernels_match_on_multi_phase_scenarios_with_load_overrides() {
+    // A three-phase scenario with a per-phase load override: phase switches
+    // must land on exact cycles under both kernels.
+    let run = |kernel: KernelMode| {
+        let scenario = Scenario::named("UN-storm-UN")
+            .injection(InjectionKind::Bursty {
+                mean_on: 30.0,
+                mean_off: 30.0,
+            })
+            .phase(PatternKind::Uniform, 300)
+            .phase_at_load(PatternKind::Adversarial { offset: 1 }, 0.35, 300)
+            .hold(PatternKind::Uniform);
+        let cfg = SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(RoutingKind::Base)
+            .scenario(&scenario)
+            .offered_load(0.15)
+            .warmup_cycles(300)
+            .measurement_cycles(600)
+            .seed(5)
+            .kernel(kernel)
+            .build()
+            .unwrap();
+        run_fingerprint(cfg)
+    };
+    assert_eq!(run(KernelMode::Optimized), run(KernelMode::Legacy));
+}
+
+#[test]
 fn golden_summary_is_pinned() {
     // Pinned fingerprint for one configuration. If this test fails, the
     // change altered simulation semantics (RNG streams, event ordering,

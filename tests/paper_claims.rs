@@ -286,6 +286,77 @@ fn transient_adaptation_is_faster_with_contention_counters() {
 }
 
 #[test]
+fn latency_recovers_to_adv_steady_state_after_the_transient() {
+    // §VI-C / Figures 7–9: the adaptive mechanisms do not merely survive a
+    // UN→ADV+1 phase change — after the adaptation window their latency
+    // settles back to the *steady-state* ADV+1 level. A mechanism that kept
+    // oscillating or stuck in a congested regime would fail this.
+    let switch_at = 2_000u64;
+    let follow = 2_000u64;
+    let load = 0.25;
+    for routing in [RoutingKind::Base, RoutingKind::Ectn] {
+        let routing_config = RoutingConfig::calibrated_for(
+            &DragonflyParams::small(),
+            &NetworkConfig::fast_test().vcs,
+        )
+        .with_contention_threshold(3);
+        let steady_cfg = SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(routing)
+            .routing_config(routing_config)
+            .pattern(PatternKind::Adversarial { offset: 1 })
+            .offered_load(load)
+            .warmup_cycles(switch_at)
+            .measurement_cycles(follow)
+            .seed(7)
+            .build()
+            .expect("valid configuration");
+        let steady = SteadyStateExperiment::new(steady_cfg).run();
+        let schedule = TrafficSchedule::switch_at(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            switch_at,
+        );
+        let transient_cfg = SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(routing)
+            .routing_config(routing_config)
+            .schedule(schedule)
+            .offered_load(load)
+            .warmup_cycles(switch_at)
+            .measurement_cycles(follow)
+            .seed(7)
+            .build()
+            .expect("valid configuration");
+        let report = TransientExperiment::new(transient_cfg, follow).run();
+        let late = report.mean_latency_between(1_000, 2_000);
+        assert!(
+            late.is_finite() && late > 0.0,
+            "{}: the late window must contain deliveries",
+            routing.label()
+        );
+        assert!(
+            late <= steady.avg_packet_latency * 1.25 && late >= steady.avg_packet_latency * 0.75,
+            "{}: latency {:.1} one adaptation window after the switch must settle within \
+             25% of the steady-state ADV+1 latency {:.1}",
+            routing.label(),
+            late,
+            steady.avg_packet_latency
+        );
+        // and the mechanism must actually be in its adapted regime there,
+        // misrouting a substantial share of traffic
+        assert!(
+            report.mean_misroute_between(1_000, 2_000) > 35.0,
+            "{}: the recovered regime must be the misrouting one, got {:.0}%",
+            routing.label(),
+            report.mean_misroute_between(1_000, 2_000)
+        );
+    }
+}
+
+#[test]
 fn before_the_switch_nobody_misroutes_much() {
     // sanity for the transient harness itself: under UN at 25% load the
     // misrouting percentage is low for Base before the change.

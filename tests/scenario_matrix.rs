@@ -1,0 +1,380 @@
+//! Golden regression suite for the scenario subsystem.
+//!
+//! Pins the complete routing × pattern matrix (every routing mechanism under
+//! every traffic pattern), the new injection processes, phased scenarios and
+//! the scenario-matrix runner's per-cell seeding to literal fingerprints.
+//! Any change to pattern semantics, injector randomness, phase lowering,
+//! cell seeding or kernel event ordering shows up here as a diff in review
+//! rather than silently shifting every future result.
+//!
+//! If a test in this file fails after an intentional semantics change,
+//! regenerate the tables with
+//!
+//! ```text
+//! cargo test --release --test scenario_matrix -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed constants in the same commit, calling the update
+//! out in the PR description (same contract as `tests/determinism.rs`).
+//!
+//! The configurations deliberately do not set a [`KernelMode`], so the env
+//! default applies and CI exercises the whole suite under both kernels —
+//! which must be bit-for-bit identical.
+
+use contention_dragonfly::prelude::*;
+
+const LOAD: f64 = 0.2;
+const SEED: u64 = 11;
+
+/// Every pattern the matrix covers, with stable labels.
+fn all_patterns() -> Vec<PatternKind> {
+    vec![
+        PatternKind::Uniform,
+        PatternKind::Adversarial { offset: 1 },
+        PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 0.5,
+        },
+        PatternKind::Permutation { seed: 17 },
+        PatternKind::Hotspot {
+            hotspots: 4,
+            fraction: 0.5,
+        },
+        PatternKind::BitComplement,
+        PatternKind::BitReversal,
+        PatternKind::GroupLocal { local_fraction: 0.6 },
+    ]
+}
+
+fn base_builder() -> df_sim::SimulationConfigBuilder {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .offered_load(LOAD)
+        .warmup_cycles(200)
+        .measurement_cycles(400)
+        .seed(SEED)
+}
+
+/// `(delivered packets in the window, final cycle after drain, mean-latency
+/// f64 bits)` — the fingerprint every golden table pins.
+fn fingerprint(cfg: SimulationConfig) -> (u64, u64, u64) {
+    let mut net = Network::new(cfg.clone());
+    net.run_cycles(cfg.warmup_cycles);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    net.run_cycles(cfg.measurement_cycles);
+    assert!(net.drain(100_000), "golden runs must drain");
+    let summary = net.metrics().window_summary();
+    (
+        summary.delivered_packets,
+        net.cycle(),
+        summary.avg_packet_latency.to_bits(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// 1. routing × pattern golden matrix
+// ---------------------------------------------------------------------------
+
+/// Pinned on `DragonflyParams::small()` + `NetworkConfig::fast_test()`,
+/// load 0.2, seed 11, warmup 200 + measure 400 + drain.
+#[rustfmt::skip]
+const GOLDEN_ROUTING_PATTERN: &[(&str, &str, u64, u64, u64)] = &[
+    // (routing, pattern, delivered_window, final_cycle, latency_bits)
+    ("MIN", "UN", 805, 652, 0x40469853F48D328F),
+    ("MIN", "ADV+1", 911, 1137, 0x4070211244011FC1),
+    ("MIN", "MIX(ADV+1,50%UN)", 824, 772, 0x405002F392A409F2),
+    ("MIN", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("MIN", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("MIN", "BITCOMP", 888, 1125, 0x406CF322983759ED),
+    ("MIN", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("MIN", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+    ("VAL", "UN", 885, 703, 0x40565E02E4850FEB),
+    ("VAL", "ADV+1", 883, 706, 0x405708C52566578F),
+    ("VAL", "MIX(ADV+1,50%UN)", 882, 705, 0x4056F01BDD2B8999),
+    ("VAL", "PERM(17)", 885, 708, 0x40569F9A2DB43662),
+    ("VAL", "HOT(4x50%)", 922, 1241, 0x4070A04B85D4AF7E),
+    ("VAL", "BITCOMP", 884, 704, 0x4056D4B4B4B4B4B2),
+    ("VAL", "BITREV", 878, 700, 0x4055845FA2B27127),
+    ("VAL", "LOC(60%)", 877, 697, 0x4055828DDD8E284D),
+    ("PB", "UN", 809, 689, 0x4048C89F7C5C6689),
+    ("PB", "ADV+1", 860, 691, 0x40521404C3464050),
+    ("PB", "MIX(ADV+1,50%UN)", 827, 690, 0x404CBFEC304A4AEE),
+    ("PB", "PERM(17)", 819, 680, 0x404AA62262262260),
+    ("PB", "HOT(4x50%)", 874, 1201, 0x406D0F574939FED5),
+    ("PB", "BITCOMP", 840, 690, 0x4050B3A83A83A843),
+    ("PB", "BITREV", 824, 692, 0x404AE9027C4597A2),
+    ("PB", "LOC(60%)", 784, 691, 0x4041BE87D6343EB2),
+    ("OLM", "UN", 835, 687, 0x404F17743247BDC7),
+    ("OLM", "ADV+1", 844, 688, 0x40508BE7BC0E8F1F),
+    ("OLM", "MIX(ADV+1,50%UN)", 839, 681, 0x40503035B3B7FD90),
+    ("OLM", "PERM(17)", 841, 693, 0x40500D2A4FC0AF52),
+    ("OLM", "HOT(4x50%)", 890, 1201, 0x406DD3F47E8FD1F4),
+    ("OLM", "BITCOMP", 844, 701, 0x405123A3CA9DB9A6),
+    ("OLM", "BITREV", 835, 686, 0x40502242D5FF6308),
+    ("OLM", "LOC(60%)", 790, 659, 0x40443DE4C79D7D13),
+    ("Base", "UN", 805, 652, 0x40469853F48D328F),
+    ("Base", "ADV+1", 886, 765, 0x405A8D4A8BD8B448),
+    ("Base", "MIX(ADV+1,50%UN)", 824, 716, 0x404E5A409F1165E6),
+    ("Base", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("Base", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("Base", "BITCOMP", 879, 757, 0x4059395FD166CEC9),
+    ("Base", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("Base", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+    ("Hybrid", "UN", 834, 691, 0x404E74A4870F590B),
+    ("Hybrid", "ADV+1", 841, 687, 0x405071D86D9575C9),
+    ("Hybrid", "MIX(ADV+1,50%UN)", 833, 686, 0x40500DD45C3266A4),
+    ("Hybrid", "PERM(17)", 836, 685, 0x404FF32385830FE5),
+    ("Hybrid", "HOT(4x50%)", 887, 1201, 0x406D1E5729458E4A),
+    ("Hybrid", "BITCOMP", 842, 687, 0x4050FB9769327864),
+    ("Hybrid", "BITREV", 837, 681, 0x404FC4349B5FBB80),
+    ("Hybrid", "LOC(60%)", 791, 664, 0x4043F38A31D738A3),
+    ("ECtN", "UN", 805, 652, 0x40469853F48D328F),
+    ("ECtN", "ADV+1", 886, 765, 0x405A8D4A8BD8B448),
+    ("ECtN", "MIX(ADV+1,50%UN)", 824, 716, 0x404E5A409F1165E6),
+    ("ECtN", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("ECtN", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("ECtN", "BITCOMP", 879, 757, 0x4059395FD166CEC9),
+    ("ECtN", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("ECtN", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+];
+
+#[test]
+fn golden_routing_pattern_matrix() {
+    let mut expected = GOLDEN_ROUTING_PATTERN.iter();
+    for routing in RoutingKind::ALL {
+        for pattern in all_patterns() {
+            let cfg = base_builder()
+                .routing(routing)
+                .pattern(pattern)
+                .build()
+                .expect("valid configuration");
+            let (delivered, final_cycle, latency_bits) = fingerprint(cfg);
+            let &(er, ep, ed, ec, el) = expected
+                .next()
+                .expect("golden table has one row per routing x pattern");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(ep, pattern.label(), "table order drifted");
+            assert_eq!(
+                (delivered, final_cycle, latency_bits),
+                (ed, ec, el),
+                "{} under {} diverged from the pinned fingerprint",
+                routing.label(),
+                pattern.label()
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+// ---------------------------------------------------------------------------
+// 2. injector and phased-scenario goldens
+// ---------------------------------------------------------------------------
+
+/// The non-Bernoulli injectors and multi-phase scenarios the golden suite
+/// covers, each under two contention-based routings.
+fn special_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::named("UN-bursty")
+            .injection(InjectionKind::Bursty {
+                mean_on: 50.0,
+                mean_off: 50.0,
+            })
+            .hold(PatternKind::Uniform),
+        Scenario::named("UN-ramp")
+            .injection(InjectionKind::Ramp {
+                start_fraction: 0.0,
+                ramp_cycles: 300,
+            })
+            .hold(PatternKind::Uniform),
+        Scenario::transient(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            300,
+        ),
+        Scenario::named("UN-storm-UN")
+            .phase(PatternKind::Uniform, 250)
+            .phase_at_load(PatternKind::Adversarial { offset: 1 }, 0.35, 200)
+            .hold(PatternKind::Uniform),
+    ]
+}
+
+#[rustfmt::skip]
+const GOLDEN_SPECIAL: &[(&str, &str, u64, u64, u64)] = &[
+    // (scenario, routing, delivered_window, final_cycle, latency_bits)
+    ("UN-bursty", "Base", 824, 648, 0x4046E5979C95204C),
+    ("UN-bursty", "ECtN", 824, 648, 0x4046E5979C95204C),
+    ("UN-ramp", "Base", 748, 657, 0x40467F24F66AC7DF),
+    ("UN-ramp", "ECtN", 748, 657, 0x40467F24F66AC7DF),
+    ("UN->ADV+1", "Base", 805, 785, 0x4053B98F6C713667),
+    ("UN->ADV+1", "ECtN", 805, 785, 0x4053B98F6C713667),
+    ("UN-storm-UN", "Base", 1067, 663, 0x4054D492D588846B),
+    ("UN-storm-UN", "ECtN", 1067, 663, 0x4054D492D588846B),
+];
+
+#[test]
+fn golden_injectors_and_phases() {
+    let mut expected = GOLDEN_SPECIAL.iter();
+    for scenario in special_scenarios() {
+        for routing in [RoutingKind::Base, RoutingKind::Ectn] {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .expect("valid configuration");
+            let (delivered, final_cycle, latency_bits) = fingerprint(cfg);
+            let &(es, er, ed, ec, el) = expected
+                .next()
+                .expect("golden table has one row per scenario x routing");
+            assert_eq!(es, scenario.name, "table order drifted");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(
+                (delivered, final_cycle, latency_bits),
+                (ed, ec, el),
+                "{} under {} diverged from the pinned fingerprint",
+                routing.label(),
+                scenario.name
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+// ---------------------------------------------------------------------------
+// 3. matrix-runner golden: per-cell seeds and results
+// ---------------------------------------------------------------------------
+
+fn golden_matrix() -> ScenarioMatrix {
+    ScenarioMatrix {
+        scenarios: vec![
+            Scenario::steady(PatternKind::Uniform),
+            Scenario::steady(PatternKind::Adversarial { offset: 1 }),
+            Scenario::transient(
+                PatternKind::Uniform,
+                PatternKind::Adversarial { offset: 1 },
+                300,
+            ),
+        ],
+        loads: vec![0.1, 0.3],
+        routings: vec![
+            RoutingKind::Minimal,
+            RoutingKind::Olm,
+            RoutingKind::Base,
+            RoutingKind::Ectn,
+        ],
+        seeds_per_cell: 1,
+        ..ScenarioMatrix::new(base_builder().build().expect("valid template"))
+    }
+}
+
+#[rustfmt::skip]
+const GOLDEN_MATRIX: &[(&str, &str, u64, u64, u64)] = &[
+    // (scenario, routing@load, cell_seed, delivered_window, latency_bits)
+    ("UN", "MIN@0.10", 9503925850839871422, 339, 0x4045E7750CD67750),
+    ("UN", "OLM@0.10", 13767144980073157928, 367, 0x4049583D625AAE65),
+    ("UN", "Base@0.10", 5029147664225670704, 390, 0x4045B0E70E70E70D),
+    ("UN", "ECtN@0.10", 3240651478468372994, 354, 0x4045949C34115B1D),
+    ("UN", "MIN@0.30", 8802558392465989275, 1088, 0x4047703C3C3C3C3A),
+    ("UN", "OLM@0.30", 3718903258026593164, 1028, 0x40514936C936C934),
+    ("UN", "Base@0.30", 12181222327205972356, 1066, 0x40474EC4EC4EC4E5),
+    ("UN", "ECtN@0.30", 5586660493715374994, 1059, 0x4047F02A8BB969A5),
+    ("ADV+1", "MIN@0.10", 11141797255196390522, 383, 0x404E8AB1CBDD3E2A),
+    ("ADV+1", "OLM@0.10", 12456546649523928099, 369, 0x404E7597EF597EF8),
+    ("ADV+1", "Base@0.10", 16949615000871316227, 358, 0x404C6979907269D6),
+    ("ADV+1", "ECtN@0.10", 5267901239321830844, 344, 0x404B653594D6535B),
+    ("ADV+1", "MIN@0.30", 12801827229539339074, 450, 0x406AA44444444447),
+    ("ADV+1", "OLM@0.30", 2312257069638493140, 1116, 0x40521151A9BFC552),
+    ("ADV+1", "Base@0.30", 10216815209178313974, 994, 0x405B7647151E63F0),
+    ("ADV+1", "ECtN@0.30", 14014122248701284430, 1070, 0x405AF2A96401E9FC),
+    ("UN->ADV+1", "MIN@0.10", 4276764928123989989, 329, 0x4049149EBC4DCFC6),
+    ("UN->ADV+1", "OLM@0.10", 16195438644560804299, 328, 0x404CB512BB512BB7),
+    ("UN->ADV+1", "Base@0.10", 7285335616192603005, 367, 0x4049059493E14EC9),
+    ("UN->ADV+1", "ECtN@0.10", 10177911790607175144, 383, 0x4049E498659910B4),
+    ("UN->ADV+1", "MIN@0.30", 11737526883106114248, 679, 0x4052CE3B91E89FDE),
+    ("UN->ADV+1", "OLM@0.30", 14689851459392578068, 1133, 0x4051B71334A56501),
+    ("UN->ADV+1", "Base@0.30", 8445735730378540923, 893, 0x4052761C1814A3F8),
+    ("UN->ADV+1", "ECtN@0.30", 380644212347825811, 942, 0x4052902B7B614A77),
+];
+
+#[test]
+fn golden_matrix_runner_cells() {
+    let cells = run_matrix(&golden_matrix(), 4);
+    assert_eq!(cells.len(), GOLDEN_MATRIX.len(), "matrix shape changed");
+    for (cell, &(es, ecol, eseed, ed, el)) in cells.iter().zip(GOLDEN_MATRIX) {
+        let col = format!("{}@{:.2}", cell.key.routing.label(), cell.key.load);
+        assert_eq!(es, cell.key.scenario, "cell order drifted");
+        assert_eq!(ecol, col, "cell order drifted");
+        assert_eq!(
+            cell.key.seed, eseed,
+            "cell seeding changed for {es}/{col}: the (base seed, indices) -> seed mapping is a compatibility contract"
+        );
+        assert_eq!(
+            (
+                cell.report.delivered_packets,
+                cell.report.avg_packet_latency.to_bits()
+            ),
+            (ed, el),
+            "{es}/{col} diverged from the pinned fingerprint"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// regeneration helper (ignored; see the module docs)
+// ---------------------------------------------------------------------------
+
+#[test]
+#[ignore = "prints fresh golden tables; run with --ignored --nocapture"]
+fn regenerate_golden_tables() {
+    println!("// (routing, pattern, delivered_window, final_cycle, latency_bits)");
+    for routing in RoutingKind::ALL {
+        for pattern in all_patterns() {
+            let cfg = base_builder()
+                .routing(routing)
+                .pattern(pattern)
+                .build()
+                .unwrap();
+            let (d, c, l) = fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {:#018X}),",
+                routing.label(),
+                pattern.label(),
+                d,
+                c,
+                l
+            );
+        }
+    }
+    println!("// (scenario, routing, delivered_window, final_cycle, latency_bits)");
+    for scenario in special_scenarios() {
+        for routing in [RoutingKind::Base, RoutingKind::Ectn] {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .unwrap();
+            let (d, c, l) = fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {:#018X}),",
+                scenario.name,
+                routing.label(),
+                d,
+                c,
+                l
+            );
+        }
+    }
+    println!("// (scenario, routing@load, cell_seed, delivered_window, latency_bits)");
+    for cell in run_matrix(&golden_matrix(), 4) {
+        println!(
+            "    (\"{}\", \"{}@{:.2}\", {}, {}, {:#018X}),",
+            cell.key.scenario,
+            cell.key.routing.label(),
+            cell.key.load,
+            cell.key.seed,
+            cell.report.delivered_packets,
+            cell.report.avg_packet_latency.to_bits()
+        );
+    }
+}
