@@ -4,24 +4,22 @@
 //! load. Writes `BENCH_kernel.json` into the working directory so successive
 //! PRs accumulate a performance trajectory.
 //!
-//! Usage: `cargo run --release -p df-bench --bin bench_kernel [small|medium]
-//! [measured_cycles]`
+//! Usage: `cargo run --release -p df-bench --bin bench_kernel
+//! [small|medium|paper|paper-smoke] [measured_cycles]`
+//!
+//! The `paper`/`paper-smoke` names run the full 16,512-node Table I
+//! topology with a short default window — sequential-kernel throughput at
+//! the paper's own scale (see `bench_parallel` for the multi-worker run).
 
+use df_bench::{measure_kernel_run, KernelRunMeasurement};
 use df_model::NetworkConfig;
-use df_routing::RoutingKind;
-use df_sim::{KernelMode, Network, SimulationConfig};
+use df_sim::KernelMode;
 use df_topology::DragonflyParams;
-use df_traffic::PatternKind;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct RunResult {
     kernel: &'static str,
-    offered_load: f64,
-    wall_seconds: f64,
-    cycles_per_sec: f64,
-    phits_per_sec: f64,
-    delivered_phits: u64,
+    measurement: KernelRunMeasurement,
 }
 
 fn bench_one(
@@ -32,51 +30,35 @@ fn bench_one(
     warmup: u64,
     measured: u64,
 ) -> RunResult {
-    let config = SimulationConfig::builder()
-        .topology(topology)
-        .network(NetworkConfig::paper_table1())
-        .routing(RoutingKind::Base)
-        .pattern(PatternKind::Uniform)
-        .offered_load(load)
-        .warmup_cycles(warmup)
-        .measurement_cycles(measured)
-        .seed(1)
-        .kernel(kernel)
-        .build()
-        .expect("valid benchmark configuration");
-    let mut net = Network::new(config);
-    net.run_cycles(warmup);
-    let start = net.cycle();
-    net.metrics_mut().start_measurement(start);
-    let t0 = Instant::now();
-    net.run_cycles(measured);
-    let wall = t0.elapsed().as_secs_f64();
-    let delivered_phits = net.metrics().window_summary().delivered_phits;
     RunResult {
         kernel: kernel_name,
-        offered_load: load,
-        wall_seconds: wall,
-        cycles_per_sec: measured as f64 / wall,
-        phits_per_sec: delivered_phits as f64 / wall,
-        delivered_phits,
+        measurement: measure_kernel_run(
+            topology,
+            NetworkConfig::paper_table1(),
+            kernel,
+            load,
+            warmup,
+            measured,
+        ),
     }
 }
 
 fn main() {
-    let mut scale_name = "small";
-    let mut measured: u64 = 3_000;
+    // Scale::from_args aborts loudly on a mistyped scale name instead of
+    // silently benchmarking the small topology.
+    let scale = df_bench::Scale::from_args();
+    let scale_name = scale.name;
+    let mut measured: u64 = match scale_name {
+        "paper" | "paper-smoke" => 300,
+        _ => 3_000,
+    };
     for arg in std::env::args().skip(1) {
-        if arg == "small" || arg == "medium" {
-            scale_name = if arg == "small" { "small" } else { "medium" };
-        } else if let Ok(n) = arg.parse::<u64>() {
+        if let Ok(n) = arg.parse::<u64>() {
             measured = n;
         }
     }
-    let topology = match scale_name {
-        "medium" => DragonflyParams::medium(),
-        _ => DragonflyParams::small(),
-    };
-    let warmup = 500;
+    let topology = scale.topology;
+    let warmup = if topology.num_nodes() > 10_000 { 100 } else { 500 };
     // Low load is where activity gating shines, mid load is the trajectory
     // anchor, and 0.9 offered is far past saturation for uniform traffic —
     // every router stays busy, so it measures pure per-event overhead.
@@ -92,7 +74,7 @@ fn main() {
             let r = bench_one(topology, kernel, name, load, warmup, measured);
             println!(
                 "  load {:.1} {:9}: {:>12.0} cycles/s  {:>12.0} phits/s  ({:.3}s wall)",
-                r.offered_load, r.kernel, r.cycles_per_sec, r.phits_per_sec, r.wall_seconds
+                r.measurement.offered_load, r.kernel, r.measurement.cycles_per_sec, r.measurement.phits_per_sec, r.measurement.wall_seconds
             );
             results.push(r);
         }
@@ -113,7 +95,7 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"kernel\": \"{}\", \"offered_load\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}, \"phits_per_sec\": {:.1}, \"delivered_phits\": {}}}{comma}",
-            r.kernel, r.offered_load, r.wall_seconds, r.cycles_per_sec, r.phits_per_sec, r.delivered_phits
+            r.kernel, r.measurement.offered_load, r.measurement.wall_seconds, r.measurement.cycles_per_sec, r.measurement.phits_per_sec, r.measurement.delivered_phits
         );
     }
     json.push_str("  ],\n");
@@ -121,14 +103,14 @@ fn main() {
     for (i, &load) in loads.iter().enumerate() {
         let legacy = results
             .iter()
-            .find(|r| r.offered_load == load && r.kernel == "legacy")
+            .find(|r| r.measurement.offered_load == load && r.kernel == "legacy")
             .expect("legacy run exists");
         let optimized = results
             .iter()
-            .find(|r| r.offered_load == load && r.kernel == "optimized")
+            .find(|r| r.measurement.offered_load == load && r.kernel == "optimized")
             .expect("optimized run exists");
         let comma = if i + 1 == loads.len() { "" } else { "," };
-        let speedup = optimized.cycles_per_sec / legacy.cycles_per_sec;
+        let speedup = optimized.measurement.cycles_per_sec / legacy.measurement.cycles_per_sec;
         println!("  load {load:.1}: optimized/legacy = {speedup:.2}x");
         let _ = writeln!(json, "    \"{load}\": {speedup:.3}{comma}");
     }

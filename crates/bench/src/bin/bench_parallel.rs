@@ -1,0 +1,166 @@
+//! Parallel-kernel throughput benchmark: simulated-cycles/sec for the
+//! sequential optimized kernel versus `KernelMode::Parallel` at several
+//! worker counts, with a built-in bit-identity cross-check (every parallel
+//! run must deliver exactly the phits — and the exact mean-latency bit
+//! pattern — of the sequential baseline, or the benchmark aborts). Writes
+//! `BENCH_parallel.json` into the working directory so successive PRs
+//! accumulate a performance trajectory.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p df-bench --bin bench_parallel \
+//!     [small|medium|paper|paper-smoke] [measured_cycles] [workers=1,2,4]
+//! ```
+//!
+//! Defaults: the `medium` (1,056-node) scale, 1,500 measured cycles, worker
+//! counts 1/2/4 (plus 8 when the host has that many CPUs). The recorded
+//! speedups are only meaningful relative to `host_available_parallelism` —
+//! a single-CPU container can demonstrate bit-identity but not wall-clock
+//! speedup.
+
+use df_bench::{measure_kernel_run, KernelRunMeasurement};
+use df_sim::KernelMode;
+use std::fmt::Write as _;
+
+struct RunResult {
+    kernel: String,
+    measurement: KernelRunMeasurement,
+}
+
+fn bench_one(
+    scale: &df_bench::Scale,
+    kernel: KernelMode,
+    kernel_name: String,
+    load: f64,
+    warmup: u64,
+    measured: u64,
+) -> RunResult {
+    RunResult {
+        kernel: kernel_name,
+        measurement: measure_kernel_run(
+            scale.topology,
+            scale.network,
+            kernel,
+            load,
+            warmup,
+            measured,
+        ),
+    }
+}
+
+fn main() {
+    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::medium(), &[]);
+    let mut measured: u64 = match scale.name {
+        "paper" | "paper-smoke" => scale.measure.min(500),
+        _ => 1_500,
+    };
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts: Vec<usize> = vec![1, 2, 4];
+    if host_cpus >= 8 {
+        worker_counts.push(8);
+    }
+    for arg in std::env::args().skip(1) {
+        if let Ok(n) = arg.parse::<u64>() {
+            measured = n;
+        } else if let Some(list) = arg.strip_prefix("workers=") {
+            worker_counts = list
+                .split(',')
+                .map(|w| w.parse::<usize>().expect("workers=N,M,... must be integers"))
+                .collect();
+        }
+    }
+    let warmup = match scale.name {
+        "paper" | "paper-smoke" => 50,
+        _ => 300,
+    };
+    // Mid load keeps a realistic active set; far-past-saturation load keeps
+    // every router busy, the regime intra-run parallelism targets. The big
+    // topologies get one low-load point instead — the paper's steady-state
+    // regime at a size where even that is expensive sequentially.
+    let loads: Vec<f64> = match scale.name {
+        "paper" | "paper-smoke" => vec![0.1],
+        _ => vec![0.3, 0.9],
+    };
+
+    println!(
+        "parallel-kernel benchmark: {} topology ({} nodes), {} measured cycles, host CPUs: {}",
+        scale.name,
+        scale.topology.num_nodes(),
+        measured,
+        host_cpus
+    );
+    let mut results: Vec<RunResult> = Vec::new();
+    let mut speedups: Vec<(f64, usize, f64)> = Vec::new();
+    for &load in &loads {
+        let baseline = bench_one(
+            &scale,
+            KernelMode::Optimized,
+            "optimized".to_string(),
+            load,
+            warmup,
+            measured,
+        );
+        println!(
+            "  load {:.1} optimized  : {:>10.0} cycles/s  ({:.3}s wall, {} phits)",
+            load, baseline.measurement.cycles_per_sec, baseline.measurement.wall_seconds, baseline.measurement.delivered_phits
+        );
+        for &workers in &worker_counts {
+            let r = bench_one(
+                &scale,
+                KernelMode::Parallel { workers },
+                format!("parallel:{workers}"),
+                load,
+                warmup,
+                measured,
+            );
+            // the determinism contract, enforced where it is cheapest to
+            // notice a violation: identical work or the benchmark is void
+            assert_eq!(
+                (r.measurement.delivered_phits, r.measurement.latency_bits),
+                (baseline.measurement.delivered_phits, baseline.measurement.latency_bits),
+                "parallel({workers}) diverged from the optimized kernel at load {load}"
+            );
+            let speedup = r.measurement.cycles_per_sec / baseline.measurement.cycles_per_sec;
+            println!(
+                "  load {:.1} parallel:{workers}: {:>10.0} cycles/s  ({:.3}s wall)  {speedup:.2}x  [bit-identical]",
+                load, r.measurement.cycles_per_sec, r.measurement.wall_seconds
+            );
+            speedups.push((load, workers, speedup));
+            results.push(r);
+        }
+        results.push(baseline);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"parallel-kernel-throughput\",\n");
+    let _ = writeln!(json, "  \"topology\": \"{}\",", scale.name);
+    let _ = writeln!(json, "  \"num_nodes\": {},", scale.topology.num_nodes());
+    json.push_str("  \"routing\": \"base\",\n");
+    json.push_str("  \"pattern\": \"uniform\",\n");
+    let _ = writeln!(json, "  \"warmup_cycles\": {warmup},");
+    let _ = writeln!(json, "  \"measured_cycles\": {measured},");
+    let _ = writeln!(json, "  \"host_available_parallelism\": {host_cpus},");
+    json.push_str("  \"results_bit_identical\": true,\n");
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"offered_load\": {}, \"wall_seconds\": {:.6}, \"cycles_per_sec\": {:.1}, \"delivered_phits\": {}}}{comma}",
+            r.kernel, r.measurement.offered_load, r.measurement.wall_seconds, r.measurement.cycles_per_sec, r.measurement.delivered_phits
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_parallel_over_optimized\": {\n");
+    for (i, (load, workers, speedup)) in speedups.iter().enumerate() {
+        let comma = if i + 1 == speedups.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"load_{load}_workers_{workers}\": {speedup:.3}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

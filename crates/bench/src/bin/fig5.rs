@@ -5,7 +5,7 @@
 use df_traffic::PatternKind;
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["un", "adv1", "advh"]);
     let args: Vec<String> = std::env::args().collect();
     let which: Vec<PatternKind> = if args.iter().any(|a| a == "un") {
         vec![PatternKind::Uniform]

@@ -22,7 +22,7 @@ use df_traffic::{InjectionKind, PatternKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["smoke", "csv"]);
     let smoke = args.iter().any(|a| a == "smoke");
     let csv = args.iter().any(|a| a == "csv");
 

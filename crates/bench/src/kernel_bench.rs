@@ -1,0 +1,75 @@
+//! Shared harness for the kernel throughput benchmarks.
+//!
+//! `bench_kernel` (legacy vs optimized) and `bench_parallel` (optimized vs
+//! sharded at several worker counts) time the same thing: a warmed-up
+//! steady-state run of one configuration, reporting wall-clock and what was
+//! delivered. This module is that single measurement so the two binaries
+//! cannot drift apart in warmup/measurement/timing methodology.
+
+use df_model::NetworkConfig;
+use df_routing::RoutingKind;
+use df_sim::{KernelMode, Network, SimulationConfig};
+use df_topology::DragonflyParams;
+use df_traffic::PatternKind;
+use std::time::Instant;
+
+/// One timed kernel run: wall-clock plus the delivery figures the
+/// benchmark JSONs record (and the bit-identity cross-checks compare).
+pub struct KernelRunMeasurement {
+    /// Offered load of the run in phits/(node·cycle).
+    pub offered_load: f64,
+    /// Wall-clock seconds for the measured window.
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Delivered phits per wall-clock second.
+    pub phits_per_sec: f64,
+    /// Phits delivered inside the measurement window (must be identical
+    /// across equivalent kernels).
+    pub delivered_phits: u64,
+    /// Bit pattern of the mean packet latency (the second half of the
+    /// bit-identity cross-check).
+    pub latency_bits: u64,
+}
+
+/// Run Base routing under uniform traffic at `load` on `topology` with the
+/// given `kernel`: warm up, open the measurement window, time `measured`
+/// cycles. Seed 1 — fixed, so equivalent kernels must reproduce each other
+/// bit for bit.
+pub fn measure_kernel_run(
+    topology: DragonflyParams,
+    network: NetworkConfig,
+    kernel: KernelMode,
+    load: f64,
+    warmup: u64,
+    measured: u64,
+) -> KernelRunMeasurement {
+    let config = SimulationConfig::builder()
+        .topology(topology)
+        .network(network)
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(load)
+        .warmup_cycles(warmup)
+        .measurement_cycles(measured)
+        .seed(1)
+        .kernel(kernel)
+        .build()
+        .expect("valid benchmark configuration");
+    let mut net = Network::new(config);
+    net.run_cycles(warmup);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    let t0 = Instant::now();
+    net.run_cycles(measured);
+    let wall = t0.elapsed().as_secs_f64();
+    let summary = net.metrics().window_summary();
+    KernelRunMeasurement {
+        offered_load: load,
+        wall_seconds: wall,
+        cycles_per_sec: measured as f64 / wall,
+        phits_per_sec: summary.delivered_phits as f64 / wall,
+        delivered_phits: summary.delivered_phits,
+        latency_bits: summary.avg_packet_latency.to_bits(),
+    }
+}

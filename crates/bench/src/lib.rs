@@ -12,7 +12,9 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod kernel_bench;
 pub mod scale;
 
 pub use figures::*;
+pub use kernel_bench::{measure_kernel_run, KernelRunMeasurement};
 pub use scale::Scale;

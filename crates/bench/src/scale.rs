@@ -77,6 +77,23 @@ impl Scale {
         }
     }
 
+    /// The full Table I topology with deliberately short windows: enough to
+    /// prove the 16,512-node network constructs, routes and delivers (the
+    /// `--ignored` paper-scale smoke test and the `bench_parallel` smoke),
+    /// without the hours a real `paper` point takes.
+    pub fn paper_smoke() -> Self {
+        Scale {
+            name: "paper-smoke",
+            topology: DragonflyParams::paper_table1(),
+            network: NetworkConfig::paper_table1(),
+            warmup: 50,
+            measure: 200,
+            seeds: 1,
+            uniform_loads: vec![0.1],
+            adversarial_loads: vec![0.1],
+        }
+    }
+
     /// A deliberately tiny scale used by the Criterion benches so `cargo
     /// bench` finishes quickly while still executing the full code path.
     pub fn bench() -> Self {
@@ -92,12 +109,16 @@ impl Scale {
         }
     }
 
+    /// The names [`Scale::from_name`] accepts.
+    pub const NAMES: &'static [&'static str] = &["small", "medium", "paper", "paper-smoke", "bench"];
+
     /// Parse a scale name from a CLI argument.
     pub fn from_name(name: &str) -> Option<Self> {
         match name {
             "small" => Some(Self::small()),
             "medium" => Some(Self::medium()),
             "paper" => Some(Self::paper()),
+            "paper-smoke" => Some(Self::paper_smoke()),
             "bench" => Some(Self::bench()),
             _ => None,
         }
@@ -105,14 +126,57 @@ impl Scale {
 
     /// Scale named on the command line (first free argument), defaulting to
     /// small.
+    ///
+    /// A word-like argument that is *not* a known scale name (or one of the
+    /// shared runner flags) aborts with the list of valid names instead of
+    /// silently falling back to `small` — a mistyped `papper` used to buy
+    /// you a multi-hour run of the wrong topology.
     pub fn from_args() -> Self {
+        Self::from_args_with_flags(Self::small(), &[])
+    }
+
+    /// Like [`Scale::from_args`], with a caller-chosen default when no scale
+    /// is named and the caller's own word-like flags exempted from the typo
+    /// check — each binary declares the flags *it* accepts rather than this
+    /// parser knowing every binary's CLI.
+    pub fn from_args_with_flags(default: Self, flags: &[&str]) -> Self {
+        let mut found: Option<Scale> = None;
         for arg in std::env::args().skip(1) {
             if let Some(scale) = Self::from_name(&arg) {
-                return scale;
+                if found.is_none() {
+                    found = Some(scale);
+                }
+            } else if is_unrecognized_scale_like(&arg, flags) {
+                eprintln!(
+                    "error: unrecognized scale '{arg}' (valid scales: {}{})",
+                    Self::NAMES.join(", "),
+                    if flags.is_empty() {
+                        String::new()
+                    } else {
+                        format!("; flags: {}", flags.join(", "))
+                    }
+                );
+                std::process::exit(2);
             }
         }
-        Self::small()
+        found.unwrap_or(default)
     }
+}
+
+/// Whether `arg` reads like an *attempted* scale name that resolves to
+/// nothing: a word of letters/digits/hyphens/underscores containing at
+/// least one letter (so bare cycle counts are skipped, and `key=value`
+/// flags never match) that is neither a known scale nor one of the
+/// caller's declared flags. Catches `papper`, `paper_smoke` and `paper2`
+/// alike.
+fn is_unrecognized_scale_like(arg: &str, flags: &[&str]) -> bool {
+    !arg.is_empty()
+        && arg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        && arg.chars().any(|c| c.is_ascii_alphabetic())
+        && Scale::from_name(arg).is_none()
+        && !flags.contains(&arg)
 }
 
 #[cfg(test)]
@@ -124,7 +188,41 @@ mod tests {
         assert_eq!(Scale::from_name("small").unwrap().name, "small");
         assert_eq!(Scale::from_name("medium").unwrap().name, "medium");
         assert_eq!(Scale::from_name("paper").unwrap().name, "paper");
+        assert_eq!(Scale::from_name("paper-smoke").unwrap().name, "paper-smoke");
         assert!(Scale::from_name("galactic").is_none());
+        // every advertised name resolves to a scale of that name
+        for name in Scale::NAMES {
+            assert_eq!(Scale::from_name(name).unwrap().name, *name);
+        }
+    }
+
+    #[test]
+    fn scale_typo_detection_is_precise() {
+        let flags = ["smoke", "csv"];
+        // typos abort loudly, whatever character class they use
+        assert!(is_unrecognized_scale_like("papper", &flags));
+        assert!(is_unrecognized_scale_like("paper_smoke", &flags));
+        assert!(is_unrecognized_scale_like("paper2", &flags));
+        assert!(is_unrecognized_scale_like("medium-", &flags));
+        // the caller's declared flags are exempt; undeclared words are not
+        assert!(!is_unrecognized_scale_like("smoke", &flags));
+        assert!(is_unrecognized_scale_like("smoke", &[]));
+        assert!(!is_unrecognized_scale_like("un", &["un", "adv1", "advh"]));
+        // valid scales, cycle counts and key=value flags always pass
+        for name in Scale::NAMES {
+            assert!(!is_unrecognized_scale_like(name, &[]));
+        }
+        assert!(!is_unrecognized_scale_like("3000", &[]));
+        assert!(!is_unrecognized_scale_like("workers=1,2,4", &[]));
+        assert!(!is_unrecognized_scale_like("", &[]));
+    }
+
+    #[test]
+    fn paper_smoke_uses_the_full_table1_topology() {
+        let s = Scale::paper_smoke();
+        assert_eq!(s.topology.num_nodes(), 16_512);
+        assert_eq!(s.topology, DragonflyParams::paper_table1());
+        assert!(s.measure <= 500, "the smoke scale must stay short");
     }
 
     #[test]
@@ -137,7 +235,13 @@ mod tests {
 
     #[test]
     fn load_points_are_sorted_and_in_range() {
-        for scale in [Scale::small(), Scale::medium(), Scale::paper(), Scale::bench()] {
+        for scale in [
+            Scale::small(),
+            Scale::medium(),
+            Scale::paper(),
+            Scale::paper_smoke(),
+            Scale::bench(),
+        ] {
             for loads in [&scale.uniform_loads, &scale.adversarial_loads] {
                 assert!(!loads.is_empty());
                 assert!(loads.windows(2).all(|w| w[0] < w[1]));

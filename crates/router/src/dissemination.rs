@@ -1,0 +1,155 @@
+//! Group-level control-plane exchange over *disjoint router slices*.
+//!
+//! PB flag sharing and the periodic ECtN broadcast are the only per-cycle
+//! operations that touch more than one router at a time — and both are
+//! strictly *group-local*: a group's exchange reads and writes only the
+//! routers of that group. Because router ids are laid out group-major
+//! (group `g` owns the contiguous id range `[g·a, (g+1)·a)`), a group is a
+//! contiguous sub-slice of the simulator's router array, and different
+//! groups are non-overlapping sub-slices.
+//!
+//! This module exploits that: the exchange functions take one group as an
+//! exclusively borrowed `&mut [Router]` slice. The type signature *is* the
+//! sharding contract — any partition of the router array into per-group
+//! slices (for example `chunks_exact_mut(a)`) yields disjoint borrows, so a
+//! phase-parallel kernel can hand different groups to different worker
+//! threads without any further synchronisation, and the borrow checker
+//! rules out cross-group access statically. The sequential kernel calls the
+//! same functions group by group; the results are identical by
+//! construction.
+//!
+//! The second half of the disjointness rule: everything *else* a router
+//! does in a cycle (head registration, routing decisions, allocation,
+//! grant application, output transmission) touches only that single
+//! router's state plus read-only topology/configuration, so routers can be
+//! sharded individually for those phases. Cross-router *effects* (link
+//! events, upstream credits) must be staged and merged by the caller — see
+//! `df-sim`'s `parallel` module.
+
+use crate::router::Router;
+
+/// One PB dissemination step for one group: gather every member's own-link
+/// saturation flags into `flat` (resized to `a·h`), then install the
+/// gathered array as every member's group-wide view.
+///
+/// `group` must be the group's routers in local-index order (the natural
+/// contiguous id-order sub-slice). `flat` is a caller-owned scratch buffer
+/// so repeated calls are allocation-free once warm.
+///
+/// Gathering completes before any install, and installs never touch a
+/// router's own flags, so the result matches a snapshot-then-install
+/// exchange exactly.
+pub fn pb_exchange_group(group: &mut [Router], flat: &mut Vec<bool>) {
+    let h = group
+        .first()
+        .map(|r| r.pb().own_flags().len())
+        .unwrap_or(0);
+    flat.clear();
+    flat.resize(group.len() * h, false);
+    for (i, router) in group.iter().enumerate() {
+        flat[i * h..(i + 1) * h].copy_from_slice(router.pb().own_flags());
+    }
+    for router in group.iter_mut() {
+        router.pb_mut().install_group_from(flat);
+    }
+}
+
+/// One ECtN broadcast step for one group: sum every member's partial
+/// counter array into `scratch` (resized to `a·h`), then install the sum as
+/// every member's combined array.
+///
+/// Same slice contract as [`pb_exchange_group`]: `group` is an exclusively
+/// borrowed, group-local slice, so distinct groups may be exchanged
+/// concurrently.
+pub fn ectn_exchange_group(group: &mut [Router], scratch: &mut Vec<u32>) {
+    let links = group.first().map(|r| r.ectn().num_links()).unwrap_or(0);
+    scratch.clear();
+    scratch.resize(links, 0);
+    for router in group.iter() {
+        router.ectn().add_partial_to(scratch);
+    }
+    for router in group.iter_mut() {
+        router.ectn_mut().install_combined_from(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_model::NetworkConfig;
+    use df_topology::{Dragonfly, DragonflyParams, RouterId};
+
+    fn group_of_routers() -> Vec<Router> {
+        let topo = Dragonfly::new(DragonflyParams::small());
+        // group 0 of the small topology: routers 0..4
+        (0..4)
+            .map(|i| Router::new(RouterId(i), topo, NetworkConfig::fast_test()))
+            .collect()
+    }
+
+    #[test]
+    fn pb_exchange_gathers_all_members_in_local_index_order() {
+        let mut group = group_of_routers();
+        // router 1 marks its own link 0 saturated, router 3 its link 1
+        group[1].pb_mut().set_own_saturated(0, true);
+        group[3].pb_mut().set_own_saturated(1, true);
+        let mut flat = Vec::new();
+        pb_exchange_group(&mut group, &mut flat);
+        // h = 2 for the small topology: group link = local_index * h + k
+        for router in &group {
+            assert!(router.pb().group_saturated(2));
+            assert!(router.pb().group_saturated(7));
+            assert!(!router.pb().group_saturated(0));
+            assert!(!router.pb().group_saturated(3));
+        }
+        // own flags are untouched by the install
+        assert!(group[1].pb().own_saturated(0));
+        assert!(!group[0].pb().own_saturated(0));
+    }
+
+    #[test]
+    fn ectn_exchange_sums_partials_into_every_member() {
+        let mut group = group_of_routers();
+        group[0].ectn_mut().increment_partial(3);
+        group[2].ectn_mut().increment_partial(3);
+        group[2].ectn_mut().increment_partial(5);
+        let mut scratch = Vec::new();
+        ectn_exchange_group(&mut group, &mut scratch);
+        for router in &group {
+            assert_eq!(router.ectn().combined(3), 2);
+            assert_eq!(router.ectn().combined(5), 1);
+            assert_eq!(router.ectn().combined(0), 0);
+        }
+        // partials are untouched
+        assert_eq!(group[0].ectn().partial(3), 1);
+        assert_eq!(group[2].ectn().partial(3), 1);
+    }
+
+    #[test]
+    fn exchanges_tolerate_empty_slices() {
+        let mut empty: Vec<Router> = Vec::new();
+        let mut flat = vec![true; 4];
+        pb_exchange_group(&mut empty, &mut flat);
+        assert!(flat.is_empty());
+        let mut scratch = vec![7u32; 4];
+        ectn_exchange_group(&mut empty, &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn scratch_buffers_are_reusable_across_groups() {
+        let mut g1 = group_of_routers();
+        let mut g2 = group_of_routers();
+        g1[0].pb_mut().set_own_saturated(0, true);
+        let mut flat = Vec::new();
+        pb_exchange_group(&mut g1, &mut flat);
+        pb_exchange_group(&mut g2, &mut flat);
+        // no leakage from g1's exchange into g2's view
+        for router in &g2 {
+            assert!(!router.pb().group_saturated(0));
+        }
+        for router in &g1 {
+            assert!(router.pb().group_saturated(0));
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * the **contention counters** of the paper's §III-B ([`contention`]),
 //! * the ECtN partial/combined counter arrays of §III-D ([`ectn`]),
 //! * the PiggyBacking saturation state used by the PB baseline ([`pb`]),
+//! * group-local PB/ECtN exchange over disjoint router slices — the
+//!   sharding contract of the phase-parallel kernel ([`dissemination`]),
 //! * the [`Router`] object tying all of the above together ([`router`]).
 //!
 //! The crate deliberately knows nothing about routing *policy*: routing
@@ -23,6 +25,7 @@
 
 pub mod allocator;
 pub mod contention;
+pub mod dissemination;
 pub mod ectn;
 pub mod input;
 pub mod output;

@@ -10,9 +10,11 @@ use crate::scenario::Scenario;
 
 /// Which simulation-kernel implementation [`crate::Network`] runs.
 ///
-/// Both kernels are bit-for-bit deterministic and produce identical results
-/// for identical configurations and seeds (guarded by
-/// `tests/determinism.rs`); they differ only in speed.
+/// Every kernel is bit-for-bit deterministic and produces identical results
+/// for identical configurations and seeds — including
+/// [`KernelMode::Parallel`] at *any* worker count (guarded by
+/// `tests/determinism.rs` and `tests/kernel_equivalence.rs`); they differ
+/// only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum KernelMode {
     /// Time-wheel event queue, activity-gated router iteration,
@@ -23,18 +25,87 @@ pub enum KernelMode {
     /// router every cycle. Kept as the baseline for `BENCH_kernel.json` and
     /// the determinism cross-checks.
     Legacy,
+    /// The optimized kernel with its phases sharded across a persistent
+    /// worker pool (see `df-sim`'s `parallel` module): PB/ECtN exchange by
+    /// group, routing + allocation and link transmission by active router,
+    /// with barriers between phases and cross-router effects merged in
+    /// ascending router order — results are bit-identical to
+    /// [`KernelMode::Optimized`] for any worker count.
+    Parallel {
+        /// Total shards (the main thread runs one of them; `workers - 1`
+        /// threads are spawned). `0` means auto-detect from the host's
+        /// available parallelism. The worker count never affects results,
+        /// only wall-clock time.
+        workers: usize,
+    },
 }
+
+/// Upper bound on explicit worker counts — far above any sensible host,
+/// purely a typo guard (e.g. a load value passed where a worker count was
+/// meant).
+pub const MAX_PARALLEL_WORKERS: usize = 64;
 
 impl KernelMode {
     /// The kernel selected by the `DF_SIM_KERNEL` environment variable
-    /// (`"legacy"`, case-insensitive, picks [`KernelMode::Legacy`]; anything
-    /// else — including unset — picks [`KernelMode::Optimized`]). Used as the
-    /// builder default so CI can run the whole test suite under either
-    /// kernel without touching any test.
+    /// (case-insensitive):
+    ///
+    /// * `"legacy"` — [`KernelMode::Legacy`],
+    /// * `"parallel"` — [`KernelMode::Parallel`] with auto-detected workers,
+    /// * `"parallel:N"` / `"parallel=N"` — [`KernelMode::Parallel`] with
+    ///   `N` workers,
+    /// * anything else, including unset — [`KernelMode::Optimized`].
+    ///
+    /// Used as the builder default so CI can run the whole test suite under
+    /// any kernel without touching any test.
+    ///
+    /// # Panics
+    /// Panics on a *malformed* parallel spec (`"parallel:2x"`,
+    /// `"parallel 4"`, …): a typo must not silently demote an entire CI leg
+    /// to the optimized kernel.
     pub fn from_env() -> Self {
         match std::env::var("DF_SIM_KERNEL") {
-            Ok(v) if v.eq_ignore_ascii_case("legacy") => KernelMode::Legacy,
+            Ok(v) => Self::parse_env_value(&v),
             _ => KernelMode::Optimized,
+        }
+    }
+
+    /// Parse one `DF_SIM_KERNEL` value (see [`KernelMode::from_env`] for
+    /// the accepted forms and the panic on malformed parallel specs).
+    fn parse_env_value(v: &str) -> Self {
+        let lower = v.trim().to_ascii_lowercase();
+        if lower == "legacy" {
+            KernelMode::Legacy
+        } else if lower == "parallel" {
+            KernelMode::Parallel { workers: 0 }
+        } else if lower.starts_with("parallel") {
+            let workers = lower
+                .strip_prefix("parallel:")
+                .or_else(|| lower.strip_prefix("parallel="))
+                .and_then(|n| n.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    panic!(
+                        "DF_SIM_KERNEL={v:?} looks like a parallel spec but is malformed; \
+                         use \"parallel\", \"parallel:N\" or \"parallel=N\""
+                    )
+                });
+            KernelMode::Parallel { workers }
+        } else {
+            KernelMode::Optimized
+        }
+    }
+
+    /// The effective shard count this mode runs with: 1 for the sequential
+    /// kernels, the explicit worker count for [`KernelMode::Parallel`], and
+    /// the host's available parallelism (capped at 8) when that count is 0
+    /// (auto). Never affects results — only how the work is scheduled.
+    pub fn resolved_workers(&self) -> usize {
+        match *self {
+            KernelMode::Optimized | KernelMode::Legacy => 1,
+            KernelMode::Parallel { workers: 0 } => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            KernelMode::Parallel { workers } => workers,
         }
     }
 }
@@ -95,6 +166,13 @@ impl SimulationConfig {
         }
         if self.topology.num_groups() < 2 {
             return Err("the network needs at least two groups".into());
+        }
+        if let KernelMode::Parallel { workers } = self.kernel {
+            if workers > MAX_PARALLEL_WORKERS {
+                return Err(format!(
+                    "parallel kernel worker count {workers} exceeds the sanity cap of {MAX_PARALLEL_WORKERS} (use 0 for auto-detection)"
+                ));
+            }
         }
         let topo = Dragonfly::new(self.topology);
         for (i, phase) in self.schedule.phases().iter().enumerate() {
@@ -337,6 +415,66 @@ mod tests {
         // the default remains Bernoulli
         let d = SimulationConfig::builder().build().unwrap();
         assert_eq!(d.injection, InjectionKind::Bernoulli);
+    }
+
+    #[test]
+    fn kernel_env_values_parse() {
+        assert_eq!(KernelMode::parse_env_value("legacy"), KernelMode::Legacy);
+        assert_eq!(KernelMode::parse_env_value("LEGACY"), KernelMode::Legacy);
+        assert_eq!(
+            KernelMode::parse_env_value("parallel"),
+            KernelMode::Parallel { workers: 0 }
+        );
+        assert_eq!(
+            KernelMode::parse_env_value(" Parallel "),
+            KernelMode::Parallel { workers: 0 }
+        );
+        assert_eq!(
+            KernelMode::parse_env_value("parallel:4"),
+            KernelMode::Parallel { workers: 4 }
+        );
+        assert_eq!(
+            KernelMode::parse_env_value("parallel=2"),
+            KernelMode::Parallel { workers: 2 }
+        );
+        // non-parallel strings keep the documented optimized fallback
+        assert_eq!(KernelMode::parse_env_value(""), KernelMode::Optimized);
+        assert_eq!(KernelMode::parse_env_value("optimized"), KernelMode::Optimized);
+        assert_eq!(KernelMode::parse_env_value("wheel"), KernelMode::Optimized);
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn malformed_parallel_env_specs_abort_loudly() {
+        let _ = KernelMode::parse_env_value("parallel:2x");
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed")]
+    fn parallel_env_spec_with_wrong_separator_aborts() {
+        let _ = KernelMode::parse_env_value("parallel-4");
+    }
+
+    #[test]
+    fn parallel_kernel_mode_resolves_workers() {
+        assert_eq!(KernelMode::Optimized.resolved_workers(), 1);
+        assert_eq!(KernelMode::Legacy.resolved_workers(), 1);
+        assert_eq!(KernelMode::Parallel { workers: 3 }.resolved_workers(), 3);
+        // auto-detection picks at least one shard, bounded by the cap
+        let auto = KernelMode::Parallel { workers: 0 }.resolved_workers();
+        assert!((1..=8).contains(&auto));
+    }
+
+    #[test]
+    fn absurd_worker_counts_are_rejected() {
+        let c = SimulationConfig::builder()
+            .kernel(KernelMode::Parallel { workers: 65 })
+            .build();
+        assert!(c.is_err(), "worker counts beyond the cap must not validate");
+        assert!(SimulationConfig::builder()
+            .kernel(KernelMode::Parallel { workers: 4 })
+            .build()
+            .is_ok());
     }
 
     #[test]

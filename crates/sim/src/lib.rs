@@ -43,6 +43,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod network;
 pub mod node;
+mod parallel;
 pub mod scenario;
 pub mod sweep;
 
@@ -54,6 +55,6 @@ pub use metrics::{Metrics, WindowSummary};
 pub use network::Network;
 pub use scenario::{Scenario, ScenarioPhase};
 pub use sweep::{
-    cell_seed, load_sweep, matrix_table, num_threads, run_matrix, run_sweep, MatrixCell,
-    MatrixKey, ScenarioMatrix,
+    cell_seed, intra_cell_workers, load_sweep, matrix_table, num_threads, run_matrix,
+    run_matrix_budgeted, run_sweep, split_thread_budget, MatrixCell, MatrixKey, ScenarioMatrix,
 };

@@ -39,24 +39,35 @@
 //!   packets, and PB/ECtN dissemination gathers into flat per-group arrays
 //!   copied slice-to-slice instead of cloning a `Vec` per router per cycle.
 //!
+//! # The parallel kernel
+//!
+//! [`KernelMode::Parallel`] runs steps 3–5 through the *same* phase
+//! executor as the optimized kernel, but sharded across a persistent worker
+//! pool with barriers between phases: PB/ECtN by group, routing +
+//! allocation and transmission by contiguous chunks of the sorted active
+//! list. Cross-router effects (link events, upstream credits, misroute
+//! commits) are staged per worker and merged in ascending router order
+//! after each phase, which reproduces the sequential effect sequence
+//! exactly — results are bit-identical to [`KernelMode::Optimized`] for
+//! any worker count (see the `parallel` module docs for the full argument
+//! and `tests/kernel_equivalence.rs` for the proof-by-regression).
+//!
 //! [`KernelMode::Legacy`] preserves the original binary-heap queue and
 //! full-router scan as a benchmarking baseline (see `BENCH_kernel.json`).
 
 use df_engine::DeterministicRng;
 use df_model::{Cycle, VcId};
-use df_router::{AllocationRequest, Grant, Router};
+use df_router::{Grant, Router};
 use df_routing::algorithms::piggyback;
-use df_routing::{minimal, Commitment, Decision, RoutingAlgorithm};
-use df_topology::{Dragonfly, GroupId, NodeId, Port, PortClass, PortPeer, RouterId};
+use df_routing::{minimal, RoutingAlgorithm};
+use df_topology::{Dragonfly, GroupId, NodeId, PortPeer, RouterId};
 use df_traffic::TrafficPattern;
 
 use crate::config::{KernelMode, SimulationConfig};
 use crate::events::{Event, EventQueue, LegacyEventQueue};
 use crate::metrics::Metrics;
 use crate::node::Node;
-
-/// A packet in transit from an output buffer to a link (scratch entry).
-type SentPacket = (Port, df_model::Packet, VcId, Cycle);
+use crate::parallel::{execute_shard, PhaseJob, PhaseKind, ShardState, StepCtx, WorkerPool};
 
 /// Either event-queue implementation, selected by [`KernelMode`].
 enum KernelQueue {
@@ -112,7 +123,7 @@ pub struct Network {
     metrics: Metrics,
     in_flight: u64,
     last_delivery_cycle: Cycle,
-    // ---- activity gate (optimized kernel only) ----
+    // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
     gated: bool,
@@ -127,17 +138,16 @@ pub struct Network {
     active_flags: Vec<bool>,
     /// Router indices currently in the active set (sorted before use).
     active_list: Vec<u32>,
-    // ---- reusable scratch buffers for the hot loop ----
+    // ---- sharded phase execution ----
+    /// Per-shard scratch and effect-staging buffers. The sequential kernels
+    /// hold exactly one shard; the parallel kernel one per worker.
+    shards: Vec<ShardState>,
+    /// Number of shards phases are split into (1 for sequential kernels).
+    num_shards: usize,
+    /// Persistent worker pool (`None` unless `num_shards > 1`).
+    pool: Option<WorkerPool>,
+    /// Reusable buffer for due events (step 1).
     scratch_events: Vec<Event>,
-    scratch_requests: Vec<AllocationRequest>,
-    scratch_decisions: Vec<((Port, VcId), Decision)>,
-    scratch_grants: Vec<Grant>,
-    scratch_sent: Vec<SentPacket>,
-    /// PB gather buffer for one group (`a·h` flags), reused across groups
-    /// and cycles.
-    pb_flat: Vec<bool>,
-    /// ECtN combination buffer for one group (`a·h` counters).
-    ectn_scratch: Vec<u32>,
 }
 
 impl Network {
@@ -192,10 +202,14 @@ impl Network {
         let horizon =
             (config.network.packet_size_phits + max_link + lat.router_pipeline + 2) as usize;
         let events = match config.kernel {
-            KernelMode::Optimized => KernelQueue::Wheel(EventQueue::with_horizon(horizon)),
+            KernelMode::Optimized | KernelMode::Parallel { .. } => {
+                KernelQueue::Wheel(EventQueue::with_horizon(horizon))
+            }
             KernelMode::Legacy => KernelQueue::Legacy(LegacyEventQueue::new()),
         };
-        let gated = config.kernel == KernelMode::Optimized;
+        let gated = config.kernel != KernelMode::Legacy;
+        let num_shards = config.kernel.resolved_workers().max(1);
+        let pool = (num_shards > 1).then(|| WorkerPool::new(num_shards));
         // PB/ECtN dissemination runs on a fixed cadence even through idle
         // cycles (and is *not* a no-op there: it refreshes group views from
         // post-transmission state), so the drain fast-forward must not skip
@@ -204,8 +218,6 @@ impl Network {
             config.routing.needs_pb_dissemination() || config.routing.needs_ectn_broadcast();
         let change_points = config.schedule.change_points();
         let num_routers = routers.len();
-        let params = *topo.params();
-        let group_links = params.global_links_per_group() as usize;
         Network {
             config,
             topo,
@@ -226,13 +238,10 @@ impl Network {
             change_points,
             active_flags: vec![false; num_routers],
             active_list: Vec::with_capacity(num_routers),
+            shards: (0..num_shards).map(|_| ShardState::default()).collect(),
+            num_shards,
+            pool,
             scratch_events: Vec::new(),
-            scratch_requests: Vec::new(),
-            scratch_decisions: Vec::new(),
-            scratch_grants: Vec::new(),
-            scratch_sent: Vec::new(),
-            pb_flat: vec![false; group_links],
-            ectn_scratch: vec![0; group_links],
         }
     }
 
@@ -281,6 +290,12 @@ impl Network {
         self.events.len()
     }
 
+    /// Number of shards the per-cycle phases are split into (1 for the
+    /// sequential kernels).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
     /// Number of routers currently in the active set (equals the router
     /// count for the legacy kernel, which scans everything).
     pub fn active_routers(&self) -> usize {
@@ -309,8 +324,8 @@ impl Network {
     /// is delivered (or `max_cycles` elapse). Returns true if the network
     /// drained completely.
     ///
-    /// With the optimized kernel, cycles in which every router is idle and
-    /// all remaining traffic is in flight on links are skipped by
+    /// With the optimized and parallel kernels, cycles in which every router
+    /// is idle and all remaining traffic is in flight on links are skipped by
     /// fast-forwarding the clock to the next pending event — behaviour-
     /// preserving because traffic generation is off and an idle cycle
     /// changes no state.
@@ -369,6 +384,52 @@ impl Network {
         if self.gated && !self.active_flags[r_idx] {
             self.active_flags[r_idx] = true;
             self.active_list.push(r_idx as u32);
+        }
+    }
+
+    /// Run one sharded phase: dispatch the shard executor (on the worker
+    /// pool when present, inline otherwise), then replay the staged
+    /// cross-router effects in shard order — which, because shards are
+    /// contiguous chunks of the ascending work list, is exactly the order
+    /// the sequential kernel produces them in.
+    fn run_phase(&mut self, kind: PhaseKind) {
+        let num_items = match kind {
+            PhaseKind::Pb | PhaseKind::Ectn => self.topo.num_groups() as usize,
+            PhaseKind::Alloc | PhaseKind::Transmit => self.active_list.len(),
+        };
+        if num_items == 0 {
+            return;
+        }
+        let ctx = StepCtx {
+            topo: self.topo,
+            algorithm: self.algorithm,
+            network: self.config.network,
+        };
+        let job = PhaseJob {
+            kind,
+            now: self.cycle,
+            routers: self.routers.as_mut_ptr(),
+            rngs: self.router_rngs.as_mut_ptr(),
+            active: self.active_list.as_ptr(),
+            num_items,
+            shards: self.shards.as_mut_ptr(),
+            num_shards: self.num_shards,
+            ctx: &ctx,
+        };
+        match &self.pool {
+            Some(pool) => pool.run(job),
+            // Safety: a single shard executed inline has trivially exclusive
+            // access to everything the job points to.
+            None => unsafe { execute_shard(&job, 0) },
+        }
+        for s in 0..self.num_shards {
+            let shard = &mut self.shards[s];
+            for (at, event) in shard.staged_events.drain(..) {
+                self.events.schedule(at, event);
+            }
+            for (at, misrouted) in shard.staged_commits.drain(..) {
+                self.metrics.record_commit(at, misrouted);
+            }
         }
     }
 
@@ -463,7 +524,7 @@ impl Network {
         // ---- 3. control-plane dissemination ----
         if self.config.routing.needs_pb_dissemination() {
             if self.gated {
-                self.disseminate_pb();
+                self.run_phase(PhaseKind::Pb);
             } else {
                 self.disseminate_pb_legacy();
             }
@@ -472,7 +533,7 @@ impl Network {
             && now.is_multiple_of(self.config.routing_config.ectn_update_period)
         {
             if self.gated {
-                self.broadcast_ectn();
+                self.run_phase(PhaseKind::Ectn);
             } else {
                 self.broadcast_ectn_legacy();
             }
@@ -481,7 +542,9 @@ impl Network {
         // Events only arrive in steps 1–2, so the active set is complete
         // here; sort it so steps 4–5 visit routers in ascending index order —
         // the same order as the legacy full scan, which keeps event sequence
-        // numbers (and therefore results) bit-for-bit identical.
+        // numbers (and therefore results) bit-for-bit identical. It also
+        // makes shard chunks contiguous ascending ranges, which is what the
+        // parallel merge relies on.
         if self.gated {
             self.active_list.sort_unstable();
         }
@@ -489,10 +552,7 @@ impl Network {
         // ---- 4. routing + allocation ----
         for _ in 0..self.config.network.allocator_speedup {
             if self.gated {
-                for i in 0..self.active_list.len() {
-                    let r_idx = self.active_list[i] as usize;
-                    self.route_and_allocate(r_idx, now);
-                }
+                self.run_phase(PhaseKind::Alloc);
             } else {
                 for r_idx in 0..self.routers.len() {
                     self.route_and_allocate_legacy(r_idx, now);
@@ -501,53 +561,40 @@ impl Network {
         }
 
         // ---- 5. link transmission ----
-        let num_iter = if self.gated {
-            self.active_list.len()
+        if self.gated {
+            self.run_phase(PhaseKind::Transmit);
         } else {
-            self.routers.len()
-        };
-        let mut sent = std::mem::take(&mut self.scratch_sent);
-        for i in 0..num_iter {
-            let r_idx = if self.gated {
-                self.active_list[i] as usize
-            } else {
-                i
-            };
-            let router_id = RouterId(r_idx as u32);
-            if self.gated {
-                sent.clear();
-                self.routers[r_idx].transmit_outputs_into(now, &mut sent);
-            } else {
+            for r_idx in 0..self.routers.len() {
+                let router_id = RouterId(r_idx as u32);
                 // faithful seed-kernel baseline: allocate the sent list
-                sent = self.routers[r_idx].transmit_outputs(now);
-            }
-            for (port, packet, vc, tail_at) in sent.drain(..) {
-                match self.topo.peer(router_id, port) {
-                    PortPeer::Node(node) => {
-                        let latency = self.config.network.latencies.terminal_link as Cycle;
-                        self.events
-                            .schedule(tail_at + latency, Event::Delivery { node, packet });
-                    }
-                    PortPeer::Router(peer, peer_port) => {
-                        let class = port.class(self.topo.params());
-                        let latency = self.config.network.link_latency_for(class) as Cycle;
-                        self.events.schedule(
-                            tail_at + latency,
-                            Event::PacketArrival {
-                                router: peer,
-                                port: peer_port,
-                                vc,
-                                packet,
-                            },
-                        );
-                    }
-                    PortPeer::Unconnected => {
-                        unreachable!("routing never selects an unconnected port")
+                let sent = self.routers[r_idx].transmit_outputs(now);
+                for (port, packet, vc, tail_at) in sent {
+                    match self.topo.peer(router_id, port) {
+                        PortPeer::Node(node) => {
+                            let latency = self.config.network.latencies.terminal_link as Cycle;
+                            self.events
+                                .schedule(tail_at + latency, Event::Delivery { node, packet });
+                        }
+                        PortPeer::Router(peer, peer_port) => {
+                            let class = port.class(self.topo.params());
+                            let latency = self.config.network.link_latency_for(class) as Cycle;
+                            self.events.schedule(
+                                tail_at + latency,
+                                Event::PacketArrival {
+                                    router: peer,
+                                    port: peer_port,
+                                    vc,
+                                    packet,
+                                },
+                            );
+                        }
+                        PortPeer::Unconnected => {
+                            unreachable!("routing never selects an unconnected port")
+                        }
                     }
                 }
             }
         }
-        self.scratch_sent = sent;
 
         // ---- 6. retire idle routers from the active set ----
         if self.gated {
@@ -564,33 +611,6 @@ impl Network {
         }
 
         self.cycle += 1;
-    }
-
-    /// Share every router's own-link saturation flags inside its group (one
-    /// cycle of staleness), then recompute the own flags for this cycle.
-    ///
-    /// Groups are independent, so one reusable `a·h`-flag buffer
-    /// (`pb_flat`) is gathered and installed per group with slice copies —
-    /// no allocation per cycle. Gathering a group completes before any of
-    /// its routers install, and installs never touch own flags, so the
-    /// ordering matches the legacy snapshot-then-install exactly.
-    fn disseminate_pb(&mut self) {
-        let params = *self.topo.params();
-        let h = params.h as usize;
-        for g in 0..self.topo.num_groups() {
-            for (i, r) in self.topo.routers_in_group(GroupId(g)).enumerate() {
-                self.pb_flat[i * h..(i + 1) * h]
-                    .copy_from_slice(self.routers[r.index()].pb().own_flags());
-            }
-            for r in self.topo.routers_in_group(GroupId(g)) {
-                self.routers[r.index()]
-                    .pb_mut()
-                    .install_group_from(&self.pb_flat);
-            }
-        }
-        for router in self.routers.iter_mut() {
-            piggyback::update_own_saturation(&self.config.routing_config, router);
-        }
     }
 
     /// Seed-kernel PB dissemination: per-group `Vec` gather plus one cloned
@@ -613,26 +633,6 @@ impl Network {
         }
     }
 
-    /// Sum the partial arrays of every router of each group into that group's
-    /// combined array (the periodic ECtN broadcast), accumulating into a
-    /// reusable flat buffer instead of cloning a `Vec` per router.
-    fn broadcast_ectn(&mut self) {
-        for g in 0..self.topo.num_groups() {
-            let group = GroupId(g);
-            self.ectn_scratch.fill(0);
-            for r in self.topo.routers_in_group(group) {
-                self.routers[r.index()]
-                    .ectn()
-                    .add_partial_to(&mut self.ectn_scratch);
-            }
-            for r in self.topo.routers_in_group(group) {
-                self.routers[r.index()]
-                    .ectn_mut()
-                    .install_combined_from(&self.ectn_scratch);
-            }
-        }
-    }
-
     /// Seed-kernel ECtN broadcast: snapshot `Vec`s and a cloned combined
     /// array per router (the baseline for the flat-buffer version).
     fn broadcast_ectn_legacy(&mut self) {
@@ -651,102 +651,6 @@ impl Network {
                     .install_combined(combined.clone());
             }
         }
-    }
-
-    /// One allocation iteration for one router: register new heads, compute
-    /// routing decisions, allocate, apply grants. Allocation-free: iterates
-    /// port/VC state in place and reuses the network-level scratch buffers.
-    fn route_and_allocate(&mut self, r_idx: usize, now: Cycle) {
-        let router_id = RouterId(r_idx as u32);
-        let track_ectn = self.config.routing.needs_ectn_broadcast();
-        let num_ports = self.routers[r_idx].num_ports();
-
-        // a. contention / ECtN registration of new head packets; the O(1)
-        // counter guard makes this free on cycles with no new heads
-        if self.routers[r_idx].has_unregistered_heads() {
-            for p in 0..num_ports {
-                let port = Port(p as u32);
-                if self.routers[r_idx].port_occupancy(port) == 0 {
-                    continue;
-                }
-                let num_vcs = self.routers[r_idx].input(port).num_vcs();
-                for v in 0..num_vcs {
-                    if !self.routers[r_idx]
-                        .input(port)
-                        .vc(v)
-                        .head_needs_registration()
-                    {
-                        continue;
-                    }
-                    let vc = VcId(v as u8);
-                    let (min_out, ectn_link) = {
-                        let router = &self.routers[r_idx];
-                        let head = router
-                            .input(port)
-                            .vc(vc.index())
-                            .head()
-                            .expect("unregistered head exists");
-                        let min_out = minimal::minimal_output(&self.topo, router_id, head.dst);
-                        let ectn_link = if track_ectn {
-                            minimal::ectn_link_for(
-                                &self.topo,
-                                router_id,
-                                router.input(port).class(),
-                                head,
-                            )
-                        } else {
-                            None
-                        };
-                        (min_out, ectn_link)
-                    };
-                    self.routers[r_idx].register_head(port, vc, min_out, ectn_link);
-                }
-            }
-        }
-
-        // b. routing decisions for every occupied VC head (ports with no
-        // queued packet are skipped in O(1))
-        self.scratch_requests.clear();
-        self.scratch_decisions.clear();
-        {
-            let router = &self.routers[r_idx];
-            let rng = &mut self.router_rngs[r_idx];
-            for p in 0..num_ports {
-                let port = Port(p as u32);
-                if router.port_occupancy(port) == 0 {
-                    continue;
-                }
-                let input = router.input(port);
-                for v in 0..input.num_vcs() {
-                    let Some(head) = input.vc(v).head() else {
-                        continue;
-                    };
-                    let vc = VcId(v as u8);
-                    let decision = self.algorithm.decide(router, port, head, rng);
-                    self.scratch_requests.push(AllocationRequest {
-                        input_port: port,
-                        input_vc: vc,
-                        output_port: decision.output_port,
-                        output_vc: decision.output_vc,
-                        size_phits: head.size_phits,
-                    });
-                    self.scratch_decisions.push(((port, vc), decision));
-                }
-            }
-        }
-        if self.scratch_requests.is_empty() {
-            return;
-        }
-
-        // c. separable allocation
-        let mut grants = std::mem::take(&mut self.scratch_grants);
-        self.routers[r_idx].allocate_into(&self.scratch_requests, &mut grants);
-
-        // d. apply grants
-        for grant in &grants {
-            self.apply_one_grant(r_idx, now, grant);
-        }
-        self.scratch_grants = grants;
     }
 
     /// The seed kernel's allocation iteration, kept verbatim as the
@@ -779,99 +683,58 @@ impl Network {
 
         // b. routing decisions for every occupied VC head
         let occupied = self.routers[r_idx].occupied_vcs();
-        self.scratch_requests.clear();
-        self.scratch_decisions.clear();
+        self.shards[0].requests.clear();
+        self.shards[0].decisions.clear();
         {
             let router = &self.routers[r_idx];
             let rng = &mut self.router_rngs[r_idx];
             for (port, vc) in occupied {
                 let head = router.input(port).vc(vc.index()).head().expect("occupied");
                 let decision = self.algorithm.decide(router, port, head, rng);
-                self.scratch_requests.push(AllocationRequest {
+                self.shards[0].requests.push(df_router::AllocationRequest {
                     input_port: port,
                     input_vc: vc,
                     output_port: decision.output_port,
                     output_vc: decision.output_vc,
                     size_phits: head.size_phits,
                 });
-                self.scratch_decisions.push(((port, vc), decision));
+                self.shards[0].decisions.push(((port, vc), decision));
             }
         }
 
         // c. separable allocation
-        let grants = self.routers[r_idx].allocate(&self.scratch_requests);
+        let grants = self.routers[r_idx].allocate(&self.shards[0].requests);
 
         // d. apply grants
         for grant in &grants {
-            self.apply_one_grant(r_idx, now, grant);
+            self.apply_one_grant_legacy(r_idx, now, grant);
         }
     }
 
-    /// Apply one grant of router `r_idx`: commit the routing decision to the
-    /// head packet, record misroute statistics, move the packet to its
-    /// output buffer and schedule the upstream credit return. Shared by both
-    /// kernels — the decision for the grant is looked up in
-    /// `scratch_decisions`.
-    fn apply_one_grant(&mut self, r_idx: usize, now: Cycle, grant: &Grant) {
-        let router_id = RouterId(r_idx as u32);
-        let decision = self
-            .scratch_decisions
-            .iter()
-            .find(|(k, _)| *k == (grant.input_port, grant.input_vc))
-            .map(|(_, d)| *d)
-            .expect("grant matches a request");
-        // apply the commitment to the head packet before it moves
-        {
-            let group = self.routers[r_idx].group();
-            let router = &mut self.routers[r_idx];
-            if let Some(head) = router
-                .input_mut(grant.input_port)
-                .vc_mut(grant.input_vc.index())
-                .head_mut()
-            {
-                match decision.commitment {
-                    Commitment::None => {}
-                    Commitment::Intermediate { router: inter, misroute } => {
-                        head.routing.commit_intermediate(inter, misroute)
-                    }
-                    Commitment::NonminimalGlobal { gateway, port } => {
-                        head.routing.commit_nonminimal_global(gateway, port)
-                    }
-                    Commitment::LocalDetour { router: detour } => {
-                        head.routing.commit_local_detour(detour, group)
-                    }
-                }
-            }
+    /// Apply one grant of router `r_idx` (legacy path): runs the shared
+    /// staged implementation against shard 0 and flushes the staged effects
+    /// immediately — the per-sink order (events in grant order, commits in
+    /// grant order) is exactly what direct application produced, so the
+    /// legacy kernel stays equivalent without duplicating the grant logic.
+    fn apply_one_grant_legacy(&mut self, r_idx: usize, now: Cycle, grant: &Grant) {
+        let ctx = StepCtx {
+            topo: self.topo,
+            algorithm: self.algorithm,
+            network: self.config.network,
+        };
+        crate::parallel::apply_one_grant_staged(
+            &mut self.routers[r_idx],
+            &ctx,
+            now,
+            grant,
+            &mut self.shards[0],
+        );
+        let shard = &mut self.shards[0];
+        for (at, event) in shard.staged_events.drain(..) {
+            self.events.schedule(at, event);
         }
-        // misrouted-percentage statistics: count each packet once, when it
-        // takes its first global hop
-        if grant.output_port.class(self.topo.params()) == PortClass::Global {
-            let head = self.routers[r_idx]
-                .input(grant.input_port)
-                .vc(grant.input_vc.index())
-                .head()
-                .expect("granted head exists");
-            if head.routing.global_hops == 0 {
-                self.metrics.record_commit(now, head.routing.flags.global);
-            }
-        }
-        let applied = self.routers[r_idx].apply_grant(grant, now);
-        // return credits to the upstream router
-        if applied.input_class != PortClass::Terminal {
-            if let PortPeer::Router(upstream, upstream_port) =
-                self.topo.peer(router_id, grant.input_port)
-            {
-                let latency = self.config.network.link_latency_for(applied.input_class) as Cycle;
-                self.events.schedule(
-                    now + latency,
-                    Event::CreditReturn {
-                        router: upstream,
-                        port: upstream_port,
-                        vc: grant.input_vc,
-                        phits: applied.freed_phits,
-                    },
-                );
-            }
+        for (at, misrouted) in shard.staged_commits.drain(..) {
+            self.metrics.record_commit(at, misrouted);
         }
     }
 }
@@ -1046,5 +909,55 @@ mod tests {
             0,
             "all routers must retire from the active set once drained"
         );
+    }
+
+    #[test]
+    fn parallel_kernel_spawns_its_pool_and_delivers() {
+        let mut cfg = small_config(RoutingKind::Base, PatternKind::Uniform, 0.2);
+        cfg.kernel = KernelMode::Parallel { workers: 3 };
+        let mut net = Network::new(cfg);
+        assert_eq!(net.num_shards(), 3);
+        net.run_cycles(400);
+        assert!(net.metrics().delivered_packets_total() > 20);
+        assert!(net.drain(5_000));
+        assert_eq!(net.active_routers(), 0);
+    }
+
+    #[test]
+    fn parallel_kernel_with_one_worker_runs_inline() {
+        let mut cfg = small_config(RoutingKind::Ectn, PatternKind::Uniform, 0.2);
+        cfg.kernel = KernelMode::Parallel { workers: 1 };
+        let mut net = Network::new(cfg);
+        assert_eq!(net.num_shards(), 1);
+        net.run_cycles(300);
+        assert!(net.metrics().delivered_packets_total() > 10);
+    }
+
+    #[test]
+    fn parallel_kernel_matches_optimized_summary() {
+        // a fast in-crate smoke of the cross-kernel contract; the exhaustive
+        // suite lives in tests/kernel_equivalence.rs
+        let run = |kernel: KernelMode| {
+            let mut cfg = small_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.25);
+            cfg.kernel = kernel;
+            let mut net = Network::new(cfg);
+            net.metrics_mut().start_measurement(0);
+            net.run_cycles(500);
+            let s = net.metrics().window_summary();
+            (
+                s.delivered_packets,
+                s.avg_packet_latency.to_bits(),
+                net.in_flight(),
+                net.pending_events(),
+            )
+        };
+        let optimized = run(KernelMode::Optimized);
+        for workers in [1, 2, 5] {
+            assert_eq!(
+                run(KernelMode::Parallel { workers }),
+                optimized,
+                "parallel({workers}) diverged from the optimized kernel"
+            );
+        }
     }
 }

@@ -88,6 +88,38 @@ pub fn num_threads() -> usize {
         .min(16)
 }
 
+/// How many threads one cell of `config` occupies: the resolved worker
+/// count of its kernel (1 for the sequential kernels).
+pub fn intra_cell_workers(config: &SimulationConfig) -> usize {
+    config.kernel.resolved_workers().max(1)
+}
+
+/// Split a `total_threads` budget between matrix-level parallelism (cells
+/// running concurrently) and intra-cell parallelism (the cells' own
+/// [`KernelMode::Parallel`] worker pools) without oversubscription: the
+/// outer worker count is `total_threads / intra`, floored at 1, so at most
+/// `max(total_threads, intra)` threads ever run simulation work at once.
+///
+/// Returns `(outer_threads, intra_workers)`.
+///
+/// [`KernelMode::Parallel`]: crate::config::KernelMode::Parallel
+pub fn split_thread_budget(config: &SimulationConfig, total_threads: usize) -> (usize, usize) {
+    let intra = intra_cell_workers(config);
+    ((total_threads.max(1) / intra).max(1), intra)
+}
+
+/// [`run_matrix`] under a single `total_threads` budget: cells of a matrix
+/// whose base configuration uses the parallel kernel are scheduled with
+/// [`split_thread_budget`], so `cells × intra-cell workers` never exceeds
+/// the budget (modulo the floor of one concurrent cell). Results are
+/// bit-for-bit identical to [`run_matrix`] at any thread count — cell seeds
+/// are fixed before any thread starts and the parallel kernel is
+/// worker-count independent.
+pub fn run_matrix_budgeted(matrix: &ScenarioMatrix, total_threads: usize) -> Vec<MatrixCell> {
+    let (outer, _intra) = split_thread_budget(&matrix.base, total_threads);
+    run_matrix(matrix, outer)
+}
+
 /// Build one configuration per offered-load point from a template.
 pub fn load_sweep(template: &SimulationConfig, loads: &[f64]) -> Vec<SimulationConfig> {
     loads
@@ -412,5 +444,58 @@ mod tests {
     fn empty_matrix_axes_are_rejected() {
         let m = ScenarioMatrix::new(template());
         let _ = run_matrix(&m, 1);
+    }
+
+    // ---- thread-budget composition with the parallel kernel ----
+
+    #[test]
+    fn thread_budget_splits_without_oversubscription() {
+        use crate::config::KernelMode;
+        // pin kernels explicitly: the template's default follows the
+        // DF_SIM_KERNEL environment, which CI varies
+        let mut sequential = template();
+        sequential.kernel = KernelMode::Optimized;
+        assert_eq!(split_thread_budget(&sequential, 8), (8, 1));
+        assert_eq!(split_thread_budget(&sequential, 0), (1, 1));
+        let mut parallel = template();
+        parallel.kernel = KernelMode::Parallel { workers: 3 };
+        assert_eq!(split_thread_budget(&parallel, 12), (4, 3));
+        assert_eq!(split_thread_budget(&parallel, 3), (1, 3));
+        // a budget below the intra-cell width floors at one concurrent cell
+        assert_eq!(split_thread_budget(&parallel, 2), (1, 3));
+        for total in 1..16usize {
+            let (outer, intra) = split_thread_budget(&parallel, total);
+            assert!(outer * intra <= total.max(intra), "budget {total} oversubscribed");
+        }
+    }
+
+    #[test]
+    fn budgeted_matrix_matches_unbudgeted_and_reruns_identically() {
+        use crate::config::KernelMode;
+        // cells × intra-cell workers: the combined mode must reproduce the
+        // sequential-kernel matrix bit-for-bit and be rerun-deterministic
+        let mut m = small_matrix();
+        m.base.kernel = KernelMode::Parallel { workers: 2 };
+        let a = run_matrix_budgeted(&m, 4);
+        let b = run_matrix_budgeted(&m, 4);
+        let plain = run_matrix(&small_matrix(), 2);
+        assert_eq!(a.len(), plain.len());
+        for ((x, y), z) in a.iter().zip(b.iter()).zip(plain.iter()) {
+            assert_eq!(x.key, y.key);
+            assert_eq!(
+                x.report.avg_packet_latency.to_bits(),
+                y.report.avg_packet_latency.to_bits(),
+                "rerun diverged for {:?}",
+                x.key
+            );
+            assert_eq!(x.key.scenario, z.key.scenario);
+            assert_eq!(x.report.delivered_packets, z.report.delivered_packets);
+            assert_eq!(
+                x.report.avg_packet_latency.to_bits(),
+                z.report.avg_packet_latency.to_bits(),
+                "parallel-kernel cell diverged from the sequential kernel for {:?}",
+                x.key
+            );
+        }
     }
 }

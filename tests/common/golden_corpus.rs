@@ -1,0 +1,178 @@
+//! The pinned fingerprint corpus shared by the golden regression suites.
+//!
+//! `tests/scenario_matrix.rs` pins the optimized kernel's results to these
+//! tables; `tests/kernel_equivalence.rs` replays the *same* tables under
+//! the parallel kernel at several worker counts — so the parallel kernel is
+//! checked against the committed corpus, not merely against a fresh
+//! sequential run. Included via `#[path]` from both test binaries (files
+//! under `tests/common/` are not test roots themselves).
+//!
+//! If a fingerprint changes after an intentional semantics change,
+//! regenerate with
+//!
+//! ```text
+//! cargo test --release --test scenario_matrix -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed constants in the same commit, calling the update
+//! out in the PR description.
+
+use contention_dragonfly::prelude::*;
+
+/// Offered load every corpus run uses.
+pub const LOAD: f64 = 0.2;
+/// Seed every corpus run uses.
+pub const SEED: u64 = 11;
+
+/// Every pattern the matrix covers, with stable labels.
+pub fn all_patterns() -> Vec<PatternKind> {
+    vec![
+        PatternKind::Uniform,
+        PatternKind::Adversarial { offset: 1 },
+        PatternKind::Mixed {
+            offset: 1,
+            uniform_fraction: 0.5,
+        },
+        PatternKind::Permutation { seed: 17 },
+        PatternKind::Hotspot {
+            hotspots: 4,
+            fraction: 0.5,
+        },
+        PatternKind::BitComplement,
+        PatternKind::BitReversal,
+        PatternKind::GroupLocal { local_fraction: 0.6 },
+    ]
+}
+
+/// The non-Bernoulli injectors and multi-phase scenarios the golden suite
+/// covers, each under two contention-based routings.
+pub fn special_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::named("UN-bursty")
+            .injection(InjectionKind::Bursty {
+                mean_on: 50.0,
+                mean_off: 50.0,
+            })
+            .hold(PatternKind::Uniform),
+        Scenario::named("UN-ramp")
+            .injection(InjectionKind::Ramp {
+                start_fraction: 0.0,
+                ramp_cycles: 300,
+            })
+            .hold(PatternKind::Uniform),
+        Scenario::transient(
+            PatternKind::Uniform,
+            PatternKind::Adversarial { offset: 1 },
+            300,
+        ),
+        Scenario::named("UN-storm-UN")
+            .phase(PatternKind::Uniform, 250)
+            .phase_at_load(PatternKind::Adversarial { offset: 1 }, 0.35, 200)
+            .hold(PatternKind::Uniform),
+    ]
+}
+
+/// The common builder every corpus run starts from (kernel left to the
+/// caller / environment).
+pub fn base_builder() -> df_sim::SimulationConfigBuilder {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .offered_load(LOAD)
+        .warmup_cycles(200)
+        .measurement_cycles(400)
+        .seed(SEED)
+}
+
+/// `(delivered packets in the window, final cycle after drain, mean-latency
+/// f64 bits)` — the fingerprint every golden table pins.
+pub fn fingerprint(cfg: SimulationConfig) -> (u64, u64, u64) {
+    let mut net = Network::new(cfg.clone());
+    net.run_cycles(cfg.warmup_cycles);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    net.run_cycles(cfg.measurement_cycles);
+    assert!(net.drain(100_000), "golden runs must drain");
+    let summary = net.metrics().window_summary();
+    (
+        summary.delivered_packets,
+        net.cycle(),
+        summary.avg_packet_latency.to_bits(),
+    )
+}
+
+/// Pinned on `DragonflyParams::small()` + `NetworkConfig::fast_test()`,
+/// load 0.2, seed 11, warmup 200 + measure 400 + drain.
+#[rustfmt::skip]
+pub const GOLDEN_ROUTING_PATTERN: &[(&str, &str, u64, u64, u64)] = &[
+    // (routing, pattern, delivered_window, final_cycle, latency_bits)
+    ("MIN", "UN", 805, 652, 0x40469853F48D328F),
+    ("MIN", "ADV+1", 911, 1137, 0x4070211244011FC1),
+    ("MIN", "MIX(ADV+1,50%UN)", 824, 772, 0x405002F392A409F2),
+    ("MIN", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("MIN", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("MIN", "BITCOMP", 888, 1125, 0x406CF322983759ED),
+    ("MIN", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("MIN", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+    ("VAL", "UN", 885, 703, 0x40565E02E4850FEB),
+    ("VAL", "ADV+1", 883, 706, 0x405708C52566578F),
+    ("VAL", "MIX(ADV+1,50%UN)", 882, 705, 0x4056F01BDD2B8999),
+    ("VAL", "PERM(17)", 885, 708, 0x40569F9A2DB43662),
+    ("VAL", "HOT(4x50%)", 922, 1241, 0x4070A04B85D4AF7E),
+    ("VAL", "BITCOMP", 884, 704, 0x4056D4B4B4B4B4B2),
+    ("VAL", "BITREV", 878, 700, 0x4055845FA2B27127),
+    ("VAL", "LOC(60%)", 877, 697, 0x4055828DDD8E284D),
+    ("PB", "UN", 809, 689, 0x4048C89F7C5C6689),
+    ("PB", "ADV+1", 860, 691, 0x40521404C3464050),
+    ("PB", "MIX(ADV+1,50%UN)", 827, 690, 0x404CBFEC304A4AEE),
+    ("PB", "PERM(17)", 819, 680, 0x404AA62262262260),
+    ("PB", "HOT(4x50%)", 874, 1201, 0x406D0F574939FED5),
+    ("PB", "BITCOMP", 840, 690, 0x4050B3A83A83A843),
+    ("PB", "BITREV", 824, 692, 0x404AE9027C4597A2),
+    ("PB", "LOC(60%)", 784, 691, 0x4041BE87D6343EB2),
+    ("OLM", "UN", 835, 687, 0x404F17743247BDC7),
+    ("OLM", "ADV+1", 844, 688, 0x40508BE7BC0E8F1F),
+    ("OLM", "MIX(ADV+1,50%UN)", 839, 681, 0x40503035B3B7FD90),
+    ("OLM", "PERM(17)", 841, 693, 0x40500D2A4FC0AF52),
+    ("OLM", "HOT(4x50%)", 890, 1201, 0x406DD3F47E8FD1F4),
+    ("OLM", "BITCOMP", 844, 701, 0x405123A3CA9DB9A6),
+    ("OLM", "BITREV", 835, 686, 0x40502242D5FF6308),
+    ("OLM", "LOC(60%)", 790, 659, 0x40443DE4C79D7D13),
+    ("Base", "UN", 805, 652, 0x40469853F48D328F),
+    ("Base", "ADV+1", 886, 765, 0x405A8D4A8BD8B448),
+    ("Base", "MIX(ADV+1,50%UN)", 824, 716, 0x404E5A409F1165E6),
+    ("Base", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("Base", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("Base", "BITCOMP", 879, 757, 0x4059395FD166CEC9),
+    ("Base", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("Base", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+    ("Hybrid", "UN", 834, 691, 0x404E74A4870F590B),
+    ("Hybrid", "ADV+1", 841, 687, 0x405071D86D9575C9),
+    ("Hybrid", "MIX(ADV+1,50%UN)", 833, 686, 0x40500DD45C3266A4),
+    ("Hybrid", "PERM(17)", 836, 685, 0x404FF32385830FE5),
+    ("Hybrid", "HOT(4x50%)", 887, 1201, 0x406D1E5729458E4A),
+    ("Hybrid", "BITCOMP", 842, 687, 0x4050FB9769327864),
+    ("Hybrid", "BITREV", 837, 681, 0x404FC4349B5FBB80),
+    ("Hybrid", "LOC(60%)", 791, 664, 0x4043F38A31D738A3),
+    ("ECtN", "UN", 805, 652, 0x40469853F48D328F),
+    ("ECtN", "ADV+1", 886, 765, 0x405A8D4A8BD8B448),
+    ("ECtN", "MIX(ADV+1,50%UN)", 824, 716, 0x404E5A409F1165E6),
+    ("ECtN", "PERM(17)", 809, 665, 0x404761C7AC75B73A),
+    ("ECtN", "HOT(4x50%)", 873, 1201, 0x406D38F652B1B44E),
+    ("ECtN", "BITCOMP", 879, 757, 0x4059395FD166CEC9),
+    ("ECtN", "BITREV", 816, 656, 0x4047257D7D7D7D77),
+    ("ECtN", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+];
+
+#[rustfmt::skip]
+pub const GOLDEN_SPECIAL: &[(&str, &str, u64, u64, u64)] = &[
+    // (scenario, routing, delivered_window, final_cycle, latency_bits)
+    ("UN-bursty", "Base", 824, 648, 0x4046E5979C95204C),
+    ("UN-bursty", "ECtN", 824, 648, 0x4046E5979C95204C),
+    ("UN-ramp", "Base", 748, 657, 0x40467F24F66AC7DF),
+    ("UN-ramp", "ECtN", 748, 657, 0x40467F24F66AC7DF),
+    ("UN->ADV+1", "Base", 805, 785, 0x4053B98F6C713667),
+    ("UN->ADV+1", "ECtN", 805, 785, 0x4053B98F6C713667),
+    ("UN-storm-UN", "Base", 1067, 663, 0x4054D492D588846B),
+    ("UN-storm-UN", "ECtN", 1067, 663, 0x4054D492D588846B),
+];

@@ -1,0 +1,109 @@
+//! Smoke coverage for the paper's full Table I instance.
+//!
+//! `DragonflyParams::paper_table1()` and `Scale::paper()` describe the
+//! 16,512-node network every headline result of the paper is measured on,
+//! but until this suite nothing ever *built* it — a regression (an
+//! overflowing radix computation, a mis-sized buffer, a wiring error that
+//! only appears at 129 groups) would have gone unnoticed until someone
+//! started a multi-hour run. The construction checks below are cheap and
+//! always on; the short simulation smokes are `--ignored` (tens of seconds
+//! of wall clock) and run with
+//!
+//! ```text
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use contention_dragonfly::prelude::*;
+
+/// Always-on: the full topology must construct with consistent wiring-level
+/// invariants, and the named experiment scale must agree with it.
+#[test]
+fn paper_table1_topology_constructs_consistently() {
+    let params = DragonflyParams::paper_table1();
+    assert_eq!(params.num_nodes(), 16_512);
+    assert_eq!(params.num_routers(), 2_064);
+    assert_eq!(params.num_groups(), 129);
+    assert_eq!(params.radix(), 31);
+    assert!(params.is_fully_populated());
+
+    let topo = Dragonfly::new(params);
+    assert_eq!(topo.num_routers(), 2_064);
+    // spot-check global wiring symmetry at the far corner of the id space
+    let last = RouterId(topo.num_routers() - 1);
+    for k in 0..params.h {
+        let (peer, pport) = topo.global_neighbor(last, k).unwrap();
+        let (back, _) = topo
+            .global_neighbor(peer, pport.class_offset(topo.params()))
+            .unwrap();
+        assert_eq!(back, last, "global link {k} of {last} is not symmetric");
+    }
+
+    // a full-radix router constructs with the Table I buffer configuration
+    let router = Router::new(RouterId(0), topo, NetworkConfig::paper_table1());
+    assert_eq!(router.num_ports(), 31);
+
+    let scale = df_bench::Scale::paper();
+    assert_eq!(scale.topology, params);
+    assert_eq!(scale.seeds, 10);
+    assert_eq!(scale.measure, 15_000);
+}
+
+fn paper_config(kernel: KernelMode, cycles: u64) -> SimulationConfig {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::paper_table1())
+        .network(NetworkConfig::paper_table1())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(0.1)
+        .warmup_cycles(0)
+        .measurement_cycles(cycles)
+        .seed(1)
+        .kernel(kernel)
+        .build()
+        .expect("the paper-scale configuration must validate")
+}
+
+/// `--ignored`: the 16,512-node network runs a short window under the
+/// parallel kernel and actually delivers traffic.
+#[test]
+#[ignore = "paper-scale smoke (tens of seconds); run with --ignored"]
+fn paper_scale_runs_and_delivers_under_the_parallel_kernel() {
+    let mut net = Network::new(paper_config(KernelMode::Parallel { workers: 0 }, 300));
+    net.metrics_mut().start_measurement(0);
+    net.run_cycles(300);
+    assert_eq!(net.topology().num_routers(), 2_064);
+    assert!(
+        net.metrics().delivered_packets_total() > 10_000,
+        "a 16,512-node network at 10% load must deliver plenty in 300 cycles, got {}",
+        net.metrics().delivered_packets_total()
+    );
+    assert!(!net.stalled(200), "no deadlock at paper scale");
+    let summary = net.metrics().window_summary();
+    assert!(summary.avg_hops <= 6.0);
+    assert!(summary.avg_packet_latency > 0.0);
+}
+
+/// `--ignored`: a short parallel-vs-optimized bit-identity check at the full
+/// paper scale — the determinism contract does not thin out with size.
+#[test]
+#[ignore = "paper-scale cross-kernel check (tens of seconds); run with --ignored"]
+fn paper_scale_parallel_matches_optimized() {
+    let run = |kernel: KernelMode| {
+        let mut net = Network::new(paper_config(kernel, 120));
+        net.metrics_mut().start_measurement(0);
+        net.run_cycles(120);
+        let s = net.metrics().window_summary();
+        (
+            s.delivered_packets,
+            s.avg_packet_latency.to_bits(),
+            net.in_flight(),
+            net.pending_events(),
+        )
+    };
+    let optimized = run(KernelMode::Optimized);
+    let parallel = run(KernelMode::Parallel { workers: 4 });
+    assert_eq!(
+        parallel, optimized,
+        "parallel kernel diverged from optimized at paper scale"
+    );
+}
