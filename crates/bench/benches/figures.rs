@@ -25,7 +25,10 @@ fn steady_config(routing: RoutingKind, pattern: PatternKind, load: f64) -> Simul
         .topology(scale.topology)
         .network(scale.network)
         .routing(routing)
-        .routing_config(RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs))
+        .routing_config(RoutingConfig::calibrated_for(
+            &scale.topology,
+            &scale.network.vcs,
+        ))
         .pattern(pattern)
         .offered_load(load)
         .warmup_cycles(scale.warmup)
@@ -151,11 +154,17 @@ fn fig10_threshold(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_threshold");
     configure(&mut group);
     for th in [2u32, 4, 6] {
-        let mut config = steady_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.2);
+        let mut config = steady_config(
+            RoutingKind::Base,
+            PatternKind::Adversarial { offset: 1 },
+            0.2,
+        );
         config.routing_config = config.routing_config.with_contention_threshold(th);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("th{th}")), &config, |b, cfg| {
-            b.iter(|| SteadyStateExperiment::new(cfg.clone()).run())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("th{th}")),
+            &config,
+            |b, cfg| b.iter(|| SteadyStateExperiment::new(cfg.clone()).run()),
+        );
     }
     group.finish();
 }
@@ -171,7 +180,11 @@ fn ablation_policy_switches(c: &mut Criterion) {
         ("injection_only", true, false),
     ];
     for (name, local, after_hop) in variants {
-        let mut config = steady_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.3);
+        let mut config = steady_config(
+            RoutingKind::Base,
+            PatternKind::Adversarial { offset: 1 },
+            0.3,
+        );
         config.routing_config.allow_local_misroute = local;
         config.routing_config.allow_global_misroute_after_hop = after_hop;
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {

@@ -71,13 +71,22 @@ fn routing_decisions(c: &mut Criterion) {
     let config = NetworkConfig::paper_table1();
     let router = Router::new(RouterId(0), topo, config);
     let routing_config = RoutingConfig::calibrated_for(topo.params(), &config.vcs);
-    for kind in [RoutingKind::Minimal, RoutingKind::Olm, RoutingKind::Base, RoutingKind::Ectn] {
+    for kind in [
+        RoutingKind::Minimal,
+        RoutingKind::Olm,
+        RoutingKind::Base,
+        RoutingKind::Ectn,
+    ] {
         let algorithm = RoutingAlgorithm::new(kind, routing_config);
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &algorithm, |b, alg| {
-            let mut rng = DeterministicRng::new(1);
-            let packet = Packet::new(PacketId(0), NodeId(0), NodeId(900), 8, 0);
-            b.iter(|| black_box(alg.decide(&router, Port(0), &packet, &mut rng)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &algorithm,
+            |b, alg| {
+                let mut rng = DeterministicRng::new(1);
+                let packet = Packet::new(PacketId(0), NodeId(0), NodeId(900), 8, 0);
+                b.iter(|| black_box(alg.decide(&router, Port(0), &packet, &mut rng)))
+            },
+        );
     }
     group.finish();
 }

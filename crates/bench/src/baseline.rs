@@ -1,0 +1,237 @@
+//! The perf-regression gate: compare a fresh `bench_kernel` run against a
+//! committed `BENCH_kernel.json` baseline.
+//!
+//! The container has no `serde_json`, and the baseline file is our own
+//! writer's output, so a deliberately narrow line-oriented extractor is
+//! enough: each run is one line of the `"runs"` array carrying `"kernel"`,
+//! `"offered_load"` and `"cycles_per_sec"` fields. Anything that does not
+//! parse is an error, not a silent pass — a gate that cannot read its
+//! baseline must fail loudly.
+
+/// One baseline run: `(kernel name, offered load, cycles per second)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// Kernel name (`"optimized"` / `"legacy"`).
+    pub kernel: String,
+    /// Offered load of the run.
+    pub offered_load: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+}
+
+/// Extract the quoted/numeric value following `"key": ` on `line`.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.split('"').next()
+    } else {
+        rest.split([',', '}']).next().map(str::trim)
+    }
+}
+
+/// The `"topology"` (scale name) recorded in a `BENCH_kernel.json`-style
+/// file, if present. The gate refuses cross-scale comparisons: a medium
+/// run gated against a small baseline would report a phantom regression.
+pub fn parse_topology(text: &str) -> Option<String> {
+    text.lines()
+        .find_map(|line| field(line, "topology"))
+        .map(str::to_string)
+}
+
+/// Parse the `"runs"` entries of a `BENCH_kernel.json` /
+/// `BENCH_parallel.json`-style file.
+pub fn parse_bench_runs(text: &str) -> Result<Vec<BaselineRun>, String> {
+    let mut runs = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with("{\"kernel\":") {
+            continue;
+        }
+        let kernel = field(line, "kernel")
+            .ok_or_else(|| format!("run line without a kernel field: {line}"))?
+            .to_string();
+        let offered_load: f64 = field(line, "offered_load")
+            .ok_or_else(|| format!("run line without an offered_load field: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad offered_load in {line}: {e}"))?;
+        let cycles_per_sec: f64 = field(line, "cycles_per_sec")
+            .ok_or_else(|| format!("run line without a cycles_per_sec field: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad cycles_per_sec in {line}: {e}"))?;
+        runs.push(BaselineRun {
+            kernel,
+            offered_load,
+            cycles_per_sec,
+        });
+    }
+    if runs.is_empty() {
+        return Err("no runs found in the baseline file".into());
+    }
+    Ok(runs)
+}
+
+/// Gate a fresh set of `(kernel, load, cycles/s)` measurements against a
+/// baseline: every *optimized-kernel* run whose `(kernel, load)` pair
+/// exists in the baseline must retain at least `1 - tolerance` of the
+/// baseline throughput, **hardware-normalized**: when both the fresh run
+/// and the baseline carry a legacy-kernel measurement at the same load,
+/// the baseline expectation is scaled by `current_legacy /
+/// baseline_legacy` first. The legacy kernel is the frozen reference
+/// implementation, so that ratio captures how fast *this machine and
+/// window* are relative to the machine that produced the baseline — a
+/// slower CI runner does not trip the gate, while a genuine
+/// optimized-kernel regression shows up on any hardware. Without a legacy
+/// reference point the comparison falls back to absolute cycles/s.
+/// Legacy-kernel runs are never gated themselves, and a comparison with
+/// **zero** overlapping optimized points is itself a violation: a gate
+/// that compared nothing must not report green.
+pub fn check_against_baseline(
+    current: &[BaselineRun],
+    baseline: &[BaselineRun],
+    tolerance: f64,
+) -> Vec<String> {
+    let find = |runs: &[BaselineRun], kernel: &str, load: f64| -> Option<f64> {
+        runs.iter()
+            .find(|b| b.kernel == kernel && b.offered_load == load)
+            .map(|b| b.cycles_per_sec)
+    };
+    let mut violations = Vec::new();
+    let mut compared = 0usize;
+    for run in current.iter().filter(|r| r.kernel == "optimized") {
+        let Some(base_opt) = find(baseline, "optimized", run.offered_load) else {
+            continue;
+        };
+        compared += 1;
+        // hardware normalisation via the frozen legacy reference kernel
+        let speed_factor = match (
+            find(current, "legacy", run.offered_load),
+            find(baseline, "legacy", run.offered_load),
+        ) {
+            (Some(cur_leg), Some(base_leg)) if base_leg > 0.0 => cur_leg / base_leg,
+            _ => 1.0,
+        };
+        let expected = base_opt * speed_factor;
+        let floor = expected * (1.0 - tolerance);
+        if run.cycles_per_sec < floor {
+            violations.push(format!(
+                "optimized @ load {}: {:.0} cycles/s is below {:.0} ({}% of the {:.0} baseline \
+                 scaled by the {:.2}x legacy-reference speed factor)",
+                run.offered_load,
+                run.cycles_per_sec,
+                floor,
+                ((1.0 - tolerance) * 100.0).round(),
+                base_opt,
+                speed_factor
+            ));
+        }
+    }
+    if compared == 0 {
+        violations.push(
+            "no overlapping optimized-kernel (kernel, load) points between the fresh run and \
+             the baseline — the gate compared nothing (stale baseline or changed load list?)"
+                .into(),
+        );
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "kernel-throughput",
+  "runs": [
+    {"kernel": "legacy", "offered_load": 0.1, "wall_seconds": 1.0, "cycles_per_sec": 1000.0, "phits_per_sec": 10.0, "delivered_phits": 5},
+    {"kernel": "optimized", "offered_load": 0.1, "wall_seconds": 0.5, "cycles_per_sec": 2000.0, "phits_per_sec": 20.0, "delivered_phits": 5},
+    {"kernel": "optimized", "offered_load": 0.3, "wall_seconds": 0.5, "cycles_per_sec": 1500.5, "phits_per_sec": 20.0, "delivered_phits": 5}
+  ]
+}"#;
+
+    fn run(kernel: &str, load: f64, cps: f64) -> BaselineRun {
+        BaselineRun {
+            kernel: kernel.into(),
+            offered_load: load,
+            cycles_per_sec: cps,
+        }
+    }
+
+    #[test]
+    fn parses_the_writers_format() {
+        let runs = parse_bench_runs(SAMPLE).unwrap();
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[0], run("legacy", 0.1, 1000.0));
+        assert_eq!(runs[1], run("optimized", 0.1, 2000.0));
+        assert_eq!(runs[2].cycles_per_sec, 1500.5);
+        // no topology field in the sample; the committed file has one
+        assert_eq!(parse_topology(SAMPLE), None);
+        assert_eq!(
+            parse_topology("{\n  \"topology\": \"small\",\n}").as_deref(),
+            Some("small")
+        );
+    }
+
+    #[test]
+    fn parses_the_committed_baseline() {
+        // the real committed file must stay parseable, or the CI gate
+        // silently loses its baseline
+        let committed = include_str!("../../../BENCH_kernel.json");
+        let runs = parse_bench_runs(committed).expect("committed baseline parses");
+        assert!(runs.iter().any(|r| r.kernel == "optimized"));
+        assert!(runs.iter().all(|r| r.cycles_per_sec > 0.0));
+    }
+
+    #[test]
+    fn empty_or_malformed_baselines_error() {
+        assert!(parse_bench_runs("{}").is_err());
+        assert!(parse_bench_runs("{\"runs\": [\n{\"kernel\": \"x\"}\n]}").is_err());
+    }
+
+    #[test]
+    fn gate_fires_only_beyond_the_tolerance() {
+        let baseline = [run("optimized", 0.1, 1000.0), run("legacy", 0.1, 500.0)];
+        // 25% down at 30% tolerance: pass
+        assert!(check_against_baseline(&[run("optimized", 0.1, 750.0)], &baseline, 0.3).is_empty());
+        // 35% down: fail
+        let v = check_against_baseline(&[run("optimized", 0.1, 650.0)], &baseline, 0.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("below"));
+        // legacy runs never gate — but gating *only* legacy runs means the
+        // gate compared nothing, which must fail rather than pass vacuously
+        let v = check_against_baseline(&[run("legacy", 0.1, 1.0)], &baseline, 0.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("compared nothing"));
+        // a load list with zero baseline overlap is the same failure
+        let v = check_against_baseline(&[run("optimized", 0.9, 1.0)], &baseline, 0.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("compared nothing"));
+        // overlap on one point gates that point and ignores the rest
+        assert!(check_against_baseline(
+            &[run("optimized", 0.1, 900.0), run("optimized", 0.9, 1.0)],
+            &baseline,
+            0.3
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn gate_normalises_by_the_legacy_reference_speed() {
+        let baseline = [run("optimized", 0.1, 1000.0), run("legacy", 0.1, 500.0)];
+        // a half-speed machine: legacy runs at 250 instead of 500, so the
+        // optimized expectation halves too — 400 cycles/s is healthy here
+        // even though it is far below the absolute 700 floor
+        let slow = [run("optimized", 0.1, 400.0), run("legacy", 0.1, 250.0)];
+        assert!(check_against_baseline(&slow, &baseline, 0.3).is_empty());
+        // a double-speed machine hides an absolute-only regression: 1200
+        // beats the absolute floor, but the legacy reference shows this
+        // machine should reach ~2000 — the gate must fire
+        let fast_regressed = [run("optimized", 0.1, 1200.0), run("legacy", 0.1, 1000.0)];
+        let v = check_against_baseline(&fast_regressed, &baseline, 0.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("speed factor"));
+        // a proportionally healthy fast machine passes
+        let fast_ok = [run("optimized", 0.1, 1900.0), run("legacy", 0.1, 1000.0)];
+        assert!(check_against_baseline(&fast_ok, &baseline, 0.3).is_empty());
+    }
+}

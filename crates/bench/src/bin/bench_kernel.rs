@@ -5,11 +5,17 @@
 //! PRs accumulate a performance trajectory.
 //!
 //! Usage: `cargo run --release -p df-bench --bin bench_kernel
-//! [small|medium|paper|paper-smoke] [measured_cycles]`
+//! [small|medium|paper|paper-smoke] [measured_cycles]
+//! [--check-against <BENCH_kernel.json>]`
 //!
 //! The `paper`/`paper-smoke` names run the full 16,512-node Table I
 //! topology with a short default window — sequential-kernel throughput at
 //! the paper's own scale (see `bench_parallel` for the multi-worker run).
+//!
+//! With `--check-against`, the freshly measured optimized-kernel
+//! throughput is gated against the given committed baseline: any load
+//! point that drops more than 30% below the baseline cycles/s fails the
+//! run with exit code 1 (the CI perf-regression gate).
 
 use df_bench::{measure_kernel_run, KernelRunMeasurement};
 use df_model::NetworkConfig;
@@ -43,22 +49,77 @@ fn bench_one(
     }
 }
 
+/// Allowed throughput drop before the `--check-against` gate fails.
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
 fn main() {
-    // Scale::from_args aborts loudly on a mistyped scale name instead of
-    // silently benchmarking the small topology.
-    let scale = df_bench::Scale::from_args();
+    // Strip `--check-against` (and its value — which may be an arbitrary
+    // word-like path) before scale parsing, so the typo check only ever
+    // sees arguments that are meant to be scales or cycle counts.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut check_against: Option<String> = None;
+    let mut scale_args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == "--check-against" {
+            i += 1;
+            check_against = Some(raw.get(i).cloned().unwrap_or_else(|| {
+                eprintln!("error: --check-against needs a baseline path");
+                std::process::exit(2);
+            }));
+        } else if let Some(path) = raw[i].strip_prefix("--check-against=") {
+            check_against = Some(path.to_string());
+        } else {
+            scale_args.push(raw[i].clone());
+        }
+        i += 1;
+    }
+    // Scale::from_arg_list aborts loudly on a mistyped scale name instead
+    // of silently benchmarking the small topology.
+    let scale = df_bench::Scale::from_arg_list(df_bench::Scale::small(), &[], scale_args.clone())
+        .unwrap_or_else(|msg| {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        });
     let scale_name = scale.name;
     let mut measured: u64 = match scale_name {
         "paper" | "paper-smoke" => 300,
         _ => 3_000,
     };
-    for arg in std::env::args().skip(1) {
+    for arg in &scale_args {
         if let Ok(n) = arg.parse::<u64>() {
             measured = n;
         }
     }
+    // read the baseline up front: a gate that cannot read its baseline must
+    // fail before spending minutes benchmarking
+    let baseline = check_against.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        // cross-scale comparisons are meaningless (a medium run gated
+        // against a small baseline reports a phantom regression)
+        if let Some(base_topo) = df_bench::parse_topology(&text) {
+            if base_topo != scale_name {
+                eprintln!(
+                    "error: baseline {path} was measured on the '{base_topo}' topology, \
+                     this run uses '{scale_name}' — not comparable"
+                );
+                std::process::exit(2);
+            }
+        }
+        df_bench::parse_bench_runs(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse baseline {path}: {e}");
+            std::process::exit(2);
+        })
+    });
     let topology = scale.topology;
-    let warmup = if topology.num_nodes() > 10_000 { 100 } else { 500 };
+    let warmup = if topology.num_nodes() > 10_000 {
+        100
+    } else {
+        500
+    };
     // Low load is where activity gating shines, mid load is the trajectory
     // anchor, and 0.9 offered is far past saturation for uniform traffic —
     // every router stays busy, so it measures pure per-event overhead.
@@ -74,7 +135,11 @@ fn main() {
             let r = bench_one(topology, kernel, name, load, warmup, measured);
             println!(
                 "  load {:.1} {:9}: {:>12.0} cycles/s  {:>12.0} phits/s  ({:.3}s wall)",
-                r.measurement.offered_load, r.kernel, r.measurement.cycles_per_sec, r.measurement.phits_per_sec, r.measurement.wall_seconds
+                r.measurement.offered_load,
+                r.kernel,
+                r.measurement.cycles_per_sec,
+                r.measurement.phits_per_sec,
+                r.measurement.wall_seconds
             );
             results.push(r);
         }
@@ -118,4 +183,29 @@ fn main() {
 
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("wrote BENCH_kernel.json");
+
+    if let Some(baseline) = baseline {
+        let current: Vec<df_bench::BaselineRun> = results
+            .iter()
+            .map(|r| df_bench::BaselineRun {
+                kernel: r.kernel.to_string(),
+                offered_load: r.measurement.offered_load,
+                cycles_per_sec: r.measurement.cycles_per_sec,
+            })
+            .collect();
+        let violations =
+            df_bench::check_against_baseline(&current, &baseline, REGRESSION_TOLERANCE);
+        if violations.is_empty() {
+            println!(
+                "perf gate: optimized-kernel throughput within {}% of the baseline",
+                (REGRESSION_TOLERANCE * 100.0).round()
+            );
+        } else {
+            eprintln!("perf gate FAILED:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -67,7 +67,10 @@ fn main() {
         } else if let Some(list) = arg.strip_prefix("workers=") {
             worker_counts = list
                 .split(',')
-                .map(|w| w.parse::<usize>().expect("workers=N,M,... must be integers"))
+                .map(|w| {
+                    w.parse::<usize>()
+                        .expect("workers=N,M,... must be integers")
+                })
                 .collect();
         }
     }
@@ -104,7 +107,10 @@ fn main() {
         );
         println!(
             "  load {:.1} optimized  : {:>10.0} cycles/s  ({:.3}s wall, {} phits)",
-            load, baseline.measurement.cycles_per_sec, baseline.measurement.wall_seconds, baseline.measurement.delivered_phits
+            load,
+            baseline.measurement.cycles_per_sec,
+            baseline.measurement.wall_seconds,
+            baseline.measurement.delivered_phits
         );
         for &workers in &worker_counts {
             let r = bench_one(
@@ -119,7 +125,10 @@ fn main() {
             // notice a violation: identical work or the benchmark is void
             assert_eq!(
                 (r.measurement.delivered_phits, r.measurement.latency_bits),
-                (baseline.measurement.delivered_phits, baseline.measurement.latency_bits),
+                (
+                    baseline.measurement.delivered_phits,
+                    baseline.measurement.latency_bits
+                ),
                 "parallel({workers}) diverged from the optimized kernel at load {load}"
             );
             let speedup = r.measurement.cycles_per_sec / baseline.measurement.cycles_per_sec;
@@ -157,7 +166,10 @@ fn main() {
     json.push_str("  \"speedup_parallel_over_optimized\": {\n");
     for (i, (load, workers, speedup)) in speedups.iter().enumerate() {
         let comma = if i + 1 == speedups.len() { "" } else { "," };
-        let _ = writeln!(json, "    \"load_{load}_workers_{workers}\": {speedup:.3}{comma}");
+        let _ = writeln!(
+            json,
+            "    \"load_{load}_workers_{workers}\": {speedup:.3}{comma}"
+        );
     }
     json.push_str("  }\n}\n");
 

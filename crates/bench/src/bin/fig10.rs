@@ -5,7 +5,8 @@
 use df_traffic::PatternKind;
 
 fn main() {
-    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["un", "adv1", "advh"]);
+    let scale =
+        df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["un", "adv1", "advh"]);
     let args: Vec<String> = std::env::args().collect();
     let rc = df_routing::RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs);
     let th = rc.contention_threshold;
@@ -20,7 +21,8 @@ fn main() {
         println!("{}", thr.to_text());
     }
     if both || args.iter().any(|a| a == "adv1") {
-        let (lat, thr) = df_bench::figure10(&scale, PatternKind::Adversarial { offset: 1 }, &adv_ths);
+        let (lat, thr) =
+            df_bench::figure10(&scale, PatternKind::Adversarial { offset: 1 }, &adv_ths);
         println!("{}", lat.to_text());
         println!("{}", thr.to_text());
     }

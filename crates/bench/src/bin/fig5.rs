@@ -5,19 +5,24 @@
 use df_traffic::PatternKind;
 
 fn main() {
-    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["un", "adv1", "advh"]);
+    let scale =
+        df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &["un", "adv1", "advh"]);
     let args: Vec<String> = std::env::args().collect();
     let which: Vec<PatternKind> = if args.iter().any(|a| a == "un") {
         vec![PatternKind::Uniform]
     } else if args.iter().any(|a| a == "adv1") {
         vec![PatternKind::Adversarial { offset: 1 }]
     } else if args.iter().any(|a| a == "advh") {
-        vec![PatternKind::Adversarial { offset: scale.topology.h }]
+        vec![PatternKind::Adversarial {
+            offset: scale.topology.h,
+        }]
     } else {
         vec![
             PatternKind::Uniform,
             PatternKind::Adversarial { offset: 1 },
-            PatternKind::Adversarial { offset: scale.topology.h },
+            PatternKind::Adversarial {
+                offset: scale.topology.h,
+            },
         ]
     };
     for pattern in which {

@@ -4,8 +4,14 @@
 
 fn main() {
     let scale = df_bench::Scale::from_args();
-    let (latency, misroute) =
-        df_bench::figure7(&scale, scale.network, 0.20, 1_500, 50, "Figure 7 — UN->ADV+1, Table I buffers");
+    let (latency, misroute) = df_bench::figure7(
+        &scale,
+        scale.network,
+        0.20,
+        1_500,
+        50,
+        "Figure 7 — UN->ADV+1, Table I buffers",
+    );
     println!("{}", latency.to_text());
     println!("{}", misroute.to_text());
 }

@@ -11,8 +11,14 @@ fn main() {
         buffers: df_model::BufferConfig::large(),
         ..scale.network
     };
-    let (latency, misroute) =
-        df_bench::figure7(&scale, large, 0.20, 3_000, 100, "Figure 8 — UN->ADV+1, large buffers");
+    let (latency, misroute) = df_bench::figure7(
+        &scale,
+        large,
+        0.20,
+        3_000,
+        100,
+        "Figure 8 — UN->ADV+1, large buffers",
+    );
     println!("{}", latency.to_text());
     println!("{}", misroute.to_text());
 }

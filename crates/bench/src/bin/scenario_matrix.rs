@@ -16,8 +16,11 @@
 //! alone, so the table is bit-for-bit identical across reruns and across
 //! worker counts — rerun the command and diff the output to check.
 
-use df_sim::{matrix_table, num_threads, run_matrix, Scenario, ScenarioMatrix, SimulationConfig};
 use df_routing::RoutingKind;
+use df_sim::{
+    matrix_table, num_threads, run_matrix, FaultPlan, Scenario, ScenarioMatrix, SimulationConfig,
+};
+use df_topology::{Dragonfly, GroupId, RouterId};
 use df_traffic::{InjectionKind, PatternKind};
 
 fn main() {
@@ -41,10 +44,26 @@ fn main() {
         .build()
         .expect("valid base configuration");
 
+    // The faults family: deterministic failures layered over steady
+    // traffic — a global-link outage window on the busiest ADV+1 link and
+    // a graceful router drain/restore, scaled to the run's windows.
+    let topo = Dragonfly::new(scale.topology);
+    let (gw, gport) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
+    let fault_scenarios = vec![
+        Scenario::named("ADV-linkloss")
+            .hold(PatternKind::Adversarial { offset: 1 })
+            .link_down(warmup / 2, gw, gport)
+            .link_up(warmup + measure / 2, gw, gport),
+        Scenario::named("UN-drain")
+            .hold(PatternKind::Uniform)
+            .router_drain(warmup / 2, RouterId(1))
+            .router_restore(warmup + measure / 2, RouterId(1)),
+    ];
+
     // The workload axis: steady patterns spanning benign, adversarial,
     // locality-skewed and permutation-style traffic, one bursty variant and
     // one phased transient.
-    let scenarios = vec![
+    let mut scenarios = vec![
         Scenario::steady(PatternKind::Uniform),
         Scenario::steady(PatternKind::Adversarial { offset: 1 }),
         Scenario::steady(PatternKind::Hotspot {
@@ -52,7 +71,9 @@ fn main() {
             fraction: 0.5,
         }),
         Scenario::steady(PatternKind::BitReversal),
-        Scenario::steady(PatternKind::GroupLocal { local_fraction: 0.6 }),
+        Scenario::steady(PatternKind::GroupLocal {
+            local_fraction: 0.6,
+        }),
         Scenario::named("UN-bursty")
             .injection(InjectionKind::Bursty {
                 mean_on: 50.0,
@@ -65,6 +86,7 @@ fn main() {
             warmup / 2,
         ),
     ];
+    scenarios.extend(fault_scenarios);
 
     let matrix = ScenarioMatrix {
         base,
@@ -93,10 +115,7 @@ fn main() {
     let cells = run_matrix(&matrix, threads);
     let elapsed = start.elapsed();
 
-    let table = matrix_table(
-        format!("scenario matrix ({}, seed 1)", scale.name),
-        &cells,
-    );
+    let table = matrix_table(format!("scenario matrix ({}, seed 1)", scale.name), &cells);
     if csv {
         print!("{}", table.to_csv());
     } else {

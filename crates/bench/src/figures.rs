@@ -8,7 +8,9 @@
 use df_engine::Table;
 use df_model::NetworkConfig;
 use df_routing::{RoutingConfig, RoutingKind};
-use df_sim::{run_sweep, SimulationConfig, SteadyStateReport, TransientExperiment, TransientReport};
+use df_sim::{
+    run_sweep, SimulationConfig, SteadyStateReport, TransientExperiment, TransientReport,
+};
 use df_traffic::{PatternKind, TrafficSchedule};
 
 use crate::scale::Scale;
@@ -31,12 +33,20 @@ pub fn figure5_routings(pattern: PatternKind) -> Vec<RoutingKind> {
     ]
 }
 
-fn base_config(scale: &Scale, routing: RoutingKind, pattern: PatternKind, load: f64) -> SimulationConfig {
+fn base_config(
+    scale: &Scale,
+    routing: RoutingKind,
+    pattern: PatternKind,
+    load: f64,
+) -> SimulationConfig {
     SimulationConfig::builder()
         .topology(scale.topology)
         .network(scale.network)
         .routing(routing)
-        .routing_config(RoutingConfig::calibrated_for(&scale.topology, &scale.network.vcs))
+        .routing_config(RoutingConfig::calibrated_for(
+            &scale.topology,
+            &scale.network.vcs,
+        ))
         .pattern(pattern)
         .offered_load(load)
         .warmup_cycles(scale.warmup)
@@ -85,20 +95,33 @@ pub fn table1(scale: &Scale) -> Table {
                 t.a - 1
             ),
         ),
-        ("Router latency".into(), format!("{} cycles", n.latencies.router_pipeline)),
-        ("Frequency speedup".into(), format!("{}x", n.allocator_speedup)),
+        (
+            "Router latency".into(),
+            format!("{} cycles", n.latencies.router_pipeline),
+        ),
+        (
+            "Frequency speedup".into(),
+            format!("{}x", n.allocator_speedup),
+        ),
         (
             "Group size".into(),
             format!("{} routers, {} computing nodes", t.a, t.a * t.p),
         ),
         (
             "System size".into(),
-            format!("{} groups, {} computing nodes", t.num_groups(), t.num_nodes()),
+            format!(
+                "{} groups, {} computing nodes",
+                t.num_groups(),
+                t.num_nodes()
+            ),
         ),
         ("Global link arrangement".into(), "Palmtree".into()),
         (
             "Link latency".into(),
-            format!("{} (local), {} (global) cycles", n.latencies.local_link, n.latencies.global_link),
+            format!(
+                "{} (local), {} (global) cycles",
+                n.latencies.local_link, n.latencies.global_link
+            ),
         ),
         (
             "Virtual channels".into(),
@@ -112,10 +135,15 @@ pub fn table1(scale: &Scale) -> Table {
             "Buffer size (phits)".into(),
             format!(
                 "{} (output), {} (local input/VC), {} (global input/VC)",
-                n.buffers.output_buffer, n.buffers.local_input_per_vc, n.buffers.global_input_per_vc
+                n.buffers.output_buffer,
+                n.buffers.local_input_per_vc,
+                n.buffers.global_input_per_vc
             ),
         ),
-        ("Packet size".into(), format!("{} phits", n.packet_size_phits)),
+        (
+            "Packet size".into(),
+            format!("{} phits", n.packet_size_phits),
+        ),
         (
             "Congestion thresholds".into(),
             format!(
@@ -132,7 +160,10 @@ pub fn table1(scale: &Scale) -> Table {
                 rc.contention_threshold, rc.hybrid_contention_threshold, rc.ectn_combined_threshold
             ),
         ),
-        ("ECtN partial update".into(), format!("{} cycles", rc.ectn_update_period)),
+        (
+            "ECtN partial update".into(),
+            format!("{} cycles", rc.ectn_update_period),
+        ),
     ];
     for (k, v) in rows {
         table.push_row(vec![k, v]);
@@ -156,11 +187,17 @@ pub fn figure5(scale: &Scale, pattern: PatternKind) -> (Table, Table) {
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
 
     let mut latency = Table::new(
-        format!("Figure 5 ({}) — average packet latency (cycles)", pattern.label()),
+        format!(
+            "Figure 5 ({}) — average packet latency (cycles)",
+            pattern.label()
+        ),
         &header_refs,
     );
     let mut throughput = Table::new(
-        format!("Figure 5 ({}) — accepted load (phits/node/cycle)", pattern.label()),
+        format!(
+            "Figure 5 ({}) — accepted load (phits/node/cycle)",
+            pattern.label()
+        ),
         &header_refs,
     );
     for (i, &load) in loads.iter().enumerate() {
@@ -348,7 +385,10 @@ pub fn figure10(scale: &Scale, pattern: PatternKind, thresholds: &[u32]) -> (Tab
     headers.push(reference.label().to_string());
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let mut latency = Table::new(
-        format!("Figure 10 ({}) — Base threshold sensitivity, latency (cycles)", pattern.label()),
+        format!(
+            "Figure 10 ({}) — Base threshold sensitivity, latency (cycles)",
+            pattern.label()
+        ),
         &header_refs,
     );
     let mut throughput = Table::new(
@@ -413,7 +453,10 @@ mod tests {
     fn table1_lists_every_parameter_row() {
         let t = table1(&Scale::paper());
         assert_eq!(t.num_rows(), 14);
-        assert_eq!(t.cell(0, 1).unwrap(), "31 ports (h=8 global, p=8 injection, 15 local)");
+        assert_eq!(
+            t.cell(0, 1).unwrap(),
+            "31 ports (h=8 global, p=8 injection, 15 local)"
+        );
         assert!(t.cell(4, 1).unwrap().contains("129 groups, 16512"));
     }
 

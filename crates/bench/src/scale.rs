@@ -110,7 +110,8 @@ impl Scale {
     }
 
     /// The names [`Scale::from_name`] accepts.
-    pub const NAMES: &'static [&'static str] = &["small", "medium", "paper", "paper-smoke", "bench"];
+    pub const NAMES: &'static [&'static str] =
+        &["small", "medium", "paper", "paper-smoke", "bench"];
 
     /// Parse a scale name from a CLI argument.
     pub fn from_name(name: &str) -> Option<Self> {
@@ -139,15 +140,37 @@ impl Scale {
     /// is named and the caller's own word-like flags exempted from the typo
     /// check — each binary declares the flags *it* accepts rather than this
     /// parser knowing every binary's CLI.
+    ///
+    /// Aborts the process with exit code 2 on a rejected argument (see
+    /// [`Scale::from_arg_list`] for the testable core).
     pub fn from_args_with_flags(default: Self, flags: &[&str]) -> Self {
+        match Self::from_arg_list(default, flags, std::env::args().skip(1)) {
+            Ok(scale) => scale,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The pure core of the CLI scale parser: scan `args` for the first
+    /// recognized scale name (falling back to `default`), rejecting any
+    /// word-like argument that is neither a scale nor one of the caller's
+    /// declared `flags`. Returns the error message the process-aborting
+    /// wrappers print — unit-testable without spawning a process.
+    pub fn from_arg_list(
+        default: Self,
+        flags: &[&str],
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
         let mut found: Option<Scale> = None;
-        for arg in std::env::args().skip(1) {
+        for arg in args {
             if let Some(scale) = Self::from_name(&arg) {
                 if found.is_none() {
                     found = Some(scale);
                 }
             } else if is_unrecognized_scale_like(&arg, flags) {
-                eprintln!(
+                return Err(format!(
                     "error: unrecognized scale '{arg}' (valid scales: {}{})",
                     Self::NAMES.join(", "),
                     if flags.is_empty() {
@@ -155,11 +178,10 @@ impl Scale {
                     } else {
                         format!("; flags: {}", flags.join(", "))
                     }
-                );
-                std::process::exit(2);
+                ));
             }
         }
-        found.unwrap_or(default)
+        Ok(found.unwrap_or(default))
     }
 }
 
@@ -215,6 +237,62 @@ mod tests {
         assert!(!is_unrecognized_scale_like("3000", &[]));
         assert!(!is_unrecognized_scale_like("workers=1,2,4", &[]));
         assert!(!is_unrecognized_scale_like("", &[]));
+    }
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn from_arg_list_accepts_scales_and_defaults() {
+        let s = Scale::from_arg_list(Scale::small(), &[], strings(&["medium"])).unwrap();
+        assert_eq!(s.name, "medium");
+        // no scale named: the caller's default wins
+        let s = Scale::from_arg_list(Scale::bench(), &[], strings(&["3000"])).unwrap();
+        assert_eq!(s.name, "bench");
+        // the first named scale wins over later ones
+        let s = Scale::from_arg_list(Scale::small(), &[], strings(&["paper", "medium"])).unwrap();
+        assert_eq!(s.name, "paper");
+    }
+
+    #[test]
+    fn from_arg_list_rejects_mistyped_scales() {
+        for bad in ["papper", "paper_smoke", "paper2", "smal"] {
+            let err = Scale::from_arg_list(Scale::small(), &["smoke", "csv"], strings(&[bad]))
+                .unwrap_err();
+            assert!(
+                err.contains("unrecognized scale") && err.contains(bad),
+                "rejection message must name the bad argument: {err}"
+            );
+            assert!(
+                err.contains("small, medium, paper"),
+                "message lists valid names"
+            );
+        }
+        // the rejection fires even when a valid scale comes first
+        assert!(
+            Scale::from_arg_list(Scale::small(), &[], strings(&["medium", "galactic"])).is_err()
+        );
+    }
+
+    #[test]
+    fn from_arg_list_exempts_declared_flags_only() {
+        let flags = ["smoke", "csv", "--check-against"];
+        let s = Scale::from_arg_list(
+            Scale::small(),
+            &flags,
+            strings(&[
+                "medium",
+                "smoke",
+                "csv",
+                "--check-against",
+                "BENCH_kernel.json",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(s.name, "medium");
+        // the same words without the declaration are typos
+        assert!(Scale::from_arg_list(Scale::small(), &[], strings(&["smoke"])).is_err());
     }
 
     #[test]

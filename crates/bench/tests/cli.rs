@@ -1,0 +1,104 @@
+//! Process-level CLI tests: `Scale::from_args` rejection paths and the
+//! `--check-against` perf-regression gate, exercised on the real binaries
+//! (`CARGO_BIN_EXE_*` paths are provided by Cargo for integration tests).
+
+use std::process::Command;
+
+fn bench_kernel() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_kernel"))
+}
+
+#[test]
+fn mistyped_scale_names_abort_with_exit_2() {
+    for bad in ["papper", "paper_smoke", "smal"] {
+        let out = bench_kernel()
+            .arg(bad)
+            .output()
+            .expect("spawn bench_kernel");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "'{bad}' must abort before benchmarking"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unrecognized scale") && stderr.contains(bad),
+            "stderr must explain the rejection: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn missing_baseline_aborts_before_benchmarking() {
+    let out = bench_kernel()
+        .args([
+            "small",
+            "50",
+            "--check-against",
+            "/nonexistent/baseline.json",
+        ])
+        .output()
+        .expect("spawn bench_kernel");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+}
+
+#[test]
+fn word_like_baseline_paths_are_not_mistaken_for_scale_typos() {
+    // the flag's *value* must be exempt from the scale typo-check even
+    // when it looks like a bare word: the failure must be about the
+    // missing file, not about an "unrecognized scale"
+    let out = bench_kernel()
+        .args(["small", "50", "--check-against", "somebaseline"])
+        .output()
+        .expect("spawn bench_kernel");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read baseline") && !stderr.contains("unrecognized scale"),
+        "the flag value leaked into scale parsing: {stderr}"
+    );
+}
+
+#[test]
+fn perf_gate_passes_and_fails_on_crafted_baselines() {
+    let dir = std::env::temp_dir().join(format!("df-bench-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let baseline_line = |cps: f64| {
+        format!(
+            "{{\n  \"runs\": [\n    {{\"kernel\": \"optimized\", \"offered_load\": 0.1, \"wall_seconds\": 1.0, \"cycles_per_sec\": {cps}, \"phits_per_sec\": 1.0, \"delivered_phits\": 1}}\n  ]\n}}\n"
+        )
+    };
+
+    // a trivially low baseline: any real measurement beats it
+    let pass_path = dir.join("baseline_pass.json");
+    std::fs::write(&pass_path, baseline_line(0.001)).unwrap();
+    let out = bench_kernel()
+        .current_dir(&dir)
+        .args(["small", "60", "--check-against"])
+        .arg(&pass_path)
+        .output()
+        .expect("spawn bench_kernel");
+    assert!(
+        out.status.success(),
+        "gate must pass against a tiny baseline: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("perf gate"));
+
+    // an absurdly high baseline: no machine reaches it, the gate must fail
+    let fail_path = dir.join("baseline_fail.json");
+    std::fs::write(&fail_path, baseline_line(1e15)).unwrap();
+    let out = bench_kernel()
+        .current_dir(&dir)
+        .args(["small", "60", "--check-against"])
+        .arg(&fail_path)
+        .output()
+        .expect("spawn bench_kernel");
+    assert_eq!(out.status.code(), Some(1), "gate must fail loudly");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("perf gate FAILED"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -117,12 +117,18 @@ fn pick_global_candidate(
     let my_group = topo.router_group(router.id());
     let min_link = topo.group_link_to(my_group, dst_group);
     let size = packet.size_phits;
-    let vc_for = |port: Port, pkt: &Packet| vc_for_next_hop(pkt, port.class(params), router.config());
+    let vc_for =
+        |port: Port, pkt: &Packet| vc_for_next_hop(pkt, port.class(params), router.config());
     // After the first local hop only the current router's own global links
     // are eligible (the PAR/OLM rule): taking a *second* local hop before the
     // first global hop would break the monotonic VC ordering that guarantees
     // deadlock freedom.
     let own_only_for_policy = packet.routing.local_hops > 0;
+    // A failed minimal link is treated as infinitely contended: it fires
+    // every misroute trigger, and dead candidates are filtered out. In a
+    // healthy network `min_dead` is always false and every filter below
+    // reduces to its original form.
+    let min_dead = !router.link_is_up(min_out);
 
     // ECtN: at injection, use the combined counters over the router's own
     // global links.
@@ -131,7 +137,7 @@ fn pick_global_candidate(
         && packet.hops() == 0
     {
         let combined_min = router.ectn().combined(min_link);
-        if contention_exceeds(combined_min, config.ectn_combined_threshold) {
+        if min_dead || contention_exceeds(combined_min, config.ectn_combined_threshold) {
             let cands = global_candidates(topo, router.id(), Some(min_link), true);
             let eligible: Vec<GlobalCandidate> = cands
                 .into_iter()
@@ -139,7 +145,8 @@ fn pick_global_candidate(
                     contention_allows_candidate(
                         router.ectn().combined(c.link),
                         config.ectn_combined_threshold,
-                    ) && router.output_can_accept(c.first_hop, vc_for(c.first_hop, packet), size)
+                    ) && router.link_is_up(c.first_hop)
+                        && router.output_can_accept(c.first_hop, vc_for(c.first_hop, packet), size)
                 })
                 .collect();
             if let Some(c) = common::pick_random(&eligible, rng) {
@@ -152,7 +159,7 @@ fn pick_global_candidate(
     match kind {
         RoutingKind::Base | RoutingKind::Ectn => {
             let th = config.contention_threshold;
-            if !contention_exceeds(router.contention().get(min_out), th) {
+            if !min_dead && !contention_exceeds(router.contention().get(min_out), th) {
                 return None;
             }
             let cands = global_candidates(topo, router.id(), Some(min_link), own_only_for_policy);
@@ -160,6 +167,7 @@ fn pick_global_candidate(
                 .into_iter()
                 .filter(|c| {
                     contention_allows_candidate(router.contention().get(c.first_hop), th)
+                        && router.link_is_up(c.first_hop)
                         && router.output_can_accept(c.first_hop, vc_for(c.first_hop, packet), size)
                 })
                 .collect();
@@ -178,12 +186,14 @@ fn pick_global_candidate(
         RoutingKind::Hybrid => {
             // contention rule first (with Hybrid's own, higher threshold)
             let th = config.hybrid_contention_threshold;
-            if contention_exceeds(router.contention().get(min_out), th) {
-                let cands = global_candidates(topo, router.id(), Some(min_link), own_only_for_policy);
+            if min_dead || contention_exceeds(router.contention().get(min_out), th) {
+                let cands =
+                    global_candidates(topo, router.id(), Some(min_link), own_only_for_policy);
                 let eligible: Vec<GlobalCandidate> = cands
                     .into_iter()
                     .filter(|c| {
                         contention_allows_candidate(router.contention().get(c.first_hop), th)
+                            && router.link_is_up(c.first_hop)
                             && router.output_can_accept(
                                 c.first_hop,
                                 vc_for(c.first_hop, packet),
@@ -228,12 +238,15 @@ fn credit_global_candidate(
     let size = packet.size_phits;
     let q_min = common::output_occupancy(router, min_out);
     let min_required = config.credit_trigger_min_packets * size;
+    // a dead minimal output fires the credit trigger unconditionally
+    let min_dead = !router.link_is_up(min_out);
     let cands = global_candidates(topo, router.id(), Some(min_link), own_links_only);
     let eligible: Vec<GlobalCandidate> = cands
         .into_iter()
         .filter(|c| {
             let q_cand = common::output_occupancy(router, c.first_hop);
-            credit_comparison(q_min, q_cand, fraction, min_required)
+            (min_dead || credit_comparison(q_min, q_cand, fraction, min_required))
+                && router.link_is_up(c.first_hop)
                 && router.output_can_accept(
                     c.first_hop,
                     vc_for_next_hop(packet, c.first_hop.class(params), router.config()),
@@ -259,20 +272,24 @@ fn pick_local_candidate(
     // the router the minimal local hop would reach — excluded from detours
     let min_target = topo.local_neighbor(router.id(), min_out.class_offset(params));
     let vc = vc_for_next_hop(packet, PortClass::Local, router.config());
+    // a failed minimal local link fires the detour triggers unconditionally
+    let min_dead = !router.link_is_up(min_out);
 
     match kind {
         RoutingKind::Base | RoutingKind::Ectn => {
             let th = config.contention_threshold;
-            if !contention_exceeds(router.contention().get(min_out), th) {
+            if !min_dead && !contention_exceeds(router.contention().get(min_out), th) {
                 return None;
             }
-            let eligible: Vec<LocalCandidate> = local_candidates(topo, router.id(), Some(min_target))
-                .into_iter()
-                .filter(|c| {
-                    contention_allows_candidate(router.contention().get(c.port), th)
-                        && router.output_can_accept(c.port, vc, size)
-                })
-                .collect();
+            let eligible: Vec<LocalCandidate> =
+                local_candidates(topo, router.id(), Some(min_target))
+                    .into_iter()
+                    .filter(|c| {
+                        contention_allows_candidate(router.contention().get(c.port), th)
+                            && router.link_is_up(c.port)
+                            && router.output_can_accept(c.port, vc, size)
+                    })
+                    .collect();
             common::pick_random(&eligible, rng).copied()
         }
         RoutingKind::Olm | RoutingKind::Hybrid => {
@@ -284,12 +301,13 @@ fn pick_local_candidate(
             // Hybrid also honours the contention rule for local detours
             if kind == RoutingKind::Hybrid {
                 let th = config.hybrid_contention_threshold;
-                if contention_exceeds(router.contention().get(min_out), th) {
+                if min_dead || contention_exceeds(router.contention().get(min_out), th) {
                     let eligible: Vec<LocalCandidate> =
                         local_candidates(topo, router.id(), Some(min_target))
                             .into_iter()
                             .filter(|c| {
                                 contention_allows_candidate(router.contention().get(c.port), th)
+                                    && router.link_is_up(c.port)
                                     && router.output_can_accept(c.port, vc, size)
                             })
                             .collect();
@@ -300,14 +318,16 @@ fn pick_local_candidate(
             }
             let q_min = common::output_occupancy(router, min_out);
             let min_required = config.credit_trigger_min_packets * size;
-            let eligible: Vec<LocalCandidate> = local_candidates(topo, router.id(), Some(min_target))
-                .into_iter()
-                .filter(|c| {
-                    let q_cand = common::output_occupancy(router, c.port);
-                    credit_comparison(q_min, q_cand, fraction, min_required)
-                        && router.output_can_accept(c.port, vc, size)
-                })
-                .collect();
+            let eligible: Vec<LocalCandidate> =
+                local_candidates(topo, router.id(), Some(min_target))
+                    .into_iter()
+                    .filter(|c| {
+                        let q_cand = common::output_occupancy(router, c.port);
+                        (min_dead || credit_comparison(q_min, q_cand, fraction, min_required))
+                            && router.link_is_up(c.port)
+                            && router.output_can_accept(c.port, vc, size)
+                    })
+                    .collect();
             common::pick_random(&eligible, rng).copied()
         }
         _ => None,
@@ -342,7 +362,14 @@ mod tests {
     fn base_routes_minimally_without_contention() {
         let r = router(0);
         let p = packet(0, 40);
-        let d = decide(RoutingKind::Base, &config_small(), &r, Port(0), &p, &mut rng());
+        let d = decide(
+            RoutingKind::Base,
+            &config_small(),
+            &r,
+            Port(0),
+            &p,
+            &mut rng(),
+        );
         assert_eq!(d.kind, DecisionKind::Minimal);
         assert_eq!(
             d.output_port,
@@ -428,7 +455,14 @@ mod tests {
     fn olm_stays_minimal_when_everything_is_empty() {
         let r = router(0);
         let p = packet(0, 40);
-        let d = decide(RoutingKind::Olm, &RoutingConfig::default(), &r, Port(0), &p, &mut rng());
+        let d = decide(
+            RoutingKind::Olm,
+            &RoutingConfig::default(),
+            &r,
+            Port(0),
+            &p,
+            &mut rng(),
+        );
         assert_eq!(d.kind, DecisionKind::Minimal);
     }
 
@@ -445,7 +479,11 @@ mod tests {
             }
         }
         let d = decide(RoutingKind::Hybrid, &cfg, &r, Port(0), &p, &mut rng());
-        assert_eq!(d.kind, DecisionKind::NonminimalGlobal, "credit rule should fire");
+        assert_eq!(
+            d.kind,
+            DecisionKind::NonminimalGlobal,
+            "credit rule should fire"
+        );
 
         // contention trigger only (outputs empty, counters high)
         let mut r2 = router(0);
@@ -465,7 +503,11 @@ mod tests {
             }
         }
         let d2 = decide(RoutingKind::Hybrid, &cfg, &r2, Port(0), &p, &mut rng());
-        assert_eq!(d2.kind, DecisionKind::NonminimalGlobal, "contention rule should fire");
+        assert_eq!(
+            d2.kind,
+            DecisionKind::NonminimalGlobal,
+            "contention rule should fire"
+        );
     }
 
     #[test]
@@ -583,6 +625,62 @@ mod tests {
             DecisionKind::NonminimalLocal,
             "only one local detour per group is allowed"
         );
+    }
+
+    #[test]
+    fn dead_minimal_link_fires_the_misroute_trigger_without_contention() {
+        // no contention anywhere, but the minimal output's link is down:
+        // every adaptive mechanism must immediately steer around it
+        for kind in [
+            RoutingKind::Base,
+            RoutingKind::Ectn,
+            RoutingKind::Olm,
+            RoutingKind::Hybrid,
+        ] {
+            let mut r = router(0);
+            let p = packet(0, 40);
+            let cfg = config_small();
+            let min_out = minimal_output(r.topology(), r.id(), NodeId(40));
+            r.set_link_up(min_out, false);
+            let d = decide(kind, &cfg, &r, Port(0), &p, &mut rng());
+            assert_eq!(
+                d.kind,
+                DecisionKind::NonminimalGlobal,
+                "{kind:?} must misroute around a dead minimal link"
+            );
+            assert_ne!(d.output_port, min_out);
+            assert!(r.link_is_up(d.output_port), "the chosen port must be alive");
+        }
+    }
+
+    #[test]
+    fn dead_candidate_links_are_filtered_from_the_eligible_set() {
+        let mut r = router(0);
+        let p = packet(0, 40);
+        let cfg = config_small();
+        let min_out = minimal_output(r.topology(), r.id(), NodeId(40));
+        // fail the minimal link AND every alternative except one local port
+        let params = *r.topology().params();
+        let mut kept = None;
+        for port in 0..r.num_ports() as u32 {
+            let port = Port(port);
+            if port.class(&params) == PortClass::Terminal || port == min_out {
+                continue;
+            }
+            if kept.is_none() && port.class(&params) == PortClass::Local {
+                kept = Some(port);
+                continue;
+            }
+            r.set_link_up(port, false);
+        }
+        r.set_link_up(min_out, false);
+        let kept = kept.expect("one live local port");
+        for _ in 0..50 {
+            let d = decide(RoutingKind::Base, &cfg, &r, Port(0), &p, &mut rng());
+            if d.kind == DecisionKind::NonminimalGlobal {
+                assert_eq!(d.output_port, kept, "only the live candidate is eligible");
+            }
+        }
     }
 
     #[test]

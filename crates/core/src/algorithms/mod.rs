@@ -108,7 +108,11 @@ impl RoutingAlgorithm {
         dst_router: RouterId,
         rng: &mut DeterministicRng,
     ) -> Decision {
-        debug_assert_ne!(dst_router, router.id(), "ejection is handled by the objective");
+        debug_assert_ne!(
+            dst_router,
+            router.id(),
+            "ejection is handled by the objective"
+        );
         match self.kind {
             RoutingKind::Minimal => oblivious::minimal_decision(router, packet),
             RoutingKind::Valiant => {

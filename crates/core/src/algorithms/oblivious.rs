@@ -67,7 +67,10 @@ mod tests {
         for dst in [5u32, 20, 71] {
             let p = packet(0, dst);
             let d = minimal_decision(&r, &p);
-            assert_eq!(d.output_port, minimal_output(r.topology(), r.id(), NodeId(dst)));
+            assert_eq!(
+                d.output_port,
+                minimal_output(r.topology(), r.id(), NodeId(dst))
+            );
             assert_eq!(d.kind, DecisionKind::Minimal);
             assert_eq!(d.commitment, Commitment::None);
         }
@@ -81,7 +84,10 @@ mod tests {
         let d = valiant_decision(&RoutingConfig::default(), &r, Port(0), &p, &mut rng);
         assert_eq!(d.kind, DecisionKind::NonminimalGlobal);
         match d.commitment {
-            Commitment::Intermediate { router: inter, misroute } => {
+            Commitment::Intermediate {
+                router: inter,
+                misroute,
+            } => {
                 assert!(misroute);
                 let g = r.topology().router_group(inter);
                 assert_ne!(g, r.topology().node_group(NodeId(0)));

@@ -71,7 +71,11 @@ pub fn decide(
     let threshold_phits = config.pb_ugal_threshold_packets * packet.size_phits;
     let ugal_valiant = ugal_prefers_valiant(q_min, h_min, q_val, h_val, threshold_phits);
 
-    if min_link_saturated || ugal_valiant {
+    // a failed minimal first hop forces the Valiant path (fault injection);
+    // always false in a healthy network
+    let min_dead = !router.link_is_up(min_first_hop);
+
+    if (min_link_saturated || ugal_valiant || min_dead) && router.link_is_up(val_first_hop) {
         common::valiant_first_hop(router, packet, intermediate, true)
     } else {
         common::minimal_decision(router, packet)
@@ -133,7 +137,10 @@ mod tests {
         let mut rng = DeterministicRng::new(1);
         let d = decide(&RoutingConfig::default(), &r, Port(0), &p, &mut rng);
         assert_eq!(d.kind, DecisionKind::NonminimalGlobal);
-        assert!(matches!(d.commitment, Commitment::Intermediate { misroute: true, .. }));
+        assert!(matches!(
+            d.commitment,
+            Commitment::Intermediate { misroute: true, .. }
+        ));
     }
 
     #[test]
@@ -200,7 +207,8 @@ mod tests {
         assert!(!r.pb().own_saturated(0));
         // fill global port 0's credits beyond the saturation fraction
         let gport = Port::global(r.topology().params(), 0);
-        let total = r.output(gport).total_credit_capacity() + r.output(gport).buffer_capacity_phits();
+        let total =
+            r.output(gport).total_credit_capacity() + r.output(gport).buffer_capacity_phits();
         let mut consumed = 0;
         'outer: for vc in 0..r.output(gport).num_downstream_vcs() {
             loop {

@@ -120,7 +120,10 @@ mod tests {
         let router = RouterId(1);
         let minimal = 3u32;
         let cands = global_candidates(&t, router, Some(minimal), false);
-        assert_eq!(cands.len(), (t.params().global_links_per_group() - 1) as usize);
+        assert_eq!(
+            cands.len(),
+            (t.params().global_links_per_group() - 1) as usize
+        );
         assert!(cands.iter().all(|c| c.link != minimal));
         // every candidate's gateway is in the same group and owns the link
         for c in &cands {
@@ -158,9 +161,7 @@ mod tests {
         // only links towards the 4 other populated groups remain
         assert_eq!(cands.len(), 4);
         for c in &cands {
-            assert!(t
-                .global_link_target_group(GroupId(0), c.link)
-                .is_some());
+            assert!(t.global_link_target_group(GroupId(0), c.link).is_some());
         }
     }
 
@@ -171,7 +172,9 @@ mod tests {
         let exclude = RouterId(2);
         let cands = local_candidates(&t, router, Some(exclude));
         assert_eq!(cands.len(), (t.params().a - 2) as usize);
-        assert!(cands.iter().all(|c| c.router != exclude && c.router != router));
+        assert!(cands
+            .iter()
+            .all(|c| c.router != exclude && c.router != router));
         for c in &cands {
             let n = t.local_neighbor(router, c.port.class_offset(t.params()));
             assert_eq!(n, c.router);

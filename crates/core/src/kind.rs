@@ -76,7 +76,10 @@ impl RoutingKind {
     /// Whether the mechanism uses contention counters (the paper's
     /// contribution).
     pub fn uses_contention_counters(&self) -> bool {
-        matches!(self, RoutingKind::Base | RoutingKind::Hybrid | RoutingKind::Ectn)
+        matches!(
+            self,
+            RoutingKind::Base | RoutingKind::Hybrid | RoutingKind::Ectn
+        )
     }
 
     /// Whether the mechanism uses credit/occupancy information to trigger

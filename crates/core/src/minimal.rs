@@ -174,7 +174,7 @@ mod tests {
         let r = RouterId(0);
         let remote = packet(0, 70); // node 70 is in the last group
         let local = packet(0, 5); // node 5 is in group 0
-        // injection port, remote destination: tracked
+                                  // injection port, remote destination: tracked
         let link = ectn_link_for(&t, r, PortClass::Terminal, &remote).unwrap();
         assert_eq!(
             t.global_link_target_group(GroupId(0), link).unwrap(),

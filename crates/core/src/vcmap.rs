@@ -42,9 +42,9 @@ fn next_local_vc(packet: &Packet) -> u8 {
     let g = packet.routing.global_hops;
     let l = packet.routing.local_hops_since_global;
     match g {
-        0 => l,         // source group: 0 (a second pre-global local hop is never allowed)
-        1 => 1 + l,     // intermediate or destination group: 1, 2
-        _ => 3 + l,     // destination group after a nonminimal global hop: 3
+        0 => l,     // source group: 0 (a second pre-global local hop is never allowed)
+        1 => 1 + l, // intermediate or destination group: 1, 2
+        _ => 3 + l, // destination group after a nonminimal global hop: 3
     }
 }
 
@@ -86,7 +86,11 @@ pub fn vc_for_next_hop(packet: &Packet, output_class: PortClass, config: &Networ
 /// the destination group of a minimal one) and before any other local hop was
 /// taken in that group: the detour then uses local VC `1 + l` and the
 /// remaining minimal local hops still fit under [`MAX_LOCAL_VC`].
-pub fn local_detour_fits(packet: &Packet, remaining_minimal_locals: u8, config: &NetworkConfig) -> bool {
+pub fn local_detour_fits(
+    packet: &Packet,
+    remaining_minimal_locals: u8,
+    config: &NetworkConfig,
+) -> bool {
     if packet.routing.global_hops != 1 {
         return false;
     }
@@ -103,9 +107,7 @@ pub fn local_detour_fits(packet: &Packet, remaining_minimal_locals: u8, config: 
 /// have taken any global hop yet, and the VC budget must cover the worst
 /// remaining path (`l g l l g l`).
 pub fn global_misroute_fits(packet: &Packet, config: &NetworkConfig) -> bool {
-    packet.routing.global_hops == 0
-        && config.vcs.global >= 2
-        && config.vcs.local > MAX_LOCAL_VC
+    packet.routing.global_hops == 0 && config.vcs.global >= 2 && config.vcs.local > MAX_LOCAL_VC
 }
 
 #[cfg(test)]
@@ -126,19 +128,43 @@ mod tests {
     fn phase_based_vcs_follow_the_canonical_sequence() {
         let c = NetworkConfig::default();
         // source group local hop
-        assert_eq!(vc_for_next_hop(&packet(0, 0, 0), PortClass::Local, &c), VcId(0));
+        assert_eq!(
+            vc_for_next_hop(&packet(0, 0, 0), PortClass::Local, &c),
+            VcId(0)
+        );
         // first global hop
-        assert_eq!(vc_for_next_hop(&packet(1, 0, 1), PortClass::Global, &c), VcId(0));
-        assert_eq!(vc_for_next_hop(&packet(0, 0, 0), PortClass::Global, &c), VcId(0));
+        assert_eq!(
+            vc_for_next_hop(&packet(1, 0, 1), PortClass::Global, &c),
+            VcId(0)
+        );
+        assert_eq!(
+            vc_for_next_hop(&packet(0, 0, 0), PortClass::Global, &c),
+            VcId(0)
+        );
         // local after one global hop: VC1, a second one VC2
-        assert_eq!(vc_for_next_hop(&packet(1, 1, 0), PortClass::Local, &c), VcId(1));
-        assert_eq!(vc_for_next_hop(&packet(2, 1, 1), PortClass::Local, &c), VcId(2));
+        assert_eq!(
+            vc_for_next_hop(&packet(1, 1, 0), PortClass::Local, &c),
+            VcId(1)
+        );
+        assert_eq!(
+            vc_for_next_hop(&packet(2, 1, 1), PortClass::Local, &c),
+            VcId(2)
+        );
         // second global hop
-        assert_eq!(vc_for_next_hop(&packet(2, 1, 1), PortClass::Global, &c), VcId(1));
+        assert_eq!(
+            vc_for_next_hop(&packet(2, 1, 1), PortClass::Global, &c),
+            VcId(1)
+        );
         // destination-group local after the second global hop
-        assert_eq!(vc_for_next_hop(&packet(2, 2, 0), PortClass::Local, &c), VcId(3));
+        assert_eq!(
+            vc_for_next_hop(&packet(2, 2, 0), PortClass::Local, &c),
+            VcId(3)
+        );
         // ejection
-        assert_eq!(vc_for_next_hop(&packet(3, 2, 1), PortClass::Terminal, &c), VcId(0));
+        assert_eq!(
+            vc_for_next_hop(&packet(3, 2, 1), PortClass::Terminal, &c),
+            VcId(0)
+        );
     }
 
     #[test]
@@ -192,7 +218,10 @@ mod tests {
                 PortClass::Terminal => {}
             }
         }
-        assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks {ranks:?} must increase");
+        assert!(
+            ranks.windows(2).all(|w| w[0] < w[1]),
+            "ranks {ranks:?} must increase"
+        );
         assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
     }
 
@@ -217,7 +246,10 @@ mod tests {
         let c = NetworkConfig::default();
         assert!(global_misroute_fits(&packet(0, 0, 0), &c));
         assert!(global_misroute_fits(&packet(1, 0, 1), &c));
-        assert!(!global_misroute_fits(&packet(1, 1, 0), &c), "already took a global hop");
+        assert!(
+            !global_misroute_fits(&packet(1, 1, 0), &c),
+            "already took a global hop"
+        );
         // a configuration with too few VCs cannot support misrouting at all
         let mut tight = NetworkConfig::default();
         tight.vcs.global = 1;

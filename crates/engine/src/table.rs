@@ -72,7 +72,10 @@ impl Table {
 
     /// Access a cell (row, column).
     pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
-        self.rows.get(row).and_then(|r| r.get(col)).map(|s| s.as_str())
+        self.rows
+            .get(row)
+            .and_then(|r| r.get(col))
+            .map(|s| s.as_str())
     }
 
     /// Render as CSV (RFC-4180-ish: cells containing commas or quotes are

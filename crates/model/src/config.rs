@@ -41,7 +41,12 @@ impl VcConfig {
     /// Average number of VCs over the input ports of a router with the given
     /// port counts. This is the quantity the paper's §VI-A uses to reason
     /// about the misrouting threshold (2.74 for the Table I router).
-    pub fn mean_vcs_per_port(&self, injection_ports: u32, local_ports: u32, global_ports: u32) -> f64 {
+    pub fn mean_vcs_per_port(
+        &self,
+        injection_ports: u32,
+        local_ports: u32,
+        global_ports: u32,
+    ) -> f64 {
         let total_ports = injection_ports + local_ports + global_ports;
         if total_ports == 0 {
             return 0.0;
@@ -259,7 +264,10 @@ mod tests {
         let c = NetworkConfig::paper_large_buffers();
         assert_eq!(c.buffers.local_input_per_vc, 256);
         assert_eq!(c.buffers.global_input_per_vc, 2048);
-        assert_eq!(c.buffers.output_buffer, 32, "output buffers keep Table I size");
+        assert_eq!(
+            c.buffers.output_buffer, 32,
+            "output buffers keep Table I size"
+        );
         assert!(c.validate().is_ok());
     }
 

@@ -221,7 +221,13 @@ pub struct Packet {
 
 impl Packet {
     /// Create a freshly generated packet.
-    pub fn new(id: PacketId, src: NodeId, dst: NodeId, size_phits: u32, generated_at: Cycle) -> Self {
+    pub fn new(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        size_phits: u32,
+        generated_at: Cycle,
+    ) -> Self {
         Packet {
             id,
             src,

@@ -295,6 +295,10 @@ mod tests {
         let mut a = Allocator::new(8);
         let requests: Vec<_> = (0..8).map(|i| req(i, 0, (i + 1) % 8, 0)).collect();
         let grants = a.allocate(&requests, |_, _, _| true);
-        assert_eq!(grants.len(), 8, "a perfect matching should be fully granted");
+        assert_eq!(
+            grants.len(),
+            8,
+            "a perfect matching should be fully granted"
+        );
     }
 }

@@ -40,10 +40,7 @@ use crate::router::Router;
 /// router's own flags, so the result matches a snapshot-then-install
 /// exchange exactly.
 pub fn pb_exchange_group(group: &mut [Router], flat: &mut Vec<bool>) {
-    let h = group
-        .first()
-        .map(|r| r.pb().own_flags().len())
-        .unwrap_or(0);
+    let h = group.first().map(|r| r.pb().own_flags().len()).unwrap_or(0);
     flat.clear();
     flat.resize(group.len() * h, false);
     for (i, router) in group.iter().enumerate() {

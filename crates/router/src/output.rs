@@ -146,7 +146,9 @@ impl OutputPort {
         if self.class == PortClass::Terminal {
             return true;
         }
-        self.credits.get(vc.index()).is_some_and(|&c| c >= size_phits)
+        self.credits
+            .get(vc.index())
+            .is_some_and(|&c| c >= size_phits)
     }
 
     /// Accept a granted packet into the output buffer. Consumes credits for

@@ -45,6 +45,14 @@ pub struct Router {
     /// an O(1) guard that skips the registration scan entirely on the
     /// (common) cycles where no new head appeared.
     unregistered_count: u32,
+    /// Whether the *outgoing* direction of each port's link is usable
+    /// (fault injection). All `true` in a healthy network; mirrored from
+    /// the simulator's `LinkState` when fault events fire. A down port is
+    /// never granted by the allocator and never transmits — staged packets
+    /// wait in the output buffer until the link comes back up.
+    link_up: Vec<bool>,
+    /// Number of `false` entries in `link_up` (O(1) healthy fast path).
+    links_down: u32,
 }
 
 impl Router {
@@ -92,6 +100,8 @@ impl Router {
             occupied_per_port: vec![0; radix as usize],
             occupied_total: 0,
             unregistered_count: 0,
+            link_up: vec![true; radix as usize],
+            links_down: 0,
         }
     }
 
@@ -184,8 +194,15 @@ impl Router {
 
     /// Total packets buffered in all input VCs.
     pub fn queued_packets(&self) -> usize {
-        self.inputs.iter().map(|p| p.queued_packets()).sum::<usize>()
-            + self.outputs.iter().map(|o| o.staged_packets()).sum::<usize>()
+        self.inputs
+            .iter()
+            .map(|p| p.queued_packets())
+            .sum::<usize>()
+            + self
+                .outputs
+                .iter()
+                .map(|o| o.staged_packets())
+                .sum::<usize>()
     }
 
     // ------------------------------------------------------------------
@@ -196,7 +213,9 @@ impl Router {
     /// `(port, vc)`. Used for injection (nodes have no credits) and for
     /// assertions; router-to-router transfers are guaranteed by credits.
     pub fn can_accept_input(&self, port: Port, vc: VcId, size_phits: u32) -> bool {
-        self.inputs[port.index()].vc(vc.index()).can_accept(size_phits)
+        self.inputs[port.index()]
+            .vc(vc.index())
+            .can_accept(size_phits)
     }
 
     /// Deliver a packet into input VC `(port, vc)` (link arrival or
@@ -219,6 +238,39 @@ impl Router {
     }
 
     // ------------------------------------------------------------------
+    // Link state (fault injection)
+    // ------------------------------------------------------------------
+
+    /// Whether the outgoing direction of `port`'s link is usable. Always
+    /// true in a healthy network; routing policies consult this to steer
+    /// around failed links and the allocator refuses grants towards down
+    /// ports regardless of policy.
+    #[inline]
+    pub fn link_is_up(&self, port: Port) -> bool {
+        self.link_up[port.index()]
+    }
+
+    /// Mark the outgoing direction of `port` up or down (mirrors the
+    /// simulator's `LinkState` when a fault event fires).
+    pub fn set_link_up(&mut self, port: Port, up: bool) {
+        let flag = &mut self.link_up[port.index()];
+        if *flag != up {
+            *flag = up;
+            if up {
+                self.links_down -= 1;
+            } else {
+                self.links_down += 1;
+            }
+        }
+    }
+
+    /// Whether any outgoing link of this router is currently down (O(1)).
+    #[inline]
+    pub fn any_link_down(&self) -> bool {
+        self.links_down > 0
+    }
+
+    // ------------------------------------------------------------------
     // Contention / ECtN registration
     // ------------------------------------------------------------------
 
@@ -226,7 +278,13 @@ impl Router {
     /// counter of its minimal output `min_output`, and if `ectn_link` is
     /// given (remote-destination packet at an injection or global input
     /// port), increment that ECtN partial counter as well.
-    pub fn register_head(&mut self, port: Port, vc: VcId, min_output: Port, ectn_link: Option<u32>) {
+    pub fn register_head(
+        &mut self,
+        port: Port,
+        vc: VcId,
+        min_output: Port,
+        ectn_link: Option<u32>,
+    ) {
         let input_vc = self.inputs[port.index()].vc_mut(vc.index());
         debug_assert!(input_vc.head_needs_registration());
         debug_assert!(self.unregistered_count > 0);
@@ -278,9 +336,14 @@ impl Router {
     /// no allocation in steady state.
     pub fn allocate_into(&mut self, requests: &[AllocationRequest], grants: &mut Vec<Grant>) {
         let outputs = &self.outputs;
-        self.allocator.allocate_into(requests, grants, |port, vc, size| {
-            outputs[port.index()].can_accept(vc, size)
-        })
+        let link_up = &self.link_up;
+        self.allocator
+            .allocate_into(requests, grants, |port, vc, size| {
+                // a down link is never granted, whatever the routing policy
+                // requested — the packet waits (and adaptive policies re-decide
+                // next cycle)
+                link_up[port.index()] && outputs[port.index()].can_accept(vc, size)
+            })
     }
 
     /// Run one iteration of the separable allocator over `requests`
@@ -346,8 +409,20 @@ impl Router {
     /// cycle at which its tail leaves this router (the simulator adds the
     /// link latency to schedule the remote arrival). Writes into the caller's
     /// reusable `sent` buffer — no allocation in steady state.
-    pub fn transmit_outputs_into(&mut self, now: Cycle, sent: &mut Vec<(Port, Packet, VcId, Cycle)>) {
+    pub fn transmit_outputs_into(
+        &mut self,
+        now: Cycle,
+        sent: &mut Vec<(Port, Packet, VcId, Cycle)>,
+    ) {
+        // healthy routers (the overwhelmingly common case) skip the
+        // per-port flag reads entirely via the O(1) down-counter
+        let any_down = self.links_down > 0;
         for (p, output) in self.outputs.iter_mut().enumerate() {
+            // a down link transmits nothing: staged packets wait in the
+            // output buffer until the link comes back up
+            if any_down && !self.link_up[p] {
+                continue;
+            }
             if let Some((packet, vc, tail_at)) = output.try_transmit(now) {
                 sent.push((Port(p as u32), packet, vc, tail_at));
             }
@@ -447,7 +522,11 @@ mod tests {
         // output credits match the peer input buffers
         assert_eq!(r.output(Port(5)).credit_capacity(VcId(0)), 256);
         assert_eq!(r.output(Port(2)).credit_capacity(VcId(0)), 32);
-        assert_eq!(r.output(Port(0)).num_downstream_vcs(), 0, "ejection has no credits");
+        assert_eq!(
+            r.output(Port(0)).num_downstream_vcs(),
+            0,
+            "ejection has no credits"
+        );
     }
 
     #[test]
@@ -572,6 +651,59 @@ mod tests {
         // returning credits unblocks it
         r.receive_credits(Port(2), VcId(0), 8);
         assert_eq!(r.allocate(&[req]).len(), 1);
+    }
+
+    #[test]
+    fn down_links_block_grants_and_transmission_until_restored() {
+        let mut r = router();
+        assert!(!r.any_link_down());
+        // stage a packet towards local output 2, then fail the link
+        r.receive_packet(Port(3), VcId(0), packet(1, 2));
+        r.register_head(Port(3), VcId(0), Port(2), None);
+        let req = AllocationRequest {
+            input_port: Port(3),
+            input_vc: VcId(0),
+            output_port: Port(2),
+            output_vc: VcId(0),
+            size_phits: 8,
+        };
+        r.set_link_up(Port(2), false);
+        assert!(!r.link_is_up(Port(2)));
+        assert!(r.any_link_down());
+        // the allocator refuses the down port even though credits exist
+        assert!(
+            r.allocate(&[req]).is_empty(),
+            "down links must not be granted"
+        );
+        // restore and grant; then fail again before transmission
+        r.set_link_up(Port(2), true);
+        let grants = r.allocate(&[req]);
+        assert_eq!(grants.len(), 1);
+        r.apply_grant(&grants[0], 0);
+        r.set_link_up(Port(2), false);
+        let pipeline = r.config().latencies.router_pipeline as Cycle;
+        assert!(
+            r.transmit_outputs(pipeline).is_empty(),
+            "staged packets wait while the link is down"
+        );
+        assert!(!r.is_idle(), "a blocked packet keeps the router busy");
+        r.set_link_up(Port(2), true);
+        assert!(!r.any_link_down());
+        let sent = r.transmit_outputs(pipeline + 1);
+        assert_eq!(sent.len(), 1, "restored links resume transmission");
+    }
+
+    #[test]
+    fn set_link_up_is_idempotent() {
+        let mut r = router();
+        r.set_link_up(Port(5), false);
+        r.set_link_up(Port(5), false);
+        assert!(r.any_link_down());
+        r.set_link_up(Port(5), true);
+        assert!(
+            !r.any_link_down(),
+            "repeated sets must not corrupt the counter"
+        );
     }
 
     #[test]

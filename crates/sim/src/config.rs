@@ -6,6 +6,7 @@ use df_topology::{Dragonfly, DragonflyParams};
 use df_traffic::{InjectionKind, PatternKind, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::scenario::Scenario;
 
 /// Which simulation-kernel implementation [`crate::Network`] runs.
@@ -126,6 +127,8 @@ pub struct SimulationConfig {
     pub schedule: TrafficSchedule,
     /// Injection process every node runs (Bernoulli, bursty or ramp).
     pub injection: InjectionKind,
+    /// Timed link/router fault events (empty for healthy-network runs).
+    pub faults: FaultPlan,
     /// Offered load in phits/(node·cycle).
     pub offered_load: f64,
     /// Seed for all stochastic components.
@@ -175,6 +178,7 @@ impl SimulationConfig {
             }
         }
         let topo = Dragonfly::new(self.topology);
+        self.faults.validate(&topo)?;
         for (i, phase) in self.schedule.phases().iter().enumerate() {
             phase
                 .pattern
@@ -207,6 +211,7 @@ pub struct SimulationConfigBuilder {
     routing_config: Option<RoutingConfig>,
     schedule: TrafficSchedule,
     injection: InjectionKind,
+    faults: FaultPlan,
     offered_load: f64,
     seed: u64,
     warmup_cycles: u64,
@@ -223,6 +228,7 @@ impl Default for SimulationConfigBuilder {
             routing_config: None,
             schedule: TrafficSchedule::constant(PatternKind::Uniform),
             injection: InjectionKind::Bernoulli,
+            faults: FaultPlan::new(),
             offered_load: 0.1,
             seed: 0,
             warmup_cycles: 1_000,
@@ -277,10 +283,18 @@ impl SimulationConfigBuilder {
     }
 
     /// Apply a declarative [`Scenario`]: its phases become the traffic
-    /// schedule and its injection process replaces the current one.
+    /// schedule, and its injection process and fault plan replace the
+    /// current ones.
     pub fn scenario(mut self, scenario: &Scenario) -> Self {
         self.schedule = scenario.schedule();
         self.injection = scenario.injection;
+        self.faults = scenario.fault_plan().clone();
+        self
+    }
+
+    /// Set the fault plan (empty, i.e. a healthy network, by default).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -326,6 +340,7 @@ impl SimulationConfigBuilder {
             routing_config,
             schedule: self.schedule,
             injection: self.injection,
+            faults: self.faults,
             offered_load: self.offered_load,
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,
@@ -382,7 +397,10 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(SimulationConfig::builder().offered_load(1.5).build().is_err());
+        assert!(SimulationConfig::builder()
+            .offered_load(1.5)
+            .build()
+            .is_err());
         assert!(SimulationConfig::builder()
             .measurement_cycles(0)
             .build()
@@ -418,6 +436,32 @@ mod tests {
     }
 
     #[test]
+    fn scenario_carries_its_fault_plan_into_the_config() {
+        use df_topology::{GroupId, RouterId};
+        let topo = Dragonfly::new(DragonflyParams::small());
+        let (gw, port) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(2));
+        let scenario = Scenario::steady(PatternKind::Uniform)
+            .link_down(100, gw, port)
+            .link_up(300, gw, port);
+        let c = SimulationConfig::builder()
+            .scenario(&scenario)
+            .build()
+            .unwrap();
+        assert_eq!(c.faults.len(), 2);
+        assert_eq!(c.faults.change_points(), vec![100, 300]);
+        // the default stays empty, and invalid plans are rejected
+        assert!(SimulationConfig::builder()
+            .build()
+            .unwrap()
+            .faults
+            .is_empty());
+        assert!(SimulationConfig::builder()
+            .faults(FaultPlan::new().router_drain(5, RouterId(10_000)))
+            .build()
+            .is_err());
+    }
+
+    #[test]
     fn kernel_env_values_parse() {
         assert_eq!(KernelMode::parse_env_value("legacy"), KernelMode::Legacy);
         assert_eq!(KernelMode::parse_env_value("LEGACY"), KernelMode::Legacy);
@@ -439,7 +483,10 @@ mod tests {
         );
         // non-parallel strings keep the documented optimized fallback
         assert_eq!(KernelMode::parse_env_value(""), KernelMode::Optimized);
-        assert_eq!(KernelMode::parse_env_value("optimized"), KernelMode::Optimized);
+        assert_eq!(
+            KernelMode::parse_env_value("optimized"),
+            KernelMode::Optimized
+        );
         assert_eq!(KernelMode::parse_env_value("wheel"), KernelMode::Optimized);
     }
 

@@ -360,7 +360,13 @@ mod tests {
                 packet: p.clone(),
             },
         );
-        q.schedule(5, Event::Delivery { node: NodeId(5), packet: p });
+        q.schedule(
+            5,
+            Event::Delivery {
+                node: NodeId(5),
+                packet: p,
+            },
+        );
         let due = q.pop_due(10);
         assert!(matches!(due[0], Event::Delivery { .. }));
         assert!(matches!(due[1], Event::PacketArrival { .. }));

@@ -247,7 +247,10 @@ mod tests {
         assert!(report.delivered_packets > 0);
         assert!(report.avg_packet_latency > 0.0);
         assert!(report.accepted_load > 0.0);
-        assert!(report.accepted_load <= 0.15, "accepted cannot exceed offered by much");
+        assert!(
+            report.accepted_load <= 0.15,
+            "accepted cannot exceed offered by much"
+        );
         assert!(report.avg_hops <= 3.0 + 1e-9);
         assert_eq!(report.routing, RoutingKind::Minimal);
         assert_eq!(report.pattern, PatternKind::Uniform);

@@ -1,0 +1,318 @@
+//! Deterministic fault injection: declarative, timed link and router
+//! failures attached to a scenario.
+//!
+//! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s — `LinkDown` /
+//! `LinkUp` on a (bidirectional) router-to-router link, and `RouterDrain` /
+//! `RouterRestore` on a router's traffic sources. The plan is part of the
+//! workload description: it lowers into the simulation kernel as schedule
+//! change-points (so the `drain()` idle fast-forward can never skip a fault
+//! cycle) and is applied at the *start* of the fault's cycle, before link
+//! events are delivered.
+//!
+//! # Failure semantics
+//!
+//! * **`LinkDown`** takes both directions of the link out of service:
+//!   * the allocator stops granting the dead output ports, whatever the
+//!     routing policy requested — packets wait, and adaptive policies treat
+//!     the dead minimal port as infinitely contended and misroute around it;
+//!   * packets staged in an output buffer behind the dead link wait there
+//!     (the activity gate keeps their router live);
+//!   * packets and credit messages **in flight on the link** when it fails
+//!     (arrival scheduled while the link is down) are *dropped* and
+//!     accounted in the `DroppedOnFault` counters, so phit conservation
+//!     stays a checkable equality:
+//!     `injected = delivered + in-flight + dropped_on_fault`;
+//!   * the credits each dropped phit had consumed upstream are remembered
+//!     in a per-link ledger.
+//! * **`LinkUp`** restores both directions and returns the ledger credits
+//!   to the upstream output ports — the downstream buffer space the dropped
+//!   packets had reserved was never used, so after restoration the credit
+//!   invariant (`free credits = capacity − downstream occupancy − in-flight
+//!   reservations`) is exact again.
+//! * **`RouterDrain`** gracefully drains the traffic *sourced* at a router:
+//!   its attached nodes stop generating new packets at the fault cycle,
+//!   while already-queued packets still inject and flush, and transit
+//!   traffic is unaffected. Compose with `LinkDown` events to model harder
+//!   router failures. **`RouterRestore`** re-enables generation.
+//!
+//! Events fire only within simulated time: if a run (or a drain) ends
+//! before an event's cycle, the network finishes in the degraded state —
+//! a `LinkUp` that was never reached leaves its link down and its lost
+//! credits ledgered, which is exactly what the conservation counters
+//! report. Resuming stepping applies the remaining events on schedule.
+//!
+//! Fault application is main-thread work in every kernel, so fault runs stay
+//! **bit-identical across the optimized, legacy and parallel kernels at any
+//! worker count** (guarded by `tests/kernel_equivalence.rs`).
+
+use df_model::Cycle;
+use df_topology::{Dragonfly, GroupId, Port, PortClass, PortPeer, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// What a fault event does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Take the bidirectional link attached at `(router, port)` out of
+    /// service (both directions). `port` must be a local or global port.
+    LinkDown {
+        /// One endpoint router of the link.
+        router: RouterId,
+        /// The (local or global) port of that router.
+        port: Port,
+    },
+    /// Restore the bidirectional link attached at `(router, port)` and
+    /// return the credits lost to drops on it.
+    LinkUp {
+        /// One endpoint router of the link.
+        router: RouterId,
+        /// The (local or global) port of that router.
+        port: Port,
+    },
+    /// Stop traffic generation at the nodes attached to `router` (graceful
+    /// drain; queued packets still flush).
+    RouterDrain {
+        /// The router being drained.
+        router: RouterId,
+    },
+    /// Re-enable traffic generation at the nodes attached to `router`.
+    RouterRestore {
+        /// The router being restored.
+        router: RouterId,
+    },
+}
+
+/// One timed fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Cycle at which the fault takes effect (start of the cycle, before
+    /// link-event delivery).
+    pub at: Cycle,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A declarative list of timed fault events (see the module docs for the
+/// exact semantics of each kind).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the healthy-network default).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Append an arbitrary event.
+    pub fn push(mut self, at: Cycle, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Append a `LinkDown` at `at` on the link attached at `(router, port)`.
+    pub fn link_down(self, at: Cycle, router: RouterId, port: Port) -> Self {
+        self.push(at, FaultKind::LinkDown { router, port })
+    }
+
+    /// Append a `LinkUp` at `at` on the link attached at `(router, port)`.
+    pub fn link_up(self, at: Cycle, router: RouterId, port: Port) -> Self {
+        self.push(at, FaultKind::LinkUp { router, port })
+    }
+
+    /// Append a `RouterDrain` at `at`.
+    pub fn router_drain(self, at: Cycle, router: RouterId) -> Self {
+        self.push(at, FaultKind::RouterDrain { router })
+    }
+
+    /// Append a `RouterRestore` at `at`.
+    pub fn router_restore(self, at: Cycle, router: RouterId) -> Self {
+        self.push(at, FaultKind::RouterRestore { router })
+    }
+
+    /// The endpoint `(router, port)` of the unique global link connecting
+    /// two distinct groups — a convenience for building plans that degrade
+    /// specific group pairs.
+    pub fn global_link_between(topo: &Dragonfly, g1: GroupId, g2: GroupId) -> (RouterId, Port) {
+        topo.gateway_to(g1, g2)
+    }
+
+    /// The events in plan order (insertion order; lowering sorts them by
+    /// cycle with a stable sort, so same-cycle events apply in insertion
+    /// order).
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events sorted by cycle (stable: same-cycle events keep insertion
+    /// order) — the form the simulation kernel consumes.
+    pub fn sorted_events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// The cycles at which the plan changes the network, sorted and
+    /// deduplicated — merged into the kernel's schedule change-points so
+    /// idle fast-forwarding can never skip a fault.
+    pub fn change_points(&self) -> Vec<Cycle> {
+        let mut points: Vec<Cycle> = self.events.iter().map(|e| e.at).collect();
+        points.sort_unstable();
+        points.dedup();
+        points
+    }
+
+    /// Validate the plan against a topology: router ids and ports must
+    /// exist, and link faults must name router-to-router links (terminal
+    /// links cannot fail — a node with no ejection path would make packet
+    /// conservation undecidable).
+    pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
+        let params = topo.params();
+        let num_routers = topo.num_routers();
+        for (i, event) in self.events.iter().enumerate() {
+            let check_link = |router: RouterId, port: Port| -> Result<(), String> {
+                if router.0 >= num_routers {
+                    return Err(format!("fault event {i}: router {router} out of range"));
+                }
+                if port.0 >= params.radix() {
+                    return Err(format!("fault event {i}: port {port} out of range"));
+                }
+                if port.class(params) == PortClass::Terminal {
+                    return Err(format!(
+                        "fault event {i}: terminal links cannot fail (router {router} port {port})"
+                    ));
+                }
+                if !matches!(topo.peer(router, port), PortPeer::Router(..)) {
+                    return Err(format!(
+                        "fault event {i}: router {router} port {port} is not wired"
+                    ));
+                }
+                Ok(())
+            };
+            match event.kind {
+                FaultKind::LinkDown { router, port } | FaultKind::LinkUp { router, port } => {
+                    check_link(router, port)?
+                }
+                FaultKind::RouterDrain { router } | FaultKind::RouterRestore { router } => {
+                    if router.0 >= num_routers {
+                        return Err(format!("fault event {i}: router {router} out of range"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use df_topology::DragonflyParams;
+
+    fn topo() -> Dragonfly {
+        Dragonfly::new(DragonflyParams::small())
+    }
+
+    #[test]
+    fn empty_plan_is_the_default() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert!(plan.change_points().is_empty());
+        assert!(plan.validate(&topo()).is_ok());
+        assert_eq!(plan, FaultPlan::default());
+    }
+
+    #[test]
+    fn builder_accumulates_events_in_order() {
+        let t = topo();
+        let (gw, port) = FaultPlan::global_link_between(&t, GroupId(0), GroupId(4));
+        let plan = FaultPlan::new()
+            .link_down(150, gw, port)
+            .router_drain(200, RouterId(3))
+            .link_up(450, gw, port)
+            .router_restore(500, RouterId(3));
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.change_points(), vec![150, 200, 450, 500]);
+        assert!(plan.validate(&t).is_ok());
+        assert_eq!(
+            plan.events()[0].kind,
+            FaultKind::LinkDown { router: gw, port }
+        );
+    }
+
+    #[test]
+    fn sorted_events_are_stable_within_a_cycle() {
+        let t = topo();
+        let port = Port::local(t.params(), 0);
+        let plan = FaultPlan::new()
+            .link_down(300, RouterId(1), port)
+            .link_down(100, RouterId(2), port)
+            .router_drain(100, RouterId(5));
+        let sorted = plan.sorted_events();
+        assert_eq!(sorted[0].at, 100);
+        assert_eq!(
+            sorted[0].kind,
+            FaultKind::LinkDown {
+                router: RouterId(2),
+                port
+            }
+        );
+        assert_eq!(
+            sorted[1].kind,
+            FaultKind::RouterDrain {
+                router: RouterId(5)
+            }
+        );
+        assert_eq!(sorted[2].at, 300);
+        assert_eq!(plan.change_points(), vec![100, 300]);
+    }
+
+    #[test]
+    fn validation_rejects_bad_targets() {
+        let t = topo();
+        // terminal link
+        let plan = FaultPlan::new().link_down(10, RouterId(0), Port(0));
+        assert!(plan.validate(&t).unwrap_err().contains("terminal"));
+        // out-of-range router
+        let plan = FaultPlan::new().router_drain(10, RouterId(999));
+        assert!(plan.validate(&t).unwrap_err().contains("out of range"));
+        // out-of-range port
+        let plan = FaultPlan::new().link_up(10, RouterId(0), Port(99));
+        assert!(plan.validate(&t).unwrap_err().contains("out of range"));
+        // a dangling global port of a partially-populated network
+        let partial = Dragonfly::new(DragonflyParams::new(2, 4, 2, 5).unwrap());
+        let dangling = partial
+            .routers()
+            .flat_map(|r| {
+                let params = *partial.params();
+                (0..params.h).map(move |k| (r, Port::global(&params, k)))
+            })
+            .find(|(r, p)| {
+                partial
+                    .global_neighbor(*r, p.class_offset(partial.params()))
+                    .is_none()
+            })
+            .expect("a dangling link exists");
+        let plan = FaultPlan::new().link_down(10, dangling.0, dangling.1);
+        assert!(plan.validate(&partial).unwrap_err().contains("not wired"));
+    }
+
+    #[test]
+    fn global_link_between_matches_the_gateway() {
+        let t = topo();
+        let (gw, port) = FaultPlan::global_link_between(&t, GroupId(2), GroupId(7));
+        assert_eq!(t.router_group(gw), GroupId(2));
+        assert_eq!(port.class(t.params()), PortClass::Global);
+    }
+}

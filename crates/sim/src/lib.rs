@@ -10,6 +10,8 @@
 //! * [`network`] — the [`Network`] object and its per-cycle step loop,
 //! * [`experiment`] — steady-state and transient experiment runners,
 //! * [`scenario`] — declarative multi-phase traffic workloads,
+//! * [`fault`] — deterministic link/router fault injection
+//!   ([`fault::FaultPlan`]),
 //! * [`sweep`] — parallel parameter sweeps and the scenario-matrix runner,
 //! * [`metrics`], [`events`], [`node`] — supporting machinery.
 //!
@@ -40,6 +42,7 @@
 pub mod config;
 pub mod events;
 pub mod experiment;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -51,6 +54,7 @@ pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
 pub use experiment::{
     SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
 };
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Metrics, WindowSummary};
 pub use network::Network;
 pub use scenario::{Scenario, ScenarioPhase};

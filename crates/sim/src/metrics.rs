@@ -25,6 +25,14 @@ pub struct Metrics {
     misrouted_local: u64,
     // ---- whole-run counters (used by the progress watchdog) ----
     delivered_packets_total: u64,
+    delivered_phits_total: u64,
+    // ---- fault accounting (whole run) ----
+    /// Packets dropped because they were in flight on a link when it
+    /// failed. Together with `delivered` and `in-flight` these make packet
+    /// conservation under faults a checkable equality.
+    dropped_on_fault_packets: u64,
+    /// Phits of those dropped packets.
+    dropped_on_fault_phits: u64,
     // ---- transient series ----
     latency_series: BinnedSeries,
     misroute_series: BinnedSeries,
@@ -69,6 +77,9 @@ impl Metrics {
             misrouted_global: 0,
             misrouted_local: 0,
             delivered_packets_total: 0,
+            delivered_phits_total: 0,
+            dropped_on_fault_packets: 0,
+            dropped_on_fault_phits: 0,
             latency_series: BinnedSeries::new(series_origin, series_bin),
             misroute_series: BinnedSeries::new(series_origin, series_bin),
             latency_histogram: Histogram::new(0.0, 5_000.0, 500),
@@ -100,6 +111,7 @@ impl Metrics {
     /// Record a packet delivered to its destination node at `now`.
     pub fn record_delivery(&mut self, packet: &Packet, now: Cycle) {
         self.delivered_packets_total += 1;
+        self.delivered_phits_total += packet.size_phits as u64;
         let latency = (now - packet.generated_at) as f64;
         self.latency_series.record(now as i64, latency);
         if self.measuring() {
@@ -124,10 +136,32 @@ impl Metrics {
             .record(now as i64, if misrouted { 100.0 } else { 0.0 });
     }
 
+    /// Record a packet dropped because its link failed while it was in
+    /// flight (fault injection).
+    pub fn record_dropped_on_fault(&mut self, packet: &Packet) {
+        self.dropped_on_fault_packets += 1;
+        self.dropped_on_fault_phits += packet.size_phits as u64;
+    }
+
     /// Total packets delivered since the beginning of the run (not just the
     /// window); used by the progress watchdog.
     pub fn delivered_packets_total(&self) -> u64 {
         self.delivered_packets_total
+    }
+
+    /// Total phits delivered since the beginning of the run.
+    pub fn delivered_phits_total(&self) -> u64 {
+        self.delivered_phits_total
+    }
+
+    /// Packets dropped by link failures since the beginning of the run.
+    pub fn dropped_on_fault_packets(&self) -> u64 {
+        self.dropped_on_fault_packets
+    }
+
+    /// Phits dropped by link failures since the beginning of the run.
+    pub fn dropped_on_fault_phits(&self) -> u64 {
+        self.dropped_on_fault_phits
     }
 
     /// The latency histogram of the measurement window (used by the
@@ -175,6 +209,23 @@ impl Metrics {
         self.latency_series
             .iter_means()
             .map(|(t, m, _)| (t - origin, m))
+            .collect()
+    }
+
+    /// Width of the transient-series bins in cycles (consumers converting
+    /// per-bin counts into rates must use this, not a hardcoded constant).
+    pub fn series_bin_width(&self) -> u64 {
+        self.latency_series.bin_width()
+    }
+
+    /// Per-bin delivered-packet counts around the series origin (the
+    /// throughput view of the transient series; used by the fault-recovery
+    /// curve). Times are relative to the origin.
+    pub fn delivery_count_series(&self) -> Vec<(i64, u64)> {
+        let origin = self.series_origin;
+        self.latency_series
+            .iter_means()
+            .map(|(t, _, n)| (t - origin, n))
             .collect()
     }
 
@@ -255,7 +306,10 @@ mod tests {
         assert_eq!(lat[1].0, 0);
         let mis = m.misroute_series();
         assert_eq!(mis.len(), 1);
-        assert!((mis[0].1 - 50.0).abs() < 1e-9, "50% of commits were misroutes");
+        assert!(
+            (mis[0].1 - 50.0).abs() < 1e-9,
+            "50% of commits were misroutes"
+        );
     }
 
     #[test]

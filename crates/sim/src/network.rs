@@ -4,8 +4,12 @@
 //! the metrics collector, and advances them together one cycle at a time.
 //! The per-cycle sequence is:
 //!
+//! 0. apply fault events due this cycle (link state flips, credit-ledger
+//!    restoration, drain flags — see the `fault` module; a no-op
+//!    comparison for healthy runs),
 //! 1. deliver due link events (packet arrivals, credit returns, node
-//!    deliveries),
+//!    deliveries) — an arrival whose link failed while it was in flight
+//!    is dropped and accounted in the `DroppedOnFault` counters,
 //! 2. traffic generation and injection from the node source queues into the
 //!    routers' injection buffers,
 //! 3. control-plane dissemination: PB saturation flags every cycle, ECtN
@@ -60,11 +64,13 @@ use df_model::{Cycle, VcId};
 use df_router::{Grant, Router};
 use df_routing::algorithms::piggyback;
 use df_routing::{minimal, RoutingAlgorithm};
-use df_topology::{Dragonfly, GroupId, NodeId, PortPeer, RouterId};
+use df_topology::{Dragonfly, GroupId, LinkState, NodeId, Port, PortPeer, RouterId};
 use df_traffic::TrafficPattern;
+use std::collections::BTreeMap;
 
 use crate::config::{KernelMode, SimulationConfig};
 use crate::events::{Event, EventQueue, LegacyEventQueue};
+use crate::fault::{FaultEvent, FaultKind};
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::parallel::{execute_shard, PhaseJob, PhaseKind, ShardState, StepCtx, WorkerPool};
@@ -122,7 +128,26 @@ pub struct Network {
     next_packet_id: u64,
     metrics: Metrics,
     in_flight: u64,
+    in_flight_phits: u64,
+    injected_packets_total: u64,
+    injected_phits_total: u64,
     last_delivery_cycle: Cycle,
+    // ---- fault injection ----
+    /// Dynamic link availability (mirrored into each router's own port
+    /// flags whenever a fault event fires).
+    link_state: LinkState,
+    /// The lowered fault plan, sorted by cycle (stable).
+    fault_events: Vec<FaultEvent>,
+    /// Index of the next fault event to apply.
+    next_fault: usize,
+    /// Nodes whose router is draining (generation suppressed).
+    node_blocked: Vec<bool>,
+    /// Credits lost to drops on each failed directed link, keyed by the
+    /// *upstream* `(router, port)` owning them, per downstream VC. Returned
+    /// to the owner on `LinkUp` (the downstream buffer space the dropped
+    /// packets had reserved was never used). `BTreeMap` for deterministic
+    /// iteration; empty in healthy runs.
+    lost_credits: BTreeMap<(u32, u32), Vec<u32>>,
     // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
@@ -216,8 +241,15 @@ impl Network {
         // cycles for those mechanisms.
         let control_plane_every_cycle =
             config.routing.needs_pb_dissemination() || config.routing.needs_ectn_broadcast();
-        let change_points = config.schedule.change_points();
+        // Fault cycles are schedule change-points too: the drain()
+        // fast-forward must observe every fault at its exact cycle.
+        let mut change_points = config.schedule.change_points();
+        change_points.extend(config.faults.change_points());
+        change_points.sort_unstable();
+        change_points.dedup();
+        let fault_events = config.faults.sorted_events();
         let num_routers = routers.len();
+        let num_nodes = nodes.len();
         Network {
             config,
             topo,
@@ -232,7 +264,15 @@ impl Network {
             next_packet_id: 0,
             metrics,
             in_flight: 0,
+            in_flight_phits: 0,
+            injected_packets_total: 0,
+            injected_phits_total: 0,
             last_delivery_cycle: 0,
+            link_state: LinkState::new(&topo),
+            fault_events,
+            next_fault: 0,
+            node_blocked: vec![false; num_nodes],
+            lost_credits: BTreeMap::new(),
             gated,
             control_plane_every_cycle,
             change_points,
@@ -280,9 +320,44 @@ impl Network {
         &self.nodes[id.index()]
     }
 
-    /// Packets currently inside the network (injected but not delivered).
+    /// Packets currently inside the network (injected but not delivered or
+    /// dropped).
     pub fn in_flight(&self) -> u64 {
         self.in_flight
+    }
+
+    /// Phits currently inside the network.
+    pub fn in_flight_phits(&self) -> u64 {
+        self.in_flight_phits
+    }
+
+    /// Packets handed to the routers' injection buffers since the beginning
+    /// of the run. Under faults the conservation law is the exact equality
+    /// `injected = delivered + in-flight + dropped-on-fault`.
+    pub fn injected_packets_total(&self) -> u64 {
+        self.injected_packets_total
+    }
+
+    /// Phits injected since the beginning of the run.
+    pub fn injected_phits_total(&self) -> u64 {
+        self.injected_phits_total
+    }
+
+    /// The dynamic link-availability mask (all up unless a fault plan is
+    /// active).
+    pub fn link_state(&self) -> &LinkState {
+        &self.link_state
+    }
+
+    /// Credits currently lost to in-flight drops on failed links (returned
+    /// to their owners when the links come back up). Non-zero only while a
+    /// link that dropped traffic is still down.
+    pub fn fault_lost_credits(&self) -> u64 {
+        self.lost_credits
+            .values()
+            .flat_map(|per_vc| per_vc.iter())
+            .map(|&c| c as u64)
+            .sum()
     }
 
     /// Number of events pending on links.
@@ -329,6 +404,13 @@ impl Network {
     /// fast-forwarding the clock to the next pending event — behaviour-
     /// preserving because traffic generation is off and an idle cycle
     /// changes no state.
+    ///
+    /// Draining ends the run at the cycle the network empties: fault events
+    /// scheduled beyond that cycle simply have not happened yet (the
+    /// simulation ended while the network was still degraded — e.g. a
+    /// `LinkUp` after the drain point leaves its link down and its lost
+    /// credits ledgered). The fault plan is not frozen: resume stepping and
+    /// the remaining events fire at their scheduled cycles.
     pub fn drain(&mut self, max_cycles: u64) -> bool {
         for node in &mut self.nodes {
             node.set_offered_load(0.0);
@@ -345,18 +427,22 @@ impl Network {
             {
                 if let Some(t) = self.events.next_time() {
                     if t > self.cycle {
-                        // don't jump past a scheduled traffic change: the
-                        // phase switch must be observed at its exact cycle
-                        let next_change = self
-                            .change_points
-                            .iter()
-                            .copied()
-                            .find(|&c| c > self.cycle);
+                        // don't jump past a schedule change point (traffic
+                        // phase switch or fault event): clamp the jump and
+                        // fall through to step(), so the change is observed
+                        // by a real step at its exact cycle
+                        let next_change =
+                            self.change_points.iter().copied().find(|&c| c > self.cycle);
                         self.cycle = match next_change {
                             Some(c) => t.min(c),
                             None => t,
                         };
-                        continue;
+                        if self.cycle >= deadline {
+                            // the jump exhausted the budget: stop without
+                            // stepping, exactly like the cycle-by-cycle
+                            // kernels which never reach past the deadline
+                            break;
+                        }
                     }
                 }
             }
@@ -385,6 +471,75 @@ impl Network {
             self.active_flags[r_idx] = true;
             self.active_list.push(r_idx as u32);
         }
+    }
+
+    /// Apply every fault event due at or before `now` (start-of-cycle, so a
+    /// fault at cycle N affects cycle N's arrivals). Main-thread work in
+    /// every kernel — fault runs stay bit-identical across kernels and
+    /// worker counts.
+    fn apply_due_faults(&mut self, now: Cycle) {
+        while let Some(event) = self.fault_events.get(self.next_fault) {
+            if event.at > now {
+                break;
+            }
+            let kind = event.kind;
+            self.next_fault += 1;
+            match kind {
+                FaultKind::LinkDown { router, port } => {
+                    for (r, p) in self.link_state.set_link(&self.topo, router, port, false) {
+                        self.routers[r.index()].set_link_up(p, false);
+                        // wake both endpoints so adaptive policies reconsider
+                        // their buffered heads this cycle (behaviour-neutral
+                        // for idle routers)
+                        self.mark_active(r.index());
+                    }
+                }
+                FaultKind::LinkUp { router, port } => {
+                    for (r, p) in self.link_state.set_link(&self.topo, router, port, true) {
+                        self.routers[r.index()].set_link_up(p, true);
+                        // return the credits lost to drops on this directed
+                        // link: the downstream space those phits had
+                        // reserved was never used
+                        if let Some(per_vc) = self.lost_credits.remove(&(r.0, p.0)) {
+                            for (vc, phits) in per_vc.into_iter().enumerate() {
+                                if phits > 0 {
+                                    self.routers[r.index()].receive_credits(
+                                        p,
+                                        VcId(vc as u8),
+                                        phits,
+                                    );
+                                }
+                            }
+                        }
+                        self.mark_active(r.index());
+                    }
+                }
+                FaultKind::RouterDrain { router } => {
+                    for node in self.topo.nodes_of_router(router) {
+                        self.node_blocked[node.index()] = true;
+                    }
+                }
+                FaultKind::RouterRestore { router } => {
+                    for node in self.topo.nodes_of_router(router) {
+                        self.node_blocked[node.index()] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Account a packet or credit message dropped on the failed directed
+    /// link whose *upstream* end is `(upstream, port)`: remember the credits
+    /// so `LinkUp` can return them.
+    fn ledger_lost_credits(&mut self, upstream: RouterId, port: Port, vc: VcId, phits: u32) {
+        let num_vcs = self.routers[upstream.index()]
+            .output(port)
+            .num_downstream_vcs();
+        let per_vc = self
+            .lost_credits
+            .entry((upstream.0, port.0))
+            .or_insert_with(|| vec![0; num_vcs]);
+        per_vc[vc.index()] += phits;
     }
 
     /// Run one sharded phase: dispatch the shard executor (on the worker
@@ -449,7 +604,18 @@ impl Network {
             }
         }
 
+        // ---- 0.5. fault events ----
+        if self.next_fault < self.fault_events.len() {
+            self.apply_due_faults(now);
+        }
+
         // ---- 1. deliver due events ----
+        // In-flight traffic on a link that failed is lost: an arrival whose
+        // transmit direction is down at its completion cycle is dropped and
+        // accounted (packets in `DroppedOnFault`, credit messages in the
+        // lost-credit ledger). `faults_active` keeps the healthy path free
+        // of peer lookups.
+        let faults_active = !self.link_state.all_up();
         let mut due = std::mem::take(&mut self.scratch_events);
         self.events.pop_due_into(now, &mut due);
         for event in due.drain(..) {
@@ -460,6 +626,19 @@ impl Network {
                     vc,
                     packet,
                 } => {
+                    if faults_active {
+                        // the packet travelled over the peer's outgoing
+                        // direction towards (router, port)
+                        if let PortPeer::Router(upstream, up_port) = self.topo.peer(router, port) {
+                            if !self.link_state.is_up(upstream, up_port) {
+                                self.in_flight -= 1;
+                                self.in_flight_phits -= packet.size_phits as u64;
+                                self.metrics.record_dropped_on_fault(&packet);
+                                self.ledger_lost_credits(upstream, up_port, vc, packet.size_phits);
+                                continue;
+                            }
+                        }
+                    }
                     self.mark_active(router.index());
                     self.routers[router.index()].receive_packet(port, vc, packet);
                 }
@@ -469,6 +648,16 @@ impl Network {
                     vc,
                     phits,
                 } => {
+                    if faults_active {
+                        // the credit message travelled the reverse direction
+                        // of (router, port)'s link
+                        if let PortPeer::Router(peer, peer_port) = self.topo.peer(router, port) {
+                            if !self.link_state.is_up(peer, peer_port) {
+                                self.ledger_lost_credits(router, port, vc, phits);
+                                continue;
+                            }
+                        }
+                    }
                     // Fresh credits can only unblock a head packet, and a
                     // router holding packets is active already; marking here
                     // keeps the gate conservative at negligible cost.
@@ -477,6 +666,7 @@ impl Network {
                 }
                 Event::Delivery { node: _, packet } => {
                     self.in_flight -= 1;
+                    self.in_flight_phits -= packet.size_phits as u64;
                     self.last_delivery_cycle = now;
                     self.metrics.record_delivery(&packet, now);
                 }
@@ -487,7 +677,13 @@ impl Network {
         // ---- 2. generation + injection ----
         {
             let pattern = &self.patterns[self.current_phase];
-            for node in self.nodes.iter_mut() {
+            let blocked = &self.node_blocked;
+            for (idx, node) in self.nodes.iter_mut().enumerate() {
+                // nodes of a draining router generate nothing (their queued
+                // packets still inject below)
+                if blocked[idx] {
+                    continue;
+                }
                 let phits = node.generate(now, pattern, &mut self.next_packet_id);
                 if phits > 0 {
                     self.metrics.record_generated(phits as u64);
@@ -516,6 +712,9 @@ impl Network {
                 let mut packet = self.nodes[node_idx].pop_head().expect("head checked");
                 packet.injected_at = Some(now);
                 self.in_flight += 1;
+                self.in_flight_phits += packet.size_phits as u64;
+                self.injected_packets_total += 1;
+                self.injected_phits_total += packet.size_phits as u64;
                 self.mark_active(router_id.index());
                 self.routers[router_id.index()].receive_packet(port, VcId(vc as u8), packet);
             }
@@ -625,7 +824,9 @@ impl Network {
                 group_flags.extend(self.routers[r.index()].pb().own_snapshot());
             }
             for r in self.topo.routers_in_group(group) {
-                self.routers[r.index()].pb_mut().install_group(group_flags.clone());
+                self.routers[r.index()]
+                    .pb_mut()
+                    .install_group(group_flags.clone());
             }
         }
         for router in self.routers.iter_mut() {
@@ -763,7 +964,11 @@ mod tests {
 
     #[test]
     fn packets_are_delivered_under_light_uniform_traffic() {
-        let mut net = Network::new(small_config(RoutingKind::Minimal, PatternKind::Uniform, 0.1));
+        let mut net = Network::new(small_config(
+            RoutingKind::Minimal,
+            PatternKind::Uniform,
+            0.1,
+        ));
         net.run_cycles(600);
         assert!(
             net.metrics().delivered_packets_total() > 20,
@@ -938,7 +1143,11 @@ mod tests {
         // a fast in-crate smoke of the cross-kernel contract; the exhaustive
         // suite lives in tests/kernel_equivalence.rs
         let run = |kernel: KernelMode| {
-            let mut cfg = small_config(RoutingKind::Base, PatternKind::Adversarial { offset: 1 }, 0.25);
+            let mut cfg = small_config(
+                RoutingKind::Base,
+                PatternKind::Adversarial { offset: 1 },
+                0.25,
+            );
             cfg.kernel = kernel;
             let mut net = Network::new(cfg);
             net.metrics_mut().start_measurement(0);

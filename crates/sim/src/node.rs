@@ -51,7 +51,12 @@ impl Node {
 
     /// Generate this cycle's traffic (if any) into the source queue. Returns
     /// the number of phits generated (0 or the packet size).
-    pub fn generate(&mut self, now: Cycle, pattern: &TrafficPattern, next_packet_id: &mut u64) -> u32 {
+    pub fn generate(
+        &mut self,
+        now: Cycle,
+        pattern: &TrafficPattern,
+        next_packet_id: &mut u64,
+    ) -> u32 {
         if let Some(packet) = self.injector.tick(now, pattern, next_packet_id) {
             let phits = packet.size_phits;
             self.generated_phits += phits as u64;
@@ -118,7 +123,13 @@ mod tests {
     #[test]
     fn generation_fills_the_source_queue() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(3), InjectionKind::Bernoulli, 1.0, 1, DeterministicRng::new(1));
+        let mut node = Node::new(
+            NodeId(3),
+            InjectionKind::Bernoulli,
+            1.0,
+            1,
+            DeterministicRng::new(1),
+        );
         let mut id = 0;
         for now in 0..100 {
             node.generate(now, &pat, &mut id);
@@ -135,7 +146,13 @@ mod tests {
     #[test]
     fn head_is_fifo() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 1.0, 1, DeterministicRng::new(2));
+        let mut node = Node::new(
+            NodeId(0),
+            InjectionKind::Bernoulli,
+            1.0,
+            1,
+            DeterministicRng::new(2),
+        );
         let mut id = 0;
         node.generate(0, &pat, &mut id);
         node.generate(1, &pat, &mut id);
@@ -147,7 +164,13 @@ mod tests {
 
     #[test]
     fn vc_round_robin_cycles() {
-        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 0.5, 8, DeterministicRng::new(3));
+        let mut node = Node::new(
+            NodeId(0),
+            InjectionKind::Bernoulli,
+            0.5,
+            8,
+            DeterministicRng::new(3),
+        );
         assert_eq!(node.take_vc_rr(3), 0);
         assert_eq!(node.take_vc_rr(3), 1);
         assert_eq!(node.take_vc_rr(3), 2);
@@ -157,7 +180,13 @@ mod tests {
     #[test]
     fn load_override_changes_generation_rate() {
         let pat = pattern();
-        let mut node = Node::new(NodeId(0), InjectionKind::Bernoulli, 0.0, 8, DeterministicRng::new(4));
+        let mut node = Node::new(
+            NodeId(0),
+            InjectionKind::Bernoulli,
+            0.0,
+            8,
+            DeterministicRng::new(4),
+        );
         let mut id = 0;
         for now in 0..1_000 {
             node.generate(now, &pat, &mut id);

@@ -258,7 +258,12 @@ pub(crate) fn route_and_allocate_one(
                         .expect("unregistered head exists");
                     let min_out = minimal::minimal_output(&ctx.topo, router_id, head.dst);
                     let ectn_link = if track_ectn {
-                        minimal::ectn_link_for(&ctx.topo, router_id, router.input(port).class(), head)
+                        minimal::ectn_link_for(
+                            &ctx.topo,
+                            router_id,
+                            router.input(port).class(),
+                            head,
+                        )
                     } else {
                         None
                     };
@@ -343,9 +348,10 @@ pub(crate) fn apply_one_grant_staged(
         {
             match decision.commitment {
                 Commitment::None => {}
-                Commitment::Intermediate { router: inter, misroute } => {
-                    head.routing.commit_intermediate(inter, misroute)
-                }
+                Commitment::Intermediate {
+                    router: inter,
+                    misroute,
+                } => head.routing.commit_intermediate(inter, misroute),
                 Commitment::NonminimalGlobal { gateway, port } => {
                     head.routing.commit_nonminimal_global(gateway, port)
                 }
@@ -370,7 +376,8 @@ pub(crate) fn apply_one_grant_staged(
     let applied = router.apply_grant(grant, now);
     // stage the upstream credit return
     if applied.input_class != PortClass::Terminal {
-        if let PortPeer::Router(upstream, upstream_port) = ctx.topo.peer(router_id, grant.input_port)
+        if let PortPeer::Router(upstream, upstream_port) =
+            ctx.topo.peer(router_id, grant.input_port)
         {
             let latency = ctx.network.link_latency_for(applied.input_class) as Cycle;
             shard.staged_events.push((

@@ -34,8 +34,11 @@
 //! ```
 
 use df_model::Cycle;
+use df_topology::{Port, RouterId};
 use df_traffic::{InjectionKind, PatternKind, PatternPhase, TrafficSchedule};
 use serde::{Deserialize, Serialize};
+
+use crate::fault::FaultPlan;
 
 /// One phase of a scenario: a pattern at an (optional) load override for a
 /// (possibly open-ended) duration.
@@ -61,6 +64,10 @@ pub struct Scenario {
     pub injection: InjectionKind,
     /// The phases, in order. Never empty once built.
     phases: Vec<ScenarioPhase>,
+    /// Timed link/router fault events (empty for healthy-network
+    /// scenarios). Cycles are absolute, on the same clock as the phase
+    /// durations.
+    faults: FaultPlan,
 }
 
 impl Scenario {
@@ -72,6 +79,7 @@ impl Scenario {
             name: name.into(),
             injection: InjectionKind::Bernoulli,
             phases: Vec::new(),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -112,6 +120,43 @@ impl Scenario {
     /// Append an open-ended final phase with a load override.
     pub fn hold_at_load(self, pattern: PatternKind, load: f64) -> Self {
         self.push(pattern, Some(load), None)
+    }
+
+    /// Attach a complete fault plan (replaces any previously attached
+    /// events).
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Append a `LinkDown` fault at absolute cycle `at` on the link attached
+    /// at `(router, port)`.
+    pub fn link_down(mut self, at: Cycle, router: RouterId, port: Port) -> Self {
+        self.faults = std::mem::take(&mut self.faults).link_down(at, router, port);
+        self
+    }
+
+    /// Append a `LinkUp` fault at absolute cycle `at`.
+    pub fn link_up(mut self, at: Cycle, router: RouterId, port: Port) -> Self {
+        self.faults = std::mem::take(&mut self.faults).link_up(at, router, port);
+        self
+    }
+
+    /// Append a `RouterDrain` fault at absolute cycle `at`.
+    pub fn router_drain(mut self, at: Cycle, router: RouterId) -> Self {
+        self.faults = std::mem::take(&mut self.faults).router_drain(at, router);
+        self
+    }
+
+    /// Append a `RouterRestore` fault at absolute cycle `at`.
+    pub fn router_restore(mut self, at: Cycle, router: RouterId) -> Self {
+        self.faults = std::mem::take(&mut self.faults).router_restore(at, router);
+        self
+    }
+
+    /// The attached fault plan (empty for healthy-network scenarios).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     fn push(mut self, pattern: PatternKind, load: Option<f64>, duration: Option<Cycle>) -> Self {
@@ -176,7 +221,10 @@ impl Scenario {
     /// # Panics
     /// Panics if the scenario has no phases.
     pub fn schedule(&self) -> TrafficSchedule {
-        assert!(!self.phases.is_empty(), "a scenario needs at least one phase");
+        assert!(
+            !self.phases.is_empty(),
+            "a scenario needs at least one phase"
+        );
         let mut start = 0;
         let mut phases = Vec::with_capacity(self.phases.len());
         for phase in self.phases.iter() {
@@ -197,6 +245,9 @@ impl Scenario {
             return Err(format!("scenario '{}' has no phases", self.name));
         }
         self.injection.validate()?;
+        self.faults
+            .validate(topo)
+            .map_err(|e| format!("scenario '{}': {e}", self.name))?;
         for (i, phase) in self.phases.iter().enumerate() {
             phase
                 .pattern
@@ -299,6 +350,31 @@ mod tests {
     }
 
     #[test]
+    fn fault_events_attach_and_validate() {
+        let topo = df_topology::Dragonfly::new(df_topology::DragonflyParams::small());
+        let (gw, port) =
+            FaultPlan::global_link_between(&topo, df_topology::GroupId(0), df_topology::GroupId(3));
+        let s = Scenario::named("UN-linkloss")
+            .hold(PatternKind::Uniform)
+            .link_down(150, gw, port)
+            .link_up(450, gw, port)
+            .router_drain(200, RouterId(2));
+        assert_eq!(s.fault_plan().len(), 3);
+        assert_eq!(s.fault_plan().change_points(), vec![150, 200, 450]);
+        assert!(s.validate(&topo).is_ok());
+        // healthy scenarios carry an empty plan
+        assert!(Scenario::steady(PatternKind::Uniform)
+            .fault_plan()
+            .is_empty());
+        // a terminal-link fault is rejected by validation
+        let bad =
+            Scenario::named("bad")
+                .hold(PatternKind::Uniform)
+                .link_down(10, RouterId(0), Port(0));
+        assert!(bad.validate(&topo).is_err());
+    }
+
+    #[test]
     fn validation_flags_bad_phase_parameters() {
         let topo = df_topology::Dragonfly::new(df_topology::DragonflyParams::small());
         assert!(Scenario::named("empty").validate(&topo).is_err());
@@ -309,15 +385,11 @@ mod tests {
             fraction: 0.5,
         });
         assert!(bad_pattern.validate(&topo).is_err());
-        let good = Scenario::transient(
-            PatternKind::Uniform,
-            PatternKind::BitReversal,
-            100,
-        )
-        .injection(InjectionKind::Bursty {
-            mean_on: 20.0,
-            mean_off: 20.0,
-        });
+        let good = Scenario::transient(PatternKind::Uniform, PatternKind::BitReversal, 100)
+            .injection(InjectionKind::Bursty {
+                mean_on: 20.0,
+                mean_off: 20.0,
+            });
         assert!(good.validate(&topo).is_ok());
     }
 }

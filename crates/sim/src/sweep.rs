@@ -196,6 +196,7 @@ impl ScenarioMatrix {
                     let mut config = self.base.clone();
                     config.schedule = scenario.schedule();
                     config.injection = scenario.injection;
+                    config.faults = scenario.fault_plan().clone();
                     config.offered_load = load;
                     config.routing = routing;
                     config.seed = cell_seed(self.base.seed, s_idx, l_idx, r_idx);
@@ -347,7 +348,10 @@ mod tests {
         let parallel = run_sweep(&configs, 1, 4);
         let sequential = SteadyStateExperiment::new(configs[0].clone()).run();
         assert_eq!(parallel[0].delivered_packets, sequential.delivered_packets);
-        assert_eq!(parallel[0].avg_packet_latency, sequential.avg_packet_latency);
+        assert_eq!(
+            parallel[0].avg_packet_latency,
+            sequential.avg_packet_latency
+        );
     }
 
     #[test]
@@ -465,7 +469,10 @@ mod tests {
         assert_eq!(split_thread_budget(&parallel, 2), (1, 3));
         for total in 1..16usize {
             let (outer, intra) = split_thread_budget(&parallel, total);
-            assert!(outer * intra <= total.max(intra), "budget {total} oversubscribed");
+            assert!(
+                outer * intra <= total.max(intra),
+                "budget {total} oversubscribed"
+            );
         }
     }
 

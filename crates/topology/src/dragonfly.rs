@@ -257,7 +257,9 @@ impl Dragonfly {
     /// What is attached at the far end of `port` of `router`.
     pub fn peer(&self, router: RouterId, port: Port) -> PortPeer {
         match port.class(&self.params) {
-            PortClass::Terminal => PortPeer::Node(self.node_at(router, port.class_offset(&self.params))),
+            PortClass::Terminal => {
+                PortPeer::Node(self.node_at(router, port.class_offset(&self.params)))
+            }
             PortClass::Local => {
                 let k = port.class_offset(&self.params);
                 let neighbor = self.local_neighbor(router, k);
@@ -390,10 +392,7 @@ mod tests {
             for j in 0..t.params().global_links_per_group() {
                 let (r, port) = t.global_link_owner(g, j);
                 assert_eq!(t.router_group(r), g);
-                assert_eq!(
-                    t.global_link_index(r, port.class_offset(t.params())),
-                    j
-                );
+                assert_eq!(t.global_link_index(r, port.class_offset(t.params())), j);
             }
         }
     }
@@ -440,7 +439,10 @@ mod tests {
                 }
             }
         }
-        assert!(unconnected > 0, "5 of 9 groups populated leaves dangling links");
+        assert!(
+            unconnected > 0,
+            "5 of 9 groups populated leaves dangling links"
+        );
         // but all populated group pairs remain connected
         for g1 in t.groups() {
             for g2 in t.groups() {

@@ -31,12 +31,14 @@
 
 pub mod dragonfly;
 pub mod ids;
+pub mod linkstate;
 pub mod params;
 pub mod path;
 pub mod port;
 
 pub use dragonfly::{Dragonfly, PortPeer};
 pub use ids::{GroupId, NodeId, RouterId};
+pub use linkstate::LinkState;
 pub use params::DragonflyParams;
 pub use path::{HopKind, PathHop};
 pub use port::{Port, PortClass};

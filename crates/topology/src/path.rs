@@ -185,7 +185,10 @@ mod tests {
                 assert!(path.len() <= 3, "minimal path {src}->{dst} too long");
                 let (l, g) = hop_census(&path);
                 assert!(l <= 2 && g <= 1);
-                assert!(validate_path(&t, src, dst, &path), "invalid path {src}->{dst}");
+                assert!(
+                    validate_path(&t, src, dst, &path),
+                    "invalid path {src}->{dst}"
+                );
                 // hierarchical shape: any global hop is preceded only by locals of
                 // the source group and followed only by locals of the destination
                 if g == 1 {

@@ -241,7 +241,12 @@ impl BernoulliInjector {
     /// Create a generator for `node` with the given offered load in
     /// phits/(node·cycle) and packet size in phits. `rng` must be a stream
     /// dedicated to this node (see [`DeterministicRng::split`]).
-    pub fn new(node: NodeId, offered_load: f64, packet_size_phits: u32, rng: DeterministicRng) -> Self {
+    pub fn new(
+        node: NodeId,
+        offered_load: f64,
+        packet_size_phits: u32,
+        rng: DeterministicRng,
+    ) -> Self {
         BernoulliInjector(Injector::new(
             node,
             InjectionKind::Bernoulli,
@@ -326,7 +331,9 @@ mod tests {
         // load 1.0 phit/cycle with 1-phit packets = one packet per cycle
         let mut inj = BernoulliInjector::new(NodeId(0), 1.0, 1, DeterministicRng::new(1));
         let mut next_id = 0;
-        let packets = (0..1000).filter(|&now| inj.tick(now, &pat, &mut next_id).is_some()).count();
+        let packets = (0..1000)
+            .filter(|&now| inj.tick(now, &pat, &mut next_id).is_some())
+            .count();
         assert_eq!(packets, 1000);
     }
 
@@ -442,10 +449,7 @@ mod tests {
         };
         let variance = |c: &[u64]| -> f64 {
             let mean = c.iter().sum::<u64>() as f64 / c.len() as f64;
-            c.iter()
-                .map(|&x| (x as f64 - mean).powi(2))
-                .sum::<f64>()
-                / c.len() as f64
+            c.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / c.len() as f64
         };
         let bernoulli = counts(InjectionKind::Bernoulli);
         let bursty = counts(InjectionKind::Bursty {

@@ -107,9 +107,7 @@ impl PatternKind {
             }
             PatternKind::Hotspot { hotspots, fraction } => {
                 if hotspots == 0 || hotspots > n {
-                    return Err(format!(
-                        "hotspot count must be in 1..={n}, got {hotspots}"
-                    ));
+                    return Err(format!("hotspot count must be in 1..={n}, got {hotspots}"));
                 }
                 if !(0.0..=1.0).contains(&fraction) {
                     return Err(format!("hotspot fraction must be in [0,1], got {fraction}"));
@@ -117,9 +115,7 @@ impl PatternKind {
             }
             PatternKind::BitComplement => {
                 if !n.is_multiple_of(2) {
-                    return Err(format!(
-                        "bit-complement needs an even node count, got {n}"
-                    ));
+                    return Err(format!("bit-complement needs an even node count, got {n}"));
                 }
             }
             PatternKind::GroupLocal { local_fraction } => {
@@ -140,7 +136,10 @@ impl PatternKind {
                 }
             }
         }
-        if let PatternKind::Mixed { uniform_fraction, .. } = *self {
+        if let PatternKind::Mixed {
+            uniform_fraction, ..
+        } = *self
+        {
             if !(0.0..=1.0).contains(&uniform_fraction) {
                 return Err(format!(
                     "uniform fraction must be in [0,1], got {uniform_fraction}"
@@ -276,12 +275,13 @@ impl TrafficPattern {
             PatternKind::Permutation { .. }
             | PatternKind::BitComplement
             | PatternKind::BitReversal => {
-                let map = self.map.as_ref().expect("map built for deterministic pattern");
+                let map = self
+                    .map
+                    .as_ref()
+                    .expect("map built for deterministic pattern");
                 NodeId(map[src.index()])
             }
-            PatternKind::Hotspot { fraction, .. } => {
-                self.hotspot_destination(src, fraction, rng)
-            }
+            PatternKind::Hotspot { fraction, .. } => self.hotspot_destination(src, fraction, rng),
             PatternKind::GroupLocal { local_fraction } => {
                 self.group_local_destination(src, local_fraction, rng)
             }
@@ -308,7 +308,12 @@ impl TrafficPattern {
         NodeId(dst)
     }
 
-    fn adversarial_destination(&self, src: NodeId, offset: u32, rng: &mut DeterministicRng) -> NodeId {
+    fn adversarial_destination(
+        &self,
+        src: NodeId,
+        offset: u32,
+        rng: &mut DeterministicRng,
+    ) -> NodeId {
         let groups = self.topo.num_groups();
         debug_assert!(groups > 1, "adversarial traffic needs at least two groups");
         let offset = {
@@ -330,7 +335,12 @@ impl TrafficPattern {
         NodeId(first_router.0 * self.topo.params().p + k)
     }
 
-    fn hotspot_destination(&self, src: NodeId, fraction: f64, rng: &mut DeterministicRng) -> NodeId {
+    fn hotspot_destination(
+        &self,
+        src: NodeId,
+        fraction: f64,
+        rng: &mut DeterministicRng,
+    ) -> NodeId {
         if rng.bernoulli(fraction) {
             let hot = self
                 .hotspot_nodes
@@ -553,7 +563,10 @@ mod tests {
                 all_in_adv_group = false;
             }
         }
-        assert!(!all_in_adv_group, "uniform traffic must leave the ADV group");
+        assert!(
+            !all_in_adv_group,
+            "uniform traffic must leave the ADV group"
+        );
     }
 
     #[test]
@@ -577,14 +590,14 @@ mod tests {
             let d = p.destination(src, &mut r);
             assert_ne!(d, src, "{} maps {src} to itself", kind.label());
             assert!(d.0 < t.num_nodes());
-            assert!(
-                !seen[d.index()],
-                "{} maps two sources to {d}",
-                kind.label()
-            );
+            assert!(!seen[d.index()], "{} maps two sources to {d}", kind.label());
             seen[d.index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "{} is not surjective", kind.label());
+        assert!(
+            seen.iter().all(|&s| s),
+            "{} is not surjective",
+            kind.label()
+        );
     }
 
     #[test]
@@ -704,7 +717,10 @@ mod tests {
     #[test]
     fn group_local_fraction_controls_locality() {
         let t = topo();
-        let p = PatternKind::GroupLocal { local_fraction: 0.7 }.build(t);
+        let p = PatternKind::GroupLocal {
+            local_fraction: 0.7,
+        }
+        .build(t);
         let mut r = rng();
         let src = NodeId(20);
         let own = t.node_group(src);
@@ -727,8 +743,14 @@ mod tests {
     #[test]
     fn group_local_extremes_are_pure() {
         let t = topo();
-        let all_local = PatternKind::GroupLocal { local_fraction: 1.0 }.build(t);
-        let all_global = PatternKind::GroupLocal { local_fraction: 0.0 }.build(t);
+        let all_local = PatternKind::GroupLocal {
+            local_fraction: 1.0,
+        }
+        .build(t);
+        let all_global = PatternKind::GroupLocal {
+            local_fraction: 0.0,
+        }
+        .build(t);
         let mut r = rng();
         for src in t.nodes() {
             let d = all_local.destination(src, &mut r);
@@ -753,7 +775,10 @@ mod tests {
         assert_eq!(PatternKind::BitComplement.label(), "BITCOMP");
         assert_eq!(PatternKind::BitReversal.label(), "BITREV");
         assert_eq!(
-            PatternKind::GroupLocal { local_fraction: 0.5 }.label(),
+            PatternKind::GroupLocal {
+                local_fraction: 0.5
+            }
+            .label(),
             "LOC(50%)"
         );
     }
@@ -761,26 +786,38 @@ mod tests {
     #[test]
     fn invalid_patterns_are_rejected() {
         let t = topo();
-        assert!(PatternKind::Hotspot { hotspots: 0, fraction: 0.5 }
-            .validate(&t)
-            .is_err());
-        assert!(PatternKind::Hotspot { hotspots: 1, fraction: 1.5 }
-            .validate(&t)
-            .is_err());
-        assert!(PatternKind::GroupLocal { local_fraction: -0.1 }
-            .validate(&t)
-            .is_err());
+        assert!(PatternKind::Hotspot {
+            hotspots: 0,
+            fraction: 0.5
+        }
+        .validate(&t)
+        .is_err());
+        assert!(PatternKind::Hotspot {
+            hotspots: 1,
+            fraction: 1.5
+        }
+        .validate(&t)
+        .is_err());
+        assert!(PatternKind::GroupLocal {
+            local_fraction: -0.1
+        }
+        .validate(&t)
+        .is_err());
         assert!(PatternKind::Uniform.validate(&t).is_ok());
         assert!(PatternKind::BitReversal.validate(&t).is_ok());
         // one node per group: a non-zero local fraction has no valid
         // destination, so it must be rejected rather than silently ignored
         let single = Dragonfly::new(DragonflyParams::new(1, 1, 2, 3).unwrap());
         assert_eq!(single.params().a * single.params().p, 1);
-        assert!(PatternKind::GroupLocal { local_fraction: 0.5 }
-            .validate(&single)
-            .is_err());
-        assert!(PatternKind::GroupLocal { local_fraction: 0.0 }
-            .validate(&single)
-            .is_ok());
+        assert!(PatternKind::GroupLocal {
+            local_fraction: 0.5
+        }
+        .validate(&single)
+        .is_err());
+        assert!(PatternKind::GroupLocal {
+            local_fraction: 0.0
+        }
+        .validate(&single)
+        .is_ok());
     }
 }

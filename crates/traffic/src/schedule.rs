@@ -136,7 +136,10 @@ mod tests {
         assert_eq!(s.pattern_at(0), PatternKind::Uniform);
         assert_eq!(s.pattern_at(4_999), PatternKind::Uniform);
         assert_eq!(s.pattern_at(5_000), PatternKind::Adversarial { offset: 1 });
-        assert_eq!(s.pattern_at(9_999_999), PatternKind::Adversarial { offset: 1 });
+        assert_eq!(
+            s.pattern_at(9_999_999),
+            PatternKind::Adversarial { offset: 1 }
+        );
         assert_eq!(s.change_points(), vec![5_000]);
     }
 

@@ -75,9 +75,10 @@ fn main() {
                         .map(|v| out.credits(VcId(v as u8)))
                         .collect();
                     if out.staged_packets() > 0
-                        || creds.iter().zip(0..).any(|(c, v)| {
-                            *c != out.credit_capacity(VcId(v as u8))
-                        })
+                        || creds
+                            .iter()
+                            .zip(0..)
+                            .any(|(c, v)| *c != out.credit_capacity(VcId(v as u8)))
                     {
                         println!(
                             "  credits {r} {port} ({:?}): staged={} buf={}/{} credits={:?} link_free_at={}",

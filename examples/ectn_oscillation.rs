@@ -49,8 +49,14 @@ fn main() {
     while window < follow as i64 - 250 {
         table.push_row(vec![
             window.to_string(),
-            format!("{:.0}", reports[0].mean_latency_between(window, window + 250)),
-            format!("{:.0}", reports[1].mean_latency_between(window, window + 250)),
+            format!(
+                "{:.0}",
+                reports[0].mean_latency_between(window, window + 250)
+            ),
+            format!(
+                "{:.0}",
+                reports[1].mean_latency_between(window, window + 250)
+            ),
         ]);
         window += 250;
     }

@@ -31,10 +31,19 @@ fn main() {
 
     let mut table = Table::new(
         format!("{} at load {:.2}", pattern.label(), load),
-        &["routing", "latency (cycles)", "accepted load", "% misrouted"],
+        &[
+            "routing",
+            "latency (cycles)",
+            "accepted load",
+            "% misrouted",
+        ],
     );
 
-    for routing in [RoutingKind::Minimal, RoutingKind::Valiant, RoutingKind::Base] {
+    for routing in [
+        RoutingKind::Minimal,
+        RoutingKind::Valiant,
+        RoutingKind::Base,
+    ] {
         let config = SimulationConfig::builder()
             .topology(topology)
             .routing(routing)

@@ -28,11 +28,18 @@ fn main() {
     let thresholds = [2u32, 3, 4, 5, 6];
     let mut table = Table::new(
         "Base threshold sensitivity (latency in cycles / accepted load)",
-        &["th", "UN @0.30", "UN accepted @0.60", "ADV+1 @0.20", "ADV+1 accepted @0.40"],
+        &[
+            "th",
+            "UN @0.30",
+            "UN accepted @0.60",
+            "ADV+1 @0.20",
+            "ADV+1 accepted @0.40",
+        ],
     );
 
     for th in thresholds {
-        let routing_config = RoutingConfig::calibrated_for(&topology, &vcs).with_contention_threshold(th);
+        let routing_config =
+            RoutingConfig::calibrated_for(&topology, &vcs).with_contention_threshold(th);
         let run = |pattern: PatternKind, load: f64, measure_latency: bool| -> f64 {
             let config = SimulationConfig::builder()
                 .topology(topology)
@@ -56,8 +63,14 @@ fn main() {
             th.to_string(),
             format!("{:.0}", run(PatternKind::Uniform, 0.30, true)),
             format!("{:.3}", run(PatternKind::Uniform, 0.60, false)),
-            format!("{:.0}", run(PatternKind::Adversarial { offset: 1 }, 0.20, true)),
-            format!("{:.3}", run(PatternKind::Adversarial { offset: 1 }, 0.40, false)),
+            format!(
+                "{:.0}",
+                run(PatternKind::Adversarial { offset: 1 }, 0.20, true)
+            ),
+            format!(
+                "{:.3}",
+                run(PatternKind::Adversarial { offset: 1 }, 0.40, false)
+            ),
         ]);
     }
 

@@ -12,14 +12,18 @@ pub use df_model::{
     VcId,
 };
 pub use df_router::{ContentionCounters, EctnState, PbState, Router};
-pub use df_routing::{Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind};
+pub use df_routing::{
+    Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind,
+};
 pub use df_sim::{
     cell_seed, load_sweep, matrix_table, run_matrix, run_matrix_budgeted, run_sweep,
-    split_thread_budget, KernelMode, MatrixCell, MatrixKey, Network, Scenario, ScenarioMatrix,
-    ScenarioPhase, SimulationConfig, SteadyStateExperiment, SteadyStateReport,
-    TransientExperiment, TransientReport,
+    split_thread_budget, FaultEvent, FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey,
+    Network, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig, SteadyStateExperiment,
+    SteadyStateReport, TransientExperiment, TransientReport,
 };
-pub use df_topology::{Dragonfly, DragonflyParams, GroupId, NodeId, Port, PortClass, RouterId};
+pub use df_topology::{
+    Dragonfly, DragonflyParams, GroupId, LinkState, NodeId, Port, PortClass, RouterId,
+};
 pub use df_traffic::{
     BernoulliInjector, InjectionKind, Injector, PatternKind, TrafficPattern, TrafficSchedule,
 };

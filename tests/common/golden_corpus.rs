@@ -40,7 +40,9 @@ pub fn all_patterns() -> Vec<PatternKind> {
         },
         PatternKind::BitComplement,
         PatternKind::BitReversal,
-        PatternKind::GroupLocal { local_fraction: 0.6 },
+        PatternKind::GroupLocal {
+            local_fraction: 0.6,
+        },
     ]
 }
 
@@ -70,6 +72,74 @@ pub fn special_scenarios() -> Vec<Scenario> {
             .phase_at_load(PatternKind::Adversarial { offset: 1 }, 0.35, 200)
             .hold(PatternKind::Uniform),
     ]
+}
+
+/// The fault-injection corpus: deterministic link/router failures layered
+/// over steady workloads, each replayed under three routing mechanisms.
+/// Cycles are absolute on the corpus clock (warm-up 200 + measure 400 +
+/// drain).
+pub fn fault_scenarios() -> Vec<Scenario> {
+    let topo = Dragonfly::new(DragonflyParams::small());
+    // ADV+1 concentrates every group-0 flow on the 0->1 global link, so
+    // failing it guarantees in-flight drops; UN spreads traffic and
+    // exercises the sparse-drop path.
+    let (gw01, port01) = df_sim::FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
+    let (gw12, port12) = df_sim::FaultPlan::global_link_between(&topo, GroupId(1), GroupId(2));
+    vec![
+        Scenario::named("ADV-gldown")
+            .hold(PatternKind::Adversarial { offset: 1 })
+            .link_down(150, gw01, port01)
+            .link_up(450, gw01, port01),
+        Scenario::named("UN-gldown")
+            .hold(PatternKind::Uniform)
+            .link_down(150, gw01, port01)
+            .link_up(450, gw01, port01),
+        Scenario::named("UN-drain")
+            .hold(PatternKind::Uniform)
+            .router_drain(150, RouterId(2))
+            .router_restore(400, RouterId(2)),
+        Scenario::named("ADV-cut2")
+            .hold(PatternKind::Adversarial { offset: 1 })
+            .link_down(100, gw01, port01)
+            .link_down(100, gw12, port12),
+    ]
+}
+
+/// The routing mechanisms the fault corpus is replayed under.
+pub fn fault_routings() -> [RoutingKind; 3] {
+    [RoutingKind::Base, RoutingKind::Olm, RoutingKind::Ectn]
+}
+
+/// `(delivered packets in the window, dropped-on-fault packets, in-flight
+/// after a bounded drain, final cycle, mean-latency f64 bits)` — the
+/// fingerprint of a faulted corpus run. Unlike [`fingerprint`] this does
+/// not require the network to drain: scenarios with permanent link loss
+/// may legitimately strand committed packets behind the cut, and the
+/// stranded count is part of the pinned behaviour.
+pub fn fault_fingerprint(cfg: SimulationConfig) -> (u64, u64, u64, u64, u64) {
+    let mut net = Network::new(cfg.clone());
+    net.run_cycles(cfg.warmup_cycles);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    net.run_cycles(cfg.measurement_cycles);
+    net.drain(20_000);
+    // the conservation equality must hold for every corpus cell, drained
+    // or not
+    assert_eq!(
+        net.injected_packets_total(),
+        net.metrics().delivered_packets_total()
+            + net.in_flight()
+            + net.metrics().dropped_on_fault_packets(),
+        "packet conservation violated in a fault corpus run"
+    );
+    let summary = net.metrics().window_summary();
+    (
+        summary.delivered_packets,
+        net.metrics().dropped_on_fault_packets(),
+        net.in_flight(),
+        net.cycle(),
+        summary.avg_packet_latency.to_bits(),
+    )
 }
 
 /// The common builder every corpus run starts from (kernel left to the
@@ -162,6 +232,26 @@ pub const GOLDEN_ROUTING_PATTERN: &[(&str, &str, u64, u64, u64)] = &[
     ("ECtN", "BITCOMP", 879, 757, 0x4059395FD166CEC9),
     ("ECtN", "BITREV", 816, 656, 0x4047257D7D7D7D77),
     ("ECtN", "LOC(60%)", 782, 653, 0x404112D2D2D2D2D3),
+];
+
+/// Pinned fault-corpus fingerprints: every [`fault_scenarios`] cell under
+/// every [`fault_routings`] mechanism, same base configuration as the other
+/// tables. Regenerate together with them (see the module docs).
+#[rustfmt::skip]
+pub const GOLDEN_FAULTS: &[(&str, &str, u64, u64, u64, u64, u64)] = &[
+    // (scenario, routing, delivered_window, dropped, in_flight, final_cycle, latency_bits)
+    ("ADV-gldown", "Base", 889, 2, 0, 768, 0x405BC8ED48476A40),
+    ("ADV-gldown", "OLM", 845, 1, 0, 691, 0x40510D5486837BE9),
+    ("ADV-gldown", "ECtN", 889, 2, 0, 765, 0x405C17D43ABEA1DC),
+    ("UN-gldown", "Base", 805, 0, 0, 652, 0x4046C553A323EF78),
+    ("UN-gldown", "OLM", 836, 1, 0, 685, 0x405128BA2E8BA2EB),
+    ("UN-gldown", "ECtN", 805, 0, 0, 652, 0x4046C08E78356D12),
+    ("UN-drain", "Base", 790, 0, 0, 653, 0x4046946A49E22FFD),
+    ("UN-drain", "OLM", 820, 0, 0, 691, 0x404FB0B3D30B3D2E),
+    ("UN-drain", "ECtN", 790, 0, 0, 653, 0x4046946A49E22FFD),
+    ("ADV-cut2", "Base", 825, 4, 75, 20600, 0x405BB0F3470F3477),
+    ("ADV-cut2", "OLM", 794, 4, 54, 20600, 0x4050DA84D615ECAA),
+    ("ADV-cut2", "ECtN", 833, 4, 71, 20600, 0x405BCAFC9E942139),
 ];
 
 #[rustfmt::skip]

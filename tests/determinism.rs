@@ -177,14 +177,13 @@ fn kernels_match_on_new_patterns() {
             },
             PatternKind::BitComplement,
             PatternKind::BitReversal,
-            PatternKind::GroupLocal { local_fraction: 0.6 },
+            PatternKind::GroupLocal {
+                local_fraction: 0.6,
+            },
         ] {
             let fast = run_fingerprint(config(KernelMode::Optimized, routing, pattern, 0.25, 13));
             let slow = run_fingerprint(config(KernelMode::Legacy, routing, pattern, 0.25, 13));
-            assert_eq!(
-                fast, slow,
-                "{routing:?} under {pattern:?}: kernels diverge"
-            );
+            assert_eq!(fast, slow, "{routing:?} under {pattern:?}: kernels diverge");
         }
     }
 }

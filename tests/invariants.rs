@@ -67,7 +67,11 @@ fn run_and_drain(
 fn check_conservation(net: &Network) {
     // nothing in flight, all counters at zero
     assert_eq!(net.in_flight(), 0);
-    assert_eq!(net.total_contention(), 0, "contention counters must drain to zero");
+    assert_eq!(
+        net.total_contention(),
+        0,
+        "contention counters must drain to zero"
+    );
     let topo = net.topology();
     let params = topo.params();
     for router_id in topo.routers() {
@@ -97,7 +101,10 @@ fn check_conservation(net: &Network) {
         for port in Port::all(params) {
             let input = router.input(port);
             for vc in 0..input.num_vcs() {
-                assert!(input.vc(vc).is_empty(), "router {router_id} {port} vc{vc} not empty");
+                assert!(
+                    input.vc(vc).is_empty(),
+                    "router {router_id} {port} vc{vc} not empty"
+                );
             }
         }
     }
@@ -169,14 +176,7 @@ fn sampled_small_simulations_conserve_packets() {
             let load = loads[case % loads.len()];
             let seed = 100 + 37 * case as u64;
             case += 1;
-            let net = run_and_drain(
-                DragonflyParams::small(),
-                routing,
-                pattern,
-                load,
-                600,
-                seed,
-            );
+            let net = run_and_drain(DragonflyParams::small(), routing, pattern, load, 600, seed);
             check_conservation(&net);
             let generated = net.metrics().generated_phits_total / 8;
             assert_eq!(

@@ -26,8 +26,8 @@ use contention_dragonfly::prelude::*;
 mod golden_corpus;
 
 use golden_corpus::{
-    all_patterns, base_builder, fingerprint, special_scenarios, GOLDEN_ROUTING_PATTERN,
-    GOLDEN_SPECIAL,
+    all_patterns, base_builder, fault_fingerprint, fault_routings, fault_scenarios, fingerprint,
+    special_scenarios, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 /// The worker counts the corpus replays cover: the degenerate single-shard
@@ -48,7 +48,11 @@ fn run_corpus_at(workers: usize) {
                 .expect("valid configuration");
             let got = fingerprint(cfg);
             let &(er, ep, ed, ec, el) = expected.next().expect("one row per combination");
-            assert_eq!((er, ep), (routing.label(), pattern.label().as_str()), "table order drifted");
+            assert_eq!(
+                (er, ep),
+                (routing.label(), pattern.label().as_str()),
+                "table order drifted"
+            );
             assert_eq!(
                 got,
                 (ed, ec, el),
@@ -95,7 +99,11 @@ fn parallel_reproduces_the_pinned_injector_and_phase_corpus() {
                     .expect("valid configuration");
                 let got = fingerprint(cfg);
                 let &(es, er, ed, ec, el) = expected.next().expect("one row per combination");
-                assert_eq!((es, er), (scenario.name.as_str(), routing.label()), "table order drifted");
+                assert_eq!(
+                    (es, er),
+                    (scenario.name.as_str(), routing.label()),
+                    "table order drifted"
+                );
                 assert_eq!(
                     got,
                     (ed, ec, el),
@@ -105,6 +113,42 @@ fn parallel_reproduces_the_pinned_injector_and_phase_corpus() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn parallel_reproduces_the_pinned_fault_corpus() {
+    // the fault-injection acceptance bar: every fault-corpus cell —
+    // including its dropped-on-fault and stranded-packet counts — must be
+    // bit-identical to the committed fingerprints at workers {1, 2, 4}
+    for workers in [1usize, 2, 4] {
+        let mut expected = GOLDEN_FAULTS.iter();
+        for scenario in fault_scenarios() {
+            for routing in fault_routings() {
+                let cfg = base_builder()
+                    .routing(routing)
+                    .scenario(&scenario)
+                    .kernel(KernelMode::Parallel { workers })
+                    .build()
+                    .expect("valid configuration");
+                let got = fault_fingerprint(cfg);
+                let &(es, er, ed, edrop, einf, ec, el) =
+                    expected.next().expect("one row per combination");
+                assert_eq!(
+                    (es, er),
+                    (scenario.name.as_str(), routing.label()),
+                    "table order drifted"
+                );
+                assert_eq!(
+                    got,
+                    (ed, edrop, einf, ec, el),
+                    "parallel({workers}): {} under {} diverged from the pinned fault corpus",
+                    scenario.name,
+                    routing.label()
+                );
+            }
+        }
+        assert!(expected.next().is_none(), "stale fault-corpus rows");
     }
 }
 
@@ -186,11 +230,22 @@ fn parallel_matches_optimized_and_legacy_on_bursty_and_ramp_injection() {
             ramp_cycles: 500,
         },
     ] {
-        let optimized =
-            rich_fingerprint(injector_builder(injection).kernel(KernelMode::Optimized).build().unwrap());
-        let legacy =
-            rich_fingerprint(injector_builder(injection).kernel(KernelMode::Legacy).build().unwrap());
-        assert_eq!(optimized, legacy, "{injection:?}: sequential kernels diverge");
+        let optimized = rich_fingerprint(
+            injector_builder(injection)
+                .kernel(KernelMode::Optimized)
+                .build()
+                .unwrap(),
+        );
+        let legacy = rich_fingerprint(
+            injector_builder(injection)
+                .kernel(KernelMode::Legacy)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(
+            optimized, legacy,
+            "{injection:?}: sequential kernels diverge"
+        );
         for &workers in WORKER_COUNTS {
             let parallel = rich_fingerprint(
                 injector_builder(injection)
@@ -235,7 +290,11 @@ fn parallel_matches_optimized_and_legacy_on_a_multi_phase_transient() {
         rich_fingerprint(cfg)
     };
     let optimized = run(KernelMode::Optimized);
-    assert_eq!(optimized, run(KernelMode::Legacy), "sequential kernels diverge");
+    assert_eq!(
+        optimized,
+        run(KernelMode::Legacy),
+        "sequential kernels diverge"
+    );
     for &workers in WORKER_COUNTS {
         assert_eq!(
             run(KernelMode::Parallel { workers }),

@@ -35,9 +35,30 @@ fn min_has_the_lowest_latency_under_light_uniform_traffic() {
     // Figure 5a, low-load region: MIN never misroutes, so it sets the latency
     // floor; Base matches it because contention counters stay below the
     // threshold; OLM misroutes occasionally and pays extra hops.
-    let min = steady(RoutingKind::Minimal, PatternKind::Uniform, 0.1, 1_000, 2_000, 1);
-    let base = steady(RoutingKind::Base, PatternKind::Uniform, 0.1, 1_000, 2_000, 1);
-    let val = steady(RoutingKind::Valiant, PatternKind::Uniform, 0.1, 1_000, 2_000, 1);
+    let min = steady(
+        RoutingKind::Minimal,
+        PatternKind::Uniform,
+        0.1,
+        1_000,
+        2_000,
+        1,
+    );
+    let base = steady(
+        RoutingKind::Base,
+        PatternKind::Uniform,
+        0.1,
+        1_000,
+        2_000,
+        1,
+    );
+    let val = steady(
+        RoutingKind::Valiant,
+        PatternKind::Uniform,
+        0.1,
+        1_000,
+        2_000,
+        1,
+    );
     assert!(min.delivered_packets > 100);
     assert!(
         base.avg_packet_latency <= min.avg_packet_latency * 1.10,
@@ -168,8 +189,22 @@ fn uniform_traffic_throughput_is_not_sacrificed() {
     // Figure 5a, throughput graph: Base/ECtN stay close to MIN and OLM at
     // high uniform load.
     let load = 0.6;
-    let min = steady(RoutingKind::Minimal, PatternKind::Uniform, load, 2_000, 3_000, 5);
-    let base = steady(RoutingKind::Base, PatternKind::Uniform, load, 2_000, 3_000, 5);
+    let min = steady(
+        RoutingKind::Minimal,
+        PatternKind::Uniform,
+        load,
+        2_000,
+        3_000,
+        5,
+    );
+    let base = steady(
+        RoutingKind::Base,
+        PatternKind::Uniform,
+        load,
+        2_000,
+        3_000,
+        5,
+    );
     assert!(
         base.accepted_load > min.accepted_load * 0.85,
         "Base accepted {:.3} versus MIN {:.3} under uniform load {load}",

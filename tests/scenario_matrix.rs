@@ -34,8 +34,8 @@ use contention_dragonfly::prelude::*;
 mod golden_corpus;
 
 use golden_corpus::{
-    all_patterns, base_builder, fingerprint, special_scenarios, GOLDEN_ROUTING_PATTERN,
-    GOLDEN_SPECIAL,
+    all_patterns, base_builder, fault_fingerprint, fault_routings, fault_scenarios, fingerprint,
+    special_scenarios, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 // ---------------------------------------------------------------------------
@@ -94,6 +94,38 @@ fn golden_injectors_and_phases() {
                 (delivered, final_cycle, latency_bits),
                 (ed, ec, el),
                 "{} under {} diverged from the pinned fingerprint",
+                routing.label(),
+                scenario.name
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+// ---------------------------------------------------------------------------
+// 2b. fault-corpus goldens
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_fault_corpus() {
+    let mut expected = GOLDEN_FAULTS.iter();
+    for scenario in fault_scenarios() {
+        for routing in fault_routings() {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .expect("valid configuration");
+            let got = fault_fingerprint(cfg);
+            let &(es, er, ed, edrop, einf, ec, el) = expected
+                .next()
+                .expect("golden table has one row per scenario x routing");
+            assert_eq!(es, scenario.name, "table order drifted");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(
+                got,
+                (ed, edrop, einf, ec, el),
+                "{} under {} diverged from the pinned fault fingerprint",
                 routing.label(),
                 scenario.name
             );
@@ -221,6 +253,29 @@ fn regenerate_golden_tables() {
                 scenario.name,
                 routing.label(),
                 d,
+                c,
+                l
+            );
+        }
+    }
+    println!(
+        "// (scenario, routing, delivered_window, dropped, in_flight, final_cycle, latency_bits)"
+    );
+    for scenario in fault_scenarios() {
+        for routing in fault_routings() {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .unwrap();
+            let (d, drop, inf, c, l) = fault_fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, {}, {:#018X}),",
+                scenario.name,
+                routing.label(),
+                d,
+                drop,
+                inf,
                 c,
                 l
             );
