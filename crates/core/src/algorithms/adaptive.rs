@@ -19,7 +19,7 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{Port, PortClass};
+use df_topology::{GroupId, Port, PortClass};
 
 use crate::algorithms::common;
 use crate::candidates::{global_candidates, local_candidates, GlobalCandidate, LocalCandidate};
@@ -29,6 +29,36 @@ use crate::kind::RoutingKind;
 use crate::minimal::minimal_output;
 use crate::trigger::{contention_allows_candidate, contention_exceeds, credit_comparison};
 use crate::vcmap::{global_misroute_fits, local_detour_fits, vc_for_next_hop};
+
+/// Whether a nonminimal global candidate is viable according to the
+/// router's (possibly stale) gateway-liveness view: the candidate link of
+/// the current group is up, and — when the candidate diverts through an
+/// intermediate group — so is that group's unique onward link towards the
+/// destination group. Always true on a pristine (all-up) view, which is
+/// what mechanisms without a dissemination channel hold, so Base/OLM keep
+/// the PR-4 discover-at-gateway behaviour and healthy runs take the O(1)
+/// fast path.
+fn candidate_viable_by_view(
+    router: &Router,
+    my_group: GroupId,
+    cand: &GlobalCandidate,
+    dst_group: GroupId,
+) -> bool {
+    let view = router.link_view();
+    if view.all_up() {
+        return true;
+    }
+    let topo = router.topology();
+    if !view.link_up(my_group, cand.link) {
+        return false;
+    }
+    match topo.global_link_target_group(my_group, cand.link) {
+        Some(target) if target != dst_group => {
+            view.link_up(target, topo.group_link_to(target, dst_group))
+        }
+        _ => true,
+    }
+}
 
 /// The in-transit adaptive decision for OLM / Base / Hybrid / ECtN.
 pub fn decide(
@@ -48,11 +78,16 @@ pub fn decide(
     let min_out = minimal_output(topo, current, packet.dst);
     let min_class = min_out.class(params);
     let net = router.config();
+    // Fault routing: a dead minimal output lifts the already-misrouted veto
+    // below — the misroute budget is counted in *hops taken* (global_hops),
+    // not intents, so a packet whose commitment was abandoned at a dead
+    // gateway may select a replacement. Always false on a healthy network.
+    let min_dead = router.any_link_down() && !router.link_is_up(min_out);
 
     // ---------------- global misrouting ----------------
     let may_misroute_globally = dst_group != my_group
         && my_group == src_group
-        && !packet.routing.globally_misrouted()
+        && (!packet.routing.globally_misrouted() || min_dead)
         && global_misroute_fits(packet, net)
         && (packet.hops() == 0
             || (config.allow_global_misroute_after_hop
@@ -95,6 +130,39 @@ pub fn decide(
         }
     }
 
+    // ---------------- fault: unroutable packets ----------------
+    // The minimal continuation is dead and neither misroute family produced
+    // an escape. If at least one policy-legal alternative is merely
+    // *congested* (a live candidate exists), keep requesting the minimal
+    // port — the allocator refuses dead ports, so the packet waits and the
+    // decision is re-evaluated next cycle. If no live alternative can ever
+    // exist (e.g. a globally-misrouted packet whose unique onward global
+    // link died — any other path would need a third global hop, which the
+    // VC ladder cannot carry), the packet is unroutable: discard it so the
+    // network stays live, with exact conservation through the
+    // dropped-on-fault counters.
+    if min_dead {
+        let any_live_global = may_misroute_globally && {
+            let min_link = topo.group_link_to(my_group, dst_group);
+            let own_only = packet.routing.local_hops > 0;
+            global_candidates(topo, current, Some(min_link), own_only)
+                .iter()
+                .any(|c| {
+                    router.link_is_up(c.first_hop)
+                        && candidate_viable_by_view(router, my_group, c, dst_group)
+                })
+        };
+        let any_live_local = may_misroute_locally && {
+            let min_target = topo.local_neighbor(current, min_out.class_offset(params));
+            local_candidates(topo, current, Some(min_target))
+                .iter()
+                .any(|c| router.link_is_up(c.port))
+        };
+        if !any_live_global && !any_live_local {
+            return Decision::discard();
+        }
+    }
+
     // ---------------- default: minimal ----------------
     Decision::minimal(min_out, vc_for_next_hop(packet, min_class, net))
 }
@@ -125,10 +193,15 @@ fn pick_global_candidate(
     // deadlock freedom.
     let own_only_for_policy = packet.routing.local_hops > 0;
     // A failed minimal link is treated as infinitely contended: it fires
-    // every misroute trigger, and dead candidates are filtered out. In a
-    // healthy network `min_dead` is always false and every filter below
-    // reduces to its original form.
-    let min_dead = !router.link_is_up(min_out);
+    // every misroute trigger, and dead candidates are filtered out. For the
+    // mechanisms with a link-state view (ECtN, and PB on its own path) a
+    // minimal link the *view* marks dead fires the triggers too, even when
+    // the first hop towards its gateway is a healthy local link — that is
+    // how source routers stop targeting dead gateway groups. In a healthy
+    // network both terms are false and every filter below reduces to its
+    // original form.
+    let min_dead = !router.link_is_up(min_out) || router.link_view().marks_down(my_group, min_link);
+    let view_ok = |c: &GlobalCandidate| candidate_viable_by_view(router, my_group, c, dst_group);
 
     // ECtN: at injection, use the combined counters over the router's own
     // global links.
@@ -146,6 +219,7 @@ fn pick_global_candidate(
                         router.ectn().combined(c.link),
                         config.ectn_combined_threshold,
                     ) && router.link_is_up(c.first_hop)
+                        && view_ok(c)
                         && router.output_can_accept(c.first_hop, vc_for(c.first_hop, packet), size)
                 })
                 .collect();
@@ -168,6 +242,7 @@ fn pick_global_candidate(
                 .filter(|c| {
                     contention_allows_candidate(router.contention().get(c.first_hop), th)
                         && router.link_is_up(c.first_hop)
+                        && view_ok(c)
                         && router.output_can_accept(c.first_hop, vc_for(c.first_hop, packet), size)
                 })
                 .collect();
@@ -194,6 +269,7 @@ fn pick_global_candidate(
                     .filter(|c| {
                         contention_allows_candidate(router.contention().get(c.first_hop), th)
                             && router.link_is_up(c.first_hop)
+                            && view_ok(c)
                             && router.output_can_accept(
                                 c.first_hop,
                                 vc_for(c.first_hop, packet),
@@ -238,8 +314,11 @@ fn credit_global_candidate(
     let size = packet.size_phits;
     let q_min = common::output_occupancy(router, min_out);
     let min_required = config.credit_trigger_min_packets * size;
-    // a dead minimal output fires the credit trigger unconditionally
-    let min_dead = !router.link_is_up(min_out);
+    // a dead (locally or per the link-state view) minimal output fires the
+    // credit trigger unconditionally
+    let my_group = topo.router_group(router.id());
+    let min_dead = !router.link_is_up(min_out) || router.link_view().marks_down(my_group, min_link);
+    let dst_group = topo.node_group(packet.dst);
     let cands = global_candidates(topo, router.id(), Some(min_link), own_links_only);
     let eligible: Vec<GlobalCandidate> = cands
         .into_iter()
@@ -247,6 +326,7 @@ fn credit_global_candidate(
             let q_cand = common::output_occupancy(router, c.first_hop);
             (min_dead || credit_comparison(q_min, q_cand, fraction, min_required))
                 && router.link_is_up(c.first_hop)
+                && candidate_viable_by_view(router, my_group, c, dst_group)
                 && router.output_can_accept(
                     c.first_hop,
                     vc_for_next_hop(packet, c.first_hop.class(params), router.config()),
@@ -255,6 +335,128 @@ fn credit_global_candidate(
         })
         .collect();
     common::pick_random(&eligible, rng).copied()
+}
+
+/// Fault re-commit for a packet whose committed nonminimal gateway link
+/// died: drop the commitment and re-run the mechanism's candidate
+/// *selection* with the dead option filtered. The misroute trigger is
+/// treated as already fired — the packet committed to a nonminimal path
+/// once; its option dying does not un-fire that decision — so only the
+/// per-candidate filters run (liveness, link-state view, the mechanism's
+/// candidate-side contention cap, downstream space).
+///
+/// Deadlock freedom: the packet has taken no global hop yet
+/// (`global_hops == 0` while a nonminimal-global commitment is pending), so
+/// the re-committed path re-enters the escape-VC ladder at exactly the rung
+/// the original commitment occupied — `G0` directly when the packet already
+/// spent its single pre-global local hop (the own-links-only restriction
+/// enforces this), or `L0 → G0` when it has not. No VC is ever revisited,
+/// so the channel dependency graph stays acyclic. The minimal fallback
+/// obeys the same rule: it is taken only when it needs no second pre-global
+/// local hop.
+///
+/// `stalled` is the continuation the caller would otherwise have issued;
+/// it is returned when live-but-congested alternatives exist, so the packet
+/// waits and re-decides next cycle. A packet with no live, view-viable
+/// option at all is discarded as unroutable.
+#[allow(clippy::too_many_arguments)]
+pub fn recommit_global(
+    kind: RoutingKind,
+    config: &RoutingConfig,
+    router: &Router,
+    packet: &Packet,
+    committed: (df_topology::RouterId, Port),
+    stalled: Decision,
+    rng: &mut DeterministicRng,
+) -> Decision {
+    debug_assert_eq!(
+        packet.routing.global_hops, 0,
+        "a pending nonminimal-global commitment implies no global hop yet"
+    );
+    let topo = router.topology();
+    let params = topo.params();
+    let current = router.id();
+    let my_group = topo.router_group(current);
+    let dst_group = topo.node_group(packet.dst);
+    let net = router.config();
+    let min_out = minimal_output(topo, current, packet.dst);
+    let min_class = min_out.class(params);
+    let min_link = topo.group_link_to(my_group, dst_group);
+    let own_only = packet.routing.local_hops > 0;
+    let size = packet.size_phits;
+
+    // the replacement candidates: everything the original selection could
+    // have chosen, minus the dead option and anything else dead — locally
+    // or per the link-state view
+    let viable: Vec<GlobalCandidate> = if global_misroute_fits(packet, net) {
+        global_candidates(topo, current, Some(min_link), own_only)
+            .into_iter()
+            .filter(|c| {
+                (c.gateway, c.gateway_port) != committed
+                    && router.link_is_up(c.first_hop)
+                    && candidate_viable_by_view(router, my_group, c, dst_group)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // mechanism's candidate-side cap (Base/ECtN/Hybrid contention; OLM has
+    // none beyond liveness), plus downstream space
+    let th = match kind {
+        RoutingKind::Hybrid => Some(config.hybrid_contention_threshold),
+        RoutingKind::Base | RoutingKind::Ectn => Some(config.contention_threshold),
+        _ => None,
+    };
+    let eligible: Vec<GlobalCandidate> = viable
+        .iter()
+        .filter(|c| {
+            th.is_none_or(|th| {
+                contention_allows_candidate(router.contention().get(c.first_hop), th)
+            }) && router.output_can_accept(
+                c.first_hop,
+                vc_for_next_hop(packet, c.first_hop.class(params), net),
+                size,
+            )
+        })
+        .copied()
+        .collect();
+    if let Some(cand) = common::pick_random(&eligible, rng) {
+        return Decision {
+            output_port: cand.first_hop,
+            output_vc: vc_for_next_hop(packet, cand.first_hop.class(params), net),
+            kind: DecisionKind::NonminimalGlobal,
+            commitment: Commitment::RecommitGlobal {
+                gateway: cand.gateway,
+                port: cand.gateway_port,
+            },
+        };
+    }
+
+    // minimal fallback — only when VC-feasible: a packet that already spent
+    // its pre-global local hop may not take another one, so minimal is an
+    // option only from the minimal gateway itself (or before any hop)
+    let minimal_feasible = packet.routing.local_hops == 0 || min_class == PortClass::Global;
+    let minimal_usable = minimal_feasible
+        && router.link_is_up(min_out)
+        && !router.link_view().marks_down(my_group, min_link);
+    if minimal_usable {
+        return Decision {
+            output_port: min_out,
+            output_vc: vc_for_next_hop(packet, min_class, net),
+            kind: DecisionKind::Continuation,
+            commitment: Commitment::AbandonNonminimal,
+        };
+    }
+
+    // live candidates exist but are congested right now: wait on the
+    // stalled continuation and re-decide next cycle; with no live,
+    // view-viable option at all the packet is unroutable
+    if !viable.is_empty() {
+        stalled
+    } else {
+        Decision::discard()
+    }
 }
 
 /// Select a local detour, if the mechanism's trigger fires.
@@ -681,6 +883,73 @@ mod tests {
                 assert_eq!(d.output_port, kept, "only the live candidate is eligible");
             }
         }
+    }
+
+    #[test]
+    fn committed_gateway_with_a_dead_link_recommits_to_a_live_candidate() {
+        // a packet committed to router 0's own global port 5, sitting at
+        // router 0, when that link dies: the full decision path must replace
+        // the commitment with a live candidate
+        let mut r = router(0);
+        let mut p = packet(0, 40); // destination group 5 (remote)
+        let dead_port = df_topology::Port::global(r.topology().params(), 0);
+        p.routing.commit_nonminimal_global(RouterId(0), dead_port);
+        r.set_link_up(dead_port, false);
+        let algo = crate::RoutingAlgorithm::new(RoutingKind::Base, config_small());
+        let d = algo.decide(&r, Port(0), &p, &mut rng());
+        assert_eq!(d.kind, DecisionKind::NonminimalGlobal);
+        match d.commitment {
+            Commitment::RecommitGlobal { gateway, port } => {
+                assert!(
+                    (gateway, port) != (RouterId(0), dead_port),
+                    "must not re-commit to the dead link"
+                );
+            }
+            other => panic!("expected a re-commit, got {other:?}"),
+        }
+        assert!(r.link_is_up(d.output_port), "the first hop must be alive");
+    }
+
+    #[test]
+    fn globally_misrouted_packet_with_dead_unique_continuation_is_discarded() {
+        // the ADV-cut2 class: a packet that already took its nonminimal
+        // global hop sits in an intermediate group whose unique onward
+        // global link towards the destination group is dead — any other
+        // path would need a third global hop, which the VC ladder cannot
+        // carry, so the packet is unroutable
+        let topo = Dragonfly::new(DragonflyParams::small());
+        let dst = NodeId(40); // group 5
+        let dst_group = topo.node_group(dst);
+        // put the packet at the gateway of group 0 towards the destination
+        // group, pretending it misrouted into group 0
+        let (gw, gport) = topo.gateway_to(GroupId(0), dst_group);
+        let mut r = Router::new(gw, topo, NetworkConfig::fast_test());
+        let mut p = packet(70, 40); // source in another group
+        p.routing.global_hops = 1;
+        p.routing.local_hops = 1;
+        p.routing.flags.global = true;
+        r.set_link_up(gport, false);
+        let d = decide(
+            RoutingKind::Base,
+            &config_small(),
+            &r,
+            Port(5),
+            &p,
+            &mut rng(),
+        );
+        assert_eq!(d.kind, DecisionKind::Discard);
+        // with the link alive the same packet routes minimally
+        r.set_link_up(gport, true);
+        let d = decide(
+            RoutingKind::Base,
+            &config_small(),
+            &r,
+            Port(5),
+            &p,
+            &mut rng(),
+        );
+        assert_eq!(d.kind, DecisionKind::Minimal);
+        assert_eq!(d.output_port, gport);
     }
 
     #[test]

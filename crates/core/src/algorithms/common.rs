@@ -83,6 +83,59 @@ pub fn pick_intermediate_router(
     Some(topo.router_at(group, local_index))
 }
 
+/// Fault-aware variant of [`pick_intermediate_router`]: draw intermediates
+/// until one is reachable — the first hop towards it is up, and (for
+/// mechanisms with a link-state view) the view marks both the
+/// source-group link towards its group and its group's onward link towards
+/// the destination group alive. Gives up after a bounded number of draws
+/// (`None`), leaving the caller to fall back to minimal routing.
+///
+/// `global_first_hop_only` must be set when the packet has already taken
+/// its single pre-global local hop: the replacement path may then only
+/// start on one of the *current* router's own global ports — a second
+/// pre-global local hop would re-enter the VC ladder below the rung the
+/// packet occupies and break the deadlock-freedom argument (the same rule
+/// `recommit_global` enforces through its own-links-only restriction).
+///
+/// On a healthy network the first draw always passes, so callers that gate
+/// on `any_link_down() || !link_view().all_up()` consume the exact RNG
+/// sequence of the unfiltered picker.
+pub fn pick_live_intermediate(
+    router: &Router,
+    src_group: GroupId,
+    dst_group: GroupId,
+    global_first_hop_only: bool,
+    rng: &mut DeterministicRng,
+) -> Option<RouterId> {
+    const MAX_DRAWS: u32 = 8;
+    let topo = router.topology();
+    let my_group = topo.router_group(router.id());
+    let view = router.link_view();
+    for _ in 0..MAX_DRAWS {
+        let inter = pick_intermediate_router(router, src_group, dst_group, rng)?;
+        if inter == router.id() {
+            continue;
+        }
+        let first_hop = minimal_output_to_router(topo, router.id(), inter);
+        if !router.link_is_up(first_hop) {
+            continue;
+        }
+        if global_first_hop_only && first_hop.class(topo.params()) != df_topology::PortClass::Global
+        {
+            continue;
+        }
+        let g_inter = topo.router_group(inter);
+        if g_inter != my_group && !view.link_up(my_group, topo.group_link_to(my_group, g_inter)) {
+            continue;
+        }
+        if g_inter != dst_group && !view.link_up(g_inter, topo.group_link_to(g_inter, dst_group)) {
+            continue;
+        }
+        return Some(inter);
+    }
+    None
+}
+
 /// First-hop decision towards an intermediate router, carrying the Valiant
 /// commitment. `misroute` marks whether the statistics should count the
 /// packet as globally misrouted.

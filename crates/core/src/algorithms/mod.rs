@@ -6,6 +6,29 @@
 //! the committed path minimally. Only packets with no pending commitment
 //! reach the per-mechanism adaptive logic, which may produce a minimal
 //! decision or a new commitment.
+//!
+//! # Failure-aware continuations (fault routing)
+//!
+//! A committed continuation can die under it: the gateway link of a
+//! committed nonminimal global path, the local link towards a Valiant
+//! waypoint or a detour router. Committed packets used to stall on those
+//! ports until `LinkUp`. Every continuation is therefore **re-committed**
+//! when its output link is down:
+//!
+//! * a dead nonminimal gateway link re-runs the mechanism's candidate
+//!   selection with the dead option filtered
+//!   ([`adaptive::recommit_global`], which documents the deadlock-freedom
+//!   argument);
+//! * a dead path to a Valiant waypoint re-picks a live intermediate at the
+//!   source ([`common::pick_live_intermediate`]) or skips the waypoint once
+//!   past the first global hop (strictly fewer hops — trivially VC-safe);
+//! * a dead detour link abandons the detour and falls back to the
+//!   destination logic (the detour was an extra hop; skipping it stays on
+//!   the ladder).
+//!
+//! All checks are gated on `router.any_link_down()` /
+//! `link_view().all_up()`, so healthy-network runs take none of these
+//! paths and stay bit-identical.
 
 pub mod adaptive;
 pub mod common;
@@ -19,8 +42,9 @@ use df_router::Router;
 use df_topology::{Port, PortClass, RouterId};
 
 use crate::config::RoutingConfig;
-use crate::decision::{Decision, DecisionKind};
+use crate::decision::{Commitment, Decision, DecisionKind};
 use crate::kind::RoutingKind;
+use crate::minimal::minimal_output_to_router;
 use crate::vcmap::vc_for_next_hop;
 
 /// A routing mechanism bound to its configuration.
@@ -70,11 +94,25 @@ impl RoutingAlgorithm {
         let current = router.id();
         match packet.routing.objective(topo, current, packet.dst) {
             RouteObjective::Eject(port) => Decision::ejection(port),
-            RouteObjective::LocalDetour(r) => common::continuation_to_router(router, packet, r),
-            RouteObjective::NonminimalGateway(gateway, gport) => {
-                self.continue_to_gateway(router, packet, gateway, gport)
+            RouteObjective::LocalDetour(r) => {
+                let d = common::continuation_to_router(router, packet, r);
+                if router.any_link_down() && !router.link_is_up(d.output_port) {
+                    self.abandon_dead_detour(router, input_port, packet, rng)
+                } else {
+                    d
+                }
             }
-            RouteObjective::Intermediate(r) => common::continuation_to_router(router, packet, r),
+            RouteObjective::NonminimalGateway(gateway, gport) => {
+                self.continue_to_gateway(router, packet, gateway, gport, rng)
+            }
+            RouteObjective::Intermediate(r) => {
+                let d = common::continuation_to_router(router, packet, r);
+                if router.any_link_down() && !router.link_is_up(d.output_port) {
+                    self.reroute_dead_intermediate(router, packet, d, rng)
+                } else {
+                    d
+                }
+            }
             RouteObjective::Destination(dst_router) => {
                 self.route_to_destination(router, input_port, packet, dst_router, rng)
             }
@@ -87,16 +125,125 @@ impl RoutingAlgorithm {
         packet: &Packet,
         gateway: RouterId,
         gateway_port: Port,
+        rng: &mut DeterministicRng,
     ) -> Decision {
-        if gateway == router.id() {
+        let topo = router.topology();
+        let at_gateway = gateway == router.id();
+        let continuation = if at_gateway {
             Decision {
                 output_port: gateway_port,
                 output_vc: vc_for_next_hop(packet, PortClass::Global, router.config()),
                 kind: DecisionKind::Continuation,
-                commitment: crate::decision::Commitment::None,
+                commitment: Commitment::None,
             }
         } else {
             common::continuation_to_router(router, packet, gateway)
+        };
+        // fault routing: a committed link that died (its output port at this
+        // router, or — for mechanisms with a link-state view — the gateway
+        // link itself, known before walking there) is re-committed
+        if router.any_link_down() || !router.link_view().all_up() {
+            let committed_dead = !router.link_is_up(continuation.output_port) || {
+                !at_gateway && {
+                    let params = topo.params();
+                    let j = topo.global_link_index(gateway, gateway_port.class_offset(params));
+                    !router.link_view().link_up(router.group(), j)
+                }
+            };
+            if committed_dead {
+                return adaptive::recommit_global(
+                    self.kind,
+                    &self.config,
+                    router,
+                    packet,
+                    (gateway, gateway_port),
+                    continuation,
+                    rng,
+                );
+            }
+        }
+        continuation
+    }
+
+    /// A committed local detour whose link died: abandon it and route
+    /// towards the destination as if it had never been committed (the
+    /// once-per-group detour budget stays spent). The destination logic can
+    /// produce no new commitment here — the packet is past its global hop
+    /// and has already detoured in this group — so attaching the abandon
+    /// commitment is unambiguous.
+    fn abandon_dead_detour(
+        &self,
+        router: &Router,
+        input_port: Port,
+        packet: &Packet,
+        rng: &mut DeterministicRng,
+    ) -> Decision {
+        let dst_router = router.topology().node_router(packet.dst);
+        if dst_router == router.id() {
+            // unreachable in practice (a detour is never committed at the
+            // destination router), but keep the objective's contract
+            return Decision::ejection(router.topology().node_port(packet.dst));
+        }
+        let mut d = self.route_to_destination(router, input_port, packet, dst_router, rng);
+        if d.kind == DecisionKind::Discard {
+            return d;
+        }
+        debug_assert_eq!(d.commitment, Commitment::None);
+        d.commitment = Commitment::AbandonLocalDetour;
+        d
+    }
+
+    /// A Valiant waypoint whose path died. Before the first global hop the
+    /// source re-picks a live intermediate (same RNG discipline as the
+    /// original pick); past it the waypoint is simply skipped — strictly
+    /// fewer hops, so trivially VC-safe.
+    fn reroute_dead_intermediate(
+        &self,
+        router: &Router,
+        packet: &Packet,
+        stalled: Decision,
+        rng: &mut DeterministicRng,
+    ) -> Decision {
+        let topo = router.topology();
+        if packet.routing.global_hops == 0 {
+            let src_group = topo.router_group(router.id());
+            let dst_group = topo.node_group(packet.dst);
+            // a packet that already spent its pre-global local hop may only
+            // restart on one of this router's own global ports — a second
+            // pre-global local hop would re-enter the VC ladder below the
+            // rung it occupies (same rule recommit_global enforces)
+            let own_global_only = packet.routing.local_hops > 0;
+            if let Some(inter) =
+                common::pick_live_intermediate(router, src_group, dst_group, own_global_only, rng)
+            {
+                let port = minimal_output_to_router(topo, router.id(), inter);
+                return Decision {
+                    output_port: port,
+                    output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+                    kind: DecisionKind::NonminimalGlobal,
+                    commitment: Commitment::RecommitIntermediate { router: inter },
+                };
+            }
+            // No live replacement right now. Skipping the waypoint before
+            // the global hop could require a second pre-global local hop
+            // (a VC-ladder violation), so the packet waits on the dead
+            // continuation and re-decides next cycle.
+            return stalled;
+        }
+        // past the first global hop: skip the waypoint and head minimally
+        // to the destination
+        let dst_router = topo.node_router(packet.dst);
+        if dst_router == router.id() {
+            let mut d = Decision::ejection(topo.node_port(packet.dst));
+            d.commitment = Commitment::AbandonIntermediate;
+            return d;
+        }
+        let port = minimal_output_to_router(topo, router.id(), dst_router);
+        Decision {
+            output_port: port,
+            output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+            kind: DecisionKind::Continuation,
+            commitment: Commitment::AbandonIntermediate,
         }
     }
 

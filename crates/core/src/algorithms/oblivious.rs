@@ -36,7 +36,15 @@ pub fn valiant_decision(
     }
     let src_group = topo.node_group(packet.src);
     let dst_group = topo.node_group(packet.dst);
-    match common::pick_intermediate_router(router, src_group, dst_group, rng) {
+    // under faults, only reachable intermediates are drawn (identical RNG
+    // sequence on a healthy network, where the gate below is never taken);
+    // at the source (hops == 0) any first hop is ladder-legal
+    let picked = if router.any_link_down() {
+        common::pick_live_intermediate(router, src_group, dst_group, false, rng)
+    } else {
+        common::pick_intermediate_router(router, src_group, dst_group, rng)
+    };
+    match picked {
         Some(intermediate) if intermediate != router.id() => {
             common::valiant_first_hop(router, packet, intermediate, true)
         }

@@ -47,8 +47,19 @@ pub fn decide(
     if src_group == dst_group {
         return common::minimal_decision(router, packet);
     }
-    // candidate Valiant path
-    let intermediate = match common::pick_intermediate_router(router, src_group, dst_group, rng) {
+    // candidate Valiant path; under faults the pick is filtered to
+    // intermediates that are reachable and (per the piggybacked link-state
+    // view) can still reach the destination group — on a healthy network
+    // the filtered pick draws the identical RNG sequence
+    let faulty = router.any_link_down() || !router.link_view().all_up();
+    let picked = if faulty {
+        // at the source (hops == 0 by the gate above): any first hop is
+        // still ladder-legal
+        common::pick_live_intermediate(router, src_group, dst_group, false, rng)
+    } else {
+        common::pick_intermediate_router(router, src_group, dst_group, rng)
+    };
+    let intermediate = match picked {
         Some(r) if r != router.id() => r,
         _ => return common::minimal_decision(router, packet),
     };
@@ -71,9 +82,12 @@ pub fn decide(
     let threshold_phits = config.pb_ugal_threshold_packets * packet.size_phits;
     let ugal_valiant = ugal_prefers_valiant(q_min, h_min, q_val, h_val, threshold_phits);
 
-    // a failed minimal first hop forces the Valiant path (fault injection);
+    // a failed minimal first hop — or a minimal gateway link the
+    // piggybacked link-state view marks dead, even when the first local hop
+    // towards it is healthy — forces the Valiant path (fault injection);
     // always false in a healthy network
-    let min_dead = !router.link_is_up(min_first_hop);
+    let min_dead =
+        !router.link_is_up(min_first_hop) || router.link_view().marks_down(src_group, min_link);
 
     if (min_link_saturated || ugal_valiant || min_dead) && router.link_is_up(val_first_hop) {
         common::valiant_first_hop(router, packet, intermediate, true)

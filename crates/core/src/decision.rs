@@ -18,6 +18,11 @@ pub enum DecisionKind {
     /// Continue a previously committed nonminimal path (Valiant waypoint,
     /// pending global misroute or local detour).
     Continuation,
+    /// The packet is unroutable: its minimal continuation is dead and no
+    /// policy-legal live alternative exists (fault routing). The simulator
+    /// removes the packet and accounts it in the dropped-on-fault counters;
+    /// no output is requested.
+    Discard,
 }
 
 /// A commitment the simulator must record on the packet **when the grant is
@@ -52,6 +57,47 @@ pub enum Commitment {
         /// The detour router.
         router: RouterId,
     },
+    /// Fault re-commit: replace a committed nonminimal global link whose
+    /// gateway link died with a live one. Unlike
+    /// [`Commitment::NonminimalGlobal`] this may overwrite an existing
+    /// commitment (the committed hop was never taken, so the one-misroute
+    /// bound — counted in hops — is preserved).
+    RecommitGlobal {
+        /// Router of the current group owning the replacement link.
+        gateway: RouterId,
+        /// Global port of that router.
+        port: Port,
+    },
+    /// Fault re-commit: drop a committed nonminimal global link whose
+    /// gateway link died and continue minimally.
+    AbandonNonminimal,
+    /// Fault re-commit: replace a Valiant intermediate router whose path
+    /// died with a live alternative.
+    RecommitIntermediate {
+        /// The replacement intermediate router.
+        router: RouterId,
+    },
+    /// Fault re-commit: skip a Valiant intermediate router that can no
+    /// longer be reached and head minimally to the destination.
+    AbandonIntermediate,
+    /// Fault re-commit: drop a committed local detour whose link died and
+    /// continue minimally (the once-per-group detour budget stays spent).
+    AbandonLocalDetour,
+}
+
+impl Commitment {
+    /// Whether applying this commitment re-routes a previously committed
+    /// packet around a failure (feeds the `recommitted_packets` counter).
+    pub fn is_fault_recommit(&self) -> bool {
+        matches!(
+            self,
+            Commitment::RecommitGlobal { .. }
+                | Commitment::AbandonNonminimal
+                | Commitment::RecommitIntermediate { .. }
+                | Commitment::AbandonIntermediate
+                | Commitment::AbandonLocalDetour
+        )
+    }
 }
 
 /// The output of a routing decision for one head packet.
@@ -88,6 +134,18 @@ impl Decision {
         }
     }
 
+    /// A discard decision: the packet is unroutable (fault routing). The
+    /// port/VC fields are placeholders — the simulator never requests an
+    /// output for a discarded packet.
+    pub fn discard() -> Self {
+        Decision {
+            output_port: Port(0),
+            output_vc: VcId(0),
+            kind: DecisionKind::Discard,
+            commitment: Commitment::None,
+        }
+    }
+
     /// Whether this decision commits or continues a nonminimal path.
     pub fn is_nonminimal(&self) -> bool {
         matches!(
@@ -113,6 +171,34 @@ mod tests {
         let e = Decision::ejection(Port(0));
         assert_eq!(e.kind, DecisionKind::Ejection);
         assert_eq!(e.output_vc, VcId(0));
+    }
+
+    #[test]
+    fn discard_and_recommit_classification() {
+        let d = Decision::discard();
+        assert_eq!(d.kind, DecisionKind::Discard);
+        assert_eq!(d.commitment, Commitment::None);
+        assert!(!d.is_nonminimal());
+        assert!(!Commitment::None.is_fault_recommit());
+        assert!(!Commitment::Intermediate {
+            router: RouterId(1),
+            misroute: true
+        }
+        .is_fault_recommit());
+        for c in [
+            Commitment::RecommitGlobal {
+                gateway: RouterId(1),
+                port: Port(5),
+            },
+            Commitment::AbandonNonminimal,
+            Commitment::RecommitIntermediate {
+                router: RouterId(2),
+            },
+            Commitment::AbandonIntermediate,
+            Commitment::AbandonLocalDetour,
+        ] {
+            assert!(c.is_fault_recommit(), "{c:?}");
+        }
     }
 
     #[test]

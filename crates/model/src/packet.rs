@@ -131,6 +131,48 @@ impl RoutingState {
         self.flags.global = true;
     }
 
+    /// Replace a committed nonminimal global link whose gateway link died
+    /// with a live alternative (fault re-commit). Unlike
+    /// [`commit_nonminimal_global`](Self::commit_nonminimal_global) this may
+    /// overwrite an existing commitment: the committed hop was never taken
+    /// (`global_hops` is still 0), so the one-global-misroute bound — which
+    /// counts *hops*, not intents — is preserved.
+    pub fn recommit_nonminimal_global(&mut self, gateway: RouterId, port: Port) {
+        debug_assert_eq!(self.global_hops, 0, "re-commit only before the global hop");
+        self.nonminimal_global = Some((gateway, port));
+        self.flags.global = true;
+    }
+
+    /// Drop a committed nonminimal global link whose gateway link died and
+    /// fall back to the minimal path (fault re-commit). The misroute flag is
+    /// kept: the packet's statistics still record the intent.
+    pub fn abandon_nonminimal_global(&mut self) {
+        self.nonminimal_global = None;
+    }
+
+    /// Replace a Valiant intermediate router whose path died with a live
+    /// alternative (fault re-commit).
+    pub fn recommit_intermediate(&mut self, router: RouterId) {
+        debug_assert!(!self.intermediate_reached, "waypoint already visited");
+        self.intermediate_router = Some(router);
+        self.intermediate_reached = false;
+    }
+
+    /// Abandon a Valiant intermediate router that can no longer be reached
+    /// (fault re-commit): the packet skips the waypoint and heads minimally
+    /// to its destination — strictly fewer hops, so the VC ladder is
+    /// trivially preserved.
+    pub fn abandon_intermediate(&mut self) {
+        self.intermediate_reached = true;
+    }
+
+    /// Abandon a committed local detour whose link died (fault re-commit).
+    /// `local_misrouted_in` is kept: the once-per-group bound still counts
+    /// the attempt.
+    pub fn abandon_local_detour(&mut self) {
+        self.local_detour = None;
+    }
+
     /// Commit to a local-misroute detour through `router` in group `group`.
     pub fn commit_local_detour(&mut self, router: RouterId, group: GroupId) {
         self.local_detour = Some(router);
@@ -381,5 +423,58 @@ mod tests {
         let mut state = RoutingState::new();
         state.commit_intermediate(RouterId(9), false);
         assert!(!state.globally_misrouted());
+    }
+
+    #[test]
+    fn recommit_replaces_a_dead_nonminimal_commitment() {
+        let t = topo();
+        let mut state = RoutingState::new();
+        state.commit_nonminimal_global(RouterId(1), Port::global(t.params(), 0));
+        // unlike commit_nonminimal_global, recommit may overwrite
+        state.recommit_nonminimal_global(RouterId(2), Port::global(t.params(), 1));
+        assert_eq!(
+            state.nonminimal_global,
+            Some((RouterId(2), Port::global(t.params(), 1)))
+        );
+        assert!(state.globally_misrouted(), "the misroute intent is kept");
+        state.abandon_nonminimal_global();
+        assert_eq!(state.nonminimal_global, None);
+        assert!(
+            state.globally_misrouted(),
+            "abandoning keeps the statistics flag"
+        );
+    }
+
+    #[test]
+    fn waypoint_recommit_and_abandon() {
+        let t = topo();
+        let dst = NodeId(40);
+        let mut state = RoutingState::new();
+        state.commit_intermediate(RouterId(9), true);
+        state.recommit_intermediate(RouterId(12));
+        match state.objective(&t, RouterId(0), dst) {
+            RouteObjective::Intermediate(r) => assert_eq!(r, RouterId(12)),
+            other => panic!("expected the replacement waypoint, got {other:?}"),
+        }
+        state.abandon_intermediate();
+        assert!(state.intermediate_reached);
+        match state.objective(&t, RouterId(0), dst) {
+            RouteObjective::Destination(_) => {}
+            other => panic!("an abandoned waypoint routes to the destination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detour_abandon_keeps_the_per_group_budget_spent() {
+        let t = topo();
+        let group = t.router_group(RouterId(0));
+        let mut state = RoutingState::new();
+        state.commit_local_detour(RouterId(2), group);
+        state.abandon_local_detour();
+        assert_eq!(state.local_detour, None);
+        assert!(
+            !state.local_misroute_allowed_in(group),
+            "abandoning a detour does not refund the once-per-group budget"
+        );
     }
 }

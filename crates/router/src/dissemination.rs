@@ -26,6 +26,8 @@
 //! events, upstream credits) must be staged and merged by the caller — see
 //! `df-sim`'s `parallel` module.
 
+use df_topology::GatewayLiveness;
+
 use crate::router::Router;
 
 /// One PB dissemination step for one group: gather every member's own-link
@@ -48,6 +50,20 @@ pub fn pb_exchange_group(group: &mut [Router], flat: &mut Vec<bool>) {
     }
     for router in group.iter_mut() {
         router.pb_mut().install_group_from(flat);
+    }
+}
+
+/// Install the published gateway-liveness map into every router of one
+/// group — the link-state payload piggybacked on the same PB/ECtN exchange
+/// the group is already performing this cycle. Costs one integer compare
+/// per router when nothing changed (the healthy-network case), so riding
+/// along with every exchange is free.
+///
+/// Same slice contract as [`pb_exchange_group`]: distinct groups may
+/// install concurrently.
+pub fn install_linkview_group(group: &mut [Router], published: &GatewayLiveness) {
+    for router in group.iter_mut() {
+        router.install_link_view(published);
     }
 }
 

@@ -13,6 +13,15 @@
 //!
 //! Misrouting at injection is triggered when the combined counter of the
 //! minimal global link exceeds the (separate, higher) combined threshold.
+//!
+//! Since the failure-aware routing extension, the periodic broadcast
+//! additionally piggybacks **gateway-liveness bits** (network-wide link
+//! state, `df_topology::GatewayLiveness`) on the same messages and cadence
+//! as the partial arrays, so ECtN source routers can exclude dead gateway
+//! groups from their injection-time misroute candidates. The bits live in
+//! the router's `link_view`, installed by
+//! `dissemination::install_linkview_group` next to
+//! [`EctnState::install_combined_from`].
 
 use serde::{Deserialize, Serialize};
 

@@ -217,6 +217,20 @@ impl OutputPort {
         self.link_free_at
     }
 
+    /// Remove every staged packet from the buffer and return them with the
+    /// downstream VC each had been granted (fault injection: the link died,
+    /// its serialisation buffer is lost with it). The credits the packets
+    /// consumed are deliberately *not* restored here — the caller ledgers
+    /// them exactly like an in-flight drop, so `LinkUp` returns them.
+    pub fn drain_staged(&mut self) -> Vec<(Packet, VcId)> {
+        let mut out = Vec::with_capacity(self.buffer.len());
+        while let Some(staged) = self.buffer.pop_front() {
+            self.buffer_occupancy_phits -= staged.packet.size_phits;
+            out.push((staged.packet, staged.dst_vc));
+        }
+        out
+    }
+
     /// Round-robin pointer for the allocator's output stage; calling this
     /// advances the pointer (modulo `num_inputs`).
     pub fn take_rr_start(&mut self, num_inputs: usize) -> usize {

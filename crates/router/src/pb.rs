@@ -12,6 +12,15 @@
 //! This module only holds the state; the classification rule and the routing
 //! decision live in `df-routing::algorithms::piggyback`, and the intra-group
 //! dissemination (with its one-local-hop delay) is driven by the simulator.
+//!
+//! Since the failure-aware routing extension, the PB exchange additionally
+//! piggybacks **gateway-liveness bits** (one bit per group-level global
+//! link, network-wide — see `df_topology::GatewayLiveness`): the same
+//! messages that carry the saturation mask carry the link-state delta, on
+//! the same every-cycle cadence and with the same one-exchange staleness.
+//! The bits themselves live in the router's `link_view`, installed by
+//! `dissemination::install_linkview_group` alongside
+//! [`PbState::install_group_from`].
 
 use serde::{Deserialize, Serialize};
 

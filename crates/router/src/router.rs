@@ -2,7 +2,7 @@
 //! Dragonfly router.
 
 use df_model::{Cycle, NetworkConfig, Packet, VcId};
-use df_topology::{Dragonfly, GroupId, Port, PortClass, PortPeer, RouterId};
+use df_topology::{Dragonfly, GatewayLiveness, GroupId, Port, PortClass, PortPeer, RouterId};
 
 use crate::allocator::{AllocationRequest, Allocator, Grant};
 use crate::contention::ContentionCounters;
@@ -48,11 +48,19 @@ pub struct Router {
     /// Whether the *outgoing* direction of each port's link is usable
     /// (fault injection). All `true` in a healthy network; mirrored from
     /// the simulator's `LinkState` when fault events fire. A down port is
-    /// never granted by the allocator and never transmits — staged packets
-    /// wait in the output buffer until the link comes back up.
+    /// never granted by the allocator and never transmits; packets staged
+    /// behind it at the fault instant are dropped by the simulator
+    /// ([`Router::drop_staged_for_dead_port`] — the serialisation buffer
+    /// is lost with the link).
     link_up: Vec<bool>,
     /// Number of `false` entries in `link_up` (O(1) healthy fast path).
     links_down: u32,
+    /// This router's (possibly stale) copy of the network-wide
+    /// gateway-liveness map, refreshed by the PB/ECtN dissemination step.
+    /// Pristine all-up — and never installed — for mechanisms without a
+    /// dissemination channel (MIN, VAL, OLM, Base, Hybrid), which therefore
+    /// keep the discover-at-gateway behaviour.
+    link_view: GatewayLiveness,
 }
 
 impl Router {
@@ -102,6 +110,7 @@ impl Router {
             unregistered_count: 0,
             link_up: vec![true; radix as usize],
             links_down: 0,
+            link_view: GatewayLiveness::new(&topo),
         }
     }
 
@@ -270,6 +279,66 @@ impl Router {
         self.links_down > 0
     }
 
+    /// This router's (possibly stale) view of the network-wide
+    /// gateway-liveness map. Pristine all-up unless the routing mechanism
+    /// disseminates link state (PB, ECtN).
+    #[inline]
+    pub fn link_view(&self) -> &GatewayLiveness {
+        &self.link_view
+    }
+
+    /// Refresh the gateway-liveness view from the published copy (one
+    /// integer compare when nothing changed).
+    pub fn install_link_view(&mut self, published: &GatewayLiveness) {
+        self.link_view.install_from(published);
+    }
+
+    /// Drop every packet staged in the output buffer of a port whose link
+    /// just failed (the link-interface serialisation buffer is lost with the
+    /// link). Returns the packets with the downstream VC each had consumed
+    /// credits on, so the simulator can account the drops and ledger the
+    /// credits exactly like in-flight drops.
+    pub fn drop_staged_for_dead_port(&mut self, port: Port) -> Vec<(Packet, VcId)> {
+        debug_assert!(!self.link_is_up(port), "only dead ports lose their stage");
+        self.outputs[port.index()].drain_staged()
+    }
+
+    /// Discard the head packet of input VC `(port, vc)` — the fault-routing
+    /// "unroutable packet" path. Releases the same per-router bookkeeping as
+    /// [`Router::apply_grant`] (counter registrations, occupancy) but the
+    /// packet leaves the network instead of an output buffer. Returns the
+    /// packet and the input class (terminal inputs generate no upstream
+    /// credit return).
+    ///
+    /// # Panics
+    /// Panics if the input VC is empty.
+    pub fn discard_head(&mut self, port: Port, vc: VcId) -> (Packet, PortClass) {
+        let input_class = self.inputs[port.index()].class();
+        let input_vc = self.inputs[port.index()].vc_mut(vc.index());
+        let PoppedPacket {
+            packet,
+            registered_min_output,
+            registered_ectn_link,
+        } = input_vc
+            .pop()
+            .expect("discarded input VC must hold a packet");
+        if registered_min_output.is_none() {
+            self.unregistered_count -= 1;
+        }
+        if !input_vc.is_empty() {
+            self.unregistered_count += 1;
+        }
+        self.occupied_per_port[port.index()] -= 1;
+        self.occupied_total -= 1;
+        if let Some(min_out) = registered_min_output {
+            self.contention.decrement(min_out);
+        }
+        if let Some(link) = registered_ectn_link {
+            self.ectn.decrement_partial(link);
+        }
+        (packet, input_class)
+    }
+
     // ------------------------------------------------------------------
     // Contention / ECtN registration
     // ------------------------------------------------------------------
@@ -418,8 +487,11 @@ impl Router {
         // per-port flag reads entirely via the O(1) down-counter
         let any_down = self.links_down > 0;
         for (p, output) in self.outputs.iter_mut().enumerate() {
-            // a down link transmits nothing: staged packets wait in the
-            // output buffer until the link comes back up
+            // a down link transmits nothing. In a full simulation the dead
+            // port's stage is drained at the fault cycle
+            // ([`Router::drop_staged_for_dead_port`]); the skip remains the
+            // hard guarantee for anything staged outside that path (e.g.
+            // direct unit-test drives).
             if any_down && !self.link_up[p] {
                 continue;
             }

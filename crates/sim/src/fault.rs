@@ -13,10 +13,14 @@
 //!
 //! * **`LinkDown`** takes both directions of the link out of service:
 //!   * the allocator stops granting the dead output ports, whatever the
-//!     routing policy requested — packets wait, and adaptive policies treat
-//!     the dead minimal port as infinitely contended and misroute around it;
-//!   * packets staged in an output buffer behind the dead link wait there
-//!     (the activity gate keeps their router live);
+//!     routing policy requested; adaptive policies treat the dead minimal
+//!     port as infinitely contended and misroute around it, committed
+//!     continuations *re-commit* (the failure-aware routing layer — see
+//!     `docs/ARCHITECTURE.md`), and packets with no VC-feasible live
+//!     escape are discarded as unroutable;
+//!   * packets staged in an output buffer behind the dead link are lost
+//!     with it (the serialisation buffer dies with the link) and their
+//!     consumed downstream credits are ledgered like in-flight drops;
 //!   * packets and credit messages **in flight on the link** when it fails
 //!     (arrival scheduled while the link is down) are *dropped* and
 //!     accounted in the `DroppedOnFault` counters, so phit conservation
@@ -172,10 +176,18 @@ impl FaultPlan {
         points
     }
 
-    /// Validate the plan against a topology: router ids and ports must
-    /// exist, and link faults must name router-to-router links (terminal
-    /// links cannot fail — a node with no ejection path would make packet
-    /// conservation undecidable).
+    /// Validate the plan against a topology:
+    ///
+    /// * router ids and ports must exist, and link faults must name
+    ///   router-to-router links — terminal links cannot fail, because a
+    ///   node with no ejection path makes packet conservation undecidable;
+    ///   model node failure as `RouterDrain` at the source instead (the
+    ///   ROADMAP's drain-at-source + reroute-to-spare alternative);
+    /// * the per-link event sequence must be consistent: no two events on
+    ///   the same link in the same cycle (their order would be
+    ///   insertion-dependent), no `LinkUp` for a link that is not down at
+    ///   that point in the (cycle-sorted) plan, and no `LinkDown` for a
+    ///   link that is already down.
     pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
         let params = topo.params();
         let num_routers = topo.num_routers();
@@ -189,7 +201,10 @@ impl FaultPlan {
                 }
                 if port.class(params) == PortClass::Terminal {
                     return Err(format!(
-                        "fault event {i}: terminal links cannot fail (router {router} port {port})"
+                        "fault event {i}: terminal links cannot fail (router {router} port \
+                         {port}) — a node with no ejection path makes conservation \
+                         undecidable; model node failure as RouterDrain at the source \
+                         instead (ROADMAP: drain-at-source + reroute-to-spare)"
                     ));
                 }
                 if !matches!(topo.peer(router, port), PortPeer::Router(..)) {
@@ -209,6 +224,56 @@ impl FaultPlan {
                     }
                 }
             }
+        }
+        self.validate_link_sequences(topo)
+    }
+
+    /// Walk the cycle-sorted plan and check per-link event consistency (see
+    /// [`validate`](Self::validate)). Links are canonicalised to their
+    /// lexicographically smaller directed end, so the two endpoint namings
+    /// of one bidirectional link collide as intended.
+    fn validate_link_sequences(&self, topo: &Dragonfly) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        let canonical = |router: RouterId, port: Port| -> (u32, u32) {
+            match topo.peer(router, port) {
+                PortPeer::Router(peer, back) => std::cmp::min((router.0, port.0), (peer.0, back.0)),
+                _ => (router.0, port.0),
+            }
+        };
+        // per canonical link: (is down, cycle of the last event touching it)
+        let mut state: BTreeMap<(u32, u32), (bool, Cycle)> = BTreeMap::new();
+        for event in self.sorted_events() {
+            let (router, port, down) = match event.kind {
+                FaultKind::LinkDown { router, port } => (router, port, true),
+                FaultKind::LinkUp { router, port } => (router, port, false),
+                _ => continue,
+            };
+            let key = canonical(router, port);
+            match state.get(&key) {
+                Some(&(_, last)) if last == event.at => {
+                    return Err(format!(
+                        "fault plan: two events on the link at router {router} port {port} \
+                         in the same cycle {} (order would be insertion-dependent)",
+                        event.at
+                    ));
+                }
+                Some(&(true, _)) if down => {
+                    return Err(format!(
+                        "fault plan: LinkDown at cycle {} on the link at router {router} \
+                         port {port}, which is already down",
+                        event.at
+                    ));
+                }
+                Some(&(false, _)) | None if !down => {
+                    return Err(format!(
+                        "fault plan: LinkUp at cycle {} on the link at router {router} \
+                         port {port}, which is not down (up-before-down)",
+                        event.at
+                    ));
+                }
+                _ => {}
+            }
+            state.insert(key, (down, event.at));
         }
         Ok(())
     }

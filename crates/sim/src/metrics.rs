@@ -27,12 +27,32 @@ pub struct Metrics {
     delivered_packets_total: u64,
     delivered_phits_total: u64,
     // ---- fault accounting (whole run) ----
-    /// Packets dropped because they were in flight on a link when it
-    /// failed. Together with `delivered` and `in-flight` these make packet
-    /// conservation under faults a checkable equality.
+    /// Packets lost to link failures, whatever the mechanism: in flight on
+    /// the wire, staged in a dead link's output buffer, or discarded as
+    /// unroutable. Together with `delivered` and `in-flight` these make
+    /// packet conservation under faults a checkable equality.
     dropped_on_fault_packets: u64,
     /// Phits of those dropped packets.
     dropped_on_fault_phits: u64,
+    /// Of the dropped packets, those that were staged in an output buffer
+    /// behind a link when it failed (the serialisation buffer is lost with
+    /// the link).
+    dropped_staged_packets: u64,
+    /// Of the dropped packets, those the routing layer discarded as
+    /// unroutable (dead minimal continuation and no policy-legal live
+    /// alternative).
+    dropped_unroutable_packets: u64,
+    /// Phits of the unroutable discards. Unlike wire/staged drops these
+    /// consumed no credits on the dead link, so the lost-credit ledger
+    /// bound excludes them.
+    dropped_unroutable_phits: u64,
+    /// Packets whose dead committed continuation was re-committed (replaced
+    /// or abandoned) by the failure-aware routing layer.
+    recommitted_packets: u64,
+    /// Cycles during which at least one router's gateway-liveness view
+    /// lagged the true link state (only meaningful for mechanisms with a
+    /// dissemination channel; 0 on healthy runs).
+    stale_linkstate_cycles: u64,
     // ---- transient series ----
     latency_series: BinnedSeries,
     misroute_series: BinnedSeries,
@@ -80,6 +100,11 @@ impl Metrics {
             delivered_phits_total: 0,
             dropped_on_fault_packets: 0,
             dropped_on_fault_phits: 0,
+            dropped_staged_packets: 0,
+            dropped_unroutable_packets: 0,
+            dropped_unroutable_phits: 0,
+            recommitted_packets: 0,
+            stale_linkstate_cycles: 0,
             latency_series: BinnedSeries::new(series_origin, series_bin),
             misroute_series: BinnedSeries::new(series_origin, series_bin),
             latency_histogram: Histogram::new(0.0, 5_000.0, 500),
@@ -143,6 +168,34 @@ impl Metrics {
         self.dropped_on_fault_phits += packet.size_phits as u64;
     }
 
+    /// Record a packet dropped because it was staged in an output buffer
+    /// behind a link when the link failed (counts into the dropped-on-fault
+    /// totals and the staged sub-counter).
+    pub fn record_dropped_staged(&mut self, packet: &Packet) {
+        self.record_dropped_on_fault(packet);
+        self.dropped_staged_packets += 1;
+    }
+
+    /// Record a packet the routing layer discarded as unroutable (counts
+    /// into the dropped-on-fault totals and the unroutable sub-counter).
+    pub fn record_dropped_unroutable(&mut self, packet: &Packet) {
+        self.record_dropped_on_fault(packet);
+        self.dropped_unroutable_packets += 1;
+        self.dropped_unroutable_phits += packet.size_phits as u64;
+    }
+
+    /// Record `count` fault re-commits (committed continuations replaced or
+    /// abandoned because their link died).
+    pub fn record_recommitted(&mut self, count: u64) {
+        self.recommitted_packets += count;
+    }
+
+    /// Record one cycle during which the disseminated gateway-liveness view
+    /// lagged the true link state.
+    pub fn record_stale_linkstate_cycle(&mut self) {
+        self.stale_linkstate_cycles += 1;
+    }
+
     /// Total packets delivered since the beginning of the run (not just the
     /// window); used by the progress watchdog.
     pub fn delivered_packets_total(&self) -> u64 {
@@ -162,6 +215,33 @@ impl Metrics {
     /// Phits dropped by link failures since the beginning of the run.
     pub fn dropped_on_fault_phits(&self) -> u64 {
         self.dropped_on_fault_phits
+    }
+
+    /// Packets dropped from dead links' output stages (subset of
+    /// [`dropped_on_fault_packets`](Self::dropped_on_fault_packets)).
+    pub fn dropped_staged_packets(&self) -> u64 {
+        self.dropped_staged_packets
+    }
+
+    /// Packets discarded as unroutable by the failure-aware routing layer
+    /// (subset of [`dropped_on_fault_packets`](Self::dropped_on_fault_packets)).
+    pub fn dropped_unroutable_packets(&self) -> u64 {
+        self.dropped_unroutable_packets
+    }
+
+    /// Phits of the unroutable discards.
+    pub fn dropped_unroutable_phits(&self) -> u64 {
+        self.dropped_unroutable_phits
+    }
+
+    /// Committed continuations re-committed around a dead link.
+    pub fn recommitted_packets(&self) -> u64 {
+        self.recommitted_packets
+    }
+
+    /// Cycles the disseminated gateway-liveness view lagged the truth.
+    pub fn stale_linkstate_cycles(&self) -> u64 {
+        self.stale_linkstate_cycles
     }
 
     /// The latency histogram of the measurement window (used by the
@@ -318,5 +398,30 @@ mod tests {
         m.record_generated(8);
         m.record_generated(16);
         assert_eq!(m.generated_phits_total, 24);
+    }
+
+    #[test]
+    fn fault_drop_subcounters_feed_the_conservation_totals() {
+        let mut m = Metrics::new(0, 10);
+        m.record_dropped_on_fault(&packet(1, 0)); // wire drop
+        m.record_dropped_staged(&packet(2, 0));
+        m.record_dropped_unroutable(&packet(3, 0));
+        assert_eq!(m.dropped_on_fault_packets(), 3);
+        assert_eq!(m.dropped_on_fault_phits(), 24);
+        assert_eq!(m.dropped_staged_packets(), 1);
+        assert_eq!(m.dropped_unroutable_packets(), 1);
+        assert_eq!(m.dropped_unroutable_phits(), 8);
+    }
+
+    #[test]
+    fn recommit_and_staleness_counters_accumulate() {
+        let mut m = Metrics::new(0, 10);
+        assert_eq!(m.recommitted_packets(), 0);
+        assert_eq!(m.stale_linkstate_cycles(), 0);
+        m.record_recommitted(3);
+        m.record_recommitted(2);
+        m.record_stale_linkstate_cycle();
+        assert_eq!(m.recommitted_packets(), 5);
+        assert_eq!(m.stale_linkstate_cycles(), 1);
     }
 }

@@ -13,7 +13,10 @@
 //! 2. traffic generation and injection from the node source queues into the
 //!    routers' injection buffers,
 //! 3. control-plane dissemination: PB saturation flags every cycle, ECtN
-//!    partial-array broadcast every `ectn_update_period` cycles,
+//!    partial-array broadcast every `ectn_update_period` cycles — each
+//!    exchange also carries the piggybacked gateway-liveness bits
+//!    (failure-aware routing; one integer compare per router when no
+//!    fault changed anything),
 //! 4. routing decisions + separable allocation, iterated
 //!    `allocator_speedup` times,
 //! 5. output-buffer link transmission, scheduling remote arrivals after the
@@ -64,7 +67,9 @@ use df_model::{Cycle, VcId};
 use df_router::{Grant, Router};
 use df_routing::algorithms::piggyback;
 use df_routing::{minimal, RoutingAlgorithm};
-use df_topology::{Dragonfly, GroupId, LinkState, NodeId, Port, PortPeer, RouterId};
+use df_topology::{
+    Dragonfly, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortPeer, RouterId,
+};
 use df_traffic::TrafficPattern;
 use std::collections::BTreeMap;
 
@@ -148,6 +153,16 @@ pub struct Network {
     /// packets had reserved was never used). `BTreeMap` for deterministic
     /// iteration; empty in healthy runs.
     lost_credits: BTreeMap<(u32, u32), Vec<u32>>,
+    /// The true network-wide gateway-liveness map, kept in sync with
+    /// `link_state` as fault events fire.
+    linkview_truth: GatewayLiveness,
+    /// The copy the control plane is currently carrying: installed into the
+    /// routers at each PB/ECtN exchange, then refreshed from the truth —
+    /// one exchange of staleness, mirroring the one-hop delay of the
+    /// piggybacked congestion state.
+    linkview_published: GatewayLiveness,
+    /// Version the routers last installed (for the staleness metric).
+    linkview_installed_version: u64,
     // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
@@ -273,6 +288,9 @@ impl Network {
             next_fault: 0,
             node_blocked: vec![false; num_nodes],
             lost_credits: BTreeMap::new(),
+            linkview_truth: GatewayLiveness::new(&topo),
+            linkview_published: GatewayLiveness::new(&topo),
+            linkview_installed_version: 0,
             gated,
             control_plane_every_cycle,
             change_points,
@@ -486,8 +504,23 @@ impl Network {
             self.next_fault += 1;
             match kind {
                 FaultKind::LinkDown { router, port } => {
+                    // the gateway-liveness truth the control plane will
+                    // disseminate (no-op for local links)
+                    self.linkview_truth
+                        .set_global_link(&self.topo, router, port, false);
                     for (r, p) in self.link_state.set_link(&self.topo, router, port, false) {
                         self.routers[r.index()].set_link_up(p, false);
+                        // the link-interface serialisation buffer is lost
+                        // with the link: staged packets are dropped and
+                        // their consumed downstream credits ledgered,
+                        // exactly like in-flight drops
+                        let dropped = self.routers[r.index()].drop_staged_for_dead_port(p);
+                        for (packet, dst_vc) in dropped {
+                            self.in_flight -= 1;
+                            self.in_flight_phits -= packet.size_phits as u64;
+                            self.metrics.record_dropped_staged(&packet);
+                            self.ledger_lost_credits(r, p, dst_vc, packet.size_phits);
+                        }
                         // wake both endpoints so adaptive policies reconsider
                         // their buffered heads this cycle (behaviour-neutral
                         // for idle routers)
@@ -495,6 +528,8 @@ impl Network {
                     }
                 }
                 FaultKind::LinkUp { router, port } => {
+                    self.linkview_truth
+                        .set_global_link(&self.topo, router, port, true);
                     for (r, p) in self.link_state.set_link(&self.topo, router, port, true) {
                         self.routers[r.index()].set_link_up(p, true);
                         // return the credits lost to drops on this directed
@@ -570,6 +605,7 @@ impl Network {
             shards: self.shards.as_mut_ptr(),
             num_shards: self.num_shards,
             ctx: &ctx,
+            linkview: &self.linkview_published,
         };
         match &self.pool {
             Some(pool) => pool.run(job),
@@ -584,6 +620,15 @@ impl Network {
             }
             for (at, misrouted) in shard.staged_commits.drain(..) {
                 self.metrics.record_commit(at, misrouted);
+            }
+            for packet in shard.staged_discards.drain(..) {
+                self.in_flight -= 1;
+                self.in_flight_phits -= packet.size_phits as u64;
+                self.metrics.record_dropped_unroutable(&packet);
+            }
+            if shard.staged_recommits > 0 {
+                self.metrics.record_recommitted(shard.staged_recommits);
+                shard.staged_recommits = 0;
             }
         }
     }
@@ -721,12 +766,17 @@ impl Network {
         }
 
         // ---- 3. control-plane dissemination ----
+        // Each exchange also carries the piggybacked gateway-liveness bits:
+        // the routers install the *published* copy, then the published copy
+        // is refreshed from the truth — one exchange of staleness, like the
+        // congestion state riding the same messages.
         if self.config.routing.needs_pb_dissemination() {
             if self.gated {
                 self.run_phase(PhaseKind::Pb);
             } else {
                 self.disseminate_pb_legacy();
             }
+            self.refresh_published_linkview();
         }
         if self.config.routing.needs_ectn_broadcast()
             && now.is_multiple_of(self.config.routing_config.ectn_update_period)
@@ -736,6 +786,14 @@ impl Network {
             } else {
                 self.broadcast_ectn_legacy();
             }
+            self.refresh_published_linkview();
+        }
+        // staleness metric: a fault has fired that the routers' views have
+        // not seen yet (both versions are 0 for the whole of a healthy run)
+        if self.control_plane_every_cycle
+            && self.linkview_installed_version != self.linkview_truth.version()
+        {
+            self.metrics.record_stale_linkstate_cycle();
         }
 
         // Events only arrive in steps 1–2, so the active set is complete
@@ -812,6 +870,15 @@ impl Network {
         self.cycle += 1;
     }
 
+    /// Book-keeping after a control-plane exchange installed the published
+    /// gateway-liveness copy into every router: remember what they now hold
+    /// (for the staleness metric) and refresh the published copy from the
+    /// truth for the next exchange. O(1) compares on healthy runs.
+    fn refresh_published_linkview(&mut self) {
+        self.linkview_installed_version = self.linkview_published.version();
+        self.linkview_published.install_from(&self.linkview_truth);
+    }
+
     /// Seed-kernel PB dissemination: per-group `Vec` gather plus one cloned
     /// `Vec` per router per cycle (the baseline the flat-array version is
     /// benchmarked against).
@@ -829,7 +896,9 @@ impl Network {
                     .install_group(group_flags.clone());
             }
         }
+        let published = &self.linkview_published;
         for router in self.routers.iter_mut() {
+            router.install_link_view(published);
             piggyback::update_own_saturation(&self.config.routing_config, router);
         }
     }
@@ -850,6 +919,7 @@ impl Network {
                 self.routers[r.index()]
                     .ectn_mut()
                     .install_combined(combined.clone());
+                self.routers[r.index()].install_link_view(&self.linkview_published);
             }
         }
     }
@@ -886,12 +956,17 @@ impl Network {
         let occupied = self.routers[r_idx].occupied_vcs();
         self.shards[0].requests.clear();
         self.shards[0].decisions.clear();
+        self.shards[0].discards.clear();
         {
             let router = &self.routers[r_idx];
             let rng = &mut self.router_rngs[r_idx];
             for (port, vc) in occupied {
                 let head = router.input(port).vc(vc.index()).head().expect("occupied");
                 let decision = self.algorithm.decide(router, port, head, rng);
+                if decision.kind == df_routing::DecisionKind::Discard {
+                    self.shards[0].discards.push((port, vc));
+                    continue;
+                }
                 self.shards[0].requests.push(df_router::AllocationRequest {
                     input_port: port,
                     input_vc: vc,
@@ -900,6 +975,41 @@ impl Network {
                     size_phits: head.size_phits,
                 });
                 self.shards[0].decisions.push(((port, vc), decision));
+            }
+        }
+
+        // b'. discards (fault routing): same post-decision-loop application
+        // order as the staged kernels, with the staged effects flushed
+        // immediately — the per-sink order direct application would produce
+        if !self.shards[0].discards.is_empty() {
+            let ctx = StepCtx {
+                topo: self.topo,
+                algorithm: self.algorithm,
+                network: self.config.network,
+            };
+            let discards = std::mem::take(&mut self.shards[0].discards);
+            for &(port, vc) in &discards {
+                crate::parallel::discard_one(
+                    &mut self.routers[r_idx],
+                    &ctx,
+                    now,
+                    port,
+                    vc,
+                    &mut self.shards[0],
+                );
+            }
+            let shard = &mut self.shards[0];
+            // hand the scratch list back so the hot loop stays allocation-
+            // free (same discipline as route_and_allocate_one)
+            shard.discards = discards;
+            shard.discards.clear();
+            for (at, event) in shard.staged_events.drain(..) {
+                self.events.schedule(at, event);
+            }
+            for packet in shard.staged_discards.drain(..) {
+                self.in_flight -= 1;
+                self.in_flight_phits -= packet.size_phits as u64;
+                self.metrics.record_dropped_unroutable(&packet);
             }
         }
 
@@ -936,6 +1046,10 @@ impl Network {
         }
         for (at, misrouted) in shard.staged_commits.drain(..) {
             self.metrics.record_commit(at, misrouted);
+        }
+        if shard.staged_recommits > 0 {
+            self.metrics.record_recommitted(shard.staged_recommits);
+            shard.staged_recommits = 0;
         }
     }
 }

@@ -50,8 +50,8 @@ use df_engine::DeterministicRng;
 use df_model::{Cycle, NetworkConfig, VcId};
 use df_router::{dissemination, AllocationRequest, Grant, Router};
 use df_routing::algorithms::piggyback;
-use df_routing::{minimal, Commitment, Decision, RoutingAlgorithm};
-use df_topology::{Dragonfly, Port, PortClass, PortPeer};
+use df_routing::{minimal, Commitment, Decision, DecisionKind, RoutingAlgorithm};
+use df_topology::{Dragonfly, GatewayLiveness, Port, PortClass, PortPeer};
 
 use crate::events::Event;
 
@@ -93,6 +93,15 @@ pub(crate) struct ShardState {
     pub staged_events: Vec<(Cycle, Event)>,
     /// Staged misroute-commit metrics `(cycle, globally misrouted)`.
     pub staged_commits: Vec<(Cycle, bool)>,
+    /// Scratch list of `(port, vc)` heads the routing layer discarded this
+    /// round (fault routing), cleared per router.
+    pub discards: Vec<(Port, VcId)>,
+    /// Packets discarded as unroutable, replayed by the main thread in
+    /// shard order (global accounting: in-flight counters and drop
+    /// metrics).
+    pub staged_discards: Vec<df_model::Packet>,
+    /// Number of fault re-commits applied in this shard this phase.
+    pub staged_recommits: u64,
 }
 
 /// Which phase of the cycle a job executes.
@@ -144,6 +153,9 @@ pub(crate) struct PhaseJob {
     pub num_shards: usize,
     /// Shared read-only step context.
     pub ctx: *const StepCtx,
+    /// The published gateway-liveness map, installed into each router's
+    /// view during control phases (read-only for the phase's duration).
+    pub linkview: *const GatewayLiveness,
 }
 
 // Safety: the raw pointers are only dereferenced under the discipline
@@ -188,25 +200,31 @@ pub(crate) unsafe fn execute_shard(job: &PhaseJob, w: usize) {
         }
         PhaseKind::Pb | PhaseKind::Ectn => {
             let a = ctx.topo.params().a as usize;
+            let linkview = &*job.linkview;
             for g in lo..hi {
                 let group = std::slice::from_raw_parts_mut(job.routers.add(g * a), a);
-                control_exchange_group(job.kind, group, ctx, shard);
+                control_exchange_group(job.kind, group, ctx, linkview, shard);
             }
         }
     }
 }
 
 /// One control-plane exchange for one group (an exclusively borrowed,
-/// contiguous slice of that group's routers).
+/// contiguous slice of that group's routers). Every exchange additionally
+/// installs the published gateway-liveness map into the group — the
+/// link-state bits piggybacked on the same messages (one integer compare
+/// per router when nothing changed).
 pub(crate) fn control_exchange_group(
     kind: PhaseKind,
     group: &mut [Router],
     ctx: &StepCtx,
+    linkview: &GatewayLiveness,
     shard: &mut ShardState,
 ) {
     match kind {
         PhaseKind::Pb => {
             dissemination::pb_exchange_group(group, &mut shard.pb_flat);
+            dissemination::install_linkview_group(group, linkview);
             // Refresh own flags after the group's exchange: installs never
             // read own flags of other groups and the refresh reads only
             // router-local congestion, so doing it group-by-group is
@@ -215,7 +233,10 @@ pub(crate) fn control_exchange_group(
                 piggyback::update_own_saturation(ctx.algorithm.config(), router);
             }
         }
-        PhaseKind::Ectn => dissemination::ectn_exchange_group(group, &mut shard.ectn_scratch),
+        PhaseKind::Ectn => {
+            dissemination::ectn_exchange_group(group, &mut shard.ectn_scratch);
+            dissemination::install_linkview_group(group, linkview);
+        }
         PhaseKind::Alloc | PhaseKind::Transmit => {
             unreachable!("router phases are not group exchanges")
         }
@@ -275,9 +296,13 @@ pub(crate) fn route_and_allocate_one(
     }
 
     // b. routing decisions for every occupied VC head (ports with no
-    // queued packet are skipped in O(1))
+    // queued packet are skipped in O(1)). Discard decisions (fault routing:
+    // unroutable packets) are collected and applied after the loop, so
+    // every head decides against the same pre-discard router state in every
+    // kernel.
     shard.requests.clear();
     shard.decisions.clear();
+    shard.discards.clear();
     {
         let router: &Router = router;
         for p in 0..num_ports {
@@ -292,6 +317,10 @@ pub(crate) fn route_and_allocate_one(
                 };
                 let vc = VcId(v as u8);
                 let decision = ctx.algorithm.decide(router, port, head, rng);
+                if decision.kind == DecisionKind::Discard {
+                    shard.discards.push((port, vc));
+                    continue;
+                }
                 shard.requests.push(AllocationRequest {
                     input_port: port,
                     input_vc: vc,
@@ -303,6 +332,19 @@ pub(crate) fn route_and_allocate_one(
             }
         }
     }
+
+    // b'. apply the discards: release the packet's registrations, stage the
+    // upstream credit return for the freed input slot and hand the packet
+    // to the main thread for global accounting
+    if !shard.discards.is_empty() {
+        let discards = std::mem::take(&mut shard.discards);
+        for &(port, vc) in &discards {
+            discard_one(router, ctx, now, port, vc, shard);
+        }
+        shard.discards = discards;
+        shard.discards.clear();
+    }
+
     if shard.requests.is_empty() {
         return;
     }
@@ -316,6 +358,37 @@ pub(crate) fn route_and_allocate_one(
         apply_one_grant_staged(router, ctx, now, grant, shard);
     }
     shard.grants = grants;
+}
+
+/// Discard one unroutable head packet (fault routing): router-local release
+/// plus staged cross-router effects — the upstream credit return for the
+/// freed input buffer slot and the packet itself for the main thread's
+/// in-flight/drop accounting. Shared by every kernel.
+pub(crate) fn discard_one(
+    router: &mut Router,
+    ctx: &StepCtx,
+    now: Cycle,
+    port: Port,
+    vc: VcId,
+    shard: &mut ShardState,
+) {
+    let router_id = router.id();
+    let (packet, input_class) = router.discard_head(port, vc);
+    if input_class != PortClass::Terminal {
+        if let PortPeer::Router(upstream, upstream_port) = ctx.topo.peer(router_id, port) {
+            let latency = ctx.network.link_latency_for(input_class) as Cycle;
+            shard.staged_events.push((
+                now + latency,
+                Event::CreditReturn {
+                    router: upstream,
+                    port: upstream_port,
+                    vc,
+                    phits: packet.size_phits,
+                },
+            ));
+        }
+    }
+    shard.staged_discards.push(packet);
 }
 
 /// Apply one grant: commit the routing decision to the head packet, record
@@ -358,7 +431,21 @@ pub(crate) fn apply_one_grant_staged(
                 Commitment::LocalDetour { router: detour } => {
                     head.routing.commit_local_detour(detour, group)
                 }
+                // fault re-commits: replace or abandon a committed
+                // continuation whose link died
+                Commitment::RecommitGlobal { gateway, port } => {
+                    head.routing.recommit_nonminimal_global(gateway, port)
+                }
+                Commitment::AbandonNonminimal => head.routing.abandon_nonminimal_global(),
+                Commitment::RecommitIntermediate { router: inter } => {
+                    head.routing.recommit_intermediate(inter)
+                }
+                Commitment::AbandonIntermediate => head.routing.abandon_intermediate(),
+                Commitment::AbandonLocalDetour => head.routing.abandon_local_detour(),
             }
+        }
+        if decision.commitment.is_fault_recommit() {
+            shard.staged_recommits += 1;
         }
     }
     // misrouted-percentage statistics: count each packet once, when it

@@ -38,7 +38,7 @@ pub mod port;
 
 pub use dragonfly::{Dragonfly, PortPeer};
 pub use ids::{GroupId, NodeId, RouterId};
-pub use linkstate::LinkState;
+pub use linkstate::{GatewayLiveness, LinkState};
 pub use params::DragonflyParams;
 pub use path::{HopKind, PathHop};
 pub use port::{Port, PortClass};

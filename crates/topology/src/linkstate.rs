@@ -175,6 +175,133 @@ impl LinkState {
     }
 }
 
+/// A network-wide map of **gateway liveness**: one bit per group-level
+/// global link `(group, j)` with `j in 0..a*h`, true when *both* directions
+/// of that link are usable.
+///
+/// This is the payload the failure-aware routing mechanisms disseminate
+/// through the PB/ECtN control plane: the simulator keeps a *truth* copy in
+/// sync with its [`LinkState`], and every router holds a (possibly stale)
+/// *view* refreshed on the dissemination cadence. Because faults are rare,
+/// the map is stored sparsely — only the down links — so a view install is
+/// a version check plus a copy of a (typically tiny) vector, and the
+/// healthy-network fast path ([`all_up`](Self::all_up)) is O(1).
+///
+/// A bidirectional global link appears in **both** incident groups' index
+/// spaces (group `g` link `j` and the peer group's reverse link); callers
+/// updating the map from a fault event must mark both entries — see
+/// [`set_global_link`](Self::set_global_link).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GatewayLiveness {
+    /// Global links per group (`a*h`), for flat indexing.
+    links_per_group: u32,
+    /// Monotonic change counter: bumped on every state change, compared by
+    /// the install path to skip redundant copies. Version 0 = pristine
+    /// all-up (a never-installed view is indistinguishable from a healthy
+    /// network, which is exactly the desired semantics for mechanisms
+    /// without a dissemination channel).
+    version: u64,
+    /// Flat indices `group * links_per_group + j` of the links currently
+    /// down, sorted ascending.
+    down: Vec<u32>,
+}
+
+impl GatewayLiveness {
+    /// All gateway links up.
+    pub fn new(topo: &Dragonfly) -> Self {
+        GatewayLiveness {
+            links_per_group: topo.params().global_links_per_group(),
+            version: 0,
+            down: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn flat(&self, group: GroupId, j: u32) -> u32 {
+        debug_assert!(j < self.links_per_group, "global link {j} out of range");
+        group.0 * self.links_per_group + j
+    }
+
+    /// Whether every gateway link is up (O(1) healthy fast path).
+    #[inline]
+    pub fn all_up(&self) -> bool {
+        self.down.is_empty()
+    }
+
+    /// Change counter (0 for a pristine all-up map).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether group-level global link `j` of `group` is usable in both
+    /// directions, as far as this map knows.
+    #[inline]
+    pub fn link_up(&self, group: GroupId, j: u32) -> bool {
+        self.all_up() || self.down.binary_search(&self.flat(group, j)).is_err()
+    }
+
+    /// Whether this map positively marks link `j` of `group` down — the
+    /// predicate the routing triggers use (false on a pristine all-up view,
+    /// O(1) in the healthy case).
+    #[inline]
+    pub fn marks_down(&self, group: GroupId, j: u32) -> bool {
+        !self.all_up() && !self.link_up(group, j)
+    }
+
+    /// Number of gateway links currently marked down.
+    pub fn num_down(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Mark one `(group, j)` entry up or down. Idempotent; bumps the
+    /// version only on an actual change.
+    pub fn set_entry(&mut self, group: GroupId, j: u32, up: bool) {
+        let flat = self.flat(group, j);
+        match self.down.binary_search(&flat) {
+            Ok(pos) if up => {
+                self.down.remove(pos);
+                self.version += 1;
+            }
+            Err(pos) if !up => {
+                self.down.insert(pos, flat);
+                self.version += 1;
+            }
+            _ => {}
+        }
+    }
+
+    /// Mark the bidirectional global link attached at `(router, port)` up or
+    /// down in **both** incident groups' index spaces — the form fault
+    /// events arrive in. Non-global and unwired ports are ignored.
+    pub fn set_global_link(&mut self, topo: &Dragonfly, router: RouterId, port: Port, up: bool) {
+        if port.class(topo.params()) != PortClass::Global {
+            return;
+        }
+        let k = port.class_offset(topo.params());
+        let group = topo.router_group(router);
+        let j = topo.global_link_index(router, k);
+        let Some((peer, peer_port)) = topo.global_neighbor(router, k) else {
+            return;
+        };
+        let peer_group = topo.router_group(peer);
+        let peer_j = topo.global_link_index(peer, peer_port.class_offset(topo.params()));
+        self.set_entry(group, j, up);
+        self.set_entry(peer_group, peer_j, up);
+    }
+
+    /// Copy `src` into `self` if the versions differ (the router-side view
+    /// install; a no-op — one integer compare — when nothing changed).
+    pub fn install_from(&mut self, src: &GatewayLiveness) {
+        if self.version != src.version {
+            self.links_per_group = src.links_per_group;
+            self.version = src.version;
+            self.down.clear();
+            self.down.extend_from_slice(&src.down);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +381,58 @@ mod tests {
         assert!(s.group_pair_connected(&t, GroupId(1), GroupId(2)));
         // the network as a whole stays connected through other groups
         assert!(s.connected(&t));
+    }
+
+    #[test]
+    fn gateway_liveness_tracks_both_incident_groups() {
+        let t = topo();
+        let mut g = GatewayLiveness::new(&t);
+        assert!(g.all_up());
+        assert_eq!(g.version(), 0);
+        let (gw, port) = t.gateway_to(GroupId(0), GroupId(1));
+        g.set_global_link(&t, gw, port, false);
+        assert!(!g.all_up());
+        assert_eq!(g.num_down(), 2, "the link is down in both groups' spaces");
+        let j01 = t.group_link_to(GroupId(0), GroupId(1));
+        let j10 = t.group_link_to(GroupId(1), GroupId(0));
+        assert!(!g.link_up(GroupId(0), j01));
+        assert!(!g.link_up(GroupId(1), j10));
+        assert!(g.link_up(GroupId(0), (j01 + 1) % t.params().global_links_per_group()));
+        let v = g.version();
+        // idempotent: re-marking changes nothing
+        g.set_global_link(&t, gw, port, false);
+        assert_eq!(g.version(), v);
+        // restoring clears both entries
+        g.set_global_link(&t, gw, port, true);
+        assert!(g.all_up());
+        assert!(g.version() > v);
+    }
+
+    #[test]
+    fn gateway_liveness_ignores_non_global_ports() {
+        let t = topo();
+        let mut g = GatewayLiveness::new(&t);
+        g.set_global_link(&t, RouterId(0), Port(0), false); // terminal
+        g.set_global_link(&t, RouterId(0), Port::local(t.params(), 0), false);
+        assert!(g.all_up());
+        assert_eq!(g.version(), 0);
+    }
+
+    #[test]
+    fn gateway_liveness_install_copies_only_on_version_change() {
+        let t = topo();
+        let mut truth = GatewayLiveness::new(&t);
+        let mut view = GatewayLiveness::new(&t);
+        let (gw, port) = t.gateway_to(GroupId(2), GroupId(5));
+        truth.set_global_link(&t, gw, port, false);
+        view.install_from(&truth);
+        assert_eq!(view, truth);
+        // a stale view re-installs after the next change
+        truth.set_global_link(&t, gw, port, true);
+        assert_ne!(view.version(), truth.version());
+        view.install_from(&truth);
+        assert!(view.all_up());
+        assert_eq!(view, truth);
     }
 
     #[test]

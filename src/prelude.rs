@@ -22,7 +22,8 @@ pub use df_sim::{
     SteadyStateReport, TransientExperiment, TransientReport,
 };
 pub use df_topology::{
-    Dragonfly, DragonflyParams, GroupId, LinkState, NodeId, Port, PortClass, RouterId,
+    Dragonfly, DragonflyParams, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortClass,
+    RouterId,
 };
 pub use df_traffic::{
     BernoulliInjector, InjectionKind, Injector, PatternKind, TrafficPattern, TrafficSchedule,

@@ -93,12 +93,15 @@ fn link_loss_drops_in_flight_phits_and_conserves_exactly() {
     );
     assert!(!net.link_state().all_up());
     assert_eq!(net.link_state().num_down(), 2, "both directions are down");
-    // the ledger remembers the credits of every dropped phit (plus any
-    // credit-return messages that were on the wire) while the link stays
-    // down
+    // the ledger remembers the credits of every phit dropped on the dead
+    // link itself — in flight on the wire or staged behind it — plus any
+    // credit-return messages that were on the wire, while the link stays
+    // down. Unroutable discards consumed no credits on the dead link, so
+    // they are excluded from the bound.
     assert!(
-        net.fault_lost_credits() >= net.metrics().dropped_on_fault_phits(),
-        "every dropped phit's credits are ledgered until LinkUp"
+        net.fault_lost_credits()
+            >= net.metrics().dropped_on_fault_phits() - net.metrics().dropped_unroutable_phits(),
+        "every phit dropped on the dead link has its credits ledgered until LinkUp"
     );
     // drain what can still be delivered; conservation holds throughout
     net.drain(20_000);
