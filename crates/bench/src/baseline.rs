@@ -7,6 +7,15 @@
 //! `"offered_load"` and `"cycles_per_sec"` fields. Anything that does not
 //! parse is an error, not a silent pass — a gate that cannot read its
 //! baseline must fail loudly.
+//!
+//! Schema v2 adds a `"frozen_legacy"` block: the legacy-kernel reference
+//! throughput of the machine that produced the *original* baseline, frozen
+//! once and carried forward verbatim by the writer on every regeneration.
+//! The gate normalizes against that anchor instead of whatever legacy
+//! numbers the most recent regeneration happened to measure, so the
+//! reference point no longer drifts each time the baseline file is
+//! refreshed. v1 files (no `"schema_version"` field) keep working: the
+//! gate falls back to the legacy runs embedded in the `"runs"` array.
 
 /// One baseline run: `(kernel name, offered load, cycles per second)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +47,46 @@ pub fn parse_topology(text: &str) -> Option<String> {
     text.lines()
         .find_map(|line| field(line, "topology"))
         .map(str::to_string)
+}
+
+/// The `"schema_version"` of a baseline file. Files that predate the
+/// version field — every v1 `BENCH_kernel.json` — report 1.
+pub fn parse_schema_version(text: &str) -> u64 {
+    text.lines()
+        .find_map(|line| field(line, "schema_version"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Parse the `"frozen_legacy"` anchor block of a schema-v2 baseline: one
+/// line per load starting `{"frozen_kernel":`, carrying the
+/// legacy-kernel throughput of the machine that produced the original
+/// baseline. Returns an empty vector for v1 files (no block present);
+/// a present-but-malformed line is an error, never a silent skip.
+pub fn parse_frozen_legacy(text: &str) -> Result<Vec<BaselineRun>, String> {
+    let mut anchors = Vec::new();
+    for line in text.lines() {
+        if !line.trim_start().starts_with("{\"frozen_kernel\":") {
+            continue;
+        }
+        let kernel = field(line, "frozen_kernel")
+            .ok_or_else(|| format!("frozen line without a frozen_kernel field: {line}"))?
+            .to_string();
+        let offered_load: f64 = field(line, "offered_load")
+            .ok_or_else(|| format!("frozen line without an offered_load field: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad offered_load in {line}: {e}"))?;
+        let cycles_per_sec: f64 = field(line, "cycles_per_sec")
+            .ok_or_else(|| format!("frozen line without a cycles_per_sec field: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad cycles_per_sec in {line}: {e}"))?;
+        anchors.push(BaselineRun {
+            kernel,
+            offered_load,
+            cycles_per_sec,
+        });
+    }
+    Ok(anchors)
 }
 
 /// Parse the `"runs"` entries of a `BENCH_kernel.json` /
@@ -91,6 +140,22 @@ pub fn check_against_baseline(
     baseline: &[BaselineRun],
     tolerance: f64,
 ) -> Vec<String> {
+    check_against_anchored_baseline(current, baseline, &[], tolerance)
+}
+
+/// [`check_against_baseline`] with an explicit frozen legacy anchor
+/// (schema v2). When `frozen` holds a legacy measurement at the run's
+/// load, the speed factor is `current_legacy / frozen_legacy` — the
+/// anchor committed when the baseline was first frozen, immune to drift
+/// from later regenerations. Loads absent from `frozen` fall back to the
+/// v1 behaviour (legacy runs embedded in `baseline`), and an empty
+/// `frozen` reproduces v1 exactly.
+pub fn check_against_anchored_baseline(
+    current: &[BaselineRun],
+    baseline: &[BaselineRun],
+    frozen: &[BaselineRun],
+    tolerance: f64,
+) -> Vec<String> {
     let find = |runs: &[BaselineRun], kernel: &str, load: f64| -> Option<f64> {
         runs.iter()
             .find(|b| b.kernel == kernel && b.offered_load == load)
@@ -103,11 +168,11 @@ pub fn check_against_baseline(
             continue;
         };
         compared += 1;
-        // hardware normalisation via the frozen legacy reference kernel
-        let speed_factor = match (
-            find(current, "legacy", run.offered_load),
-            find(baseline, "legacy", run.offered_load),
-        ) {
+        // hardware normalisation via the frozen legacy reference kernel:
+        // prefer the v2 frozen anchor, fall back to the baseline's own runs
+        let anchor_leg = find(frozen, "legacy", run.offered_load)
+            .or_else(|| find(baseline, "legacy", run.offered_load));
+        let speed_factor = match (find(current, "legacy", run.offered_load), anchor_leg) {
             (Some(cur_leg), Some(base_leg)) if base_leg > 0.0 => cur_leg / base_leg,
             _ => 1.0,
         };
@@ -180,6 +245,47 @@ mod tests {
         let runs = parse_bench_runs(committed).expect("committed baseline parses");
         assert!(runs.iter().any(|r| r.kernel == "optimized"));
         assert!(runs.iter().all(|r| r.cycles_per_sec > 0.0));
+        // the committed baseline is schema v2: a frozen legacy anchor per load
+        assert_eq!(parse_schema_version(committed), 2);
+        let frozen = parse_frozen_legacy(committed).expect("frozen block parses");
+        assert!(!frozen.is_empty());
+        assert!(frozen.iter().all(|a| a.kernel == "legacy"));
+        for run in runs.iter().filter(|r| r.kernel == "optimized") {
+            assert!(
+                frozen.iter().any(|a| a.offered_load == run.offered_load),
+                "no frozen anchor for load {}",
+                run.offered_load
+            );
+        }
+    }
+
+    #[test]
+    fn parses_schema_version_and_frozen_anchors() {
+        // v1 files have no version field and no frozen block
+        assert_eq!(parse_schema_version(SAMPLE), 1);
+        assert_eq!(parse_frozen_legacy(SAMPLE).unwrap(), vec![]);
+        let v2 = r#"{
+  "benchmark": "kernel-throughput",
+  "schema_version": 2,
+  "frozen_legacy": [
+    {"frozen_kernel": "legacy", "offered_load": 0.1, "cycles_per_sec": 500.0},
+    {"frozen_kernel": "legacy", "offered_load": 0.3, "cycles_per_sec": 400.0}
+  ],
+  "runs": [
+    {"kernel": "legacy", "offered_load": 0.1, "wall_seconds": 1.0, "cycles_per_sec": 450.0, "phits_per_sec": 10.0, "delivered_phits": 5},
+    {"kernel": "optimized", "offered_load": 0.1, "wall_seconds": 0.5, "cycles_per_sec": 2000.0, "phits_per_sec": 20.0, "delivered_phits": 5}
+  ]
+}"#;
+        assert_eq!(parse_schema_version(v2), 2);
+        let frozen = parse_frozen_legacy(v2).unwrap();
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen[0], run("legacy", 0.1, 500.0));
+        assert_eq!(frozen[1], run("legacy", 0.3, 400.0));
+        // frozen lines are not runs and runs are not frozen lines
+        let runs = parse_bench_runs(v2).unwrap();
+        assert_eq!(runs.len(), 2);
+        // a malformed frozen line errors instead of being skipped
+        assert!(parse_frozen_legacy("{\"frozen_kernel\": \"legacy\"}").is_err());
     }
 
     #[test]
@@ -233,5 +339,26 @@ mod tests {
         // a proportionally healthy fast machine passes
         let fast_ok = [run("optimized", 0.1, 1900.0), run("legacy", 0.1, 1000.0)];
         assert!(check_against_baseline(&fast_ok, &baseline, 0.3).is_empty());
+    }
+
+    #[test]
+    fn anchored_gate_prefers_the_frozen_legacy_anchor() {
+        // the baseline's own legacy run has drifted (a later regeneration on
+        // a faster machine measured 1000), but the frozen anchor remembers
+        // the original 500 cycles/s reference point
+        let baseline = [run("optimized", 0.1, 1000.0), run("legacy", 0.1, 1000.0)];
+        let frozen = [run("legacy", 0.1, 500.0)];
+        // this machine runs legacy at 500 = exactly the frozen anchor, so
+        // the optimized expectation is the unscaled 1000. Against the
+        // drifted in-runs legacy the speed factor would be 0.5 and 450
+        // would pass — the anchor keeps the gate honest.
+        let current = [run("optimized", 0.1, 450.0), run("legacy", 0.1, 500.0)];
+        assert!(check_against_baseline(&current, &baseline, 0.3).is_empty());
+        let v = check_against_anchored_baseline(&current, &baseline, &frozen, 0.3);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("speed factor"));
+        // loads missing from the frozen block fall back to v1 behaviour
+        let v2_empty = check_against_anchored_baseline(&current, &baseline, &[], 0.3);
+        assert_eq!(v2_empty, check_against_baseline(&current, &baseline, 0.3));
     }
 }

@@ -15,7 +15,12 @@
 //! With `--check-against`, the freshly measured optimized-kernel
 //! throughput is gated against the given committed baseline: any load
 //! point that drops more than 30% below the baseline cycles/s fails the
-//! run with exit code 1 (the CI perf-regression gate).
+//! run with exit code 1 (the CI perf-regression gate). The gate is
+//! hardware-normalized against the baseline's `frozen_legacy` anchor
+//! (schema v2) — the legacy-kernel throughput frozen when the baseline
+//! was first committed — and the writer carries that anchor block
+//! forward verbatim, so regenerating the baseline never moves the
+//! reference point.
 
 use df_bench::{measure_kernel_run, KernelRunMeasurement};
 use df_model::NetworkConfig;
@@ -109,10 +114,19 @@ fn main() {
                 std::process::exit(2);
             }
         }
-        df_bench::parse_bench_runs(&text).unwrap_or_else(|e| {
+        let runs = df_bench::parse_bench_runs(&text).unwrap_or_else(|e| {
             eprintln!("error: cannot parse baseline {path}: {e}");
             std::process::exit(2);
-        })
+        });
+        let frozen = df_bench::parse_frozen_legacy(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse frozen anchors in {path}: {e}");
+            std::process::exit(2);
+        });
+        if df_bench::parse_schema_version(&text) >= 2 && frozen.is_empty() {
+            eprintln!("error: baseline {path} declares schema v2 but has no frozen_legacy block");
+            std::process::exit(2);
+        }
+        (runs, frozen)
     });
     let topology = scale.topology;
     let warmup = if topology.num_nodes() > 10_000 {
@@ -145,15 +159,53 @@ fn main() {
         }
     }
 
+    // The frozen legacy anchor: carried forward verbatim from the baseline
+    // we gate against (so it never drifts across regenerations). A v1
+    // baseline donates its embedded legacy runs as the anchor-to-be; with
+    // no baseline at all, this run's own legacy measurements become the
+    // anchor for every future regeneration.
+    let frozen_anchors: Vec<df_bench::BaselineRun> = match &baseline {
+        Some((_, frozen)) if !frozen.is_empty() => frozen.clone(),
+        Some((runs, _)) => runs
+            .iter()
+            .filter(|r| r.kernel == "legacy")
+            .cloned()
+            .collect(),
+        None => results
+            .iter()
+            .filter(|r| r.kernel == "legacy")
+            .map(|r| df_bench::BaselineRun {
+                kernel: r.kernel.to_string(),
+                offered_load: r.measurement.offered_load,
+                cycles_per_sec: r.measurement.cycles_per_sec,
+            })
+            .collect(),
+    };
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"kernel-throughput\",\n");
+    json.push_str("  \"schema_version\": 2,\n");
     let _ = writeln!(json, "  \"topology\": \"{scale_name}\",");
     json.push_str("  \"network\": \"paper_table1\",\n");
     json.push_str("  \"routing\": \"base\",\n");
     json.push_str("  \"pattern\": \"uniform\",\n");
     let _ = writeln!(json, "  \"warmup_cycles\": {warmup},");
     let _ = writeln!(json, "  \"measured_cycles\": {measured},");
+    json.push_str("  \"frozen_legacy\": [\n");
+    for (i, a) in frozen_anchors.iter().enumerate() {
+        let comma = if i + 1 == frozen_anchors.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"frozen_kernel\": \"{}\", \"offered_load\": {}, \"cycles_per_sec\": {:.1}}}{comma}",
+            a.kernel, a.offered_load, a.cycles_per_sec
+        );
+    }
+    json.push_str("  ],\n");
     json.push_str("  \"runs\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -184,7 +236,7 @@ fn main() {
     std::fs::write("BENCH_kernel.json", &json).expect("write BENCH_kernel.json");
     println!("wrote BENCH_kernel.json");
 
-    if let Some(baseline) = baseline {
+    if let Some((baseline, frozen)) = baseline {
         let current: Vec<df_bench::BaselineRun> = results
             .iter()
             .map(|r| df_bench::BaselineRun {
@@ -193,8 +245,12 @@ fn main() {
                 cycles_per_sec: r.measurement.cycles_per_sec,
             })
             .collect();
-        let violations =
-            df_bench::check_against_baseline(&current, &baseline, REGRESSION_TOLERANCE);
+        let violations = df_bench::check_against_anchored_baseline(
+            &current,
+            &baseline,
+            &frozen,
+            REGRESSION_TOLERANCE,
+        );
         if violations.is_empty() {
             println!(
                 "perf gate: optimized-kernel throughput within {}% of the baseline",

@@ -96,6 +96,15 @@ impl DeterministicRng {
         &items[self.index(items.len())]
     }
 
+    /// Exponentially distributed `f64` with the given mean (inverse-CDF
+    /// transform of one uniform draw). `mean` must be positive; the result
+    /// is always finite because [`uniform`](Self::uniform) never returns 1.
+    #[inline]
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
     /// Raw 64-bit draw.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -177,6 +186,23 @@ mod tests {
         for _ in 0..100 {
             assert!(items.contains(r.choose(&items)));
         }
+    }
+
+    #[test]
+    fn exponential_matches_its_mean_and_stays_finite() {
+        let mut r = DeterministicRng::new(77);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.exponential(40.0);
+            assert!(v.is_finite() && v >= 0.0);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 40.0).abs() < 1.0,
+            "sample mean {mean} too far from 40"
+        );
     }
 
     #[test]

@@ -53,17 +53,18 @@ pub fn pb_exchange_group(group: &mut [Router], flat: &mut Vec<bool>) {
     }
 }
 
-/// Install the published gateway-liveness map into every router of one
-/// group — the link-state payload piggybacked on the same PB/ECtN exchange
-/// the group is already performing this cycle. Costs one integer compare
-/// per router when nothing changed (the healthy-network case), so riding
-/// along with every exchange is free.
+/// Install the group's flooded gateway-liveness view into every router of
+/// one group — the link-state payload piggybacked on the same PB/ECtN
+/// exchange the group is already performing this cycle (each group carries
+/// its *own* hop-delayed view; see `df-sim`'s flooding round). Costs one
+/// integer compare per router when nothing changed (the healthy-network
+/// case), so riding along with every exchange is free.
 ///
 /// Same slice contract as [`pb_exchange_group`]: distinct groups may
 /// install concurrently.
-pub fn install_linkview_group(group: &mut [Router], published: &GatewayLiveness) {
+pub fn install_linkview_group(group: &mut [Router], view: &GatewayLiveness) {
     for router in group.iter_mut() {
-        router.install_link_view(published);
+        router.install_link_view(view);
     }
 }
 

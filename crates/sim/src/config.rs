@@ -6,6 +6,7 @@ use df_topology::{Dragonfly, DragonflyParams};
 use df_traffic::{InjectionKind, PatternKind, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
+use crate::churn::ChurnModel;
 use crate::fault::FaultPlan;
 use crate::scenario::Scenario;
 
@@ -212,6 +213,7 @@ pub struct SimulationConfigBuilder {
     schedule: TrafficSchedule,
     injection: InjectionKind,
     faults: FaultPlan,
+    churn: Option<ChurnModel>,
     offered_load: f64,
     seed: u64,
     warmup_cycles: u64,
@@ -229,6 +231,7 @@ impl Default for SimulationConfigBuilder {
             schedule: TrafficSchedule::constant(PatternKind::Uniform),
             injection: InjectionKind::Bernoulli,
             faults: FaultPlan::new(),
+            churn: None,
             offered_load: 0.1,
             seed: 0,
             warmup_cycles: 1_000,
@@ -289,12 +292,24 @@ impl SimulationConfigBuilder {
         self.schedule = scenario.schedule();
         self.injection = scenario.injection;
         self.faults = scenario.fault_plan().clone();
+        self.churn = scenario.churn_model().cloned();
         self
     }
 
     /// Set the fault plan (empty, i.e. a healthy network, by default).
     pub fn faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Attach a stochastic churn model. At [`build`](Self::build) time it is
+    /// lowered against the configured topology into concrete fault events
+    /// and merged into the fault plan, so the resulting
+    /// [`SimulationConfig`] carries only plain, validated faults — the
+    /// lowering depends on nothing but the model (its own seed included),
+    /// never on the run's traffic seed, routing or kernel.
+    pub fn churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = Some(churn);
         self
     }
 
@@ -328,11 +343,21 @@ impl SimulationConfigBuilder {
         self
     }
 
-    /// Finalise and validate the configuration.
+    /// Finalise and validate the configuration. An attached churn model is
+    /// lowered here: its generated fault events are merged into the fault
+    /// plan and the combined plan is validated like any hand-written one.
     pub fn build(self) -> Result<SimulationConfig, String> {
         let routing_config = self
             .routing_config
             .unwrap_or_else(|| RoutingConfig::calibrated_for(&self.topology, &self.network.vcs));
+        let faults = match &self.churn {
+            Some(churn) => {
+                churn.validate()?;
+                let topo = Dragonfly::new(self.topology);
+                self.faults.clone().merged(churn.generate(&topo))
+            }
+            None => self.faults,
+        };
         let config = SimulationConfig {
             topology: self.topology,
             network: self.network,
@@ -340,7 +365,7 @@ impl SimulationConfigBuilder {
             routing_config,
             schedule: self.schedule,
             injection: self.injection,
-            faults: self.faults,
+            faults,
             offered_load: self.offered_load,
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,
@@ -457,6 +482,48 @@ mod tests {
             .is_empty());
         assert!(SimulationConfig::builder()
             .faults(FaultPlan::new().router_drain(5, RouterId(10_000)))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn churn_lowers_into_the_fault_plan_at_build_time() {
+        use crate::churn::ChurnRate;
+        let churn = ChurnModel::new(7, 100, 2_000)
+            .global_links(ChurnRate::new(3_000.0, 400.0))
+            .nodes(ChurnRate::new(5_000.0, 600.0));
+        let build = || {
+            SimulationConfig::builder()
+                .churn(churn.clone())
+                .build()
+                .unwrap()
+        };
+        let a = build();
+        assert!(
+            !a.faults.is_empty(),
+            "a busy churn model must generate events"
+        );
+        // lowering is deterministic: the same model yields the same plan
+        assert_eq!(a.faults, build().faults);
+        // explicit events and churn-generated events merge (the drain
+        // touches a router, which this model does not churn, so the
+        // combined plan stays conflict-free)
+        let merged = SimulationConfig::builder()
+            .faults(FaultPlan::new().router_drain(50, df_topology::RouterId(3)))
+            .churn(churn.clone())
+            .build()
+            .unwrap();
+        assert_eq!(merged.faults.len(), a.faults.len() + 1);
+        // scenarios carry their churn model into the builder
+        let scenario = Scenario::steady(PatternKind::Uniform).churn(churn.clone());
+        let via_scenario = SimulationConfig::builder()
+            .scenario(&scenario)
+            .build()
+            .unwrap();
+        assert_eq!(via_scenario.faults, a.faults);
+        // invalid churn parameters are rejected at build time
+        assert!(SimulationConfig::builder()
+            .churn(ChurnModel::new(7, 0, 0).nodes(ChurnRate::new(1_000.0, 100.0)))
             .build()
             .is_err());
     }

@@ -1,13 +1,17 @@
-//! Deterministic fault injection: declarative, timed link and router
+//! Deterministic fault injection: declarative, timed link, router and node
 //! failures attached to a scenario.
 //!
 //! A [`FaultPlan`] is an ordered list of [`FaultEvent`]s — `LinkDown` /
-//! `LinkUp` on a (bidirectional) router-to-router link, and `RouterDrain` /
-//! `RouterRestore` on a router's traffic sources. The plan is part of the
-//! workload description: it lowers into the simulation kernel as schedule
-//! change-points (so the `drain()` idle fast-forward can never skip a fault
-//! cycle) and is applied at the *start* of the fault's cycle, before link
-//! events are delivered.
+//! `LinkUp` on a (bidirectional) router-to-router link, `RouterDrain` /
+//! `RouterRestore` on a router's traffic sources, and `NodeFail` /
+//! `NodeRestore` on a compute node (drain-at-source plus reroute-to-spare).
+//! The plan is part of the workload description: it lowers into the
+//! simulation kernel as schedule change-points (so the `drain()` idle
+//! fast-forward can never skip a fault cycle) and is applied at the *start*
+//! of the fault's cycle, before link events are delivered. Plans can be
+//! written by hand or generated stochastically — see
+//! [`ChurnModel`](crate::churn::ChurnModel), which lowers seeded MTBF/MTTR
+//! churn into this same validated representation.
 //!
 //! # Failure semantics
 //!
@@ -38,6 +42,25 @@
 //!   while already-queued packets still inject and flush, and transit
 //!   traffic is unaffected. Compose with `LinkDown` events to model harder
 //!   router failures. **`RouterRestore`** re-enables generation.
+//! * **`NodeFail`** models a compute-node failure with
+//!   *drain-at-source + reroute-to-spare* semantics:
+//!   * the failed node stops generating new packets (drain at the source;
+//!     packets already queued at its NIC still inject and flush);
+//!   * traffic *addressed to* the failed node is retargeted at injection
+//!     time to the designated `spare` node (the workload's hot standby), so
+//!     every packet in the network always has a live ejection path and the
+//!     conservation equalities (`injected = delivered + in-flight +
+//!     dropped`, in packets and in phits) stay exact — this is how the
+//!     terminal-link restriction is lifted without making conservation
+//!     undecidable;
+//!   * packets already in flight toward the failed node when it fails are
+//!     still delivered to its NIC (the drain window of a real failover);
+//!   * validation requires the spare to be a *live* node at the fail cycle,
+//!     so retarget chains (`a -> b` where `b` later fails to `c`) resolve
+//!     by following spares in fail order and can never cycle.
+//!
+//!   **`NodeRestore`** brings the node back: it resumes generating and new
+//!   packets address it directly again.
 //!
 //! Events fire only within simulated time: if a run (or a drain) ends
 //! before an event's cycle, the network finishes in the degraded state —
@@ -50,7 +73,7 @@
 //! worker count** (guarded by `tests/kernel_equivalence.rs`).
 
 use df_model::Cycle;
-use df_topology::{Dragonfly, GroupId, Port, PortClass, PortPeer, RouterId};
+use df_topology::{Dragonfly, GroupId, NodeId, Port, PortClass, PortPeer, RouterId};
 use serde::{Deserialize, Serialize};
 
 /// What a fault event does.
@@ -82,6 +105,21 @@ pub enum FaultKind {
     RouterRestore {
         /// The router being restored.
         router: RouterId,
+    },
+    /// Fail node `node`: it stops generating, and traffic addressed to it
+    /// is retargeted to the live `spare` node at injection time
+    /// (drain-at-source + reroute-to-spare; see the module docs).
+    NodeFail {
+        /// The node that fails.
+        node: NodeId,
+        /// The live node that stands in as the failed node's destination.
+        spare: NodeId,
+    },
+    /// Restore node `node`: it resumes generating and is addressed directly
+    /// again.
+    NodeRestore {
+        /// The node being restored.
+        node: NodeId,
     },
 }
 
@@ -144,6 +182,23 @@ impl FaultPlan {
         self.push(at, FaultKind::RouterRestore { router })
     }
 
+    /// Append a `NodeFail` at `at` retargeting `node`'s traffic to `spare`.
+    pub fn node_fail(self, at: Cycle, node: NodeId, spare: NodeId) -> Self {
+        self.push(at, FaultKind::NodeFail { node, spare })
+    }
+
+    /// Append a `NodeRestore` at `at`.
+    pub fn node_restore(self, at: Cycle, node: NodeId) -> Self {
+        self.push(at, FaultKind::NodeRestore { node })
+    }
+
+    /// Append every event of `other` (insertion order preserved per plan) —
+    /// used to merge explicit scenario faults with churn-generated ones.
+    pub fn merged(mut self, other: FaultPlan) -> Self {
+        self.events.extend(other.events);
+        self
+    }
+
     /// The endpoint `(router, port)` of the unique global link connecting
     /// two distinct groups — a convenience for building plans that degrade
     /// specific group pairs.
@@ -178,19 +233,25 @@ impl FaultPlan {
 
     /// Validate the plan against a topology:
     ///
-    /// * router ids and ports must exist, and link faults must name
-    ///   router-to-router links — terminal links cannot fail, because a
-    ///   node with no ejection path makes packet conservation undecidable;
-    ///   model node failure as `RouterDrain` at the source instead (the
-    ///   ROADMAP's drain-at-source + reroute-to-spare alternative);
+    /// * router ids, node ids and ports must exist, and link faults must
+    ///   name router-to-router links — a terminal link never fails on its
+    ///   own; model node failure as a `NodeFail` event, whose
+    ///   drain-at-source + reroute-to-spare semantics keep every packet's
+    ///   ejection path live and conservation decidable;
     /// * the per-link event sequence must be consistent: no two events on
     ///   the same link in the same cycle (their order would be
     ///   insertion-dependent), no `LinkUp` for a link that is not down at
     ///   that point in the (cycle-sorted) plan, and no `LinkDown` for a
-    ///   link that is already down.
+    ///   link that is already down;
+    /// * the per-node event sequence must be consistent: no two events on
+    ///   the same node in the same cycle, no `NodeFail` on a node that is
+    ///   already failed, no `NodeRestore` on a live node, the spare must be
+    ///   a different node, and the spare must be *live* at the fail cycle
+    ///   (so retarget chains can never cycle).
     pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
         let params = topo.params();
         let num_routers = topo.num_routers();
+        let num_nodes = topo.num_nodes();
         for (i, event) in self.events.iter().enumerate() {
             let check_link = |router: RouterId, port: Port| -> Result<(), String> {
                 if router.0 >= num_routers {
@@ -201,10 +262,10 @@ impl FaultPlan {
                 }
                 if port.class(params) == PortClass::Terminal {
                     return Err(format!(
-                        "fault event {i}: terminal links cannot fail (router {router} port \
-                         {port}) — a node with no ejection path makes conservation \
-                         undecidable; model node failure as RouterDrain at the source \
-                         instead (ROADMAP: drain-at-source + reroute-to-spare)"
+                        "fault event {i}: terminal links cannot fail on their own (router \
+                         {router} port {port}) — model node failure as a NodeFail event \
+                         (drain-at-source + reroute-to-spare), which keeps every packet's \
+                         ejection path live and conservation decidable"
                     ));
                 }
                 if !matches!(topo.peer(router, port), PortPeer::Router(..)) {
@@ -223,9 +284,28 @@ impl FaultPlan {
                         return Err(format!("fault event {i}: router {router} out of range"));
                     }
                 }
+                FaultKind::NodeFail { node, spare } => {
+                    if node.0 >= num_nodes {
+                        return Err(format!("fault event {i}: node {node} out of range"));
+                    }
+                    if spare.0 >= num_nodes {
+                        return Err(format!("fault event {i}: spare node {spare} out of range"));
+                    }
+                    if spare == node {
+                        return Err(format!(
+                            "fault event {i}: node {node} cannot be its own spare"
+                        ));
+                    }
+                }
+                FaultKind::NodeRestore { node } => {
+                    if node.0 >= num_nodes {
+                        return Err(format!("fault event {i}: node {node} out of range"));
+                    }
+                }
             }
         }
-        self.validate_link_sequences(topo)
+        self.validate_link_sequences(topo)?;
+        self.validate_node_sequences()
     }
 
     /// Walk the cycle-sorted plan and check per-link event consistency (see
@@ -274,6 +354,58 @@ impl FaultPlan {
                 _ => {}
             }
             state.insert(key, (down, event.at));
+        }
+        Ok(())
+    }
+
+    /// Walk the cycle-sorted plan and check per-node event consistency (see
+    /// [`validate`](Self::validate)): fail/restore alternation, no same-cycle
+    /// double events, and spares live at their fail cycle.
+    fn validate_node_sequences(&self) -> Result<(), String> {
+        use std::collections::BTreeMap;
+        // per node: (is failed, cycle of the last event touching it)
+        let mut state: BTreeMap<NodeId, (bool, Cycle)> = BTreeMap::new();
+        for event in self.sorted_events() {
+            let (node, failing) = match event.kind {
+                FaultKind::NodeFail { node, .. } => (node, true),
+                FaultKind::NodeRestore { node } => (node, false),
+                _ => continue,
+            };
+            match state.get(&node) {
+                Some(&(_, last)) if last == event.at => {
+                    return Err(format!(
+                        "fault plan: two events on node {node} in the same cycle {} \
+                         (order would be insertion-dependent)",
+                        event.at
+                    ));
+                }
+                Some(&(true, _)) if failing => {
+                    return Err(format!(
+                        "fault plan: NodeFail at cycle {} on node {node}, which is \
+                         already failed",
+                        event.at
+                    ));
+                }
+                Some(&(false, _)) | None if !failing => {
+                    return Err(format!(
+                        "fault plan: NodeRestore at cycle {} on node {node}, which is \
+                         not failed (restore-before-fail)",
+                        event.at
+                    ));
+                }
+                _ => {}
+            }
+            if let FaultKind::NodeFail { spare, .. } = event.kind {
+                if matches!(state.get(&spare), Some(&(true, _))) {
+                    return Err(format!(
+                        "fault plan: NodeFail at cycle {} names spare {spare}, which is \
+                         itself failed at that point — spares must be live so retarget \
+                         chains cannot cycle",
+                        event.at
+                    ));
+                }
+            }
+            state.insert(node, (failing, event.at));
         }
         Ok(())
     }
@@ -371,6 +503,67 @@ mod tests {
             .expect("a dangling link exists");
         let plan = FaultPlan::new().link_down(10, dangling.0, dangling.1);
         assert!(plan.validate(&partial).unwrap_err().contains("not wired"));
+    }
+
+    #[test]
+    fn node_event_validation_enforces_liveness_and_alternation() {
+        let t = topo();
+        // valid fail -> restore, plus a chain whose spare is live at fail time
+        let plan = FaultPlan::new()
+            .node_fail(100, NodeId(3), NodeId(4))
+            .node_restore(400, NodeId(3))
+            .node_fail(500, NodeId(4), NodeId(3));
+        assert!(plan.validate(&t).is_ok());
+        // out-of-range node / spare
+        let plan = FaultPlan::new().node_fail(10, NodeId(999), NodeId(0));
+        assert!(plan.validate(&t).unwrap_err().contains("out of range"));
+        let plan = FaultPlan::new().node_fail(10, NodeId(0), NodeId(999));
+        assert!(plan.validate(&t).unwrap_err().contains("out of range"));
+        // self-spare
+        let plan = FaultPlan::new().node_fail(10, NodeId(5), NodeId(5));
+        assert!(plan.validate(&t).unwrap_err().contains("own spare"));
+        // double fail
+        let plan = FaultPlan::new()
+            .node_fail(10, NodeId(5), NodeId(6))
+            .node_fail(20, NodeId(5), NodeId(7));
+        assert!(plan.validate(&t).unwrap_err().contains("already failed"));
+        // restore-before-fail
+        let plan = FaultPlan::new().node_restore(10, NodeId(5));
+        assert!(plan
+            .validate(&t)
+            .unwrap_err()
+            .contains("restore-before-fail"));
+        // same-cycle double event
+        let plan = FaultPlan::new()
+            .node_fail(10, NodeId(5), NodeId(6))
+            .node_restore(10, NodeId(5));
+        assert!(plan.validate(&t).unwrap_err().contains("same cycle"));
+        // spare failed at the fail cycle
+        let plan = FaultPlan::new()
+            .node_fail(10, NodeId(6), NodeId(7))
+            .node_fail(20, NodeId(5), NodeId(6));
+        assert!(plan
+            .validate(&t)
+            .unwrap_err()
+            .contains("spares must be live"));
+        // ... but fine again once the spare is restored
+        let plan = FaultPlan::new()
+            .node_fail(10, NodeId(6), NodeId(7))
+            .node_restore(15, NodeId(6))
+            .node_fail(20, NodeId(5), NodeId(6));
+        assert!(plan.validate(&t).is_ok());
+    }
+
+    #[test]
+    fn merged_appends_the_other_plans_events() {
+        let t = topo();
+        let (gw, port) = FaultPlan::global_link_between(&t, GroupId(1), GroupId(2));
+        let explicit = FaultPlan::new().link_down(150, gw, port);
+        let churned = FaultPlan::new().node_fail(300, NodeId(9), NodeId(10));
+        let merged = explicit.merged(churned);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.change_points(), vec![150, 300]);
+        assert!(merged.validate(&t).is_ok());
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //! * [`network`] — the [`Network`] object and its per-cycle step loop,
 //! * [`experiment`] — steady-state and transient experiment runners,
 //! * [`scenario`] — declarative multi-phase traffic workloads,
-//! * [`fault`] — deterministic link/router fault injection
+//! * [`fault`] — deterministic link/router/node fault injection
 //!   ([`fault::FaultPlan`]),
+//! * [`churn`] — seeded MTBF/MTTR churn models lowering into fault plans
+//!   ([`churn::ChurnModel`]),
 //! * [`sweep`] — parallel parameter sweeps and the scenario-matrix runner,
 //! * [`metrics`], [`events`], [`node`] — supporting machinery.
 //!
@@ -39,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod config;
 pub mod events;
 pub mod experiment;
@@ -50,6 +53,7 @@ mod parallel;
 pub mod scenario;
 pub mod sweep;
 
+pub use churn::{ChurnModel, ChurnRate};
 pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
 pub use experiment::{
     SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,

@@ -53,6 +53,10 @@ pub struct Metrics {
     /// lagged the true link state (only meaningful for mechanisms with a
     /// dissemination channel; 0 on healthy runs).
     stale_linkstate_cycles: u64,
+    /// Packets whose destination node had failed and that were retargeted
+    /// to its designated spare at injection time (node failure:
+    /// drain-at-source + reroute-to-spare).
+    retargeted_packets: u64,
     // ---- transient series ----
     latency_series: BinnedSeries,
     misroute_series: BinnedSeries,
@@ -105,6 +109,7 @@ impl Metrics {
             dropped_unroutable_phits: 0,
             recommitted_packets: 0,
             stale_linkstate_cycles: 0,
+            retargeted_packets: 0,
             latency_series: BinnedSeries::new(series_origin, series_bin),
             misroute_series: BinnedSeries::new(series_origin, series_bin),
             latency_histogram: Histogram::new(0.0, 5_000.0, 500),
@@ -196,6 +201,12 @@ impl Metrics {
         self.stale_linkstate_cycles += 1;
     }
 
+    /// Record a packet retargeted from its failed destination node to the
+    /// node's designated spare at injection time.
+    pub fn record_retargeted(&mut self) {
+        self.retargeted_packets += 1;
+    }
+
     /// Total packets delivered since the beginning of the run (not just the
     /// window); used by the progress watchdog.
     pub fn delivered_packets_total(&self) -> u64 {
@@ -242,6 +253,11 @@ impl Metrics {
     /// Cycles the disseminated gateway-liveness view lagged the truth.
     pub fn stale_linkstate_cycles(&self) -> u64 {
         self.stale_linkstate_cycles
+    }
+
+    /// Packets retargeted to a spare because their destination node failed.
+    pub fn retargeted_packets(&self) -> u64 {
+        self.retargeted_packets
     }
 
     /// The latency histogram of the measurement window (used by the

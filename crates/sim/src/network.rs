@@ -15,8 +15,11 @@
 //! 3. control-plane dissemination: PB saturation flags every cycle, ECtN
 //!    partial-array broadcast every `ectn_update_period` cycles — each
 //!    exchange also carries the piggybacked gateway-liveness bits
-//!    (failure-aware routing; one integer compare per router when no
-//!    fault changed anything),
+//!    (failure-aware routing), advanced one *flooding hop* per exchange:
+//!    every group merges its live neighbours' previous-round views, so a
+//!    fault becomes visible to its own group at the first exchange after
+//!    it and spreads one live-group-hop per exchange thereafter (one
+//!    integer compare per router when no fault changed anything),
 //! 4. routing decisions + separable allocation, iterated
 //!    `allocator_speedup` times,
 //! 5. output-buffer link transmission, scheduling remote arrivals after the
@@ -154,15 +157,35 @@ pub struct Network {
     /// iteration; empty in healthy runs.
     lost_credits: BTreeMap<(u32, u32), Vec<u32>>,
     /// The true network-wide gateway-liveness map, kept in sync with
-    /// `link_state` as fault events fire.
+    /// `link_state` and the node-failure flags as fault events fire.
     linkview_truth: GatewayLiveness,
-    /// The copy the control plane is currently carrying: installed into the
-    /// routers at each PB/ECtN exchange, then refreshed from the truth —
-    /// one exchange of staleness, mirroring the one-hop delay of the
-    /// piggybacked congestion state.
-    linkview_published: GatewayLiveness,
-    /// Version the routers last installed (for the staleness metric).
-    linkview_installed_version: u64,
+    /// Per-group flooded gateway-liveness views, indexed by group id: what
+    /// each group's routers install at a control-plane exchange. A group
+    /// observes its own link keyspace and its own nodes' failure state
+    /// directly; everything else arrives hop-by-hop — one live-neighbour
+    /// merge per exchange (see [`Network::flood_linkviews`]).
+    group_views: Vec<GatewayLiveness>,
+    /// The previous flooding round's views (double buffer): a round reads
+    /// only these, so information advances exactly one hop per exchange
+    /// regardless of group iteration order.
+    group_views_prev: Vec<GatewayLiveness>,
+    /// Fast path: `true` while no truth change is pending and the last
+    /// flooding round adopted nothing — rounds are skipped entirely
+    /// (healthy runs never flood).
+    flood_quiescent: bool,
+    /// Whether every group's view currently matches the truth's marks
+    /// (drives the staleness metric; trivially `true` on healthy runs).
+    views_converged: bool,
+    /// Per-node failure flag (`NodeFail`/`NodeRestore`): a failed node
+    /// generates nothing and traffic addressed to it is retargeted.
+    node_failed: Vec<bool>,
+    /// Designated spare of each failed node (valid while `node_failed` is
+    /// set; chains resolve in fail order and cannot cycle — see the fault
+    /// module docs).
+    spare_of: Vec<u32>,
+    /// Number of currently failed nodes (O(1) "any node down?" fast path
+    /// for the injection retarget).
+    nodes_failed_count: usize,
     // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
@@ -289,8 +312,13 @@ impl Network {
             node_blocked: vec![false; num_nodes],
             lost_credits: BTreeMap::new(),
             linkview_truth: GatewayLiveness::new(&topo),
-            linkview_published: GatewayLiveness::new(&topo),
-            linkview_installed_version: 0,
+            group_views: vec![GatewayLiveness::new(&topo); topo.num_groups() as usize],
+            group_views_prev: vec![GatewayLiveness::new(&topo); topo.num_groups() as usize],
+            flood_quiescent: true,
+            views_converged: true,
+            node_failed: vec![false; num_nodes],
+            spare_of: vec![0; num_nodes],
+            nodes_failed_count: 0,
             gated,
             control_plane_every_cycle,
             change_points,
@@ -365,6 +393,24 @@ impl Network {
     /// active).
     pub fn link_state(&self) -> &LinkState {
         &self.link_state
+    }
+
+    /// The true network-wide gateway-liveness map (what the flooded views
+    /// converge towards; tests compare per-router views against it).
+    pub fn linkview_truth(&self) -> &GatewayLiveness {
+        &self.linkview_truth
+    }
+
+    /// Group `g`'s current flooded gateway-liveness view (what its routers
+    /// install at the next control-plane exchange).
+    pub fn group_view(&self, g: GroupId) -> &GatewayLiveness {
+        &self.group_views[g.0 as usize]
+    }
+
+    /// Whether `node` is currently failed (a `NodeFail` without a matching
+    /// `NodeRestore` has fired).
+    pub fn node_failed(&self, node: NodeId) -> bool {
+        self.node_failed[node.index()]
     }
 
     /// Credits currently lost to in-flight drops on failed links (returned
@@ -496,6 +542,7 @@ impl Network {
     /// every kernel — fault runs stay bit-identical across kernels and
     /// worker counts.
     fn apply_due_faults(&mut self, now: Cycle) {
+        let truth_version_before = self.linkview_truth.version();
         while let Some(event) = self.fault_events.get(self.next_fault) {
             if event.at > now {
                 break;
@@ -559,7 +606,29 @@ impl Network {
                         self.node_blocked[node.index()] = false;
                     }
                 }
+                FaultKind::NodeFail { node, spare } => {
+                    // drain-at-source: the node stops generating (its queued
+                    // packets still inject and flush), new traffic addressed
+                    // to it retargets to the spare at injection time, and
+                    // in-flight deliveries still land at its NIC — so every
+                    // conservation equality is untouched
+                    self.node_failed[node.index()] = true;
+                    self.spare_of[node.index()] = spare.0;
+                    self.nodes_failed_count += 1;
+                    self.linkview_truth.set_node(node, false);
+                }
+                FaultKind::NodeRestore { node } => {
+                    self.node_failed[node.index()] = false;
+                    self.nodes_failed_count -= 1;
+                    self.linkview_truth.set_node(node, true);
+                }
             }
+        }
+        // any truth change restarts the flooding rounds (and is by
+        // definition not yet visible in the routers' views)
+        if self.linkview_truth.version() != truth_version_before {
+            self.flood_quiescent = false;
+            self.views_converged = false;
         }
     }
 
@@ -605,7 +674,7 @@ impl Network {
             shards: self.shards.as_mut_ptr(),
             num_shards: self.num_shards,
             ctx: &ctx,
-            linkview: &self.linkview_published,
+            linkviews: self.group_views.as_ptr(),
         };
         match &self.pool {
             Some(pool) => pool.run(job),
@@ -723,10 +792,11 @@ impl Network {
         {
             let pattern = &self.patterns[self.current_phase];
             let blocked = &self.node_blocked;
+            let failed = &self.node_failed;
             for (idx, node) in self.nodes.iter_mut().enumerate() {
-                // nodes of a draining router generate nothing (their queued
-                // packets still inject below)
-                if blocked[idx] {
+                // nodes of a draining router, and failed nodes, generate
+                // nothing (their queued packets still inject below)
+                if blocked[idx] || failed[idx] {
                     continue;
                 }
                 let phits = node.generate(now, pattern, &mut self.next_packet_id);
@@ -756,6 +826,19 @@ impl Network {
             if let Some(vc) = chosen {
                 let mut packet = self.nodes[node_idx].pop_head().expect("head checked");
                 packet.injected_at = Some(now);
+                // reroute-to-spare: a packet addressed to a failed node is
+                // retargeted at injection time, following the spare chain in
+                // fail order (validation guarantees it terminates). Part of
+                // the fault plan's semantics — deterministic in every
+                // kernel, since fault state only changes on the main thread.
+                if self.nodes_failed_count > 0 && self.node_failed[packet.dst.index()] {
+                    let mut dst = packet.dst;
+                    while self.node_failed[dst.index()] {
+                        dst = NodeId(self.spare_of[dst.index()]);
+                    }
+                    packet.dst = dst;
+                    self.metrics.record_retargeted();
+                }
                 self.in_flight += 1;
                 self.in_flight_phits += packet.size_phits as u64;
                 self.injected_packets_total += 1;
@@ -767,32 +850,32 @@ impl Network {
 
         // ---- 3. control-plane dissemination ----
         // Each exchange also carries the piggybacked gateway-liveness bits:
-        // the routers install the *published* copy, then the published copy
-        // is refreshed from the truth — one exchange of staleness, like the
-        // congestion state riding the same messages.
+        // one flooding round advances every group's view by one hop (origin
+        // injection for its own keyspace, live-neighbour merges for the
+        // rest), then each group's routers install their group's view. The
+        // round runs on the main thread before the (possibly sharded)
+        // exchange, so churn runs stay bit-identical across kernels.
         if self.config.routing.needs_pb_dissemination() {
+            self.flood_linkviews();
             if self.gated {
                 self.run_phase(PhaseKind::Pb);
             } else {
                 self.disseminate_pb_legacy();
             }
-            self.refresh_published_linkview();
         }
         if self.config.routing.needs_ectn_broadcast()
             && now.is_multiple_of(self.config.routing_config.ectn_update_period)
         {
+            self.flood_linkviews();
             if self.gated {
                 self.run_phase(PhaseKind::Ectn);
             } else {
                 self.broadcast_ectn_legacy();
             }
-            self.refresh_published_linkview();
         }
-        // staleness metric: a fault has fired that the routers' views have
-        // not seen yet (both versions are 0 for the whole of a healthy run)
-        if self.control_plane_every_cycle
-            && self.linkview_installed_version != self.linkview_truth.version()
-        {
+        // staleness metric: some router's view still lags the truth
+        // (trivially converged for the whole of a healthy run)
+        if self.control_plane_every_cycle && !self.views_converged {
             self.metrics.record_stale_linkstate_cycle();
         }
 
@@ -870,18 +953,67 @@ impl Network {
         self.cycle += 1;
     }
 
-    /// Book-keeping after a control-plane exchange installed the published
-    /// gateway-liveness copy into every router: remember what they now hold
-    /// (for the staleness metric) and refresh the published copy from the
-    /// truth for the next exchange. O(1) compares on healthy runs.
-    fn refresh_published_linkview(&mut self) {
-        self.linkview_installed_version = self.linkview_published.version();
-        self.linkview_published.install_from(&self.linkview_truth);
+    /// One synchronous flooding round over the per-group gateway-liveness
+    /// views, run immediately before a control-plane exchange.
+    ///
+    /// Double-buffered: every group clones its previous-round view, merges
+    /// the truth entries it observes *directly* (its own link keyspace, its
+    /// own nodes), then merges the previous-round views of every group it
+    /// has a live direct link to — so information travels exactly one
+    /// live-group-hop per exchange, and an entry owned by group `g` reaches
+    /// group `G` within `(1 + live-hop-distance(g, G))` exchanges (the
+    /// staleness bound pinned by `tests/fault_churn.rs`). Per-entry
+    /// sequence numbers make the merges conflict-free in any order, so a
+    /// repair always overtakes the stale down-mark it reverts.
+    ///
+    /// Main-thread work in every kernel (the sharded phases only *install*
+    /// the finished views), so churn runs stay bit-identical across worker
+    /// counts. The quiescent fast path skips rounds entirely once every
+    /// view has adopted everything reachable — healthy runs never enter the
+    /// loop.
+    fn flood_linkviews(&mut self) {
+        if self.flood_quiescent {
+            return;
+        }
+        std::mem::swap(&mut self.group_views, &mut self.group_views_prev);
+        let topo = &self.topo;
+        let truth = &self.linkview_truth;
+        let prev = &self.group_views_prev;
+        let num_groups = topo.num_groups();
+        let mut adopted_any = false;
+        for g in 0..num_groups {
+            let group = GroupId(g);
+            let view = &mut self.group_views[g as usize];
+            view.clone_from(&prev[g as usize]);
+            // origin injection: directly observed entries
+            adopted_any |= view.merge_own_from(truth, topo, group);
+            // one hop: neighbours' previous-round views over live links
+            for h in 0..num_groups {
+                if h == g {
+                    continue;
+                }
+                let j = topo.group_link_to(group, GroupId(h));
+                if truth.link_up(group, j) {
+                    adopted_any |= view.merge_from(&prev[h as usize]);
+                }
+            }
+        }
+        if adopted_any {
+            self.views_converged = self
+                .group_views
+                .iter()
+                .all(|view| view.same_marks(&self.linkview_truth));
+        } else {
+            // nothing moved: further rounds are no-ops until the next truth
+            // change (either converged, or stably partitioned from the rest)
+            self.flood_quiescent = true;
+        }
     }
 
     /// Seed-kernel PB dissemination: per-group `Vec` gather plus one cloned
     /// `Vec` per router per cycle (the baseline the flat-array version is
-    /// benchmarked against).
+    /// benchmarked against). Each group installs its *own* flooded
+    /// gateway-liveness view, exactly like the sharded phase.
     fn disseminate_pb_legacy(&mut self) {
         let params = *self.topo.params();
         for g in 0..self.topo.num_groups() {
@@ -896,15 +1028,20 @@ impl Network {
                     .install_group(group_flags.clone());
             }
         }
-        let published = &self.linkview_published;
+        for g in 0..self.topo.num_groups() {
+            let view = &self.group_views[g as usize];
+            for r in self.topo.routers_in_group(GroupId(g)) {
+                self.routers[r.index()].install_link_view(view);
+            }
+        }
         for router in self.routers.iter_mut() {
-            router.install_link_view(published);
             piggyback::update_own_saturation(&self.config.routing_config, router);
         }
     }
 
     /// Seed-kernel ECtN broadcast: snapshot `Vec`s and a cloned combined
-    /// array per router (the baseline for the flat-buffer version).
+    /// array per router (the baseline for the flat-buffer version). Each
+    /// group installs its *own* flooded gateway-liveness view.
     fn broadcast_ectn_legacy(&mut self) {
         for g in 0..self.topo.num_groups() {
             let group = GroupId(g);
@@ -915,11 +1052,12 @@ impl Network {
                 .collect();
             let combined =
                 df_router::ectn::combine_partials(snapshots.iter().map(|s| s.as_slice()));
+            let view = &self.group_views[g as usize];
             for r in self.topo.routers_in_group(group) {
                 self.routers[r.index()]
                     .ectn_mut()
                     .install_combined(combined.clone());
-                self.routers[r.index()].install_link_view(&self.linkview_published);
+                self.routers[r.index()].install_link_view(view);
             }
         }
     }

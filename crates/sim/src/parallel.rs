@@ -153,9 +153,10 @@ pub(crate) struct PhaseJob {
     pub num_shards: usize,
     /// Shared read-only step context.
     pub ctx: *const StepCtx,
-    /// The published gateway-liveness map, installed into each router's
-    /// view during control phases (read-only for the phase's duration).
-    pub linkview: *const GatewayLiveness,
+    /// Base pointer of the per-group flooded gateway-liveness views
+    /// (indexed by group id): each group installs its own view during
+    /// control phases (read-only for the phase's duration).
+    pub linkviews: *const GatewayLiveness,
 }
 
 // Safety: the raw pointers are only dereferenced under the discipline
@@ -200,9 +201,9 @@ pub(crate) unsafe fn execute_shard(job: &PhaseJob, w: usize) {
         }
         PhaseKind::Pb | PhaseKind::Ectn => {
             let a = ctx.topo.params().a as usize;
-            let linkview = &*job.linkview;
             for g in lo..hi {
                 let group = std::slice::from_raw_parts_mut(job.routers.add(g * a), a);
+                let linkview = &*job.linkviews.add(g);
                 control_exchange_group(job.kind, group, ctx, linkview, shard);
             }
         }
@@ -211,9 +212,9 @@ pub(crate) unsafe fn execute_shard(job: &PhaseJob, w: usize) {
 
 /// One control-plane exchange for one group (an exclusively borrowed,
 /// contiguous slice of that group's routers). Every exchange additionally
-/// installs the published gateway-liveness map into the group — the
-/// link-state bits piggybacked on the same messages (one integer compare
-/// per router when nothing changed).
+/// installs the group's flooded gateway-liveness view into its routers —
+/// the link-state bits piggybacked on the same messages (one integer
+/// compare per router when nothing changed).
 pub(crate) fn control_exchange_group(
     kind: PhaseKind,
     group: &mut [Router],

@@ -34,10 +34,11 @@
 //! ```
 
 use df_model::Cycle;
-use df_topology::{Port, RouterId};
+use df_topology::{NodeId, Port, RouterId};
 use df_traffic::{InjectionKind, PatternKind, PatternPhase, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
+use crate::churn::ChurnModel;
 use crate::fault::FaultPlan;
 
 /// One phase of a scenario: a pattern at an (optional) load override for a
@@ -68,6 +69,12 @@ pub struct Scenario {
     /// scenarios). Cycles are absolute, on the same clock as the phase
     /// durations.
     faults: FaultPlan,
+    /// Optional stochastic failure churn, lowered into additional
+    /// [`FaultPlan`] events (merged with `faults`) when the scenario is
+    /// applied to a configuration. Seeded independently of the traffic
+    /// seed, so the same churn model replays identically across loads,
+    /// routings and kernels.
+    churn: Option<ChurnModel>,
 }
 
 impl Scenario {
@@ -80,6 +87,7 @@ impl Scenario {
             injection: InjectionKind::Bernoulli,
             phases: Vec::new(),
             faults: FaultPlan::new(),
+            churn: None,
         }
     }
 
@@ -154,7 +162,36 @@ impl Scenario {
         self
     }
 
-    /// The attached fault plan (empty for healthy-network scenarios).
+    /// Append a `NodeFail` fault at absolute cycle `at`: `node` stops
+    /// generating and new packets addressed to it retarget to `spare` at
+    /// injection time.
+    pub fn node_fail(mut self, at: Cycle, node: NodeId, spare: NodeId) -> Self {
+        self.faults = std::mem::take(&mut self.faults).node_fail(at, node, spare);
+        self
+    }
+
+    /// Append a `NodeRestore` fault at absolute cycle `at`.
+    pub fn node_restore(mut self, at: Cycle, node: NodeId) -> Self {
+        self.faults = std::mem::take(&mut self.faults).node_restore(at, node);
+        self
+    }
+
+    /// Attach a stochastic churn model; its seeded MTBF/MTTR processes are
+    /// lowered into concrete fault events (merged with any explicitly
+    /// attached ones) when the scenario is applied to a configuration.
+    pub fn churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The attached churn model, if any.
+    pub fn churn_model(&self) -> Option<&ChurnModel> {
+        self.churn.as_ref()
+    }
+
+    /// The attached fault plan (empty for healthy-network scenarios). Does
+    /// *not* include churn-generated events — those are lowered at
+    /// configuration-build time against a concrete topology.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.faults
     }
@@ -248,6 +285,11 @@ impl Scenario {
         self.faults
             .validate(topo)
             .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        if let Some(churn) = &self.churn {
+            churn
+                .validate()
+                .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        }
         for (i, phase) in self.phases.iter().enumerate() {
             phase
                 .pattern
@@ -372,6 +414,29 @@ mod tests {
                 .hold(PatternKind::Uniform)
                 .link_down(10, RouterId(0), Port(0));
         assert!(bad.validate(&topo).is_err());
+    }
+
+    #[test]
+    fn node_events_and_churn_attach_to_scenarios() {
+        use crate::churn::ChurnRate;
+        let topo = df_topology::Dragonfly::new(df_topology::DragonflyParams::small());
+        let s = Scenario::named("UN-nodeloss")
+            .hold(PatternKind::Uniform)
+            .node_fail(100, df_topology::NodeId(5), df_topology::NodeId(6))
+            .node_restore(400, df_topology::NodeId(5))
+            .churn(ChurnModel::new(9, 0, 1_000).global_links(ChurnRate::new(5_000.0, 300.0)));
+        assert_eq!(s.fault_plan().len(), 2);
+        assert!(s.churn_model().is_some());
+        assert!(s.validate(&topo).is_ok());
+        // an invalid churn model fails scenario validation
+        let bad = Scenario::named("bad-churn")
+            .hold(PatternKind::Uniform)
+            .churn(ChurnModel::new(9, 0, 0).routers(ChurnRate::new(1_000.0, 100.0)));
+        assert!(bad.validate(&topo).is_err());
+        // healthy scenarios carry no churn
+        assert!(Scenario::steady(PatternKind::Uniform)
+            .churn_model()
+            .is_none());
     }
 
     #[test]

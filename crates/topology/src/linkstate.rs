@@ -14,7 +14,7 @@
 //! own per-router state.
 
 use crate::dragonfly::{Dragonfly, PortPeer};
-use crate::ids::{GroupId, RouterId};
+use crate::ids::{GroupId, NodeId, RouterId};
 use crate::port::{Port, PortClass};
 
 /// Dynamic link availability over a [`Dragonfly`] topology: one `up` bit per
@@ -175,17 +175,71 @@ impl LinkState {
     }
 }
 
+/// One disseminated state change: the newest known `(sequence, up)` pair
+/// for an entry, keyed by the entry's flat index. Sequence numbers are
+/// assigned by the truth map (its version counter at the change), so "newer
+/// sequence wins" merges are exactly "closer to the truth" — a `LinkUp`
+/// always carries a higher sequence than the `LinkDown` it reverts, and can
+/// therefore never be overwritten by a stale down-mark still circulating in
+/// another group's view.
+type EntryRecord = (u32, u64, bool);
+
+/// Adopt `(key, seq, up)` into a sorted record journal if it is fresher
+/// than what the journal holds; returns `(adopted, mark flipped)`.
+fn adopt_record(records: &mut Vec<EntryRecord>, key: u32, seq: u64, up: bool) -> (bool, bool) {
+    match records.binary_search_by_key(&key, |r| r.0) {
+        Ok(pos) => {
+            let (_, cur_seq, cur_up) = records[pos];
+            if cur_seq >= seq {
+                (false, false)
+            } else {
+                records[pos] = (key, seq, up);
+                (true, cur_up != up)
+            }
+        }
+        Err(pos) => {
+            records.insert(pos, (key, seq, up));
+            // an absent record means "assumed up", so only a down-mark flips
+            (true, !up)
+        }
+    }
+}
+
+/// Flip `key` in a sorted marks vector to match `up` (present = marked
+/// down).
+fn set_mark(marks: &mut Vec<u32>, key: u32, up: bool) {
+    match marks.binary_search(&key) {
+        Ok(pos) if up => {
+            marks.remove(pos);
+        }
+        Err(pos) if !up => {
+            marks.insert(pos, key);
+        }
+        _ => {}
+    }
+}
+
 /// A network-wide map of **gateway liveness**: one bit per group-level
-/// global link `(group, j)` with `j in 0..a*h`, true when *both* directions
-/// of that link are usable.
+/// global link `(group, j)` with `j in 0..a*h` (true when *both* directions
+/// of that link are usable) plus one bit per compute node (false when the
+/// node has failed and its traffic is retargeted to a spare).
 ///
 /// This is the payload the failure-aware routing mechanisms disseminate
 /// through the PB/ECtN control plane: the simulator keeps a *truth* copy in
-/// sync with its [`LinkState`], and every router holds a (possibly stale)
-/// *view* refreshed on the dissemination cadence. Because faults are rare,
-/// the map is stored sparsely — only the down links — so a view install is
-/// a version check plus a copy of a (typically tiny) vector, and the
-/// healthy-network fast path ([`all_up`](Self::all_up)) is O(1).
+/// sync with its [`LinkState`], every group accumulates a *flooded* view
+/// (hop-by-hop, one live-neighbour merge per exchange — see `df-sim`'s
+/// flooding round), and every router installs its own group's view on the
+/// dissemination cadence. Because faults are rare, the map is stored
+/// sparsely — only the down marks plus a small freshness journal — so a
+/// view install is a version check plus a copy of (typically tiny) vectors,
+/// and the healthy-network fast path ([`all_up`](Self::all_up)) is O(1).
+///
+/// Entries carry per-entry sequence numbers (see [`EntryRecord`]) so that
+/// flooding merges are conflict-free: whichever copy of an entry has seen
+/// the later truth change wins, regardless of the order views are merged
+/// in. The `version` counter is a *local* change count — it orders the
+/// states of one map over time (the install fast path), not the states of
+/// different maps.
 ///
 /// A bidirectional global link appears in **both** incident groups' index
 /// spaces (group `g` link `j` and the peer group's reverse link); callers
@@ -199,20 +253,32 @@ pub struct GatewayLiveness {
     /// the install path to skip redundant copies. Version 0 = pristine
     /// all-up (a never-installed view is indistinguishable from a healthy
     /// network, which is exactly the desired semantics for mechanisms
-    /// without a dissemination channel).
+    /// without a dissemination channel). On the truth map this doubles as
+    /// the sequence-number source for entry records.
     version: u64,
     /// Flat indices `group * links_per_group + j` of the links currently
     /// down, sorted ascending.
     down: Vec<u32>,
+    /// Node ids currently marked failed, sorted ascending.
+    nodes_down: Vec<u32>,
+    /// Freshness journal for link entries: the newest known change per flat
+    /// link index, sorted by index. Grows with the number of links ever
+    /// touched by a fault, never shrinks within a run.
+    link_records: Vec<EntryRecord>,
+    /// Freshness journal for node entries, sorted by node id.
+    node_records: Vec<EntryRecord>,
 }
 
 impl GatewayLiveness {
-    /// All gateway links up.
+    /// All gateway links and nodes up.
     pub fn new(topo: &Dragonfly) -> Self {
         GatewayLiveness {
             links_per_group: topo.params().global_links_per_group(),
             version: 0,
             down: Vec::new(),
+            nodes_down: Vec::new(),
+            link_records: Vec::new(),
+            node_records: Vec::new(),
         }
     }
 
@@ -255,7 +321,8 @@ impl GatewayLiveness {
     }
 
     /// Mark one `(group, j)` entry up or down. Idempotent; bumps the
-    /// version only on an actual change.
+    /// version (and stamps a fresh entry record with it) only on an actual
+    /// change.
     pub fn set_entry(&mut self, group: GroupId, j: u32, up: bool) {
         let flat = self.flat(group, j);
         match self.down.binary_search(&flat) {
@@ -267,8 +334,50 @@ impl GatewayLiveness {
                 self.down.insert(pos, flat);
                 self.version += 1;
             }
-            _ => {}
+            _ => return,
         }
+        let seq = self.version;
+        adopt_record(&mut self.link_records, flat, seq, up);
+    }
+
+    // -----------------------------------------------------------------
+    // Node-failure entries
+    // -----------------------------------------------------------------
+
+    /// Whether `node` is usable as far as this map knows (O(1) in the
+    /// healthy case).
+    #[inline]
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.nodes_down.is_empty() || self.nodes_down.binary_search(&node.0).is_err()
+    }
+
+    /// Whether this map positively marks `node` as failed.
+    #[inline]
+    pub fn marks_node_down(&self, node: NodeId) -> bool {
+        !self.node_up(node)
+    }
+
+    /// Number of nodes currently marked failed.
+    pub fn num_nodes_down(&self) -> usize {
+        self.nodes_down.len()
+    }
+
+    /// Mark one node failed or restored. Idempotent; bumps the version (and
+    /// stamps a fresh entry record with it) only on an actual change.
+    pub fn set_node(&mut self, node: NodeId, up: bool) {
+        match self.nodes_down.binary_search(&node.0) {
+            Ok(pos) if up => {
+                self.nodes_down.remove(pos);
+                self.version += 1;
+            }
+            Err(pos) if !up => {
+                self.nodes_down.insert(pos, node.0);
+                self.version += 1;
+            }
+            _ => return,
+        }
+        let seq = self.version;
+        adopt_record(&mut self.node_records, node.0, seq, up);
     }
 
     /// Mark the bidirectional global link attached at `(router, port)` up or
@@ -292,13 +401,103 @@ impl GatewayLiveness {
 
     /// Copy `src` into `self` if the versions differ (the router-side view
     /// install; a no-op — one integer compare — when nothing changed).
+    ///
+    /// Version equality is only a valid change proxy when `self` tracks a
+    /// *single* source map (a router view installing its own group's
+    /// flooded view): that source's version is a monotonic change counter,
+    /// so equal versions imply equal content. Do not install one view from
+    /// alternating sources.
     pub fn install_from(&mut self, src: &GatewayLiveness) {
         if self.version != src.version {
             self.links_per_group = src.links_per_group;
             self.version = src.version;
             self.down.clear();
             self.down.extend_from_slice(&src.down);
+            self.nodes_down.clear();
+            self.nodes_down.extend_from_slice(&src.nodes_down);
+            self.link_records.clear();
+            self.link_records.extend_from_slice(&src.link_records);
+            self.node_records.clear();
+            self.node_records.extend_from_slice(&src.node_records);
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Flooding merges
+    // -----------------------------------------------------------------
+
+    #[inline]
+    fn adopt_link(&mut self, key: u32, seq: u64, up: bool) -> bool {
+        let (adopted, flipped) = adopt_record(&mut self.link_records, key, seq, up);
+        if flipped {
+            set_mark(&mut self.down, key, up);
+        }
+        adopted
+    }
+
+    #[inline]
+    fn adopt_node(&mut self, key: u32, seq: u64, up: bool) -> bool {
+        let (adopted, flipped) = adopt_record(&mut self.node_records, key, seq, up);
+        if flipped {
+            set_mark(&mut self.nodes_down, key, up);
+        }
+        adopted
+    }
+
+    /// Merge every entry of `src` into `self`, adopting the records with
+    /// the newer sequence number (one flooding hop: `src` is a live
+    /// neighbour group's previous-round view). Bumps the version and
+    /// returns `true` if anything was adopted.
+    pub fn merge_from(&mut self, src: &GatewayLiveness) -> bool {
+        let mut changed = false;
+        for &(key, seq, up) in &src.link_records {
+            changed |= self.adopt_link(key, seq, up);
+        }
+        for &(key, seq, up) in &src.node_records {
+            changed |= self.adopt_node(key, seq, up);
+        }
+        if changed {
+            self.version += 1;
+        }
+        changed
+    }
+
+    /// Merge the entries of `truth` that `group` observes *directly* — its
+    /// own global-link index space (a gateway router senses its attached
+    /// link die or heal at the port) and the failure state of its own
+    /// nodes (the source NIC reports into its router). This is the origin
+    /// injection of the flooding protocol; everything else travels
+    /// hop-by-hop via [`merge_from`](Self::merge_from). Bumps the version
+    /// and returns `true` if anything was adopted.
+    pub fn merge_own_from(
+        &mut self,
+        truth: &GatewayLiveness,
+        topo: &Dragonfly,
+        group: GroupId,
+    ) -> bool {
+        let lo = group.0 * truth.links_per_group;
+        let hi = lo + truth.links_per_group;
+        let start = truth.link_records.partition_point(|r| r.0 < lo);
+        let mut changed = false;
+        for &(key, seq, up) in truth.link_records[start..].iter().take_while(|r| r.0 < hi) {
+            changed |= self.adopt_link(key, seq, up);
+        }
+        for &(key, seq, up) in &truth.node_records {
+            if topo.router_group(topo.node_router(NodeId(key))) == group {
+                changed |= self.adopt_node(key, seq, up);
+            }
+        }
+        if changed {
+            self.version += 1;
+        }
+        changed
+    }
+
+    /// Whether this map's down-marks (links and nodes) are semantically
+    /// identical to `other`'s, ignoring versions and record freshness — the
+    /// convergence predicate of the flooding protocol.
+    pub fn same_marks(&self, other: &GatewayLiveness) -> bool {
+        self.down == other.down && self.nodes_down == other.nodes_down
     }
 }
 
@@ -433,6 +632,75 @@ mod tests {
         view.install_from(&truth);
         assert!(view.all_up());
         assert_eq!(view, truth);
+    }
+
+    #[test]
+    fn merge_own_from_adopts_only_the_groups_own_entries() {
+        let t = topo();
+        let mut truth = GatewayLiveness::new(&t);
+        let (gw, port) = t.gateway_to(GroupId(0), GroupId(1));
+        truth.set_global_link(&t, gw, port, false);
+        let mut v0 = GatewayLiveness::new(&t);
+        let mut v5 = GatewayLiveness::new(&t);
+        assert!(v0.merge_own_from(&truth, &t, GroupId(0)));
+        assert!(!v5.merge_own_from(&truth, &t, GroupId(5)));
+        let j01 = t.group_link_to(GroupId(0), GroupId(1));
+        let j10 = t.group_link_to(GroupId(1), GroupId(0));
+        assert!(v0.marks_down(GroupId(0), j01));
+        // group 1's entry for the same physical link originates at group 1
+        assert!(!v0.marks_down(GroupId(1), j10));
+        assert!(v5.all_up());
+        // idempotent: a second origin injection adopts nothing
+        assert!(!v0.merge_own_from(&truth, &t, GroupId(0)));
+    }
+
+    #[test]
+    fn merge_from_lets_the_fresher_record_win() {
+        let t = topo();
+        let mut truth = GatewayLiveness::new(&t);
+        let (gw, port) = t.gateway_to(GroupId(2), GroupId(3));
+        truth.set_global_link(&t, gw, port, false);
+        // a neighbour view that saw the down-mark
+        let mut stale = GatewayLiveness::new(&t);
+        stale.merge_own_from(&truth, &t, GroupId(2));
+        // the link heals; the origin group observes the fresher up-record
+        truth.set_global_link(&t, gw, port, true);
+        let mut fresh = GatewayLiveness::new(&t);
+        fresh.merge_own_from(&truth, &t, GroupId(2));
+        assert!(fresh.all_up());
+        // the stale down-mark cannot overwrite the fresher up-record...
+        assert!(!fresh.merge_from(&stale) || fresh.all_up());
+        assert!(fresh.all_up());
+        // ...but the fresh up-record does clear the stale view's mark
+        assert!(stale.merge_from(&fresh));
+        assert!(stale.all_up());
+        assert!(stale.same_marks(&truth));
+    }
+
+    #[test]
+    fn node_entries_mark_merge_and_clear() {
+        let t = topo();
+        let mut truth = GatewayLiveness::new(&t);
+        assert!(truth.node_up(NodeId(3)));
+        truth.set_node(NodeId(3), false);
+        assert!(truth.marks_node_down(NodeId(3)));
+        assert_eq!(truth.num_nodes_down(), 1);
+        assert!(truth.all_up(), "node failures do not mark gateway links");
+        let v = truth.version();
+        truth.set_node(NodeId(3), false);
+        assert_eq!(truth.version(), v, "idempotent");
+        // the owning group (node 3 sits on router 1, group 0) observes it
+        let own_group = t.router_group(t.node_router(NodeId(3)));
+        let mut view = GatewayLiveness::new(&t);
+        assert!(view.merge_own_from(&truth, &t, own_group));
+        assert!(view.marks_node_down(NodeId(3)));
+        // a restore with a fresher sequence clears it through a merge
+        truth.set_node(NodeId(3), true);
+        let mut origin = GatewayLiveness::new(&t);
+        origin.merge_own_from(&truth, &t, own_group);
+        assert!(view.merge_from(&origin));
+        assert!(view.node_up(NodeId(3)));
+        assert!(view.same_marks(&truth));
     }
 
     #[test]

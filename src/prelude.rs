@@ -17,9 +17,9 @@ pub use df_routing::{
 };
 pub use df_sim::{
     cell_seed, load_sweep, matrix_table, run_matrix, run_matrix_budgeted, run_sweep,
-    split_thread_budget, FaultEvent, FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey,
-    Network, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig, SteadyStateExperiment,
-    SteadyStateReport, TransientExperiment, TransientReport,
+    split_thread_budget, ChurnModel, ChurnRate, FaultEvent, FaultKind, FaultPlan, KernelMode,
+    MatrixCell, MatrixKey, Network, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig,
+    SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
 };
 pub use df_topology::{
     Dragonfly, DragonflyParams, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortClass,

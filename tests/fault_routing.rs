@@ -204,11 +204,20 @@ fn linkstate_mechanisms_lose_less_traffic_than_gateway_discovery() {
 }
 
 #[test]
-fn ectn_view_learns_faults_on_the_broadcast_cadence() {
-    // ECtN broadcasts every 100 cycles, and the liveness bits ride the same
-    // messages with one exchange of staleness: a fault at cycle 150 is
-    // visible to every router by cycle 300 (not at 200, whose exchange
-    // carries the pre-fault publication), and the recovery at 450 by 650.
+fn ectn_flooding_disseminates_faults_one_live_hop_per_exchange() {
+    // ECtN broadcasts every 100 cycles, and the gateway-liveness entries
+    // ride the same exchanges as a per-group *flood*: each exchange carries
+    // an entry one live group-hop further from the group that owns it. With
+    // the 0↔1 link cut at cycle 150:
+    //   * the incident groups observe their own side directly, so they
+    //     learn it at the first post-fault exchange (cycle 200);
+    //   * every other group is one live hop from each incident group and
+    //     learns both sides one exchange later (cycle 300);
+    //   * each incident group's live path to the *far* group is two hops
+    //     (the direct link is the dead one), so it learns the far-side
+    //     entry at cycle 400.
+    // The recovery at 450 retraces the same hops: own side at 500,
+    // everywhere by 600.
     let (gw01, port01) = link_between(0, 1);
     let cfg = corpus_builder()
         .routing(RoutingKind::Ectn)
@@ -223,37 +232,50 @@ fn ectn_view_learns_faults_on_the_broadcast_cadence() {
     let mut net = Network::new(cfg);
     let topo = *net.topology();
     let j01 = topo.group_link_to(GroupId(0), GroupId(1));
-    let probe = RouterId(3); // a non-gateway router of group 0
-    net.run_cycles(200); // cycles 0..199: fault fired, not yet disseminated
+    let j10 = topo.group_link_to(GroupId(1), GroupId(0));
+    let probe0 = RouterId(3); // a non-gateway router of incident group 0
+    let probe5 = RouterId(22); // a router of group 5, distance 1 from both
+    net.run_cycles(200); // cycles 0..199: fault fired, no exchange since
     assert!(
-        net.router(probe).link_view().link_up(GroupId(0), j01),
+        net.router(probe0).link_view().link_up(GroupId(0), j01),
         "the exchange at 200 has not run yet; the view is still pre-fault"
     );
-    net.run_cycles(101); // past the exchange at 300
+    net.run_cycles(1); // the exchange at 200
     assert!(
-        !net.router(probe).link_view().link_up(GroupId(0), j01),
-        "by one period after the fault's next broadcast the view knows"
+        !net.router(probe0).link_view().link_up(GroupId(0), j01),
+        "the incident group learns its own side at the first exchange"
     );
-    // every router of every group sees the same (network-wide) bits
+    assert!(
+        net.router(probe5).link_view().link_up(GroupId(0), j01),
+        "a distance-one group has not heard yet: the flood moves one live \
+         hop per exchange, not network-wide in one step"
+    );
+    assert!(
+        net.router(probe0).link_view().link_up(GroupId(1), j10),
+        "the far-side entry is two live hops from group 0 (the direct link \
+         is the dead one) and cannot have arrived yet"
+    );
+    net.run_cycles(100); // the exchange at 300
+    assert!(!net.router(probe5).link_view().link_up(GroupId(0), j01));
+    assert!(!net.router(probe5).link_view().link_up(GroupId(1), j10));
+    net.run_cycles(100); // the exchange at 400: full convergence
     for r in topo.routers() {
         assert!(!net.router(r).link_view().link_up(GroupId(0), j01));
-        assert!(!net.router(r).link_view().link_up(GroupId(1), 7 - j01));
+        assert!(!net.router(r).link_view().link_up(GroupId(1), j10));
     }
-    net.run_cycles(349); // past the exchange at 600, after the LinkUp at 450
-    assert!(
-        net.router(probe).link_view().link_up(GroupId(0), j01),
-        "the view recovers after LinkUp"
-    );
-    // the staleness metric counted the lag windows and nothing else
-    let stale = net.metrics().stale_linkstate_cycles();
-    assert!(
-        stale > 0,
-        "the fault-to-install windows must be counted as stale"
-    );
-    assert!(
-        stale <= 2 * 2 * 100,
-        "staleness is bounded by two broadcast periods per fault event, got {stale}"
-    );
+    net.run_cycles(200); // through the exchanges at 500 and 600
+    for r in topo.routers() {
+        assert!(
+            net.router(r).link_view().link_up(GroupId(0), j01),
+            "router {r}: the view recovers after LinkUp"
+        );
+        assert!(net.router(r).link_view().link_up(GroupId(1), j10));
+    }
+    // The staleness metric counts exactly the cycles where some view still
+    // lags the truth: 150..400 after the fault (250 cycles, converging at
+    // the exchange at 400) plus 450..600 after the repair (150 cycles) —
+    // within the (1 + max live hop distance) × period bound per event.
+    assert_eq!(net.metrics().stale_linkstate_cycles(), 250 + 150);
 }
 
 #[test]
@@ -553,15 +575,15 @@ fn group_pair_connected_matches_exhaustive_enumeration_under_random_masks() {
 // -------------------------------------------------------------------------
 
 #[test]
-fn fault_plan_rejects_terminal_links_and_points_at_drain_at_source() {
+fn fault_plan_rejects_bare_terminal_links_and_points_at_node_fail() {
     let err = FaultPlan::new()
         .link_down(10, RouterId(0), Port(0))
         .validate(&small_topo())
         .unwrap_err();
     assert!(err.contains("terminal links cannot fail"), "{err}");
     assert!(
-        err.contains("RouterDrain") && err.contains("drain-at-source"),
-        "the rejection must point at the ROADMAP drain-at-source alternative: {err}"
+        err.contains("NodeFail") && err.contains("drain-at-source"),
+        "the rejection must point at the NodeFail drain-at-source semantics: {err}"
     );
 }
 

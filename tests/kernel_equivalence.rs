@@ -26,8 +26,9 @@ use contention_dragonfly::prelude::*;
 mod golden_corpus;
 
 use golden_corpus::{
-    all_patterns, base_builder, fault_fingerprint, fault_routings, fault_scenarios, fingerprint,
-    special_scenarios, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
+    all_patterns, base_builder, churn_fingerprint, churn_routings, churn_scenarios,
+    fault_fingerprint, fault_routings, fault_scenarios, fingerprint, special_scenarios,
+    GOLDEN_CHURN, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 /// The worker counts the corpus replays cover: the degenerate single-shard
@@ -149,6 +150,44 @@ fn parallel_reproduces_the_pinned_fault_corpus() {
             }
         }
         assert!(expected.next().is_none(), "stale fault-corpus rows");
+    }
+}
+
+#[test]
+fn parallel_reproduces_the_pinned_churn_corpus() {
+    // the churn acceptance bar: ChurnModel-generated failure processes
+    // (link churn + node failures with reroute-to-spare) disseminated by
+    // hop-delayed flooding must be bit-identical to the committed
+    // fingerprints — dropped, retargeted and stranded counts included — at
+    // workers {1, 2, 4}
+    for workers in [1usize, 2, 4] {
+        let mut expected = GOLDEN_CHURN.iter();
+        for scenario in churn_scenarios() {
+            for routing in churn_routings() {
+                let cfg = base_builder()
+                    .routing(routing)
+                    .scenario(&scenario)
+                    .kernel(KernelMode::Parallel { workers })
+                    .build()
+                    .expect("valid configuration");
+                let got = churn_fingerprint(cfg);
+                let &(es, er, ed, edrop, eret, einf, ec, el) =
+                    expected.next().expect("one row per combination");
+                assert_eq!(
+                    (es, er),
+                    (scenario.name.as_str(), routing.label()),
+                    "table order drifted"
+                );
+                assert_eq!(
+                    got,
+                    (ed, edrop, eret, einf, ec, el),
+                    "parallel({workers}): {} under {} diverged from the pinned churn corpus",
+                    scenario.name,
+                    routing.label()
+                );
+            }
+        }
+        assert!(expected.next().is_none(), "stale churn-corpus rows");
     }
 }
 

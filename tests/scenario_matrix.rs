@@ -34,8 +34,9 @@ use contention_dragonfly::prelude::*;
 mod golden_corpus;
 
 use golden_corpus::{
-    all_patterns, base_builder, fault_fingerprint, fault_routings, fault_scenarios, fingerprint,
-    special_scenarios, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
+    all_patterns, base_builder, churn_fingerprint, churn_routings, churn_scenarios,
+    fault_fingerprint, fault_routings, fault_scenarios, fingerprint, special_scenarios,
+    GOLDEN_CHURN, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 // ---------------------------------------------------------------------------
@@ -126,6 +127,38 @@ fn golden_fault_corpus() {
                 got,
                 (ed, edrop, einf, ec, el),
                 "{} under {} diverged from the pinned fault fingerprint",
+                routing.label(),
+                scenario.name
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+// ---------------------------------------------------------------------------
+// 2c. churn-corpus goldens
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_churn_corpus() {
+    let mut expected = GOLDEN_CHURN.iter();
+    for scenario in churn_scenarios() {
+        for routing in churn_routings() {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .expect("valid configuration");
+            let got = churn_fingerprint(cfg);
+            let &(es, er, ed, edrop, eret, einf, ec, el) = expected
+                .next()
+                .expect("golden table has one row per scenario x routing");
+            assert_eq!(es, scenario.name, "table order drifted");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(
+                got,
+                (ed, edrop, eret, einf, ec, el),
+                "{} under {} diverged from the pinned churn fingerprint",
                 routing.label(),
                 scenario.name
             );
@@ -275,6 +308,30 @@ fn regenerate_golden_tables() {
                 routing.label(),
                 d,
                 drop,
+                inf,
+                c,
+                l
+            );
+        }
+    }
+    println!(
+        "// (scenario, routing, delivered_window, dropped, retargeted, in_flight, final_cycle, latency_bits)"
+    );
+    for scenario in churn_scenarios() {
+        for routing in churn_routings() {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .unwrap();
+            let (d, drop, ret, inf, c, l) = churn_fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, {}, {}, {:#018X}),",
+                scenario.name,
+                routing.label(),
+                d,
+                drop,
+                ret,
                 inf,
                 c,
                 l
