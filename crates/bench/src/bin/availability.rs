@@ -1,77 +1,63 @@
 //! Availability under sustained failure churn: throughput retained and
-//! packet loss versus failure rate × repair time, per routing mechanism.
+//! packet loss versus failure rate × repair time, per routing mechanism —
+//! now executed through the crash-recoverable sweep service with multiple
+//! seeds per cell.
 //!
-//! Each cell lowers a seeded [`ChurnModel`] — exponential MTBF/MTTR
-//! processes over global links, local links and nodes — into a fault plan
-//! and replays the same failure sequence under discovery-only Base and
-//! both link-state-flooding mechanisms (PB, ECtN). Throughput retained is
-//! the cell's measured-window delivery divided by the same routing's
-//! churn-free run, so congestion differences between mechanisms divide
-//! out and the column isolates what the failures cost. Packet loss is
-//! dropped-on-fault packets over everything injected.
+//! Each (MTBF, MTTR) cell is a matrix scenario carrying a seeded
+//! [`ChurnModel`] — exponential failure/repair processes over global links,
+//! local links and nodes. The churn seed depends only on the cell, never on
+//! the routing or traffic seed, so discovery-only Base and both
+//! link-state-flooding mechanisms (PB, ECtN) replay the identical failure
+//! sequence, and every traffic seed measures the same outage trace.
+//! Throughput retained is the cell's pooled measured-window delivery over
+//! the same routing's churn-free pool, so congestion differences between
+//! mechanisms divide out; packet loss is dropped-on-fault packets over
+//! everything injected. Latency is reported as the across-seed mean ± ci95.
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p df-bench --bin availability -- [small|medium|paper]
+//! cargo run --release -p df-bench --bin availability -- \
+//!     [small|medium|paper] [run-dir=DIR] [seeds=N] [threads=N]
 //! ```
 //!
-//! Prints the table and writes `AVAILABILITY.csv` into the working
-//! directory. Deterministic: the churn seed depends only on the
-//! (MTBF, MTTR) cell, never on the routing or wall clock — rerun and diff.
+//! Runs are journaled and checkpointed under the run directory
+//! (default `target/availability-run`): kill the process at any point and
+//! rerun the same command to resume; the finished surface is byte-identical
+//! either way. Prints the table and writes `AVAILABILITY.csv` into the
+//! working directory.
+
+use std::path::PathBuf;
 
 use df_routing::RoutingKind;
-use df_sim::{ChurnModel, ChurnRate, Network, SimulationConfig};
+use df_sim::runner::{run_sweep_service, RunnerOptions};
+use df_sim::{ChurnModel, ChurnRate, Scenario, ScenarioMatrix, SimulationConfig};
 use df_traffic::PatternKind;
 
-/// One measured cell of the availability surface.
-struct Cell {
-    routing: RoutingKind,
-    mtbf: f64,
-    mttr: f64,
-    delivered: u64,
-    healthy: u64,
-    dropped: u64,
-    retargeted: u64,
-    injected: u64,
-}
-
-fn run_once(
-    scale: &df_bench::Scale,
-    routing: RoutingKind,
-    churn: Option<ChurnModel>,
-) -> (u64, u64, u64, u64) {
-    let warmup = 200u64;
-    let measure = 4 * scale.measure.max(500);
-    let mut builder = SimulationConfig::builder()
-        .topology(scale.topology)
-        .network(scale.network)
-        .routing(routing)
-        .pattern(PatternKind::Adversarial { offset: 1 })
-        .offered_load(0.2)
-        .warmup_cycles(warmup)
-        .measurement_cycles(measure)
-        .seed(11);
-    if let Some(churn) = churn {
-        builder = builder.churn(churn);
-    }
-    let cfg = builder.build().expect("valid availability configuration");
-    let mut net = Network::new(cfg);
-    net.run_cycles(warmup);
-    let start = net.cycle();
-    net.metrics_mut().start_measurement(start);
-    net.run_cycles(measure);
-    (
-        net.metrics().window_summary().delivered_packets,
-        net.metrics().dropped_on_fault_packets(),
-        net.metrics().retargeted_packets(),
-        net.injected_packets_total(),
-    )
+fn parse_kv(args: &[String], key: &str) -> Option<u64> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(&format!("{key}=")))
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("error: {key}= wants an integer, got '{v}'");
+                std::process::exit(2);
+            })
+        })
 }
 
 fn main() {
-    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::small(), &[]);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .iter()
+        .find_map(|a| df_bench::Scale::from_name(a))
+        .unwrap_or_else(df_bench::Scale::small);
+    let seeds = parse_kv(&args, "seeds").unwrap_or(5).max(1);
+    let run_dir = args
+        .iter()
+        .find_map(|a| a.strip_prefix("run-dir="))
+        .unwrap_or("target/availability-run");
+
     let warmup = 200u64;
-    let measure = 4 * scale.measure.max(500);
+    let measure = scale.measure.max(500);
     // Global-link MTBFs from gentle to harsh (per-link failure rate
     // 1/MTBF per cycle); local links fail half as often, nodes a quarter.
     let mtbfs = [8_000.0, 4_000.0, 2_000.0];
@@ -82,76 +68,120 @@ fn main() {
         RoutingKind::Ectn,
     ];
 
+    // One healthy reference scenario (the denominator of "retained") plus
+    // one churn scenario per (MTBF, MTTR) cell. The churn seed depends only
+    // on the cell, so every routing and every traffic seed replays the
+    // identical failure sequence.
+    let mut scenarios =
+        vec![Scenario::named("healthy").hold(PatternKind::Adversarial { offset: 1 })];
+    let mut cell_of: Vec<(String, f64, f64)> = Vec::new();
+    for (i, &mtbf) in mtbfs.iter().enumerate() {
+        for (j, &mttr) in mttrs.iter().enumerate() {
+            let seed = 31 + (i as u64) * 10 + j as u64;
+            let name = format!("churn-m{}-r{}", mtbf as u64, mttr as u64);
+            cell_of.push((name.clone(), mtbf, mttr));
+            scenarios.push(
+                Scenario::named(name)
+                    .hold(PatternKind::Adversarial { offset: 1 })
+                    .churn(
+                        ChurnModel::new(seed, warmup, warmup + measure)
+                            .global_links(ChurnRate::new(mtbf, mttr))
+                            .local_links(ChurnRate::new(2.0 * mtbf, mttr))
+                            .nodes(ChurnRate::new(4.0 * mtbf, mttr)),
+                    ),
+            );
+        }
+    }
+
+    let base = SimulationConfig::builder()
+        .topology(scale.topology)
+        .network(scale.network)
+        .warmup_cycles(warmup)
+        .measurement_cycles(measure)
+        .seed(11)
+        .build()
+        .expect("valid availability configuration");
+    let matrix = ScenarioMatrix {
+        base,
+        scenarios,
+        loads: vec![0.2],
+        routings: routings.to_vec(),
+        seeds_per_cell: seeds,
+    };
+
     eprintln!(
         "availability: {} topology, ADV+1 at load 0.2, churn over [{warmup}, {}), \
-         MTBF sweep {mtbfs:?} x MTTR {mttrs:?}",
+         MTBF sweep {mtbfs:?} x MTTR {mttrs:?}, {seeds} seeds/cell -> {run_dir}",
         scale.name,
         warmup + measure
     );
 
-    // churn-free reference per routing: the denominator of "retained"
-    let mut healthy = Vec::new();
-    for routing in routings {
-        let (delivered, _, _, _) = run_once(&scale, routing, None);
-        healthy.push((routing, delivered));
+    let mut options = RunnerOptions::new(PathBuf::from(run_dir));
+    options.threads = parse_kv(&args, "threads").unwrap_or(df_sim::num_threads() as u64) as usize;
+    let outcome = match run_sweep_service(&matrix, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("availability sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "availability: {} sub-runs recovered, {} executed, {} resumed mid-cell",
+        outcome.recovered_subruns,
+        outcome.executed_subruns,
+        outcome.resumed_from_snapshot.len(),
+    );
+    if !outcome.complete {
+        eprintln!("availability: interrupted; rerun the same command to resume");
+        std::process::exit(3);
     }
 
-    let mut cells: Vec<Cell> = Vec::new();
-    for (i, &mtbf) in mtbfs.iter().enumerate() {
-        for (j, &mttr) in mttrs.iter().enumerate() {
-            // the seed depends only on the cell, so every routing replays
-            // the identical failure sequence
-            let seed = 31 + (i as u64) * 10 + j as u64;
-            for routing in routings {
-                let churn = ChurnModel::new(seed, warmup, warmup + measure)
-                    .global_links(ChurnRate::new(mtbf, mttr))
-                    .local_links(ChurnRate::new(2.0 * mtbf, mttr))
-                    .nodes(ChurnRate::new(4.0 * mtbf, mttr));
-                let (delivered, dropped, retargeted, injected) =
-                    run_once(&scale, routing, Some(churn));
-                let healthy = healthy
-                    .iter()
-                    .find(|(r, _)| *r == routing)
-                    .map(|(_, d)| *d)
-                    .unwrap();
-                cells.push(Cell {
-                    routing,
-                    mtbf,
-                    mttr,
-                    delivered,
-                    healthy,
-                    dropped,
-                    retargeted,
-                    injected,
-                });
-            }
-        }
-    }
+    // Pooled delivery of the churn-free scenario, per routing.
+    let healthy = |routing: RoutingKind| -> u64 {
+        outcome
+            .cells
+            .iter()
+            .find(|c| c.key.scenario == "healthy" && c.key.routing == routing)
+            .map(|c| c.report.delivered_packets)
+            .expect("healthy reference cell present")
+    };
 
     let mut csv = String::from(
-        "routing,mtbf_cycles,mttr_cycles,failure_rate_per_link_cycle,\
-         delivered_window,healthy_window,throughput_retained,dropped_packets,\
-         retargeted_packets,injected_packets,packet_loss\n",
+        "routing,mtbf_cycles,mttr_cycles,failure_rate_per_link_cycle,seeds,\
+         delivered_window,healthy_window,throughput_retained,avg_latency,latency_ci95,\
+         dropped_packets,retargeted_packets,injected_packets,packet_loss\n",
     );
-    for c in &cells {
-        let retained = c.delivered as f64 / c.healthy as f64;
-        let loss = c.dropped as f64 / c.injected as f64;
-        let line = format!(
-            "{},{},{},{:.6e},{},{},{:.4},{},{},{},{:.6}\n",
-            c.routing.label(),
-            c.mtbf,
-            c.mttr,
-            1.0 / c.mtbf,
-            c.delivered,
-            c.healthy,
-            retained,
-            c.dropped,
-            c.retargeted,
-            c.injected,
-            loss
-        );
-        csv.push_str(&line);
-        print!("{line}");
+    for (name, mtbf, mttr) in &cell_of {
+        for routing in routings {
+            let cell = outcome
+                .cells
+                .iter()
+                .find(|c| &c.key.scenario == name && c.key.routing == routing)
+                .expect("churn cell present");
+            let r = &cell.report;
+            let healthy = healthy(routing);
+            let retained = r.delivered_packets as f64 / healthy as f64;
+            let loss = r.dropped_on_fault_packets as f64 / r.injected_packets as f64;
+            let line = format!(
+                "{},{},{},{:.6e},{},{},{},{:.4},{:.2},{:.2},{},{},{},{:.6}\n",
+                routing.label(),
+                mtbf,
+                mttr,
+                1.0 / mtbf,
+                seeds,
+                r.delivered_packets,
+                healthy,
+                retained,
+                r.avg_packet_latency,
+                r.latency_ci95,
+                r.dropped_on_fault_packets,
+                r.retargeted_packets,
+                r.injected_packets,
+                loss
+            );
+            csv.push_str(&line);
+            print!("{line}");
+        }
     }
     std::fs::write("AVAILABILITY.csv", &csv).expect("write AVAILABILITY.csv");
     eprintln!("wrote AVAILABILITY.csv");
@@ -160,24 +190,23 @@ fn main() {
     // that flood link state must retain at least as much throughput as
     // discovery-only Base. Report the comparison so a regression is
     // visible in the bench output, not just in the committed CSV.
-    for &mtbf in &mtbfs {
-        for &mttr in &mttrs {
-            let retained = |routing: RoutingKind| -> f64 {
-                cells
-                    .iter()
-                    .find(|c| c.routing == routing && c.mtbf == mtbf && c.mttr == mttr)
-                    .map(|c| c.delivered as f64 / c.healthy as f64)
-                    .unwrap()
-            };
-            let base = retained(RoutingKind::Base);
-            let pb = retained(RoutingKind::PiggyBacking);
-            let ectn = retained(RoutingKind::Ectn);
-            eprintln!(
-                "  mtbf {mtbf:>6} mttr {mttr:>4}: retained Base {base:.4}  PB {pb:.4} ({})  \
-                 ECtN {ectn:.4} ({})",
-                if pb > base { "ahead" } else { "BEHIND" },
-                if ectn > base { "ahead" } else { "BEHIND" },
-            );
-        }
+    for (name, mtbf, mttr) in &cell_of {
+        let retained = |routing: RoutingKind| -> f64 {
+            outcome
+                .cells
+                .iter()
+                .find(|c| &c.key.scenario == name && c.key.routing == routing)
+                .map(|c| c.report.delivered_packets as f64 / healthy(routing) as f64)
+                .unwrap()
+        };
+        let base = retained(RoutingKind::Base);
+        let pb = retained(RoutingKind::PiggyBacking);
+        let ectn = retained(RoutingKind::Ectn);
+        eprintln!(
+            "  mtbf {mtbf:>6} mttr {mttr:>4}: retained Base {base:.4}  PB {pb:.4} ({})  \
+             ECtN {ectn:.4} ({})",
+            if pb > base { "ahead" } else { "BEHIND" },
+            if ectn > base { "ahead" } else { "BEHIND" },
+        );
     }
 }

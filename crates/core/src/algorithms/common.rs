@@ -136,6 +136,41 @@ pub fn pick_live_intermediate(
     None
 }
 
+/// Whether at least one of the router's own global ports offers a live
+/// Valiant escape towards `dst_group`: the link is up locally, it leads to
+/// a third group (neither this router's own nor the destination group),
+/// and the (possibly stale) gateway-liveness view marks both it and that
+/// group's onward link towards the destination group alive.
+///
+/// This is the existence check behind the bounded draws of
+/// [`pick_live_intermediate`] with `global_first_hop_only` set: every
+/// escape that function can return starts on one of these ports, so when
+/// this returns `false` no amount of redrawing can ever succeed — callers
+/// then discard the packet as unroutable instead of stalling on a dead
+/// port forever (churn can keep links down through the drain window).
+pub fn any_live_global_escape(router: &Router, dst_group: GroupId) -> bool {
+    let topo = router.topology();
+    let params = topo.params();
+    let my_group = topo.router_group(router.id());
+    let view = router.link_view();
+    (0..params.h).any(|k| {
+        let port = Port::global(params, k);
+        if !router.link_is_up(port) {
+            return false;
+        }
+        let j = topo.global_link_index(router.id(), k);
+        match topo.global_link_target_group(my_group, j) {
+            Some(target) => {
+                target != my_group
+                    && target != dst_group
+                    && view.link_up(my_group, j)
+                    && view.link_up(target, topo.group_link_to(target, dst_group))
+            }
+            None => false,
+        }
+    })
+}
+
 /// First-hop decision towards an intermediate router, carrying the Valiant
 /// commitment. `misroute` marks whether the statistics should count the
 /// packet as globally misrouted.

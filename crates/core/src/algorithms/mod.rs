@@ -226,9 +226,17 @@ impl RoutingAlgorithm {
             }
             // No live replacement right now. Skipping the waypoint before
             // the global hop could require a second pre-global local hop
-            // (a VC-ladder violation), so the packet waits on the dead
-            // continuation and re-decides next cycle.
-            return stalled;
+            // (a VC-ladder violation), so while a live escape exists the
+            // packet waits on the dead continuation and re-decides next
+            // cycle (the bounded draw can miss it). With no live,
+            // view-viable escape at all — churn can keep links down
+            // through the drain window — the packet is unroutable:
+            // discard it, with exact conservation through the
+            // dropped-on-fault counters.
+            if !own_global_only || common::any_live_global_escape(router, dst_group) {
+                return stalled;
+            }
+            return Decision::discard();
         }
         // past the first global hop: skip the waypoint and head minimally
         // to the destination
@@ -239,6 +247,11 @@ impl RoutingAlgorithm {
             return d;
         }
         let port = minimal_output_to_router(topo, router.id(), dst_router);
+        if !router.link_is_up(port) {
+            // the skip path is dead too: any other route would need hops
+            // the VC ladder cannot carry, so the packet is unroutable
+            return Decision::discard();
+        }
         Decision {
             output_port: port,
             output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),

@@ -16,13 +16,14 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{Port, PortClass};
+use df_topology::{GroupId, Port, PortClass};
 
 use crate::algorithms::common;
 use crate::config::RoutingConfig;
 use crate::decision::Decision;
 use crate::minimal::{minimal_hops_to_router, minimal_output, minimal_output_to_router};
 use crate::trigger::{pb_link_saturated, ugal_prefers_valiant};
+use crate::vcmap::global_misroute_fits;
 
 /// The PB routing decision.
 pub fn decide(
@@ -40,12 +41,18 @@ pub fn decide(
     if !at_source {
         // source routing: the decision was made at injection; follow minimal
         // (a committed Valiant path is handled by the packet objective).
-        return common::minimal_decision(router, packet);
+        let d = common::minimal_decision(router, packet);
+        if router.any_link_down() && !router.link_is_up(d.output_port) {
+            return recommit_in_transit(router, packet, d, rng);
+        }
+        return d;
     }
     let src_group = topo.node_group(packet.src);
     let dst_group = topo.node_group(packet.dst);
     if src_group == dst_group {
-        return common::minimal_decision(router, packet);
+        // PB never misroutes intra-group traffic, so a dead minimal local
+        // link leaves no legal alternative at all
+        return minimal_or_discard(router, packet, dst_group, false);
     }
     // candidate Valiant path; under faults the pick is filtered to
     // intermediates that are reachable and (per the piggybacked link-state
@@ -61,7 +68,7 @@ pub fn decide(
     };
     let intermediate = match picked {
         Some(r) if r != router.id() => r,
-        _ => return common::minimal_decision(router, packet),
+        _ => return minimal_or_discard(router, packet, dst_group, true),
     };
 
     // signal 1: saturation of the minimal global link, from the group-shared
@@ -92,8 +99,70 @@ pub fn decide(
     if (min_link_saturated || ugal_valiant || min_dead) && router.link_is_up(val_first_hop) {
         common::valiant_first_hop(router, packet, intermediate, true)
     } else {
-        common::minimal_decision(router, packet)
+        minimal_or_discard(router, packet, dst_group, true)
     }
+}
+
+/// The minimal decision, degraded to a discard when its output link is
+/// dead and no Valiant escape can ever save the packet: either PB may not
+/// misroute it at all (`valiant_legal` false — intra-group traffic) or no
+/// live, view-viable escape exists
+/// ([`common::any_live_global_escape`]). While an escape exists the dead
+/// minimal decision is returned unchanged — the allocator refuses dead
+/// ports, so the packet waits and the decision (with fresh intermediate
+/// draws) is re-evaluated next cycle.
+fn minimal_or_discard(
+    router: &Router,
+    packet: &Packet,
+    dst_group: GroupId,
+    valiant_legal: bool,
+) -> Decision {
+    let d = common::minimal_decision(router, packet);
+    if router.any_link_down()
+        && !router.link_is_up(d.output_port)
+        && (!valiant_legal || !common::any_live_global_escape(router, dst_group))
+    {
+        return Decision::discard();
+    }
+    d
+}
+
+/// Fault re-commit for PB's in-transit continuations. PB is source-routed:
+/// past injection a packet follows minimal forever — but under churn the
+/// minimal continuation's link can die and *stay* dead, which used to
+/// strand committed packets at the drain bound. Before the first global
+/// hop the source decision is re-taken as a Valiant path, restricted to
+/// the current router's own global first hops (the pre-global local hop is
+/// spent; a second one would re-enter the VC ladder below the packet's
+/// rung — the same rule `recommit_global` enforces). Past the first global
+/// hop PB has no legal alternative — any detour would need hops the VC
+/// ladder cannot carry — so the packet is unroutable and discarded, with
+/// exact conservation through the dropped-on-fault counters.
+fn recommit_in_transit(
+    router: &Router,
+    packet: &Packet,
+    stalled: Decision,
+    rng: &mut DeterministicRng,
+) -> Decision {
+    let topo = router.topology();
+    let src_group = topo.node_group(packet.src);
+    let dst_group = topo.node_group(packet.dst);
+    if packet.routing.global_hops == 0
+        && src_group != dst_group
+        && !packet.routing.globally_misrouted()
+        && global_misroute_fits(packet, router.config())
+    {
+        if let Some(inter) = common::pick_live_intermediate(router, src_group, dst_group, true, rng)
+        {
+            return common::valiant_first_hop(router, packet, inter, true);
+        }
+        // a live escape exists but the bounded draw missed it: wait on the
+        // dead continuation and redraw next cycle
+        if common::any_live_global_escape(router, dst_group) {
+            return stalled;
+        }
+    }
+    Decision::discard()
 }
 
 /// Recompute the saturation flags of this router's own global links from

@@ -7,6 +7,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{CodecError, Decoder, Encoder};
+
 /// A histogram with fixed-width bins over `[low, high)` plus overflow and
 /// underflow bins.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,6 +73,11 @@ impl Histogram {
         }
     }
 
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Observations below the range.
     pub fn underflow(&self) -> u64 {
         self.underflow
@@ -130,6 +137,57 @@ impl Histogram {
         self.overflow += other.overflow;
         self.count += other.count;
         self.sum += other.sum;
+    }
+
+    /// Serialize the histogram exactly (snapshot support).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.f64(self.low);
+        e.f64(self.high);
+        e.f64(self.bin_width);
+        e.u64(self.underflow);
+        e.u64(self.overflow);
+        e.u64(self.count);
+        e.f64(self.sum);
+        e.seq(self.bins.len());
+        for &b in &self.bins {
+            e.u64(b);
+        }
+    }
+
+    /// Rebuild a histogram from [`encode`](Self::encode) output.
+    pub fn decode(d: &mut Decoder) -> Result<Self, CodecError> {
+        let low = d.f64()?;
+        let high = d.f64()?;
+        let bin_width = d.f64()?;
+        // NaN bounds must fail these comparisons too, hence the explicit form
+        let range_ok = high > low && bin_width > 0.0;
+        if !range_ok {
+            return Err(CodecError::Invalid(format!(
+                "histogram range [{low}, {high}) / bin width {bin_width}"
+            )));
+        }
+        let underflow = d.u64()?;
+        let overflow = d.u64()?;
+        let count = d.u64()?;
+        let sum = d.f64()?;
+        let n = d.seq(8)?;
+        if n == 0 {
+            return Err(CodecError::Invalid("histogram with zero bins".into()));
+        }
+        let mut bins = Vec::with_capacity(n);
+        for _ in 0..n {
+            bins.push(d.u64()?);
+        }
+        Ok(Histogram {
+            low,
+            high,
+            bin_width,
+            bins,
+            underflow,
+            overflow,
+            count,
+            sum,
+        })
     }
 }
 

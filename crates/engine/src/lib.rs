@@ -11,16 +11,20 @@
 //! * [`timeseries`] — binned time series used by the transient experiments
 //!   (Figures 7, 8 and 9 of the paper),
 //! * [`table`] — plain-text / CSV rendering of experiment results, used by
-//!   the figure-regeneration binaries.
+//!   the figure-regeneration binaries,
+//! * [`codec`] — the checksummed binary encoding behind simulation
+//!   snapshots and the sweep runner's journal.
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod histogram;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod timeseries;
 
+pub use codec::{CodecError, Decoder, Encoder};
 pub use histogram::Histogram;
 pub use rng::DeterministicRng;
 pub use stats::{RunningStats, SampleStats};

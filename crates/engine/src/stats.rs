@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{CodecError, Decoder, Encoder};
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RunningStats {
@@ -135,6 +137,29 @@ impl RunningStats {
     /// Whether no observation has been pushed.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Serialize the accumulator exactly (snapshot support).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.u64(self.count);
+        e.f64(self.mean);
+        e.f64(self.m2);
+        e.f64(self.min);
+        e.f64(self.max);
+        e.f64(self.sum);
+    }
+
+    /// Rebuild an accumulator from [`encode`](Self::encode) output,
+    /// bit-identical to the captured one.
+    pub fn decode(d: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(RunningStats {
+            count: d.u64()?,
+            mean: d.f64()?,
+            m2: d.f64()?,
+            min: d.f64()?,
+            max: d.f64()?,
+            sum: d.f64()?,
+        })
     }
 }
 

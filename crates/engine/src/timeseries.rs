@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::codec::{CodecError, Decoder, Encoder};
+
 /// A raw `(time, value)` series.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimeSeries {
@@ -44,6 +46,27 @@ impl TimeSeries {
     /// Last value, if any.
     pub fn last(&self) -> Option<(u64, f64)> {
         self.points.last().copied()
+    }
+
+    /// Serialize the series exactly (snapshot support).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.seq(self.points.len());
+        for &(t, v) in &self.points {
+            e.u64(t);
+            e.f64(v);
+        }
+    }
+
+    /// Rebuild a series from [`encode`](Self::encode) output.
+    pub fn decode(d: &mut Decoder) -> Result<Self, CodecError> {
+        let len = d.seq(16)?;
+        let mut points = Vec::with_capacity(len);
+        for _ in 0..len {
+            let t = d.u64()?;
+            let v = d.f64()?;
+            points.push((t, v));
+        }
+        Ok(TimeSeries { points })
     }
 }
 
@@ -138,6 +161,53 @@ impl BinnedSeries {
     /// Width of each bin in cycles.
     pub fn bin_width(&self) -> u64 {
         self.bin_width
+    }
+
+    /// Serialize the series exactly (snapshot support).
+    pub fn encode(&self, e: &mut Encoder) {
+        e.i64(self.origin);
+        e.u64(self.bin_width);
+        e.i64(self.start_bin);
+        e.seq(self.sums.len());
+        for &s in &self.sums {
+            e.f64(s);
+        }
+        e.seq(self.counts.len());
+        for &c in &self.counts {
+            e.u64(c);
+        }
+    }
+
+    /// Rebuild a series from [`encode`](Self::encode) output.
+    pub fn decode(d: &mut Decoder) -> Result<Self, CodecError> {
+        let origin = d.i64()?;
+        let bin_width = d.u64()?;
+        if bin_width == 0 {
+            return Err(CodecError::Invalid("binned series bin_width 0".into()));
+        }
+        let start_bin = d.i64()?;
+        let n_sums = d.seq(8)?;
+        let mut sums = Vec::with_capacity(n_sums);
+        for _ in 0..n_sums {
+            sums.push(d.f64()?);
+        }
+        let n_counts = d.seq(8)?;
+        if n_counts != n_sums {
+            return Err(CodecError::Invalid(format!(
+                "binned series sums/counts length mismatch ({n_sums} vs {n_counts})"
+            )));
+        }
+        let mut counts = Vec::with_capacity(n_counts);
+        for _ in 0..n_counts {
+            counts.push(d.u64()?);
+        }
+        Ok(BinnedSeries {
+            origin,
+            bin_width,
+            sums,
+            counts,
+            start_bin,
+        })
     }
 
     /// Collect into a [`TimeSeries`] of bin means (times are bin starts,

@@ -285,6 +285,119 @@ impl Packet {
     pub fn hops(&self) -> u32 {
         self.routing.local_hops as u32 + self.routing.global_hops as u32
     }
+
+    /// Serialize the packet exactly, routing state included (snapshot
+    /// support).
+    pub fn encode(&self, e: &mut df_engine::Encoder) {
+        e.u64(self.id.0);
+        e.u32(self.src.0);
+        e.u32(self.dst.0);
+        e.u32(self.size_phits);
+        e.u64(self.generated_at);
+        match self.injected_at {
+            None => e.bool(false),
+            Some(c) => {
+                e.bool(true);
+                e.u64(c);
+            }
+        }
+        let r = &self.routing;
+        e.u8(r.local_hops);
+        e.u8(r.global_hops);
+        e.u8(r.local_hops_since_global);
+        match r.intermediate_router {
+            None => e.bool(false),
+            Some(id) => {
+                e.bool(true);
+                e.u32(id.0);
+            }
+        }
+        e.bool(r.intermediate_reached);
+        match r.nonminimal_global {
+            None => e.bool(false),
+            Some((gw, port)) => {
+                e.bool(true);
+                e.u32(gw.0);
+                e.u32(port.0);
+            }
+        }
+        match r.local_detour {
+            None => e.bool(false),
+            Some(id) => {
+                e.bool(true);
+                e.u32(id.0);
+            }
+        }
+        match r.local_misrouted_in {
+            None => e.bool(false),
+            Some(g) => {
+                e.bool(true);
+                e.u32(g.0);
+            }
+        }
+        e.bool(r.flags.global);
+        e.bool(r.flags.local);
+        e.bool(r.commit_recorded);
+    }
+
+    /// Rebuild a packet from [`encode`](Self::encode) output.
+    pub fn decode(d: &mut df_engine::Decoder) -> Result<Self, df_engine::CodecError> {
+        let id = PacketId(d.u64()?);
+        let src = NodeId(d.u32()?);
+        let dst = NodeId(d.u32()?);
+        let size_phits = d.u32()?;
+        let generated_at = d.u64()?;
+        let injected_at = if d.bool()? { Some(d.u64()?) } else { None };
+        let local_hops = d.u8()?;
+        let global_hops = d.u8()?;
+        let local_hops_since_global = d.u8()?;
+        let intermediate_router = if d.bool()? {
+            Some(RouterId(d.u32()?))
+        } else {
+            None
+        };
+        let intermediate_reached = d.bool()?;
+        let nonminimal_global = if d.bool()? {
+            Some((RouterId(d.u32()?), Port(d.u32()?)))
+        } else {
+            None
+        };
+        let local_detour = if d.bool()? {
+            Some(RouterId(d.u32()?))
+        } else {
+            None
+        };
+        let local_misrouted_in = if d.bool()? {
+            Some(GroupId(d.u32()?))
+        } else {
+            None
+        };
+        let flags = MisrouteFlags {
+            global: d.bool()?,
+            local: d.bool()?,
+        };
+        let commit_recorded = d.bool()?;
+        Ok(Packet {
+            id,
+            src,
+            dst,
+            size_phits,
+            generated_at,
+            injected_at,
+            routing: RoutingState {
+                local_hops,
+                global_hops,
+                local_hops_since_global,
+                intermediate_router,
+                intermediate_reached,
+                nonminimal_global,
+                local_detour,
+                local_misrouted_in,
+                flags,
+                commit_recorded,
+            },
+        })
+    }
 }
 
 #[cfg(test)]

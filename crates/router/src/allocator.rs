@@ -184,6 +184,49 @@ impl Allocator {
         self.allocate_into(requests, &mut grants, can_accept);
         grants
     }
+
+    /// Serialise the persistent round-robin pointers. The grouping buffers
+    /// are per-iteration scratch (cleared at the start of every call to
+    /// [`Allocator::allocate_into`]) and are deliberately not written.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.input_rr.len());
+        for &p in &self.input_rr {
+            e.usize(p);
+        }
+        e.seq(self.output_rr.len());
+        for &p in &self.output_rr {
+            e.usize(p);
+        }
+    }
+
+    /// Restore the state written by [`Allocator::save_state`]. Pointer array
+    /// lengths must match the configured radix.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let inputs = d.seq(8)?;
+        if inputs != self.input_rr.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "allocator input_rr length mismatch: snapshot has {inputs}, config has {}",
+                self.input_rr.len()
+            )));
+        }
+        for p in &mut self.input_rr {
+            *p = d.usize()?;
+        }
+        let outputs = d.seq(8)?;
+        if outputs != self.output_rr.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "allocator output_rr length mismatch: snapshot has {outputs}, config has {}",
+                self.output_rr.len()
+            )));
+        }
+        for p in &mut self.output_rr {
+            *p = d.usize()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,37 @@ impl ContentionCounters {
     pub fn all_zero(&self) -> bool {
         self.counters.iter().all(|&c| c == 0)
     }
+
+    /// Serialise the counter bank (values plus lifetime statistics).
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.counters.len());
+        for &c in &self.counters {
+            e.u32(c);
+        }
+        e.u64(self.total_increments);
+        e.u32(self.peak);
+    }
+
+    /// Restore the state written by [`ContentionCounters::save_state`]. The
+    /// counter count must match the configured radix.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let n = d.seq(4)?;
+        if n != self.counters.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "contention counter count mismatch: snapshot has {n}, config has {}",
+                self.counters.len()
+            )));
+        }
+        for c in &mut self.counters {
+            *c = d.u32()?;
+        }
+        self.total_increments = d.u64()?;
+        self.peak = d.u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

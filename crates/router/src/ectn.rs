@@ -140,6 +140,47 @@ impl EctnState {
     pub fn combined_array(&self) -> &[u32] {
         &self.combined
     }
+
+    /// Serialise the partial and combined counter arrays.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.partial.len());
+        for &c in &self.partial {
+            e.u32(c);
+        }
+        e.seq(self.combined.len());
+        for &c in &self.combined {
+            e.u32(c);
+        }
+    }
+
+    /// Restore the state written by [`EctnState::save_state`]. Both array
+    /// lengths must match the configured topology.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let partial = d.seq(4)?;
+        if partial != self.partial.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "ECtN partial array length mismatch: snapshot has {partial}, config has {}",
+                self.partial.len()
+            )));
+        }
+        for c in &mut self.partial {
+            *c = d.u32()?;
+        }
+        let combined = d.seq(4)?;
+        if combined != self.combined.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "ECtN combined array length mismatch: snapshot has {combined}, config has {}",
+                self.combined.len()
+            )));
+        }
+        for c in &mut self.combined {
+            *c = d.u32()?;
+        }
+        Ok(())
+    }
 }
 
 /// Sum a set of partial snapshots into a combined array, as the broadcast

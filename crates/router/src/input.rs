@@ -163,6 +163,63 @@ impl InputVc {
     pub fn iter(&self) -> impl Iterator<Item = &Packet> {
         self.queue.iter()
     }
+
+    /// Serialise the persistent state of this VC (queued packets and head
+    /// registrations). Capacity is configuration, not state, and is not
+    /// written.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.queue.len());
+        for p in &self.queue {
+            p.encode(e);
+        }
+        e.bool(self.registered_min_output.is_some());
+        if let Some(port) = self.registered_min_output {
+            e.u32(port.0);
+        }
+        e.bool(self.registered_ectn_link.is_some());
+        if let Some(link) = self.registered_ectn_link {
+            e.u32(link);
+        }
+    }
+
+    /// Restore the persistent state written by [`InputVc::save_state`] into a
+    /// freshly configured VC. Occupancy is recomputed from the packets and
+    /// validated against the configured capacity.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let n = d.seq(8)?;
+        let mut queue = VecDeque::with_capacity(n);
+        let mut occupancy = 0u64;
+        for _ in 0..n {
+            let p = Packet::decode(d)?;
+            occupancy += p.size_phits as u64;
+            queue.push_back(p);
+        }
+        if occupancy > self.capacity_phits as u64 {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "input VC occupancy {occupancy} exceeds capacity {}",
+                self.capacity_phits
+            )));
+        }
+        let registered_min_output = if d.bool()? {
+            Some(Port(d.u32()?))
+        } else {
+            None
+        };
+        let registered_ectn_link = if d.bool()? { Some(d.u32()?) } else { None };
+        if queue.is_empty() && (registered_min_output.is_some() || registered_ectn_link.is_some()) {
+            return Err(df_engine::CodecError::Invalid(
+                "head registration on an empty input VC".into(),
+            ));
+        }
+        self.queue = queue;
+        self.occupancy_phits = occupancy as u32;
+        self.registered_min_output = registered_min_output;
+        self.registered_ectn_link = registered_ectn_link;
+        Ok(())
+    }
 }
 
 /// An input port: a set of virtual channels plus round-robin state used by
@@ -226,6 +283,42 @@ impl InputPort {
         let s = self.next_vc;
         self.next_vc = (self.next_vc + 1) % self.vcs.len().max(1);
         s
+    }
+
+    /// Serialise the persistent state of this port (per-VC queues and the
+    /// allocator round-robin pointer). Class and VC layout are configuration.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.vcs.len());
+        for vc in &self.vcs {
+            vc.save_state(e);
+        }
+        e.usize(self.next_vc);
+    }
+
+    /// Restore the state written by [`InputPort::save_state`] into a freshly
+    /// configured port. The VC count must match the configuration.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let n = d.seq(4)?;
+        if n != self.vcs.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "input port VC count mismatch: snapshot has {n}, config has {}",
+                self.vcs.len()
+            )));
+        }
+        for vc in &mut self.vcs {
+            vc.restore_state(d)?;
+        }
+        let next_vc = d.usize()?;
+        if next_vc >= self.vcs.len().max(1) {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "input port round-robin pointer {next_vc} out of range"
+            )));
+        }
+        self.next_vc = next_vc;
+        Ok(())
     }
 }
 

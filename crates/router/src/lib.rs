@@ -31,6 +31,7 @@ pub mod input;
 pub mod output;
 pub mod pb;
 pub mod router;
+pub mod snapshot;
 
 pub use allocator::{AllocationRequest, Allocator, Grant};
 pub use contention::ContentionCounters;
@@ -39,3 +40,4 @@ pub use input::{InputPort, InputVc, PoppedPacket};
 pub use output::OutputPort;
 pub use pb::PbState;
 pub use router::Router;
+pub use snapshot::{decode_gateway_liveness, encode_gateway_liveness};

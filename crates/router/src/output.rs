@@ -238,6 +238,78 @@ impl OutputPort {
         self.rr_input = (s + 1) % num_inputs.max(1);
         s
     }
+
+    /// Serialise the persistent state of this port: per-VC credits, staged
+    /// packets (with downstream VC and pipeline-ready cycle), the link busy
+    /// horizon and the allocator round-robin pointer. Capacities and class
+    /// are configuration and are not written.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.credits.len());
+        for &c in &self.credits {
+            e.u32(c);
+        }
+        e.seq(self.buffer.len());
+        for s in &self.buffer {
+            s.packet.encode(e);
+            e.u8(s.dst_vc.0);
+            e.u64(s.ready_at);
+        }
+        e.u64(self.link_free_at);
+        e.usize(self.rr_input);
+    }
+
+    /// Restore the state written by [`OutputPort::save_state`] into a freshly
+    /// configured port. Buffer occupancy is recomputed from the staged
+    /// packets; credit and capacity invariants are validated.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let n = d.seq(4)?;
+        if n != self.credits.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "output port VC count mismatch: snapshot has {n}, config has {}",
+                self.credits.len()
+            )));
+        }
+        let mut credits = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = d.u32()?;
+            if c > self.credit_capacity[i] {
+                return Err(df_engine::CodecError::Invalid(format!(
+                    "restored credits {c} exceed capacity {} on vc {i}",
+                    self.credit_capacity[i]
+                )));
+            }
+            credits.push(c);
+        }
+        let staged = d.seq(8)?;
+        let mut buffer = VecDeque::with_capacity(staged);
+        let mut occupancy = 0u64;
+        for _ in 0..staged {
+            let packet = Packet::decode(d)?;
+            let dst_vc = VcId(d.u8()?);
+            let ready_at = d.u64()?;
+            occupancy += packet.size_phits as u64;
+            buffer.push_back(StagedPacket {
+                packet,
+                dst_vc,
+                ready_at,
+            });
+        }
+        if occupancy > self.buffer_capacity_phits as u64 {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "output buffer occupancy {occupancy} exceeds capacity {}",
+                self.buffer_capacity_phits
+            )));
+        }
+        self.credits = credits;
+        self.buffer = buffer;
+        self.buffer_occupancy_phits = occupancy as u32;
+        self.link_free_at = d.u64()?;
+        self.rr_input = d.usize()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

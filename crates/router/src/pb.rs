@@ -105,6 +105,47 @@ impl PbState {
         }
         self.group.iter().filter(|&&s| s).count() as f64 / self.group.len() as f64
     }
+
+    /// Serialise the own and group saturation masks.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.own.len());
+        for &b in &self.own {
+            e.bool(b);
+        }
+        e.seq(self.group.len());
+        for &b in &self.group {
+            e.bool(b);
+        }
+    }
+
+    /// Restore the state written by [`PbState::save_state`]. Both mask
+    /// lengths must match the configured topology.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let own = d.seq(1)?;
+        if own != self.own.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "PB own mask length mismatch: snapshot has {own}, config has {}",
+                self.own.len()
+            )));
+        }
+        for b in &mut self.own {
+            *b = d.bool()?;
+        }
+        let group = d.seq(1)?;
+        if group != self.group.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "PB group mask length mismatch: snapshot has {group}, config has {}",
+                self.group.len()
+            )));
+        }
+        for b in &mut self.group {
+            *b = d.bool()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -556,6 +556,99 @@ impl Router {
     pub fn output_can_accept(&self, port: Port, vc: VcId, size_phits: u32) -> bool {
         self.outputs[port.index()].can_accept(vc, size_phits)
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot support
+    // ------------------------------------------------------------------
+
+    /// Serialise everything a restored router cannot rebuild from its
+    /// configuration: input queues and registrations, output stages and
+    /// credits, contention/ECtN/PB state, allocator round-robin pointers,
+    /// per-port link health and the gateway-liveness view. The derived
+    /// occupancy and registration counters are *not* written — restore
+    /// recomputes them from the queues.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.inputs.len());
+        for input in &self.inputs {
+            input.save_state(e);
+        }
+        e.seq(self.outputs.len());
+        for output in &self.outputs {
+            output.save_state(e);
+        }
+        self.contention.save_state(e);
+        self.ectn.save_state(e);
+        self.pb.save_state(e);
+        self.allocator.save_state(e);
+        e.seq(self.link_up.len());
+        for &up in &self.link_up {
+            e.bool(up);
+        }
+        crate::snapshot::encode_gateway_liveness(&self.link_view, e);
+    }
+
+    /// Restore the state written by [`Router::save_state`] into a freshly
+    /// built router of the *same* topology and configuration. Occupancy,
+    /// registration and down-link counters are recomputed from the restored
+    /// queues and flags.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let ports = d.seq(8)?;
+        if ports != self.inputs.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "router input port count mismatch: snapshot has {ports}, config has {}",
+                self.inputs.len()
+            )));
+        }
+        for input in &mut self.inputs {
+            input.restore_state(d)?;
+        }
+        let ports = d.seq(8)?;
+        if ports != self.outputs.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "router output port count mismatch: snapshot has {ports}, config has {}",
+                self.outputs.len()
+            )));
+        }
+        for output in &mut self.outputs {
+            output.restore_state(d)?;
+        }
+        self.contention.restore_state(d)?;
+        self.ectn.restore_state(d)?;
+        self.pb.restore_state(d)?;
+        self.allocator.restore_state(d)?;
+        let links = d.seq(1)?;
+        if links != self.link_up.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "router link flag count mismatch: snapshot has {links}, config has {}",
+                self.link_up.len()
+            )));
+        }
+        for up in &mut self.link_up {
+            *up = d.bool()?;
+        }
+        self.link_view = crate::snapshot::decode_gateway_liveness(
+            d,
+            self.topo.params().global_links_per_group(),
+        )?;
+        // rebuild the derived counters from the restored queues/flags
+        self.links_down = self.link_up.iter().filter(|&&up| !up).count() as u32;
+        self.occupied_total = 0;
+        self.unregistered_count = 0;
+        for (p, input) in self.inputs.iter().enumerate() {
+            let queued = input.queued_packets() as u32;
+            self.occupied_per_port[p] = queued;
+            self.occupied_total += queued;
+            for v in 0..input.num_vcs() {
+                if input.vc(v).head_needs_registration() {
+                    self.unregistered_count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -200,6 +200,46 @@ impl EventQueue {
             (None, b) => b,
         }
     }
+
+    /// Every pending event with its completion cycle, in exact drain order
+    /// (`(time, insertion sequence)`, overflow before bucket within a cycle —
+    /// the order [`EventQueue::pop_due_into`] would produce). Used by the
+    /// snapshot subsystem.
+    pub fn pending_in_order(&self) -> Vec<(Cycle, Event)> {
+        let mut entries: Vec<(Cycle, u64, Event)> = Vec::with_capacity(self.len);
+        for (&t, bucket) in &self.overflow {
+            for (seq, event) in bucket {
+                entries.push((t, *seq, event.clone()));
+            }
+        }
+        let horizon = self.buckets.len() as Cycle;
+        for t in self.now..self.now + horizon {
+            for (seq, event) in &self.buckets[(t as usize) & self.mask] {
+                entries.push((t, *seq, event.clone()));
+            }
+        }
+        entries.sort_by_key(|&(t, seq, _)| (t, seq));
+        entries.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+
+    /// Rebuild a queue positioned at drain cycle `now` holding `events`
+    /// (given in drain order, as produced by
+    /// [`EventQueue::pending_in_order`]). Fresh insertion sequences `0..`
+    /// preserve the relative order, and every restored event predates — in
+    /// sequence — anything scheduled afterwards, exactly as in the original
+    /// queue.
+    pub fn rebuild(
+        min_horizon: usize,
+        now: Cycle,
+        events: impl IntoIterator<Item = (Cycle, Event)>,
+    ) -> Self {
+        let mut q = Self::with_horizon(min_horizon);
+        q.now = now;
+        for (at, event) in events {
+            q.schedule(at, event);
+        }
+        q
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -293,6 +333,30 @@ impl LegacyEventQueue {
     /// Earliest pending completion time.
     pub fn next_time(&self) -> Option<Cycle> {
         self.heap.peek().map(|s| s.at)
+    }
+
+    /// Every pending event with its completion cycle, in exact drain order
+    /// (non-destructive equivalent of popping everything). Used by the
+    /// snapshot subsystem.
+    pub fn pending_in_order(&self) -> Vec<(Cycle, Event)> {
+        let mut entries: Vec<(Cycle, u64, Event)> = self
+            .heap
+            .iter()
+            .map(|s| (s.at, s.seq, s.event.clone()))
+            .collect();
+        entries.sort_by_key(|&(at, seq, _)| (at, seq));
+        entries.into_iter().map(|(at, _, e)| (at, e)).collect()
+    }
+
+    /// Rebuild a queue holding `events` (given in drain order, as produced
+    /// by [`LegacyEventQueue::pending_in_order`]); fresh sequence numbers
+    /// preserve the relative order.
+    pub fn rebuild(events: impl IntoIterator<Item = (Cycle, Event)>) -> Self {
+        let mut q = Self::new();
+        for (at, event) in events {
+            q.schedule(at, event);
+        }
+        q
     }
 }
 

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::SimulationConfig;
 use crate::network::Network;
+use crate::telemetry::{StreamingTelemetry, WindowStats};
 
 /// Result of one steady-state run (or the average of several seeds).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,6 +42,15 @@ pub struct SteadyStateReport {
     pub local_misroute_fraction: f64,
     /// Packets delivered in the measurement window.
     pub delivered_packets: u64,
+    /// Packets lost to faults over the whole run (0 on healthy networks;
+    /// summed when averaging seeds).
+    pub dropped_on_fault_packets: u64,
+    /// Packets retargeted to a failed destination's spare over the whole run
+    /// (summed when averaging seeds).
+    pub retargeted_packets: u64,
+    /// Packets injected over the whole run — the denominator of loss rates
+    /// (summed when averaging seeds).
+    pub injected_packets: u64,
     /// Seed of the run (or the number of seeds averaged, for averaged
     /// reports).
     pub seed: u64,
@@ -87,6 +97,9 @@ impl SteadyStateExperiment {
             global_misroute_fraction: summary.global_misroute_fraction,
             local_misroute_fraction: summary.local_misroute_fraction,
             delivered_packets: summary.delivered_packets,
+            dropped_on_fault_packets: net.metrics().dropped_on_fault_packets(),
+            retargeted_packets: net.metrics().retargeted_packets(),
+            injected_packets: net.injected_packets_total(),
             seed: self.config.seed,
         }
     }
@@ -96,40 +109,185 @@ impl SteadyStateExperiment {
     /// does with its 10 simulations per point.
     pub fn run_averaged(&self, num_seeds: u64) -> SteadyStateReport {
         assert!(num_seeds > 0, "need at least one seed");
-        let mut latency = RunningStats::new();
-        let mut accepted = RunningStats::new();
-        let mut p99 = RunningStats::new();
-        let mut hops = RunningStats::new();
-        let mut misroute_g = RunningStats::new();
-        let mut misroute_l = RunningStats::new();
-        let mut delivered = 0u64;
-        for s in 0..num_seeds {
-            let mut config = self.config.clone();
-            config.seed = self.config.seed + s;
-            let report = SteadyStateExperiment::new(config).run();
-            latency.push(report.avg_packet_latency);
-            accepted.push(report.accepted_load);
-            p99.push(report.p99_latency);
-            hops.push(report.avg_hops);
-            misroute_g.push(report.global_misroute_fraction);
-            misroute_l.push(report.local_misroute_fraction);
-            delivered += report.delivered_packets;
+        let reports: Vec<SteadyStateReport> = (0..num_seeds)
+            .map(|s| {
+                let mut config = self.config.clone();
+                config.seed = self.config.seed + s;
+                SteadyStateExperiment::new(config).run()
+            })
+            .collect();
+        average_reports(&self.config, &reports)
+    }
+
+    /// Run with streaming telemetry and automatic warm-up detection instead
+    /// of the configured fixed budgets: windows of `opts.window_cycles` are
+    /// simulated until the run turns steady (or `opts.max_warmup_windows`
+    /// elapse), the measurement window opens there, and measurement runs for
+    /// `opts.measure_windows` further windows.
+    pub fn run_streaming(&self, opts: &StreamingRunOptions) -> StreamingReport {
+        opts.validate().expect("valid streaming options");
+        let mut net = Network::new(self.config.clone());
+        let mut telemetry = StreamingTelemetry::new(&net, opts.window_cycles);
+
+        let mut steady = false;
+        for _ in 0..opts.max_warmup_windows {
+            telemetry.step_window(&mut net);
+            if telemetry.steady(opts.stability_windows, opts.tolerance) {
+                steady = true;
+                break;
+            }
         }
-        SteadyStateReport {
+        let warmup_cycles = net.cycle();
+        net.metrics_mut().start_measurement(warmup_cycles);
+        for _ in 0..opts.measure_windows {
+            telemetry.step_window(&mut net);
+        }
+        let measurement_cycles = net.cycle() - warmup_cycles;
+
+        let summary = net.metrics().window_summary();
+        let accepted = net
+            .metrics()
+            .accepted_load(self.config.topology.num_nodes(), measurement_cycles);
+        let report = SteadyStateReport {
             routing: self.config.routing,
             pattern: self.config.schedule.phases()[0].pattern,
             offered_load: self.config.offered_load,
-            accepted_load: accepted.mean(),
-            avg_packet_latency: latency.mean(),
-            latency_ci95: latency.ci95_half_width(),
-            p99_latency: p99.mean(),
-            avg_hops: hops.mean(),
-            global_misroute_fraction: misroute_g.mean(),
-            local_misroute_fraction: misroute_l.mean(),
-            delivered_packets: delivered,
-            seed: num_seeds,
+            accepted_load: accepted,
+            avg_packet_latency: summary.avg_packet_latency,
+            latency_ci95: summary.latency_ci95,
+            p99_latency: summary.p99_latency,
+            avg_hops: summary.avg_hops,
+            global_misroute_fraction: summary.global_misroute_fraction,
+            local_misroute_fraction: summary.local_misroute_fraction,
+            delivered_packets: summary.delivered_packets,
+            dropped_on_fault_packets: net.metrics().dropped_on_fault_packets(),
+            retargeted_packets: net.metrics().retargeted_packets(),
+            injected_packets: net.injected_packets_total(),
+            seed: self.config.seed,
+        };
+        StreamingReport {
+            steady_state_detected: steady,
+            warmup_cycles,
+            measurement_cycles,
+            windows: telemetry.windows().to_vec(),
+            report,
         }
     }
+}
+
+/// Average per-seed steady-state reports into one (the shape
+/// [`SteadyStateExperiment::run_averaged`] and the sweep runner both
+/// produce): metric means with an across-seed latency confidence interval,
+/// summed deliveries, and the seed count in the `seed` field.
+pub fn average_reports(
+    config: &SimulationConfig,
+    reports: &[SteadyStateReport],
+) -> SteadyStateReport {
+    assert!(!reports.is_empty(), "need at least one report to average");
+    let mut latency = RunningStats::new();
+    let mut accepted = RunningStats::new();
+    let mut p99 = RunningStats::new();
+    let mut hops = RunningStats::new();
+    let mut misroute_g = RunningStats::new();
+    let mut misroute_l = RunningStats::new();
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut retargeted = 0u64;
+    let mut injected = 0u64;
+    for report in reports {
+        latency.push(report.avg_packet_latency);
+        accepted.push(report.accepted_load);
+        p99.push(report.p99_latency);
+        hops.push(report.avg_hops);
+        misroute_g.push(report.global_misroute_fraction);
+        misroute_l.push(report.local_misroute_fraction);
+        delivered += report.delivered_packets;
+        dropped += report.dropped_on_fault_packets;
+        retargeted += report.retargeted_packets;
+        injected += report.injected_packets;
+    }
+    SteadyStateReport {
+        routing: config.routing,
+        pattern: config.schedule.phases()[0].pattern,
+        offered_load: config.offered_load,
+        accepted_load: accepted.mean(),
+        avg_packet_latency: latency.mean(),
+        latency_ci95: latency.ci95_half_width(),
+        p99_latency: p99.mean(),
+        avg_hops: hops.mean(),
+        global_misroute_fraction: misroute_g.mean(),
+        local_misroute_fraction: misroute_l.mean(),
+        delivered_packets: delivered,
+        dropped_on_fault_packets: dropped,
+        retargeted_packets: retargeted,
+        injected_packets: injected,
+        seed: reports.len() as u64,
+    }
+}
+
+/// Options of [`SteadyStateExperiment::run_streaming`].
+#[derive(Debug, Clone)]
+pub struct StreamingRunOptions {
+    /// Telemetry window width in cycles.
+    pub window_cycles: u64,
+    /// Trailing windows that must agree for steady-state declaration.
+    pub stability_windows: usize,
+    /// Relative spread tolerated across those windows (e.g. `0.08` = ±8 %).
+    pub tolerance: f64,
+    /// Warm-up budget: give up waiting for steadiness after this many
+    /// windows (saturated runs never settle).
+    pub max_warmup_windows: usize,
+    /// Measurement length in windows once the window opens.
+    pub measure_windows: usize,
+}
+
+impl Default for StreamingRunOptions {
+    fn default() -> Self {
+        StreamingRunOptions {
+            window_cycles: 500,
+            stability_windows: 4,
+            tolerance: 0.15,
+            max_warmup_windows: 40,
+            measure_windows: 8,
+        }
+    }
+}
+
+impl StreamingRunOptions {
+    /// Validate the combination of options.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window_cycles == 0 {
+            return Err("telemetry windows need a nonzero width".into());
+        }
+        if self.stability_windows < 2 {
+            return Err("steady-state detection needs at least two windows".into());
+        }
+        if self.measure_windows == 0 {
+            return Err("measurement needs at least one window".into());
+        }
+        if !(self.tolerance > 0.0 && self.tolerance.is_finite()) {
+            return Err("the stability tolerance must be positive and finite".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of a streaming run: the adaptive budgets actually used, the full
+/// window series, and the standard steady-state report measured after the
+/// detected warm-up.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// Whether the stability criterion fired (false = the warm-up budget ran
+    /// out, e.g. a saturated cell; the measurement still happened).
+    pub steady_state_detected: bool,
+    /// Cycle at which the measurement window opened.
+    pub warmup_cycles: u64,
+    /// Measured cycles after the window opened.
+    pub measurement_cycles: u64,
+    /// Every telemetry window of the run (warm-up and measurement).
+    pub windows: Vec<WindowStats>,
+    /// The steady-state report of the adaptive measurement window.
+    pub report: SteadyStateReport,
 }
 
 /// Result of a transient experiment: time series centred on the

@@ -15,6 +15,11 @@
 //! * [`churn`] — seeded MTBF/MTTR churn models lowering into fault plans
 //!   ([`churn::ChurnModel`]),
 //! * [`sweep`] — parallel parameter sweeps and the scenario-matrix runner,
+//! * [`runner`] — the crash-recoverable sweep service: journaled cell
+//!   completions plus periodic [`network::snapshot`] checkpoints in a run
+//!   directory, resumable to a byte-identical results table,
+//! * [`telemetry`] — streaming per-window statistics and automatic
+//!   steady-state detection ([`StreamingTelemetry`]),
 //! * [`metrics`], [`events`], [`node`] — supporting machinery.
 //!
 //! ```
@@ -50,19 +55,25 @@ pub mod metrics;
 pub mod network;
 pub mod node;
 mod parallel;
+pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod telemetry;
 
 pub use churn::{ChurnModel, ChurnRate};
 pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
 pub use experiment::{
-    SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
+    average_reports, SteadyStateExperiment, SteadyStateReport, StreamingReport,
+    StreamingRunOptions, TransientExperiment, TransientReport,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{Metrics, WindowSummary};
+pub use network::snapshot::{config_fingerprint, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use network::Network;
+pub use runner::{run_sweep_service, RunnerOptions, SweepOutcome};
 pub use scenario::{Scenario, ScenarioPhase};
 pub use sweep::{
     cell_seed, intra_cell_workers, load_sweep, matrix_table, num_threads, run_matrix,
     run_matrix_budgeted, run_sweep, split_thread_budget, MatrixCell, MatrixKey, ScenarioMatrix,
 };
+pub use telemetry::{StreamingTelemetry, WindowStats};

@@ -62,6 +62,11 @@ pub struct Metrics {
     misroute_series: BinnedSeries,
     // ---- distribution ----
     latency_histogram: Histogram,
+    /// Always-on latency histogram over the whole run (the measurement-window
+    /// histogram above only records while the window is open). Feeds the
+    /// streaming-telemetry layer, which differences cumulative counts between
+    /// window boundaries to get per-window latency quantiles.
+    telemetry_histogram: Histogram,
 }
 
 /// Final figures of a measurement window.
@@ -113,6 +118,7 @@ impl Metrics {
             latency_series: BinnedSeries::new(series_origin, series_bin),
             misroute_series: BinnedSeries::new(series_origin, series_bin),
             latency_histogram: Histogram::new(0.0, 5_000.0, 500),
+            telemetry_histogram: Histogram::new(0.0, 5_000.0, 500),
         }
     }
 
@@ -144,6 +150,7 @@ impl Metrics {
         self.delivered_phits_total += packet.size_phits as u64;
         let latency = (now - packet.generated_at) as f64;
         self.latency_series.record(now as i64, latency);
+        self.telemetry_histogram.record(latency);
         if self.measuring() {
             self.delivered_packets += 1;
             self.delivered_phits += packet.size_phits as u64;
@@ -260,9 +267,16 @@ impl Metrics {
         self.retargeted_packets
     }
 
-    /// The latency histogram of the measurement window (used by the
-    /// determinism regression tests to compare full distributions, not just
-    /// summary statistics).
+    /// The always-on cumulative latency histogram (records every delivery of
+    /// the run, warm-up included). The streaming-telemetry layer differences
+    /// its counts between window boundaries for per-window quantiles.
+    pub fn telemetry_histogram(&self) -> &Histogram {
+        &self.telemetry_histogram
+    }
+
+    /// The latency histogram of the measurement window (records only while
+    /// the window is open; used by the determinism regression tests to
+    /// compare full distributions, not just summary statistics).
     pub fn latency_histogram(&self) -> &Histogram {
         &self.latency_histogram
     }
@@ -333,6 +347,77 @@ impl Metrics {
             .iter_means()
             .map(|(t, m, _)| (t - origin, m))
             .collect()
+    }
+
+    /// Serialise the whole collector (counters, running statistics, series
+    /// and histogram). The series origin is written for validation only — it
+    /// is configuration (the traffic-change instant), not run state.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.bool(self.window_start.is_some());
+        if let Some(c) = self.window_start {
+            e.u64(c);
+        }
+        e.i64(self.series_origin);
+        e.u64(self.generated_phits_total);
+        e.u64(self.delivered_packets);
+        e.u64(self.delivered_phits);
+        self.latency.encode(e);
+        self.hops.encode(e);
+        e.u64(self.misrouted_global);
+        e.u64(self.misrouted_local);
+        e.u64(self.delivered_packets_total);
+        e.u64(self.delivered_phits_total);
+        e.u64(self.dropped_on_fault_packets);
+        e.u64(self.dropped_on_fault_phits);
+        e.u64(self.dropped_staged_packets);
+        e.u64(self.dropped_unroutable_packets);
+        e.u64(self.dropped_unroutable_phits);
+        e.u64(self.recommitted_packets);
+        e.u64(self.stale_linkstate_cycles);
+        e.u64(self.retargeted_packets);
+        self.latency_series.encode(e);
+        self.misroute_series.encode(e);
+        self.latency_histogram.encode(e);
+        self.telemetry_histogram.encode(e);
+    }
+
+    /// Restore the state written by [`Metrics::save_state`]. The series
+    /// origin in the snapshot must match this collector's configured origin.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let window_start = if d.bool()? { Some(d.u64()?) } else { None };
+        let origin = d.i64()?;
+        if origin != self.series_origin {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "metrics series origin mismatch: snapshot has {origin}, config has {}",
+                self.series_origin
+            )));
+        }
+        self.window_start = window_start;
+        self.generated_phits_total = d.u64()?;
+        self.delivered_packets = d.u64()?;
+        self.delivered_phits = d.u64()?;
+        self.latency = RunningStats::decode(d)?;
+        self.hops = RunningStats::decode(d)?;
+        self.misrouted_global = d.u64()?;
+        self.misrouted_local = d.u64()?;
+        self.delivered_packets_total = d.u64()?;
+        self.delivered_phits_total = d.u64()?;
+        self.dropped_on_fault_packets = d.u64()?;
+        self.dropped_on_fault_phits = d.u64()?;
+        self.dropped_staged_packets = d.u64()?;
+        self.dropped_unroutable_packets = d.u64()?;
+        self.dropped_unroutable_phits = d.u64()?;
+        self.recommitted_packets = d.u64()?;
+        self.stale_linkstate_cycles = d.u64()?;
+        self.retargeted_packets = d.u64()?;
+        self.latency_series = BinnedSeries::decode(d)?;
+        self.misroute_series = BinnedSeries::decode(d)?;
+        self.latency_histogram = Histogram::decode(d)?;
+        self.telemetry_histogram = Histogram::decode(d)?;
+        Ok(())
     }
 }
 

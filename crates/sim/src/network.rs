@@ -83,6 +83,9 @@ use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::parallel::{execute_shard, PhaseJob, PhaseKind, ShardState, StepCtx, WorkerPool};
 
+#[path = "snapshot.rs"]
+pub mod snapshot;
+
 /// Either event-queue implementation, selected by [`KernelMode`].
 enum KernelQueue {
     Wheel(EventQueue),
@@ -517,6 +520,17 @@ impl Network {
 
     fn all_source_queues_empty(&self) -> bool {
         self.nodes.iter().all(|n| n.queue_len() == 0)
+    }
+
+    /// Register upcoming checkpoint cycles as schedule change points, so the
+    /// [`Network::drain`] fast-forward clamps its clock jumps to them. A
+    /// snapshot must be taken at its exact requested cycle — a jump past it
+    /// would silently move the checkpoint and break resume bit-identity with
+    /// runs that stepped cycle-by-cycle.
+    pub fn add_checkpoint_points(&mut self, cycles: &[Cycle]) {
+        self.change_points.extend_from_slice(cycles);
+        self.change_points.sort_unstable();
+        self.change_points.dedup();
     }
 
     /// Sum of contention counters across all routers (used by invariant

@@ -108,6 +108,39 @@ impl Node {
         self.next_vc = (s + 1) % num_vcs.max(1);
         s
     }
+
+    /// Serialise the node's persistent state: injector (RNG stream, load
+    /// override, generation counter), source queue, VC round-robin pointer
+    /// and statistics.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        self.injector.save_state(e);
+        e.seq(self.source_queue.len());
+        for p in &self.source_queue {
+            p.encode(e);
+        }
+        e.usize(self.next_vc);
+        e.u64(self.generated_phits);
+        e.u64(self.injected_packets);
+    }
+
+    /// Restore the state written by [`Node::save_state`] into a freshly
+    /// configured node.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        self.injector.restore_state(d)?;
+        let n = d.seq(8)?;
+        let mut queue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            queue.push_back(Packet::decode(d)?);
+        }
+        self.source_queue = queue;
+        self.next_vc = d.usize()?;
+        self.generated_phits = d.u64()?;
+        self.injected_packets = d.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,616 @@
+//! Full-state simulation snapshots: serialise a [`Network`] mid-run and
+//! resume it **bit-identically** later — same deliveries, same RNG draws,
+//! same golden fingerprints as an uninterrupted run, under every kernel.
+//!
+//! Declared as a child module of [`crate::network`] so it can reach the
+//! simulator's private fields without widening the public API.
+//!
+//! # Format
+//!
+//! A snapshot is a checksummed frame (see [`df_engine::Encoder::finish_frame`]):
+//! `magic "DFSIMSNP" | version | payload length | payload | FNV-1a64`.
+//! Corrupt, truncated, foreign or version-skewed bytes are rejected before
+//! any payload byte is interpreted.
+//!
+//! The payload stores only what a rebuilt `Network::new(config)` cannot
+//! recompute:
+//!
+//! * identity — a fingerprint of the configuration (kernel-normalised, so a
+//!   snapshot taken under one kernel restores under any other),
+//! * the clock, packet-id counter and conservation ledgers,
+//! * every router's buffered state ([`df_router::Router::save_state`]),
+//! * every router-stream and node-stream RNG (seed + xoshiro words),
+//! * every node's injector, source queue and statistics,
+//! * the metrics collector,
+//! * the pending link events in exact drain order,
+//! * the fault cursor, link-availability mask, lost-credit ledger,
+//!   node-failure flags and the gateway-liveness truth/flooded views.
+//!
+//! **Not** stored (derived on restore): topology, routing tables/patterns,
+//! derived occupancy counters, the activity gate (recomputed as the sorted
+//! non-idle router set), shard scratch and the worker pool.
+
+use df_engine::{CodecError, Decoder, DeterministicRng, Encoder};
+use df_model::{Cycle, VcId};
+use df_router::{decode_gateway_liveness, encode_gateway_liveness};
+use df_topology::{LinkState, NodeId, Port, RouterId};
+
+use super::{KernelQueue, Network};
+use crate::config::{KernelMode, SimulationConfig};
+use crate::events::{Event, EventQueue, LegacyEventQueue};
+use std::collections::BTreeMap;
+
+/// Frame magic of a simulation snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DFSIMSNP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Fingerprint of a configuration, used to pair snapshots with the
+/// configuration they were taken under. The kernel mode is normalised away:
+/// simulation state is kernel-independent (the determinism contract), so a
+/// snapshot is deliberately restorable under a different kernel.
+pub fn config_fingerprint(config: &SimulationConfig) -> u64 {
+    let mut normalized = config.clone();
+    normalized.kernel = KernelMode::Optimized;
+    df_engine::codec::fnv1a64(format!("{normalized:?}").as_bytes())
+}
+
+fn encode_event(at: Cycle, event: &Event, e: &mut Encoder) {
+    e.u64(at);
+    match event {
+        Event::PacketArrival {
+            router,
+            port,
+            vc,
+            packet,
+        } => {
+            e.u8(0);
+            e.u32(router.0);
+            e.u32(port.0);
+            e.u8(vc.0);
+            packet.encode(e);
+        }
+        Event::CreditReturn {
+            router,
+            port,
+            vc,
+            phits,
+        } => {
+            e.u8(1);
+            e.u32(router.0);
+            e.u32(port.0);
+            e.u8(vc.0);
+            e.u32(*phits);
+        }
+        Event::Delivery { node, packet } => {
+            e.u8(2);
+            e.u32(node.0);
+            packet.encode(e);
+        }
+    }
+}
+
+fn decode_event(d: &mut Decoder) -> Result<(Cycle, Event), CodecError> {
+    let at = d.u64()?;
+    let event = match d.u8()? {
+        0 => Event::PacketArrival {
+            router: RouterId(d.u32()?),
+            port: Port(d.u32()?),
+            vc: VcId(d.u8()?),
+            packet: df_model::Packet::decode(d)?,
+        },
+        1 => Event::CreditReturn {
+            router: RouterId(d.u32()?),
+            port: Port(d.u32()?),
+            vc: VcId(d.u8()?),
+            phits: d.u32()?,
+        },
+        2 => Event::Delivery {
+            node: NodeId(d.u32()?),
+            packet: df_model::Packet::decode(d)?,
+        },
+        tag => {
+            return Err(CodecError::Invalid(format!(
+                "unknown event tag {tag} in snapshot"
+            )))
+        }
+    };
+    Ok((at, event))
+}
+
+impl Network {
+    /// Serialise the complete simulation state into a versioned, checksummed
+    /// snapshot. Pair with [`Network::restore`]; the restored network
+    /// continues bit-identically to this one.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.u64(config_fingerprint(&self.config));
+        e.u64(self.cycle);
+        e.usize(self.current_phase);
+        e.u64(self.next_packet_id);
+        e.u64(self.in_flight);
+        e.u64(self.in_flight_phits);
+        e.u64(self.injected_packets_total);
+        e.u64(self.injected_phits_total);
+        e.u64(self.last_delivery_cycle);
+        e.usize(self.next_fault);
+        // routers + their RNG streams
+        e.seq(self.routers.len());
+        for router in &self.routers {
+            router.save_state(&mut e);
+        }
+        e.seq(self.router_rngs.len());
+        for rng in &self.router_rngs {
+            let (seed, words) = rng.state();
+            e.u64(seed);
+            for w in words {
+                e.u64(w);
+            }
+        }
+        // nodes (injector RNGs ride inside)
+        e.seq(self.nodes.len());
+        for node in &self.nodes {
+            node.save_state(&mut e);
+        }
+        self.metrics.save_state(&mut e);
+        // pending link events in exact drain order
+        let pending = match &self.events {
+            KernelQueue::Wheel(q) => q.pending_in_order(),
+            KernelQueue::Legacy(q) => q.pending_in_order(),
+        };
+        e.seq(pending.len());
+        for (at, event) in &pending {
+            encode_event(*at, event, &mut e);
+        }
+        // fault machinery: directed down links, drain/failure flags, ledger
+        let down = self.link_state.down_links();
+        e.seq(down.len());
+        for (r, p) in down {
+            e.u32(r.0);
+            e.u32(p.0);
+        }
+        e.seq(self.node_blocked.len());
+        for &b in &self.node_blocked {
+            e.bool(b);
+        }
+        e.seq(self.lost_credits.len());
+        for (&(r, p), per_vc) in &self.lost_credits {
+            e.u32(r);
+            e.u32(p);
+            e.seq(per_vc.len());
+            for &c in per_vc {
+                e.u32(c);
+            }
+        }
+        encode_gateway_liveness(&self.linkview_truth, &mut e);
+        e.seq(self.group_views.len());
+        for view in &self.group_views {
+            encode_gateway_liveness(view, &mut e);
+        }
+        e.seq(self.group_views_prev.len());
+        for view in &self.group_views_prev {
+            encode_gateway_liveness(view, &mut e);
+        }
+        e.bool(self.flood_quiescent);
+        e.bool(self.views_converged);
+        e.seq(self.node_failed.len());
+        for &b in &self.node_failed {
+            e.bool(b);
+        }
+        e.seq(self.spare_of.len());
+        for &s in &self.spare_of {
+            e.u32(s);
+        }
+        e.finish_frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)
+    }
+
+    /// Rebuild a network from `config` and resume it from `bytes` (written
+    /// by [`Network::snapshot`]). The configuration must be the one the
+    /// snapshot was taken under (fingerprint-checked, kernel excepted — a
+    /// snapshot restores under any kernel and worker count). Rejects foreign
+    /// magic, unsupported versions, checksum mismatches and truncated or
+    /// internally inconsistent payloads.
+    pub fn restore(config: SimulationConfig, bytes: &[u8]) -> Result<Network, CodecError> {
+        let mut d = Decoder::open_frame(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let fingerprint = d.u64()?;
+        let expected = config_fingerprint(&config);
+        if fingerprint != expected {
+            return Err(CodecError::Invalid(format!(
+                "snapshot was taken under a different configuration \
+                 (fingerprint {fingerprint:#018x}, expected {expected:#018x})"
+            )));
+        }
+        let mut net = Network::new(config);
+        net.cycle = d.u64()?;
+        net.current_phase = d.usize()?;
+        if net.current_phase >= net.patterns.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot phase index {} out of range ({} phases)",
+                net.current_phase,
+                net.patterns.len()
+            )));
+        }
+        net.next_packet_id = d.u64()?;
+        net.in_flight = d.u64()?;
+        net.in_flight_phits = d.u64()?;
+        net.injected_packets_total = d.u64()?;
+        net.injected_phits_total = d.u64()?;
+        net.last_delivery_cycle = d.u64()?;
+        net.next_fault = d.usize()?;
+        if net.next_fault > net.fault_events.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot fault cursor {} beyond the {}-event plan",
+                net.next_fault,
+                net.fault_events.len()
+            )));
+        }
+        let routers = d.seq(8)?;
+        if routers != net.routers.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot router count mismatch: {} vs {}",
+                routers,
+                net.routers.len()
+            )));
+        }
+        for router in &mut net.routers {
+            router.restore_state(&mut d)?;
+        }
+        let rngs = d.seq(40)?;
+        if rngs != net.router_rngs.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot router RNG count mismatch: {} vs {}",
+                rngs,
+                net.router_rngs.len()
+            )));
+        }
+        for rng in &mut net.router_rngs {
+            let seed = d.u64()?;
+            let words = [d.u64()?, d.u64()?, d.u64()?, d.u64()?];
+            *rng = DeterministicRng::from_state(seed, words);
+        }
+        let nodes = d.seq(8)?;
+        if nodes != net.nodes.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot node count mismatch: {} vs {}",
+                nodes,
+                net.nodes.len()
+            )));
+        }
+        for node in &mut net.nodes {
+            node.restore_state(&mut d)?;
+        }
+        net.metrics.restore_state(&mut d)?;
+        // pending link events, rebuilt into the configured kernel's queue
+        let n = d.seq(9)?;
+        let mut pending = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending.push(decode_event(&mut d)?);
+        }
+        if pending.iter().any(|&(at, _)| at < net.cycle) {
+            return Err(CodecError::Invalid(
+                "snapshot holds a link event scheduled before its own cycle".into(),
+            ));
+        }
+        net.events = match &net.events {
+            KernelQueue::Wheel(q) => {
+                KernelQueue::Wheel(EventQueue::rebuild(q.horizon(), net.cycle, pending))
+            }
+            KernelQueue::Legacy(_) => KernelQueue::Legacy(LegacyEventQueue::rebuild(pending)),
+        };
+        // link availability: replay the directed down set onto a fresh mask
+        net.link_state = LinkState::new(&net.topo);
+        let n = d.seq(8)?;
+        for _ in 0..n {
+            let r = RouterId(d.u32()?);
+            let p = Port(d.u32()?);
+            if r.index() >= net.routers.len() || p.index() >= net.routers[r.index()].num_ports() {
+                return Err(CodecError::Invalid(format!(
+                    "snapshot marks out-of-range link ({r}, {p}) down"
+                )));
+            }
+            net.link_state.set_directed(r, p, false);
+        }
+        let n = d.seq(1)?;
+        if n != net.node_blocked.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot node_blocked length mismatch: {} vs {}",
+                n,
+                net.node_blocked.len()
+            )));
+        }
+        for b in &mut net.node_blocked {
+            *b = d.bool()?;
+        }
+        let n = d.seq(12)?;
+        let mut lost_credits = BTreeMap::new();
+        for _ in 0..n {
+            let r = d.u32()?;
+            let p = d.u32()?;
+            let vcs = d.seq(4)?;
+            let mut per_vc = Vec::with_capacity(vcs);
+            for _ in 0..vcs {
+                per_vc.push(d.u32()?);
+            }
+            lost_credits.insert((r, p), per_vc);
+        }
+        net.lost_credits = lost_credits;
+        let links_per_group = net.topo.params().global_links_per_group();
+        net.linkview_truth = decode_gateway_liveness(&mut d, links_per_group)?;
+        for views in [&mut net.group_views, &mut net.group_views_prev] {
+            let n = d.seq(13)?;
+            if n != views.len() {
+                return Err(CodecError::Invalid(format!(
+                    "snapshot group view count mismatch: {} vs {}",
+                    n,
+                    views.len()
+                )));
+            }
+            for view in views.iter_mut() {
+                *view = decode_gateway_liveness(&mut d, links_per_group)?;
+            }
+        }
+        net.flood_quiescent = d.bool()?;
+        net.views_converged = d.bool()?;
+        let n = d.seq(1)?;
+        if n != net.node_failed.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot node_failed length mismatch: {} vs {}",
+                n,
+                net.node_failed.len()
+            )));
+        }
+        for b in &mut net.node_failed {
+            *b = d.bool()?;
+        }
+        net.nodes_failed_count = net.node_failed.iter().filter(|&&b| b).count();
+        let n = d.seq(4)?;
+        if n != net.spare_of.len() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot spare_of length mismatch: {} vs {}",
+                n,
+                net.spare_of.len()
+            )));
+        }
+        for s in &mut net.spare_of {
+            *s = d.u32()?;
+        }
+        if !d.is_exhausted() {
+            return Err(CodecError::Invalid(format!(
+                "snapshot payload has {} trailing bytes",
+                d.remaining()
+            )));
+        }
+        // mirror the restored availability mask into the routers' own flags
+        // (restore_state already set them from the per-router snapshot; this
+        // is a consistency check, not a rebuild)
+        for r in net.topo.routers() {
+            for port in Port::all(net.topo.params()) {
+                if net.routers[r.index()].link_is_up(port) != net.link_state.is_up(r, port) {
+                    return Err(CodecError::Invalid(format!(
+                        "snapshot link flags disagree with the availability mask at ({r}, {port})"
+                    )));
+                }
+            }
+        }
+        // the activity gate is derived state: at a step boundary the active
+        // set is exactly the sorted non-idle routers
+        for flag in &mut net.active_flags {
+            *flag = false;
+        }
+        net.active_list.clear();
+        if net.gated {
+            for (i, router) in net.routers.iter().enumerate() {
+                if !router.is_idle() {
+                    net.active_flags[i] = true;
+                    net.active_list.push(i as u32);
+                }
+            }
+        }
+        Ok(net)
+    }
+
+    /// Read the cycle a snapshot was taken at (and validate its frame)
+    /// without rebuilding the network — used by the sweep runner to pick the
+    /// newest usable checkpoint.
+    pub fn snapshot_cycle(bytes: &[u8]) -> Result<Cycle, CodecError> {
+        let mut d = Decoder::open_frame(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?;
+        let _fingerprint = d.u64()?;
+        d.u64()
+    }
+
+    /// The fingerprint a snapshot of this network would carry (exposed for
+    /// the sweep runner's journal entries).
+    pub fn config_fingerprint(&self) -> u64 {
+        config_fingerprint(&self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use df_model::NetworkConfig;
+    use df_routing::RoutingKind;
+    use df_topology::{Dragonfly, DragonflyParams, GroupId};
+    use df_traffic::PatternKind;
+
+    fn config(kernel: KernelMode, seed: u64) -> SimulationConfig {
+        SimulationConfig::builder()
+            .topology(DragonflyParams::small())
+            .network(NetworkConfig::fast_test())
+            .routing(RoutingKind::PiggyBacking)
+            .pattern(PatternKind::Uniform)
+            .offered_load(0.3)
+            .warmup_cycles(100)
+            .measurement_cycles(400)
+            .seed(seed)
+            .kernel(kernel)
+            .build()
+            .expect("valid configuration")
+    }
+
+    /// Condensed end-state fingerprint used by the round-trip tests.
+    fn end_state(net: &Network) -> (u64, u64, u64, u64, Vec<u64>) {
+        (
+            net.cycle(),
+            net.metrics().delivered_packets_total(),
+            net.in_flight(),
+            net.injected_packets_total(),
+            net.metrics().latency_histogram().bins().to_vec(),
+        )
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        let cfg = config(KernelMode::Optimized, 11);
+        // uninterrupted reference run
+        let mut reference = Network::new(cfg.clone());
+        reference.run_cycles(100);
+        let start = reference.cycle();
+        reference.metrics_mut().start_measurement(start);
+        reference.run_cycles(400);
+        let drained_ref = reference.drain(100_000);
+
+        // interrupted run: snapshot mid-measurement, restore, finish
+        let mut first = Network::new(cfg.clone());
+        first.run_cycles(100);
+        let start = first.cycle();
+        first.metrics_mut().start_measurement(start);
+        first.run_cycles(137);
+        let bytes = first.snapshot();
+        assert_eq!(Network::snapshot_cycle(&bytes).unwrap(), first.cycle());
+        drop(first);
+
+        let mut resumed = Network::restore(cfg, &bytes).expect("snapshot restores");
+        resumed.run_cycles(400 - 137);
+        let drained_resumed = resumed.drain(100_000);
+
+        assert_eq!(drained_ref, drained_resumed);
+        assert_eq!(end_state(&reference), end_state(&resumed));
+        assert_eq!(
+            reference.metrics().window_summary().avg_packet_latency,
+            resumed.metrics().window_summary().avg_packet_latency
+        );
+    }
+
+    #[test]
+    fn snapshot_is_kernel_portable() {
+        // snapshot under the optimized kernel, restore under legacy (and a
+        // 2-worker parallel config) — all three must land on the same state
+        let cfg_opt = config(KernelMode::Optimized, 23);
+        let mut net = Network::new(cfg_opt.clone());
+        net.run_cycles(250);
+        let bytes = net.snapshot();
+
+        let finish = |cfg: SimulationConfig| {
+            let mut n = Network::restore(cfg, &bytes).expect("snapshot restores");
+            n.run_cycles(250);
+            n.drain(100_000);
+            end_state(&n)
+        };
+        let opt = finish(cfg_opt);
+        let legacy = finish(config(KernelMode::Legacy, 23));
+        let par = finish(config(KernelMode::Parallel { workers: 2 }, 23));
+        assert_eq!(opt, legacy);
+        assert_eq!(opt, par);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_restore_and_resnapshot() {
+        let cfg = config(KernelMode::Optimized, 5);
+        let mut net = Network::new(cfg.clone());
+        net.run_cycles(300);
+        let bytes = net.snapshot();
+        let restored = Network::restore(cfg, &bytes).expect("snapshot restores");
+        assert_eq!(
+            restored.snapshot(),
+            bytes,
+            "restore followed by snapshot must reproduce the bytes exactly"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_corruption_and_skew() {
+        let cfg = config(KernelMode::Optimized, 7);
+        let mut net = Network::new(cfg.clone());
+        net.run_cycles(50);
+        let bytes = net.snapshot();
+
+        // flipped payload byte -> checksum mismatch
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0xFF;
+        assert!(matches!(
+            Network::restore(cfg.clone(), &corrupt),
+            Err(CodecError::ChecksumMismatch { .. })
+        ));
+
+        // wrong magic
+        let mut foreign = bytes.clone();
+        foreign[0] ^= 0xFF;
+        assert!(matches!(
+            Network::restore(cfg.clone(), &foreign),
+            Err(CodecError::BadMagic { .. })
+        ));
+
+        // truncated
+        assert!(Network::restore(cfg.clone(), &bytes[..bytes.len() - 3]).is_err());
+
+        // version skew
+        let mut skewed = bytes.clone();
+        skewed[8] = skewed[8].wrapping_add(1);
+        assert!(matches!(
+            Network::restore(cfg.clone(), &skewed),
+            Err(CodecError::UnsupportedVersion { .. })
+        ));
+
+        // different configuration (fingerprint mismatch)
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert!(matches!(
+            Network::restore(other, &bytes),
+            Err(CodecError::Invalid(_))
+        ));
+
+        // ...but a kernel-only difference is accepted
+        let mut legacy = cfg;
+        legacy.kernel = KernelMode::Legacy;
+        assert!(Network::restore(legacy, &bytes).is_ok());
+    }
+
+    #[test]
+    fn snapshot_mid_fault_window_resumes_bit_identically() {
+        // snapshot while links are down and lost credits are ledgered
+        let base = config(KernelMode::Optimized, 31);
+        let topo = Dragonfly::new(base.topology);
+        let (r1, p1) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(3));
+        let (r2, p2) = FaultPlan::global_link_between(&topo, GroupId(2), GroupId(5));
+        let faults = FaultPlan::new()
+            .link_down(120, r1, p1)
+            .link_down(140, r2, p2)
+            .link_up(260, r1, p1)
+            .link_up(300, r2, p2);
+        let mut cfg = base;
+        cfg.faults = faults;
+        cfg.validate().expect("fault plan is valid");
+
+        let mut reference = Network::new(cfg.clone());
+        reference.run_cycles(500);
+        let drained_ref = reference.drain(100_000);
+
+        let mut first = Network::new(cfg.clone());
+        first.run_cycles(180); // inside the fault window
+        assert!(
+            !first.link_state().all_up(),
+            "checkpoint must land mid-fault-window for this test to bite"
+        );
+        let bytes = first.snapshot();
+        let mut resumed = Network::restore(cfg, &bytes).expect("snapshot restores");
+        assert_eq!(resumed.fault_lost_credits(), first.fault_lost_credits());
+        resumed.run_cycles(500 - 180);
+        let drained_resumed = resumed.drain(100_000);
+
+        assert_eq!(drained_ref, drained_resumed);
+        assert_eq!(end_state(&reference), end_state(&resumed));
+    }
+}

@@ -188,15 +188,31 @@ impl ScenarioMatrix {
     /// deterministic scenario-major / load / routing order, each with its
     /// [`cell_seed`]. This happens before any parallelism, so cell seeding
     /// is independent of thread scheduling.
+    ///
+    /// A scenario's churn model is lowered here against the base topology
+    /// (mirroring [`SimulationConfigBuilder::build`]), so the same fault
+    /// trace replays identically across every load and routing of its row.
+    ///
+    /// [`SimulationConfigBuilder::build`]: crate::config::SimulationConfigBuilder::build
     pub fn cells(&self) -> Vec<(MatrixKey, SimulationConfig)> {
+        let topo = df_topology::Dragonfly::new(self.base.topology);
         let mut out = Vec::with_capacity(self.num_cells());
         for (s_idx, scenario) in self.scenarios.iter().enumerate() {
+            let faults = match scenario.churn_model() {
+                Some(churn) => {
+                    churn
+                        .validate()
+                        .expect("valid churn model in matrix scenario");
+                    scenario.fault_plan().clone().merged(churn.generate(&topo))
+                }
+                None => scenario.fault_plan().clone(),
+            };
             for (l_idx, &load) in self.loads.iter().enumerate() {
                 for (r_idx, &routing) in self.routings.iter().enumerate() {
                     let mut config = self.base.clone();
                     config.schedule = scenario.schedule();
                     config.injection = scenario.injection;
-                    config.faults = scenario.fault_plan().clone();
+                    config.faults = faults.clone();
                     config.offered_load = load;
                     config.routing = routing;
                     config.seed = cell_seed(self.base.seed, s_idx, l_idx, r_idx);
@@ -319,6 +335,37 @@ mod tests {
             .seed(0)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn matrix_cells_lower_churn_into_fault_plans() {
+        let base = template();
+        let matrix = ScenarioMatrix {
+            base: base.clone(),
+            scenarios: vec![
+                Scenario::steady(PatternKind::Uniform),
+                Scenario::named("churny").hold(PatternKind::Uniform).churn(
+                    crate::churn::ChurnModel::new(7, 100, 300)
+                        .global_links(crate::churn::ChurnRate::new(400.0, 50.0)),
+                ),
+            ],
+            loads: vec![0.1],
+            routings: vec![RoutingKind::Base, RoutingKind::PiggyBacking],
+            seeds_per_cell: 1,
+        };
+        let cells = matrix.cells();
+        assert_eq!(cells.len(), 4);
+        // healthy row stays fault-free; the churn row's lowered events must
+        // survive expansion and be identical across routings
+        assert!(cells[0].1.faults.events().is_empty());
+        assert!(cells[1].1.faults.events().is_empty());
+        let pb = &cells[3].1.faults;
+        let base_faults = &cells[2].1.faults;
+        assert!(
+            !base_faults.events().is_empty(),
+            "churn was dropped in expansion"
+        );
+        assert_eq!(base_faults.events(), pb.events());
     }
 
     #[test]

@@ -499,6 +499,62 @@ impl GatewayLiveness {
     pub fn same_marks(&self, other: &GatewayLiveness) -> bool {
         self.down == other.down && self.nodes_down == other.nodes_down
     }
+
+    // -----------------------------------------------------------------
+    // Snapshot support
+    // -----------------------------------------------------------------
+
+    /// Borrow every internal field, in declaration order:
+    /// `(links_per_group, version, down, nodes_down, link_records,
+    /// node_records)`. Together with
+    /// [`from_raw_parts`](Self::from_raw_parts) this lets the simulator's
+    /// snapshot subsystem persist views exactly — including the freshness
+    /// journals, which the flooding merges depend on.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_parts(
+        &self,
+    ) -> (
+        u32,
+        u64,
+        &[u32],
+        &[u32],
+        &[(u32, u64, bool)],
+        &[(u32, u64, bool)],
+    ) {
+        (
+            self.links_per_group,
+            self.version,
+            &self.down,
+            &self.nodes_down,
+            &self.link_records,
+            &self.node_records,
+        )
+    }
+
+    /// Rebuild a map from [`raw_parts`](Self::raw_parts) output. The mark
+    /// and record vectors must be sorted by key, as the accessors of a live
+    /// map always produce them.
+    pub fn from_raw_parts(
+        links_per_group: u32,
+        version: u64,
+        down: Vec<u32>,
+        nodes_down: Vec<u32>,
+        link_records: Vec<(u32, u64, bool)>,
+        node_records: Vec<(u32, u64, bool)>,
+    ) -> Self {
+        debug_assert!(down.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(nodes_down.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(link_records.windows(2).all(|w| w[0].0 < w[1].0));
+        debug_assert!(node_records.windows(2).all(|w| w[0].0 < w[1].0));
+        GatewayLiveness {
+            links_per_group,
+            version,
+            down,
+            nodes_down,
+            link_records,
+            node_records,
+        }
+    }
 }
 
 #[cfg(test)]

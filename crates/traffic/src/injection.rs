@@ -225,6 +225,46 @@ impl Injector {
         self.generated += 1;
         Some(Packet::new(id, self.node, dst, self.packet_size_phits, now))
     }
+
+    /// Serialize the injector's dynamic state (snapshot support). The
+    /// static configuration — node, process kind, packet size — is not
+    /// written: a restored injector is built from the run configuration
+    /// first, then continued from this state.
+    pub fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.f64(self.offered_load);
+        let (seed, words) = self.rng.state();
+        e.u64(seed);
+        for w in words {
+            e.u64(w);
+        }
+        e.u64(self.generated);
+        e.bool(self.on);
+    }
+
+    /// Continue from a [`save_state`](Self::save_state) capture: the next
+    /// [`tick`](Self::tick) behaves bit-identically to the injector the
+    /// state was captured from.
+    pub fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let offered_load = d.f64()?;
+        if !(0.0..=1.0).contains(&offered_load) {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "injector offered load {offered_load}"
+            )));
+        }
+        let seed = d.u64()?;
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = d.u64()?;
+        }
+        self.offered_load = offered_load;
+        self.rng = DeterministicRng::from_state(seed, words);
+        self.generated = d.u64()?;
+        self.on = d.bool()?;
+        Ok(())
+    }
 }
 
 /// Bernoulli packet generator for one node: [`Injector`] fixed to

@@ -16,10 +16,12 @@ pub use df_routing::{
     Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind,
 };
 pub use df_sim::{
-    cell_seed, load_sweep, matrix_table, run_matrix, run_matrix_budgeted, run_sweep,
-    split_thread_budget, ChurnModel, ChurnRate, FaultEvent, FaultKind, FaultPlan, KernelMode,
-    MatrixCell, MatrixKey, Network, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig,
-    SteadyStateExperiment, SteadyStateReport, TransientExperiment, TransientReport,
+    cell_seed, config_fingerprint, load_sweep, matrix_table, run_matrix, run_matrix_budgeted,
+    run_sweep, run_sweep_service, split_thread_budget, ChurnModel, ChurnRate, FaultEvent,
+    FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey, Network, RunnerOptions, Scenario,
+    ScenarioMatrix, ScenarioPhase, SimulationConfig, SteadyStateExperiment, SteadyStateReport,
+    StreamingRunOptions, StreamingTelemetry, SweepOutcome, TransientExperiment, TransientReport,
+    WindowStats,
 };
 pub use df_topology::{
     Dragonfly, DragonflyParams, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortClass,

@@ -376,10 +376,10 @@ pub const GOLDEN_FAULTS: &[(&str, &str, u64, u64, u64, u64, u64)] = &[
 pub const GOLDEN_CHURN: &[(&str, &str, u64, u64, u64, u64, u64, u64)] = &[
     // (scenario, routing, delivered_window, dropped, retargeted, in_flight, final_cycle, latency_bits)
     ("UN-churn", "Base", 708, 35, 65, 0, 678, 0x40475A08AD8F2FB4),
-    ("UN-churn", "PB", 724, 13, 65, 9, 20600, 0x404A93CD153728FF),
+    ("UN-churn", "PB", 725, 21, 65, 0, 688, 0x4049E1A213114D56),
     ("UN-churn", "ECtN", 726, 17, 65, 0, 667, 0x40477A5BAE315DCA),
     ("ADV-churn", "Base", 765, 55, 67, 0, 783, 0x405A2D4297ED428E),
-    ("ADV-churn", "PB", 735, 14, 67, 45, 20600, 0x40542FE422D4766E),
+    ("ADV-churn", "PB", 749, 45, 67, 0, 697, 0x4051FA880833F3B3),
     ("ADV-churn", "ECtN", 770, 50, 67, 0, 775, 0x405883288FA03FD6),
 ];
 

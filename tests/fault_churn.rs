@@ -63,6 +63,43 @@ fn churn_corpus_is_bit_identical_across_all_three_kernels() {
 }
 
 #[test]
+fn churn_corpus_drains_to_zero_in_flight_for_every_mechanism() {
+    // The PR-5 re-commit rule originally covered only the commitment paths
+    // shared by the adaptive mechanisms; PB's source-routed minimal
+    // continuations could still stall forever on links that stayed down
+    // through the drain window (9 and 45 packets stranded at the 20k-cycle
+    // drain bound in the pinned corpus). With the PB re-commit/discard
+    // path in place, every mechanism must drain the churn corpus
+    // completely: zero in-flight packets well before the bound, with exact
+    // packet + phit conservation (asserted inside `churn_fingerprint`).
+    for scenario in churn_scenarios() {
+        for routing in churn_routings() {
+            let cfg = base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .expect("valid configuration");
+            let drain_bound = cfg.warmup_cycles + cfg.measurement_cycles + 20_000;
+            let (_, _, _, in_flight, final_cycle, _) = churn_fingerprint(cfg);
+            assert_eq!(
+                in_flight,
+                0,
+                "{}/{}: packets stranded at the drain bound",
+                scenario.name,
+                routing.label()
+            );
+            assert!(
+                final_cycle < drain_bound,
+                "{}/{}: the drain must terminate before the bound, not at it \
+                 (final cycle {final_cycle}, bound {drain_bound})",
+                scenario.name,
+                routing.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn churn_corpus_cells_see_node_failures_and_retargets() {
     // the acceptance bar demands the pinned churn scenarios actually
     // exercise node-failure semantics, not just link churn

@@ -1,0 +1,305 @@
+//! Resume bit-identity: a run interrupted by [`Network::snapshot`] and
+//! continued via [`Network::restore`] must be indistinguishable — in every
+//! counter, histogram bin and f64 bit pattern — from the run that was never
+//! interrupted.
+//!
+//! The property is checked at pseudo-randomly drawn checkpoint cycles
+//! (warmup, mid-measurement, inside fault windows, mid-churn) and across
+//! kernels: a snapshot written by the optimized kernel resumes under the
+//! legacy and parallel kernels at several worker counts, because snapshots
+//! are kernel-portable by construction (the config fingerprint is
+//! kernel-normalized and the event queue is rebuilt per kernel on restore).
+//! The resumed golden run must also reproduce the literal pinned constants
+//! of `determinism::golden_summary_is_pinned`.
+
+use contention_dragonfly::prelude::*;
+
+fn base_config(kernel: KernelMode) -> SimulationConfig {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Adversarial { offset: 1 })
+        .offered_load(0.2)
+        .warmup_cycles(200)
+        .measurement_cycles(600)
+        .seed(9)
+        .kernel(kernel)
+        .build()
+        .expect("valid configuration")
+}
+
+/// Everything that must match between the interrupted and the
+/// uninterrupted run (the `determinism.rs` fingerprint plus the fault
+/// counters the snapshot carries).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    delivered_window: u64,
+    delivered_total: u64,
+    generated_phits: u64,
+    final_cycle: u64,
+    in_flight: u64,
+    latency_bits: u64,
+    hops_bits: u64,
+    p99_bits: u64,
+    histogram_bins: Vec<u64>,
+    dropped_on_fault: u64,
+    retargeted: u64,
+    lost_credits: u64,
+    drained: bool,
+}
+
+fn fingerprint_of(net: &Network, drained: bool) -> Fingerprint {
+    let summary = net.metrics().window_summary();
+    Fingerprint {
+        delivered_window: summary.delivered_packets,
+        delivered_total: net.metrics().delivered_packets_total(),
+        generated_phits: net.metrics().generated_phits_total,
+        final_cycle: net.cycle(),
+        in_flight: net.in_flight(),
+        latency_bits: summary.avg_packet_latency.to_bits(),
+        hops_bits: summary.avg_hops.to_bits(),
+        p99_bits: summary.p99_latency.to_bits(),
+        histogram_bins: net.metrics().latency_histogram().bins().to_vec(),
+        dropped_on_fault: net.metrics().dropped_on_fault_packets(),
+        retargeted: net.metrics().retargeted_packets(),
+        lost_credits: net.fault_lost_credits(),
+        drained,
+    }
+}
+
+/// Drive `net` from its current cycle to the end of the measurement window
+/// (starting measurement at the warmup boundary if it hasn't started) and
+/// drain.
+fn finish(net: &mut Network, warmup: u64, total: u64) -> Fingerprint {
+    if net.cycle() < warmup {
+        let ahead = warmup - net.cycle();
+        net.run_cycles(ahead);
+        let start = net.cycle();
+        net.metrics_mut().start_measurement(start);
+    }
+    net.run_cycles(total - net.cycle());
+    let drained = net.drain(100_000);
+    fingerprint_of(net, drained)
+}
+
+/// The uninterrupted reference run.
+fn straight_run(cfg: &SimulationConfig) -> Fingerprint {
+    let warmup = cfg.warmup_cycles;
+    let total = warmup + cfg.measurement_cycles;
+    let mut net = Network::new(cfg.clone());
+    finish(&mut net, warmup, total)
+}
+
+/// Run to `checkpoint`, snapshot, restore under `resume_cfg` (same machine,
+/// possibly a different kernel), and finish the run from the snapshot.
+fn interrupted_run(
+    cfg: &SimulationConfig,
+    resume_cfg: &SimulationConfig,
+    checkpoint: u64,
+) -> Fingerprint {
+    let warmup = cfg.warmup_cycles;
+    let total = warmup + cfg.measurement_cycles;
+    assert!(checkpoint < total);
+    let mut net = Network::new(cfg.clone());
+    if checkpoint >= warmup {
+        net.run_cycles(warmup);
+        let start = net.cycle();
+        net.metrics_mut().start_measurement(start);
+        net.run_cycles(checkpoint - warmup);
+    } else {
+        net.run_cycles(checkpoint);
+    }
+    let bytes = net.snapshot();
+    assert_eq!(Network::snapshot_cycle(&bytes).ok(), Some(checkpoint));
+    drop(net);
+    let mut resumed = Network::restore(resume_cfg.clone(), &bytes).expect("snapshot restores");
+    finish(&mut resumed, warmup, total)
+}
+
+/// Deterministic pseudo-random checkpoint cycles in `[1, total)`, biased
+/// nowhere in particular — the property must hold at *any* cycle.
+fn random_checkpoints(seed: u64, total: u64, n: usize) -> Vec<u64> {
+    let mut rng = DeterministicRng::new(seed);
+    (0..n).map(|_| 1 + rng.next_u64() % (total - 1)).collect()
+}
+
+#[test]
+fn resume_is_bit_identical_at_random_checkpoints() {
+    let cfg = base_config(KernelMode::Optimized);
+    let reference = straight_run(&cfg);
+    for checkpoint in random_checkpoints(0xC0FFEE, 800, 6) {
+        let resumed = interrupted_run(&cfg, &cfg, checkpoint);
+        assert_eq!(
+            resumed, reference,
+            "resume from cycle {checkpoint} diverged from the uninterrupted run"
+        );
+    }
+}
+
+#[test]
+fn snapshots_resume_bit_identically_under_every_kernel() {
+    // One optimized-kernel snapshot per checkpoint, resumed under the
+    // legacy heap kernel and the sharded parallel kernel at 1, 2 and 4
+    // workers: the mixed-kernel run must still match the uninterrupted
+    // optimized reference, because the kernels are bit-identical and the
+    // snapshot carries no kernel-specific state.
+    let cfg = base_config(KernelMode::Optimized);
+    let reference = straight_run(&cfg);
+    let resumes = [
+        KernelMode::Legacy,
+        KernelMode::Parallel { workers: 1 },
+        KernelMode::Parallel { workers: 2 },
+        KernelMode::Parallel { workers: 4 },
+    ];
+    for checkpoint in random_checkpoints(0xBEEF, 800, 2) {
+        for kernel in resumes {
+            let resumed = interrupted_run(&cfg, &base_config(kernel), checkpoint);
+            assert_eq!(
+                resumed, reference,
+                "resume under {kernel:?} from cycle {checkpoint} diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_mid_fault_window_is_bit_identical() {
+    // Checkpoints landing inside an open link-outage window: the snapshot
+    // must carry the down-link set, the lost-credit ledger and the pending
+    // repair events.
+    let topo = Dragonfly::new(DragonflyParams::small());
+    let (r1, p1) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(3));
+    let (r2, p2) = FaultPlan::global_link_between(&topo, GroupId(2), GroupId(5));
+    let faults = FaultPlan::new()
+        .link_down(250, r1, p1)
+        .link_down(320, r2, p2)
+        .link_up(520, r1, p1)
+        .link_up(600, r2, p2);
+    let cfg = SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::PiggyBacking)
+        .pattern(PatternKind::Adversarial { offset: 1 })
+        .offered_load(0.2)
+        .warmup_cycles(200)
+        .measurement_cycles(600)
+        .faults(faults)
+        .seed(4)
+        .build()
+        .expect("valid configuration");
+    let reference = straight_run(&cfg);
+    // Two checkpoints strictly inside the outage windows, one after repair.
+    for checkpoint in [300, 450, 700] {
+        let resumed = interrupted_run(&cfg, &cfg, checkpoint);
+        assert_eq!(
+            resumed, reference,
+            "mid-fault resume from cycle {checkpoint} diverged"
+        );
+    }
+}
+
+#[test]
+fn resume_mid_churn_is_bit_identical() {
+    // Sustained seeded churn over links and nodes: checkpoints drawn inside
+    // the churn window must restore the spare-remapping and node-failure
+    // state exactly.
+    let churn = ChurnModel::new(23, 200, 700)
+        .global_links(ChurnRate::new(600.0, 120.0))
+        .local_links(ChurnRate::new(1_200.0, 120.0))
+        .nodes(ChurnRate::new(2_400.0, 120.0));
+    let cfg = SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Ectn)
+        .pattern(PatternKind::Uniform)
+        .offered_load(0.25)
+        .warmup_cycles(200)
+        .measurement_cycles(600)
+        .churn(churn)
+        .seed(8)
+        .build()
+        .expect("valid configuration");
+    let reference = straight_run(&cfg);
+    for checkpoint in random_checkpoints(0xD1CE, 700, 4) {
+        let resumed = interrupted_run(&cfg, &cfg, checkpoint);
+        assert_eq!(
+            resumed, reference,
+            "mid-churn resume from cycle {checkpoint} diverged"
+        );
+    }
+}
+
+#[test]
+fn mid_drain_snapshot_resumes_bit_identically() {
+    // Checkpointing inside the drain phase: the chunked drain must stop on
+    // the registered checkpoint cycle *exactly* (the fast-forward clamps
+    // its clock jumps to checkpoint change points — an overshoot would
+    // silently move the snapshot), and the resumed network must finish the
+    // drain to the same fingerprint as an uninterrupted one.
+    let cfg = base_config(KernelMode::Optimized);
+    let warmup = cfg.warmup_cycles;
+    let total = warmup + cfg.measurement_cycles;
+
+    let mut straight = Network::new(cfg.clone());
+    let reference = finish(&mut straight, warmup, total);
+    assert!(reference.drained);
+
+    let mut net = Network::new(cfg.clone());
+    net.run_cycles(warmup);
+    let start = net.cycle();
+    net.metrics_mut().start_measurement(start);
+    net.run_cycles(total - warmup);
+    let checkpoint = net.cycle() + 40;
+    net.add_checkpoint_points(&[checkpoint]);
+    let done = net.drain(40);
+    assert!(
+        !done,
+        "the drain budget is deliberately too small to finish"
+    );
+    assert_eq!(
+        net.cycle(),
+        checkpoint,
+        "drain fast-forward must land exactly on the registered checkpoint"
+    );
+    let bytes = net.snapshot();
+    drop(net);
+    let mut resumed = Network::restore(cfg, &bytes).expect("mid-drain snapshot restores");
+    let drained = resumed.drain(100_000 - 40);
+    assert_eq!(fingerprint_of(&resumed, drained), reference);
+}
+
+#[test]
+fn resumed_golden_run_reproduces_the_pinned_constants() {
+    // The same configuration `determinism::golden_summary_is_pinned` pins —
+    // interrupted at an arbitrary measurement cycle and resumed, it must
+    // reproduce the identical literal constants.
+    let cfg = base_config(KernelMode::Optimized);
+    let fp = interrupted_run(&cfg, &cfg, 433);
+    assert!(fp.drained, "golden run must drain");
+    assert_eq!(fp.in_flight, 0);
+    assert_eq!(fp.delivered_window, 1_153);
+    assert_eq!(fp.delivered_total, 1_336);
+    assert_eq!(fp.final_cycle, 954);
+    assert_eq!(fp.latency_bits, 0x4059_0761_EA3D_B971);
+}
+
+#[test]
+#[ignore = "paper-scale smoke: ~1k-router topology, run explicitly"]
+fn paper_scale_snapshot_resume_smoke() {
+    let cfg = SimulationConfig::builder()
+        .topology(DragonflyParams::paper_table1())
+        .network(NetworkConfig::paper_table1())
+        .routing(RoutingKind::PiggyBacking)
+        .pattern(PatternKind::Adversarial { offset: 1 })
+        .offered_load(0.2)
+        .warmup_cycles(400)
+        .measurement_cycles(800)
+        .seed(2)
+        .build()
+        .expect("valid configuration");
+    let reference = straight_run(&cfg);
+    let resumed = interrupted_run(&cfg, &cfg, 650);
+    assert_eq!(resumed, reference, "paper-scale resume diverged");
+    assert!(reference.delivered_window > 0);
+}

@@ -156,6 +156,29 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state words. A generator that has been
+        /// stepped at least once (or was seeded through
+        /// [`SeedableRng::from_seed`]) is never all-zero, so the state can
+        /// always be fed back through [`SmallRng::from_state`].
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from raw state words, continuing the exact
+        /// sequence the words were captured from. All-zero words (only
+        /// possible with corrupted input, never with [`SmallRng::state`]
+        /// output) get the same degenerate-seed nudge as
+        /// [`SeedableRng::from_seed`] rather than producing a stuck
+        /// generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            let mut s = s;
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
     }
 
     impl RngCore for SmallRng {
