@@ -16,7 +16,12 @@
 //! counts 1/2/4 (plus 8 when the host has that many CPUs). The recorded
 //! speedups are only meaningful relative to `host_available_parallelism` —
 //! a single-CPU container can demonstrate bit-identity but not wall-clock
-//! speedup.
+//! speedup. When the host has fewer CPUs than the largest requested worker
+//! count, the run will not overwrite an existing `BENCH_parallel.json`
+//! (the numbers would record scheduler thrash, not scaling): it writes
+//! `BENCH_parallel.advisory.json` instead, unless `allow-undersized-host`
+//! is passed. The JSON carries `speedups_advisory` so downstream readers
+//! never mistake an undersized run for a scaling measurement.
 
 use df_bench::{measure_kernel_run, KernelRunMeasurement};
 use df_sim::KernelMode;
@@ -49,7 +54,10 @@ fn bench_one(
 }
 
 fn main() {
-    let scale = df_bench::Scale::from_args_with_flags(df_bench::Scale::medium(), &[]);
+    let scale = df_bench::Scale::from_args_with_flags(
+        df_bench::Scale::medium(),
+        &["allow-undersized-host"],
+    );
     let mut measured: u64 = match scale.name {
         "paper" | "paper-smoke" => scale.measure.min(500),
         _ => 1_500,
@@ -61,8 +69,11 @@ fn main() {
     if host_cpus >= 8 {
         worker_counts.push(8);
     }
+    let mut allow_undersized = false;
     for arg in std::env::args().skip(1) {
-        if let Ok(n) = arg.parse::<u64>() {
+        if arg == "allow-undersized-host" {
+            allow_undersized = true;
+        } else if let Ok(n) = arg.parse::<u64>() {
             measured = n;
         } else if let Some(list) = arg.strip_prefix("workers=") {
             worker_counts = list
@@ -86,6 +97,12 @@ fn main() {
         "paper" | "paper-smoke" => vec![0.1],
         _ => vec![0.3, 0.9],
     };
+    let max_workers = worker_counts.iter().copied().max().unwrap_or(1);
+    // A host that cannot actually run the requested workers side by side
+    // measures scheduler time-slicing, not scaling; bit-identity still
+    // holds, but the wall-clock numbers must not be read as speedups.
+    let undersized_host = host_cpus < max_workers;
+    let speedups_advisory = undersized_host || host_cpus == 1;
 
     println!(
         "parallel-kernel benchmark: {} topology ({} nodes), {} measured cycles, host CPUs: {}",
@@ -94,6 +111,13 @@ fn main() {
         measured,
         host_cpus
     );
+    if speedups_advisory {
+        println!(
+            "  NOTE: advisory run — host parallelism is {host_cpus}, largest requested worker \
+             count is {max_workers}; speedup figures reflect time-slicing, not scaling \
+             (bit-identity checks still binding)"
+        );
+    }
     let mut results: Vec<RunResult> = Vec::new();
     let mut speedups: Vec<(f64, usize, f64)> = Vec::new();
     for &load in &loads {
@@ -152,6 +176,14 @@ fn main() {
     let _ = writeln!(json, "  \"warmup_cycles\": {warmup},");
     let _ = writeln!(json, "  \"measured_cycles\": {measured},");
     let _ = writeln!(json, "  \"host_available_parallelism\": {host_cpus},");
+    let _ = writeln!(json, "  \"max_requested_workers\": {max_workers},");
+    let _ = writeln!(json, "  \"speedups_advisory\": {speedups_advisory},");
+    if speedups_advisory {
+        json.push_str(
+            "  \"advisory_reason\": \"host_available_parallelism below the largest requested \
+             worker count (or 1): wall-clock speedups reflect time-slicing, not scaling\",\n",
+        );
+    }
     json.push_str("  \"results_bit_identical\": true,\n");
     json.push_str("  \"runs\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -173,6 +205,20 @@ fn main() {
     }
     json.push_str("  }\n}\n");
 
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("wrote BENCH_parallel.json");
+    // An undersized host must not replace the committed scaling baseline
+    // with time-slicing numbers: divert to a clearly-named side file unless
+    // the caller explicitly opts in.
+    let baseline_exists = std::path::Path::new("BENCH_parallel.json").exists();
+    let out_path = if undersized_host && !allow_undersized && baseline_exists {
+        println!(
+            "refusing to overwrite the committed BENCH_parallel.json: host has {host_cpus} CPUs \
+             but the largest requested worker count is {max_workers} \
+             (pass allow-undersized-host to override)"
+        );
+        "BENCH_parallel.advisory.json"
+    } else {
+        "BENCH_parallel.json"
+    };
+    std::fs::write(out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
 }

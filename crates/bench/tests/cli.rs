@@ -1,6 +1,9 @@
-//! Process-level CLI tests: `Scale::from_args` rejection paths and the
-//! `--check-against` perf-regression gate, exercised on the real binaries
-//! (`CARGO_BIN_EXE_*` paths are provided by Cargo for integration tests).
+//! Process-level CLI tests: `Scale::from_args` rejection paths, the
+//! `--check-against` perf-regression gate, the figure/table binaries as
+//! end-to-end smokes at the tiny `bench` scale, and `bench_parallel`'s
+//! undersized-host baseline protection — all exercised on the real
+//! binaries (`CARGO_BIN_EXE_*` paths are provided by Cargo for
+//! integration tests).
 
 use std::process::Command;
 
@@ -59,6 +62,152 @@ fn word_like_baseline_paths_are_not_mistaken_for_scale_typos() {
         stderr.contains("cannot read baseline") && !stderr.contains("unrecognized scale"),
         "the flag value leaked into scale parsing: {stderr}"
     );
+}
+
+/// Run one of the figure/table binaries at the `bench` scale and assert it
+/// exits 0 with a rendered table containing `title` on stdout.
+fn figure_smoke(exe: &str, args: &[&str], title: &str) {
+    let out = Command::new(exe).args(args).output().expect("spawn bin");
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(title),
+        "{exe} stdout must contain '{title}': {stdout}"
+    );
+    assert!(
+        stdout.lines().filter(|l| !l.trim().is_empty()).count() >= 3,
+        "{exe} must print a rendered table (title, header, rows): {stdout}"
+    );
+}
+
+#[test]
+fn fig5_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig5"), &["bench", "un"], "Figure 5");
+}
+
+#[test]
+fn fig6_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig6"), &["bench"], "Figure 6");
+}
+
+#[test]
+fn fig7_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig7"), &["bench"], "Figure 7");
+}
+
+#[test]
+fn fig8_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig8"), &["bench"], "Figure 8");
+}
+
+#[test]
+fn fig9_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig9"), &["bench"], "Figure 9");
+}
+
+#[test]
+fn fig10_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_fig10"), &["bench", "un"], "Figure 10");
+}
+
+#[test]
+fn table1_runs_at_bench_scale() {
+    figure_smoke(env!("CARGO_BIN_EXE_table1"), &["bench"], "Table I");
+}
+
+#[test]
+fn collectives_bin_writes_deterministic_csv() {
+    let dir = std::env::temp_dir().join(format!("df-bench-collectives-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_collectives"))
+            .current_dir(&dir)
+            .args(["bench", "csv"])
+            .output()
+            .expect("spawn collectives");
+        assert!(
+            out.status.success(),
+            "collectives bin failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join("COLLECTIVES.csv")).expect("COLLECTIVES.csv written")
+    };
+    let first = run();
+    assert!(
+        first.contains("all-to-allx16") && first.contains("completion_cycle"),
+        "CSV must carry the workload rows and header: {first}"
+    );
+    let second = run();
+    assert_eq!(first, second, "collective runs must be rerun-deterministic");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_parallel_protects_the_baseline_from_undersized_hosts() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // more workers than the host has CPUs, whatever this host is — small
+    // enough that the run (40 measured cycles, tiny topology) stays quick
+    let workers = format!("workers={}", host * 2);
+    let dir = std::env::temp_dir().join(format!("df-bench-undersized-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("BENCH_parallel.json");
+    let sentinel = "{\"sentinel\": \"committed baseline\"}\n";
+    std::fs::write(&baseline, sentinel).unwrap();
+
+    // without the opt-out flag: the committed baseline survives untouched
+    // and the numbers land in a clearly-named advisory side file
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_parallel"))
+        .current_dir(&dir)
+        .args(["bench", "40", &workers])
+        .output()
+        .expect("spawn bench_parallel");
+    assert!(
+        out.status.success(),
+        "undersized run must still succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("refusing to overwrite") && stdout.contains("advisory"),
+        "refusal must be explained on stdout: {stdout}"
+    );
+    assert_eq!(
+        std::fs::read_to_string(&baseline).unwrap(),
+        sentinel,
+        "the committed baseline must not be overwritten"
+    );
+    let advisory = std::fs::read_to_string(dir.join("BENCH_parallel.advisory.json")).unwrap();
+    assert!(
+        advisory.contains("\"speedups_advisory\": true")
+            && advisory.contains("\"host_available_parallelism\""),
+        "the advisory JSON must be marked as such: {advisory}"
+    );
+
+    // with the opt-out flag: the baseline is overwritten, but still
+    // annotated as advisory so readers cannot mistake it for scaling data
+    let out = Command::new(env!("CARGO_BIN_EXE_bench_parallel"))
+        .current_dir(&dir)
+        .args(["bench", "40", &workers, "allow-undersized-host"])
+        .output()
+        .expect("spawn bench_parallel");
+    assert!(
+        out.status.success(),
+        "opt-out run must succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let overwritten = std::fs::read_to_string(&baseline).unwrap();
+    assert_ne!(overwritten, sentinel, "opt-out must write the baseline");
+    assert!(
+        overwritten.contains("\"speedups_advisory\": true"),
+        "even an opted-in undersized run stays annotated: {overwritten}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use df_model::NetworkConfig;
 use df_routing::{RoutingConfig, RoutingKind};
 use df_topology::{Dragonfly, DragonflyParams};
-use df_traffic::{InjectionKind, PatternKind, TrafficSchedule};
+use df_traffic::{InjectionKind, PatternKind, TaskWorkload, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnModel;
@@ -130,6 +130,12 @@ pub struct SimulationConfig {
     pub injection: InjectionKind,
     /// Timed link/router fault events (empty for healthy-network runs).
     pub faults: FaultPlan,
+    /// Optional rank-level task workload. When set, nodes stop running their
+    /// stochastic injectors and instead execute the workload's
+    /// dependency-gated collective sequence (see `df_sim::task`); when
+    /// `None`, the task layer is completely inert and the run is a plain
+    /// packet-level experiment.
+    pub workload: Option<TaskWorkload>,
     /// Offered load in phits/(node·cycle).
     pub offered_load: f64,
     /// Seed for all stochastic components.
@@ -180,6 +186,13 @@ impl SimulationConfig {
         }
         let topo = Dragonfly::new(self.topology);
         self.faults.validate(&topo)?;
+        if let Some(workload) = &self.workload {
+            let groups = self.topology.num_groups();
+            let nodes_per_group = self.topology.num_nodes() / groups;
+            workload
+                .validate(groups, nodes_per_group)
+                .map_err(|e| format!("workload: {e}"))?;
+        }
         for (i, phase) in self.schedule.phases().iter().enumerate() {
             phase
                 .pattern
@@ -214,6 +227,7 @@ pub struct SimulationConfigBuilder {
     injection: InjectionKind,
     faults: FaultPlan,
     churn: Option<ChurnModel>,
+    workload: Option<TaskWorkload>,
     offered_load: f64,
     seed: u64,
     warmup_cycles: u64,
@@ -232,6 +246,7 @@ impl Default for SimulationConfigBuilder {
             injection: InjectionKind::Bernoulli,
             faults: FaultPlan::new(),
             churn: None,
+            workload: None,
             offered_load: 0.1,
             seed: 0,
             warmup_cycles: 1_000,
@@ -286,13 +301,14 @@ impl SimulationConfigBuilder {
     }
 
     /// Apply a declarative [`Scenario`]: its phases become the traffic
-    /// schedule, and its injection process and fault plan replace the
-    /// current ones.
+    /// schedule, and its injection process, fault plan and task workload
+    /// replace the current ones.
     pub fn scenario(mut self, scenario: &Scenario) -> Self {
         self.schedule = scenario.schedule();
         self.injection = scenario.injection;
         self.faults = scenario.fault_plan().clone();
         self.churn = scenario.churn_model().cloned();
+        self.workload = scenario.workload().cloned();
         self
     }
 
@@ -310,6 +326,13 @@ impl SimulationConfigBuilder {
     /// never on the run's traffic seed, routing or kernel.
     pub fn churn(mut self, churn: ChurnModel) -> Self {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Attach a rank-level task workload: nodes hosting ranks execute its
+    /// collective sequence instead of running their stochastic injectors.
+    pub fn workload(mut self, workload: TaskWorkload) -> Self {
+        self.workload = Some(workload);
         self
     }
 
@@ -366,6 +389,7 @@ impl SimulationConfigBuilder {
             schedule: self.schedule,
             injection: self.injection,
             faults,
+            workload: self.workload,
             offered_load: self.offered_load,
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,

@@ -18,6 +18,10 @@
 //! * [`runner`] — the crash-recoverable sweep service: journaled cell
 //!   completions plus periodic [`network::snapshot`] checkpoints in a run
 //!   directory, resumable to a byte-identical results table,
+//! * [`task`] — the collective task layer: ranks executing message-gated
+//!   communication scripts (all-reduce, all-to-all, barriers) on top of
+//!   the packet engine, with application completion time and rank stall
+//!   accounting ([`task::TaskEngine`]),
 //! * [`telemetry`] — streaming per-window statistics and automatic
 //!   steady-state detection ([`StreamingTelemetry`]),
 //! * [`metrics`], [`events`], [`node`] — supporting machinery.
@@ -58,6 +62,7 @@ mod parallel;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod task;
 pub mod telemetry;
 
 pub use churn::{ChurnModel, ChurnRate};
@@ -76,4 +81,5 @@ pub use sweep::{
     cell_seed, intra_cell_workers, load_sweep, matrix_table, num_threads, run_matrix,
     run_matrix_budgeted, run_sweep, split_thread_budget, MatrixCell, MatrixKey, ScenarioMatrix,
 };
+pub use task::{run_task_workload, TaskEngine, TaskReport};
 pub use telemetry::{StreamingTelemetry, WindowStats};

@@ -57,6 +57,12 @@ pub struct Metrics {
     /// to its designated spare at injection time (node failure:
     /// drain-at-source + reroute-to-spare).
     retargeted_packets: u64,
+    /// Cumulative rank-cycles the task layer spent blocked on the network
+    /// (sends handed over, completion conditions unmet; summed over ranks.
+    /// 0 without a workload).
+    rank_stall_cycles: u64,
+    /// Workload steps every rank has passed (task layer; 0 without one).
+    task_steps_completed: u64,
     // ---- transient series ----
     latency_series: BinnedSeries,
     misroute_series: BinnedSeries,
@@ -115,6 +121,8 @@ impl Metrics {
             recommitted_packets: 0,
             stale_linkstate_cycles: 0,
             retargeted_packets: 0,
+            rank_stall_cycles: 0,
+            task_steps_completed: 0,
             latency_series: BinnedSeries::new(series_origin, series_bin),
             misroute_series: BinnedSeries::new(series_origin, series_bin),
             latency_histogram: Histogram::new(0.0, 5_000.0, 500),
@@ -214,6 +222,17 @@ impl Metrics {
         self.retargeted_packets += 1;
     }
 
+    /// Record `ranks` ranks blocked on the network for the current cycle
+    /// (task layer).
+    pub fn record_rank_stalls(&mut self, ranks: u64) {
+        self.rank_stall_cycles += ranks;
+    }
+
+    /// Record a workload step every rank has now passed (task layer).
+    pub fn record_task_step_completed(&mut self) {
+        self.task_steps_completed += 1;
+    }
+
     /// Total packets delivered since the beginning of the run (not just the
     /// window); used by the progress watchdog.
     pub fn delivered_packets_total(&self) -> u64 {
@@ -265,6 +284,16 @@ impl Metrics {
     /// Packets retargeted to a spare because their destination node failed.
     pub fn retargeted_packets(&self) -> u64 {
         self.retargeted_packets
+    }
+
+    /// Cumulative rank-cycles spent blocked on the network (task layer).
+    pub fn rank_stall_cycles(&self) -> u64 {
+        self.rank_stall_cycles
+    }
+
+    /// Workload steps every rank has passed (task layer).
+    pub fn task_steps_completed(&self) -> u64 {
+        self.task_steps_completed
     }
 
     /// The always-on cumulative latency histogram (records every delivery of
@@ -375,6 +404,8 @@ impl Metrics {
         e.u64(self.recommitted_packets);
         e.u64(self.stale_linkstate_cycles);
         e.u64(self.retargeted_packets);
+        e.u64(self.rank_stall_cycles);
+        e.u64(self.task_steps_completed);
         self.latency_series.encode(e);
         self.misroute_series.encode(e);
         self.latency_histogram.encode(e);
@@ -413,6 +444,8 @@ impl Metrics {
         self.recommitted_packets = d.u64()?;
         self.stale_linkstate_cycles = d.u64()?;
         self.retargeted_packets = d.u64()?;
+        self.rank_stall_cycles = d.u64()?;
+        self.task_steps_completed = d.u64()?;
         self.latency_series = BinnedSeries::decode(d)?;
         self.misroute_series = BinnedSeries::decode(d)?;
         self.latency_histogram = Histogram::decode(d)?;

@@ -82,6 +82,7 @@ use crate::fault::{FaultEvent, FaultKind};
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::parallel::{execute_shard, PhaseJob, PhaseKind, ShardState, StepCtx, WorkerPool};
+use crate::task::TaskEngine;
 
 #[path = "snapshot.rs"]
 pub mod snapshot;
@@ -189,6 +190,12 @@ pub struct Network {
     /// Number of currently failed nodes (O(1) "any node down?" fast path
     /// for the injection retarget).
     nodes_failed_count: usize,
+    // ---- task layer ----
+    /// The collective task engine (`Some` only when the configuration
+    /// carries a task workload, in which case it replaces stochastic
+    /// generation entirely). All engine mutations happen on the main thread
+    /// in steps 1–2, so task runs are bit-identical across kernels.
+    task: Option<TaskEngine>,
     // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
@@ -289,6 +296,10 @@ impl Network {
         change_points.sort_unstable();
         change_points.dedup();
         let fault_events = config.faults.sorted_events();
+        let task = config
+            .workload
+            .as_ref()
+            .map(|w| TaskEngine::new(w, &topo, config.network.packet_size_phits));
         let num_routers = routers.len();
         let num_nodes = nodes.len();
         Network {
@@ -322,6 +333,7 @@ impl Network {
             node_failed: vec![false; num_nodes],
             spare_of: vec![0; num_nodes],
             nodes_failed_count: 0,
+            task,
             gated,
             control_plane_every_cycle,
             change_points,
@@ -491,6 +503,10 @@ impl Network {
                 && !self.control_plane_every_cycle
                 && self.active_list.is_empty()
                 && self.all_source_queues_empty()
+                // a waiting rank accrues a stall cycle per real cycle, so the
+                // fast-forward must not skip cycles while a task is running
+                // (the legacy kernel never skips — bit-identity would break)
+                && self.task.as_ref().is_none_or(|t| t.is_complete())
             {
                 if let Some(t) = self.events.next_time() {
                     if t > self.cycle {
@@ -520,6 +536,31 @@ impl Network {
 
     fn all_source_queues_empty(&self) -> bool {
         self.nodes.iter().all(|n| n.queue_len() == 0)
+    }
+
+    /// The task engine, when the configuration carries a workload.
+    pub fn task(&self) -> Option<&TaskEngine> {
+        self.task.as_ref()
+    }
+
+    /// Step until the task workload completes or `max_cycles` elapse.
+    /// Returns the application completion cycle (the cycle the last rank
+    /// finished), or `None` when the budget ran out — or when the
+    /// configuration carries no workload at all.
+    ///
+    /// Completion implies the network is empty: the last step's sends must
+    /// all have been delivered for their ranks to finish, and no other
+    /// traffic exists in workload mode.
+    pub fn run_until_tasks_complete(&mut self, max_cycles: u64) -> Option<Cycle> {
+        self.task.as_ref()?;
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if let Some(done) = self.task.as_ref().and_then(|t| t.completion_cycle()) {
+                return Some(done);
+            }
+            self.step();
+        }
+        self.task.as_ref().and_then(|t| t.completion_cycle())
     }
 
     /// Register upcoming checkpoint cycles as schedule change points, so the
@@ -797,13 +838,30 @@ impl Network {
                     self.in_flight_phits -= packet.size_phits as u64;
                     self.last_delivery_cycle = now;
                     self.metrics.record_delivery(&packet, now);
+                    // task attribution (main thread in every kernel): credit
+                    // the sender's outstanding sends and the receiver's
+                    // per-step receive counter
+                    if let Some(task) = self.task.as_mut() {
+                        task.on_delivery(&packet);
+                    }
                 }
             }
         }
         self.scratch_events = due;
 
         // ---- 2. generation + injection ----
-        {
+        if let Some(task) = self.task.as_mut() {
+            // task workload: ranks advance past completed steps and enqueue
+            // the next step's sends; stochastic generation is off entirely
+            task.advance_and_generate(
+                now,
+                &mut self.nodes,
+                &mut self.metrics,
+                &mut self.next_packet_id,
+                &self.node_blocked,
+                &self.node_failed,
+            );
+        } else {
             let pattern = &self.patterns[self.current_phase];
             let blocked = &self.node_blocked;
             let failed = &self.node_failed;

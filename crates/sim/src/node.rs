@@ -67,6 +67,15 @@ impl Node {
         }
     }
 
+    /// Enqueue a packet produced by the task layer (collective workloads)
+    /// instead of the stochastic injector. It joins the same source queue
+    /// and statistics as generated traffic, so the downstream injection
+    /// machinery is identical for both.
+    pub fn enqueue_task_packet(&mut self, packet: Packet) {
+        self.generated_phits += packet.size_phits as u64;
+        self.source_queue.push_back(packet);
+    }
+
     /// Change the offered load (phase changes with a load override).
     pub fn set_offered_load(&mut self, load: f64) {
         self.injector.set_offered_load(load);

@@ -35,7 +35,7 @@
 
 use df_model::Cycle;
 use df_topology::{NodeId, Port, RouterId};
-use df_traffic::{InjectionKind, PatternKind, PatternPhase, TrafficSchedule};
+use df_traffic::{InjectionKind, PatternKind, PatternPhase, TaskWorkload, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnModel;
@@ -75,6 +75,11 @@ pub struct Scenario {
     /// seed, so the same churn model replays identically across loads,
     /// routings and kernels.
     churn: Option<ChurnModel>,
+    /// Optional rank-level task workload: when present, the scenario's
+    /// nodes execute a collective sequence instead of stochastic injection
+    /// (the phases still drive any non-rank background pattern selection,
+    /// but rank nodes generate only task traffic).
+    workload: Option<TaskWorkload>,
 }
 
 impl Scenario {
@@ -88,6 +93,7 @@ impl Scenario {
             phases: Vec::new(),
             faults: FaultPlan::new(),
             churn: None,
+            workload: None,
         }
     }
 
@@ -187,6 +193,18 @@ impl Scenario {
     /// The attached churn model, if any.
     pub fn churn_model(&self) -> Option<&ChurnModel> {
         self.churn.as_ref()
+    }
+
+    /// Attach a rank-level task workload (executed instead of stochastic
+    /// injection when the scenario is applied to a configuration).
+    pub fn task_workload(mut self, workload: TaskWorkload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// The attached task workload, if any.
+    pub fn workload(&self) -> Option<&TaskWorkload> {
+        self.workload.as_ref()
     }
 
     /// The attached fault plan (empty for healthy-network scenarios). Does
@@ -289,6 +307,13 @@ impl Scenario {
             churn
                 .validate()
                 .map_err(|e| format!("scenario '{}': {e}", self.name))?;
+        }
+        if let Some(workload) = &self.workload {
+            let groups = topo.params().num_groups();
+            let nodes_per_group = topo.params().num_nodes() / groups;
+            workload
+                .validate(groups, nodes_per_group)
+                .map_err(|e| format!("scenario '{}': workload: {e}", self.name))?;
         }
         for (i, phase) in self.phases.iter().enumerate() {
             phase

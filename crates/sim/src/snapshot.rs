@@ -24,7 +24,11 @@
 //! * the metrics collector,
 //! * the pending link events in exact drain order,
 //! * the fault cursor, link-availability mask, lost-credit ledger,
-//!   node-failure flags and the gateway-liveness truth/flooded views.
+//!   node-failure flags and the gateway-liveness truth/flooded views,
+//! * the task engine's execution state (rank cursors, outstanding sends,
+//!   receive counters and the pending-packet table) when the configuration
+//!   carries a collective workload — a snapshot can land mid-collective
+//!   and resume bit-identically.
 //!
 //! **Not** stored (derived on restore): topology, routing tables/patterns,
 //! derived occupancy counters, the activity gate (recomputed as the sorted
@@ -42,8 +46,10 @@ use std::collections::BTreeMap;
 
 /// Frame magic of a simulation snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DFSIMSNP";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 extends the metrics section
+/// with the task-layer counters and appends the task engine's execution
+/// state (version-1 snapshots are rejected rather than misread).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Fingerprint of a configuration, used to pair snapshots with the
 /// configuration they were taken under. The kernel mode is normalised away:
@@ -200,6 +206,12 @@ impl Network {
         e.seq(self.spare_of.len());
         for &s in &self.spare_of {
             e.u32(s);
+        }
+        // task layer (presence is configuration-determined; the flag guards
+        // against payload drift)
+        e.bool(self.task.is_some());
+        if let Some(task) = &self.task {
+            task.save_state(&mut e);
         }
         e.finish_frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)
     }
@@ -373,6 +385,16 @@ impl Network {
         }
         for s in &mut net.spare_of {
             *s = d.u32()?;
+        }
+        let has_task = d.bool()?;
+        match (&mut net.task, has_task) {
+            (Some(task), true) => task.restore_state(&mut d)?,
+            (None, false) => {}
+            _ => {
+                return Err(CodecError::Invalid(
+                    "snapshot task-layer presence disagrees with the configuration".into(),
+                ))
+            }
         }
         if !d.is_exhausted() {
             return Err(CodecError::Invalid(format!(

@@ -213,6 +213,7 @@ impl ScenarioMatrix {
                     config.schedule = scenario.schedule();
                     config.injection = scenario.injection;
                     config.faults = faults.clone();
+                    config.workload = scenario.workload().cloned();
                     config.offered_load = load;
                     config.routing = routing;
                     config.seed = cell_seed(self.base.seed, s_idx, l_idx, r_idx);

@@ -1,0 +1,435 @@
+//! The collective task layer: ranks executing message-gated communication
+//! scripts on top of the packet engine.
+//!
+//! A [`df_traffic::TaskWorkload`] lowers into one script per rank — a list
+//! of [`df_traffic::TaskStep`]s, each naming the messages the rank injects
+//! when the step starts and how many packets it must receive before the
+//! step completes. The [`TaskEngine`] executes those scripts against the
+//! simulator:
+//!
+//! * when a rank reaches a step, its sends are enqueued into the hosting
+//!   node's source queue (the existing injection machinery takes over from
+//!   there — VC round-robin, credit checks, spare retargeting),
+//! * every delivered packet is attributed back through a pending table
+//!   (packet id → sender rank, receiver rank, step), crediting the sender's
+//!   outstanding-send counter and the receiver's per-step receive counter,
+//! * a rank advances past its current step only once **all its sends have
+//!   been delivered** and **the step's expected packets have arrived** —
+//!   the causal gating that makes the workload a dependency graph rather
+//!   than a traffic pattern. Packets for a *future* step that arrive early
+//!   (a faster peer ran ahead) accumulate and are counted when the rank
+//!   gets there.
+//!
+//! # Determinism
+//!
+//! Every engine mutation happens on the main thread: delivery attribution
+//! in step 1 of [`crate::network::Network::step`] and advance/enqueue in
+//! step 2 — both of which are sequential in **every** kernel (optimized,
+//! legacy, parallel at any worker count). Ranks are visited in ascending
+//! rank order and the lowering itself is a pure function of the workload,
+//! so task runs inherit the simulator's bit-identity contract unchanged.
+//!
+//! When the configuration carries no workload the engine does not exist
+//! and the packet-level simulator is byte-for-byte unaffected.
+
+use std::collections::BTreeMap;
+
+use df_model::{Cycle, Packet, PacketId};
+use df_topology::{Dragonfly, NodeId};
+use df_traffic::{TaskStep, TaskWorkload};
+
+use crate::config::SimulationConfig;
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::node::Node;
+
+/// A task packet still in the network (source queue or in flight), keyed by
+/// packet id in the engine's pending table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingPacket {
+    /// Rank that sent the packet (credited on delivery).
+    src_rank: u32,
+    /// Rank the packet is addressed to (its receive counter is credited —
+    /// recorded at enqueue time, so spare retargeting of the node address
+    /// cannot misattribute the rank-level receive).
+    dst_rank: u32,
+    /// Script step the packet belongs to (the *sender's* step index).
+    step: u32,
+}
+
+/// Executes a lowered task workload against the packet engine. Owned by
+/// [`Network`] when the configuration carries a workload; all mutations
+/// happen on the main thread (see the module docs for the determinism
+/// argument).
+#[derive(Debug, Clone)]
+pub struct TaskEngine {
+    /// One script per rank, all the same length (lowering guarantees it).
+    scripts: Vec<Vec<TaskStep>>,
+    /// Hosting node of each rank.
+    node_of_rank: Vec<u32>,
+    /// Phits per task packet (the configured packet size).
+    packet_size: u32,
+    /// Script length (steps per rank).
+    steps_total: usize,
+    // ---- per-rank execution state ----
+    /// Current step index of each rank (`steps_total` once finished).
+    cursor: Vec<usize>,
+    /// Whether the current step's sends have been enqueued.
+    enqueued: Vec<bool>,
+    /// Packets sent in the current step and not yet delivered.
+    sends_outstanding: Vec<u32>,
+    /// Packets received per rank per step (early arrivals for future steps
+    /// accumulate here until the rank reaches them).
+    recvs: Vec<Vec<u32>>,
+    /// Cycles each rank spent blocked on the network: step enqueued, source
+    /// queue drained, completion conditions not yet met.
+    stall_cycles: Vec<u64>,
+    // ---- global progress ----
+    /// Task packets in the network, by packet id.
+    pending: BTreeMap<u64, PendingPacket>,
+    /// Ranks that have passed each step (a step is globally complete when
+    /// this reaches the rank count).
+    step_rank_done: Vec<u32>,
+    /// Cycle each step globally completed at.
+    step_completion_cycles: Vec<Option<Cycle>>,
+    /// Ranks that have finished their whole script.
+    ranks_done: u32,
+    /// Cycle the last rank finished (application completion time).
+    completed_at: Option<Cycle>,
+}
+
+impl TaskEngine {
+    /// Lower `workload` onto `topo` and build a fresh engine. The workload
+    /// must already have passed [`TaskWorkload::validate`] for this
+    /// topology (configuration validation guarantees it).
+    pub(crate) fn new(workload: &TaskWorkload, topo: &Dragonfly, packet_size: u32) -> Self {
+        let groups = topo.num_groups();
+        let nodes_per_group = topo.num_nodes() / groups;
+        let ranks = workload.ranks as usize;
+        let node_of_rank: Vec<u32> = (0..workload.ranks)
+            .map(|r| workload.placement.node_of_rank(r, groups, nodes_per_group))
+            .collect();
+        let scripts = workload.lower();
+        let steps_total = scripts.first().map_or(0, |s| s.len());
+        TaskEngine {
+            scripts,
+            node_of_rank,
+            packet_size,
+            steps_total,
+            cursor: vec![0; ranks],
+            enqueued: vec![false; ranks],
+            sends_outstanding: vec![0; ranks],
+            recvs: vec![vec![0; steps_total]; ranks],
+            stall_cycles: vec![0; ranks],
+            pending: BTreeMap::new(),
+            step_rank_done: vec![0; steps_total],
+            step_completion_cycles: vec![None; steps_total],
+            ranks_done: 0,
+            completed_at: None,
+        }
+    }
+
+    /// Attribute a delivered packet: credit the sender's outstanding-send
+    /// counter and the receiver's per-step receive counter. Runs in step 1
+    /// of the cycle (main thread, every kernel).
+    pub(crate) fn on_delivery(&mut self, packet: &Packet) {
+        if let Some(p) = self.pending.remove(&packet.id.0) {
+            self.sends_outstanding[p.src_rank as usize] -= 1;
+            self.recvs[p.dst_rank as usize][p.step as usize] += 1;
+        }
+    }
+
+    /// Advance ranks past completed steps, enqueue newly reached steps'
+    /// sends into the hosting nodes' source queues, and account stall
+    /// cycles. Runs in step 2 of the cycle in place of stochastic traffic
+    /// generation (main thread, every kernel; ascending rank order).
+    pub(crate) fn advance_and_generate(
+        &mut self,
+        now: Cycle,
+        nodes: &mut [Node],
+        metrics: &mut Metrics,
+        next_packet_id: &mut u64,
+        blocked: &[bool],
+        failed: &[bool],
+    ) {
+        let ranks = self.node_of_rank.len();
+        let mut stalled_ranks = 0u64;
+        for r in 0..ranks {
+            let node_idx = self.node_of_rank[r] as usize;
+            // a failed rank (or one on a draining router) makes no progress;
+            // its peers will stall honestly waiting for it
+            if blocked[node_idx] || failed[node_idx] {
+                continue;
+            }
+            loop {
+                if self.cursor[r] >= self.steps_total {
+                    break;
+                }
+                let step = self.cursor[r];
+                if !self.enqueued[r] {
+                    let sends = self.scripts[r][step].sends.clone();
+                    let mut outstanding = 0u32;
+                    for (dst_rank, packets) in sends {
+                        let dst = NodeId(self.node_of_rank[dst_rank as usize]);
+                        let src = NodeId(self.node_of_rank[r]);
+                        for _ in 0..packets {
+                            let id = *next_packet_id;
+                            *next_packet_id += 1;
+                            let packet = Packet::new(PacketId(id), src, dst, self.packet_size, now);
+                            self.pending.insert(
+                                id,
+                                PendingPacket {
+                                    src_rank: r as u32,
+                                    dst_rank,
+                                    step: step as u32,
+                                },
+                            );
+                            nodes[node_idx].enqueue_task_packet(packet);
+                            metrics.record_generated(self.packet_size as u64);
+                        }
+                        outstanding += packets;
+                    }
+                    self.sends_outstanding[r] = outstanding;
+                    self.enqueued[r] = true;
+                }
+                let expected = self.scripts[r][step].expected_packets;
+                if self.sends_outstanding[r] == 0 && self.recvs[r][step] >= expected {
+                    // step complete for this rank (empty steps fall straight
+                    // through, so a rank can cross several in one cycle)
+                    self.step_rank_done[step] += 1;
+                    if self.step_rank_done[step] == ranks as u32 {
+                        self.step_completion_cycles[step] = Some(now);
+                        metrics.record_task_step_completed();
+                    }
+                    self.cursor[r] += 1;
+                    self.enqueued[r] = false;
+                    if self.cursor[r] == self.steps_total {
+                        self.ranks_done += 1;
+                        if self.ranks_done == ranks as u32 {
+                            self.completed_at = Some(now);
+                        }
+                    }
+                    continue;
+                }
+                break;
+            }
+            // stall: the rank handed everything to the network and is waiting
+            // on deliveries (its own sends or its peers')
+            if self.cursor[r] < self.steps_total
+                && self.enqueued[r]
+                && nodes[node_idx].queue_len() == 0
+            {
+                self.stall_cycles[r] += 1;
+                stalled_ranks += 1;
+            }
+        }
+        if stalled_ranks > 0 {
+            metrics.record_rank_stalls(stalled_ranks);
+        }
+    }
+
+    /// Whether every rank has finished its script.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Cycle the last rank finished (the application completion time), once
+    /// complete.
+    pub fn completion_cycle(&self) -> Option<Cycle> {
+        self.completed_at
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> u32 {
+        self.node_of_rank.len() as u32
+    }
+
+    /// Steps per rank script.
+    pub fn total_steps(&self) -> usize {
+        self.steps_total
+    }
+
+    /// Steps every rank has passed.
+    pub fn steps_completed(&self) -> usize {
+        self.step_completion_cycles
+            .iter()
+            .filter(|c| c.is_some())
+            .count()
+    }
+
+    /// Cycle each step globally completed at (`None` for steps still in
+    /// progress), indexed by step.
+    pub fn step_completion_cycles(&self) -> &[Option<Cycle>] {
+        &self.step_completion_cycles
+    }
+
+    /// Cycles each rank spent blocked on the network, indexed by rank.
+    pub fn stall_cycles(&self) -> &[u64] {
+        &self.stall_cycles
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of_rank(&self, rank: u32) -> NodeId {
+        NodeId(self.node_of_rank[rank as usize])
+    }
+
+    /// Task packets currently in the network (source queues + in flight).
+    pub fn pending_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serialise the mutable execution state (the scripts and rank map are
+    /// rebuilt from the configuration on restore).
+    pub(crate) fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.cursor.len());
+        for r in 0..self.cursor.len() {
+            e.usize(self.cursor[r]);
+            e.bool(self.enqueued[r]);
+            e.u32(self.sends_outstanding[r]);
+            e.u64(self.stall_cycles[r]);
+            for &c in &self.recvs[r] {
+                e.u32(c);
+            }
+        }
+        for s in 0..self.steps_total {
+            e.u32(self.step_rank_done[s]);
+            e.bool(self.step_completion_cycles[s].is_some());
+            if let Some(c) = self.step_completion_cycles[s] {
+                e.u64(c);
+            }
+        }
+        e.u32(self.ranks_done);
+        e.bool(self.completed_at.is_some());
+        if let Some(c) = self.completed_at {
+            e.u64(c);
+        }
+        e.seq(self.pending.len());
+        for (&id, p) in &self.pending {
+            e.u64(id);
+            e.u32(p.src_rank);
+            e.u32(p.dst_rank);
+            e.u32(p.step);
+        }
+    }
+
+    /// Restore the state written by [`TaskEngine::save_state`] into a
+    /// freshly built engine (same workload and topology — the snapshot's
+    /// configuration fingerprint guarantees it).
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let ranks = d.seq(13)?;
+        if ranks != self.cursor.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "snapshot task rank count mismatch: {} vs {}",
+                ranks,
+                self.cursor.len()
+            )));
+        }
+        for r in 0..ranks {
+            self.cursor[r] = d.usize()?;
+            if self.cursor[r] > self.steps_total {
+                return Err(df_engine::CodecError::Invalid(format!(
+                    "snapshot task cursor {} beyond the {}-step script",
+                    self.cursor[r], self.steps_total
+                )));
+            }
+            self.enqueued[r] = d.bool()?;
+            self.sends_outstanding[r] = d.u32()?;
+            self.stall_cycles[r] = d.u64()?;
+            for c in &mut self.recvs[r] {
+                *c = d.u32()?;
+            }
+        }
+        for s in 0..self.steps_total {
+            self.step_rank_done[s] = d.u32()?;
+            self.step_completion_cycles[s] = if d.bool()? { Some(d.u64()?) } else { None };
+        }
+        self.ranks_done = d.u32()?;
+        if self.ranks_done as usize > ranks {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "snapshot claims {} finished ranks of {ranks}",
+                self.ranks_done
+            )));
+        }
+        self.completed_at = if d.bool()? { Some(d.u64()?) } else { None };
+        let n = d.seq(20)?;
+        let mut pending = BTreeMap::new();
+        for _ in 0..n {
+            let id = d.u64()?;
+            let p = PendingPacket {
+                src_rank: d.u32()?,
+                dst_rank: d.u32()?,
+                step: d.u32()?,
+            };
+            if p.src_rank as usize >= ranks || p.dst_rank as usize >= ranks {
+                return Err(df_engine::CodecError::Invalid(format!(
+                    "snapshot task packet {id} names an out-of-range rank"
+                )));
+            }
+            pending.insert(id, p);
+        }
+        self.pending = pending;
+        Ok(())
+    }
+}
+
+/// Application-level outcome of a task-workload run: completion time, step
+/// timeline and the rank stall distribution, alongside the packet-level
+/// delivery statistics.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Whether every rank finished within the cycle budget.
+    pub completed: bool,
+    /// Cycle the last rank finished (the application completion time).
+    pub completion_cycle: Option<Cycle>,
+    /// Steps per rank script.
+    pub total_steps: usize,
+    /// Steps every rank passed.
+    pub steps_completed: usize,
+    /// Cycle each step globally completed at, indexed by step.
+    pub step_completion_cycles: Vec<Option<Cycle>>,
+    /// Sum of rank stall cycles (cycles a rank sat blocked on the network).
+    pub total_stall_cycles: u64,
+    /// Largest per-rank stall total.
+    pub max_rank_stall_cycles: u64,
+    /// Mean per-rank stall total.
+    pub mean_rank_stall_cycles: f64,
+    /// Task packets delivered.
+    pub delivered_packets: u64,
+    /// Mean packet latency (generation to delivery), cycles.
+    pub avg_packet_latency: f64,
+}
+
+/// Run `config`'s task workload to completion (or until `max_cycles`
+/// elapse) and report application completion time, the per-step timeline
+/// and the rank stall distribution.
+///
+/// Panics if the configuration carries no workload — packet-level
+/// experiments use [`crate::experiment`] instead.
+pub fn run_task_workload(config: SimulationConfig, max_cycles: u64) -> TaskReport {
+    assert!(
+        config.workload.is_some(),
+        "run_task_workload needs a configuration with a task workload"
+    );
+    let mut net = Network::new(config);
+    net.metrics_mut().start_measurement(0);
+    let completion_cycle = net.run_until_tasks_complete(max_cycles);
+    let task = net.task().expect("workload checked above");
+    let stalls = task.stall_cycles();
+    let total_stall_cycles: u64 = stalls.iter().sum();
+    let summary = net.metrics().window_summary();
+    TaskReport {
+        completed: completion_cycle.is_some(),
+        completion_cycle,
+        total_steps: task.total_steps(),
+        steps_completed: task.steps_completed(),
+        step_completion_cycles: task.step_completion_cycles().to_vec(),
+        total_stall_cycles,
+        max_rank_stall_cycles: stalls.iter().copied().max().unwrap_or(0),
+        mean_rank_stall_cycles: total_stall_cycles as f64 / stalls.len().max(1) as f64,
+        delivered_packets: net.metrics().delivered_packets_total(),
+        avg_packet_latency: summary.avg_packet_latency,
+    }
+}

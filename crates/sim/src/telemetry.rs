@@ -46,11 +46,15 @@ pub struct WindowStats {
     /// Median latency of the window's deliveries (cycles; NaN if none).
     pub p50_latency: f64,
     /// 99th-percentile latency of the window's deliveries (cycles; NaN if
-    /// none).
+    /// none; [`f64::INFINITY`] when the rank falls past the telemetry
+    /// histogram's top edge — the true percentile is unbounded above, never
+    /// silently clamped).
     pub p99_latency: f64,
     /// Wall-clock seconds the window took to simulate.
     pub wall_seconds: f64,
-    /// Simulation speed over the window (cycles per wall-clock second).
+    /// Simulation speed over the window (cycles per wall-clock second; NaN
+    /// when the window closed with zero measurable wall time, so means over
+    /// windows propagate NaN instead of being poisoned by an infinity).
     pub cycles_per_second: f64,
 }
 
@@ -206,11 +210,7 @@ impl StreamingTelemetry {
             p50_latency: p50,
             p99_latency: p99,
             wall_seconds: wall,
-            cycles_per_second: if wall > 0.0 {
-                cycles as f64 / wall
-            } else {
-                f64::INFINITY
-            },
+            cycles_per_second: window_cycles_per_second(cycles, wall),
         };
         self.last = now;
         self.last_instant = instant;
@@ -220,7 +220,10 @@ impl StreamingTelemetry {
 
     /// Percentile over a windowed (differenced) histogram, mirroring
     /// [`df_engine::Histogram::percentile`]: the upper edge of the bin
-    /// holding the requested rank, NaN when the window delivered nothing.
+    /// holding the requested rank, NaN when the window delivered nothing,
+    /// and [`f64::INFINITY`] when the rank lands in the overflow bucket —
+    /// all the histogram knows there is "above the top edge", and clamping
+    /// to the edge would under-report tail latency exactly when it explodes.
     fn delta_percentile(&self, bins: &[u64], underflow: u64, overflow: u64, pct: f64) -> f64 {
         let total = bins.iter().sum::<u64>() + underflow + overflow;
         if total == 0 {
@@ -237,7 +240,7 @@ impl StreamingTelemetry {
                 return self.histogram_low + (i as f64 + 1.0) * self.histogram_bin_width;
             }
         }
-        self.histogram_low + bins.len() as f64 * self.histogram_bin_width
+        f64::INFINITY
     }
 
     /// Whether the trailing `stability_windows` windows are steady: all
@@ -254,6 +257,17 @@ impl StreamingTelemetry {
         }
         relative_spread_within(tail.iter().map(|w| w.throughput), tolerance)
             && relative_spread_within(tail.iter().map(|w| w.avg_latency), tolerance)
+    }
+}
+
+/// Simulation speed over a window. Zero wall time (fast host, tiny window,
+/// coarse clock) must not produce an infinity: a single such window would
+/// poison any mean over windows, while NaN propagates visibly.
+fn window_cycles_per_second(cycles: u64, wall_seconds: f64) -> f64 {
+    if wall_seconds > 0.0 {
+        cycles as f64 / wall_seconds
+    } else {
+        f64::NAN
     }
 }
 
@@ -391,6 +405,77 @@ mod tests {
             !telemetry.steady(4, 0.05),
             "a saturating run must not be declared steady"
         );
+    }
+
+    #[test]
+    fn overflow_tail_reports_infinity_not_the_histogram_top_edge() {
+        use df_model::{Packet, PacketId};
+        use df_topology::NodeId;
+        // idle network: every latency sample in this window is fabricated
+        let mut net = Network::new(config(0.0));
+        let mut telemetry = StreamingTelemetry::new(&net, 100);
+        let top_edge = 5_000.0; // Metrics::new telemetry histogram range
+                                // 98 in-range deliveries and 2 far past the top edge: p50 stays a
+                                // real bin edge, but the p99 rank lands in the overflow bucket
+        for i in 0..100u64 {
+            let latency = if i < 98 { 40 } else { 9_000 };
+            let p = Packet::new(PacketId(i), NodeId(0), NodeId(9), 8, 0);
+            net.metrics_mut().record_delivery(&p, latency);
+        }
+        net.run_cycles(100);
+        let w = telemetry.step_window(&mut net).clone();
+        assert!(w.p50_latency.is_finite() && w.p50_latency <= top_edge);
+        assert!(
+            w.p99_latency.is_infinite() && w.p99_latency > 0.0,
+            "an overflow-bucket rank must surface as +inf, not clamp to the \
+             top edge (got p99 = {})",
+            w.p99_latency
+        );
+        // the mean stays finite (the histogram sums overflow samples too),
+        // so steadiness detection — a throughput + mean-latency criterion —
+        // is unaffected by the tail-percentile semantics change
+        assert!(w.avg_latency.is_finite());
+    }
+
+    #[test]
+    fn zero_wall_window_speed_is_nan_not_infinity() {
+        assert!(window_cycles_per_second(500, 0.0).is_nan());
+        assert!(window_cycles_per_second(0, 0.0).is_nan());
+        assert_eq!(window_cycles_per_second(500, 2.0), 250.0);
+        // a NaN window no longer poisons a mean into infinity; it stays NaN,
+        // which downstream consumers can detect (infinity cannot be told
+        // apart from "very fast")
+        let windows = [window_cycles_per_second(500, 0.0), 250.0];
+        let mean = windows.iter().sum::<f64>() / windows.len() as f64;
+        assert!(mean.is_nan());
+    }
+
+    #[test]
+    fn steady_handles_nan_speed_but_rejects_nan_latency() {
+        let net = Network::new(config(0.0));
+        let mut telemetry = StreamingTelemetry::new(&net, 100);
+        let window = |index: usize, avg_latency: f64| WindowStats {
+            index,
+            start_cycle: 100 * index as u64,
+            end_cycle: 100 * (index + 1) as u64,
+            delivered_packets: 50,
+            delivered_phits: 400,
+            throughput: 0.2,
+            generated_phits: 400,
+            in_flight: 3,
+            avg_latency,
+            p50_latency: avg_latency,
+            p99_latency: avg_latency,
+            wall_seconds: 0.0,
+            cycles_per_second: f64::NAN, // zero-wall window
+        };
+        // steadiness is a throughput + latency criterion: a NaN simulation
+        // speed (zero-wall window) must NOT block it...
+        telemetry.windows = (0..4).map(|i| window(i, 30.0)).collect();
+        assert!(telemetry.steady(4, 0.1));
+        // ...but a NaN mean latency must
+        telemetry.windows = (0..4).map(|i| window(i, f64::NAN)).collect();
+        assert!(!telemetry.steady(4, 0.1));
     }
 
     #[test]

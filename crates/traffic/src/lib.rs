@@ -31,10 +31,14 @@
 
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod injection;
 pub mod pattern;
 pub mod schedule;
 
+pub use collective::{
+    validate_scripts, AllReduceAlgorithm, CollectiveKind, RankPlacement, TaskStep, TaskWorkload,
+};
 pub use injection::{BernoulliInjector, InjectionKind, Injector};
 pub use pattern::{PatternKind, TrafficPattern};
 pub use schedule::{PatternPhase, TrafficSchedule};

@@ -383,6 +383,113 @@ pub const GOLDEN_CHURN: &[(&str, &str, u64, u64, u64, u64, u64, u64)] = &[
     ("ADV-churn", "ECtN", 770, 50, 67, 0, 775, 0x405883288FA03FD6),
 ];
 
+/// The collective corpus: task workloads (rank-level communication scripts
+/// executed by the task layer) on the small topology. Labels come from
+/// [`TaskWorkload::label`]. The mix covers every collective kind, both
+/// all-reduce algorithms, a non-power-of-two rank count (recursive
+/// doubling's fold/unfold path), both placements and a multi-collective
+/// sequence.
+pub fn collective_workloads() -> Vec<TaskWorkload> {
+    vec![
+        TaskWorkload::single(CollectiveKind::AllToAll, 8, 2)
+            .with_placement(RankPlacement::GroupSpread),
+        TaskWorkload::single(CollectiveKind::AllReduce(AllReduceAlgorithm::Ring), 8, 2),
+        TaskWorkload::single(
+            CollectiveKind::AllReduce(AllReduceAlgorithm::RecursiveDoubling),
+            12,
+            2,
+        )
+        .with_placement(RankPlacement::GroupSpread),
+        TaskWorkload::single(CollectiveKind::Barrier, 16, 1)
+            .with_placement(RankPlacement::GroupSpread),
+        TaskWorkload::single(CollectiveKind::SweepNeighbors, 8, 4),
+        TaskWorkload {
+            ranks: 8,
+            placement: RankPlacement::GroupSpread,
+            sequence: vec![
+                CollectiveKind::Barrier,
+                CollectiveKind::AllReduce(AllReduceAlgorithm::RecursiveDoubling),
+            ],
+            packets_per_message: 2,
+        },
+    ]
+}
+
+/// The routing mechanisms the collective corpus is replayed under.
+pub fn collective_routings() -> [RoutingKind; 3] {
+    [
+        RoutingKind::Base,
+        RoutingKind::PiggyBacking,
+        RoutingKind::Ectn,
+    ]
+}
+
+/// The common configuration every collective corpus run uses (kernel left
+/// to the caller / environment; the pattern is a placeholder — workload
+/// mode replaces stochastic generation entirely).
+pub fn collective_config(workload: TaskWorkload, routing: RoutingKind) -> SimulationConfig {
+    base_builder()
+        .routing(routing)
+        .pattern(PatternKind::Uniform)
+        .workload(workload)
+        .build()
+        .expect("valid collective configuration")
+}
+
+/// `(application completion cycle, delivered packets, rank stall cycles,
+/// mean-latency f64 bits)` — the fingerprint of a collective corpus run.
+/// Completion is mandatory and implies the network drained (the last
+/// step's sends must all deliver for their ranks to finish, and no other
+/// traffic exists in workload mode).
+pub fn collective_fingerprint(cfg: SimulationConfig) -> (u64, u64, u64, u64) {
+    let mut net = Network::new(cfg);
+    net.metrics_mut().start_measurement(0);
+    let done = net
+        .run_until_tasks_complete(200_000)
+        .expect("corpus collectives must complete");
+    assert_eq!(net.in_flight(), 0, "completion implies an empty network");
+    let task = net.task().expect("corpus runs carry a workload");
+    assert_eq!(
+        task.steps_completed(),
+        task.total_steps(),
+        "every step must be globally complete"
+    );
+    (
+        done,
+        net.metrics().delivered_packets_total(),
+        net.metrics().rank_stall_cycles(),
+        net.metrics().window_summary().avg_packet_latency.to_bits(),
+    )
+}
+
+/// Pinned collective-corpus fingerprints: every [`collective_workloads`]
+/// cell under every [`collective_routings`] mechanism, same base
+/// configuration and seed as the other tables. Introduced with the task
+/// layer; regenerate together with them (see the module docs — the regen
+/// helper lives in `tests/collectives.rs`).
+#[rustfmt::skip]
+pub const GOLDEN_COLLECTIVES: &[(&str, &str, u64, u64, u64, u64)] = &[
+    // (workload, routing, completion_cycle, delivered, rank_stall_cycles, latency_bits)
+    ("all-to-allx8", "Base", 389, 112, 2964, 0x4048800000000000),
+    ("all-to-allx8", "PB", 620, 112, 4764, 0x404E9B6DB6DB6DB9),
+    ("all-to-allx8", "ECtN", 389, 112, 2964, 0x4048800000000000),
+    ("all-reduce-ringx8", "Base", 434, 224, 3248, 0x4035000000000003),
+    ("all-reduce-ringx8", "PB", 434, 224, 3248, 0x4035000000000003),
+    ("all-reduce-ringx8", "ECtN", 434, 224, 3248, 0x4035000000000003),
+    ("all-reduce-rdx12", "Base", 247, 64, 2712, 0x40473FFFFFFFFFFF),
+    ("all-reduce-rdx12", "PB", 432, 64, 4468, 0x404DB20000000000),
+    ("all-reduce-rdx12", "ECtN", 247, 64, 2712, 0x40473FFFFFFFFFFF),
+    ("barrierx16", "Base", 192, 64, 2976, 0x4045AFFFFFFFFFFF),
+    ("barrierx16", "PB", 260, 64, 4000, 0x40480C0000000001),
+    ("barrierx16", "ECtN", 192, 64, 2976, 0x4045AFFFFFFFFFFF),
+    ("sweep-neighborsx8", "Base", 71, 56, 436, 0x4043124924924925),
+    ("sweep-neighborsx8", "PB", 71, 56, 436, 0x4043124924924925),
+    ("sweep-neighborsx8", "ECtN", 71, 56, 436, 0x4043124924924925),
+    ("barrier+all-reduce-rdx8", "Base", 318, 96, 2448, 0x4047C00000000000),
+    ("barrier+all-reduce-rdx8", "PB", 552, 96, 4200, 0x404EA00000000001),
+    ("barrier+all-reduce-rdx8", "ECtN", 318, 96, 2448, 0x4047C00000000000),
+];
+
 #[rustfmt::skip]
 pub const GOLDEN_SPECIAL: &[(&str, &str, u64, u64, u64)] = &[
     // (scenario, routing, delivered_window, final_cycle, latency_bits)

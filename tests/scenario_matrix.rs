@@ -31,6 +31,7 @@
 use contention_dragonfly::prelude::*;
 
 #[path = "common/golden_corpus.rs"]
+#[allow(dead_code)] // the collective helpers are used by tests/collectives.rs
 mod golden_corpus;
 
 use golden_corpus::{
