@@ -25,7 +25,7 @@
 use df_bench::{measure_kernel_run, KernelRunMeasurement};
 use df_model::NetworkConfig;
 use df_sim::KernelMode;
-use df_topology::DragonflyParams;
+use df_topology::TopologyParams;
 use std::fmt::Write as _;
 
 struct RunResult {
@@ -34,7 +34,7 @@ struct RunResult {
 }
 
 fn bench_one(
-    topology: DragonflyParams,
+    topology: TopologyParams,
     kernel: KernelMode,
     kernel_name: &'static str,
     load: f64,
@@ -128,7 +128,7 @@ fn main() {
         }
         (runs, frozen)
     });
-    let topology = scale.topology;
+    let topology = scale.topology_params();
     let warmup = if topology.num_nodes() > 10_000 {
         100
     } else {

@@ -34,6 +34,9 @@ fn main() {
     let up_at = warmup + measure / 3;
     let load = 0.15;
 
+    // NOTE: deliberately pinned to the concrete Dragonfly family (the
+    // recovery curve is a paper artifact); new code should build
+    // `scale.topology_params().build()` and go through the `Topology` trait.
     let topo = Dragonfly::new(scale.topology);
     let (gw, gport) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
     let routings = [

@@ -4,11 +4,13 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p df-bench --bin scenario_matrix -- [small|medium|paper] [smoke] [csv]
+//! cargo run --release -p df-bench --bin scenario_matrix -- [small|medium|paper] [smoke] [csv] [--topology=dragonfly|megafly]
 //! ```
 //!
 //! * scale name — machine under test and measurement windows (default
 //!   `small`),
+//! * `--topology=` — topology family (default `dragonfly`; `megafly` runs
+//!   the matrix on the Dragonfly+ instance of the same sizing),
 //! * `smoke` — short windows for CI (a few seconds end to end),
 //! * `csv` — emit CSV instead of the aligned text table.
 //!
@@ -20,7 +22,7 @@ use df_routing::RoutingKind;
 use df_sim::{
     matrix_table, num_threads, run_matrix, FaultPlan, Scenario, ScenarioMatrix, SimulationConfig,
 };
-use df_topology::{Dragonfly, GroupId, RouterId};
+use df_topology::{GroupId, RouterId};
 use df_traffic::{InjectionKind, PatternKind};
 
 fn main() {
@@ -36,7 +38,7 @@ fn main() {
     };
 
     let base = SimulationConfig::builder()
-        .topology(scale.topology)
+        .topology(scale.topology_params())
         .network(scale.network)
         .warmup_cycles(warmup)
         .measurement_cycles(measure)
@@ -47,7 +49,7 @@ fn main() {
     // The faults family: deterministic failures layered over steady
     // traffic — a global-link outage window on the busiest ADV+1 link and
     // a graceful router drain/restore, scaled to the run's windows.
-    let topo = Dragonfly::new(scale.topology);
+    let topo = scale.topology_params().build();
     let (gw, gport) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
     let fault_scenarios = vec![
         Scenario::named("ADV-linkloss")

@@ -78,6 +78,9 @@ fn main() {
 
     // Benign + adversarial steady workloads plus one mid-run link outage —
     // the outage exercises snapshot/resume straddling fault windows.
+    // NOTE: deliberately pinned to the concrete Dragonfly family; new code
+    // should build `scale.topology_params().build()` and go through the
+    // `Topology` trait so the `--topology` flag keeps working.
     let topo = Dragonfly::new(scale.topology);
     let (gw, gport) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
     let matrix = ScenarioMatrix {

@@ -9,7 +9,7 @@
 use df_model::NetworkConfig;
 use df_routing::RoutingKind;
 use df_sim::{KernelMode, Network, SimulationConfig};
-use df_topology::DragonflyParams;
+use df_topology::TopologyParams;
 use df_traffic::PatternKind;
 use std::time::Instant;
 
@@ -37,7 +37,7 @@ pub struct KernelRunMeasurement {
 /// cycles. Seed 1 — fixed, so equivalent kernels must reproduce each other
 /// bit for bit.
 pub fn measure_kernel_run(
-    topology: DragonflyParams,
+    topology: impl Into<TopologyParams>,
     network: NetworkConfig,
     kernel: KernelMode,
     load: f64,

@@ -7,15 +7,19 @@
 //! minutes. `EXPERIMENTS.md` records which scale each reported run used.
 
 use df_model::NetworkConfig;
-use df_topology::DragonflyParams;
+use df_topology::{DragonflyParams, MegaflyParams, TopologyKind, TopologyParams};
 
 /// A named experiment scale.
 #[derive(Debug, Clone)]
 pub struct Scale {
     /// Human-readable name ("small", "medium", "paper").
     pub name: &'static str,
-    /// Dragonfly sizing.
+    /// Dragonfly sizing (also the sizing template for other topology
+    /// kinds — see [`Scale::topology_params`]).
     pub topology: DragonflyParams,
+    /// Which topology family the run instantiates (`--topology=` on the
+    /// CLI; defaults to the paper's canonical Dragonfly).
+    pub topology_kind: TopologyKind,
     /// Router/link configuration.
     pub network: NetworkConfig,
     /// Warm-up cycles before measurement.
@@ -38,6 +42,7 @@ impl Scale {
         Scale {
             name: "small",
             topology: DragonflyParams::small(),
+            topology_kind: TopologyKind::Dragonfly,
             network: NetworkConfig::paper_table1(),
             warmup: 3_000,
             measure: 6_000,
@@ -53,6 +58,7 @@ impl Scale {
         Scale {
             name: "medium",
             topology: DragonflyParams::medium(),
+            topology_kind: TopologyKind::Dragonfly,
             network: NetworkConfig::paper_table1(),
             warmup: 5_000,
             measure: 10_000,
@@ -68,6 +74,7 @@ impl Scale {
         Scale {
             name: "paper",
             topology: DragonflyParams::paper_table1(),
+            topology_kind: TopologyKind::Dragonfly,
             network: NetworkConfig::paper_table1(),
             warmup: 10_000,
             measure: 15_000,
@@ -85,6 +92,7 @@ impl Scale {
         Scale {
             name: "paper-smoke",
             topology: DragonflyParams::paper_table1(),
+            topology_kind: TopologyKind::Dragonfly,
             network: NetworkConfig::paper_table1(),
             warmup: 50,
             measure: 200,
@@ -100,12 +108,35 @@ impl Scale {
         Scale {
             name: "bench",
             topology: DragonflyParams::small(),
+            topology_kind: TopologyKind::Dragonfly,
             network: NetworkConfig::fast_test(),
             warmup: 200,
             measure: 400,
             seeds: 1,
             uniform_loads: vec![0.1, 0.3],
             adversarial_loads: vec![0.1, 0.3],
+        }
+    }
+
+    /// Topology family names [`Scale::from_arg_list`]'s `--topology=` flag
+    /// accepts.
+    pub const TOPOLOGY_NAMES: &'static [&'static str] = &["dragonfly", "megafly", "dragonfly+"];
+
+    /// The scale's sizing as [`TopologyParams`] of the selected kind. The
+    /// Dragonfly sizing doubles as the template: `--topology=megafly` maps
+    /// `(p, a, h, groups)` onto a balanced `l = s = a` leaf/spine block with
+    /// the same terminals, group count and global links per group — always
+    /// valid, because both families share the `groups <= a*h + 1` palmtree
+    /// bound.
+    pub fn topology_params(&self) -> TopologyParams {
+        match self.topology_kind {
+            TopologyKind::Dragonfly => self.topology.into(),
+            TopologyKind::Megafly => {
+                let d = self.topology;
+                MegaflyParams::new(d.p, d.a, d.a, d.h, d.groups)
+                    .expect("every Dragonfly scale maps onto a balanced Megafly block")
+                    .into()
+            }
         }
     }
 
@@ -164,8 +195,20 @@ impl Scale {
         args: impl IntoIterator<Item = String>,
     ) -> Result<Self, String> {
         let mut found: Option<Scale> = None;
+        let mut kind: Option<TopologyKind> = None;
         for arg in args {
-            if let Some(scale) = Self::from_name(&arg) {
+            if let Some(name) = arg.strip_prefix("--topology=") {
+                kind = Some(match name {
+                    "dragonfly" => TopologyKind::Dragonfly,
+                    "megafly" | "dragonfly+" => TopologyKind::Megafly,
+                    other => {
+                        return Err(format!(
+                            "error: unrecognized topology '{other}' (valid topologies: {})",
+                            Self::TOPOLOGY_NAMES.join(", ")
+                        ))
+                    }
+                });
+            } else if let Some(scale) = Self::from_name(&arg) {
                 if found.is_none() {
                     found = Some(scale);
                 }
@@ -181,7 +224,11 @@ impl Scale {
                 ));
             }
         }
-        Ok(found.unwrap_or(default))
+        let mut scale = found.unwrap_or(default);
+        if let Some(kind) = kind {
+            scale.topology_kind = kind;
+        }
+        Ok(scale)
     }
 }
 
@@ -293,6 +340,48 @@ mod tests {
         assert_eq!(s.name, "medium");
         // the same words without the declaration are typos
         assert!(Scale::from_arg_list(Scale::small(), &[], strings(&["smoke"])).is_err());
+    }
+
+    #[test]
+    fn topology_flag_selects_the_family() {
+        let s =
+            Scale::from_arg_list(Scale::small(), &[], strings(&["--topology=megafly"])).unwrap();
+        assert_eq!(s.topology_kind, TopologyKind::Megafly);
+        assert_eq!(s.name, "small");
+        let mf = s.topology_params();
+        assert_eq!(mf.kind(), TopologyKind::Megafly);
+        // the mapped Megafly keeps the template's group count and radix shape
+        assert_eq!(mf.num_groups(), s.topology.num_groups());
+        assert_eq!(mf.nodes_per_group(), s.topology.p * s.topology.a);
+        // the synonym and the default
+        let s =
+            Scale::from_arg_list(Scale::small(), &[], strings(&["--topology=dragonfly+"])).unwrap();
+        assert_eq!(s.topology_kind, TopologyKind::Megafly);
+        let s = Scale::from_arg_list(Scale::small(), &[], strings(&["medium"])).unwrap();
+        assert_eq!(s.topology_kind, TopologyKind::Dragonfly);
+        assert_eq!(s.topology_params().kind(), TopologyKind::Dragonfly);
+    }
+
+    #[test]
+    fn topology_flag_rejects_unknown_names_loudly() {
+        for bad in [
+            "--topology=megaflier",
+            "--topology=",
+            "--topology=Dragonfly",
+        ] {
+            let err = Scale::from_arg_list(Scale::small(), &[], strings(&[bad])).unwrap_err();
+            assert!(
+                err.contains("unrecognized topology") && err.contains("dragonfly, megafly"),
+                "rejection must name the valid topologies: {err}"
+            );
+        }
+        // every scale maps onto a valid Megafly block
+        for name in Scale::NAMES {
+            let mut s = Scale::from_name(name).unwrap();
+            s.topology_kind = TopologyKind::Megafly;
+            assert_eq!(s.topology_params().kind(), TopologyKind::Megafly);
+            assert_eq!(s.topology_params().num_groups(), s.topology.num_groups());
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{GroupId, Port, PortClass};
+use df_topology::{GroupId, Port, PortClass, Topology};
 
 use crate::algorithms::common;
 use crate::candidates::{global_candidates, local_candidates, GlobalCandidate, LocalCandidate};
@@ -70,13 +70,13 @@ pub fn decide(
     rng: &mut DeterministicRng,
 ) -> Decision {
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let current = router.id();
     let my_group = topo.router_group(current);
     let src_group = topo.node_group(packet.src);
     let dst_group = topo.node_group(packet.dst);
     let min_out = minimal_output(topo, current, packet.dst);
-    let min_class = min_out.class(params);
+    let min_class = min_out.class(&layout);
     let net = router.config();
     // Fault routing: a dead minimal output lifts the already-misrouted veto
     // below — the misroute budget is counted in *hops taken* (global_hops),
@@ -97,7 +97,7 @@ pub fn decide(
         if let Some(cand) = pick_global_candidate(
             kind, config, router, input_port, packet, min_out, dst_group, rng,
         ) {
-            let first_class = cand.first_hop.class(params);
+            let first_class = cand.first_hop.class(&layout);
             return Decision {
                 output_port: cand.first_hop,
                 output_vc: vc_for_next_hop(packet, first_class, net),
@@ -153,7 +153,7 @@ pub fn decide(
                 })
         };
         let any_live_local = may_misroute_locally && {
-            let min_target = topo.local_neighbor(current, min_out.class_offset(params));
+            let min_target = topo.local_neighbor(current, min_out.class_offset(&layout));
             local_candidates(topo, current, Some(min_target))
                 .iter()
                 .any(|c| router.link_is_up(c.port))
@@ -181,12 +181,12 @@ fn pick_global_candidate(
     rng: &mut DeterministicRng,
 ) -> Option<GlobalCandidate> {
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let my_group = topo.router_group(router.id());
     let min_link = topo.group_link_to(my_group, dst_group);
     let size = packet.size_phits;
     let vc_for =
-        |port: Port, pkt: &Packet| vc_for_next_hop(pkt, port.class(params), router.config());
+        |port: Port, pkt: &Packet| vc_for_next_hop(pkt, port.class(&layout), router.config());
     // After the first local hop only the current router's own global links
     // are eligible (the PAR/OLM rule): taking a *second* local hop before the
     // first global hop would break the monotonic VC ordering that guarantees
@@ -206,7 +206,7 @@ fn pick_global_candidate(
     // ECtN: at injection, use the combined counters over the router's own
     // global links.
     if kind == RoutingKind::Ectn
-        && input_port.class(params) == PortClass::Terminal
+        && input_port.class(&layout) == PortClass::Terminal
         && packet.hops() == 0
     {
         let combined_min = router.ectn().combined(min_link);
@@ -310,7 +310,7 @@ fn credit_global_candidate(
     rng: &mut DeterministicRng,
 ) -> Option<GlobalCandidate> {
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let size = packet.size_phits;
     let q_min = common::output_occupancy(router, min_out);
     let min_required = config.credit_trigger_min_packets * size;
@@ -329,7 +329,7 @@ fn credit_global_candidate(
                 && candidate_viable_by_view(router, my_group, c, dst_group)
                 && router.output_can_accept(
                     c.first_hop,
-                    vc_for_next_hop(packet, c.first_hop.class(params), router.config()),
+                    vc_for_next_hop(packet, c.first_hop.class(&layout), router.config()),
                     size,
                 )
         })
@@ -374,13 +374,13 @@ pub fn recommit_global(
         "a pending nonminimal-global commitment implies no global hop yet"
     );
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let current = router.id();
     let my_group = topo.router_group(current);
     let dst_group = topo.node_group(packet.dst);
     let net = router.config();
     let min_out = minimal_output(topo, current, packet.dst);
-    let min_class = min_out.class(params);
+    let min_class = min_out.class(&layout);
     let min_link = topo.group_link_to(my_group, dst_group);
     let own_only = packet.routing.local_hops > 0;
     let size = packet.size_phits;
@@ -415,7 +415,7 @@ pub fn recommit_global(
                 contention_allows_candidate(router.contention().get(c.first_hop), th)
             }) && router.output_can_accept(
                 c.first_hop,
-                vc_for_next_hop(packet, c.first_hop.class(params), net),
+                vc_for_next_hop(packet, c.first_hop.class(&layout), net),
                 size,
             )
         })
@@ -424,7 +424,7 @@ pub fn recommit_global(
     if let Some(cand) = common::pick_random(&eligible, rng) {
         return Decision {
             output_port: cand.first_hop,
-            output_vc: vc_for_next_hop(packet, cand.first_hop.class(params), net),
+            output_vc: vc_for_next_hop(packet, cand.first_hop.class(&layout), net),
             kind: DecisionKind::NonminimalGlobal,
             commitment: Commitment::RecommitGlobal {
                 gateway: cand.gateway,
@@ -469,10 +469,10 @@ fn pick_local_candidate(
     rng: &mut DeterministicRng,
 ) -> Option<LocalCandidate> {
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let size = packet.size_phits;
     // the router the minimal local hop would reach — excluded from detours
-    let min_target = topo.local_neighbor(router.id(), min_out.class_offset(params));
+    let min_target = topo.local_neighbor(router.id(), min_out.class_offset(&layout));
     let vc = vc_for_next_hop(packet, PortClass::Local, router.config());
     // a failed minimal local link fires the detour triggers unconditionally
     let min_dead = !router.link_is_up(min_out);

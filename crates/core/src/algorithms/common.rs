@@ -3,7 +3,7 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{GroupId, Port, RouterId};
+use df_topology::{GroupId, Port, RouterId, Topology};
 
 use crate::decision::{Commitment, Decision, DecisionKind};
 use crate::minimal::{minimal_output, minimal_output_to_router};
@@ -16,7 +16,7 @@ pub fn continuation_to_router(router: &Router, packet: &Packet, target: RouterId
     let port = minimal_output_to_router(topo, router.id(), target);
     Decision {
         output_port: port,
-        output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+        output_vc: vc_for_next_hop(packet, port.class(&topo.layout()), router.config()),
         kind: DecisionKind::Continuation,
         commitment: Commitment::None,
     }
@@ -28,7 +28,7 @@ pub fn minimal_decision(router: &Router, packet: &Packet) -> Decision {
     let port = minimal_output(topo, router.id(), packet.dst);
     Decision::minimal(
         port,
-        vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+        vc_for_next_hop(packet, port.class(&topo.layout()), router.config()),
     )
 }
 
@@ -79,7 +79,7 @@ pub fn pick_intermediate_router(
         pick -= 1;
     }
     let group = chosen?;
-    let local_index = rng.below(topo.params().a as u64) as u32;
+    let local_index = rng.below(topo.intermediates_per_group() as u64) as u32;
     Some(topo.router_at(group, local_index))
 }
 
@@ -120,7 +120,8 @@ pub fn pick_live_intermediate(
         if !router.link_is_up(first_hop) {
             continue;
         }
-        if global_first_hop_only && first_hop.class(topo.params()) != df_topology::PortClass::Global
+        if global_first_hop_only
+            && first_hop.class(&topo.layout()) != df_topology::PortClass::Global
         {
             continue;
         }
@@ -150,11 +151,11 @@ pub fn pick_live_intermediate(
 /// port forever (churn can keep links down through the drain window).
 pub fn any_live_global_escape(router: &Router, dst_group: GroupId) -> bool {
     let topo = router.topology();
-    let params = topo.params();
+    let layout = topo.layout();
     let my_group = topo.router_group(router.id());
     let view = router.link_view();
-    (0..params.h).any(|k| {
-        let port = Port::global(params, k);
+    (0..topo.own_globals(router.id())).any(|k| {
+        let port = Port::global(&layout, k);
         if !router.link_is_up(port) {
             return false;
         }
@@ -185,7 +186,7 @@ pub fn valiant_first_hop(
     let port = minimal_output_to_router(topo, router.id(), intermediate);
     Decision {
         output_port: port,
-        output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+        output_vc: vc_for_next_hop(packet, port.class(&topo.layout()), router.config()),
         kind: DecisionKind::NonminimalGlobal,
         commitment: Commitment::Intermediate {
             router: intermediate,

@@ -39,7 +39,7 @@ use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_model::RouteObjective;
 use df_router::Router;
-use df_topology::{Port, PortClass, RouterId};
+use df_topology::{Port, PortClass, RouterId, Topology};
 
 use crate::config::RoutingConfig;
 use crate::decision::{Commitment, Decision, DecisionKind};
@@ -145,8 +145,8 @@ impl RoutingAlgorithm {
         if router.any_link_down() || !router.link_view().all_up() {
             let committed_dead = !router.link_is_up(continuation.output_port) || {
                 !at_gateway && {
-                    let params = topo.params();
-                    let j = topo.global_link_index(gateway, gateway_port.class_offset(params));
+                    let layout = topo.layout();
+                    let j = topo.global_link_index(gateway, gateway_port.class_offset(&layout));
                     !router.link_view().link_up(router.group(), j)
                 }
             };
@@ -219,7 +219,7 @@ impl RoutingAlgorithm {
                 let port = minimal_output_to_router(topo, router.id(), inter);
                 return Decision {
                     output_port: port,
-                    output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+                    output_vc: vc_for_next_hop(packet, port.class(&topo.layout()), router.config()),
                     kind: DecisionKind::NonminimalGlobal,
                     commitment: Commitment::RecommitIntermediate { router: inter },
                 };
@@ -254,7 +254,7 @@ impl RoutingAlgorithm {
         }
         Decision {
             output_port: port,
-            output_vc: vc_for_next_hop(packet, port.class(topo.params()), router.config()),
+            output_vc: vc_for_next_hop(packet, port.class(&topo.layout()), router.config()),
             kind: DecisionKind::Continuation,
             commitment: Commitment::AbandonIntermediate,
         }

@@ -3,7 +3,7 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{Port, PortClass};
+use df_topology::{Port, PortClass, Topology};
 
 use crate::algorithms::common;
 use crate::config::RoutingConfig;
@@ -28,7 +28,7 @@ pub fn valiant_decision(
 ) -> Decision {
     let topo = router.topology();
     let at_source = packet.hops() == 0
-        && input_port.class(topo.params()) == PortClass::Terminal
+        && input_port.class(&topo.layout()) == PortClass::Terminal
         && packet.routing.intermediate_router.is_none()
         && !packet.routing.globally_misrouted();
     if !at_source {

@@ -16,7 +16,7 @@
 use df_engine::DeterministicRng;
 use df_model::Packet;
 use df_router::Router;
-use df_topology::{GroupId, Port, PortClass};
+use df_topology::{GroupId, Port, PortClass, Topology};
 
 use crate::algorithms::common;
 use crate::config::RoutingConfig;
@@ -35,7 +35,7 @@ pub fn decide(
 ) -> Decision {
     let topo = router.topology();
     let at_source = packet.hops() == 0
-        && input_port.class(topo.params()) == PortClass::Terminal
+        && input_port.class(&topo.layout()) == PortClass::Terminal
         && packet.routing.intermediate_router.is_none()
         && !packet.routing.globally_misrouted();
     if !at_source {
@@ -170,9 +170,10 @@ fn recommit_in_transit(
 /// every router when PB is active, then disseminates the flags inside each
 /// group.
 pub fn update_own_saturation(config: &RoutingConfig, router: &mut Router) {
-    let params = *router.topology().params();
-    for k in 0..params.h {
-        let port = Port::global(&params, k);
+    let topo = *router.topology();
+    let layout = topo.layout();
+    for k in 0..topo.own_globals(router.id()) {
+        let port = Port::global(&layout, k);
         let fraction = router.output_congestion_fraction(port);
         let saturated = pb_link_saturated(fraction, config.pb_saturation_fraction);
         router.pb_mut().set_own_saturated(k, saturated);

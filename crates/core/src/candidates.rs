@@ -11,7 +11,7 @@
 //!   the current group before it continues minimally (used in the
 //!   intermediate and destination groups to spread load over local links).
 
-use df_topology::{Dragonfly, Port, RouterId};
+use df_topology::{Port, RouterId, Topology};
 
 /// A candidate nonminimal global link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,15 +47,14 @@ pub struct LocalCandidate {
 /// returned (the restriction the paper applies to ECtN misrouting at
 /// injection).
 pub fn global_candidates(
-    topo: &Dragonfly,
+    topo: &impl Topology,
     router: RouterId,
     minimal_link: Option<u32>,
     own_links_only: bool,
 ) -> Vec<GlobalCandidate> {
-    let params = topo.params();
     let group = topo.router_group(router);
     let mut out = Vec::new();
-    for j in 0..params.global_links_per_group() {
+    for j in 0..topo.global_links_per_group() {
         if Some(j) == minimal_link {
             continue;
         }
@@ -67,10 +66,10 @@ pub fn global_candidates(
         if own_links_only && gateway != router {
             continue;
         }
-        let first_hop = if gateway == router {
-            gateway_port
-        } else {
-            topo.local_port_to(router, gateway)
+        // the topology may veto candidates it cannot start within the VC
+        // ladder (e.g. a Megafly spine heading for another spine's link)
+        let Some(first_hop) = topo.candidate_first_hop(router, gateway, gateway_port) else {
+            continue;
         };
         out.push(GlobalCandidate {
             gateway,
@@ -86,20 +85,20 @@ pub fn global_candidates(
 /// the group except the minimal next router `exclude` (the router the minimal
 /// path would visit, so a "detour" through it would not be a detour at all).
 pub fn local_candidates(
-    topo: &Dragonfly,
+    topo: &impl Topology,
     router: RouterId,
     exclude: Option<RouterId>,
 ) -> Vec<LocalCandidate> {
-    let params = topo.params();
+    let layout = topo.layout();
     let mut out = Vec::new();
-    for k in 0..params.a - 1 {
+    for k in 0..topo.local_misroute_degree(router) {
         let neighbor = topo.local_neighbor(router, k);
         if Some(neighbor) == exclude {
             continue;
         }
         out.push(LocalCandidate {
             router: neighbor,
-            port: Port::local(params, k),
+            port: Port::local(&layout, k),
         });
     }
     out
@@ -108,7 +107,7 @@ pub fn local_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::{DragonflyParams, GroupId, PortClass};
+    use df_topology::{Dragonfly, DragonflyParams, GroupId, PortClass};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small()) // p=2,a=4,h=2 → a*h=8 links/group

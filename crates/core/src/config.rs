@@ -2,7 +2,7 @@
 //! the calibration rule of §VI-A.
 
 use df_model::VcConfig;
-use df_topology::DragonflyParams;
+use df_topology::PortLayout;
 use serde::{Deserialize, Serialize};
 
 /// Thresholds and policy knobs for every routing mechanism.
@@ -87,17 +87,17 @@ impl RoutingConfig {
     /// * Hybrid gets one extra unit of contention threshold; the ECtN
     ///   combined threshold is twice the per-link average of remote-bound
     ///   head packets in a group.
-    pub fn calibrated_for(params: &DragonflyParams, vcs: &VcConfig) -> Self {
-        let injection_ports = params.p;
-        let local_ports = params.a - 1;
-        let global_ports = params.h;
+    pub fn calibrated_for(layout: &impl PortLayout, vcs: &VcConfig) -> Self {
+        let injection_ports = layout.terminals();
+        let local_ports = layout.locals();
+        let global_ports = layout.globals();
         let mean_vcs = vcs.mean_vcs_per_port(injection_ports, local_ports, global_ports);
         // Uniform-traffic constraint: stay above the saturation average.
         let uniform_floor = (2.0 * mean_vcs).ceil() as u32;
         // Adversarial constraint: the injection ports alone must be able to
         // push a counter over the threshold well before their VCs are all
         // backed up, so cap at half of the registrable injection demand.
-        let adv_cap = ((params.p * vcs.injection as u32) / 2).max(2);
+        let adv_cap = ((injection_ports * vcs.injection as u32) / 2).max(2);
         // §VI-A: within the valid range pick the lowest value (favours
         // adversarial latency); when the two constraints conflict (very small
         // routers) the adversarial one wins, trading a little uniform-traffic
@@ -148,6 +148,7 @@ impl RoutingConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use df_topology::DragonflyParams;
 
     #[test]
     fn defaults_match_table1() {

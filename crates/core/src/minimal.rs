@@ -8,11 +8,11 @@
 //! misrouted.
 
 use df_model::Packet;
-use df_topology::{Dragonfly, NodeId, Port, PortClass, RouterId};
+use df_topology::{NodeId, Port, PortClass, RouterId, Topology};
 
 /// The output port a packet at `router` would take on the hierarchical
 /// minimal path towards node `dst`.
-pub fn minimal_output(topo: &Dragonfly, router: RouterId, dst: NodeId) -> Port {
+pub fn minimal_output(topo: &impl Topology, router: RouterId, dst: NodeId) -> Port {
     let dst_router = topo.node_router(dst);
     if dst_router == router {
         return topo.node_port(dst);
@@ -22,52 +22,44 @@ pub fn minimal_output(topo: &Dragonfly, router: RouterId, dst: NodeId) -> Port {
 
 /// The output port a packet at `router` would take on the hierarchical
 /// minimal path towards `target` (a router).
-pub fn minimal_output_to_router(topo: &Dragonfly, router: RouterId, target: RouterId) -> Port {
+pub fn minimal_output_to_router(topo: &impl Topology, router: RouterId, target: RouterId) -> Port {
     debug_assert_ne!(router, target, "already at the target router");
     let my_group = topo.router_group(router);
     let target_group = topo.router_group(target);
     if my_group == target_group {
-        return topo.local_port_to(router, target);
+        return topo.local_hop_toward(router, target);
     }
     let (gateway, gport) = topo.gateway_to(my_group, target_group);
     if gateway == router {
         gport
     } else {
-        topo.local_port_to(router, gateway)
+        topo.local_hop_toward(router, gateway)
     }
 }
 
 /// Number of hops of the hierarchical minimal path from `router` to node
 /// `dst` (0 if `dst` hangs off `router`).
-pub fn minimal_hops(topo: &Dragonfly, router: RouterId, dst: NodeId) -> u32 {
+pub fn minimal_hops(topo: &impl Topology, router: RouterId, dst: NodeId) -> u32 {
     let dst_router = topo.node_router(dst);
     minimal_hops_to_router(topo, router, dst_router)
 }
 
 /// Number of hops of the hierarchical minimal path between two routers.
-pub fn minimal_hops_to_router(topo: &Dragonfly, router: RouterId, target: RouterId) -> u32 {
+pub fn minimal_hops_to_router(topo: &impl Topology, router: RouterId, target: RouterId) -> u32 {
     if router == target {
         return 0;
     }
     let my_group = topo.router_group(router);
     let target_group = topo.router_group(target);
     if my_group == target_group {
-        return 1;
+        return topo.local_hops_between(router, target);
     }
-    let (gateway, _) = topo.gateway_to(my_group, target_group);
-    let (entry, _) = {
-        let gport = topo.gateway_to(my_group, target_group).1;
-        topo.global_neighbor(gateway, gport.class_offset(topo.params()))
-            .expect("populated groups are connected")
-    };
-    let mut hops = 1; // the global hop
-    if gateway != router {
-        hops += 1;
-    }
-    if entry != target {
-        hops += 1;
-    }
-    hops
+    let (gateway, gport) = topo.gateway_to(my_group, target_group);
+    let (entry, _) = topo
+        .global_neighbor(gateway, gport.class_offset(&topo.layout()))
+        .expect("populated groups are connected");
+    // the global hop plus whatever local hops flank it on each side
+    1 + topo.local_hops_between(router, gateway) + topo.local_hops_between(entry, target)
 }
 
 /// The group-level global link (`0..a*h`) the ECtN partial array must be
@@ -76,7 +68,7 @@ pub fn minimal_hops_to_router(topo: &Dragonfly, router: RouterId, target: Router
 /// a local port — the paper only counts injection queues and global input
 /// ports).
 pub fn ectn_link_for(
-    topo: &Dragonfly,
+    topo: &impl Topology,
     router: RouterId,
     input_class: PortClass,
     packet: &Packet,
@@ -96,7 +88,7 @@ pub fn ectn_link_for(
 mod tests {
     use super::*;
     use df_model::PacketId;
-    use df_topology::{DragonflyParams, GroupId};
+    use df_topology::{Dragonfly, DragonflyParams, GroupId};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small())

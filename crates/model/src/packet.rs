@@ -17,7 +17,7 @@
 //! * whether (and when) the packet was misrouted, for the misrouted-packet
 //!   statistics of Figures 7b and the throughput discussion.
 
-use df_topology::{Dragonfly, GroupId, NodeId, Port, RouterId};
+use df_topology::{GroupId, NodeId, Port, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 
 use crate::time::Cycle;
@@ -188,8 +188,8 @@ impl RoutingState {
     /// Record the traversal of one hop leaving a router through `port`, and
     /// update commitments the hop fulfils. `arrived_at` is the router at the
     /// far end of the hop.
-    pub fn note_hop(&mut self, topo: &Dragonfly, port: Port, arrived_at: RouterId) {
-        match port.class(topo.params()) {
+    pub fn note_hop(&mut self, topo: &impl Topology, port: Port, arrived_at: RouterId) {
+        match port.class(&topo.layout()) {
             df_topology::PortClass::Local => {
                 self.local_hops += 1;
                 self.local_hops_since_global += 1;
@@ -213,7 +213,12 @@ impl RoutingState {
 
     /// The router-level objective of the packet when it sits in router
     /// `current` and is destined to node `dst`.
-    pub fn objective(&self, topo: &Dragonfly, current: RouterId, dst: NodeId) -> RouteObjective {
+    pub fn objective(
+        &self,
+        topo: &impl Topology,
+        current: RouterId,
+        dst: NodeId,
+    ) -> RouteObjective {
         let dst_router = topo.node_router(dst);
         // 1. pending local detour has priority (we already committed the hop)
         if let Some(detour) = self.local_detour {
@@ -403,7 +408,7 @@ impl Packet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::DragonflyParams;
+    use df_topology::{Dragonfly, DragonflyParams};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small())

@@ -42,11 +42,12 @@ use crate::router::Router;
 /// router's own flags, so the result matches a snapshot-then-install
 /// exchange exactly.
 pub fn pb_exchange_group(group: &mut [Router], flat: &mut Vec<bool>) {
-    let h = group.first().map(|r| r.pb().own_flags().len()).unwrap_or(0);
+    // routers may own different numbers of global links (a Megafly leaf owns
+    // none), so gather by running offset — the concatenation in local-index
+    // order is exactly the group-link index space for both topologies
     flat.clear();
-    flat.resize(group.len() * h, false);
-    for (i, router) in group.iter().enumerate() {
-        flat[i * h..(i + 1) * h].copy_from_slice(router.pb().own_flags());
+    for router in group.iter() {
+        flat.extend_from_slice(router.pb().own_flags());
     }
     for router in group.iter_mut() {
         router.pb_mut().install_group_from(flat);

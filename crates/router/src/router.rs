@@ -2,7 +2,10 @@
 //! Dragonfly router.
 
 use df_model::{Cycle, NetworkConfig, Packet, VcId};
-use df_topology::{Dragonfly, GatewayLiveness, GroupId, Port, PortClass, PortPeer, RouterId};
+use df_topology::{
+    AnyTopology, GatewayLiveness, GroupId, Port, PortClass, PortLayout, PortPeer, RouterId,
+    Topology,
+};
 
 use crate::allocator::{AllocationRequest, Allocator, Grant};
 use crate::contention::ContentionCounters;
@@ -28,7 +31,7 @@ pub struct AppliedGrant {
 #[derive(Debug, Clone)]
 pub struct Router {
     id: RouterId,
-    topo: Dragonfly,
+    topo: AnyTopology,
     config: NetworkConfig,
     inputs: Vec<InputPort>,
     outputs: Vec<OutputPort>,
@@ -68,13 +71,14 @@ impl Router {
     /// configuration. Input buffers are sized by the class of the *local*
     /// port; output credits are sized by the class/VC-count of the peer's
     /// input port at the far end of each link.
-    pub fn new(id: RouterId, topo: Dragonfly, config: NetworkConfig) -> Self {
-        let params = *topo.params();
-        let radix = params.radix();
+    pub fn new(id: RouterId, topo: impl Into<AnyTopology>, config: NetworkConfig) -> Self {
+        let topo = topo.into();
+        let layout = topo.layout();
+        let radix = layout.radix();
         let mut inputs = Vec::with_capacity(radix as usize);
         let mut outputs = Vec::with_capacity(radix as usize);
-        for port in Port::all(&params) {
-            let class = port.class(&params);
+        for port in Port::all(&layout) {
+            let class = port.class(&layout);
             inputs.push(InputPort::new(
                 class,
                 config.vcs_for(class),
@@ -94,7 +98,7 @@ impl Router {
             };
             outputs.push(output);
         }
-        let global_links = params.global_links_per_group() as usize;
+        let global_links = topo.global_links_per_group() as usize;
         Router {
             id,
             topo,
@@ -103,7 +107,7 @@ impl Router {
             outputs,
             contention: ContentionCounters::new(radix as usize),
             ectn: EctnState::new(global_links),
-            pb: PbState::new(params.h as usize, global_links),
+            pb: PbState::new(topo.own_globals(id) as usize, global_links),
             allocator: Allocator::new(radix as usize),
             occupied_per_port: vec![0; radix as usize],
             occupied_total: 0,
@@ -129,7 +133,7 @@ impl Router {
     }
 
     /// The topology the router is embedded in.
-    pub fn topology(&self) -> &Dragonfly {
+    pub fn topology(&self) -> &AnyTopology {
         &self.topo
     }
 
@@ -629,10 +633,8 @@ impl Router {
         for up in &mut self.link_up {
             *up = d.bool()?;
         }
-        self.link_view = crate::snapshot::decode_gateway_liveness(
-            d,
-            self.topo.params().global_links_per_group(),
-        )?;
+        self.link_view =
+            crate::snapshot::decode_gateway_liveness(d, self.topo.global_links_per_group())?;
         // rebuild the derived counters from the restored queues/flags
         self.links_down = self.link_up.iter().filter(|&&up| !up).count() as u32;
         self.occupied_total = 0;
@@ -655,7 +657,7 @@ impl Router {
 mod tests {
     use super::*;
     use df_model::{Packet, PacketId};
-    use df_topology::{DragonflyParams, NodeId};
+    use df_topology::{Dragonfly, DragonflyParams, NodeId};
 
     fn router() -> Router {
         let topo = Dragonfly::new(DragonflyParams::small());

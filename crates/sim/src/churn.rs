@@ -43,7 +43,7 @@
 use crate::fault::FaultPlan;
 use df_engine::DeterministicRng;
 use df_model::Cycle;
-use df_topology::{Dragonfly, NodeId, Port, PortPeer};
+use df_topology::{NodeId, Port, PortLayout, PortPeer, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Mean time between failures / mean time to repair, in cycles, for one
@@ -169,7 +169,7 @@ impl ChurnModel {
     /// `(seed, topology, rates, window)`; the result always passes
     /// [`FaultPlan::validate`] (guarded by a debug assertion here and by
     /// configuration validation at build time).
-    pub fn generate(&self, topo: &Dragonfly) -> FaultPlan {
+    pub fn generate(&self, topo: &impl Topology) -> FaultPlan {
         let root = DeterministicRng::new(self.seed);
         let end = self.start.saturating_add(self.horizon);
         let mut plan = FaultPlan::new();
@@ -206,21 +206,25 @@ impl ChurnModel {
     fn churn_links(
         &self,
         mut plan: FaultPlan,
-        topo: &Dragonfly,
+        topo: &impl Topology,
         rate: &ChurnRate,
         root: &DeterministicRng,
         stream_tag: u64,
         global: bool,
     ) -> FaultPlan {
-        let params = *topo.params();
+        let layout = topo.layout();
         let end = self.start.saturating_add(self.horizon);
         for router in topo.routers() {
-            let offsets = if global { params.h } else { params.a - 1 };
+            let offsets = if global {
+                layout.globals()
+            } else {
+                layout.locals()
+            };
             for k in 0..offsets {
                 let port = if global {
-                    Port::global(&params, k)
+                    Port::global(&layout, k)
                 } else {
-                    Port::local(&params, k)
+                    Port::local(&layout, k)
                 };
                 let PortPeer::Router(peer, back) = topo.peer(router, port) else {
                     continue; // dangling link of a partially-populated network
@@ -228,7 +232,7 @@ impl ChurnModel {
                 if (peer.0, back.0) < (router.0, port.0) {
                     continue; // owned (and churned) by the other endpoint
                 }
-                let flat = u64::from(router.0) * u64::from(params.radix()) + u64::from(port.0);
+                let flat = u64::from(router.0) * u64::from(layout.radix()) + u64::from(port.0);
                 let mut rng = root.split(stream_tag | flat);
                 for (fail_at, restore_at) in intervals(&mut rng, rate, self.start, end) {
                     plan = plan.link_down(fail_at, router, port);
@@ -249,7 +253,7 @@ impl ChurnModel {
     fn churn_nodes(
         &self,
         mut plan: FaultPlan,
-        topo: &Dragonfly,
+        topo: &impl Topology,
         rate: &ChurnRate,
         root: &DeterministicRng,
     ) -> FaultPlan {
@@ -338,7 +342,7 @@ fn draw_cycles(rng: &mut DeterministicRng, mean: f64) -> Cycle {
 mod tests {
     use super::*;
     use crate::fault::FaultKind;
-    use df_topology::DragonflyParams;
+    use df_topology::{Dragonfly, DragonflyParams};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small())

@@ -2,7 +2,7 @@
 
 use df_model::NetworkConfig;
 use df_routing::{RoutingConfig, RoutingKind};
-use df_topology::{Dragonfly, DragonflyParams};
+use df_topology::{DragonflyParams, TopologyParams};
 use df_traffic::{InjectionKind, PatternKind, TaskWorkload, TrafficSchedule};
 use serde::{Deserialize, Serialize};
 
@@ -112,11 +112,79 @@ impl KernelMode {
     }
 }
 
+/// Error produced by [`SimulationConfig::validate`] /
+/// [`SimulationConfigBuilder::build`], naming the offending field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The `network` field (router/link microarchitecture) is invalid.
+    Network(String),
+    /// The `routing_config` field (routing thresholds) is invalid.
+    RoutingConfig(String),
+    /// The `injection` field (injection process) is invalid.
+    Injection(String),
+    /// The `offered_load` field is outside `[0, 1]`.
+    OfferedLoad(f64),
+    /// The `measurement_cycles` field is zero.
+    MeasurementWindow,
+    /// The `topology` field is invalid for simulation.
+    Topology(String),
+    /// The `kernel` field requests an absurd worker count.
+    Kernel(String),
+    /// The `faults` field does not validate against the topology.
+    Faults(String),
+    /// The attached churn model is invalid.
+    Churn(String),
+    /// The `workload` field does not fit the topology.
+    Workload(String),
+    /// One phase of the `schedule` field is invalid.
+    SchedulePhase {
+        /// Index of the offending phase.
+        phase: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Network(e) => write!(f, "network: {e}"),
+            ConfigError::RoutingConfig(e) => write!(f, "routing_config: {e}"),
+            ConfigError::Injection(e) => write!(f, "injection: {e}"),
+            ConfigError::OfferedLoad(load) => write!(
+                f,
+                "offered_load: must be in [0,1] phits/(node*cycle), got {load}"
+            ),
+            ConfigError::MeasurementWindow => write!(
+                f,
+                "measurement_cycles: measurement window must be at least one cycle"
+            ),
+            ConfigError::Topology(e) => write!(f, "topology: {e}"),
+            ConfigError::Kernel(e) => write!(f, "kernel: {e}"),
+            ConfigError::Faults(e) => write!(f, "faults: {e}"),
+            ConfigError::Churn(e) => write!(f, "churn: {e}"),
+            ConfigError::Workload(e) => write!(f, "workload: {e}"),
+            ConfigError::SchedulePhase { phase, reason } => {
+                write!(f, "schedule phase {phase}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<ConfigError> for String {
+    fn from(e: ConfigError) -> String {
+        e.to_string()
+    }
+}
+
 /// Complete configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
-    /// Dragonfly sizing parameters.
-    pub topology: DragonflyParams,
+    /// Topology kind and sizing parameters (canonical Dragonfly or
+    /// Megafly/Dragonfly+).
+    pub topology: TopologyParams,
     /// Router/link microarchitecture (Table I).
     pub network: NetworkConfig,
     /// Routing mechanism.
@@ -161,48 +229,53 @@ impl SimulationConfig {
     }
 
     /// Validate the combination of parameters.
-    pub fn validate(&self) -> Result<(), String> {
-        self.network.validate()?;
-        self.routing_config.validate()?;
-        self.injection.validate()?;
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.network.validate().map_err(ConfigError::Network)?;
+        self.routing_config
+            .validate()
+            .map_err(ConfigError::RoutingConfig)?;
+        self.injection.validate().map_err(ConfigError::Injection)?;
         if !(0.0..=1.0).contains(&self.offered_load) {
-            return Err(format!(
-                "offered load must be in [0,1] phits/(node*cycle), got {}",
-                self.offered_load
-            ));
+            return Err(ConfigError::OfferedLoad(self.offered_load));
         }
         if self.measurement_cycles == 0 {
-            return Err("measurement window must be at least one cycle".into());
+            return Err(ConfigError::MeasurementWindow);
         }
         if self.topology.num_groups() < 2 {
-            return Err("the network needs at least two groups".into());
+            return Err(ConfigError::Topology(
+                "the network needs at least two groups".into(),
+            ));
         }
         if let KernelMode::Parallel { workers } = self.kernel {
             if workers > MAX_PARALLEL_WORKERS {
-                return Err(format!(
+                return Err(ConfigError::Kernel(format!(
                     "parallel kernel worker count {workers} exceeds the sanity cap of {MAX_PARALLEL_WORKERS} (use 0 for auto-detection)"
-                ));
+                )));
             }
         }
-        let topo = Dragonfly::new(self.topology);
-        self.faults.validate(&topo)?;
+        let topo = self.topology.build();
+        self.faults.validate(&topo).map_err(ConfigError::Faults)?;
         if let Some(workload) = &self.workload {
             let groups = self.topology.num_groups();
-            let nodes_per_group = self.topology.num_nodes() / groups;
+            let nodes_per_group = self.topology.nodes_per_group();
             workload
                 .validate(groups, nodes_per_group)
-                .map_err(|e| format!("workload: {e}"))?;
+                .map_err(ConfigError::Workload)?;
         }
         for (i, phase) in self.schedule.phases().iter().enumerate() {
             phase
                 .pattern
                 .validate(&topo)
-                .map_err(|e| format!("schedule phase {i}: {e}"))?;
+                .map_err(|e| ConfigError::SchedulePhase {
+                    phase: i,
+                    reason: e,
+                })?;
             if let Some(load) = phase.load {
                 if !(0.0..=1.0).contains(&load) {
-                    return Err(format!(
-                        "schedule phase {i}: load must be in [0,1], got {load}"
-                    ));
+                    return Err(ConfigError::SchedulePhase {
+                        phase: i,
+                        reason: format!("load must be in [0,1], got {load}"),
+                    });
                 }
             }
         }
@@ -219,7 +292,7 @@ impl SimulationConfig {
 /// larger values.
 #[derive(Debug, Clone)]
 pub struct SimulationConfigBuilder {
-    topology: DragonflyParams,
+    topology: TopologyParams,
     network: NetworkConfig,
     routing: RoutingKind,
     routing_config: Option<RoutingConfig>,
@@ -238,7 +311,7 @@ pub struct SimulationConfigBuilder {
 impl Default for SimulationConfigBuilder {
     fn default() -> Self {
         SimulationConfigBuilder {
-            topology: DragonflyParams::small(),
+            topology: DragonflyParams::small().into(),
             network: NetworkConfig::paper_table1(),
             routing: RoutingKind::Base,
             routing_config: None,
@@ -257,9 +330,11 @@ impl Default for SimulationConfigBuilder {
 }
 
 impl SimulationConfigBuilder {
-    /// Set the Dragonfly sizing parameters.
-    pub fn topology(mut self, topology: DragonflyParams) -> Self {
-        self.topology = topology;
+    /// Set the topology kind and sizing parameters. Accepts
+    /// [`DragonflyParams`], [`df_topology::MegaflyParams`] or a
+    /// [`TopologyParams`] directly.
+    pub fn topology(mut self, topology: impl Into<TopologyParams>) -> Self {
+        self.topology = topology.into();
         self
     }
 
@@ -369,14 +444,14 @@ impl SimulationConfigBuilder {
     /// Finalise and validate the configuration. An attached churn model is
     /// lowered here: its generated fault events are merged into the fault
     /// plan and the combined plan is validated like any hand-written one.
-    pub fn build(self) -> Result<SimulationConfig, String> {
-        let routing_config = self
-            .routing_config
-            .unwrap_or_else(|| RoutingConfig::calibrated_for(&self.topology, &self.network.vcs));
+    pub fn build(self) -> Result<SimulationConfig, ConfigError> {
+        let routing_config = self.routing_config.unwrap_or_else(|| {
+            RoutingConfig::calibrated_for(&self.topology.layout(), &self.network.vcs)
+        });
         let faults = match &self.churn {
             Some(churn) => {
-                churn.validate()?;
-                let topo = Dragonfly::new(self.topology);
+                churn.validate().map_err(ConfigError::Churn)?;
+                let topo = self.topology.build();
                 self.faults.clone().merged(churn.generate(&topo))
             }
             None => self.faults,
@@ -409,7 +484,7 @@ mod tests {
     fn builder_defaults_are_valid() {
         let c = SimulationConfig::builder().build().unwrap();
         assert_eq!(c.routing, RoutingKind::Base);
-        assert_eq!(c.topology, DragonflyParams::small());
+        assert_eq!(c.topology, DragonflyParams::small().into());
         assert!(c.validate().is_ok());
         assert_eq!(c.total_cycles(), 3_000);
         // thresholds were auto-calibrated for the small topology
@@ -486,7 +561,7 @@ mod tests {
 
     #[test]
     fn scenario_carries_its_fault_plan_into_the_config() {
-        use df_topology::{GroupId, RouterId};
+        use df_topology::{Dragonfly, GroupId, RouterId};
         let topo = Dragonfly::new(DragonflyParams::small());
         let (gw, port) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(2));
         let scenario = Scenario::steady(PatternKind::Uniform)

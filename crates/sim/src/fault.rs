@@ -73,7 +73,7 @@
 //! worker count** (guarded by `tests/kernel_equivalence.rs`).
 
 use df_model::Cycle;
-use df_topology::{Dragonfly, GroupId, NodeId, Port, PortClass, PortPeer, RouterId};
+use df_topology::{GroupId, NodeId, Port, PortClass, PortLayout, PortPeer, RouterId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// What a fault event does.
@@ -202,7 +202,7 @@ impl FaultPlan {
     /// The endpoint `(router, port)` of the unique global link connecting
     /// two distinct groups — a convenience for building plans that degrade
     /// specific group pairs.
-    pub fn global_link_between(topo: &Dragonfly, g1: GroupId, g2: GroupId) -> (RouterId, Port) {
+    pub fn global_link_between(topo: &impl Topology, g1: GroupId, g2: GroupId) -> (RouterId, Port) {
         topo.gateway_to(g1, g2)
     }
 
@@ -248,8 +248,8 @@ impl FaultPlan {
     ///   already failed, no `NodeRestore` on a live node, the spare must be
     ///   a different node, and the spare must be *live* at the fail cycle
     ///   (so retarget chains can never cycle).
-    pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
-        let params = topo.params();
+    pub fn validate(&self, topo: &impl Topology) -> Result<(), String> {
+        let layout = topo.layout();
         let num_routers = topo.num_routers();
         let num_nodes = topo.num_nodes();
         for (i, event) in self.events.iter().enumerate() {
@@ -257,10 +257,10 @@ impl FaultPlan {
                 if router.0 >= num_routers {
                     return Err(format!("fault event {i}: router {router} out of range"));
                 }
-                if port.0 >= params.radix() {
+                if port.0 >= layout.radix() {
                     return Err(format!("fault event {i}: port {port} out of range"));
                 }
-                if port.class(params) == PortClass::Terminal {
+                if port.class(&layout) == PortClass::Terminal {
                     return Err(format!(
                         "fault event {i}: terminal links cannot fail on their own (router \
                          {router} port {port}) — model node failure as a NodeFail event \
@@ -312,7 +312,7 @@ impl FaultPlan {
     /// [`validate`](Self::validate)). Links are canonicalised to their
     /// lexicographically smaller directed end, so the two endpoint namings
     /// of one bidirectional link collide as intended.
-    fn validate_link_sequences(&self, topo: &Dragonfly) -> Result<(), String> {
+    fn validate_link_sequences(&self, topo: &impl Topology) -> Result<(), String> {
         use std::collections::BTreeMap;
         let canonical = |router: RouterId, port: Port| -> (u32, u32) {
             match topo.peer(router, port) {
@@ -414,7 +414,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::DragonflyParams;
+    use df_topology::{Dragonfly, DragonflyParams};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small())

@@ -66,7 +66,7 @@ pub mod task;
 pub mod telemetry;
 
 pub use churn::{ChurnModel, ChurnRate};
-pub use config::{KernelMode, SimulationConfig, SimulationConfigBuilder};
+pub use config::{ConfigError, KernelMode, SimulationConfig, SimulationConfigBuilder};
 pub use experiment::{
     average_reports, SteadyStateExperiment, SteadyStateReport, StreamingReport,
     StreamingRunOptions, TransientExperiment, TransientReport,

@@ -71,7 +71,7 @@ use df_router::{Grant, Router};
 use df_routing::algorithms::piggyback;
 use df_routing::{minimal, RoutingAlgorithm};
 use df_topology::{
-    Dragonfly, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortPeer, RouterId,
+    AnyTopology, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortPeer, RouterId, Topology,
 };
 use df_traffic::TrafficPattern;
 use std::collections::BTreeMap;
@@ -128,7 +128,7 @@ impl KernelQueue {
 /// The whole simulated network.
 pub struct Network {
     config: SimulationConfig,
-    topo: Dragonfly,
+    topo: AnyTopology,
     algorithm: RoutingAlgorithm,
     routers: Vec<Router>,
     nodes: Vec<Node>,
@@ -227,7 +227,7 @@ impl Network {
     /// Build a network from a validated configuration.
     pub fn new(config: SimulationConfig) -> Self {
         config.validate().expect("invalid simulation configuration");
-        let topo = Dragonfly::new(config.topology);
+        let topo = config.topology.build();
         let root_rng = DeterministicRng::new(config.seed);
         let routers: Vec<Router> = topo
             .routers()
@@ -352,7 +352,7 @@ impl Network {
     }
 
     /// The topology.
-    pub fn topology(&self) -> &Dragonfly {
+    pub fn topology(&self) -> &AnyTopology {
         &self.topo
     }
 
@@ -988,7 +988,7 @@ impl Network {
                                 .schedule(tail_at + latency, Event::Delivery { node, packet });
                         }
                         PortPeer::Router(peer, peer_port) => {
-                            let class = port.class(self.topo.params());
+                            let class = port.class(&self.topo.layout());
                             let latency = self.config.network.link_latency_for(class) as Cycle;
                             self.events.schedule(
                                 tail_at + latency,
@@ -1087,10 +1087,9 @@ impl Network {
     /// benchmarked against). Each group installs its *own* flooded
     /// gateway-liveness view, exactly like the sharded phase.
     fn disseminate_pb_legacy(&mut self) {
-        let params = *self.topo.params();
         for g in 0..self.topo.num_groups() {
             let group = GroupId(g);
-            let mut group_flags = Vec::with_capacity((params.a * params.h) as usize);
+            let mut group_flags = Vec::with_capacity(self.topo.global_links_per_group() as usize);
             for r in self.topo.routers_in_group(group) {
                 group_flags.extend(self.routers[r.index()].pb().own_snapshot());
             }

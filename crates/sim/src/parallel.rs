@@ -51,7 +51,7 @@ use df_model::{Cycle, NetworkConfig, VcId};
 use df_router::{dissemination, AllocationRequest, Grant, Router};
 use df_routing::algorithms::piggyback;
 use df_routing::{minimal, Commitment, Decision, DecisionKind, RoutingAlgorithm};
-use df_topology::{Dragonfly, GatewayLiveness, Port, PortClass, PortPeer};
+use df_topology::{AnyTopology, GatewayLiveness, Port, PortClass, PortPeer, Topology};
 
 use crate::events::Event;
 
@@ -64,7 +64,7 @@ pub(crate) type SentPacket = (Port, df_model::Packet, VcId, Cycle);
 #[derive(Clone, Copy)]
 pub(crate) struct StepCtx {
     /// The topology (plain sizing data).
-    pub topo: Dragonfly,
+    pub topo: AnyTopology,
     /// The routing mechanism and its thresholds.
     pub algorithm: RoutingAlgorithm,
     /// Router/link microarchitecture (link latencies for staged events).
@@ -200,7 +200,7 @@ pub(crate) unsafe fn execute_shard(job: &PhaseJob, w: usize) {
             }
         }
         PhaseKind::Pb | PhaseKind::Ectn => {
-            let a = ctx.topo.params().a as usize;
+            let a = ctx.topo.routers_per_group() as usize;
             for g in lo..hi {
                 let group = std::slice::from_raw_parts_mut(job.routers.add(g * a), a);
                 let linkview = &*job.linkviews.add(g);
@@ -451,7 +451,7 @@ pub(crate) fn apply_one_grant_staged(
     }
     // misrouted-percentage statistics: count each packet once, when it
     // takes its first global hop
-    if grant.output_port.class(ctx.topo.params()) == PortClass::Global {
+    if grant.output_port.class(&ctx.topo.layout()) == PortClass::Global {
         let head = router
             .input(grant.input_port)
             .vc(grant.input_vc.index())
@@ -496,7 +496,7 @@ pub(crate) fn transmit_one(router: &mut Router, ctx: &StepCtx, now: Cycle, shard
                     .push((tail_at + latency, Event::Delivery { node, packet }));
             }
             PortPeer::Router(peer, peer_port) => {
-                let class = port.class(ctx.topo.params());
+                let class = port.class(&ctx.topo.layout());
                 let latency = ctx.network.link_latency_for(class) as Cycle;
                 shard.staged_events.push((
                     tail_at + latency,

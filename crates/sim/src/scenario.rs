@@ -295,7 +295,7 @@ impl Scenario {
 
     /// Validate every phase pattern against a topology, plus the injection
     /// process.
-    pub fn validate(&self, topo: &df_topology::Dragonfly) -> Result<(), String> {
+    pub fn validate(&self, topo: &impl df_topology::Topology) -> Result<(), String> {
         if self.phases.is_empty() {
             return Err(format!("scenario '{}' has no phases", self.name));
         }
@@ -309,8 +309,8 @@ impl Scenario {
                 .map_err(|e| format!("scenario '{}': {e}", self.name))?;
         }
         if let Some(workload) = &self.workload {
-            let groups = topo.params().num_groups();
-            let nodes_per_group = topo.params().num_nodes() / groups;
+            let groups = topo.num_groups();
+            let nodes_per_group = topo.nodes_per_group();
             workload
                 .validate(groups, nodes_per_group)
                 .map_err(|e| format!("scenario '{}': workload: {e}", self.name))?;

@@ -37,7 +37,7 @@
 use df_engine::{CodecError, Decoder, DeterministicRng, Encoder};
 use df_model::{Cycle, VcId};
 use df_router::{decode_gateway_liveness, encode_gateway_liveness};
-use df_topology::{LinkState, NodeId, Port, RouterId};
+use df_topology::{LinkState, NodeId, Port, RouterId, Topology};
 
 use super::{KernelQueue, Network};
 use crate::config::{KernelMode, SimulationConfig};
@@ -46,19 +46,25 @@ use std::collections::BTreeMap;
 
 /// Frame magic of a simulation snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DFSIMSNP";
-/// Current snapshot format version. Version 2 extends the metrics section
-/// with the task-layer counters and appends the task engine's execution
-/// state (version-1 snapshots are rejected rather than misread).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Current snapshot format version. Version 2 extended the metrics section
+/// with the task-layer counters and appended the task engine's execution
+/// state; version 3 folds the topology *kind* into the configuration
+/// fingerprint so a snapshot can never silently restore onto a different
+/// topology family (older snapshots are rejected rather than misread).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Fingerprint of a configuration, used to pair snapshots with the
 /// configuration they were taken under. The kernel mode is normalised away:
 /// simulation state is kernel-independent (the determinism contract), so a
 /// snapshot is deliberately restorable under a different kernel.
+/// The topology kind leads the hashed string explicitly (it is also part of
+/// the `Debug` body) so cross-topology restores fail loudly even if two
+/// parameterisations ever print alike.
 pub fn config_fingerprint(config: &SimulationConfig) -> u64 {
     let mut normalized = config.clone();
     normalized.kernel = KernelMode::Optimized;
-    df_engine::codec::fnv1a64(format!("{normalized:?}").as_bytes())
+    let kind = normalized.topology.kind();
+    df_engine::codec::fnv1a64(format!("{kind:?}|{normalized:?}").as_bytes())
 }
 
 fn encode_event(at: Cycle, event: &Event, e: &mut Encoder) {
@@ -346,7 +352,7 @@ impl Network {
             lost_credits.insert((r, p), per_vc);
         }
         net.lost_credits = lost_credits;
-        let links_per_group = net.topo.params().global_links_per_group();
+        let links_per_group = net.topo.global_links_per_group();
         net.linkview_truth = decode_gateway_liveness(&mut d, links_per_group)?;
         for views in [&mut net.group_views, &mut net.group_views_prev] {
             let n = d.seq(13)?;
@@ -406,7 +412,7 @@ impl Network {
         // (restore_state already set them from the per-router snapshot; this
         // is a consistency check, not a rebuild)
         for r in net.topo.routers() {
-            for port in Port::all(net.topo.params()) {
+            for port in Port::all(&net.topo.layout()) {
                 if net.routers[r.index()].link_is_up(port) != net.link_state.is_up(r, port) {
                     return Err(CodecError::Invalid(format!(
                         "snapshot link flags disagree with the availability mask at ({r}, {port})"
@@ -453,7 +459,7 @@ mod tests {
     use crate::fault::FaultPlan;
     use df_model::NetworkConfig;
     use df_routing::RoutingKind;
-    use df_topology::{Dragonfly, DragonflyParams, GroupId};
+    use df_topology::{DragonflyParams, GroupId};
     use df_traffic::PatternKind;
 
     fn config(kernel: KernelMode, seed: u64) -> SimulationConfig {
@@ -601,10 +607,62 @@ mod tests {
     }
 
     #[test]
+    fn cross_topology_restore_is_rejected() {
+        // a Dragonfly snapshot must not restore under a Megafly
+        // configuration, even one with the identical node count and network
+        // microarchitecture — the topology kind is part of the fingerprint
+        let cfg = config(KernelMode::Optimized, 7);
+        let mut net = Network::new(cfg.clone());
+        net.run_cycles(50);
+        let bytes = net.snapshot();
+
+        let mut megafly = cfg.clone();
+        megafly.topology = df_topology::MegaflyParams::small().into();
+        assert_eq!(
+            megafly.topology.num_nodes(),
+            cfg.topology.num_nodes(),
+            "the rejection must come from the kind, not the size"
+        );
+        assert!(matches!(
+            Network::restore(megafly, &bytes),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn megafly_snapshot_restore_resumes_bit_identically() {
+        // the snapshot subsystem is topology-generic: a mid-measurement
+        // Megafly snapshot resumes onto the reference trajectory exactly
+        let mut cfg = config(KernelMode::Optimized, 11);
+        cfg.topology = df_topology::MegaflyParams::small().into();
+        let mut reference = Network::new(cfg.clone());
+        reference.run_cycles(100);
+        let start = reference.cycle();
+        reference.metrics_mut().start_measurement(start);
+        reference.run_cycles(400);
+        let drained_ref = reference.drain(100_000);
+
+        let mut first = Network::new(cfg.clone());
+        first.run_cycles(100);
+        let start = first.cycle();
+        first.metrics_mut().start_measurement(start);
+        first.run_cycles(137);
+        let bytes = first.snapshot();
+        drop(first);
+
+        let mut resumed = Network::restore(cfg, &bytes).expect("megafly snapshot restores");
+        resumed.run_cycles(400 - 137);
+        let drained_resumed = resumed.drain(100_000);
+
+        assert_eq!(drained_ref, drained_resumed);
+        assert_eq!(end_state(&reference), end_state(&resumed));
+    }
+
+    #[test]
     fn snapshot_mid_fault_window_resumes_bit_identically() {
         // snapshot while links are down and lost credits are ledgered
         let base = config(KernelMode::Optimized, 31);
-        let topo = Dragonfly::new(base.topology);
+        let topo = base.topology.build();
         let (r1, p1) = FaultPlan::global_link_between(&topo, GroupId(0), GroupId(3));
         let (r2, p2) = FaultPlan::global_link_between(&topo, GroupId(2), GroupId(5));
         let faults = FaultPlan::new()

@@ -195,7 +195,7 @@ impl ScenarioMatrix {
     ///
     /// [`SimulationConfigBuilder::build`]: crate::config::SimulationConfigBuilder::build
     pub fn cells(&self) -> Vec<(MatrixKey, SimulationConfig)> {
-        let topo = df_topology::Dragonfly::new(self.base.topology);
+        let topo = self.base.topology.build();
         let mut out = Vec::with_capacity(self.num_cells());
         for (s_idx, scenario) in self.scenarios.iter().enumerate() {
             let faults = match scenario.churn_model() {

@@ -35,7 +35,7 @@
 use std::collections::BTreeMap;
 
 use df_model::{Cycle, Packet, PacketId};
-use df_topology::{Dragonfly, NodeId};
+use df_topology::{NodeId, Topology};
 use df_traffic::{TaskStep, TaskWorkload};
 
 use crate::config::SimulationConfig;
@@ -102,9 +102,9 @@ impl TaskEngine {
     /// Lower `workload` onto `topo` and build a fresh engine. The workload
     /// must already have passed [`TaskWorkload::validate`] for this
     /// topology (configuration validation guarantees it).
-    pub(crate) fn new(workload: &TaskWorkload, topo: &Dragonfly, packet_size: u32) -> Self {
+    pub(crate) fn new(workload: &TaskWorkload, topo: &impl Topology, packet_size: u32) -> Self {
         let groups = topo.num_groups();
-        let nodes_per_group = topo.num_nodes() / groups;
+        let nodes_per_group = topo.nodes_per_group();
         let ranks = workload.ranks as usize;
         let node_of_rank: Vec<u32> = (0..workload.ranks)
             .map(|r| workload.placement.node_of_rank(r, groups, nodes_per_group))

@@ -31,14 +31,20 @@
 
 pub mod dragonfly;
 pub mod ids;
+pub mod layout;
 pub mod linkstate;
+pub mod megafly;
 pub mod params;
 pub mod path;
 pub mod port;
+pub mod topology;
 
 pub use dragonfly::{Dragonfly, PortPeer};
 pub use ids::{GroupId, NodeId, RouterId};
+pub use layout::{PortLayout, RadixLayout};
 pub use linkstate::{GatewayLiveness, LinkState};
+pub use megafly::{Megafly, MegaflyParams, MegaflyParamsError};
 pub use params::DragonflyParams;
 pub use path::{HopKind, PathHop};
 pub use port::{Port, PortClass};
+pub use topology::{AnyTopology, IdIter, Topology, TopologyKind, TopologyParams};

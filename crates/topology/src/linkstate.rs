@@ -13,9 +13,11 @@
 //! and the router model (`df-router`), which mirror these bits into their
 //! own per-router state.
 
-use crate::dragonfly::{Dragonfly, PortPeer};
+use crate::dragonfly::PortPeer;
 use crate::ids::{GroupId, NodeId, RouterId};
+use crate::layout::PortLayout;
 use crate::port::{Port, PortClass};
+use crate::topology::Topology;
 
 /// Dynamic link availability over a [`Dragonfly`] topology: one `up` bit per
 /// directed `(router, port)` pair.
@@ -32,8 +34,8 @@ pub struct LinkState {
 
 impl LinkState {
     /// All links up.
-    pub fn new(topo: &Dragonfly) -> Self {
-        let radix = topo.params().radix();
+    pub fn new(topo: &impl Topology) -> Self {
+        let radix = topo.layout().radix();
         LinkState {
             radix,
             up: vec![true; (topo.num_routers() * radix) as usize],
@@ -85,7 +87,7 @@ impl LinkState {
     /// for a terminal or unconnected port only the local end.
     pub fn set_link(
         &mut self,
-        topo: &Dragonfly,
+        topo: &impl Topology,
         router: RouterId,
         port: Port,
         up: bool,
@@ -120,7 +122,7 @@ impl LinkState {
 
     /// Whether the unique direct global link between two distinct groups is
     /// usable in *both* directions.
-    pub fn group_pair_connected(&self, topo: &Dragonfly, g1: GroupId, g2: GroupId) -> bool {
+    pub fn group_pair_connected(&self, topo: &impl Topology, g1: GroupId, g2: GroupId) -> bool {
         let (gw, port) = topo.gateway_to(g1, g2);
         if !self.is_up(gw, port) {
             return false;
@@ -134,17 +136,17 @@ impl LinkState {
     /// Number of routers reachable from `from` (including itself) following
     /// only *up* directed router-to-router links — a BFS over the degraded
     /// wiring.
-    pub fn reachable_routers(&self, topo: &Dragonfly, from: RouterId) -> usize {
+    pub fn reachable_routers(&self, topo: &impl Topology, from: RouterId) -> usize {
         let n = topo.num_routers() as usize;
         let mut seen = vec![false; n];
         let mut queue = std::collections::VecDeque::new();
         seen[from.index()] = true;
         queue.push_back(from);
         let mut count = 1usize;
-        let params = *topo.params();
+        let layout = topo.layout();
         while let Some(r) = queue.pop_front() {
-            for port in Port::all(&params) {
-                if port.class(&params) == PortClass::Terminal || !self.is_up(r, port) {
+            for port in Port::all(&layout) {
+                if port.class(&layout) == PortClass::Terminal || !self.is_up(r, port) {
                     continue;
                 }
                 if let PortPeer::Router(peer, _) = topo.peer(r, port) {
@@ -166,7 +168,7 @@ impl LinkState {
     /// [`set_directed`](Self::set_directed) calls) it only certifies the
     /// forward orientation — use [`reachable_routers`](Self::reachable_routers)
     /// from the routers of interest for the full picture.
-    pub fn connected(&self, topo: &Dragonfly) -> bool {
+    pub fn connected(&self, topo: &impl Topology) -> bool {
         let n = topo.num_routers() as usize;
         if n == 0 {
             return true;
@@ -271,9 +273,9 @@ pub struct GatewayLiveness {
 
 impl GatewayLiveness {
     /// All gateway links and nodes up.
-    pub fn new(topo: &Dragonfly) -> Self {
+    pub fn new(topo: &impl Topology) -> Self {
         GatewayLiveness {
-            links_per_group: topo.params().global_links_per_group(),
+            links_per_group: topo.global_links_per_group(),
             version: 0,
             down: Vec::new(),
             nodes_down: Vec::new(),
@@ -383,18 +385,28 @@ impl GatewayLiveness {
     /// Mark the bidirectional global link attached at `(router, port)` up or
     /// down in **both** incident groups' index spaces — the form fault
     /// events arrive in. Non-global and unwired ports are ignored.
-    pub fn set_global_link(&mut self, topo: &Dragonfly, router: RouterId, port: Port, up: bool) {
-        if port.class(topo.params()) != PortClass::Global {
+    pub fn set_global_link(
+        &mut self,
+        topo: &impl Topology,
+        router: RouterId,
+        port: Port,
+        up: bool,
+    ) {
+        let layout = topo.layout();
+        if port.class(&layout) != PortClass::Global {
             return;
         }
-        let k = port.class_offset(topo.params());
+        let k = port.class_offset(&layout);
+        if k >= topo.own_globals(router) {
+            return; // padded global index without a link (e.g. Megafly leaf)
+        }
         let group = topo.router_group(router);
         let j = topo.global_link_index(router, k);
         let Some((peer, peer_port)) = topo.global_neighbor(router, k) else {
             return;
         };
         let peer_group = topo.router_group(peer);
-        let peer_j = topo.global_link_index(peer, peer_port.class_offset(topo.params()));
+        let peer_j = topo.global_link_index(peer, peer_port.class_offset(&layout));
         self.set_entry(group, j, up);
         self.set_entry(peer_group, peer_j, up);
     }
@@ -472,7 +484,7 @@ impl GatewayLiveness {
     pub fn merge_own_from(
         &mut self,
         truth: &GatewayLiveness,
-        topo: &Dragonfly,
+        topo: &impl Topology,
         group: GroupId,
     ) -> bool {
         let lo = group.0 * truth.links_per_group;
@@ -560,6 +572,7 @@ impl GatewayLiveness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dragonfly::Dragonfly;
     use crate::params::DragonflyParams;
 
     fn topo() -> Dragonfly {

@@ -1,5 +1,6 @@
 //! Dragonfly sizing parameters `(p, a, h)` and derived quantities.
 
+use crate::layout::PortLayout;
 use serde::{Deserialize, Serialize};
 
 /// Sizing parameters of a canonical Dragonfly network.
@@ -153,6 +154,21 @@ impl DragonflyParams {
     /// `1 / (a*p)` phits/(node·cycle) with minimal routing.
     pub fn adversarial_min_throughput_limit(&self) -> f64 {
         1.0 / (self.a as f64 * self.p as f64)
+    }
+}
+
+impl PortLayout for DragonflyParams {
+    #[inline]
+    fn terminals(&self) -> u32 {
+        self.p
+    }
+    #[inline]
+    fn locals(&self) -> u32 {
+        self.a - 1
+    }
+    #[inline]
+    fn globals(&self) -> u32 {
+        self.h
     }
 }
 

@@ -1,20 +1,21 @@
 //! Router ports: numbering convention and classification.
 //!
-//! Every router has `p + (a-1) + h` ports, numbered consecutively:
+//! Every router's ports are numbered consecutively by class, as described by
+//! a [`PortLayout`] (for a Dragonfly: `p` terminals, `a-1` locals, `h`
+//! globals):
 //!
-//! | index range                 | class      | connects to                      |
-//! |-----------------------------|------------|----------------------------------|
-//! | `0 .. p`                    | terminal   | the `p` compute nodes (injection *and* ejection) |
-//! | `p .. p + (a-1)`            | local      | the other `a-1` routers of the group |
-//! | `p + (a-1) .. p + (a-1) + h`| global     | routers in other groups          |
+//! | index range                     | class      | connects to                      |
+//! |---------------------------------|------------|----------------------------------|
+//! | `0 .. terminals`                | terminal   | the attached compute nodes (injection *and* ejection) |
+//! | `terminals .. terminals+locals` | local      | other routers of the group       |
+//! | `terminals+locals .. radix`     | global     | routers in other groups          |
 //!
-//! The *local* port with offset `k` connects to the group-local router whose
-//! local index is obtained by skipping the router itself (see
-//! [`crate::Dragonfly::local_neighbor`]). The *global* port with offset `k` is
-//! the router's `k`-th global link, wired according to the palmtree
-//! arrangement.
+//! The *local* port with offset `k` connects to the group-local router given
+//! by the topology's wiring (see
+//! [`crate::topology::Topology::local_neighbor`]). The *global* port with
+//! offset `k` is the router's `k`-th global link.
 
-use crate::params::DragonflyParams;
+use crate::layout::PortLayout;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -50,37 +51,37 @@ impl Port {
         self.0 as usize
     }
 
-    /// Build the terminal port for local node offset `k` (`0 <= k < p`).
+    /// Build the terminal port for local node offset `k`
+    /// (`0 <= k < terminals`).
     #[inline]
     pub fn terminal(k: u32) -> Port {
         Port(k)
     }
 
-    /// Build the local port with offset `k` (`0 <= k < a-1`).
+    /// Build the local port with offset `k` (`0 <= k < locals`).
     #[inline]
-    pub fn local(params: &DragonflyParams, k: u32) -> Port {
-        debug_assert!(k < params.a - 1);
-        Port(params.p + k)
+    pub fn local(layout: &impl PortLayout, k: u32) -> Port {
+        debug_assert!(k < layout.locals());
+        Port(layout.terminals() + k)
     }
 
-    /// Build the global port with offset `k` (`0 <= k < h`).
+    /// Build the global port with offset `k` (`0 <= k < globals`).
     #[inline]
-    pub fn global(params: &DragonflyParams, k: u32) -> Port {
-        debug_assert!(k < params.h);
-        Port(params.p + (params.a - 1) + k)
+    pub fn global(layout: &impl PortLayout, k: u32) -> Port {
+        debug_assert!(k < layout.globals());
+        Port(layout.terminals() + layout.locals() + k)
     }
 
-    /// Classify this port under the given topology parameters.
+    /// Classify this port under the given layout.
     #[inline]
-    pub fn class(self, params: &DragonflyParams) -> PortClass {
-        let p = params.p;
-        let a = params.a;
-        if self.0 < p {
+    pub fn class(self, layout: &impl PortLayout) -> PortClass {
+        let t = layout.terminals();
+        if self.0 < t {
             PortClass::Terminal
-        } else if self.0 < p + (a - 1) {
+        } else if self.0 < t + layout.locals() {
             PortClass::Local
         } else {
-            debug_assert!(self.0 < params.radix(), "port {} out of radix", self.0);
+            debug_assert!(self.0 < layout.radix(), "port {} out of radix", self.0);
             PortClass::Global
         }
     }
@@ -88,34 +89,34 @@ impl Port {
     /// Offset of this port within its class (e.g. the 3rd global port has
     /// offset 2).
     #[inline]
-    pub fn class_offset(self, params: &DragonflyParams) -> u32 {
-        match self.class(params) {
+    pub fn class_offset(self, layout: &impl PortLayout) -> u32 {
+        match self.class(layout) {
             PortClass::Terminal => self.0,
-            PortClass::Local => self.0 - params.p,
-            PortClass::Global => self.0 - params.p - (params.a - 1),
+            PortClass::Local => self.0 - layout.terminals(),
+            PortClass::Global => self.0 - layout.terminals() - layout.locals(),
         }
     }
 
-    /// Iterator over all ports of a router with the given parameters.
-    pub fn all(params: &DragonflyParams) -> impl Iterator<Item = Port> {
-        (0..params.radix()).map(Port)
+    /// Iterator over all ports of a router with the given layout.
+    pub fn all(layout: &impl PortLayout) -> impl Iterator<Item = Port> {
+        (0..layout.radix()).map(Port)
     }
 
     /// Iterator over the terminal ports.
-    pub fn terminals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
-        (0..params.p).map(Port)
+    pub fn terminals(layout: &impl PortLayout) -> impl Iterator<Item = Port> {
+        (0..layout.terminals()).map(Port)
     }
 
     /// Iterator over the local ports.
-    pub fn locals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
-        let p = params.p;
-        (0..params.a - 1).map(move |k| Port(p + k))
+    pub fn locals(layout: &impl PortLayout) -> impl Iterator<Item = Port> {
+        let t = layout.terminals();
+        (0..layout.locals()).map(move |k| Port(t + k))
     }
 
     /// Iterator over the global ports.
-    pub fn globals(params: &DragonflyParams) -> impl Iterator<Item = Port> {
-        let base = params.p + params.a - 1;
-        (0..params.h).map(move |k| Port(base + k))
+    pub fn globals(layout: &impl PortLayout) -> impl Iterator<Item = Port> {
+        let base = layout.terminals() + layout.locals();
+        (0..layout.globals()).map(move |k| Port(base + k))
     }
 }
 
@@ -128,6 +129,7 @@ impl fmt::Display for Port {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::DragonflyParams;
 
     fn params() -> DragonflyParams {
         DragonflyParams::small() // p=2, a=4, h=2 -> radix 7

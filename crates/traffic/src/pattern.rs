@@ -1,7 +1,7 @@
 //! Traffic patterns: who sends to whom.
 
 use df_engine::DeterministicRng;
-use df_topology::{Dragonfly, GroupId, NodeId};
+use df_topology::{AnyTopology, GroupId, NodeId, Topology};
 use serde::{Deserialize, Serialize};
 
 /// Declarative description of a traffic pattern, used in configuration files
@@ -96,7 +96,7 @@ impl PatternKind {
     }
 
     /// Check the pattern parameters against a topology without building it.
-    pub fn validate(&self, topo: &Dragonfly) -> Result<(), String> {
+    pub fn validate(&self, topo: &impl Topology) -> Result<(), String> {
         let n = topo.num_nodes();
         match *self {
             PatternKind::Uniform | PatternKind::Permutation { .. } | PatternKind::BitReversal => {}
@@ -127,7 +127,7 @@ impl PatternKind {
                 if topo.num_groups() < 2 {
                     return Err("group-local traffic needs at least two groups".into());
                 }
-                let group_size = topo.params().a * topo.params().p;
+                let group_size = topo.nodes_per_group();
                 if local_fraction > 0.0 && group_size < 2 {
                     return Err(format!(
                         "group-local traffic needs at least two nodes per group \
@@ -154,7 +154,8 @@ impl PatternKind {
     /// # Panics
     /// Panics if [`validate`](Self::validate) rejects the pattern for this
     /// topology.
-    pub fn build(&self, topo: Dragonfly) -> TrafficPattern {
+    pub fn build(&self, topo: impl Into<AnyTopology>) -> TrafficPattern {
+        let topo = topo.into();
         self.validate(&topo)
             .unwrap_or_else(|e| panic!("invalid pattern {self:?}: {e}"));
         let n = topo.num_nodes() as usize;
@@ -236,7 +237,7 @@ fn bit_reversal_map(n: usize) -> Vec<u32> {
 #[derive(Debug, Clone)]
 pub struct TrafficPattern {
     kind: PatternKind,
-    topo: Dragonfly,
+    topo: AnyTopology,
     /// Precomputed destination map for permutation-style patterns.
     map: Option<Vec<u32>>,
     /// Precomputed hot destination list for [`PatternKind::Hotspot`].
@@ -250,7 +251,7 @@ impl TrafficPattern {
     }
 
     /// The topology the pattern is bound to.
-    pub fn topology(&self) -> &Dragonfly {
+    pub fn topology(&self) -> &AnyTopology {
         &self.topo
     }
 
@@ -328,11 +329,12 @@ impl TrafficPattern {
         };
         let src_group = self.topo.node_group(src);
         let dst_group = GroupId((src_group.0 + offset) % groups);
-        // uniform node within the destination group
-        let nodes_per_group = (self.topo.params().a * self.topo.params().p) as u64;
+        // uniform node within the destination group (node ids are dense and
+        // group-major in every topology, so the group's nodes start at
+        // group * nodes_per_group)
+        let nodes_per_group = self.topo.nodes_per_group() as u64;
         let k = rng.below(nodes_per_group) as u32;
-        let first_router = self.topo.router_at(dst_group, 0);
-        NodeId(first_router.0 * self.topo.params().p + k)
+        NodeId(dst_group.0 * self.topo.nodes_per_group() + k)
     }
 
     fn hotspot_destination(
@@ -372,8 +374,7 @@ impl TrafficPattern {
         local_fraction: f64,
         rng: &mut DeterministicRng,
     ) -> NodeId {
-        let params = self.topo.params();
-        let group_size = params.a * params.p;
+        let group_size = self.topo.nodes_per_group();
         let group = self.topo.node_group(src);
         let first = group.0 * group_size;
         // group_size >= 2 whenever local_fraction > 0 (enforced by validate)
@@ -394,7 +395,7 @@ impl TrafficPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::DragonflyParams;
+    use df_topology::{Dragonfly, DragonflyParams};
 
     fn topo() -> Dragonfly {
         Dragonfly::new(DragonflyParams::small()) // p=2,a=4,h=2, 9 groups, 72 nodes

@@ -6,7 +6,7 @@
 //! phase being a pattern (and optionally a different offered load) active
 //! from its start cycle until the next phase begins.
 
-use df_topology::Dragonfly;
+use df_topology::AnyTopology;
 use serde::{Deserialize, Serialize};
 
 use crate::pattern::{PatternKind, TrafficPattern};
@@ -98,7 +98,8 @@ impl TrafficSchedule {
 
     /// Materialise every phase's pattern against a topology, so the simulator
     /// can switch without re-allocating. Returned in phase order.
-    pub fn build_patterns(&self, topo: Dragonfly) -> Vec<TrafficPattern> {
+    pub fn build_patterns(&self, topo: impl Into<AnyTopology>) -> Vec<TrafficPattern> {
+        let topo = topo.into();
         self.phases.iter().map(|p| p.pattern.build(topo)).collect()
     }
 
@@ -116,7 +117,7 @@ impl TrafficSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use df_topology::DragonflyParams;
+    use df_topology::{Dragonfly, DragonflyParams};
 
     #[test]
     fn constant_schedule_never_changes() {

@@ -18,14 +18,15 @@ pub use df_routing::{
 pub use df_sim::{
     cell_seed, config_fingerprint, load_sweep, matrix_table, run_matrix, run_matrix_budgeted,
     run_sweep, run_sweep_service, run_task_workload, split_thread_budget, ChurnModel, ChurnRate,
-    FaultEvent, FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey, Network, RunnerOptions,
-    Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig, SteadyStateExperiment,
-    SteadyStateReport, StreamingRunOptions, StreamingTelemetry, SweepOutcome, TaskEngine,
-    TaskReport, TransientExperiment, TransientReport, WindowStats,
+    ConfigError, FaultEvent, FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey, Network,
+    RunnerOptions, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig,
+    SteadyStateExperiment, SteadyStateReport, StreamingRunOptions, StreamingTelemetry,
+    SweepOutcome, TaskEngine, TaskReport, TransientExperiment, TransientReport, WindowStats,
 };
 pub use df_topology::{
-    Dragonfly, DragonflyParams, GatewayLiveness, GroupId, LinkState, NodeId, Port, PortClass,
-    RouterId,
+    AnyTopology, Dragonfly, DragonflyParams, GatewayLiveness, GroupId, LinkState, Megafly,
+    MegaflyParams, NodeId, Port, PortClass, PortLayout, PortPeer, RadixLayout, RouterId, Topology,
+    TopologyKind, TopologyParams,
 };
 pub use df_traffic::{
     AllReduceAlgorithm, BernoulliInjector, CollectiveKind, InjectionKind, Injector, PatternKind,

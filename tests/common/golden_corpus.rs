@@ -502,3 +502,138 @@ pub const GOLDEN_SPECIAL: &[(&str, &str, u64, u64, u64)] = &[
     ("UN-storm-UN", "Base", 1067, 663, 0x4054D492D588846B),
     ("UN-storm-UN", "ECtN", 1067, 663, 0x4054D492D588846B),
 ];
+
+// ---------------------------------------------------------------------------
+// Megafly / Dragonfly+ corpus slice
+// ---------------------------------------------------------------------------
+
+/// The common builder every Megafly corpus run starts from: the second
+/// [`Topology`] instance, sized like the Dragonfly `small()` corpus
+/// (`p=2, l=s=4, h=2`, 9 groups, 72 nodes), same load, seed and windows.
+/// Kernel left to the caller / environment, so the CI kernel matrix replays
+/// this slice under every kernel exactly like the Dragonfly tables.
+pub fn megafly_base_builder() -> df_sim::SimulationConfigBuilder {
+    SimulationConfig::builder()
+        .topology(MegaflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .offered_load(LOAD)
+        .warmup_cycles(200)
+        .measurement_cycles(400)
+        .seed(SEED)
+}
+
+/// Patterns the Megafly slice covers: the two paper workloads plus the
+/// group-local mix, whose intra-group traffic exercises the two-hop
+/// leaf→spine→leaf minimal path that does not exist on the Dragonfly.
+pub fn megafly_patterns() -> Vec<PatternKind> {
+    vec![
+        PatternKind::Uniform,
+        PatternKind::Adversarial { offset: 1 },
+        PatternKind::GroupLocal {
+            local_fraction: 0.6,
+        },
+    ]
+}
+
+/// Routings the Megafly pattern slice is replayed under. Local misrouting
+/// is structurally disabled on Megafly (`local_misroute_degree() == 0`), so
+/// this covers each distinct decision family: minimal, oblivious Valiant,
+/// contention-based Base, link-utilisation PB and the ECtN broadcast.
+pub fn megafly_routings() -> [RoutingKind; 5] {
+    [
+        RoutingKind::Minimal,
+        RoutingKind::Valiant,
+        RoutingKind::Base,
+        RoutingKind::PiggyBacking,
+        RoutingKind::Ectn,
+    ]
+}
+
+/// The Megafly link-fault slice: an outage window on the ADV+1 hot global
+/// link (owned by a spine router) under discovery-only Base and link-state
+/// flooding ECtN — the pair whose drop counts bracket the fault corpus.
+pub fn megafly_fault_scenarios() -> Vec<Scenario> {
+    let topo = Megafly::new(MegaflyParams::small());
+    let (gw01, port01) = df_sim::FaultPlan::global_link_between(&topo, GroupId(0), GroupId(1));
+    vec![
+        Scenario::named("MF-ADV-gldown")
+            .hold(PatternKind::Adversarial { offset: 1 })
+            .link_down(150, gw01, port01)
+            .link_up(450, gw01, port01),
+        Scenario::named("MF-UN-gldown")
+            .hold(PatternKind::Uniform)
+            .link_down(150, gw01, port01)
+            .link_up(450, gw01, port01),
+    ]
+}
+
+/// The routing mechanisms the Megafly fault slice is replayed under.
+pub fn megafly_fault_routings() -> [RoutingKind; 2] {
+    [RoutingKind::Base, RoutingKind::Ectn]
+}
+
+/// The Megafly collective slice: one all-to-all spread across groups (every
+/// rank pair crosses a spine) and one ring all-reduce packed into leaves.
+pub fn megafly_collective_workloads() -> Vec<TaskWorkload> {
+    vec![
+        TaskWorkload::single(CollectiveKind::AllToAll, 8, 2)
+            .with_placement(RankPlacement::GroupSpread),
+        TaskWorkload::single(CollectiveKind::AllReduce(AllReduceAlgorithm::Ring), 8, 2),
+    ]
+}
+
+/// The common configuration every Megafly collective corpus run uses.
+pub fn megafly_collective_config(workload: TaskWorkload, routing: RoutingKind) -> SimulationConfig {
+    megafly_base_builder()
+        .routing(routing)
+        .pattern(PatternKind::Uniform)
+        .workload(workload)
+        .build()
+        .expect("valid megafly collective configuration")
+}
+
+/// Pinned on `MegaflyParams::small()` + `NetworkConfig::fast_test()`, load
+/// 0.2, seed 11, warmup 200 + measure 400 + drain. Introduced with the
+/// `Topology` trait (topology pluralism); regenerate together with the
+/// other tables (see the module docs).
+#[rustfmt::skip]
+pub const GOLDEN_MEGAFLY: &[(&str, &str, u64, u64, u64)] = &[
+    // (routing, pattern, delivered_window, final_cycle, latency_bits)
+    ("MIN", "UN", 820, 652, 0x40497C68E5C68E59),
+    ("MIN", "ADV+1", 920, 1157, 0x40707FC1AB68A045),
+    ("MIN", "LOC(60%)", 801, 651, 0x4045306B62C1AD90),
+    ("VAL", "UN", 902, 696, 0x40585D7217D72179),
+    ("VAL", "ADV+1", 899, 694, 0x4058BA1759B31D51),
+    ("VAL", "LOC(60%)", 882, 697, 0x405772492492492A),
+    ("Base", "UN", 820, 652, 0x40497C68E5C68E59),
+    ("Base", "ADV+1", 909, 801, 0x405CF3BFC9ED699D),
+    ("Base", "LOC(60%)", 801, 651, 0x4045306B62C1AD90),
+    ("PB", "UN", 827, 687, 0x404BCA7288D27EE3),
+    ("PB", "ADV+1", 867, 717, 0x4055663CD36A0093),
+    ("PB", "LOC(60%)", 803, 677, 0x40463DD91B192F80),
+    ("ECtN", "UN", 820, 652, 0x40497C68E5C68E59),
+    ("ECtN", "ADV+1", 909, 801, 0x405CF3BFC9ED699D),
+    ("ECtN", "LOC(60%)", 801, 651, 0x4045306B62C1AD90),
+];
+
+/// Pinned Megafly fault-slice fingerprints; same clock and conservation
+/// checks as [`GOLDEN_FAULTS`].
+#[rustfmt::skip]
+pub const GOLDEN_MEGAFLY_FAULTS: &[(&str, &str, u64, u64, u64, u64, u64)] = &[
+    // (scenario, routing, delivered_window, dropped, in_flight, final_cycle, latency_bits)
+    ("MF-ADV-gldown", "Base", 887, 25, 0, 801, 0x405DAEC15EF42AB9),
+    ("MF-ADV-gldown", "ECtN", 901, 11, 0, 801, 0x405DAD1AFE02D75B),
+    ("MF-UN-gldown", "Base", 820, 0, 0, 652, 0x4049A436F2436F27),
+    ("MF-UN-gldown", "ECtN", 820, 0, 0, 652, 0x4049A3E7063E7066),
+];
+
+/// Pinned Megafly collective-slice fingerprints; same completion contract
+/// as [`GOLDEN_COLLECTIVES`].
+#[rustfmt::skip]
+pub const GOLDEN_MEGAFLY_COLLECTIVES: &[(&str, &str, u64, u64, u64, u64)] = &[
+    // (workload, routing, completion_cycle, delivered, rank_stall_cycles, latency_bits)
+    ("all-to-allx8", "Base", 413, 112, 3192, 0x404B7FFFFFFFFFFF),
+    ("all-to-allx8", "ECtN", 413, 112, 3192, 0x404B7FFFFFFFFFFF),
+    ("all-reduce-ringx8", "Base", 602, 224, 4592, 0x403B000000000000),
+    ("all-reduce-ringx8", "ECtN", 602, 224, 4592, 0x403B000000000000),
+];

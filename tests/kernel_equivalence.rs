@@ -28,8 +28,9 @@ mod golden_corpus;
 
 use golden_corpus::{
     all_patterns, base_builder, churn_fingerprint, churn_routings, churn_scenarios,
-    fault_fingerprint, fault_routings, fault_scenarios, fingerprint, special_scenarios,
-    GOLDEN_CHURN, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
+    fault_fingerprint, fault_routings, fault_scenarios, fingerprint, megafly_base_builder,
+    megafly_patterns, megafly_routings, special_scenarios, GOLDEN_CHURN, GOLDEN_FAULTS,
+    GOLDEN_MEGAFLY, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 /// The worker counts the corpus replays cover: the degenerate single-shard
@@ -151,6 +152,40 @@ fn parallel_reproduces_the_pinned_fault_corpus() {
             }
         }
         assert!(expected.next().is_none(), "stale fault-corpus rows");
+    }
+}
+
+#[test]
+fn parallel_reproduces_the_pinned_megafly_corpus() {
+    // topology pluralism's acceptance bar: the second `Topology` instance
+    // must satisfy the same cross-kernel bit-identity contract as the
+    // Dragonfly — replay the pinned Megafly slice under the sharded kernel
+    // at an even split and at a worker count that divides neither the 72
+    // routers' 9 groups nor their leaves evenly
+    for workers in [2usize, 7] {
+        let mut expected = GOLDEN_MEGAFLY.iter();
+        for routing in megafly_routings() {
+            for pattern in megafly_patterns() {
+                let cfg = megafly_base_builder()
+                    .routing(routing)
+                    .pattern(pattern)
+                    .kernel(KernelMode::Parallel { workers })
+                    .build()
+                    .expect("valid megafly configuration");
+                let got = fingerprint(cfg);
+                let &(er, ep, ed, ec, el) = expected.next().expect("one row per combination");
+                assert_eq!(er, routing.label(), "table order drifted");
+                assert_eq!(ep, pattern.label(), "table order drifted");
+                assert_eq!(
+                    got,
+                    (ed, ec, el),
+                    "parallel({workers}): megafly {} under {} diverged from the pinned corpus",
+                    routing.label(),
+                    pattern.label()
+                );
+            }
+        }
+        assert!(expected.next().is_none(), "stale megafly rows");
     }
 }
 

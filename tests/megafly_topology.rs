@@ -1,0 +1,235 @@
+//! Property suite for the Megafly / Dragonfly+ instance of the [`Topology`]
+//! trait.
+//!
+//! The Dragonfly wiring is pinned by Table-I checks in `tests/paper_scale.rs`
+//! and the in-crate unit tests; this file gives the second topology family
+//! the same level of structural scrutiny: bidirectional link symmetry,
+//! spine/leaf bipartiteness, and — the strongest check — the closed-form
+//! minimal-hop oracle validated against a breadth-first search of the
+//! actual router graph on every instance small enough to enumerate.
+
+use contention_dragonfly::prelude::*;
+use std::collections::VecDeque;
+
+fn instances() -> Vec<Megafly> {
+    vec![
+        Megafly::new(MegaflyParams::tiny()),
+        Megafly::new(MegaflyParams::small()),
+        // a deliberately under-populated network: fewer groups than the
+        // palmtree maximum, so some global ports are unwired
+        Megafly::new(MegaflyParams::new(2, 3, 3, 2, 4).expect("valid partial instance")),
+    ]
+}
+
+#[test]
+fn megafly_sizes_match_the_closed_forms() {
+    let small = MegaflyParams::small();
+    assert_eq!(small.num_groups(), 9);
+    assert_eq!(small.num_nodes(), 72);
+    assert_eq!(small.num_routers(), 72);
+    let medium = MegaflyParams::medium();
+    assert_eq!(medium.num_nodes(), 1_056);
+    assert_eq!(medium.num_groups(), 33);
+    for topo in instances() {
+        let p = *topo.params();
+        assert_eq!(topo.num_routers(), (p.l + p.s) * p.groups);
+        assert_eq!(topo.num_nodes(), p.p * p.l * p.groups);
+        assert_eq!(topo.global_links_per_group(), p.s * p.h);
+        assert_eq!(topo.nodes_per_group(), p.p * p.l);
+    }
+}
+
+#[test]
+fn megafly_groups_are_bipartite_spine_leaf_blocks() {
+    for topo in instances() {
+        let layout = topo.layout();
+        for router in topo.routers() {
+            let leaf = topo.is_leaf(router);
+            // complete bipartite local wiring: every local port is wired,
+            // and always to the opposite side of the block
+            for k in 0..layout.locals() {
+                let port = Port::local(&layout, k);
+                let PortPeer::Router(peer, back) = topo.peer(router, port) else {
+                    panic!("local port {k} of {router} is unwired");
+                };
+                assert_eq!(
+                    topo.router_group(peer),
+                    topo.router_group(router),
+                    "local link leaves the group"
+                );
+                assert_ne!(
+                    topo.is_leaf(peer),
+                    leaf,
+                    "local link {k} of {router} connects two routers of the same side"
+                );
+                // bidirectional: the peer's return port leads back
+                let PortPeer::Router(ret, _) = topo.peer(peer, back) else {
+                    panic!("return port of ({router}, {port}) is unwired");
+                };
+                assert_eq!(ret, router, "local link {k} of {router} is not symmetric");
+            }
+            // terminals on leaves only, globals on spines only
+            if leaf {
+                assert!(
+                    !topo.router_node_span(router).is_empty(),
+                    "leaf {router} has no nodes"
+                );
+                assert_eq!(topo.own_globals(router), 0, "leaf {router} owns globals");
+                for k in 0..layout.globals() {
+                    assert!(
+                        matches!(
+                            topo.peer(router, Port::global(&layout, k)),
+                            PortPeer::Unconnected
+                        ),
+                        "global port {k} of leaf {router} is wired"
+                    );
+                }
+            } else {
+                assert!(
+                    topo.router_node_span(router).is_empty(),
+                    "spine {router} has nodes"
+                );
+                assert_eq!(topo.own_globals(router), topo.params().h);
+                for k in 0..layout.terminals() {
+                    assert!(
+                        matches!(topo.peer(router, Port::terminal(k)), PortPeer::Unconnected),
+                        "terminal port {k} of spine {router} is wired"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn megafly_global_links_are_bidirectional_and_cover_every_group_pair() {
+    for topo in instances() {
+        let layout = topo.layout();
+        for router in topo.routers() {
+            for k in 0..topo.own_globals(router) {
+                let Some((peer, pport)) = topo.global_neighbor(router, k) else {
+                    continue; // unwired in a partially-populated network
+                };
+                assert_ne!(
+                    topo.router_group(peer),
+                    topo.router_group(router),
+                    "global link {k} of {router} stays inside the group"
+                );
+                let (back, _) = topo
+                    .global_neighbor(peer, pport.class_offset(&layout))
+                    .expect("the reverse direction is wired");
+                assert_eq!(back, router, "global link {k} of {router} is not symmetric");
+            }
+        }
+        // fully-populated instances connect every ordered group pair
+        if topo.params().is_fully_populated() {
+            for g1 in topo.groups() {
+                for g2 in topo.groups() {
+                    if g1 == g2 {
+                        continue;
+                    }
+                    let (gw, port) = topo.gateway_to(g1, g2);
+                    assert_eq!(topo.router_group(gw), g1);
+                    let PortPeer::Router(entry, _) = topo.peer(gw, port) else {
+                        panic!("gateway {g1:?}->{g2:?} is unwired");
+                    };
+                    assert_eq!(topo.router_group(entry), g2);
+                }
+            }
+        }
+    }
+}
+
+/// BFS over the actual wired router graph: the ground truth the closed-form
+/// minimal-hop oracle must reproduce.
+fn bfs_distances(topo: &Megafly, from: RouterId) -> Vec<u32> {
+    let layout = topo.layout();
+    let mut dist = vec![u32::MAX; topo.num_routers() as usize];
+    dist[from.index()] = 0;
+    let mut queue = VecDeque::from([from]);
+    while let Some(r) = queue.pop_front() {
+        for port in Port::all(&layout) {
+            if port.class(&layout) == PortClass::Terminal {
+                continue;
+            }
+            if let PortPeer::Router(peer, _) = topo.peer(r, port) {
+                if dist[peer.index()] == u32::MAX {
+                    dist[peer.index()] = dist[r.index()] + 1;
+                    queue.push_back(peer);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[test]
+fn megafly_minimal_hop_oracle_matches_breadth_first_search() {
+    // `minimal_hops_to_router` measures the minimal-*class* path: at most
+    // one global hop, through the unique palmtree link between the group
+    // pair. Between two *leaves* — where every packet originates and
+    // terminates — that class is also graph-minimal, so the oracle must
+    // equal BFS exactly. Between spines the class can cost more than the
+    // unrestricted graph distance (a spine-to-spine pair may be closer via
+    // two globals than via the 2-local detour to its group's gateway), so
+    // there the oracle may only ever over-count, never under-count.
+    for topo in instances() {
+        if !topo.params().is_fully_populated() {
+            // minimal paths via the palmtree gateway assume the full group
+            // complement, exactly like the Dragonfly oracle
+            continue;
+        }
+        for src in topo.routers() {
+            let dist = bfs_distances(&topo, src);
+            for dst in topo.routers() {
+                let got =
+                    contention_dragonfly::routing::minimal::minimal_hops_to_router(&topo, src, dst);
+                if topo.is_leaf(src) && topo.is_leaf(dst) {
+                    assert_eq!(
+                        got,
+                        dist[dst.index()],
+                        "leaf-to-leaf minimal-hop oracle disagrees with BFS for {src} -> {dst}"
+                    );
+                } else {
+                    assert!(
+                        got >= dist[dst.index()],
+                        "oracle under-counts the graph distance for {src} -> {dst}: \
+                         {got} < {}",
+                        dist[dst.index()]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn megafly_local_minimal_steps_descend_the_bfs_metric() {
+    // `local_hop_toward` must make strict progress: stepping the advertised
+    // port from any router toward any same-group target reaches it within
+    // the oracle's hop count
+    for topo in instances() {
+        for group in topo.groups() {
+            for src in topo.routers_in_group(group) {
+                for dst in topo.routers_in_group(group) {
+                    let mut at = src;
+                    let mut hops = 0;
+                    while at != dst {
+                        let port = topo.local_hop_toward(at, dst);
+                        let PortPeer::Router(next, _) = topo.peer(at, port) else {
+                            panic!("local step of {at} toward {dst} is unwired");
+                        };
+                        at = next;
+                        hops += 1;
+                        assert!(hops <= 2, "local walk {src} -> {dst} does not terminate");
+                    }
+                    assert_eq!(
+                        hops,
+                        topo.local_hops_between(src, dst),
+                        "local hop count oracle disagrees with the walk {src} -> {dst}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -36,8 +36,11 @@ mod golden_corpus;
 
 use golden_corpus::{
     all_patterns, base_builder, churn_fingerprint, churn_routings, churn_scenarios,
-    fault_fingerprint, fault_routings, fault_scenarios, fingerprint, special_scenarios,
-    GOLDEN_CHURN, GOLDEN_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
+    collective_fingerprint, fault_fingerprint, fault_routings, fault_scenarios, fingerprint,
+    megafly_base_builder, megafly_collective_config, megafly_collective_workloads,
+    megafly_fault_routings, megafly_fault_scenarios, megafly_patterns, megafly_routings,
+    special_scenarios, GOLDEN_CHURN, GOLDEN_FAULTS, GOLDEN_MEGAFLY, GOLDEN_MEGAFLY_COLLECTIVES,
+    GOLDEN_MEGAFLY_FAULTS, GOLDEN_ROUTING_PATTERN, GOLDEN_SPECIAL,
 };
 
 // ---------------------------------------------------------------------------
@@ -162,6 +165,92 @@ fn golden_churn_corpus() {
                 "{} under {} diverged from the pinned churn fingerprint",
                 routing.label(),
                 scenario.name
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+// ---------------------------------------------------------------------------
+// 2d. Megafly / Dragonfly+ corpus slice: the second `Topology` instance,
+// pinned exactly like the Dragonfly tables (same clock, same seed, env
+// kernel — the CI kernel matrix replays these under every kernel too).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_megafly_routing_pattern_matrix() {
+    let mut expected = GOLDEN_MEGAFLY.iter();
+    for routing in megafly_routings() {
+        for pattern in megafly_patterns() {
+            let cfg = megafly_base_builder()
+                .routing(routing)
+                .pattern(pattern)
+                .build()
+                .expect("valid megafly configuration");
+            let (delivered, final_cycle, latency_bits) = fingerprint(cfg);
+            let &(er, ep, ed, ec, el) = expected
+                .next()
+                .expect("golden table has one row per routing x pattern");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(ep, pattern.label(), "table order drifted");
+            assert_eq!(
+                (delivered, final_cycle, latency_bits),
+                (ed, ec, el),
+                "megafly {} under {} diverged from the pinned fingerprint",
+                routing.label(),
+                pattern.label()
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+#[test]
+fn golden_megafly_fault_corpus() {
+    let mut expected = GOLDEN_MEGAFLY_FAULTS.iter();
+    for scenario in megafly_fault_scenarios() {
+        for routing in megafly_fault_routings() {
+            let cfg = megafly_base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .expect("valid megafly fault configuration");
+            let got = fault_fingerprint(cfg);
+            let &(es, er, ed, edrop, einf, ec, el) = expected
+                .next()
+                .expect("golden table has one row per scenario x routing");
+            assert_eq!(es, scenario.name, "table order drifted");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(
+                got,
+                (ed, edrop, einf, ec, el),
+                "megafly {} under {} diverged from the pinned fault fingerprint",
+                routing.label(),
+                scenario.name
+            );
+        }
+    }
+    assert!(expected.next().is_none(), "stale rows in the golden table");
+}
+
+#[test]
+fn golden_megafly_collective_corpus() {
+    let mut expected = GOLDEN_MEGAFLY_COLLECTIVES.iter();
+    for workload in megafly_collective_workloads() {
+        for routing in [RoutingKind::Base, RoutingKind::Ectn] {
+            let cfg = megafly_collective_config(workload.clone(), routing);
+            let got = collective_fingerprint(cfg);
+            let &(ew, er, edone, ed, estall, el) = expected
+                .next()
+                .expect("golden table has one row per workload x routing");
+            assert_eq!(ew, workload.label(), "table order drifted");
+            assert_eq!(er, routing.label(), "table order drifted");
+            assert_eq!(
+                got,
+                (edone, ed, estall, el),
+                "megafly {} under {} diverged from the pinned collective fingerprint",
+                workload.label(),
+                routing.label()
             );
         }
     }
@@ -335,6 +424,66 @@ fn regenerate_golden_tables() {
                 ret,
                 inf,
                 c,
+                l
+            );
+        }
+    }
+    println!("// megafly: (routing, pattern, delivered_window, final_cycle, latency_bits)");
+    for routing in megafly_routings() {
+        for pattern in megafly_patterns() {
+            let cfg = megafly_base_builder()
+                .routing(routing)
+                .pattern(pattern)
+                .build()
+                .unwrap();
+            let (d, c, l) = fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {:#018X}),",
+                routing.label(),
+                pattern.label(),
+                d,
+                c,
+                l
+            );
+        }
+    }
+    println!(
+        "// megafly: (scenario, routing, delivered_window, dropped, in_flight, final_cycle, latency_bits)"
+    );
+    for scenario in megafly_fault_scenarios() {
+        for routing in megafly_fault_routings() {
+            let cfg = megafly_base_builder()
+                .routing(routing)
+                .scenario(&scenario)
+                .build()
+                .unwrap();
+            let (d, drop, inf, c, l) = fault_fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, {}, {:#018X}),",
+                scenario.name,
+                routing.label(),
+                d,
+                drop,
+                inf,
+                c,
+                l
+            );
+        }
+    }
+    println!(
+        "// megafly: (workload, routing, completion_cycle, delivered, rank_stall_cycles, latency_bits)"
+    );
+    for workload in megafly_collective_workloads() {
+        for routing in [RoutingKind::Base, RoutingKind::Ectn] {
+            let cfg = megafly_collective_config(workload.clone(), routing);
+            let (done, d, stall, l) = collective_fingerprint(cfg);
+            println!(
+                "    (\"{}\", \"{}\", {}, {}, {}, {:#018X}),",
+                workload.label(),
+                routing.label(),
+                done,
+                d,
+                stall,
                 l
             );
         }
