@@ -1,7 +1,8 @@
 //! Regenerate Figure 6: latency under a mixed ADV+1/UN pattern at 35% load.
 //! Usage: `cargo run --release -p df-bench --bin fig6 -- [small|medium|paper]`
+//! Dragonfly-only paper reproduction: `--topology=` selections are rejected.
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_dragonfly_only("fig6");
     println!("{}", df_bench::figure6(&scale, 0.35).to_text());
 }

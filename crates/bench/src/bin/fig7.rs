@@ -1,9 +1,10 @@
 //! Regenerate Figure 7: transient latency and misrouted-packet percentage
 //! after a UN→ADV+1 traffic change at 20% load with Table I (small) buffers.
 //! Usage: `cargo run --release -p df-bench --bin fig7 -- [small|medium|paper]`
+//! Dragonfly-only paper reproduction: `--topology=` selections are rejected.
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_dragonfly_only("fig7");
     let (latency, misroute) = df_bench::figure7(
         &scale,
         scale.network,

@@ -2,11 +2,12 @@
 //! buffers (256 phits/VC local, 2048 phits/VC global), which slows the
 //! credit-based mechanisms but not the contention-based ones.
 //! Usage: `cargo run --release -p df-bench --bin fig8 -- [small|medium|paper]`
+//! Dragonfly-only paper reproduction: `--topology=` selections are rejected.
 
 use df_model::NetworkConfig;
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_dragonfly_only("fig8");
     let large = NetworkConfig {
         buffers: df_model::BufferConfig::large(),
         ..scale.network

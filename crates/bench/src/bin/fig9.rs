@@ -1,9 +1,10 @@
 //! Regenerate Figure 9: long-timescale latency after UN→ADV+1 for PB versus
 //! ECtN, showing PB's routing oscillations and ECtN's flat response.
 //! Usage: `cargo run --release -p df-bench --bin fig9 -- [small|medium|paper]`
+//! Dragonfly-only paper reproduction: `--topology=` selections are rejected.
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_dragonfly_only("fig9");
     let (latency, summary) = df_bench::figure9(&scale, 0.20, 4_000, 100);
     println!("{}", latency.to_text());
     println!("{}", summary.to_text());

@@ -1,7 +1,8 @@
 //! Print Table I (simulation parameters) for the selected scale.
 //! Usage: `cargo run --release -p df-bench --bin table1 -- [small|medium|paper]`
+//! Dragonfly-only paper reproduction: `--topology=` selections are rejected.
 
 fn main() {
-    let scale = df_bench::Scale::from_args();
+    let scale = df_bench::Scale::from_args_dragonfly_only("table1");
     println!("{}", df_bench::table1(&scale).to_text());
 }

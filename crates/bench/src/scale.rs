@@ -184,6 +184,44 @@ impl Scale {
         }
     }
 
+    /// Like [`Scale::from_args`], for the Dragonfly-only paper
+    /// reproductions (`fig6`–`fig9`, `table1`): any `--topology=` selection
+    /// aborts with exit code 2 instead of being silently ignored — these
+    /// binaries reproduce figures defined on the paper's canonical
+    /// Dragonfly, and running one under a `--topology=megafly` flag used to
+    /// produce a Dragonfly table labelled by nothing at all.
+    pub fn from_args_dragonfly_only(bin: &str) -> Self {
+        match Self::from_arg_list_dragonfly_only(Self::small(), &[], bin, std::env::args().skip(1))
+        {
+            Ok(scale) => scale,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The testable core of [`Scale::from_args_dragonfly_only`]: reject any
+    /// `--topology` argument naming the binary and the topology-aware
+    /// alternatives, then fall through to the ordinary parser.
+    pub fn from_arg_list_dragonfly_only(
+        default: Self,
+        flags: &[&str],
+        bin: &str,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
+        let args: Vec<String> = args.into_iter().collect();
+        if let Some(arg) = args.iter().find(|a| a.starts_with("--topology")) {
+            return Err(format!(
+                "error: {bin} reproduces a Dragonfly-only paper experiment and does not \
+                 accept '{arg}' (Figures 6-9 and Table 1 are defined on the canonical \
+                 Dragonfly; topology-aware runners: scenario_matrix, fault_recovery, \
+                 bench_kernel, sweep_service)"
+            ));
+        }
+        Self::from_arg_list(default, flags, args)
+    }
+
     /// The pure core of the CLI scale parser: scan `args` for the first
     /// recognized scale name (falling back to `default`), rejecting any
     /// word-like argument that is neither a scale nor one of the caller's
@@ -382,6 +420,39 @@ mod tests {
             assert_eq!(s.topology_params().kind(), TopologyKind::Megafly);
             assert_eq!(s.topology_params().num_groups(), s.topology.num_groups());
         }
+    }
+
+    #[test]
+    fn dragonfly_only_parser_rejects_topology_selections() {
+        for arg in ["--topology=megafly", "--topology=dragonfly", "--topology"] {
+            let err = Scale::from_arg_list_dragonfly_only(
+                Scale::small(),
+                &[],
+                "fig6",
+                strings(&["bench", arg]),
+            )
+            .unwrap_err();
+            assert!(
+                err.contains("fig6") && err.contains("Dragonfly-only"),
+                "rejection must name the binary and the reason: {err}"
+            );
+        }
+        // everything else parses exactly like the ordinary parser
+        let s = Scale::from_arg_list_dragonfly_only(
+            Scale::small(),
+            &[],
+            "table1",
+            strings(&["medium"]),
+        )
+        .unwrap();
+        assert_eq!(s.name, "medium");
+        assert!(Scale::from_arg_list_dragonfly_only(
+            Scale::small(),
+            &[],
+            "fig7",
+            strings(&["papper"])
+        )
+        .is_err());
     }
 
     #[test]

@@ -120,6 +120,78 @@ fn table1_runs_at_bench_scale() {
 }
 
 #[test]
+fn dragonfly_only_figures_reject_topology_selections_with_exit_2() {
+    // fig6-fig9 and table1 reproduce figures defined on the paper's
+    // canonical Dragonfly: a --topology selection must abort loudly, not
+    // silently run a Dragonfly under a misleading flag
+    for (exe, bin) in [
+        (env!("CARGO_BIN_EXE_fig6"), "fig6"),
+        (env!("CARGO_BIN_EXE_fig7"), "fig7"),
+        (env!("CARGO_BIN_EXE_fig8"), "fig8"),
+        (env!("CARGO_BIN_EXE_fig9"), "fig9"),
+        (env!("CARGO_BIN_EXE_table1"), "table1"),
+    ] {
+        let out = Command::new(exe)
+            .args(["bench", "--topology=megafly"])
+            .output()
+            .expect("spawn figure bin");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bin} must reject --topology before simulating"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(bin) && stderr.contains("Dragonfly-only"),
+            "{bin} stderr must name the binary and the reason: {stderr}"
+        );
+        assert!(
+            out.stdout.is_empty(),
+            "{bin} must not print a table for a rejected run"
+        );
+    }
+}
+
+#[test]
+fn interference_bin_writes_deterministic_csv() {
+    let dir = std::env::temp_dir().join(format!("df-bench-interference-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let run = || {
+        let out = Command::new(env!("CARGO_BIN_EXE_interference"))
+            .current_dir(&dir)
+            .args(["bench", "csv"])
+            .output()
+            .expect("spawn interference");
+        assert!(
+            out.status.success(),
+            "interference bin failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(dir.join("INTERFERENCE.csv")).expect("INTERFERENCE.csv written")
+    };
+    let first = run();
+    assert!(
+        first.contains("a2a+a2a") && first.contains("slowdown"),
+        "CSV must carry the mix rows and header: {first}"
+    );
+    // the symmetric bandwidth-heavy pair must show real interference in
+    // every routing row: slowdown strictly above 1.0
+    for line in first.lines().filter(|l| l.starts_with("a2a+a2a")) {
+        let slowdown: f64 = line.split(',').nth(7).unwrap().parse().unwrap();
+        assert!(
+            slowdown > 1.0,
+            "symmetric all-to-all pair must interfere: {line}"
+        );
+    }
+    let second = run();
+    assert_eq!(
+        first, second,
+        "interference runs must be rerun-deterministic"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn collectives_bin_writes_deterministic_csv() {
     let dir = std::env::temp_dir().join(format!("df-bench-collectives-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -102,7 +102,10 @@ impl Histogram {
     }
 
     /// Approximate percentile from the binned data (returns the upper edge of
-    /// the bin containing the requested rank; `NaN` if empty).
+    /// the bin containing the requested rank; `NaN` if empty). A rank that
+    /// lands in the overflow bin has no finite upper edge — the histogram
+    /// only knows the observation was `>= high` — so the result is
+    /// `f64::INFINITY` rather than a silently understated `high`.
     pub fn percentile(&self, pct: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
@@ -119,7 +122,7 @@ impl Histogram {
                 return hi;
             }
         }
-        self.high
+        f64::INFINITY
     }
 
     /// Merge another histogram with identical binning.
@@ -240,6 +243,26 @@ mod tests {
         assert!(p50 <= p90 && p90 <= p99);
         assert!((45.0..=55.0).contains(&p50));
         assert!(p99 >= 95.0);
+    }
+
+    #[test]
+    fn percentile_in_overflow_bin_is_infinite() {
+        // a tail rank that falls past the binned range must not be reported
+        // as the (finite) range bound — that silently understates the tail
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..90 {
+            h.record(5.0);
+        }
+        for _ in 0..10 {
+            h.record(1_000.0); // overflow
+        }
+        assert_eq!(h.percentile(50.0), 6.0);
+        assert_eq!(h.percentile(99.0), f64::INFINITY);
+        assert_eq!(h.percentile(100.0), f64::INFINITY);
+        // entirely-overflow histogram: every rank is unbounded
+        let mut all_over = Histogram::new(0.0, 10.0, 10);
+        all_over.record(11.0);
+        assert_eq!(all_over.percentile(50.0), f64::INFINITY);
     }
 
     #[test]

@@ -18,6 +18,27 @@
 //! same functions group by group; the results are identical by
 //! construction.
 //!
+//! # Per-topology dissemination contract
+//!
+//! The PB exchange never consults the topology: it concatenates every
+//! member's own-link flags in local-index order, and that concatenation
+//! *is* the group-link index space by construction, because each
+//! topology's `global_link_index` is defined as the running offset of the
+//! owning router's links within exactly that order:
+//!
+//! - **Dragonfly**: every router owns `h` links, so the flat array has
+//!   `a·h` entries and link `(local, k)` lands at `local·h + k`.
+//! - **Megafly (Dragonfly+)**: leaves (local `0..l`) own zero links and
+//!   contribute nothing; spines (local `l..l+s`) own `h` each, so the flat
+//!   array has `s·h` entries and a spine link `(local, k)` lands at
+//!   `(local − l)·h + k` — matching `Megafly::global_link_index`. Leaves
+//!   still *receive* the full installed view, which is what lets a leaf's
+//!   routing decision see a saturated spine-owned global link.
+//!
+//! Any new topology instance keeps this contract for free as long as its
+//! `global_link_index` enumerates links in router-local-index order with
+//! per-router contiguous `k` runs.
+//!
 //! The second half of the disjointness rule: everything *else* a router
 //! does in a cycle (head registration, routing decisions, allocation,
 //! grant application, output transmission) touches only that single
@@ -92,7 +113,7 @@ pub fn ectn_exchange_group(group: &mut [Router], scratch: &mut Vec<u32>) {
 mod tests {
     use super::*;
     use df_model::NetworkConfig;
-    use df_topology::{Dragonfly, DragonflyParams, RouterId};
+    use df_topology::{Dragonfly, DragonflyParams, Megafly, MegaflyParams, RouterId, Topology};
 
     fn group_of_routers() -> Vec<Router> {
         let topo = Dragonfly::new(DragonflyParams::small());
@@ -120,6 +141,40 @@ mod tests {
         // own flags are untouched by the install
         assert!(group[1].pb().own_saturated(0));
         assert!(!group[0].pb().own_saturated(0));
+    }
+
+    #[test]
+    fn megafly_pb_exchange_maps_spine_links_into_leaf_views() {
+        // group 0 of the small Megafly (p=2, l=s=4, h=2): routers 0..8,
+        // leaves at local 0..4 own no global links, spines at local 4..8
+        // own h=2 each — the group-link space is s*h = 8 spine-only links
+        let params = MegaflyParams::small();
+        let topo = Megafly::new(params);
+        let mut group: Vec<Router> = (0..8)
+            .map(|i| Router::new(RouterId(i), topo, NetworkConfig::fast_test()))
+            .collect();
+        for leaf in &group[..4] {
+            assert!(
+                leaf.pb().own_flags().is_empty(),
+                "leaves own no global links, so they contribute nothing"
+            );
+        }
+        // spine at local index 5 saturates its second link (k=1); the
+        // group-link index is (local - l)*h + k = (5-4)*2 + 1 = 3
+        group[5].pb_mut().set_own_saturated(1, true);
+        assert_eq!(topo.global_link_index(RouterId(5), 1), 3);
+        let mut flat = Vec::new();
+        pb_exchange_group(&mut group, &mut flat);
+        assert_eq!(flat.len(), 8, "flat view covers the s*h spine links only");
+        for (i, router) in group.iter().enumerate() {
+            for link in 0..8 {
+                assert_eq!(
+                    router.pb().group_saturated(link),
+                    link == 3,
+                    "router local {i} must see exactly group link 3 saturated"
+                );
+            }
+        }
     }
 
     #[test]

@@ -3,7 +3,9 @@
 use df_model::NetworkConfig;
 use df_routing::{RoutingConfig, RoutingKind};
 use df_topology::{DragonflyParams, TopologyParams};
-use df_traffic::{InjectionKind, PatternKind, TaskWorkload, TrafficSchedule};
+use df_traffic::{
+    validate_job_disjointness, InjectionKind, JobSpec, PatternKind, TaskWorkload, TrafficSchedule,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnModel;
@@ -204,6 +206,13 @@ pub struct SimulationConfig {
     /// `None`, the task layer is completely inert and the run is a plain
     /// packet-level experiment.
     pub workload: Option<TaskWorkload>,
+    /// Concurrent multi-job traffic: several collective applications with
+    /// node-disjoint placements sharing the network. Unlike `workload`,
+    /// jobs layer *over* the stochastic injectors — collectives run under
+    /// background load. Mutually exclusive with `workload`; empty means no
+    /// job layer at all.
+    #[serde(default)]
+    pub jobs: Vec<JobSpec>,
     /// Offered load in phits/(node·cycle).
     pub offered_load: f64,
     /// Seed for all stochastic components.
@@ -262,6 +271,23 @@ impl SimulationConfig {
                 .validate(groups, nodes_per_group)
                 .map_err(ConfigError::Workload)?;
         }
+        if !self.jobs.is_empty() {
+            if self.workload.is_some() {
+                return Err(ConfigError::Workload(
+                    "a single task workload and a job set are mutually exclusive \
+                     (wrap the workload in a JobSpec to combine them)"
+                        .into(),
+                ));
+            }
+            let groups = self.topology.num_groups();
+            let nodes_per_group = self.topology.nodes_per_group();
+            for (i, job) in self.jobs.iter().enumerate() {
+                job.validate(groups, nodes_per_group)
+                    .map_err(|e| ConfigError::Workload(format!("job #{i}: {e}")))?;
+            }
+            validate_job_disjointness(&self.jobs, groups, nodes_per_group)
+                .map_err(ConfigError::Workload)?;
+        }
         for (i, phase) in self.schedule.phases().iter().enumerate() {
             phase
                 .pattern
@@ -301,6 +327,7 @@ pub struct SimulationConfigBuilder {
     faults: FaultPlan,
     churn: Option<ChurnModel>,
     workload: Option<TaskWorkload>,
+    jobs: Vec<JobSpec>,
     offered_load: f64,
     seed: u64,
     warmup_cycles: u64,
@@ -320,6 +347,7 @@ impl Default for SimulationConfigBuilder {
             faults: FaultPlan::new(),
             churn: None,
             workload: None,
+            jobs: Vec::new(),
             offered_load: 0.1,
             seed: 0,
             warmup_cycles: 1_000,
@@ -384,6 +412,7 @@ impl SimulationConfigBuilder {
         self.faults = scenario.fault_plan().clone();
         self.churn = scenario.churn_model().cloned();
         self.workload = scenario.workload().cloned();
+        self.jobs = scenario.jobs().to_vec();
         self
     }
 
@@ -408,6 +437,19 @@ impl SimulationConfigBuilder {
     /// collective sequence instead of running their stochastic injectors.
     pub fn workload(mut self, workload: TaskWorkload) -> Self {
         self.workload = Some(workload);
+        self
+    }
+
+    /// Set the whole job set at once (multi-job traffic; node-disjointness
+    /// and placement bounds are validated at [`build`](Self::build) time).
+    pub fn jobs(mut self, jobs: Vec<JobSpec>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Append one job to the job set (builder style).
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
         self
     }
 
@@ -465,6 +507,7 @@ impl SimulationConfigBuilder {
             injection: self.injection,
             faults,
             workload: self.workload,
+            jobs: self.jobs,
             offered_load: self.offered_load,
             seed: self.seed,
             warmup_cycles: self.warmup_cycles,

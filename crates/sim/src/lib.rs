@@ -81,5 +81,8 @@ pub use sweep::{
     cell_seed, intra_cell_workers, load_sweep, matrix_table, num_threads, run_matrix,
     run_matrix_budgeted, run_sweep, split_thread_budget, MatrixCell, MatrixKey, ScenarioMatrix,
 };
-pub use task::{run_task_workload, TaskEngine, TaskReport};
+pub use task::{
+    run_interference, run_job_set, run_task_workload, InterferenceReport, JobReport, JobSetReport,
+    JobsEngine, TaskEngine, TaskReport,
+};
 pub use telemetry::{StreamingTelemetry, WindowStats};

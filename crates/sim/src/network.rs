@@ -82,7 +82,7 @@ use crate::fault::{FaultEvent, FaultKind};
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::parallel::{execute_shard, PhaseJob, PhaseKind, ShardState, StepCtx, WorkerPool};
-use crate::task::TaskEngine;
+use crate::task::{JobsEngine, TaskEngine};
 
 #[path = "snapshot.rs"]
 pub mod snapshot;
@@ -196,6 +196,12 @@ pub struct Network {
     /// generation entirely). All engine mutations happen on the main thread
     /// in steps 1–2, so task runs are bit-identical across kernels.
     task: Option<TaskEngine>,
+    /// The multi-job engine (`Some` only when the configuration carries a
+    /// job set). Unlike the single-workload mode, job traffic layers *over*
+    /// stochastic generation — collectives run under background load. All
+    /// mutations happen on the main thread in steps 1–2, so multi-job runs
+    /// are bit-identical across kernels too.
+    jobs: Option<JobsEngine>,
     // ---- activity gate (staged kernels only) ----
     /// Whether steps 4–5 iterate the active set (false for the legacy
     /// kernel's full scan).
@@ -300,6 +306,8 @@ impl Network {
             .workload
             .as_ref()
             .map(|w| TaskEngine::new(w, &topo, config.network.packet_size_phits));
+        let jobs = (!config.jobs.is_empty())
+            .then(|| JobsEngine::new(&config.jobs, &topo, config.network.packet_size_phits));
         let num_routers = routers.len();
         let num_nodes = nodes.len();
         Network {
@@ -334,6 +342,7 @@ impl Network {
             spare_of: vec![0; num_nodes],
             nodes_failed_count: 0,
             task,
+            jobs,
             gated,
             control_plane_every_cycle,
             change_points,
@@ -504,9 +513,12 @@ impl Network {
                 && self.active_list.is_empty()
                 && self.all_source_queues_empty()
                 // a waiting rank accrues a stall cycle per real cycle, so the
-                // fast-forward must not skip cycles while a task is running
-                // (the legacy kernel never skips — bit-identity would break)
+                // fast-forward must not skip cycles while a task or job set
+                // is running — jobs can also be waiting on a future
+                // start_cycle with nothing in flight at all (the legacy
+                // kernel never skips — bit-identity would break)
                 && self.task.as_ref().is_none_or(|t| t.is_complete())
+                && self.jobs.as_ref().is_none_or(|j| j.is_complete())
             {
                 if let Some(t) = self.events.next_time() {
                     if t > self.cycle {
@@ -541,6 +553,29 @@ impl Network {
     /// The task engine, when the configuration carries a workload.
     pub fn task(&self) -> Option<&TaskEngine> {
         self.task.as_ref()
+    }
+
+    /// The multi-job engine, when the configuration carries a job set.
+    pub fn jobs(&self) -> Option<&JobsEngine> {
+        self.jobs.as_ref()
+    }
+
+    /// Step until every job of the configured job set completes or
+    /// `max_cycles` elapse. Returns the job-set makespan (the cycle the
+    /// last job's last rank finished), or `None` when the budget ran out —
+    /// or when the configuration carries no jobs at all. Unlike workload
+    /// mode, completion does not imply an empty network: the stochastic
+    /// background traffic keeps flowing.
+    pub fn run_until_jobs_complete(&mut self, max_cycles: u64) -> Option<Cycle> {
+        self.jobs.as_ref()?;
+        let deadline = self.cycle + max_cycles;
+        while self.cycle < deadline {
+            if let Some(done) = self.jobs.as_ref().and_then(|j| j.completion_cycle()) {
+                return Some(done);
+            }
+            self.step();
+        }
+        self.jobs.as_ref().and_then(|j| j.completion_cycle())
     }
 
     /// Step until the task workload completes or `max_cycles` elapse.
@@ -844,6 +879,9 @@ impl Network {
                     if let Some(task) = self.task.as_mut() {
                         task.on_delivery(&packet);
                     }
+                    if let Some(jobs) = self.jobs.as_mut() {
+                        jobs.on_delivery(&packet);
+                    }
                 }
             }
         }
@@ -862,6 +900,21 @@ impl Network {
                 &self.node_failed,
             );
         } else {
+            // job mode layers over stochastic generation: started jobs
+            // enqueue their task packets first (deterministic specification
+            // order), then the background pattern fills in behind them —
+            // both feed the same per-node source queues and the shared
+            // injection loop below
+            if let Some(jobs) = self.jobs.as_mut() {
+                jobs.advance_and_generate(
+                    now,
+                    &mut self.nodes,
+                    &mut self.metrics,
+                    &mut self.next_packet_id,
+                    &self.node_blocked,
+                    &self.node_failed,
+                );
+            }
             let pattern = &self.patterns[self.current_phase];
             let blocked = &self.node_blocked;
             let failed = &self.node_failed;

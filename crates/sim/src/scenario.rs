@@ -35,7 +35,10 @@
 
 use df_model::Cycle;
 use df_topology::{NodeId, Port, RouterId};
-use df_traffic::{InjectionKind, PatternKind, PatternPhase, TaskWorkload, TrafficSchedule};
+use df_traffic::{
+    validate_job_disjointness, InjectionKind, JobSpec, PatternKind, PatternPhase, TaskWorkload,
+    TrafficSchedule,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::churn::ChurnModel;
@@ -80,6 +83,10 @@ pub struct Scenario {
     /// (the phases still drive any non-rank background pattern selection,
     /// but rank nodes generate only task traffic).
     workload: Option<TaskWorkload>,
+    /// Multi-job traffic: concurrently scheduled collective applications
+    /// with node-disjoint placements, layered *over* the stochastic phases
+    /// (mutually exclusive with `workload`).
+    jobs: Vec<JobSpec>,
 }
 
 impl Scenario {
@@ -94,6 +101,7 @@ impl Scenario {
             faults: FaultPlan::new(),
             churn: None,
             workload: None,
+            jobs: Vec::new(),
         }
     }
 
@@ -207,6 +215,19 @@ impl Scenario {
         self.workload.as_ref()
     }
 
+    /// Append one job to the scenario's job set (multi-job traffic over the
+    /// stochastic phases).
+    pub fn job(mut self, job: JobSpec) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// The attached job set (empty for single-workload or packet-level
+    /// scenarios).
+    pub fn jobs(&self) -> &[JobSpec] {
+        &self.jobs
+    }
+
     /// The attached fault plan (empty for healthy-network scenarios). Does
     /// *not* include churn-generated events — those are lowered at
     /// configuration-build time against a concrete topology.
@@ -314,6 +335,22 @@ impl Scenario {
             workload
                 .validate(groups, nodes_per_group)
                 .map_err(|e| format!("scenario '{}': workload: {e}", self.name))?;
+        }
+        if !self.jobs.is_empty() {
+            if self.workload.is_some() {
+                return Err(format!(
+                    "scenario '{}': a task workload and a job set are mutually exclusive",
+                    self.name
+                ));
+            }
+            let groups = topo.num_groups();
+            let nodes_per_group = topo.nodes_per_group();
+            for (i, job) in self.jobs.iter().enumerate() {
+                job.validate(groups, nodes_per_group)
+                    .map_err(|e| format!("scenario '{}': job #{i}: {e}", self.name))?;
+            }
+            validate_job_disjointness(&self.jobs, groups, nodes_per_group)
+                .map_err(|e| format!("scenario '{}': {e}", self.name))?;
         }
         for (i, phase) in self.phases.iter().enumerate() {
             phase

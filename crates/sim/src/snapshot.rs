@@ -26,9 +26,11 @@
 //! * the fault cursor, link-availability mask, lost-credit ledger,
 //!   node-failure flags and the gateway-liveness truth/flooded views,
 //! * the task engine's execution state (rank cursors, outstanding sends,
-//!   receive counters and the pending-packet table) when the configuration
-//!   carries a collective workload — a snapshot can land mid-collective
-//!   and resume bit-identically.
+//!   receive counters, compute-readiness clocks and the pending-packet
+//!   table) when the configuration carries a collective workload — a
+//!   snapshot can land mid-collective and resume bit-identically,
+//! * the multi-job engine's execution state (one task section per job, in
+//!   specification order) when the configuration carries a job set.
 //!
 //! **Not** stored (derived on restore): topology, routing tables/patterns,
 //! derived occupancy counters, the activity gate (recomputed as the sorted
@@ -50,8 +52,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"DFSIMSNP";
 /// with the task-layer counters and appended the task engine's execution
 /// state; version 3 folds the topology *kind* into the configuration
 /// fingerprint so a snapshot can never silently restore onto a different
-/// topology family (older snapshots are rejected rather than misread).
-pub const SNAPSHOT_VERSION: u32 = 3;
+/// topology family (older snapshots are rejected rather than misread);
+/// version 4 adds the per-rank compute-delay readiness clocks to the task
+/// section and appends the multi-job engine's execution state (one task
+/// section per job) so a snapshot can land mid-collective in any job of a
+/// concurrent mix.
+pub const SNAPSHOT_VERSION: u32 = 4;
 
 /// Fingerprint of a configuration, used to pair snapshots with the
 /// configuration they were taken under. The kernel mode is normalised away:
@@ -218,6 +224,11 @@ impl Network {
         e.bool(self.task.is_some());
         if let Some(task) = &self.task {
             task.save_state(&mut e);
+        }
+        // multi-job layer (same presence discipline as the task layer)
+        e.bool(self.jobs.is_some());
+        if let Some(jobs) = &self.jobs {
+            jobs.save_state(&mut e);
         }
         e.finish_frame(SNAPSHOT_MAGIC, SNAPSHOT_VERSION)
     }
@@ -399,6 +410,16 @@ impl Network {
             _ => {
                 return Err(CodecError::Invalid(
                     "snapshot task-layer presence disagrees with the configuration".into(),
+                ))
+            }
+        }
+        let has_jobs = d.bool()?;
+        match (&mut net.jobs, has_jobs) {
+            (Some(jobs), true) => jobs.restore_state(&mut d)?,
+            (None, false) => {}
+            _ => {
+                return Err(CodecError::Invalid(
+                    "snapshot job-set presence disagrees with the configuration".into(),
                 ))
             }
         }

@@ -214,6 +214,7 @@ impl ScenarioMatrix {
                     config.injection = scenario.injection;
                     config.faults = faults.clone();
                     config.workload = scenario.workload().cloned();
+                    config.jobs = scenario.jobs().to_vec();
                     config.offered_load = load;
                     config.routing = routing;
                     config.seed = cell_seed(self.base.seed, s_idx, l_idx, r_idx);

@@ -36,7 +36,7 @@ use std::collections::BTreeMap;
 
 use df_model::{Cycle, Packet, PacketId};
 use df_topology::{NodeId, Topology};
-use df_traffic::{TaskStep, TaskWorkload};
+use df_traffic::{JobSpec, TaskStep, TaskWorkload};
 
 use crate::config::SimulationConfig;
 use crate::metrics::Metrics;
@@ -71,6 +71,9 @@ pub struct TaskEngine {
     packet_size: u32,
     /// Script length (steps per rank).
     steps_total: usize,
+    /// Cycles of modelled computation between a step's completion and the
+    /// next step's injection (0 in single-workload mode).
+    compute_delay: u64,
     // ---- per-rank execution state ----
     /// Current step index of each rank (`steps_total` once finished).
     cursor: Vec<usize>,
@@ -81,6 +84,10 @@ pub struct TaskEngine {
     /// Packets received per rank per step (early arrivals for future steps
     /// accumulate here until the rank reaches them).
     recvs: Vec<Vec<u32>>,
+    /// Cycle before which each rank may not inject its current step's sends
+    /// (set to `advance cycle + compute_delay` whenever a rank passes a
+    /// step: the rank is computing). Never gates when `compute_delay == 0`.
+    ready_at: Vec<u64>,
     /// Cycles each rank spent blocked on the network: step enqueued, source
     /// queue drained, completion conditions not yet met.
     stall_cycles: Vec<u64>,
@@ -105,21 +112,50 @@ impl TaskEngine {
     pub(crate) fn new(workload: &TaskWorkload, topo: &impl Topology, packet_size: u32) -> Self {
         let groups = topo.num_groups();
         let nodes_per_group = topo.nodes_per_group();
-        let ranks = workload.ranks as usize;
         let node_of_rank: Vec<u32> = (0..workload.ranks)
             .map(|r| workload.placement.node_of_rank(r, groups, nodes_per_group))
             .collect();
-        let scripts = workload.lower();
+        Self::from_parts(workload.lower(), node_of_rank, packet_size, 0)
+    }
+
+    /// Build an engine for one job of a job set: the [`JobSpec`]'s own
+    /// placement decides where the ranks live (the workload's `placement`
+    /// field is ignored in job mode) and its `compute_delay` gates each
+    /// step's injection. The job must already have passed
+    /// [`JobSpec::validate`] for this topology.
+    pub(crate) fn for_job(job: &JobSpec, topo: &impl Topology, packet_size: u32) -> Self {
+        let groups = topo.num_groups();
+        let nodes_per_group = topo.nodes_per_group();
+        let node_of_rank: Vec<u32> = (0..job.workload.ranks)
+            .map(|r| job.placement.node_of_rank(r, groups, nodes_per_group))
+            .collect();
+        Self::from_parts(
+            job.workload.lower(),
+            node_of_rank,
+            packet_size,
+            job.compute_delay,
+        )
+    }
+
+    fn from_parts(
+        scripts: Vec<Vec<TaskStep>>,
+        node_of_rank: Vec<u32>,
+        packet_size: u32,
+        compute_delay: u64,
+    ) -> Self {
+        let ranks = node_of_rank.len();
         let steps_total = scripts.first().map_or(0, |s| s.len());
         TaskEngine {
             scripts,
             node_of_rank,
             packet_size,
             steps_total,
+            compute_delay,
             cursor: vec![0; ranks],
             enqueued: vec![false; ranks],
             sends_outstanding: vec![0; ranks],
             recvs: vec![vec![0; steps_total]; ranks],
+            ready_at: vec![0; ranks],
             stall_cycles: vec![0; ranks],
             pending: BTreeMap::new(),
             step_rank_done: vec![0; steps_total],
@@ -167,6 +203,12 @@ impl TaskEngine {
                 }
                 let step = self.cursor[r];
                 if !self.enqueued[r] {
+                    // modelled computation between steps: the rank holds its
+                    // sends back until the compute delay elapses (never gates
+                    // when compute_delay == 0 — ready_at is then <= now)
+                    if now < self.ready_at[r] {
+                        break;
+                    }
                     let sends = self.scripts[r][step].sends.clone();
                     let mut outstanding = 0u32;
                     for (dst_rank, packets) in sends {
@@ -203,6 +245,7 @@ impl TaskEngine {
                     }
                     self.cursor[r] += 1;
                     self.enqueued[r] = false;
+                    self.ready_at[r] = now + self.compute_delay;
                     if self.cursor[r] == self.steps_total {
                         self.ranks_done += 1;
                         if self.ranks_done == ranks as u32 {
@@ -287,6 +330,7 @@ impl TaskEngine {
             e.bool(self.enqueued[r]);
             e.u32(self.sends_outstanding[r]);
             e.u64(self.stall_cycles[r]);
+            e.u64(self.ready_at[r]);
             for &c in &self.recvs[r] {
                 e.u32(c);
             }
@@ -338,6 +382,7 @@ impl TaskEngine {
             self.enqueued[r] = d.bool()?;
             self.sends_outstanding[r] = d.u32()?;
             self.stall_cycles[r] = d.u64()?;
+            self.ready_at[r] = d.u64()?;
             for c in &mut self.recvs[r] {
                 *c = d.u32()?;
             }
@@ -375,6 +420,147 @@ impl TaskEngine {
     }
 }
 
+/// Advances a set of concurrently scheduled jobs — one [`TaskEngine`] per
+/// [`JobSpec`] — against one shared network. Owned by [`Network`] when the
+/// configuration carries a job set. Jobs are visited in specification
+/// order; a job whose `start_cycle` has not been reached is skipped, so
+/// its ranks stay idle and accrue no stalls. Packet ids are globally
+/// unique, so delivery attribution simply offers each packet to every
+/// job's pending table (at most one claims it; stochastic background
+/// packets match none).
+#[derive(Debug, Clone)]
+pub struct JobsEngine {
+    jobs: Vec<JobRun>,
+}
+
+#[derive(Debug, Clone)]
+struct JobRun {
+    spec: JobSpec,
+    engine: TaskEngine,
+}
+
+impl JobsEngine {
+    pub(crate) fn new(jobs: &[JobSpec], topo: &impl Topology, packet_size: u32) -> Self {
+        JobsEngine {
+            jobs: jobs
+                .iter()
+                .map(|spec| JobRun {
+                    spec: spec.clone(),
+                    engine: TaskEngine::for_job(spec, topo, packet_size),
+                })
+                .collect(),
+        }
+    }
+
+    /// Attribute a delivered packet to whichever job sent it (no-op for
+    /// stochastic background packets). Runs in step 1 of the cycle.
+    pub(crate) fn on_delivery(&mut self, packet: &Packet) {
+        for job in &mut self.jobs {
+            job.engine.on_delivery(packet);
+        }
+    }
+
+    /// Advance every started, unfinished job (specification order). Runs in
+    /// step 2 of the cycle alongside — not instead of — stochastic
+    /// generation.
+    pub(crate) fn advance_and_generate(
+        &mut self,
+        now: Cycle,
+        nodes: &mut [Node],
+        metrics: &mut Metrics,
+        next_packet_id: &mut u64,
+        blocked: &[bool],
+        failed: &[bool],
+    ) {
+        for job in &mut self.jobs {
+            if now < job.spec.start_cycle || job.engine.is_complete() {
+                continue;
+            }
+            job.engine
+                .advance_and_generate(now, nodes, metrics, next_packet_id, blocked, failed);
+        }
+    }
+
+    /// Whether every job has completed.
+    pub fn is_complete(&self) -> bool {
+        self.jobs.iter().all(|j| j.engine.is_complete())
+    }
+
+    /// Cycle the last job finished (the job-set makespan), once all are
+    /// complete.
+    pub fn completion_cycle(&self) -> Option<Cycle> {
+        self.jobs
+            .iter()
+            .map(|j| j.engine.completion_cycle())
+            .collect::<Option<Vec<Cycle>>>()
+            .and_then(|v| v.into_iter().max())
+    }
+
+    /// Number of jobs in the set.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Job `i`'s specification.
+    pub fn spec(&self, i: usize) -> &JobSpec {
+        &self.jobs[i].spec
+    }
+
+    /// Job `i`'s engine (per-job completion, stalls, pending packets).
+    pub fn engine(&self, i: usize) -> &TaskEngine {
+        &self.jobs[i].engine
+    }
+
+    /// Task packets of all jobs currently in the network.
+    pub fn pending_packets(&self) -> usize {
+        self.jobs.iter().map(|j| j.engine.pending_packets()).sum()
+    }
+
+    /// Serialise every job's mutable execution state (job specifications
+    /// and scripts are rebuilt from the configuration on restore).
+    pub(crate) fn save_state(&self, e: &mut df_engine::Encoder) {
+        e.seq(self.jobs.len());
+        for job in &self.jobs {
+            job.engine.save_state(e);
+        }
+    }
+
+    /// Restore the state written by [`JobsEngine::save_state`].
+    pub(crate) fn restore_state(
+        &mut self,
+        d: &mut df_engine::Decoder,
+    ) -> Result<(), df_engine::CodecError> {
+        let n = d.seq(16)?;
+        if n != self.jobs.len() {
+            return Err(df_engine::CodecError::Invalid(format!(
+                "snapshot job count mismatch: {} vs {}",
+                n,
+                self.jobs.len()
+            )));
+        }
+        for job in &mut self.jobs {
+            job.engine.restore_state(d)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binning of the rank-stall distributions reported by [`TaskReport`] and
+/// [`JobReport`]: same shape as the packet-latency histogram. A percentile
+/// landing past the range is reported as `f64::INFINITY` (see
+/// [`df_engine::Histogram::percentile`]) — the tail is *at least* that bad,
+/// never silently clamped to the range bound.
+const STALL_HISTOGRAM_HIGH: f64 = 5_000.0;
+const STALL_HISTOGRAM_BINS: usize = 500;
+
+fn stall_percentile(stalls: &[u64], pct: f64) -> f64 {
+    let mut h = df_engine::Histogram::new(0.0, STALL_HISTOGRAM_HIGH, STALL_HISTOGRAM_BINS);
+    for &s in stalls {
+        h.record(s as f64);
+    }
+    h.percentile(pct)
+}
+
 /// Application-level outcome of a task-workload run: completion time, step
 /// timeline and the rank stall distribution, alongside the packet-level
 /// delivery statistics.
@@ -396,10 +582,23 @@ pub struct TaskReport {
     pub max_rank_stall_cycles: u64,
     /// Mean per-rank stall total.
     pub mean_rank_stall_cycles: f64,
+    /// Per-rank stall totals, indexed by rank (the full distribution behind
+    /// the aggregates; feed to [`TaskReport::stall_percentile`]).
+    pub rank_stall_cycles: Vec<u64>,
     /// Task packets delivered.
     pub delivered_packets: u64,
     /// Mean packet latency (generation to delivery), cycles.
     pub avg_packet_latency: f64,
+}
+
+impl TaskReport {
+    /// Percentile of the per-rank stall distribution, through the same
+    /// binned histogram the packet-latency tail uses. Returns
+    /// `f64::INFINITY` when the requested rank lands past the binned range
+    /// — the tail is at least that bad, never clamped.
+    pub fn stall_percentile(&self, pct: f64) -> f64 {
+        stall_percentile(&self.rank_stall_cycles, pct)
+    }
 }
 
 /// Run `config`'s task workload to completion (or until `max_cycles`
@@ -429,7 +628,146 @@ pub fn run_task_workload(config: SimulationConfig, max_cycles: u64) -> TaskRepor
         total_stall_cycles,
         max_rank_stall_cycles: stalls.iter().copied().max().unwrap_or(0),
         mean_rank_stall_cycles: total_stall_cycles as f64 / stalls.len().max(1) as f64,
+        rank_stall_cycles: stalls.to_vec(),
         delivered_packets: net.metrics().delivered_packets_total(),
         avg_packet_latency: summary.avg_packet_latency,
     }
+}
+
+/// Per-job outcome of a multi-job run.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's stable label (`workload@base_node`).
+    pub label: String,
+    /// Cycle the job was scheduled to start.
+    pub start_cycle: u64,
+    /// Whether every rank of the job finished within the cycle budget.
+    pub completed: bool,
+    /// Cycle the job's last rank finished.
+    pub completion_cycle: Option<Cycle>,
+    /// `completion_cycle - start_cycle`: the job's own wall-clock, the
+    /// quantity compared against a solo-run baseline for slowdown.
+    pub elapsed_cycles: Option<u64>,
+    /// Sum of the job's rank stall cycles.
+    pub total_stall_cycles: u64,
+    /// Largest per-rank stall total in the job.
+    pub max_rank_stall_cycles: u64,
+    /// Mean per-rank stall total in the job.
+    pub mean_rank_stall_cycles: f64,
+    /// Per-rank stall totals, indexed by job-local rank.
+    pub rank_stall_cycles: Vec<u64>,
+}
+
+impl JobReport {
+    fn from_engine(spec: &JobSpec, engine: &TaskEngine) -> Self {
+        let stalls = engine.stall_cycles();
+        let total_stall_cycles: u64 = stalls.iter().sum();
+        let completion_cycle = engine.completion_cycle();
+        JobReport {
+            label: spec.label(),
+            start_cycle: spec.start_cycle,
+            completed: completion_cycle.is_some(),
+            completion_cycle,
+            elapsed_cycles: completion_cycle.map(|c| c - spec.start_cycle),
+            total_stall_cycles,
+            max_rank_stall_cycles: stalls.iter().copied().max().unwrap_or(0),
+            mean_rank_stall_cycles: total_stall_cycles as f64 / stalls.len().max(1) as f64,
+            rank_stall_cycles: stalls.to_vec(),
+        }
+    }
+
+    /// Percentile of the job's per-rank stall distribution (binned;
+    /// `f64::INFINITY` past the range — see [`TaskReport::stall_percentile`]).
+    pub fn stall_percentile(&self, pct: f64) -> f64 {
+        stall_percentile(&self.rank_stall_cycles, pct)
+    }
+}
+
+/// Outcome of a multi-job run: one [`JobReport`] per job plus the shared
+/// network-level statistics.
+#[derive(Debug, Clone)]
+pub struct JobSetReport {
+    /// Whether every job finished within the cycle budget.
+    pub all_completed: bool,
+    /// Cycle the last job finished (the job-set makespan).
+    pub makespan: Option<Cycle>,
+    /// Per-job outcomes, in specification order.
+    pub jobs: Vec<JobReport>,
+    /// Packets delivered network-wide (task packets of every job plus the
+    /// stochastic background traffic).
+    pub delivered_packets: u64,
+    /// Mean packet latency network-wide, cycles.
+    pub avg_packet_latency: f64,
+}
+
+/// Run `config`'s job set until every job completes (or `max_cycles`
+/// elapse) and report per-job completion, stall distributions and the
+/// shared network statistics.
+///
+/// Panics if the configuration carries no jobs.
+pub fn run_job_set(config: SimulationConfig, max_cycles: u64) -> JobSetReport {
+    assert!(
+        !config.jobs.is_empty(),
+        "run_job_set needs a configuration with at least one job"
+    );
+    let mut net = Network::new(config);
+    net.metrics_mut().start_measurement(0);
+    let makespan = net.run_until_jobs_complete(max_cycles);
+    let jobs_engine = net.jobs().expect("job set checked above");
+    let jobs: Vec<JobReport> = (0..jobs_engine.num_jobs())
+        .map(|i| JobReport::from_engine(jobs_engine.spec(i), jobs_engine.engine(i)))
+        .collect();
+    let summary = net.metrics().window_summary();
+    JobSetReport {
+        all_completed: makespan.is_some(),
+        makespan,
+        jobs,
+        delivered_packets: net.metrics().delivered_packets_total(),
+        avg_packet_latency: summary.avg_packet_latency,
+    }
+}
+
+/// A job set's shared-network outcome next to each job's solo-run baseline
+/// (same configuration with every other job removed — background stochastic
+/// traffic, faults and schedule identical), the slowdown-vs-isolation
+/// comparison the interference studies report.
+#[derive(Debug, Clone)]
+pub struct InterferenceReport {
+    /// The shared run: all jobs contending for one network.
+    pub shared: JobSetReport,
+    /// Job `i` run alone (only the other jobs removed), in specification
+    /// order.
+    pub solo: Vec<JobReport>,
+}
+
+impl InterferenceReport {
+    /// Job `i`'s slowdown: shared elapsed time over solo elapsed time
+    /// (`None` unless both runs completed). `1.0` means no interference.
+    pub fn slowdown(&self, i: usize) -> Option<f64> {
+        let shared = self.shared.jobs[i].elapsed_cycles?;
+        let solo = self.solo[i].elapsed_cycles?;
+        Some(shared as f64 / solo as f64)
+    }
+}
+
+/// Run `config`'s job set shared, then each job solo under the otherwise
+/// identical configuration, and report the slowdown-vs-isolation
+/// comparison. Costs `jobs + 1` full simulations.
+pub fn run_interference(config: SimulationConfig, max_cycles: u64) -> InterferenceReport {
+    assert!(
+        !config.jobs.is_empty(),
+        "run_interference needs a configuration with at least one job"
+    );
+    let shared = run_job_set(config.clone(), max_cycles);
+    let solo = config
+        .jobs
+        .iter()
+        .map(|job| {
+            let mut solo_cfg = config.clone();
+            solo_cfg.jobs = vec![job.clone()];
+            let mut report = run_job_set(solo_cfg, max_cycles);
+            report.jobs.remove(0)
+        })
+        .collect();
+    InterferenceReport { shared, solo }
 }

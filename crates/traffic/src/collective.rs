@@ -91,7 +91,9 @@ impl CollectiveKind {
                 }
             }
             CollectiveKind::AllReduce(AllReduceAlgorithm::Ring) => {
-                for _ in 0..2 * (p - 1) {
+                // saturating: degenerate rank counts (0 or 1) lower to
+                // empty/ step-free scripts instead of underflowing
+                for _ in 0..2 * p.saturating_sub(1) {
                     for (r, script) in scripts.iter_mut().enumerate() {
                         script.push(TaskStep {
                             sends: vec![(((r + 1) % p) as u32, packets)],
@@ -294,12 +296,15 @@ impl TaskWorkload {
         self.sequence
             .iter()
             .map(|k| match k {
-                CollectiveKind::AllToAll => self.ranks as usize - 1,
+                CollectiveKind::AllToAll => (self.ranks as usize).saturating_sub(1),
                 CollectiveKind::AllReduce(AllReduceAlgorithm::Ring) => {
-                    2 * (self.ranks as usize - 1)
+                    2 * (self.ranks as usize).saturating_sub(1)
                 }
                 CollectiveKind::AllReduce(AllReduceAlgorithm::RecursiveDoubling) => {
                     let p = self.ranks as usize;
+                    if p == 0 {
+                        return 0;
+                    }
                     let m = prev_power_of_two(p);
                     let core = m.trailing_zeros() as usize;
                     if p == m {

@@ -33,6 +33,7 @@
 
 pub mod collective;
 pub mod injection;
+pub mod job;
 pub mod pattern;
 pub mod schedule;
 
@@ -40,5 +41,6 @@ pub use collective::{
     validate_scripts, AllReduceAlgorithm, CollectiveKind, RankPlacement, TaskStep, TaskWorkload,
 };
 pub use injection::{BernoulliInjector, InjectionKind, Injector};
+pub use job::{validate_job_disjointness, JobPlacement, JobSpec};
 pub use pattern::{PatternKind, TrafficPattern};
 pub use schedule::{PatternPhase, TrafficSchedule};

@@ -16,10 +16,11 @@ pub use df_routing::{
     Commitment, Decision, DecisionKind, RoutingAlgorithm, RoutingConfig, RoutingKind,
 };
 pub use df_sim::{
-    cell_seed, config_fingerprint, load_sweep, matrix_table, run_matrix, run_matrix_budgeted,
-    run_sweep, run_sweep_service, run_task_workload, split_thread_budget, ChurnModel, ChurnRate,
-    ConfigError, FaultEvent, FaultKind, FaultPlan, KernelMode, MatrixCell, MatrixKey, Network,
-    RunnerOptions, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig,
+    cell_seed, config_fingerprint, load_sweep, matrix_table, run_interference, run_job_set,
+    run_matrix, run_matrix_budgeted, run_sweep, run_sweep_service, run_task_workload,
+    split_thread_budget, ChurnModel, ChurnRate, ConfigError, FaultEvent, FaultKind, FaultPlan,
+    InterferenceReport, JobReport, JobSetReport, JobsEngine, KernelMode, MatrixCell, MatrixKey,
+    Network, RunnerOptions, Scenario, ScenarioMatrix, ScenarioPhase, SimulationConfig,
     SteadyStateExperiment, SteadyStateReport, StreamingRunOptions, StreamingTelemetry,
     SweepOutcome, TaskEngine, TaskReport, TransientExperiment, TransientReport, WindowStats,
 };
@@ -29,6 +30,7 @@ pub use df_topology::{
     TopologyKind, TopologyParams,
 };
 pub use df_traffic::{
-    AllReduceAlgorithm, BernoulliInjector, CollectiveKind, InjectionKind, Injector, PatternKind,
-    RankPlacement, TaskWorkload, TrafficPattern, TrafficSchedule,
+    validate_job_disjointness, AllReduceAlgorithm, BernoulliInjector, CollectiveKind,
+    InjectionKind, Injector, JobPlacement, JobSpec, PatternKind, RankPlacement, TaskWorkload,
+    TrafficPattern, TrafficSchedule,
 };

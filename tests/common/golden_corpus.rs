@@ -637,3 +637,136 @@ pub const GOLDEN_MEGAFLY_COLLECTIVES: &[(&str, &str, u64, u64, u64, u64)] = &[
     ("all-reduce-ringx8", "Base", 602, 224, 4592, 0x403B000000000000),
     ("all-reduce-ringx8", "ECtN", 602, 224, 4592, 0x403B000000000000),
 ];
+
+// ---------------------------------------------------------------------------
+// Multi-job corpus
+// ---------------------------------------------------------------------------
+
+/// The multi-job mixes: concurrent collective applications with
+/// node-disjoint placements sharing one network, layered over the corpus'
+/// uniform background traffic at load 0.2. The 2-job mix packs an
+/// all-to-all and a ring all-reduce into adjacent node blocks; the 3-job
+/// mix adds a deferred mini-app (stencil sweeps interleaved with
+/// all-reduces) whose `start_cycle` and per-step compute delay exercise
+/// the job-scheduling and readiness-clock paths.
+pub fn job_mixes() -> Vec<(&'static str, Vec<JobSpec>)> {
+    let a2a = TaskWorkload::single(CollectiveKind::AllToAll, 8, 2);
+    let ring = TaskWorkload::single(CollectiveKind::AllReduce(AllReduceAlgorithm::Ring), 8, 2);
+    let mini = TaskWorkload::mini_app(8, 2, AllReduceAlgorithm::RecursiveDoubling, 1);
+    vec![
+        (
+            "2job",
+            vec![
+                JobSpec::new(a2a.clone(), JobPlacement::block(0)),
+                JobSpec::new(ring.clone(), JobPlacement::block(8)),
+            ],
+        ),
+        (
+            "3job",
+            vec![
+                JobSpec::new(a2a, JobPlacement::block(0)),
+                JobSpec::new(ring, JobPlacement::block(8)),
+                JobSpec::new(mini, JobPlacement::block(16))
+                    .starting_at(50)
+                    .with_compute_delay(5),
+            ],
+        ),
+    ]
+}
+
+/// The routing mechanisms the multi-job corpus is replayed under.
+pub fn job_routings() -> [RoutingKind; 3] {
+    [
+        RoutingKind::Base,
+        RoutingKind::PiggyBacking,
+        RoutingKind::Ectn,
+    ]
+}
+
+/// The common Dragonfly configuration every multi-job corpus run uses.
+/// Unlike workload mode the stochastic injectors stay on: jobs contend
+/// with uniform background traffic at the corpus load.
+pub fn job_set_config(jobs: Vec<JobSpec>, routing: RoutingKind) -> SimulationConfig {
+    base_builder()
+        .routing(routing)
+        .pattern(PatternKind::Uniform)
+        .jobs(jobs)
+        .build()
+        .expect("valid multi-job configuration")
+}
+
+/// The Megafly twin of [`job_set_config`].
+pub fn megafly_job_set_config(jobs: Vec<JobSpec>, routing: RoutingKind) -> SimulationConfig {
+    megafly_base_builder()
+        .routing(routing)
+        .pattern(PatternKind::Uniform)
+        .jobs(jobs)
+        .build()
+        .expect("valid megafly multi-job configuration")
+}
+
+/// `(makespan, sum of per-job completion cycles, delivered packets at the
+/// makespan, total job stall cycles, mean-latency f64 bits)` — the
+/// fingerprint of a multi-job corpus run. Every job must complete; the
+/// network does *not* drain (background injectors keep running), so
+/// delivery counts are read at the makespan cycle.
+pub fn job_set_fingerprint(cfg: SimulationConfig) -> (u64, u64, u64, u64, u64) {
+    let report = run_job_set(cfg, 200_000);
+    assert!(report.all_completed, "corpus job sets must complete");
+    let completion_sum: u64 = report
+        .jobs
+        .iter()
+        .map(|j| j.completion_cycle.expect("all_completed"))
+        .sum();
+    let stall_total: u64 = report.jobs.iter().map(|j| j.total_stall_cycles).sum();
+    (
+        report.makespan.expect("all_completed"),
+        completion_sum,
+        report.delivered_packets,
+        stall_total,
+        report.avg_packet_latency.to_bits(),
+    )
+}
+
+/// The pinned interference cell: two bandwidth-heavy all-to-all jobs on
+/// interleaved group-spread placements — their ranks share routers (two
+/// nodes per router on the small topologies) and the same local and
+/// global links, so each job's completion time must be strictly worse
+/// than its solo-run baseline under the same background traffic.
+pub fn interference_jobs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(
+            TaskWorkload::single(CollectiveKind::AllToAll, 8, 6),
+            JobPlacement::group_spread(0),
+        ),
+        JobSpec::new(
+            TaskWorkload::single(CollectiveKind::AllToAll, 8, 6),
+            JobPlacement::group_spread(1),
+        ),
+    ]
+}
+
+/// Pinned multi-job fingerprints: every [`job_mixes`] cell under every
+/// [`job_routings`] mechanism, Dragonfly then Megafly, plus the
+/// [`interference_jobs`] cell under Base on both topologies. Introduced
+/// with the multi-job traffic layer; regenerate together with the other
+/// tables (the regen helper lives in `tests/multi_job.rs`).
+#[rustfmt::skip]
+#[allow(clippy::type_complexity)]
+pub const GOLDEN_JOBS: &[(&str, &str, &str, u64, u64, u64, u64, u64)] = &[
+    // (topology, mix, routing, makespan, completion_sum, delivered, job_stalls, latency_bits)
+    ("dragonfly", "2job", "Base", 501, 809, 1164, 5984, 0x4043BE054741FABA),
+    ("dragonfly", "2job", "PB", 496, 794, 1146, 5840, 0x4044B8DA06413A8B),
+    ("dragonfly", "2job", "ECtN", 501, 809, 1164, 5984, 0x4043BE054741FABA),
+    ("dragonfly", "3job", "Base", 501, 1118, 1240, 7648, 0x4043469B4069B40B),
+    ("dragonfly", "3job", "PB", 496, 1103, 1222, 7512, 0x40442B5D6F07F5ED),
+    ("dragonfly", "3job", "ECtN", 501, 1118, 1240, 7648, 0x4043469B4069B40B),
+    ("megafly", "2job", "Base", 669, 1051, 1457, 7942, 0x40478F763F9ACB7A),
+    ("megafly", "2job", "PB", 680, 1059, 1466, 7899, 0x404960A7A3CC4FA9),
+    ("megafly", "2job", "ECtN", 669, 1051, 1457, 7942, 0x40478F763F9ACB7A),
+    ("megafly", "3job", "Base", 669, 1433, 1533, 10162, 0x4047283ECA0FB27C),
+    ("megafly", "3job", "PB", 680, 1425, 1544, 10048, 0x4048F874B9B3113B),
+    ("megafly", "3job", "ECtN", 669, 1433, 1533, 10162, 0x4047283ECA0FB27C),
+    ("dragonfly", "interfere", "Base", 906, 1757, 2236, 13098, 0x404DE9F5ECC401D2),
+    ("megafly", "interfere", "Base", 933, 1781, 2286, 13404, 0x40501BB76EDDBB7A),
+];

@@ -1,0 +1,533 @@
+//! Multi-job traffic suite: concurrent collective applications with
+//! node-disjoint placements sharing one network, layered over background
+//! stochastic injection.
+//!
+//! Extends every correctness contract of the task layer to job sets:
+//!
+//! 1. **Completion and layering** — every corpus mix completes under every
+//!    contention mechanism while background traffic keeps flowing (the
+//!    delivered count strictly exceeds the jobs' lowered packets), with
+//!    per-job completion cycles, stall distributions and labels.
+//! 2. **The pinned corpus** — `GOLDEN_JOBS` in
+//!    `tests/common/golden_corpus.rs` fingerprints every mix × routing cell
+//!    on both topologies. The configurations do not set a [`KernelMode`],
+//!    so CI replays the table under every kernel bit-for-bit.
+//! 3. **Cross-kernel bit-identity** — optimized, legacy and parallel
+//!    (1, 2 and 4 workers) kernels compared directly on the same job sets.
+//! 4. **Snapshot/resume mid-run (format v4)** — a snapshot taken with jobs
+//!    mid-collective resumes bit-identically under the same kernel and
+//!    across kernels, and re-snapshotting a restored network reproduces
+//!    the bytes exactly.
+//! 5. **Interference** — the pinned 2-job cell's per-job completion time is
+//!    strictly worse shared than solo, under every kernel, and the
+//!    slowdown-vs-isolation report says so.
+//! 6. **Degenerate inputs** — zero-rank and single-rank collectives are
+//!    rejected at validation (and their lowerings cannot panic), a job
+//!    whose `start_cycle` falls after the cycle budget reports honestly,
+//!    and overlapping placements are a build-time [`ConfigError`].
+//!
+//! Regenerate the pinned table after an intentional semantics change with
+//!
+//! ```text
+//! cargo test --release --test multi_job -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed constants into `tests/common/golden_corpus.rs` in
+//! the same commit.
+//!
+//! [`KernelMode`]: contention_dragonfly::prelude::KernelMode
+//! [`ConfigError`]: contention_dragonfly::prelude::ConfigError
+
+use contention_dragonfly::prelude::*;
+
+#[path = "common/golden_corpus.rs"]
+#[allow(dead_code)]
+mod golden_corpus;
+
+use golden_corpus::{
+    interference_jobs, job_mixes, job_routings, job_set_config, job_set_fingerprint,
+    megafly_job_set_config, GOLDEN_JOBS,
+};
+
+// ---------------------------------------------------------------------------
+// 1. completion and layering over background traffic
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_job_mix_completes_under_every_mechanism() {
+    for (mix, jobs) in job_mixes() {
+        let task_packets: u64 = jobs.iter().map(|j| j.workload.total_packets()).sum();
+        for routing in job_routings() {
+            let cfg = job_set_config(jobs.clone(), routing);
+            let report = run_job_set(cfg, 200_000);
+            let label = format!("{mix} under {}", routing.label());
+            assert!(report.all_completed, "{label} did not complete");
+            assert_eq!(report.jobs.len(), jobs.len(), "{label}: job count");
+            for (job, spec) in report.jobs.iter().zip(&jobs) {
+                assert_eq!(job.label, spec.label(), "{label}: job labels");
+                assert!(job.completed, "{label}: job {} incomplete", job.label);
+                let done = job.completion_cycle.unwrap();
+                assert!(
+                    done >= spec.start_cycle,
+                    "{label}: job {} finished before it started",
+                    job.label
+                );
+                assert_eq!(job.elapsed_cycles, Some(done - spec.start_cycle));
+                assert!(
+                    job.total_stall_cycles > 0,
+                    "{label}: ranks of {} crossed a real network",
+                    job.label
+                );
+            }
+            // jobs layer OVER stochastic generation: background packets
+            // must have been delivered on top of the lowered task packets
+            assert!(
+                report.delivered_packets > task_packets,
+                "{label}: background traffic must keep flowing \
+                 ({} delivered vs {task_packets} task packets)",
+                report.delivered_packets
+            );
+        }
+    }
+}
+
+#[test]
+fn jobs_ride_the_scenario_matrix_axis() {
+    let jobs = job_mixes().remove(0).1;
+    let scenario = Scenario::named("2job-mix").hold(PatternKind::Uniform);
+    let scenario = jobs.iter().cloned().fold(scenario, Scenario::job);
+    let base = job_set_config(jobs, RoutingKind::Base);
+    let matrix = ScenarioMatrix {
+        scenarios: vec![scenario],
+        loads: vec![0.2],
+        routings: vec![RoutingKind::Base, RoutingKind::Ectn],
+        ..ScenarioMatrix::new(base)
+    };
+    let cells = matrix.cells();
+    assert_eq!(cells.len(), 2);
+    for (key, cfg) in cells {
+        assert_eq!(cfg.jobs.len(), 2, "cell {key:?} lost the scenario's jobs");
+        cfg.validate().expect("matrix cells stay valid");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. the pinned corpus
+// ---------------------------------------------------------------------------
+
+/// Every corpus cell in pinned order: Dragonfly mixes × routings, Megafly
+/// mixes × routings, then the interference cell under Base on both
+/// topologies.
+fn corpus_cells() -> Vec<(&'static str, String, &'static str, SimulationConfig)> {
+    let mut cells = Vec::new();
+    for (mix, jobs) in job_mixes() {
+        for routing in job_routings() {
+            cells.push((
+                "dragonfly",
+                mix.to_string(),
+                routing.label(),
+                job_set_config(jobs.clone(), routing),
+            ));
+        }
+    }
+    for (mix, jobs) in job_mixes() {
+        for routing in job_routings() {
+            cells.push((
+                "megafly",
+                mix.to_string(),
+                routing.label(),
+                megafly_job_set_config(jobs.clone(), routing),
+            ));
+        }
+    }
+    cells.push((
+        "dragonfly",
+        "interfere".to_string(),
+        RoutingKind::Base.label(),
+        job_set_config(interference_jobs(), RoutingKind::Base),
+    ));
+    cells.push((
+        "megafly",
+        "interfere".to_string(),
+        RoutingKind::Base.label(),
+        megafly_job_set_config(interference_jobs(), RoutingKind::Base),
+    ));
+    cells
+}
+
+#[test]
+fn golden_multi_job_corpus() {
+    let mut expected = GOLDEN_JOBS.iter();
+    for (topo, mix, routing, cfg) in corpus_cells() {
+        let got = job_set_fingerprint(cfg);
+        let &(et, em, er, makespan, sum, delivered, stalls, lat) =
+            expected.next().expect("one row per corpus cell");
+        assert_eq!(
+            (et, em, er),
+            (topo, mix.as_str(), routing),
+            "table order drifted"
+        );
+        assert_eq!(
+            got,
+            (makespan, sum, delivered, stalls, lat),
+            "{mix} under {routing} on {topo} diverged from the pinned corpus"
+        );
+    }
+    assert!(expected.next().is_none(), "stale rows in the pinned table");
+}
+
+/// Regeneration helper (see the module docs).
+#[test]
+#[ignore = "regenerates the pinned multi-job corpus"]
+fn regenerate_multi_job_corpus() {
+    println!("pub const GOLDEN_JOBS: &[(&str, &str, &str, u64, u64, u64, u64, u64)] = &[");
+    println!(
+        "    // (topology, mix, routing, makespan, completion_sum, delivered, job_stalls, latency_bits)"
+    );
+    for (topo, mix, routing, cfg) in corpus_cells() {
+        let (makespan, sum, delivered, stalls, lat) = job_set_fingerprint(cfg);
+        println!(
+            "    ({topo:?}, {mix:?}, {routing:?}, {makespan}, {sum}, {delivered}, {stalls}, {lat:#018X}),"
+        );
+    }
+    println!("];");
+}
+
+// ---------------------------------------------------------------------------
+// 3. cross-kernel bit-identity
+// ---------------------------------------------------------------------------
+
+#[test]
+fn job_sets_are_bit_identical_across_kernels() {
+    let kernels = [
+        KernelMode::Optimized,
+        KernelMode::Legacy,
+        KernelMode::Parallel { workers: 1 },
+        KernelMode::Parallel { workers: 2 },
+        KernelMode::Parallel { workers: 4 },
+    ];
+    let (_, jobs) = job_mixes().remove(1);
+    for routing in [RoutingKind::Base, RoutingKind::PiggyBacking] {
+        let mut cfg = job_set_config(jobs.clone(), routing);
+        cfg.kernel = KernelMode::Optimized;
+        let reference = job_set_fingerprint(cfg.clone());
+        for kernel in kernels {
+            let mut k = cfg.clone();
+            k.kernel = kernel;
+            assert_eq!(
+                job_set_fingerprint(k),
+                reference,
+                "3-job mix under {} diverged on {kernel:?}",
+                routing.label()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 4. snapshot / resume mid-run (format v4)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn snapshot_mid_jobs_resumes_bit_identically() {
+    let (_, jobs) = job_mixes().remove(1);
+    let cfg = job_set_config(jobs, RoutingKind::PiggyBacking);
+
+    // uninterrupted reference
+    let mut reference = Network::new(cfg.clone());
+    reference.metrics_mut().start_measurement(0);
+    let done = reference
+        .run_until_jobs_complete(200_000)
+        .expect("reference completes");
+
+    // interrupted run: snapshot halfway, with jobs mid-collective
+    let mut first = Network::new(cfg.clone());
+    first.metrics_mut().start_measurement(0);
+    first.run_cycles(done / 2);
+    let engine = first.jobs().expect("jobs configured");
+    assert!(
+        engine.pending_packets() > 0 && !engine.is_complete(),
+        "checkpoint must land mid-collective for this test to bite"
+    );
+    let bytes = first.snapshot();
+    drop(first);
+
+    let mut resumed = Network::restore(cfg.clone(), &bytes).expect("snapshot restores");
+    let resumed_done = resumed
+        .run_until_jobs_complete(200_000)
+        .expect("resumed run completes");
+    assert_eq!(resumed_done, done, "makespan must match");
+    assert_eq!(
+        resumed.metrics().delivered_packets_total(),
+        reference.metrics().delivered_packets_total()
+    );
+    for i in 0..reference.jobs().unwrap().num_jobs() {
+        assert_eq!(
+            resumed.jobs().unwrap().engine(i).completion_cycle(),
+            reference.jobs().unwrap().engine(i).completion_cycle(),
+            "job {i} completion cycle must match"
+        );
+        assert_eq!(
+            resumed.jobs().unwrap().engine(i).stall_cycles(),
+            reference.jobs().unwrap().engine(i).stall_cycles(),
+            "job {i} per-rank stall totals must match"
+        );
+    }
+    // restore followed by snapshot reproduces the bytes exactly
+    let restored = Network::restore(cfg.clone(), &bytes).expect("snapshot restores");
+    assert_eq!(
+        restored.snapshot(),
+        bytes,
+        "v4 round-trip is byte-identical"
+    );
+
+    // kernel portability: finish the same snapshot under legacy and parallel
+    for kernel in [KernelMode::Legacy, KernelMode::Parallel { workers: 2 }] {
+        let mut k = cfg.clone();
+        k.kernel = kernel;
+        let mut n = Network::restore(k, &bytes).expect("snapshot restores under any kernel");
+        assert_eq!(
+            n.run_until_jobs_complete(200_000),
+            Some(done),
+            "{kernel:?} resumed to a different makespan"
+        );
+        assert_eq!(
+            n.metrics().delivered_packets_total(),
+            reference.metrics().delivered_packets_total()
+        );
+    }
+}
+
+#[test]
+fn job_snapshot_rejects_configuration_disagreement() {
+    let (_, jobs) = job_mixes().remove(0);
+    let cfg = job_set_config(jobs, RoutingKind::Base);
+    let mut net = Network::new(cfg.clone());
+    net.run_cycles(50);
+    let bytes = net.snapshot();
+
+    // same topology and traffic, but no job set: the restore must refuse.
+    // The job list is part of the configuration fingerprint, so the
+    // refusal happens at the outermost guard (the per-section presence
+    // check behind it is defence in depth).
+    let mut plain = cfg.clone();
+    plain.jobs = Vec::new();
+    let err = match Network::restore(plain, &bytes) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("restore without the job set must be refused"),
+    };
+    assert!(
+        err.contains("different configuration"),
+        "error must name the configuration disagreement: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 5. interference: shared strictly worse than solo
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pinned_interference_cell_is_strictly_worse_than_solo() {
+    let kernels = [
+        KernelMode::Optimized,
+        KernelMode::Legacy,
+        KernelMode::Parallel { workers: 4 },
+    ];
+    let mut cfg = job_set_config(interference_jobs(), RoutingKind::Base);
+    cfg.kernel = KernelMode::Optimized;
+    let reference = run_interference(cfg.clone(), 200_000);
+    for (i, solo) in reference.solo.iter().enumerate() {
+        let shared = &reference.shared.jobs[i];
+        assert!(shared.completed && solo.completed, "both runs complete");
+        assert!(
+            shared.elapsed_cycles.unwrap() > solo.elapsed_cycles.unwrap(),
+            "job {} must be strictly slower shared ({:?}) than solo ({:?})",
+            shared.label,
+            shared.elapsed_cycles,
+            solo.elapsed_cycles
+        );
+        let slowdown = reference.slowdown(i).unwrap();
+        assert!(
+            slowdown > 1.0,
+            "job {} slowdown must exceed 1.0, got {slowdown}",
+            shared.label
+        );
+    }
+
+    // the comparison itself is bit-identical across kernels
+    let fingerprint = |r: &InterferenceReport| -> Vec<(Option<u64>, Option<u64>)> {
+        (0..r.solo.len())
+            .map(|i| (r.shared.jobs[i].elapsed_cycles, r.solo[i].elapsed_cycles))
+            .collect()
+    };
+    let expected = fingerprint(&reference);
+    for kernel in kernels {
+        let mut k = cfg.clone();
+        k.kernel = kernel;
+        assert_eq!(
+            fingerprint(&run_interference(k, 200_000)),
+            expected,
+            "interference comparison diverged on {kernel:?}"
+        );
+    }
+
+    // and survives a mid-run snapshot/resume byte-identically
+    let mut first = Network::new(cfg.clone());
+    first.metrics_mut().start_measurement(0);
+    let done = reference.shared.makespan.unwrap();
+    first.run_cycles(done / 2);
+    assert!(!first.jobs().unwrap().is_complete());
+    let bytes = first.snapshot();
+    let restored = Network::restore(cfg.clone(), &bytes).expect("snapshot restores");
+    assert_eq!(restored.snapshot(), bytes);
+    let mut resumed = Network::restore(cfg, &bytes).expect("snapshot restores");
+    assert_eq!(resumed.run_until_jobs_complete(200_000), Some(done));
+}
+
+// ---------------------------------------------------------------------------
+// 6. degenerate inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn zero_and_single_rank_collectives_are_rejected_but_cannot_panic() {
+    for ranks in [0, 1] {
+        for kind in [
+            CollectiveKind::AllToAll,
+            CollectiveKind::AllReduce(AllReduceAlgorithm::Ring),
+            CollectiveKind::AllReduce(AllReduceAlgorithm::RecursiveDoubling),
+            CollectiveKind::Barrier,
+            CollectiveKind::SweepNeighbors,
+        ] {
+            let w = TaskWorkload::single(kind, ranks, 1);
+            assert!(
+                w.validate(9, 8).is_err(),
+                "{} with {ranks} ranks must be rejected",
+                w.label()
+            );
+            // the lowering and step accounting must not underflow even for
+            // inputs validation rejects (defence in depth)
+            let scripts = w.lower();
+            assert_eq!(scripts.len(), ranks as usize);
+            let _ = w.total_steps();
+            let _ = w.total_packets();
+        }
+    }
+}
+
+#[test]
+fn job_with_zero_rank_workload_is_a_config_error() {
+    let jobs = vec![JobSpec::new(
+        TaskWorkload::single(CollectiveKind::Barrier, 0, 1),
+        JobPlacement::block(0),
+    )];
+    let err = SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(0.2)
+        .warmup_cycles(100)
+        .measurement_cycles(100)
+        .seed(1)
+        .jobs(jobs)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::Workload(_)), "got {err:?}");
+}
+
+#[test]
+fn job_starting_after_the_cycle_budget_reports_honestly() {
+    let jobs = vec![JobSpec::new(
+        TaskWorkload::single(CollectiveKind::Barrier, 4, 1),
+        JobPlacement::block(0),
+    )
+    .starting_at(10_000)];
+    let cfg = job_set_config(jobs, RoutingKind::Base);
+    let report = run_job_set(cfg, 500);
+    assert!(!report.all_completed, "the job never started");
+    assert!(report.makespan.is_none());
+    let job = &report.jobs[0];
+    assert!(!job.completed);
+    assert_eq!(job.completion_cycle, None);
+    assert_eq!(job.elapsed_cycles, None);
+    assert_eq!(
+        job.total_stall_cycles, 0,
+        "a job that never starts cannot have stalled"
+    );
+}
+
+#[test]
+fn overlapping_job_placements_are_a_build_time_config_error() {
+    let w = TaskWorkload::single(CollectiveKind::Barrier, 8, 1);
+    let jobs = vec![
+        JobSpec::new(w.clone(), JobPlacement::block(0)),
+        JobSpec::new(w, JobPlacement::block(4)),
+    ];
+    let err = job_set_config_err(jobs);
+    match err {
+        ConfigError::Workload(msg) => {
+            assert!(msg.contains("node 4"), "error names the node: {msg}");
+        }
+        other => panic!("expected a Workload error, got {other:?}"),
+    }
+}
+
+#[test]
+fn workload_and_jobs_are_mutually_exclusive() {
+    let w = TaskWorkload::single(CollectiveKind::Barrier, 8, 1);
+    let err = SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(0.2)
+        .warmup_cycles(100)
+        .measurement_cycles(100)
+        .seed(1)
+        .workload(w.clone())
+        .job(JobSpec::new(w, JobPlacement::block(16)))
+        .build()
+        .unwrap_err();
+    match err {
+        ConfigError::Workload(msg) => {
+            assert!(msg.contains("mutually exclusive"), "got: {msg}");
+        }
+        other => panic!("expected a Workload error, got {other:?}"),
+    }
+}
+
+/// Build the corpus configuration without panicking on validation failure.
+fn job_set_config_err(jobs: Vec<JobSpec>) -> ConfigError {
+    SimulationConfig::builder()
+        .topology(DragonflyParams::small())
+        .network(NetworkConfig::fast_test())
+        .routing(RoutingKind::Base)
+        .pattern(PatternKind::Uniform)
+        .offered_load(0.2)
+        .warmup_cycles(200)
+        .measurement_cycles(400)
+        .seed(11)
+        .jobs(jobs)
+        .build()
+        .unwrap_err()
+}
+
+// ---------------------------------------------------------------------------
+// stall-distribution reporting inherits the histogram overflow fix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stall_percentiles_route_through_the_histogram_overflow_contract() {
+    let (_, jobs) = job_mixes().remove(0);
+    let cfg = job_set_config(jobs, RoutingKind::Base);
+    let report = run_job_set(cfg, 200_000);
+    for job in &report.jobs {
+        let p50 = job.stall_percentile(50.0);
+        assert!(p50.is_finite() && p50 >= 0.0, "in-range percentile");
+    }
+    // a synthetic report whose stalls exceed the histogram range must
+    // report the tail as unbounded, not silently clamp to the top edge
+    let mut job = report.jobs[0].clone();
+    job.rank_stall_cycles = vec![1_000_000; 8];
+    assert_eq!(job.stall_percentile(99.0), f64::INFINITY);
+}

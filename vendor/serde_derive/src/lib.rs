@@ -8,15 +8,17 @@
 use proc_macro::TokenStream;
 
 /// Accepts and discards the annotated item (the blanket impl in `serde`
-/// already covers it).
-#[proc_macro_derive(Serialize)]
+/// already covers it). Registers the `serde` helper attribute so field
+/// annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
 /// Accepts and discards the annotated item (the blanket impl in `serde`
-/// already covers it).
-#[proc_macro_derive(Deserialize)]
+/// already covers it). Registers the `serde` helper attribute so field
+/// annotations like `#[serde(default)]` parse.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
